@@ -1,0 +1,102 @@
+// Command moodbench regenerates every table and figure of the paper:
+//
+//	moodbench                 # everything, at the default 1/10 scale
+//	moodbench -scale 1.0      # the paper's full Table 13 cardinalities
+//	moodbench -only table16   # one artifact
+//	moodbench -list           # list artifact names
+//
+// Artifacts: table1, table2, tables3to7, table8, table9, table10,
+// tables11and12, tables13to15, table16, table17, example81, example82,
+// figure71, figure72, joinsweep, pathorder, selectivity, indexrule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mood/internal/experiments"
+)
+
+type artifact struct {
+	name string
+	desc string
+	run  func(io.Writer, *experiments.Env) error
+}
+
+func artifacts() []artifact {
+	return []artifact{
+		{"table1", "Select operator return types", experiments.Table1},
+		{"table2", "Join operator return-type matrix", experiments.Table2},
+		{"tables3to7", "DupElim/set-op/conversion return types", func(w io.Writer, _ *experiments.Env) error {
+			experiments.Tables3to7(w)
+			return nil
+		}},
+		{"table8", "cost model parameters (measured)", func(w io.Writer, e *experiments.Env) error {
+			experiments.Table8(w, e)
+			return nil
+		}},
+		{"table9", "B+-tree parameters", experiments.Table9},
+		{"table10", "physical disk parameters", func(w io.Writer, e *experiments.Env) error {
+			experiments.Table10(w, e)
+			return nil
+		}},
+		{"tables11and12", "ImmSelInfo / PathSelInfo dictionaries", experiments.Tables11and12},
+		{"tables13to15", "example database statistics", func(w io.Writer, e *experiments.Env) error {
+			experiments.Tables13to15(w, e)
+			return nil
+		}},
+		{"table16", "Example 8.1 PathSelInfo (paper anchors)", experiments.Table16},
+		{"table17", "Example 8.2 initial estimations", experiments.Table17},
+		{"example81", "Example 8.1 access plan", experiments.Example81Plan},
+		{"example82", "Example 8.2 access plan", experiments.Example82Plan},
+		{"figure71", "clause execution order", experiments.Figure71},
+		{"figure72", "WHERE-clause operator order", experiments.Figure72},
+		{"joinsweep", "join-method crossover, measured vs predicted", experiments.JoinMethodSweep},
+		{"pathorder", "Algorithm 8.1 ordering benefit", experiments.PathOrderingSweep},
+		{"selectivity", "estimated vs actual path selectivity", experiments.SelectivityAccuracy},
+		{"indexrule", "8.1 index-selection rule sweep", experiments.IndexSelectionSweep},
+	}
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "database scale relative to the paper's Table 13 (1.0 = 20000 vehicles, 200000 companies)")
+	only := flag.String("only", "", "run a single artifact (see -list)")
+	list := flag.Bool("list", false, "list artifact names and exit")
+	flag.Parse()
+
+	arts := artifacts()
+	if *list {
+		for _, a := range arts {
+			fmt.Printf("%-16s %s\n", a.name, a.desc)
+		}
+		return
+	}
+
+	fmt.Printf("MOOD experiment harness - scale %g (paper scale = 1.0)\n", *scale)
+	env, err := experiments.BuildEnv(experiments.Scale(*scale))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "building environment:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("database: %d vehicles, %d drivetrains, %d engines, %d companies\n",
+		env.Cfg.Vehicles, env.Cfg.DriveTrains, env.Cfg.Engines, env.Cfg.Companies)
+
+	ran := 0
+	for _, a := range arts {
+		if *only != "" && !strings.EqualFold(a.name, *only) {
+			continue
+		}
+		if err := a.run(os.Stdout, env); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown artifact %q (use -list)\n", *only)
+		os.Exit(1)
+	}
+}

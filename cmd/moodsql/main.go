@@ -1,0 +1,137 @@
+// Command moodsql is an interactive MOODSQL shell over a fresh MOOD
+// database. Statements end with ';'. Shell commands:
+//
+//	\schema            show the class hierarchy and extents
+//	\class <name>      show one class (Figure 9.2 presentation)
+//	\plan              show the last SELECT's access plan
+//	\demo              load the paper's vehicle schema with sample data
+//	\stats             show simulated-disk statistics
+//	\history           list this session's statements
+//	\quit              exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"mood/internal/experiments"
+	"mood/internal/funcmgr"
+	"mood/internal/kernel"
+	"mood/internal/object"
+	"mood/internal/optimizer"
+	"mood/internal/vehicledb"
+	"mood/internal/view"
+)
+
+func main() {
+	db, err := kernel.Open(kernel.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	qm := view.NewQueryManager(db)
+	fmt.Println("MOOD - METU Object-Oriented DBMS (Go reproduction)")
+	fmt.Println(`type MOODSQL ending with ';', or \demo, \schema, \quit`)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("mood> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !shellCommand(db, qm, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if strings.Contains(line, ";") {
+			stmt := pending.String()
+			pending.Reset()
+			res, err := qm.Run(stmt)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else if res != nil {
+				fmt.Print(res.String())
+				fmt.Printf("(%d rows)\n", len(res.Rows))
+			}
+		}
+		prompt()
+	}
+}
+
+// shellCommand handles backslash commands; returns false to quit.
+func shellCommand(db *kernel.DB, qm *view.QueryManager, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		return false
+	case `\schema`:
+		fmt.Print(view.SchemaOverview(db))
+	case `\catalog`:
+		fmt.Print(view.CatalogDump(db))
+	case `\class`:
+		if len(fields) < 2 {
+			fmt.Println(`usage: \class <name>`)
+			break
+		}
+		out, err := view.ClassPresentation(db, fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(out)
+	case `\plan`:
+		if db.LastPlan == nil {
+			fmt.Println("no SELECT has run yet")
+			break
+		}
+		fmt.Println(optimizer.Render(db.LastPlan))
+	case `\stats`:
+		fmt.Println(db.Disk.Stats().String())
+	case `\history`:
+		for i, h := range qm.History() {
+			fmt.Printf("%3d: %s\n", i+1, strings.TrimSpace(h))
+		}
+	case `\demo`:
+		if err := loadDemo(db); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("demo schema and data loaded (vehicle database, 1/100 paper scale)")
+		fmt.Println(`try: SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2;`)
+	default:
+		fmt.Println("unknown command", fields[0])
+	}
+	return true
+}
+
+func loadDemo(db *kernel.DB) error {
+	if err := vehicledb.DefineSchema(db.Cat); err != nil {
+		return err
+	}
+	if _, err := vehicledb.Populate(db.Cat, experiments.Scale(0.01).Config()); err != nil {
+		return err
+	}
+	// The paper's lbweight method.
+	if err := db.RegisterMethod("Vehicle", "lbweight", func(inv *funcmgr.Invocation) (object.Value, error) {
+		w, _ := inv.Self.Field("weight")
+		return object.NewInt(int32(float64(w.Int) * 2.2075)), nil
+	}); err != nil {
+		return err
+	}
+	return db.RefreshStats()
+}

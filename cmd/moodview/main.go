@@ -1,0 +1,120 @@
+// Command moodview is the text-mode MoodView (Section 9): schema browser,
+// class designer output, object browser with the cursor protocol, and the
+// R-tree spatial index demo. It loads the paper's vehicle database and
+// walks through each MoodView tool non-interactively, so its output doubles
+// as a demonstration transcript.
+//
+//	moodview             # run the full tour
+//	moodview -scale 0.02 # smaller/bigger demo database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mood/internal/experiments"
+	"mood/internal/kernel"
+	"mood/internal/rtree"
+	"mood/internal/vehicledb"
+	"mood/internal/view"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.01, "demo database scale (1.0 = paper)")
+	flag.Parse()
+
+	db, err := kernel.Open(kernel.DefaultOptions())
+	fail(err)
+	fail(vehicledb.DefineSchema(db.Cat))
+	vdb, err := vehicledb.Populate(db.Cat, experiments.Scale(*scale).Config())
+	fail(err)
+	fail(db.RefreshStats())
+
+	fmt.Println("MoodView (text mode) - the paper's Section 9 tools")
+	fmt.Println("==================================================")
+
+	// Schema Browser: the DAG placement of Figure 9.1(c).
+	fmt.Print("\n-- Schema Browser (class hierarchy DAG) --\n\n")
+	fmt.Print(view.SchemaOverview(db))
+
+	// Class Presentation: Figure 9.2(b).
+	fmt.Print("\n-- Class Presentation: Vehicle --\n\n")
+	out, err := view.ClassPresentation(db, "Vehicle")
+	fail(err)
+	fmt.Print(out)
+
+	// Data definition roundtrip: Figure 9.1(b)'s C++ view, as DDL here.
+	fmt.Print("\n-- Generated DDL for Vehicle (class designer output) --\n\n")
+	ddl, err := view.GenerateDDL(db, "Vehicle")
+	fail(err)
+	fmt.Println(ddl)
+
+	// Generic object presentation: Figure 9.3.
+	fmt.Print("\n-- Generic Object Presentation (object graph) --\n\n")
+	graph, err := view.ObjectGraph(db, vdb.Vehicles[0], 3)
+	fail(err)
+	fmt.Print(graph)
+
+	// Query manager with history.
+	fmt.Print("\n-- Query Manager --\n\n")
+	qm := view.NewQueryManager(db)
+	for _, q := range []string{
+		`SELECT COUNT(*) AS vehicles FROM Vehicle v;`,
+		`SELECT e.cylinders, COUNT(*) AS n FROM VehicleEngine e GROUP BY e.cylinders ORDER BY e.cylinders;`,
+	} {
+		fmt.Println("mood>", q)
+		res, err := qm.Run(q)
+		fail(err)
+		fmt.Print(res.String())
+	}
+	fmt.Println("history:")
+	for i, h := range qm.History() {
+		fmt.Printf("  %d: %s\n", i+1, h)
+	}
+
+	// Cursor protocol: Section 9.4's back-and-forth.
+	fmt.Print("\n-- Cursor (sequence back and forth) --\n\n")
+	cur, err := db.OpenCursor(`SELECT v FROM Vehicle v WHERE v.id < 3 ORDER BY v.id`)
+	fail(err)
+	for {
+		ov, err := cur.Next()
+		if err != nil {
+			break
+		}
+		fmt.Println(" next:", ov)
+	}
+	ov, err := cur.Prev()
+	fail(err)
+	fmt.Println(" prev:", ov)
+
+	// R-tree: the graphical indexing tool for spatial data.
+	fmt.Print("\n-- Spatial index (R-tree) --\n\n")
+	tr := rtree.New(8)
+	for i, oid := range vdb.Companies {
+		if i >= 100 {
+			break
+		}
+		x := float64(i%10) * 10
+		y := float64(i/10) * 10
+		tr.Insert(rtree.Point(x, y), oid)
+	}
+	fmt.Printf("indexed %d company locations, tree height %d\n", tr.Len(), tr.Height())
+	window := rtree.NewRect(0, 0, 25, 25)
+	n := 0
+	tr.Search(window, func(e rtree.Entry) bool { n++; return true })
+	fmt.Printf("window %v contains %d companies\n", window, n)
+	near := tr.Nearest(42, 42, 3)
+	fmt.Printf("3 nearest to (42,42):")
+	for _, e := range near {
+		fmt.Printf(" %v", e.Rect)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moodview:", err)
+		os.Exit(1)
+	}
+}

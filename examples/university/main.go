@@ -1,0 +1,148 @@
+// A second domain on the same kernel: a university database exercising the
+// parts of the data model the vehicle example does not — SET- and
+// LIST-valued reference attributes, the Unnest/Nest algebra operators, deep
+// equality duplicate elimination, UPDATE/DELETE through MOODSQL, and the
+// cursor protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mood/internal/algebra"
+	"mood/internal/kernel"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+func main() {
+	db, err := kernel.Open(kernel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = db.ExecuteScript(`
+		CREATE CLASS Department TUPLE (name String(64), budget Integer);
+		CREATE CLASS Course TUPLE (
+			code String(16),
+			credits Integer,
+			dept REFERENCE (Department));
+		CREATE CLASS Student TUPLE (
+			name String(64),
+			year Integer,
+			major REFERENCE (Department),
+			enrolled SET (REFERENCE (Course)));
+		CREATE CLASS GradStudent INHERITS FROM Student;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate: three departments, courses, students with set-valued
+	// enrollments.
+	mk := func(class string, names []string, vals []object.Value) storage.OID {
+		oid, err := db.Cat.CreateObject(class, object.NewTuple(names, vals))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return oid
+	}
+	cs := mk("Department", []string{"name", "budget"},
+		[]object.Value{object.NewString("Computer Engineering"), object.NewInt(900)})
+	ee := mk("Department", []string{"name", "budget"},
+		[]object.Value{object.NewString("Electrical Engineering"), object.NewInt(700)})
+	math := mk("Department", []string{"name", "budget"},
+		[]object.Value{object.NewString("Mathematics"), object.NewInt(400)})
+
+	course := func(code string, credits int32, dept storage.OID) storage.OID {
+		return mk("Course", []string{"code", "credits", "dept"},
+			[]object.Value{object.NewString(code), object.NewInt(credits), object.NewRef(dept)})
+	}
+	db1 := course("CENG302", 4, cs) // databases, of course
+	alg := course("CENG213", 3, cs)
+	circ := course("EE201", 4, ee)
+	calc := course("MATH119", 5, math)
+
+	student := func(class, name string, year int32, major storage.OID, courses ...storage.OID) storage.OID {
+		set := object.Value{Kind: object.KindSet}
+		for _, c := range courses {
+			set.SetAdd(object.NewRef(c))
+		}
+		return mk(class, []string{"name", "year", "major", "enrolled"},
+			[]object.Value{object.NewString(name), object.NewInt(year), object.NewRef(major), set})
+	}
+	student("Student", "Asuman", 3, cs, db1, alg, calc)
+	student("Student", "Cetin", 2, cs, alg, calc)
+	student("Student", "Budak", 4, ee, circ, db1)
+	student("GradStudent", "Tansel", 6, cs, db1)
+	student("GradStudent", "Cem", 5, math, calc)
+
+	if err := db.RefreshStats(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Path query through a reference: students majoring in a rich
+	// department.
+	res, err := db.Execute(`
+		SELECT s.name, s.major.name AS dept
+		FROM EVERY Student s
+		WHERE s.major.budget > 600
+		ORDER BY s.name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("students in departments with budget > 600:")
+	fmt.Print(res.String())
+
+	// Set-valued attributes through the algebra: Unnest the enrollment
+	// sets into <student, course> pairs (the paper's 1NF unnest example),
+	// then Nest them back.
+	a := algebra.New(db.Cat)
+	students, err := a.Bind("Student", "s")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs, err := a.Unnest(students, "enrolled")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nUnnest(enrolled): %d <student, course> pairs from %d students\n",
+		pairs.Len(), students.Len())
+	nested, err := a.Nest(pairs, "enrolled")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Nest undoes it: %d students again\n", nested.Len())
+
+	// Aggregation over the IS-A closure.
+	res, err = db.Execute(`
+		SELECT s.major.name AS dept, COUNT(*) AS students, AVG(s.year) AS avgyear
+		FROM EVERY Student s
+		GROUP BY s.major.name
+		ORDER BY dept`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nenrollment by department (grads included):")
+	fmt.Print(res.String())
+
+	// UPDATE and DELETE through MOODSQL.
+	if _, err := db.Execute(`UPDATE Department d SET budget = d.budget + 100 WHERE d.name = 'Mathematics'`); err != nil {
+		log.Fatal(err)
+	}
+	res, _ = db.Execute(`SELECT d.budget FROM Department d WHERE d.name = 'Mathematics'`)
+	fmt.Println("\nMathematics budget after raise:", res.Rows[0][0])
+
+	// Cursor protocol over a query result (Section 9.4).
+	cur, err := db.OpenCursor(`SELECT s FROM EVERY Student s WHERE s.year >= 4 ORDER BY s.year`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncursor over %d senior students:\n", cur.Len())
+	for {
+		ov, err := cur.Next()
+		if err != nil {
+			break
+		}
+		fmt.Println(" ", ov)
+	}
+}

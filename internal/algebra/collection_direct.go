@@ -1,0 +1,20 @@
+package algebra
+
+import (
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// BindDirect names the direct extent of a class (no IS-A closure): the
+// plain "FROM Class var" form, as opposed to "FROM EVERY Class var".
+func (a *Algebra) BindDirect(class, aName string) (*Collection, error) {
+	var items []Bound
+	err := a.Cat.ScanExtent(class, func(oid storage.OID, v object.Value) bool {
+		items = append(items, Bound{OID: oid, Val: v})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return singleVar(ExtentKind, aName, class, items), nil
+}

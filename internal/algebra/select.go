@@ -1,0 +1,139 @@
+package algebra
+
+import (
+	"fmt"
+
+	"mood/internal/catalog"
+	"mood/internal/expr"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// Select selects the rows of arg satisfying predicate P, with the return
+// types of Table 1:
+//
+//	arg     Extent          Set   List   Named Obj.
+//	return  Extent or Set   Set   List   Named Obj.
+//
+// asSet controls the Extent case's choice between Extent and Set output.
+func (a *Algebra) Select(arg *Collection, p expr.Expr, asSet bool) (*Collection, error) {
+	outKind := arg.Kind
+	if arg.Kind == ExtentKind && asSet {
+		outKind = SetKind
+	}
+	out := &Collection{Kind: outKind, Name: arg.Name, Class: arg.Class}
+	env := a.env()
+	for i := range arg.Rows {
+		row := arg.Rows[i]
+		ok, err := a.evalRow(row, p, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// env builds the expression environment backed by this algebra's catalog.
+func (a *Algebra) env() *expr.Env {
+	return &expr.Env{
+		Resolve: a.Cat.Resolver(),
+		Invoke:  a.Invoke,
+	}
+}
+
+// evalRow evaluates a predicate with the row's bindings in scope,
+// materializing bound values lazily.
+func (a *Algebra) evalRow(row Row, p expr.Expr, base *expr.Env) (bool, error) {
+	env := &expr.Env{
+		Vars:    make(map[string]object.Value, len(row.Vars)),
+		OIDs:    make(map[string]storage.OID, len(row.Vars)),
+		Resolve: base.Resolve,
+		Invoke:  base.Invoke,
+	}
+	for name, b := range row.Vars {
+		if err := a.materialize(&b); err != nil {
+			return false, err
+		}
+		env.Vars[name] = b.Val
+		env.OIDs[name] = b.OID
+	}
+	return expr.EvalBool(p, env)
+}
+
+// SimplePredicate is the triplet <P1, θ, oprnd> of Section 4.1 restricted
+// to an indexable form: an atomic attribute of the bound class compared
+// with a constant.
+type SimplePredicate struct {
+	Attribute string
+	Op        expr.CmpOp
+	Constant  object.Value
+	Constant2 object.Value // BETWEEN upper bound
+	Between   bool
+}
+
+// IndSel selects the set of object identifiers satisfying the simple
+// predicate from the extent of the named class (or group of extents: the
+// IS-A closure) using an index of the requested kind — IndSel(arg,
+// index_type, P). The return value is a Set of object identifiers, per the
+// paper. ErrNoIndex is returned when no index of that kind exists on the
+// attribute.
+func (a *Algebra) IndSel(class, bindName string, indexKind catalog.IndexKind, p SimplePredicate) (*Collection, error) {
+	ix := a.Cat.IndexOn(class, p.Attribute)
+	if ix == nil || ix.Kind != indexKind {
+		return nil, fmt.Errorf("%w: %s on %s.%s", ErrNoIndex, indexKind, class, p.Attribute)
+	}
+	var oids []storage.OID
+	var err error
+	switch {
+	case p.Between:
+		oids, err = ix.RangeLookup(p.Constant, p.Constant2)
+	case p.Op == expr.OpEq:
+		oids, err = ix.Lookup(p.Constant)
+	case p.Op == expr.OpGe || p.Op == expr.OpGt:
+		oids, err = ix.RangeLookup(p.Constant, object.Null)
+	case p.Op == expr.OpLe || p.Op == expr.OpLt:
+		oids, err = ix.RangeLookup(object.Null, p.Constant)
+	default:
+		return nil, fmt.Errorf("algebra: IndSel cannot use an index for %s", p.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Strict bounds and key truncation require re-checking the base
+	// predicate against the stored objects.
+	out := &Collection{Kind: SetKind, Name: bindName, Class: class}
+	seen := map[storage.OID]bool{}
+	pred := a.predicateExpr(bindName, p)
+	env := a.env()
+	for _, oid := range oids {
+		if seen[oid] {
+			continue
+		}
+		seen[oid] = true
+		v, _, err := a.Cat.GetObject(oid)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Vars: map[string]Bound{bindName: {OID: oid, Val: v}}}
+		ok, err := a.evalRow(row, pred, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, Row{Vars: map[string]Bound{bindName: {OID: oid}}})
+		}
+	}
+	return out, nil
+}
+
+// predicateExpr rebuilds the expression form of a simple predicate.
+func (a *Algebra) predicateExpr(bindName string, p SimplePredicate) expr.Expr {
+	attr := expr.Path(bindName, p.Attribute)
+	if p.Between {
+		return &expr.Between{E: attr, Lo: &expr.Const{Val: p.Constant}, Hi: &expr.Const{Val: p.Constant2}}
+	}
+	return &expr.Cmp{Op: p.Op, L: attr, R: &expr.Const{Val: p.Constant}}
+}

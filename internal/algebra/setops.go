@@ -1,0 +1,158 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"mood/internal/storage"
+)
+
+// setOpKind implements Table 4: Set×Set→Set, Set×List→Set, List×Set→Set,
+// List×List→List.
+func setOpKind(a, b Kind) (Kind, error) {
+	valid := func(k Kind) bool { return k == SetKind || k == ListKind }
+	if !valid(a) || !valid(b) {
+		return 0, fmt.Errorf("%w: set operation on %s and %s", ErrNotApplicable, a, b)
+	}
+	if a == ListKind && b == ListKind {
+		return ListKind, nil
+	}
+	return SetKind, nil
+}
+
+// Union takes the union of two collections of object identifiers and
+// returns the set of objects; "if both arguments are lists, union
+// corresponds to array concatenation" (Table 4).
+func (a *Algebra) Union(x, y *Collection) (*Collection, error) {
+	kind, err := setOpKind(x.Kind, y.Kind)
+	if err != nil {
+		return nil, err
+	}
+	out := &Collection{Kind: kind, Name: x.Name, Class: x.Class}
+	if kind == ListKind {
+		// Array concatenation, duplicates preserved.
+		out.Rows = append(out.Rows, x.Rows...)
+		for _, r := range y.Rows {
+			out.Rows = append(out.Rows, reboundRow(r, y.Name, x.Name))
+		}
+		return out, nil
+	}
+	seen := map[storage.OID]bool{}
+	add := func(rows []Row, from string) {
+		for _, r := range rows {
+			b := r.Vars[from]
+			if seen[b.OID] {
+				continue
+			}
+			seen[b.OID] = true
+			out.Rows = append(out.Rows, reboundRow(r, from, x.Name))
+		}
+	}
+	add(x.Rows, x.Name)
+	add(y.Rows, y.Name)
+	return out, nil
+}
+
+// Intersection returns the objects common to both collections (Table 4).
+func (a *Algebra) Intersection(x, y *Collection) (*Collection, error) {
+	kind, err := setOpKind(x.Kind, y.Kind)
+	if err != nil {
+		return nil, err
+	}
+	out := &Collection{Kind: kind, Name: x.Name, Class: x.Class}
+	inY := map[storage.OID]bool{}
+	for _, r := range y.Rows {
+		inY[r.Vars[y.Name].OID] = true
+	}
+	emitted := map[storage.OID]bool{}
+	for _, r := range x.Rows {
+		oid := r.Vars[x.Name].OID
+		if !inY[oid] {
+			continue
+		}
+		if kind == SetKind {
+			if emitted[oid] {
+				continue
+			}
+			emitted[oid] = true
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, nil
+}
+
+// Difference returns the objects in x but not in y (Table 4).
+func (a *Algebra) Difference(x, y *Collection) (*Collection, error) {
+	kind, err := setOpKind(x.Kind, y.Kind)
+	if err != nil {
+		return nil, err
+	}
+	out := &Collection{Kind: kind, Name: x.Name, Class: x.Class}
+	inY := map[storage.OID]bool{}
+	for _, r := range y.Rows {
+		inY[r.Vars[y.Name].OID] = true
+	}
+	emitted := map[storage.OID]bool{}
+	for _, r := range x.Rows {
+		oid := r.Vars[x.Name].OID
+		if inY[oid] {
+			continue
+		}
+		if kind == SetKind {
+			if emitted[oid] {
+				continue
+			}
+			emitted[oid] = true
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, nil
+}
+
+// UnionRows merges two row sets over the same variable space without
+// duplicate elimination by OID tuple — the UNION that combines the
+// sub-access plans of the DNF AND-terms (Section 7). Duplicate rows
+// (identical bindings) are collapsed.
+func (a *Algebra) UnionRows(x, y *Collection) *Collection {
+	out := &Collection{Kind: x.Kind, Name: x.Name, Class: x.Class}
+	seen := map[string]bool{}
+	keyOf := func(r Row) string {
+		names := make([]string, 0, len(r.Vars))
+		for name := range r.Vars {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		key := ""
+		for _, name := range names {
+			key += fmt.Sprintf("%s=%d;", name, r.Vars[name].OID)
+		}
+		return key
+	}
+	for _, src := range [][]Row{x.Rows, y.Rows} {
+		for _, r := range src {
+			k := keyOf(r)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// reboundRow renames the distinguished binding of a row.
+func reboundRow(r Row, from, to string) Row {
+	if from == to {
+		return r
+	}
+	out := Row{Vars: make(map[string]Bound, len(r.Vars))}
+	for k, v := range r.Vars {
+		if k == from {
+			out.Vars[to] = v
+		} else {
+			out.Vars[k] = v
+		}
+	}
+	return out
+}

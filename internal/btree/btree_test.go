@@ -1,0 +1,362 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mood/internal/storage"
+)
+
+func newTree(t testing.TB, keySize int, unique bool) *Tree {
+	t.Helper()
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 64)
+	tr, err := New(bp, keySize, unique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func oidFor(i int) storage.OID {
+	return storage.MakeOID(1, storage.PageID(i/100+1), storage.SlotID(i%100))
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := newTree(t, 8, true)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(EncodeIntKey(int64(i)), oidFor(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got, err := tr.Search(EncodeIntKey(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != oidFor(i) {
+			t.Errorf("Search(%d) = %v", i, got)
+		}
+	}
+	if got, _ := tr.Search(EncodeIntKey(1000)); len(got) != 0 {
+		t.Errorf("Search(absent) = %v", got)
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestUniqueRejectsDuplicates(t *testing.T) {
+	tr := newTree(t, 8, true)
+	if err := tr.Insert(EncodeIntKey(7), oidFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(EncodeIntKey(7), oidFor(2)); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("duplicate insert = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTree(t, 8, false)
+	const dups = 500 // force duplicates to span several leaves
+	for i := 0; i < dups; i++ {
+		if err := tr.Insert(EncodeIntKey(42), oidFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Neighbours so the scan must isolate the run.
+	tr.Insert(EncodeIntKey(41), oidFor(9001))
+	tr.Insert(EncodeIntKey(43), oidFor(9002))
+	got, err := tr.Search(EncodeIntKey(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != dups {
+		t.Fatalf("Search dup key returned %d oids, want %d", len(got), dups)
+	}
+	seen := map[storage.OID]bool{}
+	for _, o := range got {
+		seen[o] = true
+	}
+	if len(seen) != dups {
+		t.Error("duplicate oids in result")
+	}
+}
+
+func TestSplitsAndStats(t *testing.T) {
+	tr := newTree(t, 16, true)
+	n := 20000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(EncodeIntKey(int64(i)), oidFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.Stats()
+	if st.Levels < 2 {
+		t.Errorf("Levels = %d after %d inserts", st.Levels, n)
+	}
+	if st.Leaves < 2 {
+		t.Errorf("Leaves = %d", st.Leaves)
+	}
+	if st.Entries != n {
+		t.Errorf("Entries = %d, want %d", st.Entries, n)
+	}
+	if st.KeySize != 16 || !st.Unique || st.Order <= 0 {
+		t.Errorf("stats block wrong: %+v", st)
+	}
+	// Every key findable after heavy splitting.
+	for i := 0; i < n; i += 97 {
+		got, err := tr.Search(EncodeIntKey(int64(i)))
+		if err != nil || len(got) != 1 || got[0] != oidFor(i) {
+			t.Fatalf("Search(%d) after splits = %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := newTree(t, 8, true)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(EncodeIntKey(int64(i*2)), oidFor(i)) // even keys only
+	}
+	var keys []int64
+	err := tr.Range(EncodeIntKey(100), EncodeIntKey(200), func(k []byte, _ storage.OID) bool {
+		keys = append(keys, DecodeIntKey(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 51 {
+		t.Fatalf("range [100,200] returned %d keys, want 51", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Error("range result not sorted")
+	}
+	if keys[0] != 100 || keys[len(keys)-1] != 200 {
+		t.Errorf("range bounds: %d..%d", keys[0], keys[len(keys)-1])
+	}
+	// Open-ended scans.
+	count := 0
+	tr.Range(nil, nil, func([]byte, storage.OID) bool { count++; return true })
+	if count != 1000 {
+		t.Errorf("full scan saw %d, want 1000", count)
+	}
+	// Early termination.
+	count = 0
+	tr.Range(nil, nil, func([]byte, storage.OID) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop saw %d", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 8, false)
+	for i := 0; i < 2000; i++ {
+		tr.Insert(EncodeIntKey(int64(i)), oidFor(i))
+	}
+	for i := 0; i < 2000; i += 2 {
+		if err := tr.Delete(EncodeIntKey(int64(i)), oidFor(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Errorf("Len after deletes = %d", tr.Len())
+	}
+	for i := 0; i < 2000; i++ {
+		got, _ := tr.Search(EncodeIntKey(int64(i)))
+		if i%2 == 0 && len(got) != 0 {
+			t.Errorf("deleted key %d still found", i)
+		}
+		if i%2 == 1 && len(got) != 1 {
+			t.Errorf("surviving key %d lost", i)
+		}
+	}
+	if err := tr.Delete(EncodeIntKey(4), oidFor(4)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v", err)
+	}
+	// Delete a specific oid out of a duplicate run.
+	tr2 := newTree(t, 8, false)
+	for i := 0; i < 10; i++ {
+		tr2.Insert(EncodeIntKey(5), oidFor(i))
+	}
+	if err := tr2.Delete(EncodeIntKey(5), oidFor(7)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tr2.Search(EncodeIntKey(5))
+	if len(got) != 9 {
+		t.Errorf("dup run has %d after targeted delete", len(got))
+	}
+	for _, o := range got {
+		if o == oidFor(7) {
+			t.Error("targeted oid still present")
+		}
+	}
+}
+
+func TestOpenRecomputesStats(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 64)
+	tr, err := New(bp, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		tr.Insert(EncodeIntKey(int64(i)), oidFor(i))
+	}
+	want := tr.Stats()
+	bp.FlushAll()
+
+	tr2, err := Open(storage.NewBufferPool(disk, 64), tr.Root(), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr2.Stats()
+	if got.Levels != want.Levels || got.Leaves != want.Leaves || got.Entries != want.Entries {
+		t.Errorf("reopened stats %+v, want %+v", got, want)
+	}
+	// And the reopened tree still answers queries.
+	res, err := tr2.Search(EncodeIntKey(4321))
+	if err != nil || len(res) != 1 || res[0] != oidFor(4321) {
+		t.Errorf("Search after reopen: %v %v", res, err)
+	}
+}
+
+func TestKeyTooLarge(t *testing.T) {
+	tr := newTree(t, 4, true)
+	if err := tr.Insert(bytes.Repeat([]byte{1}, 5), oidFor(1)); !errors.Is(err, ErrKeyTooLarge) {
+		t.Errorf("oversize key insert = %v", err)
+	}
+}
+
+func TestIntKeyOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := EncodeIntKey(a), EncodeIntKey(b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	g := func(a int64) bool { return DecodeIntKey(EncodeIntKey(a)) == a }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatKeyOrderPreserving(t *testing.T) {
+	vals := []float64{-1e300, -42.5, -1, -0.001, 0, 0.001, 1, 3.14, 42.5, 1e300}
+	for i := 0; i < len(vals)-1; i++ {
+		a, b := EncodeFloatKey(vals[i]), EncodeFloatKey(vals[i+1])
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("EncodeFloatKey order broken between %v and %v", vals[i], vals[i+1])
+		}
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	tr := newTree(t, 8, false)
+	ref := map[int64][]storage.OID{}
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 20000; step++ {
+		k := int64(rng.Intn(500))
+		if rng.Intn(3) != 0 || len(ref[k]) == 0 {
+			oid := storage.OID(rng.Uint64() | 1)
+			if err := tr.Insert(EncodeIntKey(k), oid); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = append(ref[k], oid)
+		} else {
+			victim := ref[k][rng.Intn(len(ref[k]))]
+			if err := tr.Delete(EncodeIntKey(k), victim); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			for i, o := range ref[k] {
+				if o == victim {
+					ref[k] = append(ref[k][:i], ref[k][i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for k, want := range ref {
+		got, err := tr.Search(EncodeIntKey(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("key %d: %d oids, want %d", k, len(got), len(want))
+			continue
+		}
+		w := map[storage.OID]int{}
+		for _, o := range want {
+			w[o]++
+		}
+		for _, o := range got {
+			w[o]--
+		}
+		for o, c := range w {
+			if c != 0 {
+				t.Errorf("key %d: oid %v imbalance %d", k, o, c)
+			}
+		}
+	}
+	// Global order invariant via full scan.
+	var prev []byte
+	tr.Range(nil, nil, func(k []byte, _ storage.OID) bool {
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			t.Error("scan order violated")
+			return false
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr := newTree(b, 8, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(EncodeIntKey(int64(i)), oidFor(i))
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	tr := newTree(b, 8, true)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(EncodeIntKey(int64(i)), oidFor(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(EncodeIntKey(int64(i % 100000)))
+	}
+}
+
+func ExampleTree_Range() {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 16)
+	tr, _ := New(bp, 8, true)
+	for i := 1; i <= 5; i++ {
+		tr.Insert(EncodeIntKey(int64(i*10)), storage.MakeOID(1, 1, storage.SlotID(i)))
+	}
+	tr.Range(EncodeIntKey(20), EncodeIntKey(40), func(k []byte, oid storage.OID) bool {
+		fmt.Println(DecodeIntKey(k), oid)
+		return true
+	})
+	// Output:
+	// 20 oid(1.1.2)
+	// 30 oid(1.1.3)
+	// 40 oid(1.1.4)
+}

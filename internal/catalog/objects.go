@@ -1,0 +1,216 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// Stored object format: uvarint class id ++ encoded value. Carrying the
+// class id with every object is what lets the kernel "identify type and
+// value of an object in the system at run-time using the MOOD Catalog"
+// (Section 9.4).
+
+func encodeObject(classID int, v object.Value) []byte {
+	buf := binary.AppendUvarint(nil, uint64(classID))
+	return object.Encode(buf, v)
+}
+
+func decodeObject(data []byte) (int, object.Value, error) {
+	id, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, object.Null, fmt.Errorf("catalog: corrupt object header")
+	}
+	v, err := object.Unmarshal(data[n:])
+	return int(id), v, err
+}
+
+// CreateObject inserts a new instance of the class into its extent,
+// type-checking it against the class's full (inherited) attribute set, and
+// maintains every index on the class. It returns the object identifier.
+func (c *Catalog) CreateObject(class string, v object.Value) (storage.OID, error) {
+	cl, err := c.Class(class)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	if !cl.IsClass {
+		return storage.NilOID, fmt.Errorf("catalog: %s is a type; only classes have extents", class)
+	}
+	full, err := c.fullTuple(class)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	if err := full.Check(v); err != nil {
+		return storage.NilOID, err
+	}
+	oid, err := c.store.Insert(cl.extent, encodeObject(cl.ID, v))
+	if err != nil {
+		return storage.NilOID, err
+	}
+	if err := c.indexInsert(class, v, oid); err != nil {
+		return storage.NilOID, err
+	}
+	return oid, nil
+}
+
+// fullTuple builds the tuple type of the class including inherited fields.
+func (c *Catalog) fullTuple(class string) (*object.Type, error) {
+	attrs, err := c.AllAttributes(class)
+	if err != nil {
+		return nil, err
+	}
+	return &object.Type{Kind: object.KindTuple, Fields: attrs, Name: class}, nil
+}
+
+// GetObject dereferences an OID — the algebra's Deref(oid) — returning the
+// stored value and the name of its class (TypeId/typeName composition).
+func (c *Catalog) GetObject(oid storage.OID) (object.Value, string, error) {
+	data, err := c.store.Get(oid)
+	if err != nil {
+		return object.Null, "", err
+	}
+	id, v, err := decodeObject(data)
+	if err != nil {
+		return object.Null, "", err
+	}
+	name, err := c.TypeName(id)
+	if err != nil {
+		return object.Null, "", err
+	}
+	return v, name, nil
+}
+
+// Resolver returns an object.Resolver over this catalog for deep equality.
+func (c *Catalog) Resolver() object.Resolver {
+	return func(oid storage.OID) (object.Value, error) {
+		v, _, err := c.GetObject(oid)
+		return v, err
+	}
+}
+
+// UpdateObject replaces the object's value in place (stable OID), keeping
+// indexes in sync.
+func (c *Catalog) UpdateObject(oid storage.OID, v object.Value) error {
+	old, class, err := c.GetObject(oid)
+	if err != nil {
+		return err
+	}
+	full, err := c.fullTuple(class)
+	if err != nil {
+		return err
+	}
+	if err := full.Check(v); err != nil {
+		return err
+	}
+	cl, err := c.Class(class)
+	if err != nil {
+		return err
+	}
+	if err := c.indexDelete(class, old, oid); err != nil {
+		return err
+	}
+	if err := c.store.Update(oid, encodeObject(cl.ID, v)); err != nil {
+		return err
+	}
+	return c.indexInsert(class, v, oid)
+}
+
+// DeleteObject removes the object from its extent and indexes.
+func (c *Catalog) DeleteObject(oid storage.OID) error {
+	old, class, err := c.GetObject(oid)
+	if err != nil {
+		return err
+	}
+	if err := c.indexDelete(class, old, oid); err != nil {
+		return err
+	}
+	return c.store.Delete(oid)
+}
+
+// ScanExtent iterates the direct extent of one class (no subclasses),
+// calling fn with each object's OID and value.
+func (c *Catalog) ScanExtent(class string, fn func(storage.OID, object.Value) bool) error {
+	cl, err := c.Class(class)
+	if err != nil {
+		return err
+	}
+	if cl.extent == nil {
+		return fmt.Errorf("catalog: %s has no extent", class)
+	}
+	var derr error
+	err = c.store.Scan(cl.extent, func(oid storage.OID, data []byte) bool {
+		_, v, err := decodeObject(data)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(oid, v)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+// ScanClosure iterates the extents of the class and all its subclasses —
+// the IS-A semantics of "FROM EVERY C" — excluding any classes in minus
+// (the paper's "Automobile - JapaneseAuto" FROM-clause operator). Excluding
+// a class excludes its whole subtree.
+func (c *Catalog) ScanClosure(class string, minus []string, fn func(storage.OID, object.Value) bool) error {
+	closure, err := c.Closure(class)
+	if err != nil {
+		return err
+	}
+	excluded := map[string]bool{}
+	for _, m := range minus {
+		sub, err := c.Closure(m)
+		if err != nil {
+			return err
+		}
+		for _, s := range sub {
+			excluded[s] = true
+		}
+	}
+	stop := false
+	for _, name := range closure {
+		if excluded[name] || stop {
+			continue
+		}
+		if err := c.ScanExtent(name, func(oid storage.OID, v object.Value) bool {
+			if !fn(oid, v) {
+				stop = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtentCount returns |C| for the class's direct extent.
+func (c *Catalog) ExtentCount(class string) (int, error) {
+	cl, err := c.Class(class)
+	if err != nil {
+		return 0, err
+	}
+	if cl.extent == nil {
+		return 0, nil
+	}
+	return cl.extent.NumRecords(), nil
+}
+
+// ExtentPages returns nbpages(C) for the class's direct extent.
+func (c *Catalog) ExtentPages(class string) (int, error) {
+	cl, err := c.Class(class)
+	if err != nil {
+		return 0, err
+	}
+	if cl.extent == nil {
+		return 0, nil
+	}
+	return cl.extent.NumPages(), nil
+}

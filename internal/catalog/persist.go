@@ -1,0 +1,318 @@
+package catalog
+
+import (
+	"fmt"
+
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// The catalog persists itself into two system files (Figure 2.2 shows the
+// catalog stored on ESM): SYS.MoodsType holds one record per class/type with
+// its attributes (MoodsAttribute) and method signatures (MoodsFunction)
+// nested inside; SYS.MoodsIndex holds one record per secondary index.
+// Records are ordinary encoded object values, so the catalog is browsable
+// with the same machinery as user data — exactly how MoodView uses it.
+
+// typeToValue encodes a type descriptor as a value.
+func typeToValue(t *object.Type) object.Value {
+	if t == nil {
+		return object.Null
+	}
+	v := object.NewTuple(
+		[]string{"kind", "name", "strlen", "target"},
+		[]object.Value{
+			object.NewInt(int32(t.Kind)),
+			object.NewString(t.Name),
+			object.NewInt(int32(t.StrLen)),
+			object.NewString(t.Target),
+		},
+	)
+	if t.Elem != nil {
+		v.SetField("elem", typeToValue(t.Elem))
+	}
+	if len(t.Fields) > 0 {
+		fl := object.Value{Kind: object.KindList}
+		for _, f := range t.Fields {
+			fl.Append(object.NewTuple(
+				[]string{"name", "type"},
+				[]object.Value{object.NewString(f.Name), typeToValue(f.Type)},
+			))
+		}
+		v.SetField("fields", fl)
+	}
+	return v
+}
+
+// valueToType decodes a type descriptor.
+func valueToType(v object.Value) (*object.Type, error) {
+	if v.IsNull() {
+		return nil, nil
+	}
+	kindV, _ := v.Field("kind")
+	nameV, _ := v.Field("name")
+	lenV, _ := v.Field("strlen")
+	targetV, _ := v.Field("target")
+	t := &object.Type{
+		Kind:   object.Kind(kindV.Int),
+		Name:   nameV.Str,
+		StrLen: int(lenV.Int),
+		Target: targetV.Str,
+	}
+	if ev, ok := v.Field("elem"); ok && !ev.IsNull() {
+		elem, err := valueToType(ev)
+		if err != nil {
+			return nil, err
+		}
+		t.Elem = elem
+	}
+	if fl, ok := v.Field("fields"); ok {
+		for _, fv := range fl.Elems {
+			fn, _ := fv.Field("name")
+			ft, _ := fv.Field("type")
+			ty, err := valueToType(ft)
+			if err != nil {
+				return nil, err
+			}
+			t.Fields = append(t.Fields, object.Field{Name: fn.Str, Type: ty})
+		}
+	}
+	return t, nil
+}
+
+func methodToValue(m *MethodSig) object.Value {
+	pn := object.Value{Kind: object.KindList}
+	pt := object.Value{Kind: object.KindList}
+	for i := range m.ParamNames {
+		pn.Append(object.NewString(m.ParamNames[i]))
+		pt.Append(typeToValue(m.ParamTypes[i]))
+	}
+	return object.NewTuple(
+		[]string{"name", "paramNames", "paramTypes", "returnType"},
+		[]object.Value{object.NewString(m.Name), pn, pt, typeToValue(m.ReturnType)},
+	)
+}
+
+func valueToMethod(class string, v object.Value) (*MethodSig, error) {
+	nameV, _ := v.Field("name")
+	m := &MethodSig{Class: class, Name: nameV.Str}
+	pn, _ := v.Field("paramNames")
+	pt, _ := v.Field("paramTypes")
+	for i := range pn.Elems {
+		m.ParamNames = append(m.ParamNames, pn.Elems[i].Str)
+		ty, err := valueToType(pt.Elems[i])
+		if err != nil {
+			return nil, err
+		}
+		m.ParamTypes = append(m.ParamTypes, ty)
+	}
+	rv, _ := v.Field("returnType")
+	rt, err := valueToType(rv)
+	if err != nil {
+		return nil, err
+	}
+	m.ReturnType = rt
+	return m, nil
+}
+
+func classToValue(cl *Class) object.Value {
+	supers := object.Value{Kind: object.KindList}
+	for _, s := range cl.Supers {
+		supers.Append(object.NewString(s))
+	}
+	methods := object.Value{Kind: object.KindList}
+	for _, m := range cl.Methods {
+		methods.Append(methodToValue(m))
+	}
+	return object.NewTuple(
+		[]string{"id", "name", "isClass", "tuple", "supers", "methods"},
+		[]object.Value{
+			object.NewInt(int32(cl.ID)),
+			object.NewString(cl.Name),
+			object.NewBool(cl.IsClass),
+			typeToValue(cl.Tuple),
+			supers,
+			methods,
+		},
+	)
+}
+
+// persistClass writes or rewrites the class's catalog record.
+func (c *Catalog) persistClass(cl *Class) error {
+	data := object.Marshal(classToValue(cl))
+	if oid, ok := c.sysOIDs[cl.Name]; ok {
+		return c.store.Update(oid, data)
+	}
+	oid, err := c.store.Insert(c.sysFile, data)
+	if err != nil {
+		return err
+	}
+	c.sysOIDs[cl.Name] = oid
+	return nil
+}
+
+func indexToValue(ix *Index) object.Value {
+	return object.NewTuple(
+		[]string{"name", "class", "attribute", "kind", "unique", "keySize"},
+		[]object.Value{
+			object.NewString(ix.Name),
+			object.NewString(ix.Class),
+			object.NewString(ix.Attribute),
+			object.NewInt(int32(ix.Kind)),
+			object.NewBool(ix.Unique),
+			object.NewInt(int32(ix.KeySize)),
+		},
+	)
+}
+
+func (c *Catalog) persistIndex(ix *Index) error {
+	data := object.Marshal(indexToValue(ix))
+	if oid, ok := c.idxOIDs[ix.Name]; ok {
+		return c.store.Update(oid, data)
+	}
+	oid, err := c.store.Insert(c.idxFile, data)
+	if err != nil {
+		return err
+	}
+	c.idxOIDs[ix.Name] = oid
+	return nil
+}
+
+// Open reloads a catalog previously created over the same store. Class
+// definitions and index metadata are read back from the system files;
+// indexes are rebuilt from the extents (index pages are not WAL-protected,
+// so a rebuild is the recovery story for them).
+func Open(store *storage.ObjectStore) (*Catalog, error) {
+	return open(store, true)
+}
+
+// OpenLite reloads the catalog without rebuilding secondary indexes: a
+// read-only view suitable for measurement harnesses that re-open the disk
+// behind a deliberately tiny buffer pool (index rebuilds need several
+// pinned pages at once). Index metadata records are left untouched on disk.
+func OpenLite(store *storage.ObjectStore) (*Catalog, error) {
+	return open(store, false)
+}
+
+func open(store *storage.ObjectStore, rebuildIndexes bool) (*Catalog, error) {
+	c := &Catalog{
+		store:   store,
+		classes: make(map[string]*Class),
+		byID:    make(map[int]*Class),
+		nextID:  1,
+		indexes: make(map[string]*Index),
+		sysOIDs: make(map[string]storage.OID),
+		idxOIDs: make(map[string]storage.OID),
+	}
+	var err error
+	if c.sysFile, err = store.Files().OpenFile("SYS.MoodsType"); err != nil {
+		return nil, err
+	}
+	if c.idxFile, err = store.Files().OpenFile("SYS.MoodsIndex"); err != nil {
+		return nil, err
+	}
+	var derr error
+	err = store.Scan(c.sysFile, func(oid storage.OID, data []byte) bool {
+		v, err := object.Unmarshal(data)
+		if err != nil {
+			derr = err
+			return false
+		}
+		cl, err := valueToClass(v)
+		if err != nil {
+			derr = err
+			return false
+		}
+		if cl.IsClass {
+			ext, err := store.Files().OpenFile("extent." + cl.Name)
+			if err != nil {
+				derr = fmt.Errorf("catalog: class %s lost its extent: %w", cl.Name, err)
+				return false
+			}
+			cl.extent = ext
+		}
+		c.classes[cl.Name] = cl
+		c.byID[cl.ID] = cl
+		c.sysOIDs[cl.Name] = oid
+		if cl.ID >= c.nextID {
+			c.nextID = cl.ID + 1
+		}
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if !rebuildIndexes {
+		return c, nil
+	}
+	// Reload index metadata, then rebuild each index from its extent.
+	type idxMeta struct {
+		oid storage.OID
+		val object.Value
+	}
+	var metas []idxMeta
+	err = store.Scan(c.idxFile, func(oid storage.OID, data []byte) bool {
+		v, err := object.Unmarshal(data)
+		if err != nil {
+			derr = err
+			return false
+		}
+		metas = append(metas, idxMeta{oid, v})
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range metas {
+		nameV, _ := m.val.Field("name")
+		classV, _ := m.val.Field("class")
+		attrV, _ := m.val.Field("attribute")
+		kindV, _ := m.val.Field("kind")
+		uniqueV, _ := m.val.Field("unique")
+		// Drop the stale record; CreateIndex re-persists.
+		if err := store.Delete(m.oid); err != nil {
+			return nil, err
+		}
+		if _, err := c.CreateIndex(nameV.Str, classV.Str, attrV.Str, IndexKind(kindV.Int), uniqueV.Bool()); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func valueToClass(v object.Value) (*Class, error) {
+	idV, _ := v.Field("id")
+	nameV, _ := v.Field("name")
+	isClassV, _ := v.Field("isClass")
+	tupleV, _ := v.Field("tuple")
+	tuple, err := valueToType(tupleV)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Class{
+		ID:      int(idV.Int),
+		Name:    nameV.Str,
+		IsClass: isClassV.Bool(),
+		Tuple:   tuple,
+	}
+	supersV, _ := v.Field("supers")
+	for _, s := range supersV.Elems {
+		cl.Supers = append(cl.Supers, s.Str)
+	}
+	methodsV, _ := v.Field("methods")
+	for _, mv := range methodsV.Elems {
+		m, err := valueToMethod(cl.Name, mv)
+		if err != nil {
+			return nil, err
+		}
+		cl.Methods = append(cl.Methods, m)
+	}
+	return cl, nil
+}

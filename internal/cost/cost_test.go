@@ -1,0 +1,438 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperStats builds the statistics base of Tables 13–15 (Example 8.1).
+func paperStats() *Stats {
+	s := NewStats(DefaultDisk())
+	s.SetClass(ClassStats{Name: "Vehicle", Card: 20000, NbPages: 2000, Size: 400})
+	s.SetClass(ClassStats{Name: "VehicleDriveTrain", Card: 10000, NbPages: 750, Size: 300})
+	s.SetClass(ClassStats{Name: "VehicleEngine", Card: 10000, NbPages: 5000, Size: 2000})
+	s.SetClass(ClassStats{Name: "Company", Card: 200000, NbPages: 2500, Size: 500})
+
+	s.SetAttr(AttrStats{Class: "VehicleEngine", Attribute: "cylinders", Dist: 16, Max: 32, Min: 2, NotNull: 1})
+	s.SetAttr(AttrStats{Class: "Company", Attribute: "name", Dist: 200000, NotNull: 1})
+
+	s.SetLink(LinkStats{Class: "Vehicle", Attribute: "drivetrain", Target: "VehicleDriveTrain",
+		Fan: 1, TotRef: 10000, TargetCard: 10000, NotNull: 1})
+	s.SetLink(LinkStats{Class: "Vehicle", Attribute: "manufacturer", Target: "Company",
+		Fan: 1, TotRef: 20000, TargetCard: 200000, NotNull: 1})
+	s.SetLink(LinkStats{Class: "VehicleDriveTrain", Attribute: "engine", Target: "VehicleEngine",
+		Fan: 1, TotRef: 10000, TargetCard: 10000, NotNull: 1})
+	return s
+}
+
+// pathP1 is Example 8.1's P1: v.drivetrain.engine.cylinders = 2.
+func pathP1() Path {
+	return Path{
+		Hops: []PathHop{
+			{Class: "Vehicle", Attribute: "drivetrain"},
+			{Class: "VehicleDriveTrain", Attribute: "engine"},
+		},
+		FinalClass: "VehicleEngine",
+		FinalAttr:  "cylinders",
+	}
+}
+
+// pathP2 is Example 8.1's P2: v.manufacturer.name = 'BMW' (the paper's query
+// writes v.company; Table 15 records the attribute as "manufacturer").
+func pathP2() Path {
+	return Path{
+		Hops:       []PathHop{{Class: "Vehicle", Attribute: "manufacturer"}},
+		FinalClass: "Company",
+		FinalAttr:  "name",
+	}
+}
+
+func TestTable15DerivedParameters(t *testing.T) {
+	s := paperStats()
+	// totlinks and hitprb as printed in Table 15.
+	cases := []struct {
+		class, attr      string
+		totlinks, hitprb float64
+	}{
+		{"Vehicle", "drivetrain", 20000, 1},
+		{"Vehicle", "manufacturer", 20000, 0.1},
+		{"VehicleDriveTrain", "engine", 10000, 1},
+	}
+	for _, c := range cases {
+		ls, err := s.Link(c.class, c.attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, _ := s.Class(c.class)
+		if got := ls.TotLinks(cs.Card); got != c.totlinks {
+			t.Errorf("totlinks(%s.%s) = %v, want %v", c.class, c.attr, got, c.totlinks)
+		}
+		if got := ls.HitPrb(); math.Abs(got-c.hitprb) > 1e-12 {
+			t.Errorf("hitprb(%s.%s) = %v, want %v", c.class, c.attr, got, c.hitprb)
+		}
+	}
+}
+
+func TestColorApproximation(t *testing.T) {
+	// The three regimes of c(n,m,r).
+	if got := C(1000, 100, 30); got != 30 { // r < m/2
+		t.Errorf("c small r = %v", got)
+	}
+	if got := C(1000, 100, 110); got != (110+100)/3.0 { // m/2 <= r < 2m
+		t.Errorf("c mid r = %v", got)
+	}
+	if got := C(1000, 100, 500); got != 100 { // r >= 2m
+		t.Errorf("c large r = %v", got)
+	}
+	if C(10, 10, 0) != 0 || C(10, 0, 5) != 0 {
+		t.Error("degenerate c not zero")
+	}
+	// Monotone non-decreasing in r; bounded by m.
+	f := func(m, r uint16) bool {
+		mm, rr := float64(m%1000)+1, float64(r%3000)
+		v := C(mm*10, mm, rr)
+		return v <= mm+1e-9 && v <= rr+mm // loose sanity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapProbability(t *testing.T) {
+	// o(t,x,y) = 1 - C(t-x,y)/C(t,y); with x = 1 it telescopes to y/t.
+	if got, want := O(10000, 1, 625), 0.0625; math.Abs(got-want) > 1e-12 {
+		t.Errorf("o(10000,1,625) = %v, want %v", got, want)
+	}
+	if got, want := O(20000, 1, 1), 5.0e-5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("o(20000,1,1) = %v, want %v", got, want)
+	}
+	// Fractional y rounds up to one object — the Example 8.1 anchor.
+	if got, want := O(20000, 1, 0.1), 5.0e-5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("o(20000,1,0.1) = %v, want %v", got, want)
+	}
+	// Certain overlap when the sets cannot be disjoint.
+	if got := O(10, 6, 6); got != 1 {
+		t.Errorf("o certain = %v", got)
+	}
+	// Probabilities stay in [0,1].
+	f := func(t8, x8, y8 uint8) bool {
+		tt := float64(t8) + 2
+		x := math.Mod(float64(x8), tt)
+		y := math.Mod(float64(y8), tt)
+		p := O(tt, x, y)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomicSelectivity(t *testing.T) {
+	a := AttrStats{Dist: 16, Max: 32, Min: 2}
+	if got := a.SelEq(); got != 1.0/16 {
+		t.Errorf("SelEq = %v", got)
+	}
+	if got := a.SelGt(17); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SelGt(17) = %v", got)
+	}
+	if got := a.SelLt(17); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SelLt(17) = %v", got)
+	}
+	if got := a.SelBetween(2, 17); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SelBetween = %v", got)
+	}
+	// Clamping outside the domain.
+	if a.SelGt(100) != 0 || a.SelGt(-100) != 1 {
+		t.Error("SelGt clamping broken")
+	}
+	if got := a.Selectivity(CmpNe, 5, 0); math.Abs(got-(1-1.0/16)) > 1e-12 {
+		t.Errorf("CmpNe = %v", got)
+	}
+	// Degenerate dist.
+	if (AttrStats{Dist: 0}).SelEq() != 1 {
+		t.Error("dist=0 selectivity")
+	}
+}
+
+func TestExample81Selectivities(t *testing.T) {
+	s := paperStats()
+	// Table 16 prints f_s(P1) = 6.25e-2 and f_s(P2) = 5.00e-5.
+	p1, err := s.PathSelectivity(pathP1(), CmpEq, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-6.25e-2) > 1e-12 {
+		t.Errorf("f_s(P1) = %v, want 6.25e-2 (paper Table 16)", p1)
+	}
+	p2, err := s.PathSelectivity(pathP2(), CmpEq, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2-5.00e-5) > 1e-12 {
+		t.Errorf("f_s(P2) = %v, want 5.00e-5 (paper Table 16)", p2)
+	}
+}
+
+func TestFRef(t *testing.T) {
+	s := paperStats()
+	// Starting from one vehicle, each hop reaches one object (fan 1).
+	for hops := 0; hops <= 2; hops++ {
+		got, err := s.FRef(pathP1(), hops, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Errorf("fref(%d hops, 1) = %v, want 1", hops, got)
+		}
+	}
+	// Starting from the whole extent the chain saturates at totref.
+	got, err := s.FRef(pathP1(), 1, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10000 { // c(20000, 10000, 20000): r >= 2m -> m
+		t.Errorf("fref(1 hop, 20000) = %v, want 10000", got)
+	}
+}
+
+func TestFileOperationCosts(t *testing.T) {
+	d := DefaultDisk()
+	if got, want := d.SEQCOST(100), d.S+d.R+100*d.EBT; got != want {
+		t.Errorf("SEQCOST = %v want %v", got, want)
+	}
+	if got, want := d.RNDCOST(100), 100*(d.S+d.R+d.BTT); got != want {
+		t.Errorf("RNDCOST = %v want %v", got, want)
+	}
+	if d.SEQCOST(0) != 0 || d.RNDCOST(0) != 0 {
+		t.Error("zero-page costs nonzero")
+	}
+	// Sequential beats random for multi-page reads.
+	if d.SEQCOST(50) >= d.RNDCOST(50) {
+		t.Error("SEQCOST(50) >= RNDCOST(50)")
+	}
+}
+
+func TestINDCOSTAndRNGXCOST(t *testing.T) {
+	s := paperStats()
+	idx := BTreeStats{Order: 100, Levels: 3, Leaves: 500, KeySize: 8, Unique: true}
+	one := s.INDCOST(idx, 1)
+	if want := 3 * s.Disk.RNDCOST(1); one != want {
+		t.Errorf("INDCOST(1) = %v, want one page per level = %v", one, want)
+	}
+	many := s.INDCOST(idx, 100)
+	if many <= one {
+		t.Error("INDCOST not increasing in k")
+	}
+	// More keys than leaves: bounded by touching every page once per level sum.
+	huge := s.INDCOST(idx, 1e9)
+	if huge <= many {
+		t.Error("INDCOST not monotone")
+	}
+	if s.INDCOST(idx, 0) != 0 {
+		t.Error("INDCOST(0) != 0")
+	}
+	// Range scan cost is linear in the fraction.
+	full := s.RNGXCOST(idx, 1)
+	if want := 500 * (s.Disk.S + s.Disk.R + s.Disk.BTT); full != want {
+		t.Errorf("RNGXCOST(1) = %v, want %v", full, want)
+	}
+	if got := s.RNGXCOST(idx, 0.5); math.Abs(got-full/2) > 1e-9 {
+		t.Errorf("RNGXCOST(0.5) = %v", got)
+	}
+}
+
+func TestNbPg(t *testing.T) {
+	// k=1 touches exactly one page.
+	if got := NbPg(2000, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("NbPg(2000,1) = %v", got)
+	}
+	// Many picks approach all pages.
+	if got := NbPg(100, 100000); got < 99.9 {
+		t.Errorf("NbPg saturation = %v", got)
+	}
+	// Monotone in k, bounded by nbpages.
+	prev := 0.0
+	for k := 1.0; k < 10000; k *= 2 {
+		got := NbPg(500, k)
+		if got < prev || got > 500 {
+			t.Fatalf("NbPg not monotone/bounded at k=%v: %v", k, got)
+		}
+		prev = got
+	}
+}
+
+func TestJoinCostFormulas(t *testing.T) {
+	s := paperStats()
+	// Check the paper's literal Section 6 formulas on contiguous files;
+	// ESM file semantics are covered by TestESMFileSemantics.
+	s.ESMFiles = false
+	in := JoinInput{Class: "Vehicle", Attribute: "drivetrain", Kc: 20000, Kd: 10000}
+
+	fc, err := s.ForwardCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ftc = RNDCOST(nbpg_c) + RNDCOST(k_c * fan): k_c covers all pages.
+	wantF := s.Disk.RNDCOST(NbPg(2000, 20000)) + s.Disk.RNDCOST(20000)
+	if math.Abs(fc-wantF) > 1e-6 {
+		t.Errorf("ForwardCost = %v, want %v", fc, wantF)
+	}
+
+	bc, err := s.BackwardCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := s.Disk.SEQCOST(2000) + 20000*1*10000*CPUCost + s.Disk.SEQCOST(750)
+	if math.Abs(bc-wantB) > 1e-6 {
+		t.Errorf("BackwardCost = %v, want %v", bc, wantB)
+	}
+	// DAccessed removes the second scan.
+	in2 := in
+	in2.DAccessed = true
+	bc2, _ := s.BackwardCost(in2)
+	if math.Abs((bc-bc2)-s.Disk.SEQCOST(750)) > 1e-6 {
+		t.Errorf("DAccessed delta = %v", bc-bc2)
+	}
+
+	hc, err := s.HashPartitionCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := C(20000, 10000, 20000) // = 10000
+	wantH := 3*1.0*s.Disk.SEQCOST(2000) + s.Disk.RNDCOST(NbPg(750, alpha))
+	if math.Abs(hc-wantH) > 1e-6 {
+		t.Errorf("HashPartitionCost = %v, want %v", hc, wantH)
+	}
+
+	// Binary join index.
+	idx := BTreeStats{Order: 100, Levels: 3, Leaves: 200}
+	in3 := in
+	in3.BJIdx = &idx
+	jc, err := s.BJICost(in3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := s.INDCOST(idx, 50); jc != want {
+		t.Errorf("BJICost = %v, want %v", jc, want)
+	}
+	if c, _ := s.BJICost(in, 50); !math.IsInf(c, 1) {
+		t.Error("BJICost without index not infinite")
+	}
+}
+
+func TestBestJoinCrossover(t *testing.T) {
+	s := paperStats()
+	// A handful of vehicles already sitting in a temporary collection (as
+	// after a selection, like T1 in Example 8.1): forward traversal wins.
+	small := JoinInput{Class: "Vehicle", Attribute: "drivetrain", Kc: 3, Kd: 10000, CAccessed: true}
+	m, c, err := s.BestJoin(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != ForwardTraversal {
+		t.Errorf("small k_c best = %v (cost %v), want forward traversal", m, c)
+	}
+	// The same handful read from the base extent: the paper's hash-
+	// partition formula amortizes the scan by k_c/|C| and wins.
+	smallBase := small
+	smallBase.CAccessed = false
+	m, _, err = s.BestJoin(smallBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != HashPartition {
+		t.Errorf("small k_c from base extent best = %v, want hash partition", m)
+	}
+	// Joining the full extents: pointer chasing 20000 random pages loses to
+	// the scan-based strategies.
+	big := JoinInput{Class: "Vehicle", Attribute: "drivetrain", Kc: 20000, Kd: 10000}
+	m, _, err = s.BestJoin(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == ForwardTraversal {
+		t.Error("full-extent join still picks forward traversal")
+	}
+	// With a binary join index and tiny k, the index can win over forward
+	// traversal only if cheaper; just verify it is considered.
+	idx := BTreeStats{Order: 200, Levels: 2, Leaves: 100}
+	withIdx := JoinInput{Class: "Vehicle", Attribute: "drivetrain", Kc: 1, Kd: 1, BJIdx: &idx}
+	if _, _, err := s.BestJoin(withIdx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestESMFileSemantics(t *testing.T) {
+	s := paperStats()
+	if !s.ESMFiles {
+		t.Fatal("ESM file semantics off by default")
+	}
+	if got, want := s.ScanCost(2000), s.Disk.RNDCOST(2000); got != want {
+		t.Errorf("ESM ScanCost = %v, want RNDCOST %v", got, want)
+	}
+	s.ESMFiles = false
+	if got, want := s.ScanCost(2000), s.Disk.SEQCOST(2000); got != want {
+		t.Errorf("contiguous ScanCost = %v, want SEQCOST %v", got, want)
+	}
+}
+
+func TestPaperExamplesPickHashPartition(t *testing.T) {
+	// Under ESM semantics the paper's printed plans come out of BestJoin:
+	// Example 8.1's T1 (Vehicle joined to the selected Company) and
+	// Example 8.2's T1 (VehicleDriveTrain joined to the selected engines)
+	// both use HASH_PARTITION against base extents.
+	s := paperStats()
+	t1 := JoinInput{Class: "Vehicle", Attribute: "manufacturer", Kc: 20000, Kd: 1}
+	m, _, err := s.BestJoin(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != HashPartition {
+		t.Errorf("Example 8.1 T1 method = %v, want HASH_PARTITION", m)
+	}
+	t2 := JoinInput{Class: "VehicleDriveTrain", Attribute: "engine", Kc: 10000, Kd: 625}
+	m, _, err = s.BestJoin(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != HashPartition {
+		t.Errorf("Example 8.2 T1 method = %v, want HASH_PARTITION", m)
+	}
+	// The follow-up joins of Example 8.1 start from the materialized T1
+	// (a couple of vehicles): FORWARD_TRAVERSAL.
+	next := JoinInput{Class: "Vehicle", Attribute: "drivetrain", Kc: 2, Kd: 10000, CAccessed: true}
+	m, _, err = s.BestJoin(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != ForwardTraversal {
+		t.Errorf("Example 8.1 chained join = %v, want FORWARD_TRAVERSAL", m)
+	}
+}
+
+func TestPathTraversalCostOrdering(t *testing.T) {
+	s := paperStats()
+	// Example 8.1, Table 16: the optimizer must order P2 before P1 because
+	// F(P2)/(1-s2) < F(P1)/(1-s1). The absolute costs depend on the disk
+	// parameterisation (the paper omits its values); the ordering must not.
+	f1, err := s.PathTraversalCost(pathP1(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.PathTraversalCost(pathP2(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := s.PathSelectivity(pathP1(), CmpEq, 2, 0)
+	s2, _ := s.PathSelectivity(pathP2(), CmpEq, 0, 0)
+	r1 := f1 / (1 - s1)
+	r2 := f2 / (1 - s2)
+	if !(r2 < r1) {
+		t.Errorf("ordering violated: F2/(1-s2)=%v !< F1/(1-s1)=%v", r2, r1)
+	}
+	// P1 traverses one more hop than P2, so its raw cost is higher too.
+	if !(f2 < f1) {
+		t.Errorf("F(P2)=%v !< F(P1)=%v", f2, f1)
+	}
+}

@@ -1,0 +1,368 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"mood/internal/algebra"
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/object"
+	"mood/internal/optimizer"
+	"mood/internal/sql"
+	"mood/internal/stats"
+	"mood/internal/storage"
+	"mood/internal/vehicledb"
+)
+
+type fixture struct {
+	db  *vehicledb.DB
+	opt *optimizer.Optimizer
+	ex  *Executor
+}
+
+func setup(t testing.TB, cfg vehicledb.Config) *fixture {
+	t.Helper()
+	db, _, err := vehicledb.Build(cfg, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stats.Collect(db.Cat, cost.DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		db:  db,
+		opt: optimizer.New(db.Cat, st),
+		ex:  New(algebra.New(db.Cat)),
+	}
+}
+
+func (f *fixture) run(t testing.TB, query string) *Result {
+	t.Helper()
+	st, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := f.opt.Optimize(st.(*sql.Select))
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	coll, err := f.ex.Execute(plan)
+	if err != nil {
+		t.Fatalf("execute: %v\nplan:\n%s", err, optimizer.Render(plan))
+	}
+	return Extract(coll)
+}
+
+func defaultFixture(t testing.TB) *fixture {
+	return setup(t, vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 20, Seed: 5,
+	})
+}
+
+func TestSimpleSelection(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `SELECT v FROM Vehicle v WHERE v.id = 42`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	id, _ := res.Rows[0][0].Field("id")
+	if id.Int != 42 {
+		t.Errorf("id = %d", id.Int)
+	}
+	// Brute-force comparison on a range predicate.
+	res = f.run(t, `SELECT v FROM Vehicle v WHERE v.weight BETWEEN 1000 AND 1500`)
+	want := 0
+	f.db.Cat.ScanExtent("Vehicle", func(_ storage.OID, v object.Value) bool {
+		w, _ := v.Field("weight")
+		if w.Int >= 1000 && w.Int <= 1500 {
+			want++
+		}
+		return true
+	})
+	if len(res.Rows) != want {
+		t.Errorf("between rows = %d, want %d", len(res.Rows), want)
+	}
+}
+
+func TestExample82EndToEnd(t *testing.T) {
+	// The optimizer's Example 8.2 plan (two hash-partition joins) must
+	// produce exactly the vehicles whose engine has 2 cylinders.
+	f := defaultFixture(t)
+	res := f.run(t, `SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2`)
+	want := map[int64]bool{}
+	f.db.Cat.ScanExtent("Vehicle", func(_ storage.OID, v object.Value) bool {
+		dt, _ := v.Field("drivetrain")
+		dtv, _, _ := f.db.Cat.GetObject(dt.Ref)
+		eng, _ := dtv.Field("engine")
+		ev, _, _ := f.db.Cat.GetObject(eng.Ref)
+		cyl, _ := ev.Field("cylinders")
+		if cyl.Int == 2 {
+			id, _ := v.Field("id")
+			want[id.Int] = true
+		}
+		return true
+	})
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(want))
+	}
+	for _, row := range res.Rows {
+		id, _ := row[0].Field("id")
+		if !want[id.Int] {
+			t.Errorf("unexpected vehicle id %d", id.Int)
+		}
+	}
+}
+
+func TestExample81EndToEnd(t *testing.T) {
+	f := defaultFixture(t)
+	// Exactly one company is named BMW; vehicles referencing it cycle with
+	// period span=400, so vehicle 0 references company 0 = BMW.
+	res := f.run(t, `SELECT v FROM Vehicle v
+		WHERE v.manufacturer.name = 'BMW' AND v.drivetrain.engine.cylinders = 2`)
+	want := 0
+	f.db.Cat.ScanExtent("Vehicle", func(_ storage.OID, v object.Value) bool {
+		mf, _ := v.Field("manufacturer")
+		mv, _, _ := f.db.Cat.GetObject(mf.Ref)
+		name, _ := mv.Field("name")
+		if name.Str != "BMW" {
+			return true
+		}
+		dt, _ := v.Field("drivetrain")
+		dtv, _, _ := f.db.Cat.GetObject(dt.Ref)
+		eng, _ := dtv.Field("engine")
+		ev, _, _ := f.db.Cat.GetObject(eng.Ref)
+		cyl, _ := ev.Field("cylinders")
+		if cyl.Int == 2 {
+			want++
+		}
+		return true
+	})
+	if len(res.Rows) != want {
+		t.Errorf("rows = %d, want %d", len(res.Rows), want)
+	}
+}
+
+func TestSection31QueryEndToEnd(t *testing.T) {
+	// The paper's Section 3.1 query with IS-A ranges, a minus term, a path
+	// selection, an explicit join and an atomic selection.
+	f := setup(t, vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 20, Seed: 5, Subclasses: true,
+	})
+	res := f.run(t, `
+		SELECT c
+		FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v
+		WHERE c.drivetrain.transmission = 'AUTOMATIC'
+		AND c.drivetrain.engine = v
+		AND v.cylinders > 4`)
+
+	// Brute force over the Automobile closure minus JapaneseAuto.
+	want := 0
+	f.db.Cat.ScanClosure("Automobile", []string{"JapaneseAuto"}, func(_ storage.OID, v object.Value) bool {
+		dt, _ := v.Field("drivetrain")
+		dtv, _, _ := f.db.Cat.GetObject(dt.Ref)
+		tr, _ := dtv.Field("transmission")
+		if tr.Str != "AUTOMATIC" {
+			return true
+		}
+		eng, _ := dtv.Field("engine")
+		ev, _, _ := f.db.Cat.GetObject(eng.Ref)
+		cyl, _ := ev.Field("cylinders")
+		if cyl.Int > 4 {
+			want++
+		}
+		return true
+	})
+	if want == 0 {
+		t.Fatal("fixture produced no qualifying automobiles")
+	}
+	if len(res.Rows) != want {
+		t.Errorf("rows = %d, want %d", len(res.Rows), want)
+	}
+}
+
+func TestProjectionPaths(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `SELECT v.id, v.drivetrain.transmission AS trans FROM Vehicle v WHERE v.id < 3`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "id" || res.Columns[1] != "trans" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	for _, row := range res.Rows {
+		if row[1].Kind != object.KindString {
+			t.Errorf("trans = %s", row[1])
+		}
+	}
+}
+
+func TestDisjunctionUnion(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `SELECT v FROM Vehicle v WHERE v.id = 1 OR v.id = 2 OR v.id = 1`)
+	// UNION of the AND-term sub-plans removes duplicate bindings.
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d, want 2 (union dedup)", len(res.Rows))
+	}
+}
+
+func TestGroupByHavingOrderBy(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `
+		SELECT e.cylinders, COUNT(*) AS n, AVG(e.size) AS avgsize, MIN(e.size) AS lo, MAX(e.size) AS hi
+		FROM VehicleEngine e
+		GROUP BY e.cylinders
+		ORDER BY e.cylinders`)
+	if len(res.Rows) != 16 {
+		t.Fatalf("groups = %d, want 16", len(res.Rows))
+	}
+	prev := int64(-1)
+	total := int64(0)
+	for _, row := range res.Rows {
+		cyl := row[0].Int
+		if cyl <= prev {
+			t.Error("ORDER BY violated")
+		}
+		prev = cyl
+		total += row[1].Int
+		lo, _ := row[3].AsFloat()
+		hi, _ := row[4].AsFloat()
+		avg, _ := row[2].AsFloat()
+		if !(lo <= avg && avg <= hi) {
+			t.Errorf("cyl %d: min/avg/max inconsistent: %v %v %v", cyl, lo, avg, hi)
+		}
+	}
+	if total != 200 {
+		t.Errorf("counts sum to %d, want 200", total)
+	}
+	// HAVING filters groups; cylinders values 2..16 have 13 engines, the
+	// rest 12 (200 engines over 16 values).
+	res = f.run(t, `
+		SELECT e.cylinders, COUNT(*) AS n
+		FROM VehicleEngine e GROUP BY e.cylinders HAVING n > 12`)
+	if len(res.Rows) != 8 {
+		t.Errorf("groups with n>12 = %d, want 8", len(res.Rows))
+	}
+}
+
+func TestAggregateWithoutGroupBy(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `SELECT COUNT(*) AS n, SUM(e.size) AS total FROM VehicleEngine e`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].Int != 200 {
+		t.Errorf("count = %d", res.Rows[0][0].Int)
+	}
+	var want int64
+	f.db.Cat.ScanExtent("VehicleEngine", func(_ storage.OID, v object.Value) bool {
+		s, _ := v.Field("size")
+		want += s.Int
+		return true
+	})
+	if res.Rows[0][1].Int != want {
+		t.Errorf("sum = %d, want %d", res.Rows[0][1].Int, want)
+	}
+}
+
+func TestOrderByDescendingAndAlias(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `
+		SELECT e.cylinders, COUNT(*) AS n
+		FROM VehicleEngine e GROUP BY e.cylinders ORDER BY n DESC, e.cylinders`)
+	if len(res.Rows) != 16 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	prevN, prevCyl := int64(1<<62), int64(-1)
+	for _, row := range res.Rows {
+		n, cyl := row[1].Int, row[0].Int
+		if n > prevN {
+			t.Fatal("ORDER BY alias DESC violated")
+		}
+		if n == prevN && cyl <= prevCyl {
+			t.Fatal("secondary key violated")
+		}
+		prevN, prevCyl = n, cyl
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `SELECT DISTINCT v.drivetrain.transmission FROM Vehicle v`)
+	if len(res.Rows) != len(vehicledb.Transmissions) {
+		t.Errorf("distinct transmissions = %d, want %d", len(res.Rows), len(vehicledb.Transmissions))
+	}
+}
+
+func TestIndexedExecutionMatchesScan(t *testing.T) {
+	f := defaultFixture(t)
+	scan := f.run(t, `SELECT e FROM VehicleEngine e WHERE e.cylinders = 8`)
+	if _, err := f.db.Cat.CreateIndex("cyl", "VehicleEngine", "cylinders", catalog.BTreeIndex, false); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh the optimizer so it sees the index.
+	st, err := stats.Collect(f.db.Cat, cost.DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.opt = optimizer.New(f.db.Cat, st)
+	idx := f.run(t, `SELECT e FROM VehicleEngine e WHERE e.cylinders = 8`)
+	if len(idx.Rows) != len(scan.Rows) {
+		t.Errorf("indexed rows = %d, scan rows = %d", len(idx.Rows), len(scan.Rows))
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	f := setup(t, vehicledb.Config{
+		Vehicles: 5, DriveTrains: 5, Engines: 5, Companies: 5, Seed: 1,
+	})
+	res := f.run(t, `SELECT v.id, e.cylinders FROM Vehicle v, VehicleEngine e`)
+	if len(res.Rows) != 25 {
+		t.Errorf("cross rows = %d, want 25", len(res.Rows))
+	}
+}
+
+func TestMethodPredicateEndToEnd(t *testing.T) {
+	f := defaultFixture(t)
+	// Wire the method dispatcher: lbweight as in the paper.
+	f.ex.Alg.Invoke = func(self object.Value, _ storage.OID, method string, _ []object.Value) (object.Value, error) {
+		w, _ := self.Field("weight")
+		return object.NewInt(int32(float64(w.Int) * 2.2075)), nil
+	}
+	res := f.run(t, `SELECT v FROM Vehicle v WHERE v.lbweight() > 6000`)
+	want := 0
+	f.db.Cat.ScanExtent("Vehicle", func(_ storage.OID, v object.Value) bool {
+		w, _ := v.Field("weight")
+		if int32(float64(w.Int)*2.2075) > 6000 {
+			want++
+		}
+		return true
+	})
+	if len(res.Rows) != want || want == 0 {
+		t.Errorf("method predicate rows = %d, want %d", len(res.Rows), want)
+	}
+}
+
+func TestEmptyResultAndFalseWhere(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `SELECT v FROM Vehicle v WHERE v.id = -1`)
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	res = f.run(t, `SELECT v FROM Vehicle v WHERE 1 = 2`)
+	if len(res.Rows) != 0 {
+		t.Errorf("constant-false rows = %d", len(res.Rows))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	f := defaultFixture(t)
+	res := f.run(t, `SELECT v.id FROM Vehicle v WHERE v.id < 2 ORDER BY v.id`)
+	out := res.String()
+	if !strings.Contains(out, "id") || !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Errorf("String() = %q", out)
+	}
+}

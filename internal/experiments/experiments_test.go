@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallEnv builds a fast environment shared by the smoke tests.
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := BuildEnv(0.02) // 400 vehicles, 4000 companies
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestDefinitionalTables(t *testing.T) {
+	env := smallEnv(t)
+	var buf bytes.Buffer
+	if err := Table1(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Extent", "Set", "List", "NamedObj"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := Table2(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Named Obj.") {
+		t.Errorf("Table 2:\n%s", buf.String())
+	}
+	buf.Reset()
+	Tables3to7(&buf)
+	if !strings.Contains(buf.String(), "deep equality") {
+		t.Error("Tables 3-7 content missing")
+	}
+}
+
+func TestParameterTables(t *testing.T) {
+	env := smallEnv(t)
+	var buf bytes.Buffer
+	Table8(&buf, env)
+	if !strings.Contains(buf.String(), "Vehicle.drivetrain") {
+		t.Errorf("Table 8:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Table9(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "leaves(I)") {
+		t.Errorf("Table 9:\n%s", buf.String())
+	}
+	buf.Reset()
+	Table10(&buf, env)
+	if !strings.Contains(buf.String(), "block transfer time") {
+		t.Errorf("Table 10:\n%s", buf.String())
+	}
+	buf.Reset()
+	Tables13to15(&buf, env)
+	out := buf.String()
+	for _, want := range []string{"Table 13", "Table 14", "Table 15", "hitprb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Tables 13-15 missing %q", want)
+		}
+	}
+}
+
+func TestExampleTables(t *testing.T) {
+	env := smallEnv(t)
+	var buf bytes.Buffer
+	if err := Table16(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REPRODUCED: selectivities=true ordering=true") {
+		t.Errorf("Table 16 did not reproduce the paper's values:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Table17(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HASH_PARTITION") {
+		t.Errorf("Table 17:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Example81Plan(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "FORWARD_TRAVERSAL") < 3 { // 2 generated + paper text
+		t.Errorf("Example 8.1 plan:\n%s", out)
+	}
+	buf.Reset()
+	if err := Example82Plan(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "HASH_PARTITION") < 3 { // 2 generated + paper text
+		t.Errorf("Example 8.2 plan:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Tables11and12(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "Table 11") || !strings.Contains(out, "Table 12") {
+		t.Errorf("dictionaries:\n%s", out)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	env := smallEnv(t)
+	var buf bytes.Buffer
+	if err := Figure71(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GROUP(") {
+		t.Errorf("Figure 7.1:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Figure72(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "UNION(") {
+		t.Errorf("Figure 7.2:\n%s", buf.String())
+	}
+}
+
+func TestJoinMethodSweepShape(t *testing.T) {
+	env := smallEnv(t)
+	var buf bytes.Buffer
+	if err := JoinMethodSweep(&buf, env); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	// The paper's shape: forward wins at the smallest k_c; a scan-based
+	// method wins at full extent.
+	lines := strings.Split(out, "\n")
+	var winners []string
+	for _, l := range lines {
+		if strings.Contains(l, "predicted winner") {
+			winners = append(winners, l)
+		}
+	}
+	if len(winners) < 5 {
+		t.Fatalf("sweep rows missing:\n%s", out)
+	}
+	if !strings.Contains(winners[0], "measured winner forward") {
+		t.Errorf("small k_c measured winner not forward: %s", winners[0])
+	}
+	if strings.Contains(winners[len(winners)-1], "measured winner forward") {
+		t.Errorf("full-extent measured winner still forward: %s", winners[len(winners)-1])
+	}
+}
+
+func TestPathOrderingSweepGain(t *testing.T) {
+	env := smallEnv(t)
+	var buf bytes.Buffer
+	if err := PathOrderingSweep(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "speedup:") {
+		t.Fatalf("no speedup line:\n%s", out)
+	}
+	// The chosen order must not be slower.
+	var chosen, reverse float64
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "P2-first") {
+			fmtSscanfFloat(l, &chosen)
+		}
+		if strings.Contains(l, "P1-first") {
+			fmtSscanfFloat(l, &reverse)
+		}
+	}
+	if chosen <= 0 || reverse <= 0 {
+		t.Fatalf("could not parse timings:\n%s", out)
+	}
+	if chosen > reverse {
+		t.Errorf("Algorithm 8.1 order slower: %v > %v\n%s", chosen, reverse, out)
+	}
+}
+
+// fmtSscanfFloat pulls the first parseable float out of a line like
+// "P2-first (...):   123.4 ms ...".
+func fmtSscanfFloat(line string, out *float64) {
+	for _, tok := range strings.Fields(line) {
+		if v, err := strconv.ParseFloat(tok, 64); err == nil {
+			*out = v
+			return
+		}
+	}
+}
+
+func TestSelectivityAccuracy(t *testing.T) {
+	env := smallEnv(t)
+	var buf bytes.Buffer
+	if err := SelectivityAccuracy(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ratio") {
+		t.Errorf("accuracy table:\n%s", buf.String())
+	}
+}
+
+func TestIndexSelectionSweep(t *testing.T) {
+	env := smallEnv(t)
+	var buf bytes.Buffer
+	if err := IndexSelectionSweep(&buf, env); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "index") || !strings.Contains(out, "scan") {
+		t.Errorf("index sweep:\n%s", out)
+	}
+}

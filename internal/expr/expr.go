@@ -1,0 +1,544 @@
+// Package expr implements the MOODSQL interpreter's run-time-typed
+// expression evaluation (Section 2): "For interpretation of arithmetic and
+// Boolean expressions, the types of operands are necessary at run time...
+// The code ... mainly overloads addition, subtraction, multiplication,
+// division and mode operation operators in the order (+, -, *, /, %) for
+// arithmetic expressions. It evaluates AND, OR, NOT, and comparison
+// operators for Boolean expressions. Type checking and conversion of
+// results are performed at run-time."
+//
+// The OperandDataType behaviour is reproduced: Integer op Integer yields
+// Integer (C++ integer division), widening to LongInteger or Float happens
+// when either operand is wider, and results are cast to the destination
+// type on assignment.
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// Errors surfaced by evaluation.
+var (
+	ErrType       = errors.New("expr: type error")
+	ErrDivByZero  = errors.New("expr: division by zero")
+	ErrUnbound    = errors.New("expr: unbound variable")
+	ErrNullDeref  = errors.New("expr: dereference of null reference")
+	ErrNoSuchAttr = errors.New("expr: no such attribute")
+)
+
+// Env supplies the bindings and services an expression needs: range-variable
+// values, reference resolution (for path traversal), and method invocation
+// (for parameterless-method predicates and method calls).
+type Env struct {
+	Vars    map[string]object.Value
+	OIDs    map[string]storage.OID // the OID bound to each range variable, if any
+	Resolve object.Resolver
+	Invoke  func(self object.Value, selfOID storage.OID, method string, args []object.Value) (object.Value, error)
+}
+
+// Bind returns a copy of the environment with the variable bound.
+func (e *Env) Bind(name string, v object.Value, oid storage.OID) *Env {
+	out := &Env{
+		Vars:    make(map[string]object.Value, len(e.Vars)+1),
+		OIDs:    make(map[string]storage.OID, len(e.OIDs)+1),
+		Resolve: e.Resolve,
+		Invoke:  e.Invoke,
+	}
+	for k, v := range e.Vars {
+		out.Vars[k] = v
+	}
+	for k, o := range e.OIDs {
+		out.OIDs[k] = o
+	}
+	out.Vars[name] = v
+	out.OIDs[name] = oid
+	return out
+}
+
+// Expr is an evaluable expression node.
+type Expr interface {
+	Eval(env *Env) (object.Value, error)
+	String() string
+}
+
+// Const is a literal value.
+type Const struct{ Val object.Value }
+
+// Eval returns the literal.
+func (c *Const) Eval(*Env) (object.Value, error) { return c.Val, nil }
+
+func (c *Const) String() string { return c.Val.String() }
+
+// Var references a range variable.
+type Var struct{ Name string }
+
+// Eval looks the variable up in the environment.
+func (v *Var) Eval(env *Env) (object.Value, error) {
+	if env == nil || env.Vars == nil {
+		return object.Null, fmt.Errorf("%w: %s", ErrUnbound, v.Name)
+	}
+	val, ok := env.Vars[v.Name]
+	if !ok {
+		return object.Null, fmt.Errorf("%w: %s", ErrUnbound, v.Name)
+	}
+	return val, nil
+}
+
+func (v *Var) String() string { return v.Name }
+
+// Field accesses an attribute, dereferencing references transparently: this
+// node chains into the paper's path expressions (an implicit join per hop).
+type Field struct {
+	Base Expr
+	Name string
+}
+
+// Eval evaluates the base, chases a reference if necessary, and projects
+// the attribute. Accessing an attribute of a null value yields null (the
+// predicate then fails), matching SQL three-valued intuition without
+// aborting the scan.
+func (f *Field) Eval(env *Env) (object.Value, error) {
+	base, err := f.Base.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	if base.IsNull() {
+		return object.Null, nil
+	}
+	if base.Kind == object.KindReference {
+		if base.Ref.IsNil() {
+			return object.Null, nil
+		}
+		if env == nil || env.Resolve == nil {
+			return object.Null, fmt.Errorf("%w: no resolver for %s", ErrNullDeref, f)
+		}
+		base, err = env.Resolve(base.Ref)
+		if err != nil {
+			return object.Null, err
+		}
+	}
+	if base.Kind != object.KindTuple {
+		return object.Null, fmt.Errorf("%w: %s on %s value", ErrNoSuchAttr, f.Name, base.Kind)
+	}
+	out, ok := base.Field(f.Name)
+	if !ok {
+		return object.Null, nil // missing attribute reads as null
+	}
+	return out, nil
+}
+
+func (f *Field) String() string { return f.Base.String() + "." + f.Name }
+
+// Call invokes a member function on the base object (late-bound through the
+// Function Manager supplied in the environment).
+type Call struct {
+	Base   Expr
+	Method string
+	Args   []Expr
+}
+
+// Eval evaluates the receiver and arguments, then dispatches.
+func (c *Call) Eval(env *Env) (object.Value, error) {
+	if env == nil || env.Invoke == nil {
+		return object.Null, fmt.Errorf("expr: no method dispatcher for %s", c)
+	}
+	self, err := c.Base.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	var selfOID storage.OID
+	if self.Kind == object.KindReference {
+		selfOID = self.Ref
+		if env.Resolve != nil && !self.Ref.IsNil() {
+			if self, err = env.Resolve(self.Ref); err != nil {
+				return object.Null, err
+			}
+		}
+	} else if v, ok := c.Base.(*Var); ok && env.OIDs != nil {
+		selfOID = env.OIDs[v.Name]
+	}
+	args := make([]object.Value, len(c.Args))
+	for i, a := range c.Args {
+		if args[i], err = a.Eval(env); err != nil {
+			return object.Null, err
+		}
+	}
+	return env.Invoke(self, selfOID, c.Method, args)
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s.%s(%s)", c.Base, c.Method, strings.Join(parts, ", "))
+}
+
+// ArithOp enumerates the overloaded arithmetic operators, in the paper's
+// order: +, -, *, /, %.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (op ArithOp) String() string { return [...]string{"+", "-", "*", "/", "%"}[op] }
+
+// Arith applies an arithmetic operator with run-time type promotion.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval evaluates both sides and applies the operator. Integer (op) Integer
+// is integer arithmetic (truncating division, like the OperandDataType
+// example); if either side is Float the computation is carried out in
+// floating point; LongInteger widens Integer. String + String concatenates.
+func (a *Arith) Eval(env *Env) (object.Value, error) {
+	l, err := a.L.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	r, err := a.R.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return object.Null, nil
+	}
+	if a.Op == OpAdd && l.Kind == object.KindString && r.Kind == object.KindString {
+		return object.NewString(l.Str + r.Str), nil
+	}
+	li, lInt := l.AsInt()
+	ri, rInt := r.AsInt()
+	if lInt && rInt && l.Kind != object.KindFloat && r.Kind != object.KindFloat {
+		out, err := intArith(a.Op, li, ri)
+		if err != nil {
+			return object.Null, err
+		}
+		if l.Kind == object.KindLongInteger || r.Kind == object.KindLongInteger {
+			return object.NewLong(out), nil
+		}
+		return object.NewInt(int32(out)), nil
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return object.Null, fmt.Errorf("%w: %s %s %s", ErrType, l.Kind, a.Op, r.Kind)
+	}
+	switch a.Op {
+	case OpAdd:
+		return object.NewFloat(lf + rf), nil
+	case OpSub:
+		return object.NewFloat(lf - rf), nil
+	case OpMul:
+		return object.NewFloat(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return object.Null, ErrDivByZero
+		}
+		return object.NewFloat(lf / rf), nil
+	case OpMod:
+		return object.Null, fmt.Errorf("%w: %% needs integer operands", ErrType)
+	}
+	return object.Null, fmt.Errorf("expr: unknown operator %v", a.Op)
+}
+
+func intArith(op ArithOp, l, r int64) (int64, error) {
+	switch op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	case OpDiv:
+		if r == 0 {
+			return 0, ErrDivByZero
+		}
+		return l / r, nil
+	case OpMod:
+		if r == 0 {
+			return 0, ErrDivByZero
+		}
+		return l % r, nil
+	}
+	return 0, fmt.Errorf("expr: unknown operator %v", op)
+}
+
+func (a *Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+// Eval negates a numeric value.
+func (n *Neg) Eval(env *Env) (object.Value, error) {
+	v, err := n.E.Eval(env)
+	if err != nil || v.IsNull() {
+		return object.Null, err
+	}
+	switch v.Kind {
+	case object.KindInteger:
+		return object.NewInt(int32(-v.Int)), nil
+	case object.KindLongInteger:
+		return object.NewLong(-v.Int), nil
+	case object.KindFloat:
+		return object.NewFloat(-v.Flt), nil
+	}
+	return object.Null, fmt.Errorf("%w: -%s", ErrType, v.Kind)
+}
+
+func (n *Neg) String() string { return "-" + n.E.String() }
+
+// CmpOp enumerates the comparison operators of a simple predicate
+// <P1, theta, oprnd>: =, <>, >=, <=, >, <.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpGe
+	OpLe
+	OpGt
+	OpLt
+)
+
+func (op CmpOp) String() string { return [...]string{"=", "<>", ">=", "<=", ">", "<"}[op] }
+
+// Negate returns the complementary operator.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpGe:
+		return OpLt
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpLt:
+		return OpGe
+	}
+	return op
+}
+
+// Cmp compares two expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval performs the comparison; comparisons involving null are false (and
+// <> with null is also false, conservative three-valued logic collapsed to
+// two values, as a 1994 system would).
+func (c *Cmp) Eval(env *Env) (object.Value, error) {
+	l, err := c.L.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	r, err := c.R.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return object.NewBool(false), nil
+	}
+	// References compare by identity.
+	if l.Kind == object.KindReference || r.Kind == object.KindReference {
+		switch c.Op {
+		case OpEq:
+			return object.NewBool(object.Equal(l, r)), nil
+		case OpNe:
+			return object.NewBool(!object.Equal(l, r)), nil
+		default:
+			return object.Null, fmt.Errorf("%w: references only support = and <>", ErrType)
+		}
+	}
+	cmp, ok := object.Compare(l, r)
+	if !ok {
+		// Fall back to structural equality for collections/tuples.
+		if c.Op == OpEq {
+			return object.NewBool(object.Equal(l, r)), nil
+		}
+		if c.Op == OpNe {
+			return object.NewBool(!object.Equal(l, r)), nil
+		}
+		return object.Null, fmt.Errorf("%w: cannot order %s and %s", ErrType, l.Kind, r.Kind)
+	}
+	switch c.Op {
+	case OpEq:
+		return object.NewBool(cmp == 0), nil
+	case OpNe:
+		return object.NewBool(cmp != 0), nil
+	case OpGe:
+		return object.NewBool(cmp >= 0), nil
+	case OpLe:
+		return object.NewBool(cmp <= 0), nil
+	case OpGt:
+		return object.NewBool(cmp > 0), nil
+	case OpLt:
+		return object.NewBool(cmp < 0), nil
+	}
+	return object.Null, fmt.Errorf("expr: unknown comparison %v", c.Op)
+}
+
+func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// Between is "e BETWEEN lo AND hi", the predicate form the selectivity
+// formulas of Section 4.1 treat specially.
+type Between struct {
+	E, Lo, Hi Expr
+}
+
+// Eval checks lo <= e <= hi.
+func (b *Between) Eval(env *Env) (object.Value, error) {
+	low := &Cmp{Op: OpGe, L: b.E, R: b.Lo}
+	high := &Cmp{Op: OpLe, L: b.E, R: b.Hi}
+	return (&Logic{Op: OpAnd, L: low, R: high}).Eval(env)
+}
+
+func (b *Between) String() string { return fmt.Sprintf("%s BETWEEN %s AND %s", b.E, b.Lo, b.Hi) }
+
+// LogicOp enumerates AND and OR.
+type LogicOp uint8
+
+// Boolean connectives.
+const (
+	OpAnd LogicOp = iota
+	OpOr
+)
+
+func (op LogicOp) String() string {
+	if op == OpOr {
+		return "OR"
+	}
+	return "AND"
+}
+
+// Logic is a binary Boolean connective with short-circuit evaluation — the
+// behaviour §8.1's predicate ordering heuristic exploits ("analogous to
+// short circuiting used in compilers for Boolean expression evaluation").
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// Eval short-circuits: AND stops on false, OR stops on true.
+func (l *Logic) Eval(env *Env) (object.Value, error) {
+	lv, err := l.L.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	lb := lv.Bool()
+	if l.Op == OpAnd && !lb {
+		return object.NewBool(false), nil
+	}
+	if l.Op == OpOr && lb {
+		return object.NewBool(true), nil
+	}
+	rv, err := l.R.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	return object.NewBool(rv.Bool()), nil
+}
+
+func (l *Logic) String() string { return fmt.Sprintf("(%s %s %s)", l.L, l.Op, l.R) }
+
+// Not negates a Boolean expression.
+type Not struct{ E Expr }
+
+// Eval negates.
+func (n *Not) Eval(env *Env) (object.Value, error) {
+	v, err := n.E.Eval(env)
+	if err != nil {
+		return object.Null, err
+	}
+	return object.NewBool(!v.Bool()), nil
+}
+
+func (n *Not) String() string { return "NOT " + n.E.String() }
+
+// Path builds the nested Field chain for a path expression such as
+// v.drivetrain.engine.cylinders.
+func Path(varName string, attrs ...string) Expr {
+	var e Expr = &Var{Name: varName}
+	for _, a := range attrs {
+		e = &Field{Base: e, Name: a}
+	}
+	return e
+}
+
+// EvalBool evaluates e and coerces the result to a Go bool.
+func EvalBool(e Expr, env *Env) (bool, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}
+
+// Cast converts v to the destination type at run time, the
+// OperandDataType assignment behaviour ("result's type is casted to double
+// since z is double").
+func Cast(v object.Value, dst *object.Type) (object.Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch dst.Kind {
+	case object.KindInteger:
+		if i, ok := v.AsInt(); ok {
+			return object.NewInt(int32(i)), nil
+		}
+		if f, ok := v.AsFloat(); ok {
+			return object.NewInt(int32(f)), nil
+		}
+	case object.KindLongInteger:
+		if i, ok := v.AsInt(); ok {
+			return object.NewLong(i), nil
+		}
+		if f, ok := v.AsFloat(); ok {
+			return object.NewLong(int64(f)), nil
+		}
+	case object.KindFloat:
+		if f, ok := v.AsFloat(); ok {
+			return object.NewFloat(f), nil
+		}
+	case object.KindBoolean:
+		if v.Kind == object.KindBoolean {
+			return v, nil
+		}
+	case object.KindString:
+		if v.Kind == object.KindString {
+			if dst.StrLen > 0 && len(v.Str) > dst.StrLen {
+				return object.NewString(v.Str[:dst.StrLen]), nil
+			}
+			return v, nil
+		}
+	case object.KindChar:
+		if v.Kind == object.KindChar {
+			return v, nil
+		}
+		if i, ok := v.AsInt(); ok {
+			return object.NewChar(rune(i)), nil
+		}
+	default:
+		if v.Kind == dst.Kind {
+			return v, nil
+		}
+	}
+	return object.Null, fmt.Errorf("%w: cannot cast %s to %s", ErrType, v.Kind, dst)
+}

@@ -1,0 +1,299 @@
+package expr
+
+import (
+	"errors"
+	"testing"
+
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+func i(v int32) Expr      { return &Const{Val: object.NewInt(v)} }
+func f(v float64) Expr    { return &Const{Val: object.NewFloat(v)} }
+func s(v string) Expr     { return &Const{Val: object.NewString(v)} }
+func long(v int64) Expr   { return &Const{Val: object.NewLong(v)} }
+func boolean(v bool) Expr { return &Const{Val: object.NewBool(v)} }
+
+func eval(t *testing.T, e Expr, env *Env) object.Value {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestOperandDataTypeExample(t *testing.T) {
+	// The paper's Section 2 example:
+	//   OperandDataType x(INT16), y(INT32), z(DOUBLE);
+	//   x=10; y=13;
+	//   z = (x*3 + x%3) * (y/4*5)
+	// Integer arithmetic: x*3=30, x%3=1, sum=31; y/4=3 (truncating), *5=15;
+	// 31*15=465; assignment casts to double.
+	env := &Env{Vars: map[string]object.Value{
+		"x": object.NewInt(10),
+		"y": object.NewInt(13),
+	}}
+	e := &Arith{Op: OpMul,
+		L: &Arith{Op: OpAdd,
+			L: &Arith{Op: OpMul, L: &Var{Name: "x"}, R: i(3)},
+			R: &Arith{Op: OpMod, L: &Var{Name: "x"}, R: i(3)},
+		},
+		R: &Arith{Op: OpMul,
+			L: &Arith{Op: OpDiv, L: &Var{Name: "y"}, R: i(4)},
+			R: i(5),
+		},
+	}
+	v := eval(t, e, env)
+	if v.Kind != object.KindInteger || v.Int != 465 {
+		t.Errorf("expression = %s, want 465", v)
+	}
+	z, err := Cast(v, object.TFloat)
+	if err != nil || z.Kind != object.KindFloat || z.Flt != 465 {
+		t.Errorf("cast to double = %s %v", z, err)
+	}
+}
+
+func TestArithmeticPromotion(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		kind object.Kind
+		num  float64
+	}{
+		{&Arith{Op: OpAdd, L: i(2), R: i(3)}, object.KindInteger, 5},
+		{&Arith{Op: OpAdd, L: i(2), R: long(3)}, object.KindLongInteger, 5},
+		{&Arith{Op: OpAdd, L: i(2), R: f(0.5)}, object.KindFloat, 2.5},
+		{&Arith{Op: OpDiv, L: i(7), R: i(2)}, object.KindInteger, 3},
+		{&Arith{Op: OpDiv, L: f(7), R: i(2)}, object.KindFloat, 3.5},
+		{&Arith{Op: OpMod, L: i(7), R: i(4)}, object.KindInteger, 3},
+		{&Arith{Op: OpSub, L: i(2), R: i(5)}, object.KindInteger, -3},
+		{&Arith{Op: OpAdd, L: s("foo"), R: s("bar")}, object.KindString, 0},
+	}
+	for _, c := range cases {
+		v := eval(t, c.e, nil)
+		if v.Kind != c.kind {
+			t.Errorf("%s: kind %s, want %s", c.e, v.Kind, c.kind)
+			continue
+		}
+		if c.kind == object.KindString {
+			if v.Str != "foobar" {
+				t.Errorf("%s = %q", c.e, v.Str)
+			}
+			continue
+		}
+		got, _ := v.AsFloat()
+		if got != c.num {
+			t.Errorf("%s = %v, want %v", c.e, got, c.num)
+		}
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	if _, err := (&Arith{Op: OpDiv, L: i(1), R: i(0)}).Eval(nil); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("int div by zero = %v", err)
+	}
+	if _, err := (&Arith{Op: OpDiv, L: f(1), R: f(0)}).Eval(nil); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("float div by zero = %v", err)
+	}
+	if _, err := (&Arith{Op: OpMod, L: f(1), R: f(2)}).Eval(nil); !errors.Is(err, ErrType) {
+		t.Errorf("float mod = %v", err)
+	}
+	if _, err := (&Arith{Op: OpAdd, L: s("x"), R: i(1)}).Eval(nil); !errors.Is(err, ErrType) {
+		t.Errorf("string+int = %v", err)
+	}
+	if _, err := (&Var{Name: "missing"}).Eval(&Env{Vars: map[string]object.Value{}}); !errors.Is(err, ErrUnbound) {
+		t.Errorf("unbound = %v", err)
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	null := &Const{Val: object.Null}
+	if v := eval(t, &Arith{Op: OpAdd, L: null, R: i(1)}, nil); !v.IsNull() {
+		t.Error("null + 1 != null")
+	}
+	// Comparisons with null are false.
+	if v := eval(t, &Cmp{Op: OpEq, L: null, R: i(1)}, nil); v.Bool() {
+		t.Error("null = 1 is true")
+	}
+	if v := eval(t, &Cmp{Op: OpNe, L: null, R: i(1)}, nil); v.Bool() {
+		t.Error("null <> 1 is true")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r Expr
+		want bool
+	}{
+		{OpEq, i(1), i(1), true},
+		{OpNe, i(1), i(2), true},
+		{OpGt, i(5), i(4), true},
+		{OpLt, i(5), i(4), false},
+		{OpGe, i(4), i(4), true},
+		{OpLe, i(4), i(5), true},
+		{OpEq, s("AUTOMATIC"), s("AUTOMATIC"), true},
+		{OpLt, s("abc"), s("abd"), true},
+		{OpEq, f(2.0), i(2), true},
+	}
+	for _, c := range cases {
+		v := eval(t, &Cmp{Op: c.op, L: c.l, R: c.r}, nil)
+		if v.Bool() != c.want {
+			t.Errorf("%s %s %s = %v, want %v", c.l, c.op, c.r, v.Bool(), c.want)
+		}
+	}
+}
+
+func TestCmpNegate(t *testing.T) {
+	ops := []CmpOp{OpEq, OpNe, OpGe, OpLe, OpGt, OpLt}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negate of %s changed it", op)
+		}
+	}
+	// Semantics: x op y  XOR  x !op y for comparable values.
+	for _, op := range ops {
+		a := eval(t, &Cmp{Op: op, L: i(3), R: i(7)}, nil).Bool()
+		b := eval(t, &Cmp{Op: op.Negate(), L: i(3), R: i(7)}, nil).Bool()
+		if a == b {
+			t.Errorf("%s and its negation agree", op)
+		}
+	}
+}
+
+func TestLogicShortCircuit(t *testing.T) {
+	// The right side blows up if evaluated.
+	bomb := &Arith{Op: OpDiv, L: i(1), R: i(0)}
+	v := eval(t, &Logic{Op: OpAnd, L: boolean(false), R: bomb}, nil)
+	if v.Bool() {
+		t.Error("false AND x = true")
+	}
+	v = eval(t, &Logic{Op: OpOr, L: boolean(true), R: bomb}, nil)
+	if !v.Bool() {
+		t.Error("true OR x = false")
+	}
+	// Without short-circuit the bomb fires.
+	if _, err := (&Logic{Op: OpAnd, L: boolean(true), R: bomb}).Eval(nil); err == nil {
+		t.Error("true AND bomb did not evaluate the bomb")
+	}
+	if v := eval(t, &Not{E: boolean(false)}, nil); !v.Bool() {
+		t.Error("NOT false = false")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	b := &Between{E: i(5), Lo: i(1), Hi: i(10)}
+	if !eval(t, b, nil).Bool() {
+		t.Error("5 BETWEEN 1 AND 10 = false")
+	}
+	b = &Between{E: i(0), Lo: i(1), Hi: i(10)}
+	if eval(t, b, nil).Bool() {
+		t.Error("0 BETWEEN 1 AND 10 = true")
+	}
+}
+
+func TestPathTraversalDereferences(t *testing.T) {
+	// v.drivetrain.transmission with drivetrain a reference.
+	dtOID := storage.MakeOID(2, 1, 0)
+	store := map[storage.OID]object.Value{
+		dtOID: object.NewTuple([]string{"transmission"}, []object.Value{object.NewString("AUTOMATIC")}),
+	}
+	env := &Env{
+		Vars: map[string]object.Value{
+			"v": object.NewTuple([]string{"drivetrain"}, []object.Value{object.NewRef(dtOID)}),
+		},
+		Resolve: func(oid storage.OID) (object.Value, error) { return store[oid], nil },
+	}
+	e := &Cmp{Op: OpEq, L: Path("v", "drivetrain", "transmission"), R: s("AUTOMATIC")}
+	if !eval(t, e, env).Bool() {
+		t.Error("path predicate false")
+	}
+	// Null reference mid-path yields null, predicate false, no error.
+	env.Vars["v"] = object.NewTuple([]string{"drivetrain"}, []object.Value{object.NewRef(storage.NilOID)})
+	if eval(t, e, env).Bool() {
+		t.Error("null path compared true")
+	}
+	// Missing attribute reads as null.
+	env.Vars["v"] = object.NewTuple([]string{"other"}, []object.Value{object.NewInt(1)})
+	if eval(t, e, env).Bool() {
+		t.Error("missing attribute compared true")
+	}
+}
+
+func TestCallDispatch(t *testing.T) {
+	env := &Env{
+		Vars: map[string]object.Value{
+			"v": object.NewTuple([]string{"weight"}, []object.Value{object.NewInt(1000)}),
+		},
+		Invoke: func(self object.Value, _ storage.OID, method string, args []object.Value) (object.Value, error) {
+			if method != "lbweight" {
+				t.Errorf("method = %q", method)
+			}
+			w, _ := self.Field("weight")
+			return object.NewInt(int32(float64(w.Int) * 2.2075)), nil
+		},
+	}
+	e := &Cmp{Op: OpGt, L: &Call{Base: &Var{Name: "v"}, Method: "lbweight"}, R: i(2000)}
+	if !eval(t, e, env).Bool() {
+		t.Error("method predicate false")
+	}
+	// No dispatcher -> error.
+	if _, err := (&Call{Base: &Var{Name: "v"}, Method: "m"}).Eval(&Env{Vars: env.Vars}); err == nil {
+		t.Error("call without dispatcher succeeded")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v := eval(t, &Neg{E: i(5)}, nil); v.Int != -5 {
+		t.Errorf("-5 = %v", v)
+	}
+	if v := eval(t, &Neg{E: f(2.5)}, nil); v.Flt != -2.5 {
+		t.Errorf("-2.5 = %v", v)
+	}
+	if _, err := (&Neg{E: s("x")}).Eval(nil); !errors.Is(err, ErrType) {
+		t.Errorf("-string = %v", err)
+	}
+}
+
+func TestCast(t *testing.T) {
+	v, err := Cast(object.NewFloat(3.9), object.TInteger)
+	if err != nil || v.Int != 3 {
+		t.Errorf("float->int = %v %v", v, err)
+	}
+	v, err = Cast(object.NewInt(7), object.TFloat)
+	if err != nil || v.Flt != 7 {
+		t.Errorf("int->float = %v %v", v, err)
+	}
+	v, err = Cast(object.NewString("abcdef"), object.StringN(3))
+	if err != nil || v.Str != "abc" {
+		t.Errorf("string truncation = %v %v", v, err)
+	}
+	if _, err := Cast(object.NewString("x"), object.TInteger); err == nil {
+		t.Error("string->int accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := &Logic{Op: OpAnd,
+		L: &Cmp{Op: OpEq, L: Path("c", "drivetrain", "transmission"), R: s("AUTOMATIC")},
+		R: &Cmp{Op: OpGt, L: Path("v", "cylinders"), R: i(4)},
+	}
+	want := `(c.drivetrain.transmission = "AUTOMATIC" AND v.cylinders > 4)`
+	if got := e.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestEnvBind(t *testing.T) {
+	base := &Env{Vars: map[string]object.Value{"a": object.NewInt(1)}}
+	child := base.Bind("b", object.NewInt(2), storage.MakeOID(1, 1, 1))
+	if _, ok := base.Vars["b"]; ok {
+		t.Error("Bind mutated parent")
+	}
+	if v := child.Vars["a"]; v.Int != 1 {
+		t.Error("Bind lost parent bindings")
+	}
+	if child.OIDs["b"] != storage.MakeOID(1, 1, 1) {
+		t.Error("Bind lost OID")
+	}
+}

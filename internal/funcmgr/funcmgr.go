@@ -1,0 +1,248 @@
+// Package funcmgr implements the MOOD Function Manager (Section 2): the
+// component "responsible for adding, updating, deleting and invoking the
+// member functions of the classes". In the paper, method bodies are C++
+// source, pre-processed and compiled once into a per-class shared object and
+// dynamically linked (dld) when first invoked; the signature — class name
+// plus parameter list — locates the function in the catalog.
+//
+// Substitution: Go cannot compile and dlopen code at run time in an offline
+// sandbox, so bodies are Go closures registered against the same signatures.
+// Everything the design actually delivers is preserved:
+//
+//   - late binding — invocation resolves the method through the catalog's
+//     class hierarchy at call time, not at compile time;
+//   - run-time add/update/delete with no server restart — the registry
+//     mutates while the kernel runs, with the class's shared object locked
+//     exclusively during the rewrite (the paper: "we provide locking for
+//     this operation");
+//   - load-on-first-use — a function is "loaded into memory" on first
+//     invocation and stays loaded until its scope is closed;
+//   - Exception handling — panics in bodies surface as errors, "although
+//     the functions are compiled, their error messages are handled as if
+//     they are interpreted".
+package funcmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mood/internal/catalog"
+	"mood/internal/lock"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// Errors returned by the manager.
+var (
+	ErrNoSuchFunction = errors.New("funcmgr: no function registered for signature")
+	ErrBadArity       = errors.New("funcmgr: wrong number of arguments")
+)
+
+// Invocation is the context passed to a method body: the receiver, its OID,
+// the actual arguments, and a resolver for chasing references from inside
+// the body.
+type Invocation struct {
+	Self    object.Value
+	SelfOID storage.OID
+	Args    []object.Value
+	Resolve object.Resolver
+}
+
+// Arg returns the i-th argument or null.
+func (inv *Invocation) Arg(i int) object.Value {
+	if i < 0 || i >= len(inv.Args) {
+		return object.Null
+	}
+	return inv.Args[i]
+}
+
+// Body is a compiled member function.
+type Body func(inv *Invocation) (object.Value, error)
+
+type compiled struct {
+	sig    *catalog.MethodSig
+	body   Body
+	loaded bool // "loaded into memory" on first call
+}
+
+// Manager is the Function Manager.
+type Manager struct {
+	cat   *catalog.Catalog
+	locks *lock.Manager
+
+	mu    sync.RWMutex
+	funcs map[string]*compiled // by signature
+
+	compilations int64 // Register/Update calls — the "compile once" cost
+	loads        int64 // shared-object loads (first invocation)
+	invocations  int64
+}
+
+// New creates a Function Manager over the catalog. locks may be nil, in
+// which case shared-object locking is skipped (single-session use).
+func New(cat *catalog.Catalog, locks *lock.Manager) *Manager {
+	return &Manager{cat: cat, locks: locks, funcs: make(map[string]*compiled)}
+}
+
+// lockSharedObject takes the class's shared-object lock in the given mode
+// for the duration of fn. Transaction identity is per-operation here; the
+// kernel passes real transaction IDs through InvokeTx.
+func (m *Manager) lockSharedObject(tx lock.TxID, class string, mode lock.Mode, fn func() error) error {
+	if m.locks == nil {
+		return fn()
+	}
+	res := lock.ClassSharedObject(class)
+	if err := m.locks.Acquire(tx, res, mode); err != nil {
+		return err
+	}
+	defer m.locks.Release(tx, res)
+	return fn()
+}
+
+// Register adds a new member function. The signature must correspond to a
+// method declared on the class (the declaration is extracted into the
+// catalog; the body arrives separately, as in the paper's source
+// processing). Registering is the one-time "preprocess and compile" step;
+// the server keeps running, and the class's shared object is locked only
+// while the new function is written.
+func (m *Manager) Register(sig *catalog.MethodSig, body Body) error {
+	if body == nil {
+		return fmt.Errorf("funcmgr: nil body for %s", sig.Signature())
+	}
+	if _, err := m.cat.Method(sig.Class, sig.Name); err != nil {
+		return fmt.Errorf("funcmgr: %s not declared in catalog: %w", sig.Signature(), err)
+	}
+	return m.lockSharedObject(0, sig.Class, lock.ModeX, func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.funcs[sig.Signature()] = &compiled{sig: sig, body: body}
+		m.compilations++
+		return nil
+	})
+}
+
+// Update replaces the body of an existing function.
+func (m *Manager) Update(sig *catalog.MethodSig, body Body) error {
+	return m.lockSharedObject(0, sig.Class, lock.ModeX, func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		key := sig.Signature()
+		if _, ok := m.funcs[key]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchFunction, key)
+		}
+		m.funcs[key] = &compiled{sig: sig, body: body}
+		m.compilations++
+		return nil
+	})
+}
+
+// Delete removes a function.
+func (m *Manager) Delete(sig *catalog.MethodSig) error {
+	return m.lockSharedObject(0, sig.Class, lock.ModeX, func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		key := sig.Signature()
+		if _, ok := m.funcs[key]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchFunction, key)
+		}
+		delete(m.funcs, key)
+		return nil
+	})
+}
+
+// Invoke calls a method on an object of the given class with late binding:
+// the method is resolved through the class hierarchy at call time, its
+// signature locates the body, and the body runs under the paper's Exception
+// discipline (panics become errors).
+func (m *Manager) Invoke(class, method string, inv *Invocation) (object.Value, error) {
+	return m.InvokeTx(0, class, method, inv)
+}
+
+// InvokeTx is Invoke under an explicit transaction, taking the class
+// shared-object lock in shared mode so concurrent rewrites block.
+func (m *Manager) InvokeTx(tx lock.TxID, class, method string, inv *Invocation) (object.Value, error) {
+	sig, err := m.cat.Method(class, method)
+	if err != nil {
+		return object.Null, err
+	}
+	if inv == nil {
+		inv = &Invocation{}
+	}
+	if len(inv.Args) != len(sig.ParamTypes) {
+		return object.Null, fmt.Errorf("%w: %s takes %d, got %d",
+			ErrBadArity, sig.Signature(), len(sig.ParamTypes), len(inv.Args))
+	}
+	for i, pt := range sig.ParamTypes {
+		if err := pt.Check(inv.Args[i]); err != nil {
+			return object.Null, fmt.Errorf("funcmgr: argument %d of %s: %w", i, sig.Signature(), err)
+		}
+	}
+
+	var fn *compiled
+	err = m.lockSharedObject(tx, sig.Class, lock.ModeS, func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		c, ok := m.funcs[sig.Signature()]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchFunction, sig.Signature())
+		}
+		if !c.loaded {
+			c.loaded = true // open the shared object, load the symbol
+			m.loads++
+		}
+		m.invocations++
+		fn = c
+		return nil
+	})
+	if err != nil {
+		return object.Null, err
+	}
+
+	out, err := m.call(fn, inv)
+	if err != nil {
+		return object.Null, err
+	}
+	if sig.ReturnType != nil {
+		if cerr := sig.ReturnType.Check(out); cerr != nil {
+			return object.Null, fmt.Errorf("funcmgr: %s returned ill-typed value: %w", sig.Signature(), cerr)
+		}
+	}
+	return out, nil
+}
+
+// call runs the body, converting panics (the paper's "system errors,
+// including signals that terminate processes") into Exception errors.
+func (m *Manager) call(fn *compiled, inv *Invocation) (out object.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("funcmgr: exception in %s: %v", fn.sig.Signature(), r)
+		}
+	}()
+	return fn.body(inv)
+}
+
+// CloseScope unloads every loaded function ("function is kept in memory
+// until the scope changes in the program").
+func (m *Manager) CloseScope() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.funcs {
+		c.loaded = false
+	}
+}
+
+// Stats returns (compilations, loads, invocations).
+func (m *Manager) Stats() (compilations, loads, invocations int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.compilations, m.loads, m.invocations
+}
+
+// Registered reports whether a body exists for the signature.
+func (m *Manager) Registered(sig *catalog.MethodSig) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.funcs[sig.Signature()]
+	return ok
+}

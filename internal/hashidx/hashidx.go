@@ -1,0 +1,327 @@
+// Package hashidx implements an extendible hash index over the buffer pool:
+// the "hash indexing supported through the Exodus Storage Manager" that the
+// IndSel algebra operator uses for equality predicates. Keys are arbitrary
+// byte strings hashed with FNV-64; values are object identifiers. Duplicate
+// keys are allowed. Buckets are disk pages; the directory doubles as buckets
+// split, and lookups cost exactly one page access plus overflow hops, which
+// is what makes hash indexes the cheapest access path for "=" predicates in
+// the optimizer's §8.1 index-selection inequality.
+package hashidx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+
+	"mood/internal/storage"
+)
+
+// Bucket page layout (after the common 16-byte page header):
+//
+//	16..17  localDepth (u8)
+//	18..20  nentries   (u16)
+//	20..    entries: hash(u64) ++ keyLen(u16) ++ key ++ oid(u64)
+//
+// Overflow buckets chain through the page header's NextPage link; they are
+// used only when a bucket full of identical keys cannot split further.
+const (
+	offLocalDepth = 16
+	offNEntries   = 18
+	bucketStart   = 20
+)
+
+// ErrNotFound is returned by Delete when the pair is absent.
+var ErrNotFound = errors.New("hashidx: entry not found")
+
+// Index is an extendible hash index.
+type Index struct {
+	bp        *storage.BufferPool
+	dir       []storage.PageID // directory of bucket pages, len == 1<<globalDepth
+	global    uint8
+	entries   int
+	maxInline int // max key bytes storable
+}
+
+// New creates an empty index with a one-bucket directory.
+func New(bp *storage.BufferPool) (*Index, error) {
+	idx := &Index{bp: bp, maxInline: bp.Disk().PageSize() / 4}
+	pg, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	initBucket(pg, 0)
+	idx.dir = []storage.PageID{pg.ID}
+	if err := bp.Unpin(pg.ID, true); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+func initBucket(pg *storage.Page, depth uint8) {
+	b := pg.Bytes()
+	for i := range b {
+		b[i] = 0
+	}
+	b[offLocalDepth] = depth
+}
+
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+// Len returns the number of entries.
+func (ix *Index) Len() int { return ix.entries }
+
+// GlobalDepth returns the directory depth (directory size is 1<<depth).
+func (ix *Index) GlobalDepth() int { return int(ix.global) }
+
+// DirSize returns the number of directory slots.
+func (ix *Index) DirSize() int { return len(ix.dir) }
+
+func (ix *Index) bucketFor(h uint64) storage.PageID {
+	return ix.dir[h&((1<<ix.global)-1)]
+}
+
+type entry struct {
+	hash uint64
+	key  []byte
+	oid  storage.OID
+}
+
+func readEntries(pg *storage.Page) []entry {
+	b := pg.Bytes()
+	n := int(binary.LittleEndian.Uint16(b[offNEntries:]))
+	out := make([]entry, 0, n)
+	off := bucketStart
+	for i := 0; i < n; i++ {
+		h := binary.LittleEndian.Uint64(b[off:])
+		kl := int(binary.LittleEndian.Uint16(b[off+8:]))
+		key := make([]byte, kl)
+		copy(key, b[off+10:off+10+kl])
+		oid := storage.OID(binary.LittleEndian.Uint64(b[off+10+kl:]))
+		out = append(out, entry{h, key, oid})
+		off += 10 + kl + 8
+	}
+	return out
+}
+
+// writeEntries rewrites the bucket's entry area; it reports false if the
+// entries do not fit.
+func writeEntries(pg *storage.Page, depth uint8, entries []entry) bool {
+	b := pg.Bytes()
+	off := bucketStart
+	for _, e := range entries {
+		need := 10 + len(e.key) + 8
+		if off+need > len(b) {
+			return false
+		}
+		binary.LittleEndian.PutUint64(b[off:], e.hash)
+		binary.LittleEndian.PutUint16(b[off+8:], uint16(len(e.key)))
+		copy(b[off+10:], e.key)
+		binary.LittleEndian.PutUint64(b[off+10+len(e.key):], uint64(e.oid))
+		off += need
+	}
+	b[offLocalDepth] = depth
+	binary.LittleEndian.PutUint16(b[offNEntries:], uint16(len(entries)))
+	return true
+}
+
+// Insert adds (key, oid). Duplicates are allowed.
+func (ix *Index) Insert(key []byte, oid storage.OID) error {
+	if len(key) > ix.maxInline {
+		return errors.New("hashidx: key too large")
+	}
+	h := hashKey(key)
+	for {
+		pid := ix.bucketFor(h)
+		pg, err := ix.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		depth := pg.Bytes()[offLocalDepth]
+		entries := readEntries(pg)
+		entries = append(entries, entry{h, append([]byte(nil), key...), oid})
+		if writeEntries(pg, depth, entries) {
+			ix.entries++
+			return ix.bp.Unpin(pid, true)
+		}
+		// Bucket full: split (or chain into overflow when all hashes share
+		// the low bits — pathological but possible with many duplicates).
+		if depth == 63 || allSameLowBits(entries, depth+1) {
+			// Degenerate: spill into an overflow page chained to the bucket.
+			err := ix.insertOverflow(pg, entry{h, append([]byte(nil), key...), oid})
+			if uerr := ix.bp.Unpin(pid, true); uerr != nil && err == nil {
+				err = uerr
+			}
+			if err == nil {
+				ix.entries++
+			}
+			return err
+		}
+		if err := ix.splitBucket(pid, pg); err != nil {
+			ix.bp.Unpin(pid, true)
+			return err
+		}
+		if err := ix.bp.Unpin(pid, true); err != nil {
+			return err
+		}
+		// Retry the insert against the refreshed directory.
+	}
+}
+
+func allSameLowBits(entries []entry, bits uint8) bool {
+	if len(entries) == 0 {
+		return false
+	}
+	mask := uint64(1<<bits) - 1
+	first := entries[0].hash & mask
+	for _, e := range entries[1:] {
+		if e.hash&mask != first {
+			return false
+		}
+	}
+	return true
+}
+
+// splitBucket splits the bucket at pid (pinned as pg), doubling the
+// directory if needed. The entry that failed to fit is NOT in the bucket;
+// callers retry after the split.
+func (ix *Index) splitBucket(pid storage.PageID, pg *storage.Page) error {
+	depth := pg.Bytes()[offLocalDepth]
+	entries := readEntries(pg)
+	if depth == ix.global {
+		// Double the directory.
+		nd := make([]storage.PageID, len(ix.dir)*2)
+		copy(nd, ix.dir)
+		copy(nd[len(ix.dir):], ix.dir)
+		ix.dir = nd
+		ix.global++
+	}
+	sib, err := ix.bp.NewPage()
+	if err != nil {
+		return err
+	}
+	initBucket(sib, depth+1)
+	newBit := uint64(1) << depth
+	var keep, move []entry
+	for _, e := range entries {
+		if e.hash&newBit != 0 {
+			move = append(move, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	if !writeEntries(pg, depth+1, keep) || !writeEntries(sib, depth+1, move) {
+		return errors.New("hashidx: split produced oversized bucket")
+	}
+	// Redirect directory slots whose (depth+1) low bits select the sibling.
+	mask := (uint64(1) << (depth + 1)) - 1
+	for i := range ix.dir {
+		if ix.dir[i] == pid && uint64(i)&mask&newBit != 0 {
+			ix.dir[i] = sib.ID
+		}
+	}
+	return ix.bp.Unpin(sib.ID, true)
+}
+
+// insertOverflow appends the entry to the bucket's overflow chain.
+func (ix *Index) insertOverflow(bucket *storage.Page, e entry) error {
+	pid := bucket.NextPage()
+	prevID := bucket.ID
+	prevIsBucket := true
+	for pid != 0 {
+		pg, err := ix.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		entries := readEntries(pg)
+		entries = append(entries, e)
+		if writeEntries(pg, pg.Bytes()[offLocalDepth], entries) {
+			return ix.bp.Unpin(pid, true)
+		}
+		next := pg.NextPage()
+		if err := ix.bp.Unpin(pid, false); err != nil {
+			return err
+		}
+		prevID, prevIsBucket = pid, false
+		pid = next
+	}
+	npg, err := ix.bp.NewPage()
+	if err != nil {
+		return err
+	}
+	initBucket(npg, 0)
+	if !writeEntries(npg, 0, []entry{e}) {
+		ix.bp.Unpin(npg.ID, true)
+		return errors.New("hashidx: entry larger than a page")
+	}
+	if prevIsBucket {
+		bucket.SetNextPage(npg.ID)
+	} else {
+		pp, err := ix.bp.Fetch(prevID)
+		if err != nil {
+			ix.bp.Unpin(npg.ID, true)
+			return err
+		}
+		pp.SetNextPage(npg.ID)
+		if err := ix.bp.Unpin(prevID, true); err != nil {
+			ix.bp.Unpin(npg.ID, true)
+			return err
+		}
+	}
+	return ix.bp.Unpin(npg.ID, true)
+}
+
+// Search returns every OID stored under key.
+func (ix *Index) Search(key []byte) ([]storage.OID, error) {
+	h := hashKey(key)
+	var out []storage.OID
+	pid := ix.bucketFor(h)
+	for pid != 0 {
+		pg, err := ix.bp.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range readEntries(pg) {
+			if e.hash == h && bytes.Equal(e.key, key) {
+				out = append(out, e.oid)
+			}
+		}
+		next := pg.NextPage()
+		if err := ix.bp.Unpin(pid, false); err != nil {
+			return nil, err
+		}
+		pid = next
+	}
+	return out, nil
+}
+
+// Delete removes one (key, oid) pair.
+func (ix *Index) Delete(key []byte, oid storage.OID) error {
+	h := hashKey(key)
+	pid := ix.bucketFor(h)
+	for pid != 0 {
+		pg, err := ix.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		entries := readEntries(pg)
+		for i, e := range entries {
+			if e.hash == h && bytes.Equal(e.key, key) && e.oid == oid {
+				entries = append(entries[:i], entries[i+1:]...)
+				writeEntries(pg, pg.Bytes()[offLocalDepth], entries)
+				ix.entries--
+				return ix.bp.Unpin(pid, true)
+			}
+		}
+		next := pg.NextPage()
+		if err := ix.bp.Unpin(pid, false); err != nil {
+			return err
+		}
+		pid = next
+	}
+	return ErrNotFound
+}

@@ -1,0 +1,194 @@
+package hashidx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mood/internal/storage"
+)
+
+func newIndex(t testing.TB) *Index {
+	t.Helper()
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 128)
+	ix, err := New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func oidFor(i int) storage.OID {
+	return storage.MakeOID(1, storage.PageID(i+1), storage.SlotID(i%1000))
+}
+
+func TestInsertSearch(t *testing.T) {
+	ix := newIndex(t)
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if err := ix.Insert(key, oidFor(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if ix.Len() != 1000 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		got, err := ix.Search([]byte(fmt.Sprintf("key-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != oidFor(i) {
+			t.Errorf("Search(key-%d) = %v", i, got)
+		}
+	}
+	if got, _ := ix.Search([]byte("absent")); len(got) != 0 {
+		t.Errorf("Search(absent) = %v", got)
+	}
+}
+
+func TestDirectoryGrows(t *testing.T) {
+	ix := newIndex(t)
+	if ix.DirSize() != 1 {
+		t.Fatalf("initial DirSize = %d", ix.DirSize())
+	}
+	for i := 0; i < 20000; i++ {
+		if err := ix.Insert([]byte(fmt.Sprintf("grow-%d", i)), oidFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.GlobalDepth() < 2 {
+		t.Errorf("GlobalDepth = %d after 20000 inserts", ix.GlobalDepth())
+	}
+	// All still findable after many splits.
+	for i := 0; i < 20000; i += 113 {
+		got, err := ix.Search([]byte(fmt.Sprintf("grow-%d", i)))
+		if err != nil || len(got) != 1 {
+			t.Fatalf("Search(grow-%d) = %v %v", i, got, err)
+		}
+	}
+}
+
+func TestDuplicateKeysOverflow(t *testing.T) {
+	ix := newIndex(t)
+	// Identical keys can never be separated by splitting: this exercises
+	// the overflow-chain path.
+	const dups = 1000
+	for i := 0; i < dups; i++ {
+		if err := ix.Insert([]byte("same"), oidFor(i)); err != nil {
+			t.Fatalf("dup insert %d: %v", i, err)
+		}
+	}
+	got, err := ix.Search([]byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != dups {
+		t.Fatalf("Search(dup) = %d oids, want %d", len(got), dups)
+	}
+	seen := map[storage.OID]bool{}
+	for _, o := range got {
+		seen[o] = true
+	}
+	if len(seen) != dups {
+		t.Error("duplicate OIDs returned")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := newIndex(t)
+	for i := 0; i < 500; i++ {
+		ix.Insert([]byte(fmt.Sprintf("d-%d", i)), oidFor(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		if err := ix.Delete([]byte(fmt.Sprintf("d-%d", i)), oidFor(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if ix.Len() != 250 {
+		t.Errorf("Len after deletes = %d", ix.Len())
+	}
+	for i := 0; i < 500; i++ {
+		got, _ := ix.Search([]byte(fmt.Sprintf("d-%d", i)))
+		want := 1 - (1 - i%2)
+		if len(got) != want {
+			t.Errorf("key d-%d: %d results, want %d", i, len(got), want)
+		}
+	}
+	if err := ix.Delete([]byte("d-2"), oidFor(2)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v", err)
+	}
+	// Delete one specific oid from duplicates.
+	for i := 0; i < 5; i++ {
+		ix.Insert([]byte("multi"), oidFor(100+i))
+	}
+	if err := ix.Delete([]byte("multi"), oidFor(102)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ix.Search([]byte("multi"))
+	if len(got) != 4 {
+		t.Errorf("after targeted delete: %d", len(got))
+	}
+	for _, o := range got {
+		if o == oidFor(102) {
+			t.Error("targeted oid survived")
+		}
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	ix := newIndex(t)
+	ref := map[string][]storage.OID{}
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 10000; step++ {
+		key := fmt.Sprintf("k%d", rng.Intn(300))
+		if rng.Intn(3) != 0 || len(ref[key]) == 0 {
+			oid := storage.OID(rng.Uint64() | 1)
+			if err := ix.Insert([]byte(key), oid); err != nil {
+				t.Fatal(err)
+			}
+			ref[key] = append(ref[key], oid)
+		} else {
+			victim := ref[key][rng.Intn(len(ref[key]))]
+			if err := ix.Delete([]byte(key), victim); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			for i, o := range ref[key] {
+				if o == victim {
+					ref[key] = append(ref[key][:i], ref[key][i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for key, want := range ref {
+		got, err := ix.Search([]byte(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("key %s: %d oids, want %d", key, len(got), len(want))
+		}
+	}
+}
+
+func BenchmarkHashInsert(b *testing.B) {
+	ix := newIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert([]byte(fmt.Sprintf("bench-%d", i)), oidFor(i))
+	}
+}
+
+func BenchmarkHashSearch(b *testing.B) {
+	ix := newIndex(b)
+	for i := 0; i < 100000; i++ {
+		ix.Insert([]byte(fmt.Sprintf("bench-%d", i)), oidFor(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search([]byte(fmt.Sprintf("bench-%d", i%100000)))
+	}
+}

@@ -1,0 +1,258 @@
+// Package joinindex implements binary join indices and path indices — two
+// of the access paths MOOD's Join operator and the optimizer's join
+// strategies rely on (Sections 3.2, 6.3, 8.3). A binary join index
+// materializes the pairs (oid_C, oid_D) induced by a reference attribute
+// C.A; a path index materializes (oid_{C_1}, oid_{C_m}) for a whole path,
+// collapsing the intermediate hops. Both directions are indexed, so forward
+// and backward lookups cost one B+-tree probe (the paper's bjc = INDCOST(k)).
+package joinindex
+
+import (
+	"fmt"
+
+	"mood/internal/btree"
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// BinaryJoinIndex materializes the object pairs induced by one reference
+// attribute.
+type BinaryJoinIndex struct {
+	Class     string // C
+	Attribute string // A
+	Target    string // D
+
+	fwd *btree.Tree // oid_C -> oid_D
+	rev *btree.Tree // oid_D -> oid_C
+	cat *catalog.Catalog
+}
+
+// BuildBJI scans the extent closure of class and materializes the pairs for
+// its reference attribute (plain references and set/list-of-reference
+// attributes both work).
+func BuildBJI(cat *catalog.Catalog, class, attribute string) (*BinaryJoinIndex, error) {
+	at, err := cat.AttributeType(class, attribute)
+	if err != nil {
+		return nil, err
+	}
+	target := ""
+	switch at.Kind {
+	case object.KindReference:
+		target = at.Target
+	case object.KindSet, object.KindList:
+		if at.Elem != nil && at.Elem.Kind == object.KindReference {
+			target = at.Elem.Target
+		}
+	}
+	if target == "" {
+		return nil, fmt.Errorf("joinindex: %s.%s is not a reference attribute", class, attribute)
+	}
+	bp := cat.Store().Pool()
+	fwd, err := btree.New(bp, 8, false)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := btree.New(bp, 8, false)
+	if err != nil {
+		return nil, err
+	}
+	ix := &BinaryJoinIndex{Class: class, Attribute: attribute, Target: target, fwd: fwd, rev: rev, cat: cat}
+	var ierr error
+	err = cat.ScanClosure(class, nil, func(oid storage.OID, v object.Value) bool {
+		av, ok := v.Field(attribute)
+		if !ok || av.IsNull() {
+			return true
+		}
+		ierr = ix.Insert(oid, av)
+		return ierr == nil
+	})
+	if err == nil {
+		err = ierr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func oidKey(oid storage.OID) []byte { return btree.EncodeIntKey(int64(oid)) }
+
+// Insert adds the pairs for one source object's attribute value.
+func (ix *BinaryJoinIndex) Insert(src storage.OID, attr object.Value) error {
+	add := func(dst storage.OID) error {
+		if dst.IsNil() {
+			return nil
+		}
+		if err := ix.fwd.Insert(oidKey(src), dst); err != nil {
+			return err
+		}
+		return ix.rev.Insert(oidKey(dst), src)
+	}
+	switch attr.Kind {
+	case object.KindReference:
+		return add(attr.Ref)
+	case object.KindSet, object.KindList:
+		for _, e := range attr.Elems {
+			if e.Kind == object.KindReference {
+				if err := add(e.Ref); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Remove deletes the pairs for one source object's attribute value.
+func (ix *BinaryJoinIndex) Remove(src storage.OID, attr object.Value) error {
+	del := func(dst storage.OID) error {
+		if dst.IsNil() {
+			return nil
+		}
+		if err := ix.fwd.Delete(oidKey(src), dst); err != nil && err != btree.ErrNotFound {
+			return err
+		}
+		if err := ix.rev.Delete(oidKey(dst), src); err != nil && err != btree.ErrNotFound {
+			return err
+		}
+		return nil
+	}
+	switch attr.Kind {
+	case object.KindReference:
+		return del(attr.Ref)
+	case object.KindSet, object.KindList:
+		for _, e := range attr.Elems {
+			if e.Kind == object.KindReference {
+				if err := del(e.Ref); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Forward returns the target OIDs referenced by src.
+func (ix *BinaryJoinIndex) Forward(src storage.OID) ([]storage.OID, error) {
+	return ix.fwd.Search(oidKey(src))
+}
+
+// Backward returns the source OIDs referencing dst.
+func (ix *BinaryJoinIndex) Backward(dst storage.OID) ([]storage.OID, error) {
+	return ix.rev.Search(oidKey(dst))
+}
+
+// Len returns the number of materialized pairs.
+func (ix *BinaryJoinIndex) Len() int { return ix.fwd.Len() }
+
+// CostStats returns the forward tree's Table 9 parameters for the bjc
+// formula.
+func (ix *BinaryJoinIndex) CostStats() cost.BTreeStats {
+	st := ix.fwd.Stats()
+	return cost.BTreeStats{Order: st.Order, Levels: st.Levels, Leaves: st.Leaves, KeySize: st.KeySize}
+}
+
+// PathIndex materializes (start, end) pairs for a multi-hop reference path
+// C_1.A_1...A_n (Kemper/Moerkotte-style access support relation, which the
+// paper cites as [Kem 90]).
+type PathIndex struct {
+	Class string   // C_1
+	Path  []string // A_1 ... A_n
+
+	fwd *btree.Tree // oid_{C_1} -> oid_{C_{n+1}}
+	rev *btree.Tree
+}
+
+// BuildPathIndex scans the extent closure of class and materializes the
+// endpoints of every instantiation of the path.
+func BuildPathIndex(cat *catalog.Catalog, class string, path []string) (*PathIndex, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("joinindex: empty path")
+	}
+	if _, err := cat.IsAPath(class, path); err != nil {
+		return nil, err
+	}
+	bp := cat.Store().Pool()
+	fwd, err := btree.New(bp, 8, false)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := btree.New(bp, 8, false)
+	if err != nil {
+		return nil, err
+	}
+	ix := &PathIndex{Class: class, Path: path, fwd: fwd, rev: rev}
+
+	// Walk each starting object's path, fanning out through collections.
+	var ierr error
+	err = cat.ScanClosure(class, nil, func(start storage.OID, v object.Value) bool {
+		ends := []object.Value{v}
+		for _, attr := range path {
+			var next []object.Value
+			for _, cur := range ends {
+				if cur.Kind == object.KindReference {
+					if cur.Ref.IsNil() {
+						continue
+					}
+					resolved, _, err := cat.GetObject(cur.Ref)
+					if err != nil {
+						ierr = err
+						return false
+					}
+					cur = resolved
+				}
+				av, ok := cur.Field(attr)
+				if !ok || av.IsNull() {
+					continue
+				}
+				switch av.Kind {
+				case object.KindSet, object.KindList:
+					next = append(next, av.Elems...)
+				default:
+					next = append(next, av)
+				}
+			}
+			ends = next
+		}
+		for _, e := range ends {
+			if e.Kind != object.KindReference || e.Ref.IsNil() {
+				continue
+			}
+			if ierr = fwd.Insert(oidKey(start), e.Ref); ierr != nil {
+				return false
+			}
+			if ierr = rev.Insert(oidKey(e.Ref), start); ierr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err == nil {
+		err = ierr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Forward returns the path endpoints reachable from start.
+func (ix *PathIndex) Forward(start storage.OID) ([]storage.OID, error) {
+	return ix.fwd.Search(oidKey(start))
+}
+
+// Backward returns the starting objects whose path reaches end.
+func (ix *PathIndex) Backward(end storage.OID) ([]storage.OID, error) {
+	return ix.rev.Search(oidKey(end))
+}
+
+// Len returns the number of materialized endpoint pairs.
+func (ix *PathIndex) Len() int { return ix.fwd.Len() }
+
+// CostStats returns Table 9 parameters for the forward tree.
+func (ix *PathIndex) CostStats() cost.BTreeStats {
+	st := ix.fwd.Stats()
+	return cost.BTreeStats{Order: st.Order, Levels: st.Levels, Leaves: st.Leaves, KeySize: st.KeySize}
+}

@@ -1,0 +1,175 @@
+package joinindex
+
+import (
+	"testing"
+
+	"mood/internal/object"
+	"mood/internal/storage"
+	"mood/internal/vehicledb"
+)
+
+func buildDB(t testing.TB) *vehicledb.DB {
+	t.Helper()
+	db, _, err := vehicledb.Build(vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 10, Seed: 2,
+	}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBJIForwardBackward(t *testing.T) {
+	db := buildDB(t)
+	ix, err := BuildBJI(db.Cat, "Vehicle", "drivetrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Target != "VehicleDriveTrain" {
+		t.Errorf("Target = %q", ix.Target)
+	}
+	if ix.Len() != 400 {
+		t.Errorf("Len = %d, want 400 pairs", ix.Len())
+	}
+	// Forward agrees with the stored reference.
+	v, _, err := db.Cat.GetObject(db.Vehicles[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := v.Field("drivetrain")
+	got, err := ix.Forward(db.Vehicles[5])
+	if err != nil || len(got) != 1 || got[0] != want.Ref {
+		t.Errorf("Forward = %v (%v), want %v", got, err, want.Ref)
+	}
+	// Backward finds both sharing vehicles (pairwise sharing).
+	back, err := ix.Backward(want.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Errorf("Backward = %d sources, want 2 (drivetrains are shared pairwise)", len(back))
+	}
+	foundSelf := false
+	for _, oid := range back {
+		if oid == db.Vehicles[5] {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Error("Backward missing the probing vehicle")
+	}
+}
+
+func TestBJIMaintenance(t *testing.T) {
+	db := buildDB(t)
+	ix, err := BuildBJI(db.Cat, "Vehicle", "manufacturer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Len()
+	// Remove one vehicle's pair, then re-add it pointing elsewhere.
+	v, _, _ := db.Cat.GetObject(db.Vehicles[0])
+	mf, _ := v.Field("manufacturer")
+	if err := ix.Remove(db.Vehicles[0], mf); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != before-1 {
+		t.Errorf("Len after remove = %d", ix.Len())
+	}
+	newRef := object.NewRef(db.Companies[399])
+	if err := ix.Insert(db.Vehicles[0], newRef); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ix.Forward(db.Vehicles[0])
+	if len(got) != 1 || got[0] != db.Companies[399] {
+		t.Errorf("Forward after rebind = %v", got)
+	}
+	back, _ := ix.Backward(db.Companies[399])
+	hit := false
+	for _, o := range back {
+		if o == db.Vehicles[0] {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("Backward after rebind missing source")
+	}
+}
+
+func TestBJIRejectsAtomicAttribute(t *testing.T) {
+	db := buildDB(t)
+	if _, err := BuildBJI(db.Cat, "Vehicle", "weight"); err == nil {
+		t.Error("BJI on atomic attribute accepted")
+	}
+}
+
+func TestPathIndex(t *testing.T) {
+	db := buildDB(t)
+	ix, err := BuildPathIndex(db.Cat, "Vehicle", []string{"drivetrain", "engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 400 {
+		t.Errorf("path pairs = %d, want 400", ix.Len())
+	}
+	// Forward endpoint equals the manual two-hop walk.
+	v, _, _ := db.Cat.GetObject(db.Vehicles[7])
+	dtRef, _ := v.Field("drivetrain")
+	dt, _, _ := db.Cat.GetObject(dtRef.Ref)
+	engRef, _ := dt.Field("engine")
+	got, err := ix.Forward(db.Vehicles[7])
+	if err != nil || len(got) != 1 || got[0] != engRef.Ref {
+		t.Errorf("path Forward = %v (%v), want %v", got, err, engRef.Ref)
+	}
+	// Backward from an engine reaches every vehicle whose chain ends there.
+	back, err := ix.Backward(engRef.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 400 vehicles / 200 drivetrains / 200 engines: each engine serves one
+	// drivetrain, shared by two vehicles.
+	if len(back) != 2 {
+		t.Errorf("path Backward = %d, want 2", len(back))
+	}
+	// Cost stats usable by the optimizer.
+	cs := ix.CostStats()
+	if cs.Levels < 1 || cs.Leaves < 1 {
+		t.Errorf("CostStats = %+v", cs)
+	}
+}
+
+func TestPathIndexValidation(t *testing.T) {
+	db := buildDB(t)
+	if _, err := BuildPathIndex(db.Cat, "Vehicle", nil); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := BuildPathIndex(db.Cat, "Vehicle", []string{"weight", "engine"}); err == nil {
+		t.Error("atomic mid-path accepted")
+	}
+}
+
+func TestPathIndexWithNulls(t *testing.T) {
+	cat, _, err := vehicledb.NewEnvironment(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vehicledb.DefineSchema(cat); err != nil {
+		t.Fatal(err)
+	}
+	// One vehicle with a null drivetrain: no pair, no error.
+	_, err = cat.CreateObject("Vehicle", object.NewTuple(
+		[]string{"id", "weight", "drivetrain", "manufacturer"},
+		[]object.Value{object.NewInt(1), object.NewInt(100), object.NewRef(storage.NilOID), object.NewRef(storage.NilOID)},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildPathIndex(cat, "Vehicle", []string{"drivetrain", "engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 0 {
+		t.Errorf("null chain produced %d pairs", ix.Len())
+	}
+}

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"mood/internal/object"
+	"mood/internal/sql"
+	"mood/internal/storage"
+)
+
+// Section 9.4: "A cursor like mechanism which exists commonly in RDBMSs is
+// designed for displaying objects. ... The kernel gets the stored
+// representation of the object from the database and returns a pointer to a
+// buffer area each element of which specifies a name, a type and a value of
+// the object's attributes. ... It is also possible to sequence back and
+// forth through the returned objects using the cursor functions provided by
+// the kernel."
+
+// AttrView is one element of the cursor's buffer area: attribute name,
+// type, and value.
+type AttrView struct {
+	Name  string
+	Type  string
+	Value object.Value
+}
+
+// ObjectView is the kernel's presentation of one object: its identifier,
+// run-time class (resolved through the catalog), and attribute buffer.
+type ObjectView struct {
+	OID   storage.OID
+	Class string
+	Attrs []AttrView
+}
+
+func (ov *ObjectView) String() string {
+	s := fmt.Sprintf("%s %s {", ov.Class, ov.OID)
+	for i, a := range ov.Attrs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %s = %s", a.Name, a.Type, a.Value)
+	}
+	return s + "}"
+}
+
+// Describe builds the ObjectView for one object, identifying its type and
+// value at run time using the MOOD catalog.
+func (db *DB) Describe(oid storage.OID) (*ObjectView, error) {
+	v, class, err := db.Cat.GetObject(oid)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := db.Cat.AllAttributes(class)
+	if err != nil {
+		return nil, err
+	}
+	ov := &ObjectView{OID: oid, Class: class}
+	for _, f := range attrs {
+		val, _ := v.Field(f.Name)
+		ov.Attrs = append(ov.Attrs, AttrView{Name: f.Name, Type: f.Type.String(), Value: val})
+	}
+	return ov, nil
+}
+
+// ErrCursorExhausted is returned by Next/Prev at the ends of the result.
+var ErrCursorExhausted = errors.New("kernel: cursor exhausted")
+
+// Cursor sequences back and forth through the objects a query returned.
+type Cursor struct {
+	db   *DB
+	oids []storage.OID
+	pos  int // index of the element Next would return
+}
+
+// OpenCursor runs a SELECT whose projection is a bare range variable and
+// returns a cursor over the resulting objects.
+func (db *DB) OpenCursor(query string) (*Cursor, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("kernel: cursors require a SELECT, got %T", st)
+	}
+	res, err := db.execSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	cur := &Cursor{db: db}
+	for _, oid := range res.OIDs {
+		if !oid.IsNil() {
+			cur.oids = append(cur.oids, oid)
+		}
+	}
+	return cur, nil
+}
+
+// Len returns the number of objects in the cursor.
+func (c *Cursor) Len() int { return len(c.oids) }
+
+// Next returns the next object's view, advancing the cursor.
+func (c *Cursor) Next() (*ObjectView, error) {
+	if c.pos >= len(c.oids) {
+		return nil, ErrCursorExhausted
+	}
+	ov, err := c.db.Describe(c.oids[c.pos])
+	if err != nil {
+		return nil, err
+	}
+	c.pos++
+	return ov, nil
+}
+
+// Prev steps the cursor back and returns that object's view.
+func (c *Cursor) Prev() (*ObjectView, error) {
+	if c.pos <= 1 {
+		return nil, ErrCursorExhausted
+	}
+	c.pos--
+	return c.db.Describe(c.oids[c.pos-1])
+}
+
+// Rewind resets the cursor to the first object.
+func (c *Cursor) Rewind() { c.pos = 0 }

@@ -1,0 +1,411 @@
+// Package kernel is the MOOD kernel façade (Figure 2.1): it assembles the
+// storage manager, WAL, lock manager, catalog, Function Manager, algebra,
+// optimizer and executor into one database object; interprets MOODSQL
+// statements (DDL, object creation, queries, updates); maintains the
+// statistics base; and exposes the cursor protocol MoodView uses
+// (Section 9.4).
+//
+// As the paper describes, kernel functions are divided between the SQL
+// interpreter (this package and its dependents) and externally compiled
+// member functions dispatched through the Function Manager with late
+// binding.
+package kernel
+
+import (
+	"fmt"
+
+	"mood/internal/algebra"
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/exec"
+	"mood/internal/expr"
+	"mood/internal/funcmgr"
+	"mood/internal/joinindex"
+	"mood/internal/lock"
+	"mood/internal/object"
+	"mood/internal/optimizer"
+	"mood/internal/sql"
+	"mood/internal/stats"
+	"mood/internal/storage"
+	"mood/internal/wal"
+)
+
+// DB is one open MOOD database.
+type DB struct {
+	Disk  *storage.DiskSim
+	Pool  *storage.BufferPool
+	Log   *wal.Log
+	Locks *lock.Manager
+	Cat   *catalog.Catalog
+	Funcs *funcmgr.Manager
+	Alg   *algebra.Algebra
+	Exec  *exec.Executor
+
+	stats *cost.Stats
+	bjis  map[string]*joinindex.BinaryJoinIndex
+
+	// LastPlan and LastExplain describe the most recent SELECT, for the
+	// moodsql shell's EXPLAIN support and for the experiment harness.
+	LastPlan    optimizer.Plan
+	LastExplain *optimizer.Explain
+}
+
+// Options configures Open.
+type Options struct {
+	DiskParams   storage.DiskParams
+	BufferFrames int
+}
+
+// DefaultOptions returns a laptop-friendly configuration.
+func DefaultOptions() Options {
+	return Options{DiskParams: storage.DefaultDiskParams(), BufferFrames: 4096}
+}
+
+// Open creates a fresh in-memory MOOD database.
+func Open(opts Options) (*DB, error) {
+	if opts.BufferFrames <= 0 {
+		opts.BufferFrames = 4096
+	}
+	disk := storage.NewDiskSim(opts.DiskParams)
+	pool := storage.NewBufferPool(disk, opts.BufferFrames)
+	log := wal.NewLog()
+	pool.SetFlushHook(log.FlushHook())
+	fm, err := storage.NewFileManager(pool)
+	if err != nil {
+		return nil, err
+	}
+	store := storage.NewObjectStore(pool, fm)
+	cat, err := catalog.New(store)
+	if err != nil {
+		return nil, err
+	}
+	locks := lock.NewManager(0)
+	funcs := funcmgr.New(cat, locks)
+	alg := algebra.New(cat)
+	db := &DB{
+		Disk: disk, Pool: pool, Log: log, Locks: locks,
+		Cat: cat, Funcs: funcs, Alg: alg,
+		Exec: exec.New(alg),
+		bjis: map[string]*joinindex.BinaryJoinIndex{},
+	}
+	// Late-bound method dispatch for predicates and projections.
+	alg.Invoke = db.invoke
+	return db, nil
+}
+
+// invoke dispatches a method call from the expression interpreter through
+// the Function Manager with late binding: the receiver's run-time class
+// determines the implementation.
+func (db *DB) invoke(self object.Value, selfOID storage.OID, method string, args []object.Value) (object.Value, error) {
+	class := ""
+	if !selfOID.IsNil() {
+		if _, c, err := db.Cat.GetObject(selfOID); err == nil {
+			class = c
+		}
+	}
+	if class == "" {
+		return object.Null, fmt.Errorf("kernel: cannot determine receiver class for %s()", method)
+	}
+	return db.Funcs.Invoke(class, method, &funcmgr.Invocation{
+		Self: self, SelfOID: selfOID, Args: args,
+		Resolve: db.Cat.Resolver(),
+	})
+}
+
+// RegisterMethod attaches a Go body to a declared method through the
+// Function Manager (the substitute for compiling C++ source into the
+// class's shared object).
+func (db *DB) RegisterMethod(class, name string, body funcmgr.Body) error {
+	sig, err := db.Cat.Method(class, name)
+	if err != nil {
+		return err
+	}
+	return db.Funcs.Register(sig, body)
+}
+
+// RefreshStats re-collects the Table 8 statistics base; the optimizer uses
+// it for every subsequent query.
+func (db *DB) RefreshStats() error {
+	st, err := stats.Collect(db.Cat, cost.Disk{
+		B:   db.Disk.Params().BlockSize,
+		BTT: db.Disk.Params().BTT,
+		EBT: db.Disk.Params().EBT,
+		R:   db.Disk.Params().R,
+		S:   db.Disk.Params().S,
+	})
+	if err != nil {
+		return err
+	}
+	db.stats = st
+	return nil
+}
+
+// Stats returns the current statistics base, collecting it if necessary.
+func (db *DB) Stats() (*cost.Stats, error) {
+	if db.stats == nil {
+		if err := db.RefreshStats(); err != nil {
+			return nil, err
+		}
+	}
+	return db.stats, nil
+}
+
+// BuildBJI materializes a binary join index on class.attribute and
+// registers it with the optimizer and executor.
+func (db *DB) BuildBJI(name, class, attribute string) (*joinindex.BinaryJoinIndex, error) {
+	ix, err := joinindex.BuildBJI(db.Cat, class, attribute)
+	if err != nil {
+		return nil, err
+	}
+	db.bjis[name] = ix
+	db.Exec.BJIs[name] = ix
+	return ix, nil
+}
+
+// Result re-exports the executor's result type.
+type Result = exec.Result
+
+// Execute interprets one MOODSQL statement. SELECTs return a Result; DDL
+// and DML return a Result describing the outcome.
+func (db *DB) Execute(statement string) (*Result, error) {
+	st, err := sql.Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecuteStmt(st)
+}
+
+// ExecuteScript runs a semicolon-separated list of statements, returning
+// the last result.
+func (db *DB) ExecuteScript(script string) (*Result, error) {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		if last, err = db.ExecuteStmt(st); err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecuteStmt interprets one parsed statement.
+func (db *DB) ExecuteStmt(st sql.Statement) (*Result, error) {
+	switch n := st.(type) {
+	case *sql.CreateClass:
+		return db.execCreateClass(n)
+	case *sql.CreateIndex:
+		return db.execCreateIndex(n)
+	case *sql.DropClass:
+		if err := db.Cat.DropClass(n.Name); err != nil {
+			return nil, err
+		}
+		db.stats = nil
+		return message("class %s dropped", n.Name), nil
+	case *sql.DropIndex:
+		if err := db.Cat.DropIndex(n.Name); err != nil {
+			return nil, err
+		}
+		return message("index %s dropped", n.Name), nil
+	case *sql.NewObject:
+		return db.execNewObject(n)
+	case *sql.Select:
+		return db.execSelect(n)
+	case *sql.Update:
+		return db.execUpdate(n)
+	case *sql.Delete:
+		return db.execDelete(n)
+	}
+	return nil, fmt.Errorf("kernel: unsupported statement %T", st)
+}
+
+func message(format string, args ...interface{}) *Result {
+	return &Result{
+		Columns: []string{"result"},
+		Rows:    [][]object.Value{{object.NewString(fmt.Sprintf(format, args...))}},
+	}
+}
+
+func (db *DB) execCreateClass(n *sql.CreateClass) (*Result, error) {
+	fields := make([]object.Field, len(n.Fields))
+	for i, f := range n.Fields {
+		fields[i] = object.Field{Name: f.Name, Type: f.Type}
+	}
+	tuple := object.TupleOf(fields...)
+	var methods []*catalog.MethodSig
+	for _, m := range n.Methods {
+		methods = append(methods, &catalog.MethodSig{
+			Name:       m.Name,
+			ParamNames: m.ParamNames,
+			ParamTypes: m.ParamTypes,
+			ReturnType: m.Return,
+		})
+	}
+	var err error
+	if n.IsType {
+		_, err = db.Cat.DefineType(n.Name, tuple)
+	} else {
+		_, err = db.Cat.DefineClass(n.Name, tuple, n.Supers, methods)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.stats = nil
+	kind := "class"
+	if n.IsType {
+		kind = "type"
+	}
+	return message("%s %s created", kind, n.Name), nil
+}
+
+func (db *DB) execCreateIndex(n *sql.CreateIndex) (*Result, error) {
+	kind := catalog.BTreeIndex
+	if n.Hash {
+		kind = catalog.HashIndex
+	}
+	if _, err := db.Cat.CreateIndex(n.Name, n.Class, n.Attr, kind, n.Unique); err != nil {
+		return nil, err
+	}
+	return message("index %s created on %s(%s)", n.Name, n.Class, n.Attr), nil
+}
+
+// execNewObject implements "new Class <v1, v2, ...>": values are assigned
+// positionally to the class's full (inherited-first) attribute list and
+// cast to the attribute types at run time.
+func (db *DB) execNewObject(n *sql.NewObject) (*Result, error) {
+	attrs, err := db.Cat.AllAttributes(n.Class)
+	if err != nil {
+		return nil, err
+	}
+	if len(n.Values) > len(attrs) {
+		return nil, fmt.Errorf("kernel: new %s given %d values for %d attributes",
+			n.Class, len(n.Values), len(attrs))
+	}
+	names := make([]string, 0, len(n.Values))
+	fields := make([]object.Value, 0, len(n.Values))
+	for i, ve := range n.Values {
+		v, err := ve.Eval(&expr.Env{Resolve: db.Cat.Resolver()})
+		if err != nil {
+			return nil, err
+		}
+		cast, err := expr.Cast(v, attrs[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: attribute %s: %w", attrs[i].Name, err)
+		}
+		names = append(names, attrs[i].Name)
+		fields = append(fields, cast)
+	}
+	oid, err := db.Cat.CreateObject(n.Class, object.NewTuple(names, fields))
+	if err != nil {
+		return nil, err
+	}
+	db.stats = nil
+	res := message("created %s", oid)
+	res.OIDs = []storage.OID{oid}
+	return res, nil
+}
+
+func (db *DB) execSelect(n *sql.Select) (*Result, error) {
+	st, err := db.Stats()
+	if err != nil {
+		return nil, err
+	}
+	opt := optimizer.New(db.Cat, st)
+	for name, ix := range db.bjis {
+		opt.RegisterBJI(ix.Class, ix.Attribute, name, ix.CostStats())
+	}
+	plan, explain, err := opt.Optimize(n)
+	if err != nil {
+		return nil, err
+	}
+	db.LastPlan, db.LastExplain = plan, explain
+	coll, err := db.Exec.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Extract(coll), nil
+}
+
+// matchTargets evaluates a FROM item + WHERE against the store, returning
+// matching OIDs (shared by UPDATE and DELETE).
+func (db *DB) matchTargets(fi sql.FromItem, where expr.Expr) ([]storage.OID, error) {
+	var out []storage.OID
+	check := func(oid storage.OID, v object.Value) bool {
+		if where != nil {
+			env := &expr.Env{
+				Vars:    map[string]object.Value{fi.Var: v},
+				OIDs:    map[string]storage.OID{fi.Var: oid},
+				Resolve: db.Cat.Resolver(),
+				Invoke:  db.Alg.Invoke,
+			}
+			ok, err := expr.EvalBool(where, env)
+			if err != nil || !ok {
+				return true
+			}
+		}
+		out = append(out, oid)
+		return true
+	}
+	var err error
+	if fi.Every || len(fi.Minus) > 0 {
+		err = db.Cat.ScanClosure(fi.Class, fi.Minus, check)
+	} else {
+		err = db.Cat.ScanExtent(fi.Class, check)
+	}
+	return out, err
+}
+
+func (db *DB) execUpdate(n *sql.Update) (*Result, error) {
+	targets, err := db.matchTargets(n.From, n.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, oid := range targets {
+		v, class, err := db.Cat.GetObject(oid)
+		if err != nil {
+			return nil, err
+		}
+		env := &expr.Env{
+			Vars:    map[string]object.Value{n.From.Var: v},
+			OIDs:    map[string]storage.OID{n.From.Var: oid},
+			Resolve: db.Cat.Resolver(),
+			Invoke:  db.Alg.Invoke,
+		}
+		for _, set := range n.Sets {
+			nv, err := set.Value.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			at, err := db.Cat.AttributeType(class, set.Attr)
+			if err != nil {
+				return nil, err
+			}
+			cast, err := expr.Cast(nv, at)
+			if err != nil {
+				return nil, err
+			}
+			v.SetField(set.Attr, cast)
+		}
+		if err := db.Cat.UpdateObject(oid, v); err != nil {
+			return nil, err
+		}
+	}
+	db.stats = nil
+	return message("%d object(s) updated", len(targets)), nil
+}
+
+func (db *DB) execDelete(n *sql.Delete) (*Result, error) {
+	targets, err := db.matchTargets(n.From, n.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, oid := range targets {
+		if err := db.Cat.DeleteObject(oid); err != nil {
+			return nil, err
+		}
+	}
+	db.stats = nil
+	return message("%d object(s) deleted", len(targets)), nil
+}

@@ -1,0 +1,333 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mood/internal/funcmgr"
+	"mood/internal/object"
+	"mood/internal/optimizer"
+)
+
+// vehicleDDL is the paper's Section 3.1 schema, executed through MOODSQL.
+const vehicleDDL = `
+CREATE CLASS VehicleEngine TUPLE (size Integer, cylinders Integer);
+CREATE CLASS VehicleDriveTrain TUPLE (
+	engine REFERENCE (VehicleEngine),
+	transmission String(32));
+CREATE CLASS Employee TUPLE (ssno Integer, name String(32), age Integer);
+CREATE CLASS Company TUPLE (
+	name String(32),
+	location String(32),
+	president REFERENCE (Employee));
+CREATE CLASS Vehicle TUPLE (
+	id Integer,
+	weight Integer,
+	drivetrain REFERENCE (VehicleDriveTrain),
+	manufacturer REFERENCE (Company))
+	METHODS: lbweight () Integer, weight () Integer;
+CREATE CLASS Automobile INHERITS FROM Vehicle;
+CREATE CLASS JapaneseAuto INHERITS FROM Automobile;
+`
+
+func openAndDefine(t testing.TB) *DB {
+	t.Helper()
+	db, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecuteScript(vehicleDDL); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestDDLAndCatalog(t *testing.T) {
+	db := openAndDefine(t)
+	if !db.Cat.IsA("JapaneseAuto", "Vehicle") {
+		t.Error("hierarchy not built")
+	}
+	ty, err := db.Cat.AttributeType("Automobile", "drivetrain")
+	if err != nil || ty.Kind != object.KindReference {
+		t.Errorf("inherited attribute: %v %v", ty, err)
+	}
+	m, err := db.Cat.Method("Automobile", "lbweight")
+	if err != nil || m.Class != "Vehicle" {
+		t.Errorf("method: %+v %v", m, err)
+	}
+	// Duplicate class errors.
+	if _, err := db.Execute("CREATE CLASS Vehicle TUPLE (x Integer)"); err == nil {
+		t.Error("duplicate class accepted")
+	}
+}
+
+func TestNewObjectAndQuery(t *testing.T) {
+	db := openAndDefine(t)
+	// The paper's MoodView statement.
+	res, err := db.Execute(`new Employee <"Budak Arpinar", 1969>`)
+	if err == nil {
+		// ssno is Integer; "Budak Arpinar" cannot cast.
+		t.Fatal("mistyped new accepted")
+	}
+	res, err = db.Execute(`new Employee <1969, "Budak Arpinar", 25>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OIDs) != 1 || res.OIDs[0].IsNil() {
+		t.Fatal("new returned no OID")
+	}
+	out, err := db.Execute(`SELECT e.name, e.age FROM Employee e WHERE e.ssno = 1969`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0].Str != "Budak Arpinar" {
+		t.Errorf("query result: %+v", out.Rows)
+	}
+}
+
+func TestEndToEndPaperPipeline(t *testing.T) {
+	db := openAndDefine(t)
+	// Build a small database entirely through the kernel.
+	eng, err := db.Execute(`new VehicleEngine <2000, 6>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := db.Execute(`new VehicleEngine <1500, 2>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// References are created through the catalog (the C++ path).
+	dtOID, err := db.Cat.CreateObject("VehicleDriveTrain", object.NewTuple(
+		[]string{"engine", "transmission"},
+		[]object.Value{object.NewRef(eng.OIDs[0]), object.NewString("AUTOMATIC")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt2OID, err := db.Cat.CreateObject("VehicleDriveTrain", object.NewTuple(
+		[]string{"engine", "transmission"},
+		[]object.Value{object.NewRef(eng2.OIDs[0]), object.NewString("MANUAL")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := db.Cat.CreateObject("Company", object.NewTuple(
+		[]string{"name", "location"},
+		[]object.Value{object.NewString("BMW"), object.NewString("Munich")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkVehicle := func(class string, id int32, dt, mf interface{}) {
+		t.Helper()
+		dtRef := object.NewRef(dtOID)
+		if dt == nil {
+			dtRef = object.NewRef(dt2OID)
+		}
+		_, err := db.Cat.CreateObject(class, object.NewTuple(
+			[]string{"id", "weight", "drivetrain", "manufacturer"},
+			[]object.Value{object.NewInt(id), object.NewInt(1000 + id), dtRef, object.NewRef(comp)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkVehicle("Vehicle", 1, struct{}{}, nil)
+	mkVehicle("Automobile", 2, struct{}{}, nil)
+	mkVehicle("Automobile", 3, nil, nil)
+	mkVehicle("JapaneseAuto", 4, struct{}{}, nil)
+
+	// The paper's Section 3.1 query shape: automobiles that are not
+	// Japanese, automatic, > 4 cylinders.
+	res, err := db.Execute(`
+		SELECT c FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v
+		WHERE c.drivetrain.transmission = 'AUTOMATIC'
+		AND c.drivetrain.engine = v
+		AND v.cylinders > 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (only Automobile id=2 qualifies)", len(res.Rows))
+	}
+	id, _ := res.Rows[0][0].Field("id")
+	if id.Int != 2 {
+		t.Errorf("qualifying automobile id = %d", id.Int)
+	}
+	// The optimizer left a plan behind for EXPLAIN.
+	if db.LastPlan == nil || !strings.Contains(optimizer.Render(db.LastPlan), "Automobile - JapaneseAuto") {
+		t.Error("LastPlan missing or wrong")
+	}
+}
+
+func TestMethodsThroughKernel(t *testing.T) {
+	db := openAndDefine(t)
+	if err := db.RegisterMethod("Vehicle", "lbweight", func(inv *funcmgr.Invocation) (object.Value, error) {
+		w, _ := inv.Self.Field("weight")
+		return object.NewInt(int32(float64(w.Int) * 2.2075)), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Cat.CreateObject("Vehicle", object.NewTuple(
+		[]string{"id", "weight"},
+		[]object.Value{object.NewInt(1), object.NewInt(2000)})); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Execute(`SELECT v FROM Vehicle v WHERE v.lbweight() > 4000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("method query rows = %d", len(res.Rows))
+	}
+	// Projection of a method call.
+	res, err = db.Execute(`SELECT v.lbweight() AS lbs FROM Vehicle v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 4415 {
+		t.Errorf("lbweight projection = %v", res.Rows[0][0])
+	}
+}
+
+func TestUpdateDeleteThroughSQL(t *testing.T) {
+	db := openAndDefine(t)
+	for i := int32(0); i < 10; i++ {
+		if _, err := db.Cat.CreateObject("Vehicle", object.NewTuple(
+			[]string{"id", "weight"},
+			[]object.Value{object.NewInt(i), object.NewInt(1000)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Execute(`UPDATE Vehicle v SET weight = v.weight + 500 WHERE v.id < 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Rows[0][0].Str, "5 object(s)") {
+		t.Errorf("update result: %s", res.Rows[0][0].Str)
+	}
+	out, _ := db.Execute(`SELECT COUNT(*) AS n FROM Vehicle v WHERE v.weight = 1500`)
+	if out.Rows[0][0].Int != 5 {
+		t.Errorf("updated count = %d", out.Rows[0][0].Int)
+	}
+	res, err = db.Execute(`DELETE FROM Vehicle v WHERE v.weight = 1500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = db.Execute(`SELECT COUNT(*) AS n FROM Vehicle v`)
+	if out.Rows[0][0].Int != 5 {
+		t.Errorf("after delete count = %d", out.Rows[0][0].Int)
+	}
+}
+
+func TestIndexThroughSQL(t *testing.T) {
+	db := openAndDefine(t)
+	// Unique sizes: f_s = 1/2000, so §8.1's inequality favors the index
+	// (an equality on the 16-value cylinders domain would correctly NOT
+	// use one — fetching |C|/16 random objects loses to a scan).
+	for i := int32(0); i < 2000; i++ {
+		if _, err := db.Cat.CreateObject("VehicleEngine", object.NewTuple(
+			[]string{"size", "cylinders"},
+			[]object.Value{object.NewInt(1000 + i), object.NewInt(2 + 2*(i%16))})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Execute(`CREATE INDEX esize ON VehicleEngine(size) USING BTREE`); err != nil {
+		t.Fatal(err)
+	}
+	db.stats = nil // re-collect so the optimizer sees the index
+	res, err := db.Execute(`SELECT e FROM VehicleEngine e WHERE e.size = 1005`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("indexed query rows = %d", len(res.Rows))
+	}
+	if !strings.Contains(optimizer.Render(db.LastPlan), "INDSEL") {
+		t.Errorf("plan did not use the index:\n%s", optimizer.Render(db.LastPlan))
+	}
+	// The unselective predicate keeps the scan.
+	if _, err := db.Execute(`SELECT e FROM VehicleEngine e WHERE e.cylinders = 8`); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(optimizer.Render(db.LastPlan), "INDSEL") {
+		t.Errorf("unselective predicate used an index:\n%s", optimizer.Render(db.LastPlan))
+	}
+}
+
+func TestCursorProtocol(t *testing.T) {
+	db := openAndDefine(t)
+	for i := int32(0); i < 5; i++ {
+		if _, err := db.Cat.CreateObject("Employee", object.NewTuple(
+			[]string{"ssno", "name", "age"},
+			[]object.Value{object.NewInt(i), object.NewString("emp"), object.NewInt(30 + i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := db.OpenCursor(`SELECT e FROM Employee e ORDER BY e.ssno`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Len() != 5 {
+		t.Fatalf("cursor length = %d", cur.Len())
+	}
+	// Forward.
+	first, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Class != "Employee" || len(first.Attrs) != 3 {
+		t.Errorf("view = %+v", first)
+	}
+	if first.Attrs[0].Name != "ssno" || first.Attrs[0].Value.Int != 0 {
+		t.Errorf("first attrs = %+v", first.Attrs)
+	}
+	second, _ := cur.Next()
+	if second.Attrs[0].Value.Int != 1 {
+		t.Error("cursor order broken")
+	}
+	// Backward ("sequence back and forth").
+	back, err := cur.Prev()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Attrs[0].Value.Int != 0 {
+		t.Errorf("Prev = %+v", back.Attrs[0])
+	}
+	if _, err := cur.Prev(); !errors.Is(err, ErrCursorExhausted) {
+		t.Errorf("Prev at start = %v", err)
+	}
+	cur.Rewind()
+	n := 0
+	for {
+		if _, err := cur.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("full iteration = %d", n)
+	}
+}
+
+func TestGroupByThroughKernel(t *testing.T) {
+	db := openAndDefine(t)
+	for i := int32(0); i < 64; i++ {
+		if _, err := db.Cat.CreateObject("VehicleEngine", object.NewTuple(
+			[]string{"size", "cylinders"},
+			[]object.Value{object.NewInt(1000), object.NewInt(2 + 2*(i%4))})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Execute(`
+		SELECT e.cylinders, COUNT(*) AS n FROM VehicleEngine e
+		GROUP BY e.cylinders ORDER BY e.cylinders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[1].Int != 16 {
+			t.Errorf("group %v count = %d", row[0], row[1].Int)
+		}
+	}
+}

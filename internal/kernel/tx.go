@@ -1,0 +1,196 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"mood/internal/lock"
+	"mood/internal/object"
+	"mood/internal/storage"
+	"mood/internal/wal"
+)
+
+// Transactions. ESM gives MOOD "controlling data access and concurrency"
+// and "backup and recovery of data"; the kernel surfaces both as
+// transactions: strict two-phase locking on objects and class extents, a
+// begin/commit/abort record stream in the WAL, and logical undo of every
+// object mutation on abort. Page-level physical redo/undo (crash recovery)
+// is exercised separately in internal/wal.
+
+// ErrTxDone is returned when a finished transaction is reused.
+var ErrTxDone = errors.New("kernel: transaction already committed or aborted")
+
+// undoOp reverses one object mutation.
+type undoOp struct {
+	kind  byte // 'c' created, 'u' updated, 'd' deleted
+	oid   storage.OID
+	class string
+	old   object.Value // prior value for 'u' and 'd'
+}
+
+// Tx is one kernel transaction.
+type Tx struct {
+	db   *DB
+	id   wal.TxID
+	undo []undoOp
+	done bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, id: db.Log.Begin()}
+}
+
+// ID returns the WAL transaction identifier (shared with the lock manager).
+func (tx *Tx) ID() wal.TxID { return tx.id }
+
+func (tx *Tx) check() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// lockObject takes IX on the class extent and X on the object.
+func (tx *Tx) lockObject(class string, oid storage.OID, mode lock.Mode) error {
+	ltx := lock.TxID(tx.id)
+	intention := lock.ModeIX
+	if mode == lock.ModeS {
+		intention = lock.ModeIS
+	}
+	if err := tx.db.Locks.Acquire(ltx, lock.FileResource("extent."+class), intention); err != nil {
+		return err
+	}
+	return tx.db.Locks.Acquire(ltx, lock.ObjectResource(oid), mode)
+}
+
+// logMutation appends a marker update record so the transaction's activity
+// is visible in the durable log (logical operations carry no page images;
+// physical page logging lives below the store).
+func (tx *Tx) logMutation(oid storage.OID) error {
+	_, err := tx.db.Log.Update(tx.id, oid.Page(), 0, nil, nil)
+	return err
+}
+
+// Create inserts a new object of the class under this transaction.
+func (tx *Tx) Create(class string, v object.Value) (storage.OID, error) {
+	if err := tx.check(); err != nil {
+		return storage.NilOID, err
+	}
+	ltx := lock.TxID(tx.id)
+	if err := tx.db.Locks.Acquire(ltx, lock.FileResource("extent."+class), lock.ModeIX); err != nil {
+		return storage.NilOID, err
+	}
+	oid, err := tx.db.Cat.CreateObject(class, v)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	if err := tx.db.Locks.Acquire(ltx, lock.ObjectResource(oid), lock.ModeX); err != nil {
+		return storage.NilOID, err
+	}
+	if err := tx.logMutation(oid); err != nil {
+		return storage.NilOID, err
+	}
+	tx.undo = append(tx.undo, undoOp{kind: 'c', oid: oid, class: class})
+	return oid, nil
+}
+
+// Get reads an object under a shared lock.
+func (tx *Tx) Get(oid storage.OID) (object.Value, string, error) {
+	if err := tx.check(); err != nil {
+		return object.Null, "", err
+	}
+	_, class, err := tx.db.Cat.GetObject(oid)
+	if err != nil {
+		return object.Null, "", err
+	}
+	if err := tx.lockObject(class, oid, lock.ModeS); err != nil {
+		return object.Null, "", err
+	}
+	return tx.db.Cat.GetObject(oid)
+}
+
+// Update replaces an object's value under this transaction.
+func (tx *Tx) Update(oid storage.OID, v object.Value) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	old, class, err := tx.db.Cat.GetObject(oid)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockObject(class, oid, lock.ModeX); err != nil {
+		return err
+	}
+	if err := tx.db.Cat.UpdateObject(oid, v); err != nil {
+		return err
+	}
+	if err := tx.logMutation(oid); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoOp{kind: 'u', oid: oid, class: class, old: old})
+	return nil
+}
+
+// Delete removes an object under this transaction.
+func (tx *Tx) Delete(oid storage.OID) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	old, class, err := tx.db.Cat.GetObject(oid)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockObject(class, oid, lock.ModeX); err != nil {
+		return err
+	}
+	if err := tx.db.Cat.DeleteObject(oid); err != nil {
+		return err
+	}
+	if err := tx.logMutation(oid); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoOp{kind: 'd', oid: oid, class: class, old: old})
+	return nil
+}
+
+// Commit makes the transaction's effects durable (the WAL commit record is
+// forced) and releases its locks.
+func (tx *Tx) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	defer tx.db.Locks.ReleaseAll(lock.TxID(tx.id))
+	tx.db.stats = nil
+	return tx.db.Log.Commit(tx.id)
+}
+
+// Abort rolls back every mutation (logical undo, newest first), logs the
+// abort, and releases the locks.
+func (tx *Tx) Abort() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	defer tx.db.Locks.ReleaseAll(lock.TxID(tx.id))
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		op := tx.undo[i]
+		var err error
+		switch op.kind {
+		case 'c':
+			err = tx.db.Cat.DeleteObject(op.oid)
+		case 'u':
+			err = tx.db.Cat.UpdateObject(op.oid, op.old)
+		case 'd':
+			// The original OID cannot be resurrected (slots are reused);
+			// reinsert the value as a new object of the same class.
+			_, err = tx.db.Cat.CreateObject(op.class, op.old)
+		}
+		if err != nil {
+			return fmt.Errorf("kernel: undo failed (op %c on %s): %w", op.kind, op.oid, err)
+		}
+	}
+	tx.db.stats = nil
+	return tx.db.Log.Abort(tx.id, nil)
+}

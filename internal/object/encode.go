@@ -1,0 +1,168 @@
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mood/internal/storage"
+)
+
+// Self-describing binary encoding of values: one kind byte followed by a
+// kind-specific payload. This is the stored representation of objects; the
+// kernel's cursor mechanism (Section 9.4) decodes it back into name/type/
+// value triples for MoodView.
+//
+//	Null                 — nothing
+//	Integer              — varint (zigzag)
+//	LongInteger          — varint (zigzag)
+//	Float                — 8 bytes IEEE-754
+//	String               — uvarint length + bytes
+//	Char                 — varint code point
+//	Boolean              — 1 byte
+//	Reference            — 8 bytes OID
+//	Set, List            — uvarint count + encoded elements
+//	Tuple                — uvarint count + (name + encoded value)*
+
+// Encode appends the binary form of v to dst and returns the result.
+func Encode(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindInteger, KindLongInteger, KindChar:
+		dst = binary.AppendVarint(dst, v.Int)
+	case KindBoolean:
+		b := byte(0)
+		if v.Int != 0 {
+			b = 1
+		}
+		dst = append(dst, b)
+	case KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Flt))
+		dst = append(dst, buf[:]...)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+		dst = append(dst, v.Str...)
+	case KindReference:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.Ref))
+		dst = append(dst, buf[:]...)
+	case KindSet, KindList:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Elems)))
+		for _, e := range v.Elems {
+			dst = Encode(dst, e)
+		}
+	case KindTuple:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Fields)))
+		for i, f := range v.Fields {
+			dst = binary.AppendUvarint(dst, uint64(len(v.Names[i])))
+			dst = append(dst, v.Names[i]...)
+			dst = Encode(dst, f)
+		}
+	}
+	return dst
+}
+
+// Marshal returns the binary form of v.
+func Marshal(v Value) []byte { return Encode(nil, v) }
+
+// Unmarshal decodes one value from data, which must contain exactly one
+// encoded value.
+func Unmarshal(data []byte) (Value, error) {
+	v, rest, err := Decode(data)
+	if err != nil {
+		return Null, err
+	}
+	if len(rest) != 0 {
+		return Null, fmt.Errorf("object: %d trailing bytes after value", len(rest))
+	}
+	return v, nil
+}
+
+// Decode decodes one value from the front of data, returning the remainder.
+func Decode(data []byte) (Value, []byte, error) {
+	if len(data) == 0 {
+		return Null, nil, fmt.Errorf("object: empty input")
+	}
+	kind := Kind(data[0])
+	data = data[1:]
+	switch kind {
+	case KindNull:
+		return Null, data, nil
+	case KindInteger, KindLongInteger, KindChar:
+		n, sz := binary.Varint(data)
+		if sz <= 0 {
+			return Null, nil, fmt.Errorf("object: bad varint for %s", kind)
+		}
+		return Value{Kind: kind, Int: n}, data[sz:], nil
+	case KindBoolean:
+		if len(data) < 1 {
+			return Null, nil, fmt.Errorf("object: truncated boolean")
+		}
+		return Value{Kind: KindBoolean, Int: int64(data[0] & 1)}, data[1:], nil
+	case KindFloat:
+		if len(data) < 8 {
+			return Null, nil, fmt.Errorf("object: truncated float")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		return Value{Kind: KindFloat, Flt: f}, data[8:], nil
+	case KindString:
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < n {
+			return Null, nil, fmt.Errorf("object: truncated string")
+		}
+		return Value{Kind: KindString, Str: string(data[sz : sz+int(n)])}, data[sz+int(n):], nil
+	case KindReference:
+		if len(data) < 8 {
+			return Null, nil, fmt.Errorf("object: truncated reference")
+		}
+		oid := storage.OID(binary.LittleEndian.Uint64(data))
+		return Value{Kind: KindReference, Ref: oid}, data[8:], nil
+	case KindSet, KindList:
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return Null, nil, fmt.Errorf("object: bad collection count")
+		}
+		data = data[sz:]
+		out := Value{Kind: kind}
+		if n > 0 {
+			out.Elems = make([]Value, 0, n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var e Value
+			var err error
+			e, data, err = Decode(data)
+			if err != nil {
+				return Null, nil, err
+			}
+			out.Elems = append(out.Elems, e)
+		}
+		return out, data, nil
+	case KindTuple:
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return Null, nil, fmt.Errorf("object: bad tuple count")
+		}
+		data = data[sz:]
+		out := Value{Kind: KindTuple}
+		for i := uint64(0); i < n; i++ {
+			nl, nsz := binary.Uvarint(data)
+			if nsz <= 0 || uint64(len(data)-nsz) < nl {
+				return Null, nil, fmt.Errorf("object: truncated field name")
+			}
+			name := string(data[nsz : nsz+int(nl)])
+			data = data[nsz+int(nl):]
+			var f Value
+			var err error
+			f, data, err = Decode(data)
+			if err != nil {
+				return Null, nil, err
+			}
+			out.Names = append(out.Names, name)
+			out.Fields = append(out.Fields, f)
+		}
+		return out, data, nil
+	}
+	return Null, nil, fmt.Errorf("object: unknown kind byte %d", kind)
+}

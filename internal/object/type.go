@@ -1,0 +1,206 @@
+package object
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type describes a MOOD type: a basic type, or a complex type built by
+// recursive application of the Tuple, Set, List and Reference constructors
+// (Section 2: "A complex type may be created by using basic types and
+// recursive application of the type constructors").
+type Type struct {
+	Kind   Kind
+	Name   string  // optional: the name of a named type or class
+	StrLen int     // String(n) bound; 0 means unbounded
+	Elem   *Type   // Set, List element type
+	Target string  // Reference target class name
+	Fields []Field // Tuple fields, in declaration order
+}
+
+// Field is one attribute of a tuple type.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Pre-built basic types.
+var (
+	TInteger     = &Type{Kind: KindInteger}
+	TLongInteger = &Type{Kind: KindLongInteger}
+	TFloat       = &Type{Kind: KindFloat}
+	TChar        = &Type{Kind: KindChar}
+	TBoolean     = &Type{Kind: KindBoolean}
+	TString      = &Type{Kind: KindString}
+)
+
+// StringN returns a bounded String(n) type, as in the paper's
+// "transmission String(32)".
+func StringN(n int) *Type { return &Type{Kind: KindString, StrLen: n} }
+
+// SetOf returns a Set type.
+func SetOf(elem *Type) *Type { return &Type{Kind: KindSet, Elem: elem} }
+
+// ListOf returns a List type.
+func ListOf(elem *Type) *Type { return &Type{Kind: KindList, Elem: elem} }
+
+// RefTo returns a Reference type to the named class.
+func RefTo(class string) *Type { return &Type{Kind: KindReference, Target: class} }
+
+// TupleOf returns a Tuple type with the given fields.
+func TupleOf(fields ...Field) *Type { return &Type{Kind: KindTuple, Fields: fields} }
+
+// Field returns the tuple field with the given name.
+func (t *Type) Field(name string) (*Field, bool) {
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return &t.Fields[i], true
+		}
+	}
+	return nil, false
+}
+
+// String renders the type in MOODSQL DDL style.
+func (t *Type) String() string {
+	if t == nil {
+		return "?"
+	}
+	switch t.Kind {
+	case KindInteger:
+		return "Integer"
+	case KindLongInteger:
+		return "LongInteger"
+	case KindFloat:
+		return "Float"
+	case KindChar:
+		return "Char"
+	case KindBoolean:
+		return "Boolean"
+	case KindString:
+		if t.StrLen > 0 {
+			return fmt.Sprintf("String(%d)", t.StrLen)
+		}
+		return "String"
+	case KindSet:
+		return "SET (" + t.Elem.String() + ")"
+	case KindList:
+		return "LIST (" + t.Elem.String() + ")"
+	case KindReference:
+		return "REFERENCE (" + t.Target + ")"
+	case KindTuple:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.Name + " " + f.Type.String()
+		}
+		return "TUPLE (" + strings.Join(parts, ", ") + ")"
+	}
+	return t.Kind.String()
+}
+
+// Zero returns the zero value of the type (null for references).
+func (t *Type) Zero() Value {
+	switch t.Kind {
+	case KindInteger:
+		return NewInt(0)
+	case KindLongInteger:
+		return NewLong(0)
+	case KindFloat:
+		return NewFloat(0)
+	case KindString:
+		return NewString("")
+	case KindChar:
+		return NewChar(0)
+	case KindBoolean:
+		return NewBool(false)
+	case KindSet:
+		return Value{Kind: KindSet}
+	case KindList:
+		return Value{Kind: KindList}
+	case KindReference:
+		return Value{Kind: KindReference}
+	case KindTuple:
+		names := make([]string, len(t.Fields))
+		fields := make([]Value, len(t.Fields))
+		for i, f := range t.Fields {
+			names[i] = f.Name
+			fields[i] = f.Type.Zero()
+		}
+		return NewTuple(names, fields)
+	}
+	return Null
+}
+
+// Check verifies that v structurally conforms to t. Null conforms to any
+// type (attributes may be null; the notnull(A,C) statistic measures how
+// often they are not). Numeric widening (Integer into LongInteger/Float) is
+// accepted, matching the run-time casts of the expression interpreter.
+func (t *Type) Check(v Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	switch t.Kind {
+	case KindInteger:
+		if v.Kind != KindInteger {
+			return typeErr(t, v)
+		}
+	case KindLongInteger:
+		if v.Kind != KindInteger && v.Kind != KindLongInteger {
+			return typeErr(t, v)
+		}
+	case KindFloat:
+		if v.Kind != KindFloat && v.Kind != KindInteger && v.Kind != KindLongInteger {
+			return typeErr(t, v)
+		}
+	case KindString:
+		if v.Kind != KindString {
+			return typeErr(t, v)
+		}
+		if t.StrLen > 0 && len(v.Str) > t.StrLen {
+			return fmt.Errorf("object: string %q exceeds String(%d)", v.Str, t.StrLen)
+		}
+	case KindChar:
+		if v.Kind != KindChar {
+			return typeErr(t, v)
+		}
+	case KindBoolean:
+		if v.Kind != KindBoolean {
+			return typeErr(t, v)
+		}
+	case KindReference:
+		if v.Kind != KindReference {
+			return typeErr(t, v)
+		}
+	case KindSet, KindList:
+		if v.Kind != t.Kind {
+			return typeErr(t, v)
+		}
+		for i := range v.Elems {
+			if err := t.Elem.Check(v.Elems[i]); err != nil {
+				return err
+			}
+		}
+	case KindTuple:
+		if v.Kind != KindTuple {
+			return typeErr(t, v)
+		}
+		for _, f := range t.Fields {
+			fv, ok := v.Field(f.Name)
+			if !ok {
+				continue // missing fields read as null
+			}
+			if err := f.Type.Check(fv); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+		for _, n := range v.Names {
+			if _, ok := t.Field(n); !ok {
+				return fmt.Errorf("object: unknown field %q for type %s", n, t)
+			}
+		}
+	}
+	return nil
+}
+
+func typeErr(t *Type, v Value) error {
+	return fmt.Errorf("object: value %s does not conform to type %s", v, t)
+}

@@ -1,0 +1,507 @@
+// Package object implements the MOOD data model's values and types: the
+// basic types Integer, Float, LongInteger, String, Char and Boolean, and the
+// recursive type constructors Tuple, Set, List and Reference (Section 3.1 of
+// the paper). Values are self-describing and serializable; deep equality —
+// the comparison DupElim applies to extents — dereferences object
+// identifiers through a caller-supplied resolver with cycle detection.
+package object
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mood/internal/storage"
+)
+
+// Kind enumerates the MOOD value kinds.
+type Kind uint8
+
+// Basic kinds and constructor kinds.
+const (
+	KindNull Kind = iota
+	KindInteger
+	KindLongInteger
+	KindFloat
+	KindString
+	KindChar
+	KindBoolean
+	KindTuple
+	KindSet
+	KindList
+	KindReference
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "Null"
+	case KindInteger:
+		return "Integer"
+	case KindLongInteger:
+		return "LongInteger"
+	case KindFloat:
+		return "Float"
+	case KindString:
+		return "String"
+	case KindChar:
+		return "Char"
+	case KindBoolean:
+		return "Boolean"
+	case KindTuple:
+		return "Tuple"
+	case KindSet:
+		return "Set"
+	case KindList:
+		return "List"
+	case KindReference:
+		return "Reference"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsAtomic reports whether the kind is one of the basic types.
+func (k Kind) IsAtomic() bool {
+	switch k {
+	case KindInteger, KindLongInteger, KindFloat, KindString, KindChar, KindBoolean:
+		return true
+	}
+	return false
+}
+
+// Value is one MOOD value. The zero Value is Null.
+//
+// Representation: atomic values use Int/Flt/Str; Tuple uses Fields with
+// Names in field order; Set and List use Elems; Reference uses Ref.
+// Values have copy semantics (the paper: "values which are instances of
+// types have copy semantic"); Clone produces an independent copy.
+type Value struct {
+	Kind   Kind
+	Int    int64   // Integer, LongInteger, Boolean (0/1), Char (code point)
+	Flt    float64 // Float
+	Str    string  // String
+	Ref    storage.OID
+	Elems  []Value  // Set, List
+	Fields []Value  // Tuple, parallel to Names
+	Names  []string // Tuple field names
+}
+
+// Null is the null value.
+var Null = Value{Kind: KindNull}
+
+// NewInt makes an Integer.
+func NewInt(v int32) Value { return Value{Kind: KindInteger, Int: int64(v)} }
+
+// NewLong makes a LongInteger.
+func NewLong(v int64) Value { return Value{Kind: KindLongInteger, Int: v} }
+
+// NewFloat makes a Float.
+func NewFloat(v float64) Value { return Value{Kind: KindFloat, Flt: v} }
+
+// NewString makes a String.
+func NewString(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// NewChar makes a Char.
+func NewChar(v rune) Value { return Value{Kind: KindChar, Int: int64(v)} }
+
+// NewBool makes a Boolean.
+func NewBool(v bool) Value {
+	if v {
+		return Value{Kind: KindBoolean, Int: 1}
+	}
+	return Value{Kind: KindBoolean}
+}
+
+// NewRef makes a Reference to the object with the given identifier.
+func NewRef(oid storage.OID) Value { return Value{Kind: KindReference, Ref: oid} }
+
+// NewSet makes a Set of the given elements (duplicates are collapsed using
+// shallow equality).
+func NewSet(elems ...Value) Value {
+	out := Value{Kind: KindSet}
+	for _, e := range elems {
+		out.SetAdd(e)
+	}
+	return out
+}
+
+// NewList makes a List of the given elements.
+func NewList(elems ...Value) Value {
+	return Value{Kind: KindList, Elems: append([]Value(nil), elems...)}
+}
+
+// NewTuple makes a Tuple; names and fields must be parallel.
+func NewTuple(names []string, fields []Value) Value {
+	if len(names) != len(fields) {
+		panic("object: NewTuple names/fields length mismatch")
+	}
+	return Value{
+		Kind:   KindTuple,
+		Names:  append([]string(nil), names...),
+		Fields: append([]Value(nil), fields...),
+	}
+}
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Bool returns the Boolean's truth value.
+func (v Value) Bool() bool { return v.Kind == KindBoolean && v.Int != 0 }
+
+// Field returns the named tuple field and whether it exists.
+func (v Value) Field(name string) (Value, bool) {
+	if v.Kind != KindTuple {
+		return Null, false
+	}
+	for i, n := range v.Names {
+		if n == name {
+			return v.Fields[i], true
+		}
+	}
+	return Null, false
+}
+
+// SetField replaces the named tuple field, adding it if absent.
+func (v *Value) SetField(name string, val Value) {
+	for i, n := range v.Names {
+		if n == name {
+			v.Fields[i] = val
+			return
+		}
+	}
+	v.Names = append(v.Names, name)
+	v.Fields = append(v.Fields, val)
+}
+
+// SetAdd inserts an element into a Set if no shallow-equal element exists.
+// It reports whether the element was added.
+func (v *Value) SetAdd(e Value) bool {
+	for _, x := range v.Elems {
+		if Equal(x, e) {
+			return false
+		}
+	}
+	v.Elems = append(v.Elems, e)
+	return true
+}
+
+// SetContains reports whether the Set holds a shallow-equal element.
+func (v Value) SetContains(e Value) bool {
+	for _, x := range v.Elems {
+		if Equal(x, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Append adds an element to the end of a List.
+func (v *Value) Append(e Value) { v.Elems = append(v.Elems, e) }
+
+// Len returns the element count of a Set or List, the field count of a
+// Tuple, or the byte length of a String.
+func (v Value) Len() int {
+	switch v.Kind {
+	case KindSet, KindList:
+		return len(v.Elems)
+	case KindTuple:
+		return len(v.Fields)
+	case KindString:
+		return len(v.Str)
+	}
+	return 0
+}
+
+// Clone returns a deep copy (copy semantics for type instances).
+func (v Value) Clone() Value {
+	out := v
+	if v.Elems != nil {
+		out.Elems = make([]Value, len(v.Elems))
+		for i, e := range v.Elems {
+			out.Elems[i] = e.Clone()
+		}
+	}
+	if v.Fields != nil {
+		out.Fields = make([]Value, len(v.Fields))
+		for i, f := range v.Fields {
+			out.Fields[i] = f.Clone()
+		}
+		out.Names = append([]string(nil), v.Names...)
+	}
+	return out
+}
+
+// AsFloat converts a numeric value to float64; ok is false otherwise.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.Kind {
+	case KindInteger, KindLongInteger, KindChar, KindBoolean:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Flt, true
+	}
+	return 0, false
+}
+
+// AsInt converts an integral value to int64; ok is false otherwise.
+func (v Value) AsInt() (i int64, ok bool) {
+	switch v.Kind {
+	case KindInteger, KindLongInteger, KindChar, KindBoolean:
+		return v.Int, true
+	}
+	return 0, false
+}
+
+// String renders the value in the notation used throughout the paper's
+// examples: tuples as <...>, sets as {...}, lists as [...].
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindInteger, KindLongInteger:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.Str)
+	case KindChar:
+		return "'" + string(rune(v.Int)) + "'"
+	case KindBoolean:
+		if v.Int != 0 {
+			return "true"
+		}
+		return "false"
+	case KindReference:
+		return v.Ref.String()
+	case KindSet:
+		return "{" + joinValues(v.Elems) + "}"
+	case KindList:
+		return "[" + joinValues(v.Elems) + "]"
+	case KindTuple:
+		var b strings.Builder
+		b.WriteByte('<')
+		for i, f := range v.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.Names[i])
+			b.WriteString(": ")
+			b.WriteString(f.String())
+		}
+		b.WriteByte('>')
+		return b.String()
+	}
+	return "?"
+}
+
+func joinValues(vs []Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Compare orders two atomic values: -1, 0, +1. Numeric kinds compare
+// numerically across kinds; strings and chars lexically; booleans
+// false < true. Comparing non-atomic or incompatible kinds returns ok=false.
+func Compare(a, b Value) (cmp int, ok bool) {
+	af, aNum := a.AsFloat()
+	bf, bNum := b.AsFloat()
+	if aNum && bNum && a.Kind != KindChar && b.Kind != KindChar {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	if a.Kind == KindString && b.Kind == KindString {
+		return strings.Compare(a.Str, b.Str), true
+	}
+	if a.Kind == KindChar && b.Kind == KindChar {
+		switch {
+		case a.Int < b.Int:
+			return -1, true
+		case a.Int > b.Int:
+			return 1, true
+		}
+		return 0, true
+	}
+	// Char vs numeric: compare by code point value.
+	if (a.Kind == KindChar && bNum) || (b.Kind == KindChar && aNum) {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Equal is shallow equality: references compare by identifier, collections
+// element-wise (sets order-insensitively), without dereferencing.
+func Equal(a, b Value) bool {
+	if a.Kind.IsAtomic() && b.Kind.IsAtomic() {
+		cmp, ok := Compare(a, b)
+		return ok && cmp == 0
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindNull:
+		return true
+	case KindReference:
+		return a.Ref == b.Ref
+	case KindList:
+		if len(a.Elems) != len(b.Elems) {
+			return false
+		}
+		for i := range a.Elems {
+			if !Equal(a.Elems[i], b.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case KindSet:
+		return setEqual(a.Elems, b.Elems, Equal)
+	case KindTuple:
+		if len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			bf, ok := b.Field(a.Names[i])
+			if !ok || !Equal(a.Fields[i], bf) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func setEqual(a, b []Value, eq func(Value, Value) bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, x := range a {
+		for j, y := range b {
+			if !used[j] && eq(x, y) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Resolver dereferences an object identifier to the stored value.
+type Resolver func(storage.OID) (Value, error)
+
+// DeepEqual is the deep equality check used by DupElim on extents (Table 3):
+// references are dereferenced through resolve and their targets compared
+// structurally. Reference cycles are handled: two objects on equivalent
+// cycles compare equal.
+func DeepEqual(a, b Value, resolve Resolver) (bool, error) {
+	return deepEqual(a, b, resolve, map[[2]storage.OID]bool{})
+}
+
+func deepEqual(a, b Value, resolve Resolver, inFlight map[[2]storage.OID]bool) (bool, error) {
+	if a.Kind == KindReference && b.Kind == KindReference {
+		if a.Ref == b.Ref {
+			return true, nil
+		}
+		if a.Ref.IsNil() || b.Ref.IsNil() {
+			return false, nil
+		}
+		key := [2]storage.OID{a.Ref, b.Ref}
+		if inFlight[key] {
+			return true, nil // assume equal on cycles; contradiction surfaces elsewhere
+		}
+		inFlight[key] = true
+		defer delete(inFlight, key)
+		av, err := resolve(a.Ref)
+		if err != nil {
+			return false, err
+		}
+		bv, err := resolve(b.Ref)
+		if err != nil {
+			return false, err
+		}
+		return deepEqual(av, bv, resolve, inFlight)
+	}
+	if a.Kind.IsAtomic() || b.Kind.IsAtomic() || a.Kind == KindNull || b.Kind == KindNull {
+		return Equal(a, b), nil
+	}
+	if a.Kind != b.Kind {
+		return false, nil
+	}
+	switch a.Kind {
+	case KindList:
+		if len(a.Elems) != len(b.Elems) {
+			return false, nil
+		}
+		for i := range a.Elems {
+			eq, err := deepEqual(a.Elems[i], b.Elems[i], resolve, inFlight)
+			if err != nil || !eq {
+				return eq, err
+			}
+		}
+		return true, nil
+	case KindSet:
+		if len(a.Elems) != len(b.Elems) {
+			return false, nil
+		}
+		used := make([]bool, len(b.Elems))
+	outer:
+		for _, x := range a.Elems {
+			for j, y := range b.Elems {
+				if used[j] {
+					continue
+				}
+				eq, err := deepEqual(x, y, resolve, inFlight)
+				if err != nil {
+					return false, err
+				}
+				if eq {
+					used[j] = true
+					continue outer
+				}
+			}
+			return false, nil
+		}
+		return true, nil
+	case KindTuple:
+		if len(a.Fields) != len(b.Fields) {
+			return false, nil
+		}
+		for i := range a.Fields {
+			bf, ok := b.Field(a.Names[i])
+			if !ok {
+				return false, nil
+			}
+			eq, err := deepEqual(a.Fields[i], bf, resolve, inFlight)
+			if err != nil || !eq {
+				return eq, err
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// SortValues sorts atomic values ascending (used by the Sort operator and
+// by tests); non-comparable pairs keep their relative order.
+func SortValues(vs []Value) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		cmp, ok := Compare(vs[i], vs[j])
+		return ok && cmp < 0
+	})
+}

@@ -1,0 +1,455 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/expr"
+	"mood/internal/object"
+	"mood/internal/sql"
+)
+
+// SelKind classifies a predicate per Section 7.
+type SelKind uint8
+
+// The three selection classes plus the join class.
+const (
+	ImmediateSel SelKind = iota // s.A θ c, A atomic (or parameterless method)
+	PathSel                     // s.A1...Am θ c, an implicit join chain
+	OtherSel                    // methods with arguments, complex predicates
+	JoinPred                    // path = other-range-variable (explicit join)
+)
+
+func (k SelKind) String() string {
+	return [...]string{"immediate", "path", "other", "join"}[k]
+}
+
+// ImmSelInfo is one row of the Table 11 dictionary.
+type ImmSelInfo struct {
+	RangeVar    string
+	Predicate   expr.Expr
+	Simple      sql.PathRef
+	Op          expr.CmpOp
+	Constant    object.Value
+	Constant2   object.Value // BETWEEN
+	Between     bool
+	Selectivity float64
+	IndexedCost float64 // +Inf when no index exists
+	SeqCost     float64
+	AccessType  string // "indexed" or "sequential"
+	Index       *catalog.Index
+}
+
+// PathSelInfo is one row of the Table 12 dictionary.
+type PathSelInfo struct {
+	RangeVar    string
+	Predicate   expr.Expr
+	Path        cost.Path // typed hops
+	Attrs       []string  // syntactic path A1..Am
+	Op          expr.CmpOp
+	Constant    object.Value
+	Constant2   object.Value
+	Between     bool
+	Selectivity float64
+	ForwardCost float64
+	// Rank is F/(1-s), the Algorithm 8.1 sort key.
+	Rank float64
+}
+
+// OtherSelInfo is one row of the OtherSelInfo dictionary; the paper notes
+// its structure matches ImmSelInfo but costs are hard to estimate.
+type OtherSelInfo struct {
+	RangeVar  string
+	Predicate expr.Expr
+}
+
+// JoinPredInfo is a predicate of the form path = var (an explicit join
+// between range variables, like "c.drivetrain.engine = v" in the paper's
+// Section 3.1 query).
+type JoinPredInfo struct {
+	LeftVar  string
+	Path     []string // attributes from LeftVar; last hop lands on RightVar
+	RightVar string
+	Pred     expr.Expr
+}
+
+// Classified is the outcome of classifying one AND-term.
+type Classified struct {
+	Imm   map[string][]ImmSelInfo  // by range variable
+	Paths map[string][]PathSelInfo // by range variable
+	Other map[string][]OtherSelInfo
+	Joins []JoinPredInfo
+	// Residual predicates that reference several variables in ways other
+	// than the join form; applied after all joins.
+	Residual []expr.Expr
+}
+
+// classifier carries the schema and statistics context.
+type classifier struct {
+	cat   *catalog.Catalog
+	stats *cost.Stats
+	// varClass maps range variables to their FROM classes.
+	varClass map[string]string
+}
+
+// varsOf collects the range variables an expression references.
+func varsOf(e expr.Expr, into map[string]bool) {
+	switch n := e.(type) {
+	case *expr.Var:
+		into[n.Name] = true
+	case *expr.Field:
+		varsOf(n.Base, into)
+	case *expr.Call:
+		varsOf(n.Base, into)
+		for _, a := range n.Args {
+			varsOf(a, into)
+		}
+	case *expr.Arith:
+		varsOf(n.L, into)
+		varsOf(n.R, into)
+	case *expr.Cmp:
+		varsOf(n.L, into)
+		varsOf(n.R, into)
+	case *expr.Between:
+		varsOf(n.E, into)
+		varsOf(n.Lo, into)
+		varsOf(n.Hi, into)
+	case *expr.Logic:
+		varsOf(n.L, into)
+		varsOf(n.R, into)
+	case *expr.Not:
+		varsOf(n.E, into)
+	case *expr.Neg:
+		varsOf(n.E, into)
+	}
+}
+
+// constOf extracts a constant value (literal or folded expression).
+func constOf(e expr.Expr) (object.Value, bool) {
+	if c, ok := e.(*expr.Const); ok {
+		return c.Val, true
+	}
+	return object.Null, false
+}
+
+// Classify sorts the AND-term's predicates into the three dictionaries and
+// the join list (Section 7's "we classify the selection predicates into
+// three types").
+func (c *classifier) Classify(term AndTerm) (*Classified, error) {
+	out := &Classified{
+		Imm:   map[string][]ImmSelInfo{},
+		Paths: map[string][]PathSelInfo{},
+		Other: map[string][]OtherSelInfo{},
+	}
+	for _, p := range term {
+		if err := c.classifyOne(p, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *classifier) classifyOne(p expr.Expr, out *Classified) error {
+	vars := map[string]bool{}
+	varsOf(p, vars)
+	var varList []string
+	for v := range vars {
+		if _, known := c.varClass[v]; known {
+			varList = append(varList, v)
+		}
+	}
+
+	// Multi-variable predicates: join form "path = var" or residual.
+	if len(varList) >= 2 {
+		if cmp, ok := p.(*expr.Cmp); ok && cmp.Op == expr.OpEq {
+			if j, ok := c.asJoinPred(cmp.L, cmp.R, p); ok {
+				out.Joins = append(out.Joins, j)
+				return nil
+			}
+			if j, ok := c.asJoinPred(cmp.R, cmp.L, p); ok {
+				out.Joins = append(out.Joins, j)
+				return nil
+			}
+		}
+		out.Residual = append(out.Residual, p)
+		return nil
+	}
+	if len(varList) == 0 {
+		out.Residual = append(out.Residual, p)
+		return nil
+	}
+	v := varList[0]
+	class := c.varClass[v]
+
+	// Comparison / between against a constant?
+	var lhs expr.Expr
+	var op expr.CmpOp
+	var cnst, cnst2 object.Value
+	between := false
+	switch n := p.(type) {
+	case *expr.Cmp:
+		if cv, ok := constOf(n.R); ok {
+			lhs, op, cnst = n.L, n.Op, cv
+		} else if cv, ok := constOf(n.L); ok {
+			// c θ s.A  ≡  s.A θ' c with the operator mirrored.
+			lhs, cnst = n.R, cv
+			switch n.Op {
+			case expr.OpGt:
+				op = expr.OpLt
+			case expr.OpLt:
+				op = expr.OpGt
+			case expr.OpGe:
+				op = expr.OpLe
+			case expr.OpLe:
+				op = expr.OpGe
+			default:
+				op = n.Op
+			}
+		}
+	case *expr.Between:
+		lo, ok1 := constOf(n.Lo)
+		hi, ok2 := constOf(n.Hi)
+		if ok1 && ok2 {
+			lhs, cnst, cnst2, between = n.E, lo, hi, true
+		}
+	}
+	if lhs == nil {
+		out.Other[v] = append(out.Other[v], OtherSelInfo{RangeVar: v, Predicate: p})
+		return nil
+	}
+
+	// Parameterless method on the range variable counts as immediate.
+	if call, ok := lhs.(*expr.Call); ok {
+		if base, isVar := call.Base.(*expr.Var); isVar && base.Name == v && len(call.Args) == 0 {
+			out.Imm[v] = append(out.Imm[v], ImmSelInfo{
+				RangeVar: v, Predicate: p,
+				Op: op, Constant: cnst, Constant2: cnst2, Between: between,
+				Selectivity: defaultMethodSelectivity,
+				IndexedCost: inf(), AccessType: "sequential",
+			})
+			return nil
+		}
+		out.Other[v] = append(out.Other[v], OtherSelInfo{RangeVar: v, Predicate: p})
+		return nil
+	}
+
+	ref, ok := sql.PathOf(lhs)
+	if !ok || ref.Var != v || len(ref.Path) == 0 {
+		out.Other[v] = append(out.Other[v], OtherSelInfo{RangeVar: v, Predicate: p})
+		return nil
+	}
+
+	if len(ref.Path) == 1 {
+		// s.A θ c with A atomic: immediate selection.
+		at, err := c.cat.AttributeType(class, ref.Path[0])
+		if err != nil {
+			return err
+		}
+		if at.Kind.IsAtomic() {
+			info := ImmSelInfo{
+				RangeVar: v, Predicate: p, Simple: ref,
+				Op: op, Constant: cnst, Constant2: cnst2, Between: between,
+			}
+			c.fillImmCosts(c.declaringClass(class, ref.Path[0]), &info)
+			out.Imm[v] = append(out.Imm[v], info)
+			return nil
+		}
+		// Reference-valued attribute compared to a constant — odd; other.
+		out.Other[v] = append(out.Other[v], OtherSelInfo{RangeVar: v, Predicate: p})
+		return nil
+	}
+
+	// Path selection.
+	info := PathSelInfo{
+		RangeVar: v, Predicate: p, Attrs: ref.Path,
+		Op: op, Constant: cnst, Constant2: cnst2, Between: between,
+	}
+	path, err := c.typedPath(class, ref.Path)
+	if err != nil {
+		return err
+	}
+	info.Path = path
+	c.fillPathCosts(&info)
+	out.Paths[v] = append(out.Paths[v], info)
+	return nil
+}
+
+// asJoinPred recognizes "pathExpr = var": an explicit join predicate.
+func (c *classifier) asJoinPred(l, r expr.Expr, orig expr.Expr) (JoinPredInfo, bool) {
+	rv, ok := r.(*expr.Var)
+	if !ok {
+		return JoinPredInfo{}, false
+	}
+	if _, known := c.varClass[rv.Name]; !known {
+		return JoinPredInfo{}, false
+	}
+	ref, ok := sql.PathOf(l)
+	if !ok || len(ref.Path) == 0 {
+		return JoinPredInfo{}, false
+	}
+	if _, known := c.varClass[ref.Var]; !known {
+		return JoinPredInfo{}, false
+	}
+	return JoinPredInfo{LeftVar: ref.Var, Path: ref.Path, RightVar: rv.Name, Pred: orig}, true
+}
+
+// declaringClass finds the class on the IS-A chain that declares the
+// attribute; statistics are recorded under the declaring class, so path
+// hops must resolve to it (an Automobile's drivetrain statistics live on
+// Vehicle).
+func (c *classifier) declaringClass(class, attr string) string {
+	cl, err := c.cat.Class(class)
+	if err != nil {
+		return class
+	}
+	if _, ok := cl.Tuple.Field(attr); ok {
+		return class
+	}
+	for _, s := range cl.Supers {
+		if got := c.declaringClass(s, attr); got != "" {
+			if dcl, err := c.cat.Class(got); err == nil {
+				if _, ok := dcl.Tuple.Field(attr); ok {
+					return got
+				}
+			}
+		}
+	}
+	return class
+}
+
+// typedPath resolves the classes along a syntactic path into a cost.Path.
+func (c *classifier) typedPath(class string, attrs []string) (cost.Path, error) {
+	var p cost.Path
+	cur := class
+	for i, a := range attrs {
+		at, err := c.cat.AttributeType(cur, a)
+		if err != nil {
+			return p, err
+		}
+		isLast := i == len(attrs)-1
+		switch {
+		case at.Kind == object.KindReference,
+			(at.Kind == object.KindSet || at.Kind == object.KindList) &&
+				at.Elem != nil && at.Elem.Kind == object.KindReference:
+			target := at.Target
+			if at.Kind != object.KindReference {
+				target = at.Elem.Target
+			}
+			p.Hops = append(p.Hops, cost.PathHop{Class: c.declaringClass(cur, a), Attribute: a})
+			cur = target
+		case at.Kind.IsAtomic() && isLast:
+			p.FinalClass = cur
+			p.FinalAttr = a
+			return p, nil
+		default:
+			return p, fmt.Errorf("optimizer: attribute %s.%s cannot appear mid-path", cur, a)
+		}
+	}
+	// Path ends on a reference hop (no atomic tail): the "final attribute"
+	// is the last hop's target class itself.
+	p.FinalClass = cur
+	return p, nil
+}
+
+// defaultMethodSelectivity is the guess used for predicates whose
+// selectivity cannot be estimated (the paper: "it is not so easy to
+// calculate the selectivity" for such predicates).
+const defaultMethodSelectivity = 0.5
+
+func inf() float64 { return 1e308 }
+
+// fillImmCosts computes Table 11's columns: selectivity, indexed access
+// cost, sequential access cost, and the chosen access type (§8.1's cost_i).
+func (c *classifier) fillImmCosts(class string, info *ImmSelInfo) {
+	attr := info.Simple.Path[0]
+	as, err := c.stats.Attr(class, attr)
+	if err != nil {
+		info.Selectivity = defaultMethodSelectivity
+	} else {
+		k, c1, c2 := cmpKindOf(info)
+		info.Selectivity = as.Selectivity(k, c1, c2)
+	}
+	cs, err := c.stats.Class(class)
+	if err == nil {
+		info.SeqCost = c.stats.Disk.SEQCOST(float64(cs.NbPages))
+	}
+	info.IndexedCost = inf()
+	info.AccessType = "sequential"
+	ix := c.cat.IndexOn(class, attr)
+	if ix == nil || ix.BTree() == nil {
+		return
+	}
+	info.Index = ix
+	bt := ix.BTree().Stats()
+	idx := cost.BTreeStats{Order: bt.Order, Levels: bt.Levels, Leaves: bt.Leaves, KeySize: bt.KeySize, Unique: bt.Unique}
+	// cost_i = INDCOST(1) for "=", RNGXCOST(f_s) otherwise (§8.1).
+	if info.Op == expr.OpEq && !info.Between {
+		info.IndexedCost = c.stats.INDCOST(idx, 1)
+	} else {
+		info.IndexedCost = c.stats.RNGXCOST(idx, info.Selectivity)
+	}
+	if info.IndexedCost < info.SeqCost {
+		info.AccessType = "indexed"
+	}
+}
+
+// cmpKindOf translates the predicate operator to the selectivity dispatch.
+func cmpKindOf(info *ImmSelInfo) (cost.CmpKind, float64, float64) {
+	c1, _ := info.Constant.AsFloat()
+	c2, _ := info.Constant2.AsFloat()
+	if info.Between {
+		return cost.CmpBetween, c1, c2
+	}
+	switch info.Op {
+	case expr.OpEq:
+		return cost.CmpEq, c1, c2
+	case expr.OpNe:
+		return cost.CmpNe, c1, c2
+	case expr.OpGt, expr.OpGe:
+		return cost.CmpGt, c1, c2
+	default:
+		return cost.CmpLt, c1, c2
+	}
+}
+
+// fillPathCosts computes Table 12's columns: the path selectivity f_s
+// (Section 4.1) and the forward traversal cost F, plus the Algorithm 8.1
+// rank F/(1-s).
+func (c *classifier) fillPathCosts(info *PathSelInfo) {
+	kind := cost.CmpEq
+	c1, _ := info.Constant.AsFloat()
+	c2, _ := info.Constant2.AsFloat()
+	switch {
+	case info.Between:
+		kind = cost.CmpBetween
+	case info.Op == expr.OpNe:
+		kind = cost.CmpNe
+	case info.Op == expr.OpGt || info.Op == expr.OpGe:
+		kind = cost.CmpGt
+	case info.Op == expr.OpLt || info.Op == expr.OpLe:
+		kind = cost.CmpLt
+	}
+	sel, err := c.stats.PathSelectivity(info.Path, kind, c1, c2)
+	if err != nil {
+		sel = defaultMethodSelectivity
+	}
+	info.Selectivity = sel
+
+	k := 1.0
+	if len(info.Path.Hops) > 0 {
+		if cs, err := c.stats.Class(info.Path.Hops[0].Class); err == nil {
+			k = float64(cs.Card)
+		}
+	}
+	f, err := c.stats.PathTraversalCost(info.Path, k)
+	if err != nil {
+		f = inf()
+	}
+	info.ForwardCost = f
+	denom := 1 - info.Selectivity
+	if denom <= 0 {
+		denom = 1e-12
+	}
+	info.Rank = info.ForwardCost / denom
+}

@@ -1,0 +1,190 @@
+// Package optimizer implements MOOD's query optimization (Sections 7 and
+// 8): expression simplification, transformation of WHERE/HAVING predicates
+// into disjunctive normal form, classification of selections into the
+// ImmSelInfo / PathSelInfo / OtherSelInfo dictionaries (Tables 11–12), the
+// §8.1 rule for choosing how many indexes to use and how to order the
+// remaining atomic selections, Algorithm 8.1's F/(1-s) ordering of path
+// expressions (optimal by the Appendix lemma), Algorithm 8.2's greedy
+// ordering of the implicit joins inside a path, and generation of the
+// access plans the paper prints for Examples 8.1 and 8.2.
+package optimizer
+
+import (
+	"mood/internal/expr"
+	"mood/internal/object"
+)
+
+// Simplify performs the "expressions are simplified" step: constant folding
+// of pure-constant subtrees, Boolean identity elimination (TRUE AND p -> p,
+// FALSE OR p -> p, NOT NOT p -> p), and pushing NOT through comparisons.
+func Simplify(e expr.Expr) expr.Expr {
+	switch n := e.(type) {
+	case *expr.Logic:
+		l := Simplify(n.L)
+		r := Simplify(n.R)
+		lb, lConst := constBool(l)
+		rb, rConst := constBool(r)
+		if n.Op == expr.OpAnd {
+			switch {
+			case lConst && !lb, rConst && !rb:
+				return falseConst()
+			case lConst && lb:
+				return r
+			case rConst && rb:
+				return l
+			}
+		} else {
+			switch {
+			case lConst && lb, rConst && rb:
+				return trueConst()
+			case lConst && !lb:
+				return r
+			case rConst && !rb:
+				return l
+			}
+		}
+		return &expr.Logic{Op: n.Op, L: l, R: r}
+	case *expr.Not:
+		inner := Simplify(n.E)
+		switch in := inner.(type) {
+		case *expr.Not:
+			return in.E
+		case *expr.Cmp:
+			return &expr.Cmp{Op: in.Op.Negate(), L: in.L, R: in.R}
+		case *expr.Logic:
+			// De Morgan, then re-simplify to keep pushing inward.
+			op := expr.OpOr
+			if in.Op == expr.OpOr {
+				op = expr.OpAnd
+			}
+			return Simplify(&expr.Logic{Op: op, L: &expr.Not{E: in.L}, R: &expr.Not{E: in.R}})
+		case *expr.Const:
+			return boolConst(!in.Val.Bool())
+		}
+		return &expr.Not{E: inner}
+	case *expr.Arith:
+		l := Simplify(n.L)
+		r := Simplify(n.R)
+		if lc, ok := l.(*expr.Const); ok {
+			if rc, ok := r.(*expr.Const); ok {
+				folded := &expr.Arith{Op: n.Op, L: lc, R: rc}
+				if v, err := folded.Eval(nil); err == nil {
+					return &expr.Const{Val: v}
+				}
+			}
+		}
+		return &expr.Arith{Op: n.Op, L: l, R: r}
+	case *expr.Cmp:
+		l := Simplify(n.L)
+		r := Simplify(n.R)
+		if lc, ok := l.(*expr.Const); ok {
+			if rc, ok := r.(*expr.Const); ok {
+				folded := &expr.Cmp{Op: n.Op, L: lc, R: rc}
+				if v, err := folded.Eval(nil); err == nil {
+					return &expr.Const{Val: v}
+				}
+			}
+		}
+		return &expr.Cmp{Op: n.Op, L: l, R: r}
+	case *expr.Between:
+		return &expr.Between{E: Simplify(n.E), Lo: Simplify(n.Lo), Hi: Simplify(n.Hi)}
+	case *expr.Neg:
+		inner := Simplify(n.E)
+		if c, ok := inner.(*expr.Const); ok {
+			if v, err := (&expr.Neg{E: c}).Eval(nil); err == nil {
+				return &expr.Const{Val: v}
+			}
+		}
+		return &expr.Neg{E: inner}
+	}
+	return e
+}
+
+func constBool(e expr.Expr) (val, isConst bool) {
+	if c, ok := e.(*expr.Const); ok && c.Val.Kind == object.KindBoolean {
+		return c.Val.Bool(), true
+	}
+	return false, false
+}
+
+func trueConst() expr.Expr  { return &expr.Const{Val: object.NewBool(true)} }
+func falseConst() expr.Expr { return &expr.Const{Val: object.NewBool(false)} }
+func boolConst(b bool) expr.Expr {
+	return &expr.Const{Val: object.NewBool(b)}
+}
+
+// AndTerm is one conjunct group of the DNF: p_i1 AND p_i2 AND ... AND p_im.
+type AndTerm []expr.Expr
+
+// Expr reassembles the AND-term into a conjunction.
+func (t AndTerm) Expr() expr.Expr {
+	if len(t) == 0 {
+		return trueConst()
+	}
+	out := t[0]
+	for _, p := range t[1:] {
+		out = &expr.Logic{Op: expr.OpAnd, L: out, R: p}
+	}
+	return out
+}
+
+// maxDNFTerms bounds the disjunct blowup of the distribution step.
+const maxDNFTerms = 1024
+
+// ToDNF transforms a (simplified) predicate into disjunctive normal form:
+// (p11 AND ... AND p1m) OR (p21 AND ...) OR ..., returning the AND-terms.
+// The UNION of the AND-term sub-plans then computes the whole predicate
+// (Section 7).
+func ToDNF(e expr.Expr) []AndTerm {
+	e = Simplify(e)
+	terms := dnf(e)
+	// Drop constant-TRUE conjuncts inside terms and constant-FALSE terms.
+	out := make([]AndTerm, 0, len(terms))
+	for _, t := range terms {
+		keep := AndTerm{}
+		isFalse := false
+		for _, p := range t {
+			if b, isConst := constBool(p); isConst {
+				if !b {
+					isFalse = true
+					break
+				}
+				continue
+			}
+			keep = append(keep, p)
+		}
+		if !isFalse {
+			out = append(out, keep)
+		}
+	}
+	return out
+}
+
+func dnf(e expr.Expr) []AndTerm {
+	switch n := e.(type) {
+	case *expr.Logic:
+		if n.Op == expr.OpOr {
+			return append(dnf(n.L), dnf(n.R)...)
+		}
+		// AND: distribute over the OR-terms of both sides.
+		ls := dnf(n.L)
+		rs := dnf(n.R)
+		if len(ls)*len(rs) > maxDNFTerms {
+			// Give up distributing: keep the conjunction opaque as one
+			// predicate (still correct, just less optimizable).
+			return []AndTerm{{e}}
+		}
+		var out []AndTerm
+		for _, l := range ls {
+			for _, r := range rs {
+				term := make(AndTerm, 0, len(l)+len(r))
+				term = append(term, l...)
+				term = append(term, r...)
+				out = append(out, term)
+			}
+		}
+		return out
+	default:
+		return []AndTerm{{e}}
+	}
+}

@@ -1,0 +1,136 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"mood/internal/expr"
+	"mood/internal/object"
+)
+
+// randBoolExpr builds a random Boolean expression over integer variables
+// x0..x3 compared with constants.
+func randBoolExpr(rng *rand.Rand, depth int) expr.Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		// Leaf: comparison of a variable against a constant, or a Boolean
+		// constant.
+		switch rng.Intn(6) {
+		case 0:
+			return &expr.Const{Val: object.NewBool(rng.Intn(2) == 0)}
+		default:
+			ops := []expr.CmpOp{expr.OpEq, expr.OpNe, expr.OpGt, expr.OpLt, expr.OpGe, expr.OpLe}
+			return &expr.Cmp{
+				Op: ops[rng.Intn(len(ops))],
+				L:  &expr.Var{Name: varName(rng.Intn(4))},
+				R:  &expr.Const{Val: object.NewInt(int32(rng.Intn(5)))},
+			}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &expr.Not{E: randBoolExpr(rng, depth-1)}
+	case 1:
+		return &expr.Logic{Op: expr.OpAnd, L: randBoolExpr(rng, depth-1), R: randBoolExpr(rng, depth-1)}
+	default:
+		return &expr.Logic{Op: expr.OpOr, L: randBoolExpr(rng, depth-1), R: randBoolExpr(rng, depth-1)}
+	}
+}
+
+func varName(i int) string { return string(rune('w' + i)) } // w, x, y, z
+
+func randEnv(rng *rand.Rand) *expr.Env {
+	env := &expr.Env{Vars: map[string]object.Value{}}
+	for i := 0; i < 4; i++ {
+		env.Vars[varName(i)] = object.NewInt(int32(rng.Intn(5)))
+	}
+	return env
+}
+
+// evalDNF evaluates the OR of the AND-terms.
+func evalDNF(terms []AndTerm, env *expr.Env) (bool, error) {
+	for _, t := range terms {
+		ok, err := expr.EvalBool(t.Expr(), env)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TestSimplifyPreservesSemantics checks that Simplify never changes the
+// truth value of a predicate, over random expressions and assignments.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 3000; trial++ {
+		e := randBoolExpr(rng, 4)
+		s := Simplify(e)
+		for probe := 0; probe < 4; probe++ {
+			env := randEnv(rng)
+			want, err := expr.EvalBool(e, env)
+			if err != nil {
+				t.Fatalf("trial %d: eval original: %v (%s)", trial, err, e)
+			}
+			got, err := expr.EvalBool(s, env)
+			if err != nil {
+				t.Fatalf("trial %d: eval simplified: %v (%s -> %s)", trial, err, e, s)
+			}
+			if got != want {
+				t.Fatalf("trial %d: Simplify changed semantics\noriginal:   %s = %v\nsimplified: %s = %v\nenv: %v",
+					trial, e, want, s, got, env.Vars)
+			}
+		}
+	}
+}
+
+// TestToDNFPreservesSemantics checks that the DNF's OR-of-AND-terms agrees
+// with the original predicate — the correctness condition behind Section
+// 7's "the UNION operation is performed after evaluating the predicates
+// for the AND-terms".
+func TestToDNFPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 3000; trial++ {
+		e := randBoolExpr(rng, 4)
+		terms := ToDNF(e)
+		// Structural invariant: no OR or NOT-of-AND survives inside a term.
+		for _, term := range terms {
+			for _, p := range term {
+				assertNoOr(t, p)
+			}
+		}
+		for probe := 0; probe < 4; probe++ {
+			env := randEnv(rng)
+			want, err := expr.EvalBool(e, env)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got, err := evalDNF(terms, env)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: DNF changed semantics\noriginal: %s = %v\nDNF(%d terms) = %v\nenv: %v",
+					trial, e, want, len(terms), got, env.Vars)
+			}
+		}
+	}
+}
+
+func assertNoOr(t *testing.T, e expr.Expr) {
+	t.Helper()
+	switch n := e.(type) {
+	case *expr.Logic:
+		if n.Op == expr.OpOr {
+			t.Fatalf("OR survived inside an AND-term: %s", e)
+		}
+		assertNoOr(t, n.L)
+		assertNoOr(t, n.R)
+	case *expr.Not:
+		// NOT may only guard leaves after simplification.
+		if _, isLogic := n.E.(*expr.Logic); isLogic {
+			t.Fatalf("NOT over a connective survived: %s", e)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+// Package rtree implements a Guttman R-tree for spatial data — the index
+// behind MoodView's "graphical indexing tool for the spatial data, i.e.,
+// R Trees" (Section 1 and 9 of the paper). Rectangles are 2-D with float64
+// coordinates; entries carry object identifiers. The tree uses the
+// quadratic split heuristic and supports window (intersection) search,
+// containment search, deletion with re-insertion, and nearest-neighbour
+// queries.
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mood/internal/storage"
+)
+
+// Rect is an axis-aligned rectangle. Min must be <= Max in each dimension.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns a normalized rectangle covering both corner points.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	return Rect{math.Min(x1, x2), math.Min(y1, y2), math.Max(x1, x2), math.Max(y1, y2)}
+}
+
+// Point returns a degenerate rectangle at (x, y).
+func Point(x, y float64) Rect { return Rect{x, y, x, y} }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// Intersects reports whether the rectangles overlap (boundaries included).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Contains reports whether o lies entirely within r.
+func (r Rect) Contains(o Rect) bool {
+	return r.MinX <= o.MinX && o.MaxX <= r.MaxX && r.MinY <= o.MinY && o.MaxY <= r.MaxY
+}
+
+// Union returns the smallest rectangle covering both.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		math.Min(r.MinX, o.MinX), math.Min(r.MinY, o.MinY),
+		math.Max(r.MaxX, o.MaxX), math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// Enlargement returns the area growth needed for r to cover o.
+func (r Rect) Enlargement(o Rect) float64 { return r.Union(o).Area() - r.Area() }
+
+// distSq returns the squared distance from the point to the rectangle
+// (zero if inside).
+func (r Rect) distSq(x, y float64) float64 {
+	dx := math.Max(0, math.Max(r.MinX-x, x-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-y, y-r.MaxY))
+	return dx*dx + dy*dy
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g..%g,%g]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}
+
+// Entry pairs a rectangle with the OID of the spatial object it bounds.
+type Entry struct {
+	Rect Rect
+	OID  storage.OID
+}
+
+type node struct {
+	leaf     bool
+	rects    []Rect
+	children []*node // internal nodes
+	entries  []Entry // leaf nodes
+}
+
+func (n *node) size() int {
+	if n.leaf {
+		return len(n.entries)
+	}
+	return len(n.children)
+}
+
+func (n *node) mbr() Rect {
+	var out Rect
+	first := true
+	for _, r := range n.rects {
+		if first {
+			out, first = r, false
+		} else {
+			out = out.Union(r)
+		}
+	}
+	return out
+}
+
+// ErrNotFound is returned by Delete for an absent entry.
+var ErrNotFound = errors.New("rtree: entry not found")
+
+// Tree is an R-tree with configurable node capacity.
+type Tree struct {
+	root     *node
+	min, max int
+	count    int
+	height   int
+}
+
+// New creates an R-tree whose nodes hold between max/2 and max entries.
+func New(max int) *Tree {
+	if max < 4 {
+		max = 4
+	}
+	return &Tree{root: &node{leaf: true}, min: max / 2, max: max, height: 1}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Insert adds an entry.
+func (t *Tree) Insert(r Rect, oid storage.OID) {
+	t.insertEntry(Entry{r, oid}, 1)
+	t.count++
+}
+
+func (t *Tree) insertEntry(e Entry, level int) {
+	leafPath := t.chooseLeaf(e.Rect, level)
+	n := leafPath[len(leafPath)-1]
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		n.rects = append(n.rects, e.Rect)
+	}
+	t.adjustTree(leafPath)
+}
+
+// insertSubtree reinserts an orphaned subtree at the given height from the
+// leaves (1 == leaf level).
+func (t *Tree) insertSubtree(sub *node, subHeight int) {
+	path := t.chooseLeaf(sub.mbr(), subHeight+1)
+	n := path[len(path)-1]
+	n.children = append(n.children, sub)
+	n.rects = append(n.rects, sub.mbr())
+	t.adjustTree(path)
+}
+
+// chooseLeaf descends to the node at the given level (counted from the
+// root = len(path)=1 ... leaves), picking children by least enlargement.
+func (t *Tree) chooseLeaf(r Rect, stopHeight int) []*node {
+	path := []*node{t.root}
+	n := t.root
+	height := t.height
+	for !n.leaf && height > stopHeight {
+		best, bestEnl, bestArea := -1, math.Inf(1), math.Inf(1)
+		for i, cr := range n.rects {
+			enl := cr.Enlargement(r)
+			area := cr.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.children[best]
+		path = append(path, n)
+		height--
+	}
+	return path
+}
+
+// adjustTree fixes bounding rectangles bottom-up and splits overfull nodes.
+func (t *Tree) adjustTree(path []*node) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		var split *node
+		if n.size() > t.max {
+			split = t.splitNode(n)
+		}
+		if i > 0 {
+			parent := path[i-1]
+			for j, c := range parent.children {
+				if c == n {
+					parent.rects[j] = n.mbr()
+					break
+				}
+			}
+			if split != nil {
+				parent.children = append(parent.children, split)
+				parent.rects = append(parent.rects, split.mbr())
+			}
+		} else if split != nil {
+			// Root split: grow the tree.
+			newRoot := &node{
+				leaf:     false,
+				children: []*node{n, split},
+				rects:    []Rect{n.mbr(), split.mbr()},
+			}
+			t.root = newRoot
+			t.height++
+		}
+	}
+}
+
+// splitNode performs Guttman's quadratic split, leaving one group in n and
+// returning the other as a new node.
+func (t *Tree) splitNode(n *node) *node {
+	rects := n.rects
+	// Pick seeds: the pair wasting the most area together.
+	var s1, s2 int
+	worst := math.Inf(-1)
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			d := rects[i].Union(rects[j]).Area() - rects[i].Area() - rects[j].Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	groupA := []int{s1}
+	groupB := []int{s2}
+	mbrA, mbrB := rects[s1], rects[s2]
+	assigned := make([]bool, len(rects))
+	assigned[s1], assigned[s2] = true, true
+	remaining := len(rects) - 2
+	for remaining > 0 {
+		// If one group must take everything left to reach the minimum, do so.
+		if len(groupA)+remaining == t.min {
+			for i := range rects {
+				if !assigned[i] {
+					groupA = append(groupA, i)
+					mbrA = mbrA.Union(rects[i])
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		if len(groupB)+remaining == t.min {
+			for i := range rects {
+				if !assigned[i] {
+					groupB = append(groupB, i)
+					mbrB = mbrB.Union(rects[i])
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		// Pick the entry with the greatest preference for one group.
+		pick, pickDiff := -1, math.Inf(-1)
+		var toA bool
+		for i := range rects {
+			if assigned[i] {
+				continue
+			}
+			dA := mbrA.Enlargement(rects[i])
+			dB := mbrB.Enlargement(rects[i])
+			diff := math.Abs(dA - dB)
+			if diff > pickDiff {
+				pick, pickDiff, toA = i, diff, dA < dB
+			}
+		}
+		assigned[pick] = true
+		if toA {
+			groupA = append(groupA, pick)
+			mbrA = mbrA.Union(rects[pick])
+		} else {
+			groupB = append(groupB, pick)
+			mbrB = mbrB.Union(rects[pick])
+		}
+		remaining--
+	}
+
+	sib := &node{leaf: n.leaf}
+	take := func(idxs []int, dst *node) {
+		for _, i := range idxs {
+			dst.rects = append(dst.rects, rects[i])
+			if n.leaf {
+				dst.entries = append(dst.entries, n.entries[i])
+			} else {
+				dst.children = append(dst.children, n.children[i])
+			}
+		}
+	}
+	var keep node
+	keep.leaf = n.leaf
+	take(groupA, &keep)
+	take(groupB, sib)
+	n.rects, n.entries, n.children = keep.rects, keep.entries, keep.children
+	return sib
+}
+
+// Search calls fn for every entry whose rectangle intersects the window.
+// Returning false stops the search.
+func (t *Tree) Search(window Rect, fn func(Entry) bool) {
+	t.searchNode(t.root, window, fn)
+}
+
+func (t *Tree) searchNode(n *node, window Rect, fn func(Entry) bool) bool {
+	for i, r := range n.rects {
+		if !r.Intersects(window) {
+			continue
+		}
+		if n.leaf {
+			if !fn(n.entries[i]) {
+				return false
+			}
+		} else if !t.searchNode(n.children[i], window, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchContained calls fn for entries entirely inside the window.
+func (t *Tree) SearchContained(window Rect, fn func(Entry) bool) {
+	t.Search(window, func(e Entry) bool {
+		if window.Contains(e.Rect) {
+			return fn(e)
+		}
+		return true
+	})
+}
+
+// Nearest returns the k entries closest to (x, y) by rectangle distance,
+// nearest first.
+func (t *Tree) Nearest(x, y float64, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		e Entry
+		d float64
+	}
+	var found []cand
+	worstOf := func() float64 {
+		if len(found) < k {
+			return math.Inf(1)
+		}
+		return found[len(found)-1].d
+	}
+	var visit func(n *node)
+	visit = func(n *node) {
+		type branch struct {
+			i int
+			d float64
+		}
+		branches := make([]branch, 0, len(n.rects))
+		for i, r := range n.rects {
+			branches = append(branches, branch{i, r.distSq(x, y)})
+		}
+		sort.Slice(branches, func(a, b int) bool { return branches[a].d < branches[b].d })
+		for _, br := range branches {
+			if br.d > worstOf() {
+				return
+			}
+			if n.leaf {
+				found = append(found, cand{n.entries[br.i], br.d})
+				sort.Slice(found, func(a, b int) bool { return found[a].d < found[b].d })
+				if len(found) > k {
+					found = found[:k]
+				}
+			} else {
+				visit(n.children[br.i])
+			}
+		}
+	}
+	visit(t.root)
+	out := make([]Entry, len(found))
+	for i, c := range found {
+		out[i] = c.e
+	}
+	return out
+}
+
+// Delete removes the entry with the exact rectangle and OID, condensing the
+// tree (underflowed nodes are dissolved and their entries re-inserted).
+func (t *Tree) Delete(r Rect, oid storage.OID) error {
+	path, idx := t.findLeaf(t.root, nil, r, oid)
+	if path == nil {
+		return ErrNotFound
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	leaf.rects = append(leaf.rects[:idx], leaf.rects[idx+1:]...)
+	t.count--
+	t.condense(path)
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	return nil
+}
+
+func (t *Tree) findLeaf(n *node, path []*node, r Rect, oid storage.OID) ([]*node, int) {
+	path = append(path, n)
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.OID == oid && e.Rect == r {
+				return path, i
+			}
+		}
+		return nil, 0
+	}
+	for i, cr := range n.rects {
+		if cr.Contains(r) || cr.Intersects(r) {
+			if p, idx := t.findLeaf(n.children[i], path, r, oid); p != nil {
+				return p, idx
+			}
+		}
+	}
+	return nil, 0
+}
+
+// condense removes underflowed nodes along the path and re-inserts their
+// contents.
+func (t *Tree) condense(path []*node) {
+	type orphan struct {
+		n      *node
+		height int
+	}
+	var orphans []orphan
+	for i := len(path) - 1; i > 0; i-- {
+		n := path[i]
+		parent := path[i-1]
+		if n.size() < t.min {
+			for j, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:j], parent.children[j+1:]...)
+					parent.rects = append(parent.rects[:j], parent.rects[j+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, orphan{n, len(path) - i})
+		} else {
+			for j, c := range parent.children {
+				if c == n {
+					parent.rects[j] = n.mbr()
+					break
+				}
+			}
+		}
+	}
+	for _, o := range orphans {
+		t.reinsert(o.n, o.height)
+	}
+}
+
+func (t *Tree) reinsert(n *node, height int) {
+	if n.leaf {
+		for _, e := range n.entries {
+			t.insertEntry(e, 1)
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.insertSubtree(c, height-1)
+	}
+}

@@ -1,0 +1,270 @@
+package rtree
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mood/internal/storage"
+)
+
+func oidFor(i int) storage.OID {
+	return storage.MakeOID(1, storage.PageID(i+1), storage.SlotID(i%1000))
+}
+
+func TestRectOps(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 15, 15)
+	c := NewRect(20, 20, 30, 30)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping rects do not intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rects intersect")
+	}
+	if !a.Contains(NewRect(1, 1, 2, 2)) {
+		t.Error("containment failed")
+	}
+	if a.Contains(b) {
+		t.Error("partial overlap reported as contained")
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 15, 15}) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := a.Area(); got != 100 {
+		t.Errorf("Area = %v", got)
+	}
+	if got := a.Enlargement(b); got != 125 {
+		t.Errorf("Enlargement = %v", got)
+	}
+	// Normalization.
+	n := NewRect(10, 10, 0, 0)
+	if n != (Rect{0, 0, 10, 10}) {
+		t.Errorf("NewRect did not normalize: %v", n)
+	}
+	// Boundary touch counts as intersection.
+	if !a.Intersects(NewRect(10, 0, 20, 10)) {
+		t.Error("edge-touching rects do not intersect")
+	}
+}
+
+func TestInsertSearchWindow(t *testing.T) {
+	tr := New(8)
+	// 10x10 grid of unit squares.
+	id := 0
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			tr.Insert(NewRect(float64(x), float64(y), float64(x)+0.9, float64(y)+0.9), oidFor(id))
+			id++
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var hits []Entry
+	tr.Search(NewRect(2.5, 2.5, 4.5, 4.5), func(e Entry) bool {
+		hits = append(hits, e)
+		return true
+	})
+	// Window [2.5,4.5]² intersects cells with x,y in {2,3,4} → 9 cells.
+	if len(hits) != 9 {
+		t.Errorf("window search returned %d, want 9", len(hits))
+	}
+	// Containment search: only cells fully within.
+	var contained []Entry
+	tr.SearchContained(NewRect(2, 2, 5, 5), func(e Entry) bool {
+		contained = append(contained, e)
+		return true
+	})
+	if len(contained) != 9 {
+		t.Errorf("containment search returned %d, want 9", len(contained))
+	}
+	// Early stop.
+	n := 0
+	tr.Search(NewRect(0, 0, 10, 10), func(Entry) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestSplitGrowsHeight(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 1000; i++ {
+		x := float64(i % 100)
+		y := float64(i / 100)
+		tr.Insert(Point(x, y), oidFor(i))
+	}
+	if tr.Height() < 3 {
+		t.Errorf("Height = %d after 1000 inserts at max=4", tr.Height())
+	}
+	// Everything still findable.
+	count := 0
+	tr.Search(NewRect(-1, -1, 101, 101), func(Entry) bool { count++; return true })
+	if count != 1000 {
+		t.Errorf("full window found %d, want 1000", count)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Point(float64(i), 0), oidFor(i))
+	}
+	got := tr.Nearest(42.4, 0, 3)
+	if len(got) != 3 {
+		t.Fatalf("Nearest returned %d", len(got))
+	}
+	if got[0].OID != oidFor(42) {
+		t.Errorf("nearest = %v, want point 42", got[0])
+	}
+	wantSet := map[storage.OID]bool{oidFor(42): true, oidFor(43): true, oidFor(41): true}
+	for _, e := range got {
+		if !wantSet[e.OID] {
+			t.Errorf("unexpected neighbour %v", e.OID)
+		}
+	}
+	// k larger than the tree.
+	all := tr.Nearest(0, 0, 1000)
+	if len(all) != 100 {
+		t.Errorf("Nearest(k>n) returned %d", len(all))
+	}
+	if tr.Nearest(0, 0, 0) != nil {
+		t.Error("Nearest(k=0) != nil")
+	}
+}
+
+func TestDeleteAndCondense(t *testing.T) {
+	tr := New(4)
+	type item struct {
+		r   Rect
+		oid storage.OID
+	}
+	var items []item
+	for i := 0; i < 300; i++ {
+		it := item{Point(float64(i%30), float64(i/30)), oidFor(i)}
+		items = append(items, it)
+		tr.Insert(it.r, it.oid)
+	}
+	for i := 0; i < 300; i += 2 {
+		if err := tr.Delete(items[i].r, items[i].oid); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	count := 0
+	tr.Search(NewRect(-1, -1, 31, 31), func(e Entry) bool {
+		count++
+		// Only odd items should remain.
+		found := false
+		for i := 1; i < 300; i += 2 {
+			if items[i].oid == e.OID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("deleted entry %v still present", e.OID)
+		}
+		return true
+	})
+	if count != 150 {
+		t.Errorf("survivors = %d", count)
+	}
+	if err := tr.Delete(items[0].r, items[0].oid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v", err)
+	}
+}
+
+func TestRandomizedAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(6)
+	var entries []Entry
+	for i := 0; i < 2000; i++ {
+		r := NewRect(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+		e := Entry{r, oidFor(i)}
+		entries = append(entries, e)
+		tr.Insert(r, e.OID)
+	}
+	// Delete a random 25%.
+	rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	cut := len(entries) / 4
+	for _, e := range entries[:cut] {
+		if err := tr.Delete(e.Rect, e.OID); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	entries = entries[cut:]
+
+	for q := 0; q < 50; q++ {
+		w := NewRect(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+		want := map[storage.OID]bool{}
+		for _, e := range entries {
+			if e.Rect.Intersects(w) {
+				want[e.OID] = true
+			}
+		}
+		got := map[storage.OID]bool{}
+		tr.Search(w, func(e Entry) bool { got[e.OID] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d hits, want %d", q, len(got), len(want))
+		}
+		for oid := range want {
+			if !got[oid] {
+				t.Fatalf("query %d: missing %v", q, oid)
+			}
+		}
+	}
+
+	// Nearest-neighbour agrees with linear scan.
+	for q := 0; q < 20; q++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		type dd struct {
+			oid storage.OID
+			d   float64
+		}
+		var lin []dd
+		for _, e := range entries {
+			lin = append(lin, dd{e.OID, e.Rect.distSq(x, y)})
+		}
+		sort.Slice(lin, func(i, j int) bool { return lin[i].d < lin[j].d })
+		got := tr.Nearest(x, y, 5)
+		if len(got) != 5 {
+			t.Fatalf("Nearest returned %d", len(got))
+		}
+		for i, e := range got {
+			gd := e.Rect.distSq(x, y)
+			if math.Abs(gd-lin[i].d) > 1e-9 {
+				t.Fatalf("NN rank %d: dist %g, linear scan %g", i, gd, lin[i].d)
+			}
+		}
+	}
+}
+
+func BenchmarkRTreeInsert(b *testing.B) {
+	tr := New(16)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Point(rng.Float64()*1e6, rng.Float64()*1e6), oidFor(i))
+	}
+}
+
+func BenchmarkRTreeSearch(b *testing.B) {
+	tr := New(16)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		tr.Insert(Point(rng.Float64()*1e6, rng.Float64()*1e6), oidFor(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Float64()*1e6, rng.Float64()*1e6
+		tr.Search(NewRect(x, y, x+1000, y+1000), func(Entry) bool { return true })
+	}
+}

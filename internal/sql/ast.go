@@ -1,0 +1,196 @@
+package sql
+
+import (
+	"strings"
+
+	"mood/internal/expr"
+	"mood/internal/object"
+)
+
+// Statement is any parsed MOODSQL statement.
+type Statement interface{ stmt() }
+
+// CreateClass is CREATE CLASS / CREATE TYPE.
+type CreateClass struct {
+	Name    string
+	IsType  bool // CREATE TYPE: copy semantics, no extent
+	Supers  []string
+	Fields  []FieldDef
+	Methods []MethodDef
+}
+
+func (*CreateClass) stmt() {}
+
+// FieldDef is one attribute declaration.
+type FieldDef struct {
+	Name string
+	Type *object.Type
+}
+
+// MethodDef is one method declaration of a METHODS: block; only the
+// signature is recorded (bodies are compiled separately and registered with
+// the Function Manager).
+type MethodDef struct {
+	Name       string
+	ParamNames []string
+	ParamTypes []*object.Type
+	Return     *object.Type
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON class(attr) [USING BTREE|HASH].
+type CreateIndex struct {
+	Name   string
+	Class  string
+	Attr   string
+	Hash   bool
+	Unique bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropClass is DROP CLASS name.
+type DropClass struct{ Name string }
+
+func (*DropClass) stmt() {}
+
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
+func (*DropIndex) stmt() {}
+
+// NewObject is the paper's object-creation statement:
+//
+//	new Employee <"Budak Arpinar", "Computer Engineer", 1969>
+//
+// Values are positional against the class's full attribute list.
+type NewObject struct {
+	Class  string
+	Values []expr.Expr
+}
+
+func (*NewObject) stmt() {}
+
+// FromItem is one range-variable declaration of a FROM clause:
+// [EVERY] Class [- Sub]* var. EVERY (and any minus term) ranges over the
+// IS-A closure; a bare class name ranges over the direct extent only.
+type FromItem struct {
+	Class string
+	Minus []string
+	Every bool
+	Var   string
+}
+
+func (f FromItem) String() string {
+	s := ""
+	if f.Every || len(f.Minus) > 0 {
+		s = "EVERY "
+	}
+	s += f.Class
+	for _, m := range f.Minus {
+		s += " - " + m
+	}
+	return s + " " + f.Var
+}
+
+// AggKind classifies an aggregate in a projection.
+type AggKind uint8
+
+// Aggregates.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggKind) String() string {
+	return [...]string{"", "COUNT", "SUM", "AVG", "MIN", "MAX"}[a]
+}
+
+// ProjItem is one projection-list entry: a path expression (or *) possibly
+// wrapped in an aggregate.
+type ProjItem struct {
+	Agg  AggKind
+	Star bool // COUNT(*)
+	Expr expr.Expr
+	As   string
+}
+
+// PathRef is a syntactic path rooted at a range variable, used by GROUP BY
+// and ORDER BY.
+type PathRef struct {
+	Var  string
+	Path []string
+}
+
+func (p PathRef) String() string {
+	if len(p.Path) == 0 {
+		return p.Var
+	}
+	return p.Var + "." + strings.Join(p.Path, ".")
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Ref  PathRef
+	Desc bool
+}
+
+// Select is a MOODSQL query.
+type Select struct {
+	Distinct bool
+	Projs    []ProjItem
+	From     []FromItem
+	Where    expr.Expr
+	GroupBy  []PathRef
+	Having   expr.Expr
+	OrderBy  []OrderItem
+}
+
+func (*Select) stmt() {}
+
+// SetClause is one assignment of an UPDATE.
+type SetClause struct {
+	Attr  string
+	Value expr.Expr
+}
+
+// Update is UPDATE Class var SET a = e, ... [WHERE ...].
+type Update struct {
+	From  FromItem
+	Sets  []SetClause
+	Where expr.Expr
+}
+
+func (*Update) stmt() {}
+
+// Delete is DELETE FROM Class var [WHERE ...].
+type Delete struct {
+	From  FromItem
+	Where expr.Expr
+}
+
+func (*Delete) stmt() {}
+
+// PathOf decomposes an expression into a PathRef if it is a pure
+// variable-rooted attribute path (v.a.b...); ok is false otherwise.
+func PathOf(e expr.Expr) (PathRef, bool) {
+	var path []string
+	for {
+		switch n := e.(type) {
+		case *expr.Var:
+			// reverse accumulated path
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return PathRef{Var: n.Name, Path: path}, true
+		case *expr.Field:
+			path = append(path, n.Name)
+			e = n.Base
+		default:
+			return PathRef{}, false
+		}
+	}
+}

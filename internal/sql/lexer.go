@@ -1,0 +1,187 @@
+// Package sql implements MOODSQL, the SQL-like object-oriented query
+// language of Section 3: the data definition language (CREATE CLASS with
+// TUPLE attributes, INHERITS FROM, METHODS), object creation
+// (new Class <...>), and SELECT queries with path expressions, the EVERY /
+// minus FROM-clause operators, GROUP BY/HAVING and ORDER BY. The parser
+// produces expression trees shared with the run-time interpreter, so the
+// optimizer analyzes exactly what the executor runs.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokPunct // single/multi-char punctuation: ( ) , . ; : < > = <> <= >= + - * / % -
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; idents keep their case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "EVERY": true,
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "CREATE": true,
+	"CLASS": true, "TYPE": true, "INDEX": true, "INHERITS": true,
+	"TUPLE": true, "METHODS": true, "DROP": true, "NEW": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "ON": true, "USING": true, "UNIQUE": true,
+	"BTREE": true, "HASH": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "TRUE": true, "FALSE": true, "NULL": true,
+	"LIST": true, "REFERENCE": true, "AS": true, "IS": true, "DISTINCT": true,
+}
+
+// Lex tokenizes a MOODSQL statement. Keywords are case-insensitive; string
+// literals use single quotes with ” as the escape.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // comment to end of line
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (!seenDot && input[i] == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1])))) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			// Exponent.
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && unicode.IsDigit(rune(input[j])) {
+					i = j
+					for i < n && unicode.IsDigit(rune(input[i])) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case c == '"':
+			// Double-quoted strings accepted too (MoodView emits them in
+			// new Employee <"Budak Arpinar", ...>).
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '"' {
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case c == '<':
+			if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, Token{TokPunct, "<>", i})
+				i += 2
+			} else if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokPunct, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokPunct, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokPunct, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokPunct, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokPunct, "<>", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		case strings.ContainsRune("(),.;:=+-*/%", rune(c)):
+			toks = append(toks, Token{TokPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}

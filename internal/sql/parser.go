@@ -1,0 +1,869 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mood/internal/expr"
+	"mood/internal/object"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses one MOODSQL statement (a trailing semicolon is permitted).
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokPunct, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(input string) ([]Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Statement
+	for !p.at(TokEOF, "") {
+		stmt, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+		if !p.accept(TokPunct, ";") && !p.at(TokEOF, "") {
+			return nil, p.errf("expected ';' between statements, got %s", p.peek())
+		}
+		for p.accept(TokPunct, ";") {
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == k && (text == "" || t.Text == text)
+}
+func (p *parser) accept(k TokenKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *parser) expect(k TokenKind, text string) (Token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", k)
+	}
+	return Token{}, p.errf("expected %s, got %s", want, p.peek())
+}
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *parser) ident() (string, error) {
+	if p.at(TokIdent, "") {
+		return p.next().Text, nil
+	}
+	return "", p.errf("expected identifier, got %s", p.peek())
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.at(TokKeyword, "CREATE"):
+		return p.createStmt()
+	case p.at(TokKeyword, "DROP"):
+		return p.dropStmt()
+	case p.at(TokKeyword, "NEW"):
+		return p.newStmt()
+	case p.at(TokKeyword, "UPDATE"):
+		return p.updateStmt()
+	case p.at(TokKeyword, "DELETE"):
+		return p.deleteStmt()
+	}
+	return nil, p.errf("expected a statement, got %s", p.peek())
+}
+
+// --- DDL -----------------------------------------------------------------
+
+func (p *parser) createStmt() (Statement, error) {
+	p.next() // CREATE
+	switch {
+	case p.accept(TokKeyword, "CLASS"):
+		return p.createClass(false)
+	case p.accept(TokKeyword, "TYPE"):
+		return p.createClass(true)
+	case p.accept(TokKeyword, "UNIQUE"):
+		if _, err := p.expect(TokKeyword, "INDEX"); err != nil {
+			return nil, err
+		}
+		return p.createIndex(true)
+	case p.accept(TokKeyword, "INDEX"):
+		return p.createIndex(false)
+	}
+	return nil, p.errf("expected CLASS, TYPE or INDEX after CREATE")
+}
+
+func (p *parser) createClass(isType bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	out := &CreateClass{Name: name, IsType: isType}
+	if p.accept(TokKeyword, "INHERITS") {
+		if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+			return nil, err
+		}
+		for {
+			s, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			out.Supers = append(out.Supers, s)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "TUPLE") {
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		for !p.at(TokPunct, ")") {
+			fname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ftype, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			out.Fields = append(out.Fields, FieldDef{Name: fname, Type: ftype})
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokKeyword, "METHODS") {
+		p.accept(TokPunct, ":")
+		for p.at(TokIdent, "") {
+			m, err := p.methodDef()
+			if err != nil {
+				return nil, err
+			}
+			out.Methods = append(out.Methods, m)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// methodDef parses "name ( [pname ptype, ...] ) rettype".
+func (p *parser) methodDef() (MethodDef, error) {
+	var m MethodDef
+	name, err := p.ident()
+	if err != nil {
+		return m, err
+	}
+	m.Name = name
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return m, err
+	}
+	for !p.at(TokPunct, ")") {
+		pname, err := p.ident()
+		if err != nil {
+			return m, err
+		}
+		ptype, err := p.typeExpr()
+		if err != nil {
+			return m, err
+		}
+		m.ParamNames = append(m.ParamNames, pname)
+		m.ParamTypes = append(m.ParamTypes, ptype)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return m, err
+	}
+	ret, err := p.typeExpr()
+	if err != nil {
+		return m, err
+	}
+	m.Return = ret
+	return m, nil
+}
+
+// typeExpr parses a MOOD type: basic names, String(n), REFERENCE (C),
+// SET (t), LIST (t), TUPLE (...).
+func (p *parser) typeExpr() (*object.Type, error) {
+	switch {
+	case p.accept(TokKeyword, "REFERENCE"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cls, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return object.RefTo(cls), nil
+	case p.at(TokKeyword, "SET"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return object.SetOf(elem), nil
+	case p.accept(TokKeyword, "LIST"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return object.ListOf(elem), nil
+	case p.accept(TokKeyword, "TUPLE"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		var fields []object.Field
+		for !p.at(TokPunct, ")") {
+			fname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ftype, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, object.Field{Name: fname, Type: ftype})
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return object.TupleOf(fields...), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(name) {
+	case "integer", "int":
+		return object.TInteger, nil
+	case "longinteger", "long":
+		return object.TLongInteger, nil
+	case "float", "double":
+		return object.TFloat, nil
+	case "char":
+		return object.TChar, nil
+	case "boolean", "bool":
+		return object.TBoolean, nil
+	case "string":
+		if p.accept(TokPunct, "(") {
+			num, err := p.expect(TokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(num.Text)
+			if err != nil {
+				return nil, p.errf("bad string length %q", num.Text)
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return object.StringN(n), nil
+		}
+		return object.TString, nil
+	}
+	return nil, p.errf("unknown type %q", name)
+}
+
+func (p *parser) createIndex(unique bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	class, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	out := &CreateIndex{Name: name, Class: class, Attr: attr, Unique: unique}
+	if p.accept(TokKeyword, "USING") {
+		switch {
+		case p.accept(TokKeyword, "BTREE"):
+		case p.accept(TokKeyword, "HASH"):
+			out.Hash = true
+		default:
+			return nil, p.errf("expected BTREE or HASH after USING")
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) dropStmt() (Statement, error) {
+	p.next() // DROP
+	switch {
+	case p.accept(TokKeyword, "CLASS"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropClass{Name: name}, nil
+	case p.accept(TokKeyword, "INDEX"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Name: name}, nil
+	}
+	return nil, p.errf("expected CLASS or INDEX after DROP")
+}
+
+// --- DML -----------------------------------------------------------------
+
+// newStmt parses: new Class < v1, v2, ... >
+func (p *parser) newStmt() (Statement, error) {
+	p.next() // NEW
+	class, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "<"); err != nil {
+		return nil, err
+	}
+	out := &NewObject{Class: class}
+	for !p.at(TokPunct, ">") {
+		// Values parse at additive level so the closing '>' is not taken
+		// for a comparison operator.
+		e, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		out.Values = append(out.Values, e)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ">"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	p.next() // UPDATE
+	from, err := p.fromItem()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	out := &Update{From: from}
+	for {
+		attr, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		out.Sets = append(out.Sets, SetClause{Attr: attr, Value: val})
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+	return out, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.fromItem()
+	if err != nil {
+		return nil, err
+	}
+	out := &Delete{From: from}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+	return out, nil
+}
+
+// --- SELECT --------------------------------------------------------------
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.next() // SELECT
+	out := &Select{}
+	out.Distinct = p.accept(TokKeyword, "DISTINCT")
+	for {
+		item, err := p.projItem()
+		if err != nil {
+			return nil, err
+		}
+		out.Projs = append(out.Projs, item)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.fromItem()
+		if err != nil {
+			return nil, err
+		}
+		out.From = append(out.From, fi)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	// The paper's grammar lists GROUP BY before WHERE; accept both orders.
+	for {
+		switch {
+		case p.accept(TokKeyword, "WHERE"):
+			if out.Where != nil {
+				return nil, p.errf("duplicate WHERE")
+			}
+			w, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			out.Where = w
+		case p.accept(TokKeyword, "GROUP"):
+			if _, err := p.expect(TokKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			for {
+				ref, err := p.pathRef()
+				if err != nil {
+					return nil, err
+				}
+				out.GroupBy = append(out.GroupBy, ref)
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if p.accept(TokKeyword, "HAVING") {
+				h, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				out.Having = h
+			}
+		case p.accept(TokKeyword, "ORDER"):
+			if _, err := p.expect(TokKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			for {
+				ref, err := p.pathRef()
+				if err != nil {
+					return nil, err
+				}
+				item := OrderItem{Ref: ref}
+				if p.accept(TokKeyword, "DESC") {
+					item.Desc = true
+				} else {
+					p.accept(TokKeyword, "ASC")
+				}
+				out.OrderBy = append(out.OrderBy, item)
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+		default:
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) projItem() (ProjItem, error) {
+	var item ProjItem
+	for _, agg := range []struct {
+		kw   string
+		kind AggKind
+	}{
+		{"COUNT", AggCount}, {"SUM", AggSum}, {"AVG", AggAvg},
+		{"MIN", AggMin}, {"MAX", AggMax},
+	} {
+		if p.at(TokKeyword, agg.kw) && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == "(" {
+			p.next()
+			p.next() // (
+			item.Agg = agg.kind
+			if agg.kind == AggCount && p.accept(TokPunct, "*") {
+				item.Star = true
+			} else {
+				e, err := p.expression()
+				if err != nil {
+					return item, err
+				}
+				item.Expr = e
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return item, err
+			}
+			if p.accept(TokKeyword, "AS") {
+				as, err := p.ident()
+				if err != nil {
+					return item, err
+				}
+				item.As = as
+			}
+			return item, nil
+		}
+	}
+	e, err := p.expression()
+	if err != nil {
+		return item, err
+	}
+	item.Expr = e
+	if p.accept(TokKeyword, "AS") {
+		as, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.As = as
+	}
+	return item, nil
+}
+
+func (p *parser) fromItem() (FromItem, error) {
+	var fi FromItem
+	fi.Every = p.accept(TokKeyword, "EVERY")
+	class, err := p.ident()
+	if err != nil {
+		return fi, err
+	}
+	fi.Class = class
+	for p.accept(TokPunct, "-") {
+		m, err := p.ident()
+		if err != nil {
+			return fi, err
+		}
+		fi.Minus = append(fi.Minus, m)
+	}
+	v, err := p.ident()
+	if err != nil {
+		return fi, fmt.Errorf("sql: FROM item %s needs a range variable: %w", class, err)
+	}
+	fi.Var = v
+	return fi, nil
+}
+
+func (p *parser) pathRef() (PathRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return PathRef{}, err
+	}
+	ref := PathRef{Var: name}
+	for p.accept(TokPunct, ".") {
+		attr, err := p.ident()
+		if err != nil {
+			return ref, err
+		}
+		ref.Path = append(ref.Path, attr)
+	}
+	return ref, nil
+}
+
+// --- expressions ----------------------------------------------------------
+
+// expression parses OR-level precedence.
+func (p *parser) expression() (expr.Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr.Logic{Op: expr.OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (expr.Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr.Logic{Op: expr.OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (expr.Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{E: e}, nil
+	}
+	return p.comparison()
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.OpEq, "<>": expr.OpNe, ">=": expr.OpGe,
+	"<=": expr.OpLe, ">": expr.OpGt, "<": expr.OpLt,
+}
+
+func (p *parser) comparison() (expr.Expr, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "BETWEEN") {
+		lo, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Between{E: left, Lo: lo, Hi: hi}, nil
+	}
+	if t := p.peek(); t.Kind == TokPunct {
+		if op, ok := cmpOps[t.Text]; ok {
+			p.next()
+			right, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Cmp{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) additive() (expr.Expr, error) {
+	left, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.ArithOp
+		switch {
+		case p.at(TokPunct, "+"):
+			op = expr.OpAdd
+		case p.at(TokPunct, "-"):
+			op = expr.OpSub
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr.Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) multiplicative() (expr.Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.ArithOp
+		switch {
+		case p.at(TokPunct, "*"):
+			op = expr.OpMul
+		case p.at(TokPunct, "/"):
+			op = expr.OpDiv
+		case p.at(TokPunct, "%"):
+			op = expr.OpMod
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr.Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) unary() (expr.Expr, error) {
+	if p.accept(TokPunct, "-") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Neg{E: e}, nil
+	}
+	return p.postfix()
+}
+
+// postfix parses primary expressions followed by .attr and .method(args)
+// chains — the path expressions at the heart of MOODSQL.
+func (p *parser) postfix() (expr.Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokPunct, ".") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TokPunct, "(") {
+			call := &expr.Call{Base: e, Method: name}
+			for !p.at(TokPunct, ")") {
+				arg, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			e = call
+		} else {
+			e = &expr.Field{Base: e, Name: name}
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (expr.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &expr.Const{Val: object.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		if n >= -1<<31 && n < 1<<31 {
+			return &expr.Const{Val: object.NewInt(int32(n))}, nil
+		}
+		return &expr.Const{Val: object.NewLong(n)}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &expr.Const{Val: object.NewString(t.Text)}, nil
+	case t.Kind == TokKeyword && t.Text == "TRUE":
+		p.next()
+		return &expr.Const{Val: object.NewBool(true)}, nil
+	case t.Kind == TokKeyword && t.Text == "FALSE":
+		p.next()
+		return &expr.Const{Val: object.NewBool(false)}, nil
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.next()
+		return &expr.Const{Val: object.Null}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		return &expr.Var{Name: t.Text}, nil
+	case p.accept(TokPunct, "("):
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected an expression, got %s", t)
+}

@@ -1,0 +1,381 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mood/internal/expr"
+	"mood/internal/object"
+)
+
+func parse(t *testing.T, in string) Statement {
+	t.Helper()
+	st, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", in, err)
+	}
+	return st
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := Lex("SELECT c FROM EVERY Automobile - JapaneseAuto c WHERE c.x >= 4.5 AND c.name = 'O''Hara'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"SELECT", "EVERY", "-", ">=", "4.5", "'O'Hara'"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lexer output missing %q: %s", want, joined)
+		}
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+	// Comments.
+	toks, err = Lex("SELECT -- a comment\n c FROM C c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 6 { // SELECT c FROM C c EOF
+		t.Errorf("comment not skipped: %v", toks)
+	}
+}
+
+func TestParsePaperDDL(t *testing.T) {
+	// The paper's Section 3.1 CREATE CLASS Vehicle, verbatim structure.
+	st := parse(t, `
+		CREATE CLASS Vehicle
+		TUPLE (
+			id Integer,
+			weight Integer,
+			drivetrain REFERENCE (VehicleDriveTrain),
+			manufacturer REFERENCE (Company)
+		)
+		METHODS:
+			lbweight () Integer,
+			weight () Integer`)
+	cc, ok := st.(*CreateClass)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if cc.Name != "Vehicle" || cc.IsType {
+		t.Errorf("name/type: %+v", cc)
+	}
+	if len(cc.Fields) != 4 {
+		t.Fatalf("fields = %d", len(cc.Fields))
+	}
+	if cc.Fields[2].Type.Kind != object.KindReference || cc.Fields[2].Type.Target != "VehicleDriveTrain" {
+		t.Errorf("drivetrain type = %s", cc.Fields[2].Type)
+	}
+	if len(cc.Methods) != 2 || cc.Methods[0].Name != "lbweight" {
+		t.Errorf("methods = %+v", cc.Methods)
+	}
+	if cc.Methods[0].Return.Kind != object.KindInteger {
+		t.Errorf("lbweight return = %s", cc.Methods[0].Return)
+	}
+
+	st = parse(t, "CREATE CLASS JapaneseAuto INHERITS FROM Automobile")
+	cc = st.(*CreateClass)
+	if len(cc.Supers) != 1 || cc.Supers[0] != "Automobile" {
+		t.Errorf("supers = %v", cc.Supers)
+	}
+
+	// String(32) and nested constructors.
+	st = parse(t, `CREATE CLASS VehicleDriveTrain TUPLE (
+		engine REFERENCE (VehicleEngine),
+		transmission String(32),
+		tags SET (String),
+		history LIST (TUPLE (year Integer, note String)) )`)
+	cc = st.(*CreateClass)
+	if cc.Fields[1].Type.StrLen != 32 {
+		t.Errorf("String(32) = %s", cc.Fields[1].Type)
+	}
+	if cc.Fields[2].Type.Kind != object.KindSet || cc.Fields[2].Type.Elem.Kind != object.KindString {
+		t.Errorf("SET(String) = %s", cc.Fields[2].Type)
+	}
+	if cc.Fields[3].Type.Kind != object.KindList || cc.Fields[3].Type.Elem.Kind != object.KindTuple {
+		t.Errorf("LIST(TUPLE) = %s", cc.Fields[3].Type)
+	}
+}
+
+func TestParseCreateType(t *testing.T) {
+	st := parse(t, "CREATE TYPE Address TUPLE (street String, city String)")
+	cc := st.(*CreateClass)
+	if !cc.IsType {
+		t.Error("CREATE TYPE not marked as type")
+	}
+}
+
+func TestParseCreateDropIndex(t *testing.T) {
+	st := parse(t, "CREATE INDEX cyl ON VehicleEngine(cylinders) USING BTREE")
+	ci := st.(*CreateIndex)
+	if ci.Name != "cyl" || ci.Class != "VehicleEngine" || ci.Attr != "cylinders" || ci.Hash || ci.Unique {
+		t.Errorf("%+v", ci)
+	}
+	st = parse(t, "CREATE UNIQUE INDEX n ON Company(name) USING HASH")
+	ci = st.(*CreateIndex)
+	if !ci.Hash || !ci.Unique {
+		t.Errorf("%+v", ci)
+	}
+	if _, ok := parse(t, "DROP INDEX n").(*DropIndex); !ok {
+		t.Error("DROP INDEX")
+	}
+	if _, ok := parse(t, "DROP CLASS Vehicle").(*DropClass); !ok {
+		t.Error("DROP CLASS")
+	}
+}
+
+func TestParseNewObject(t *testing.T) {
+	// MoodView's statement from Section 9.4.
+	st := parse(t, `new Employee < "Budak Arpinar", "Computer Engineer", 1969 >`)
+	no := st.(*NewObject)
+	if no.Class != "Employee" || len(no.Values) != 3 {
+		t.Fatalf("%+v", no)
+	}
+	c0 := no.Values[0].(*expr.Const)
+	if c0.Val.Str != "Budak Arpinar" {
+		t.Errorf("first value = %s", c0.Val)
+	}
+	c2 := no.Values[2].(*expr.Const)
+	if c2.Val.Int != 1969 {
+		t.Errorf("third value = %s", c2.Val)
+	}
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	// Section 3.1's example query, verbatim.
+	st := parse(t, `
+		SELECT c
+		FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v
+		WHERE c.drivetrain.transmission = 'AUTOMATIC'
+		AND c.drivetrain.engine = v
+		AND v.cylinders > 4`)
+	q := st.(*Select)
+	if len(q.Projs) != 1 || q.Projs[0].Agg != AggNone {
+		t.Fatalf("projs: %+v", q.Projs)
+	}
+	if ref, ok := PathOf(q.Projs[0].Expr); !ok || ref.Var != "c" || len(ref.Path) != 0 {
+		t.Errorf("projection: %+v", q.Projs[0])
+	}
+	if len(q.From) != 2 {
+		t.Fatalf("from: %+v", q.From)
+	}
+	f0 := q.From[0]
+	if !f0.Every || f0.Class != "Automobile" || len(f0.Minus) != 1 || f0.Minus[0] != "JapaneseAuto" || f0.Var != "c" {
+		t.Errorf("from[0] = %+v", f0)
+	}
+	if q.From[1].Class != "VehicleEngine" || q.From[1].Var != "v" {
+		t.Errorf("from[1] = %+v", q.From[1])
+	}
+	// WHERE is a conjunction of three predicates.
+	and1, ok := q.Where.(*expr.Logic)
+	if !ok || and1.Op != expr.OpAnd {
+		t.Fatalf("where: %T", q.Where)
+	}
+	// The middle predicate is the implicit join c.drivetrain.engine = v.
+	want := "c.drivetrain.engine = v"
+	if !strings.Contains(q.Where.(*expr.Logic).String(), want) {
+		t.Errorf("where rendering misses %q: %s", want, q.Where)
+	}
+}
+
+func TestParseExample81Query(t *testing.T) {
+	st := parse(t, `
+		Select v
+		From Vehicle v
+		where v.company.name = 'BMW' and v.drivetrain.engine.cylinders = 2`)
+	q := st.(*Select)
+	if q.From[0].Every || q.From[0].Class != "Vehicle" {
+		t.Errorf("from = %+v", q.From[0])
+	}
+	and, ok := q.Where.(*expr.Logic)
+	if !ok {
+		t.Fatalf("where %T", q.Where)
+	}
+	l, ok := and.L.(*expr.Cmp)
+	if !ok {
+		t.Fatalf("left %T", and.L)
+	}
+	ref, ok := PathOf(l.L)
+	if !ok || ref.Var != "v" || len(ref.Path) != 2 || ref.Path[1] != "name" {
+		t.Errorf("P2 path = %+v", ref)
+	}
+}
+
+func TestParseGroupByHavingOrderBy(t *testing.T) {
+	st := parse(t, `
+		SELECT e.cylinders, COUNT(*) AS n, AVG(e.size) AS avgsize
+		FROM VehicleEngine e
+		WHERE e.size > 1000
+		GROUP BY e.cylinders
+		HAVING n > 2
+		ORDER BY e.cylinders DESC, e.size`)
+	q := st.(*Select)
+	if len(q.Projs) != 3 {
+		t.Fatalf("projs = %d", len(q.Projs))
+	}
+	if q.Projs[1].Agg != AggCount || !q.Projs[1].Star || q.Projs[1].As != "n" {
+		t.Errorf("count proj = %+v", q.Projs[1])
+	}
+	if q.Projs[2].Agg != AggAvg {
+		t.Errorf("avg proj = %+v", q.Projs[2])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].String() != "e.cylinders" {
+		t.Errorf("group by = %+v", q.GroupBy)
+	}
+	if q.Having == nil {
+		t.Error("having lost")
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", q.OrderBy)
+	}
+}
+
+func TestParseGroupByBeforeWhere(t *testing.T) {
+	// The paper's grammar places GROUP BY before WHERE; both orders parse.
+	st := parse(t, `SELECT e.cylinders FROM VehicleEngine e GROUP BY e.cylinders WHERE e.size > 0`)
+	q := st.(*Select)
+	if q.Where == nil || len(q.GroupBy) != 1 {
+		t.Errorf("%+v", q)
+	}
+}
+
+func TestParseMethodCallAndArithmetic(t *testing.T) {
+	st := parse(t, `SELECT v FROM Vehicle v WHERE v.lbweight() > v.weight * 2 + 100`)
+	q := st.(*Select)
+	cmp := q.Where.(*expr.Cmp)
+	if _, ok := cmp.L.(*expr.Call); !ok {
+		t.Errorf("lhs = %T", cmp.L)
+	}
+	// Precedence: * binds tighter than +.
+	add := cmp.R.(*expr.Arith)
+	if add.Op != expr.OpAdd {
+		t.Fatalf("rhs = %s", add)
+	}
+	if mul, ok := add.L.(*expr.Arith); !ok || mul.Op != expr.OpMul {
+		t.Errorf("precedence broken: %s", add)
+	}
+}
+
+func TestParseBetweenNotParens(t *testing.T) {
+	st := parse(t, `SELECT v FROM Vehicle v WHERE NOT (v.weight BETWEEN 100 AND 200 OR v.id = 1)`)
+	q := st.(*Select)
+	not, ok := q.Where.(*expr.Not)
+	if !ok {
+		t.Fatalf("%T", q.Where)
+	}
+	or, ok := not.E.(*expr.Logic)
+	if !ok || or.Op != expr.OpOr {
+		t.Fatalf("%T", not.E)
+	}
+	if _, ok := or.L.(*expr.Between); !ok {
+		t.Errorf("between = %T", or.L)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	st := parse(t, `UPDATE Vehicle v SET weight = v.weight + 10 WHERE v.id = 3`)
+	u := st.(*Update)
+	if u.From.Var != "v" || len(u.Sets) != 1 || u.Sets[0].Attr != "weight" || u.Where == nil {
+		t.Errorf("%+v", u)
+	}
+	st = parse(t, `DELETE FROM EVERY Vehicle v WHERE v.weight < 0`)
+	d := st.(*Delete)
+	if !d.From.Every || d.Where == nil {
+		t.Errorf("%+v", d)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript(`
+		CREATE CLASS A TUPLE (x Integer);
+		CREATE CLASS B INHERITS FROM A;
+		SELECT a FROM A a;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT c",
+		"SELECT c FROM",
+		"SELECT c FROM Vehicle",                  // missing range variable
+		"SELECT c FROM Vehicle c WHERE",          // dangling where
+		"CREATE CLASS",                           // missing name
+		"CREATE CLASS X TUPLE (a Wrong)",         // unknown type
+		"CREATE INDEX i ON C(a) USING QUADTREE",  // unknown method
+		"new Employee < 'x', ",                   // unterminated
+		"SELECT c FROM Vehicle c WHERE c.x = ) ", // stray paren
+		"SELECT c FROM Vehicle c extra",          // trailing garbage
+		"SELECT c FROM Vehicle c WHERE c.x BETWEEN 1", // incomplete between
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestPathOf(t *testing.T) {
+	e := expr.Path("v", "a", "b")
+	ref, ok := PathOf(e)
+	if !ok || ref.Var != "v" || len(ref.Path) != 2 || ref.Path[0] != "a" || ref.Path[1] != "b" {
+		t.Errorf("PathOf = %+v %v", ref, ok)
+	}
+	if _, ok := PathOf(&expr.Const{Val: object.NewInt(1)}); ok {
+		t.Error("PathOf(const) = true")
+	}
+	if _, ok := PathOf(&expr.Call{Base: &expr.Var{Name: "v"}, Method: "m"}); ok {
+		t.Error("PathOf(call) = true")
+	}
+}
+
+// TestParserNeverPanics feeds random garbage and random token
+// recombinations to the parser: errors are fine, panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1994))
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "EVERY",
+		"AND", "OR", "NOT", "BETWEEN", "CREATE", "CLASS", "TUPLE", "METHODS",
+		"INHERITS", "new", "Vehicle", "v", "c", ".", ",", "(", ")", "<", ">",
+		"=", "<>", "-", "+", "*", "/", "%", ";", ":", "'str'", "42", "3.14",
+		"Integer", "REFERENCE", "SET", "LIST", "String", "COUNT", "AS",
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 5000; trial++ {
+		var sb strings.Builder
+		n := 1 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			sb.WriteByte(' ')
+		}
+		Parse(sb.String()) // error or not — must not panic
+	}
+	// Raw random bytes through the lexer and parser.
+	for trial := 0; trial < 2000; trial++ {
+		b := make([]byte, rng.Intn(60))
+		for i := range b {
+			b[i] = byte(rng.Intn(128))
+		}
+		Parse(string(b))
+	}
+}

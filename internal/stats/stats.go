@@ -1,0 +1,199 @@
+// Package stats collects the cost-model parameters of Table 8 from a live
+// database: |C|, nbpages(C), size(C), notnull(A,C), fan(A,C,D),
+// totref(A,C,D) (totlinks and hitprb derive from these), and dist/max/min
+// for atomic attributes. The optimizer reads the result through the cost
+// package; the moodbench tool prints it back as the paper's Tables 13–15.
+package stats
+
+import (
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// Collect scans every class extent once and assembles the statistics base.
+// Attributes are attributed to the class that declares them; inherited
+// attributes therefore resolve through the declaring superclass, and
+// instances of subclasses contribute to the superclass's statistics (IS-A
+// semantics: an Automobile is a Vehicle).
+func Collect(cat *catalog.Catalog, disk cost.Disk) (*cost.Stats, error) {
+	s := cost.NewStats(disk)
+
+	type attrAgg struct {
+		class, attr string
+		target      string // reference target class ("" for atomic)
+		nonNull     int
+		totalRefs   int
+		distinctRef map[storage.OID]bool
+		distinctVal map[string]bool
+		max, min    float64
+		haveNum     bool
+		rows        int
+	}
+	aggs := map[string]*attrAgg{}
+	aggKey := func(c, a string) string { return c + "." + a }
+
+	for _, cl := range cat.Classes() {
+		if !cl.IsClass {
+			continue
+		}
+		// Class-level parameters come from the class's own extent.
+		card, err := cat.ExtentCount(cl.Name)
+		if err != nil {
+			return nil, err
+		}
+		pages, err := cat.ExtentPages(cl.Name)
+		if err != nil {
+			return nil, err
+		}
+		var bytes int
+		if err := cat.ScanExtent(cl.Name, func(_ storage.OID, v object.Value) bool {
+			bytes += len(object.Marshal(v))
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		size := 0
+		if card > 0 {
+			size = bytes / card
+		}
+		s.SetClass(cost.ClassStats{Name: cl.Name, Card: card, NbPages: pages, Size: size})
+
+		// Prepare aggregators for the attributes this class declares.
+		for _, f := range cl.Tuple.Fields {
+			a := &attrAgg{
+				class: cl.Name, attr: f.Name,
+				distinctRef: map[storage.OID]bool{},
+				distinctVal: map[string]bool{},
+			}
+			switch f.Type.Kind {
+			case object.KindReference:
+				a.target = f.Type.Target
+			case object.KindSet, object.KindList:
+				if f.Type.Elem != nil && f.Type.Elem.Kind == object.KindReference {
+					a.target = f.Type.Elem.Target
+				}
+			}
+			aggs[aggKey(cl.Name, f.Name)] = a
+		}
+	}
+
+	// One pass per class closure: each object contributes to the
+	// aggregators of every class on its IS-A chain that declares the
+	// attribute.
+	for _, cl := range cat.Classes() {
+		if !cl.IsClass || len(cl.Tuple.Fields) == 0 {
+			continue
+		}
+		cl := cl
+		if err := cat.ScanClosure(cl.Name, nil, func(_ storage.OID, v object.Value) bool {
+			for _, f := range cl.Tuple.Fields {
+				a := aggs[aggKey(cl.Name, f.Name)]
+				a.rows++
+				av, ok := v.Field(f.Name)
+				if !ok || av.IsNull() {
+					continue
+				}
+				// A nil reference is a null attribute for notnull(A,C).
+				if av.Kind == object.KindReference && av.Ref.IsNil() {
+					continue
+				}
+				a.nonNull++
+				switch av.Kind {
+				case object.KindReference:
+					if !av.Ref.IsNil() {
+						a.totalRefs++
+						a.distinctRef[av.Ref] = true
+					}
+				case object.KindSet, object.KindList:
+					for _, e := range av.Elems {
+						if e.Kind == object.KindReference && !e.Ref.IsNil() {
+							a.totalRefs++
+							a.distinctRef[e.Ref] = true
+						}
+					}
+				default:
+					a.distinctVal[av.String()] = true
+					if n, ok := av.AsFloat(); ok {
+						if !a.haveNum || n > a.max {
+							a.max = n
+						}
+						if !a.haveNum || n < a.min {
+							a.min = n
+						}
+						a.haveNum = true
+					}
+				}
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, a := range aggs {
+		notNull := 0.0
+		if a.rows > 0 {
+			notNull = float64(a.nonNull) / float64(a.rows)
+		}
+		if a.target != "" {
+			fan := 0.0
+			if a.rows > 0 {
+				fan = float64(a.totalRefs) / float64(a.rows)
+			}
+			targetCard := 0
+			if n, err := cat.ExtentCount(a.target); err == nil {
+				targetCard = n
+			}
+			// |D| counts the closure (an attribute typed REFERENCE(D) may
+			// reference any subclass instance).
+			if closure, err := cat.Closure(a.target); err == nil {
+				targetCard = 0
+				for _, t := range closure {
+					if n, err := cat.ExtentCount(t); err == nil {
+						targetCard += n
+					}
+				}
+			}
+			s.SetLink(cost.LinkStats{
+				Class:      a.class,
+				Attribute:  a.attr,
+				Target:     a.target,
+				Fan:        fan,
+				TotRef:     float64(len(a.distinctRef)),
+				NotNull:    notNull,
+				TargetCard: float64(targetCard),
+			})
+		} else {
+			s.SetAttr(cost.AttrStats{
+				Class:     a.class,
+				Attribute: a.attr,
+				Dist:      len(a.distinctVal),
+				Max:       a.max,
+				Min:       a.min,
+				NotNull:   notNull,
+			})
+		}
+	}
+	return s, nil
+}
+
+// IndexStats extracts Table 9 parameters for every B+-tree index in the
+// catalog, keyed "class.attribute".
+func IndexStats(cat *catalog.Catalog) map[string]cost.BTreeStats {
+	out := map[string]cost.BTreeStats{}
+	for _, ix := range cat.Indexes() {
+		if tr := ix.BTree(); tr != nil {
+			st := tr.Stats()
+			out[ix.Class+"."+ix.Attribute] = cost.BTreeStats{
+				Order:   st.Order,
+				Levels:  st.Levels,
+				Leaves:  st.Leaves,
+				KeySize: st.KeySize,
+				Unique:  st.Unique,
+			}
+		}
+	}
+	return out
+}

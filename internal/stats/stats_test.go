@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/vehicledb"
+)
+
+func TestCollectTable8Parameters(t *testing.T) {
+	cfg := vehicledb.Config{
+		Vehicles: 2000, DriveTrains: 1000, Engines: 1000,
+		Companies: 20000, Employees: 50, Seed: 7,
+	}
+	db, _, err := vehicledb.Build(cfg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Collect(db.Cat, cost.DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// |C| and nbpages for every class.
+	for _, c := range []struct {
+		name string
+		card int
+	}{
+		{"Vehicle", 2000}, {"VehicleDriveTrain", 1000},
+		{"VehicleEngine", 1000}, {"Company", 20000},
+	} {
+		cs, err := s.Class(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Card != c.card {
+			t.Errorf("|%s| = %d, want %d", c.name, cs.Card, c.card)
+		}
+		if cs.NbPages <= 0 {
+			t.Errorf("nbpages(%s) = %d", c.name, cs.NbPages)
+		}
+		if cs.Size <= 0 {
+			t.Errorf("size(%s) = %d", c.name, cs.Size)
+		}
+	}
+
+	// Atomic attribute: cylinders has dist=16, min=2, max=32 (Table 14).
+	cyl, err := s.Attr("VehicleEngine", "cylinders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyl.Dist != 16 || cyl.Min != 2 || cyl.Max != 32 {
+		t.Errorf("cylinders stats = %+v, want dist=16 min=2 max=32", cyl)
+	}
+	if cyl.NotNull != 1 {
+		t.Errorf("notnull(cylinders) = %v", cyl.NotNull)
+	}
+	// Company.name: one distinct name per company.
+	name, err := s.Attr("Company", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name.Dist != 20000 {
+		t.Errorf("dist(Company.name) = %d", name.Dist)
+	}
+
+	// Link statistics reproduce the Table 15 structure at 1/10 scale.
+	dt, err := s.Link("Vehicle", "drivetrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Fan != 1 {
+		t.Errorf("fan(drivetrain) = %v, want 1", dt.Fan)
+	}
+	if dt.TotRef != 1000 { // every drivetrain referenced (shared pairwise)
+		t.Errorf("totref(drivetrain) = %v, want 1000", dt.TotRef)
+	}
+	vcs, _ := s.Class("Vehicle")
+	if got := dt.TotLinks(vcs.Card); got != 2000 {
+		t.Errorf("totlinks(drivetrain) = %v, want 2000", got)
+	}
+	if got := dt.HitPrb(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("hitprb(drivetrain) = %v, want 1", got)
+	}
+
+	mf, err := s.Link("Vehicle", "manufacturer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Fan != 1 || mf.TotRef != 2000 {
+		t.Errorf("manufacturer fan/totref = %v/%v, want 1/2000", mf.Fan, mf.TotRef)
+	}
+	if got := mf.HitPrb(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("hitprb(manufacturer) = %v, want 0.1 (Table 15)", got)
+	}
+
+	eng, err := s.Link("VehicleDriveTrain", "engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Fan != 1 || eng.TotRef != 1000 || math.Abs(eng.HitPrb()-1) > 1e-12 {
+		t.Errorf("engine link = %+v", eng)
+	}
+}
+
+func TestCollectedStatsDriveExample81(t *testing.T) {
+	// At 1/10 scale the collected statistics must reproduce the paper's
+	// selectivity *values* for Example 8.1 (they are scale-free: 1/dist and
+	// o(t,1,t/20000·...)).
+	db, _, err := vehicledb.Build(vehicledb.Config{
+		Vehicles: 2000, DriveTrains: 1000, Engines: 1000,
+		Companies: 20000, Employees: 10, Seed: 3,
+	}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Collect(db.Cat, cost.DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := cost.Path{
+		Hops: []cost.PathHop{
+			{Class: "Vehicle", Attribute: "drivetrain"},
+			{Class: "VehicleDriveTrain", Attribute: "engine"},
+		},
+		FinalClass: "VehicleEngine", FinalAttr: "cylinders",
+	}
+	sel1, err := s.PathSelectivity(p1, cost.CmpEq, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 1/10 scale k_m = 1000/16 = 62.5, which o() rounds up to 63
+	// objects: f_s = 63/1000 (the paper-scale value is exactly 625/10000).
+	if math.Abs(sel1-0.063) > 1e-12 {
+		t.Errorf("f_s(P1) from measured stats = %v, want 0.063", sel1)
+	}
+	p2 := cost.Path{
+		Hops:       []cost.PathHop{{Class: "Vehicle", Attribute: "manufacturer"}},
+		FinalClass: "Company", FinalAttr: "name",
+	}
+	sel2, err := s.PathSelectivity(p2, cost.CmpEq, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k_m = 20000·(1/20000) = 1, hitprb = 0.1, fref = 1, totref = 2000:
+	// o(2000, 1, ⌈0.1⌉) = 1/2000 = 5e-4 (the paper's 5e-5 at 10× scale).
+	if math.Abs(sel2-5e-4) > 1e-12 {
+		t.Errorf("f_s(P2) from measured stats = %v, want 5e-4", sel2)
+	}
+}
+
+func TestNullAndSubclassHandling(t *testing.T) {
+	db, _, err := vehicledb.Build(vehicledb.Config{
+		Vehicles: 100, DriveTrains: 50, Engines: 50,
+		Companies: 100, Employees: 0, // presidents all nil
+		Seed: 1, Subclasses: true,
+	}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Collect(db.Cat, cost.DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := s.Link("Company", "president")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.NotNull != 0 || pres.Fan != 0 || pres.TotRef != 0 {
+		t.Errorf("all-null link stats = %+v", pres)
+	}
+	// Subclass instances contribute to Vehicle's attribute statistics.
+	wt, err := s.Attr("Vehicle", "weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.NotNull != 1 {
+		t.Errorf("weight notnull = %v (subclass rows missing?)", wt.NotNull)
+	}
+	dt, _ := s.Link("Vehicle", "drivetrain")
+	if dt.TotRef != 50 {
+		t.Errorf("totref over closure = %v, want 50", dt.TotRef)
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	db, _, err := vehicledb.Build(vehicledb.DefaultConfig(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Cat.CreateIndex("cyl", "VehicleEngine", "cylinders", catalog.BTreeIndex, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Cat.CreateIndex("cname", "Company", "name", catalog.HashIndex, false); err != nil {
+		t.Fatal(err)
+	}
+	m := IndexStats(db.Cat)
+	bs, ok := m["VehicleEngine.cylinders"]
+	if !ok {
+		t.Fatal("btree index missing from IndexStats")
+	}
+	if bs.Levels < 1 || bs.Leaves < 1 || bs.Order <= 0 {
+		t.Errorf("bad Table 9 stats: %+v", bs)
+	}
+	if _, ok := m["Company.name"]; ok {
+		t.Error("hash index reported B+-tree stats")
+	}
+}

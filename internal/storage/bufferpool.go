@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches disk pages in a fixed number of frames, replacing
+// unpinned frames with the clock (second-chance) algorithm. ESM provides the
+// equivalent buffer management for MOOD; the cost formulas of Section 6 are
+// "worst case ... where there are no page hits in the buffer", so benches can
+// size the pool down to 1 frame to reproduce that regime, or up to measure
+// hit-rate effects.
+type BufferPool struct {
+	disk *DiskSim
+
+	mu      sync.Mutex
+	frames  []frame
+	table   map[PageID]int // page -> frame index
+	hand    int
+	hits    int64
+	misses  int64
+	flushes int64
+	// flushLSN, when set, is consulted before evicting a dirty page so the
+	// WAL can enforce write-ahead: all log records up to the page LSN must
+	// be durable before the page goes to disk.
+	flushLSN func(lsn uint32) error
+}
+
+type frame struct {
+	id     PageID
+	buf    []byte
+	pin    int
+	dirty  bool
+	refbit bool
+	valid  bool
+}
+
+// NewBufferPool creates a pool of n frames over the disk.
+func NewBufferPool(disk *DiskSim, n int) *BufferPool {
+	if n < 1 {
+		n = 1
+	}
+	bp := &BufferPool{
+		disk:   disk,
+		frames: make([]frame, n),
+		table:  make(map[PageID]int, n),
+	}
+	for i := range bp.frames {
+		bp.frames[i].buf = make([]byte, disk.PageSize())
+	}
+	return bp
+}
+
+// SetFlushHook installs the WAL write-ahead callback invoked with a page's
+// LSN before the page is written out.
+func (bp *BufferPool) SetFlushHook(fn func(lsn uint32) error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.flushLSN = fn
+}
+
+// Disk returns the underlying simulated disk.
+func (bp *BufferPool) Disk() *DiskSim { return bp.disk }
+
+// Size returns the number of frames.
+func (bp *BufferPool) Size() int { return len(bp.frames) }
+
+// HitRate returns the fraction of Fetch calls served from the pool.
+func (bp *BufferPool) HitRate() float64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	total := bp.hits + bp.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.hits) / float64(total)
+}
+
+// Stats returns (hits, misses, flushes).
+func (bp *BufferPool) Stats() (hits, misses, flushes int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses, bp.flushes
+}
+
+// NewPage allocates a fresh disk page, pins it, and returns it formatted as
+// raw zeroes (callers format it). The page is marked dirty.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	id := bp.disk.AllocPage()
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	idx, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &bp.frames[idx]
+	for i := range f.buf {
+		f.buf[i] = 0
+	}
+	f.id, f.pin, f.dirty, f.refbit, f.valid = id, 1, true, true, true
+	bp.table[id] = idx
+	return NewPage(id, f.buf), nil
+}
+
+// Fetch pins the page and returns it, reading it from disk on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	if idx, ok := bp.table[id]; ok {
+		f := &bp.frames[idx]
+		f.pin++
+		f.refbit = true
+		bp.hits++
+		bp.mu.Unlock()
+		return NewPage(id, f.buf), nil
+	}
+	bp.misses++
+	idx, err := bp.victimLocked()
+	if err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	f := &bp.frames[idx]
+	f.id, f.pin, f.dirty, f.refbit, f.valid = id, 1, false, true, true
+	bp.table[id] = idx
+	buf := f.buf
+	bp.mu.Unlock()
+
+	// Read outside bp.mu so concurrent hits proceed; the frame is pinned so
+	// it cannot be stolen meanwhile.
+	if err := bp.disk.ReadPage(id, buf); err != nil {
+		bp.mu.Lock()
+		f.pin--
+		f.valid = false
+		delete(bp.table, id)
+		bp.mu.Unlock()
+		return nil, err
+	}
+	return NewPage(id, buf), nil
+}
+
+// MarkDirty records that the pinned page has been modified.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if idx, ok := bp.table[id]; ok {
+		bp.frames[idx].dirty = true
+	}
+}
+
+// Unpin releases one pin on the page; dirty additionally marks it modified.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	idx, ok := bp.table[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of page %d not in pool", id)
+	}
+	f := &bp.frames[idx]
+	if f.pin <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	f.pin--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// FlushPage forces the page to disk if it is dirty.
+func (bp *BufferPool) FlushPage(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	idx, ok := bp.table[id]
+	if !ok {
+		return nil
+	}
+	return bp.writeOutLocked(idx)
+}
+
+// FlushAll forces every dirty page to disk.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for i := range bp.frames {
+		if err := bp.writeOutLocked(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvictAll flushes and invalidates every unpinned frame, leaving the pool
+// cold (measurement harnesses use it to defeat cache warm-up).
+func (bp *BufferPool) EvictAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for i := range bp.frames {
+		f := &bp.frames[i]
+		if !f.valid || f.pin > 0 {
+			continue
+		}
+		if err := bp.writeOutLocked(i); err != nil {
+			return err
+		}
+		delete(bp.table, f.id)
+		f.valid = false
+	}
+	return nil
+}
+
+// Drop removes the page from the pool without writing it (used when a page
+// is freed).
+func (bp *BufferPool) Drop(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if idx, ok := bp.table[id]; ok {
+		bp.frames[idx] = frame{buf: bp.frames[idx].buf}
+		delete(bp.table, id)
+	}
+}
+
+// writeOutLocked flushes frame i if valid and dirty. Caller holds bp.mu.
+func (bp *BufferPool) writeOutLocked(i int) error {
+	f := &bp.frames[i]
+	if !f.valid || !f.dirty {
+		return nil
+	}
+	if bp.flushLSN != nil {
+		lsn := NewPage(f.id, f.buf).LSN()
+		if err := bp.flushLSN(lsn); err != nil {
+			return err
+		}
+	}
+	if err := bp.disk.WritePage(f.id, f.buf); err != nil {
+		return err
+	}
+	f.dirty = false
+	bp.flushes++
+	return nil
+}
+
+// victimLocked finds a free or evictable frame using the clock algorithm,
+// flushing the victim if dirty. Caller holds bp.mu.
+func (bp *BufferPool) victimLocked() (int, error) {
+	n := len(bp.frames)
+	for scanned := 0; scanned < 2*n; scanned++ {
+		i := bp.hand
+		bp.hand = (bp.hand + 1) % n
+		f := &bp.frames[i]
+		if !f.valid {
+			return i, nil
+		}
+		if f.pin > 0 {
+			continue
+		}
+		if f.refbit {
+			f.refbit = false
+			continue
+		}
+		if err := bp.writeOutLocked(i); err != nil {
+			return 0, err
+		}
+		delete(bp.table, f.id)
+		f.valid = false
+		return i, nil
+	}
+	return 0, ErrBufferBusy
+}

@@ -1,0 +1,245 @@
+// Package storage implements the storage-manager substrate MOOD relies on.
+//
+// The paper builds MOOD on the Exodus Storage Manager (ESM), which supplies
+// storage management, concurrency-controlled data access, and recovery.
+// This package is the Go substitute: a simulated disk with the physical cost
+// parameters of the paper's Table 10, slotted pages, a buffer pool with
+// clock replacement, ESM-style files, and an object store addressed by OIDs.
+//
+// One ESM property the paper calls out explicitly is preserved: an ESM file
+// is stored as a B+ tree of pages, so the "sequential" scan of a file costs
+// the same as random access unless the allocator happens to lay pages out
+// contiguously. DiskSim therefore distinguishes sequential from random block
+// accesses by physical adjacency, exactly as the SEQCOST/RNDCOST formulas of
+// Section 5 do.
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DiskParams holds the physical disk parameters of the paper's Table 10.
+// All times are in milliseconds; BlockSize is in bytes.
+type DiskParams struct {
+	BlockSize int     // B: block size in bytes
+	BTT       float64 // btt: block transfer time
+	EBT       float64 // ebt: effective block transfer time (sequential)
+	R         float64 // r: average rotational latency
+	S         float64 // s: average seek time
+}
+
+// DefaultDiskParams returns Salzberg-style parameters for a late-1980s disk,
+// the era of the paper's cost references [Sal 88]. The paper itself does not
+// print the values it used; these are configurable everywhere they are used.
+func DefaultDiskParams() DiskParams {
+	return DiskParams{
+		BlockSize: 4096,
+		BTT:       0.84, // ms to transfer one block after positioning
+		EBT:       0.84, // ms per block when reading consecutively
+		R:         8.3,  // ms average rotational latency
+		S:         16.0, // ms average seek
+	}
+}
+
+// RandomAccessTime returns the cost in milliseconds of one random block read:
+// a seek, half a rotation, and one block transfer (s + r + btt).
+func (p DiskParams) RandomAccessTime() float64 { return p.S + p.R + p.BTT }
+
+// SequentialAccessTime returns the cost in milliseconds of reading b blocks
+// laid out consecutively: one seek, one rotational latency, then b effective
+// block transfers (s + r + b*ebt), the paper's SEQCOST(b).
+func (p DiskParams) SequentialAccessTime(b int) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return p.S + p.R + float64(b)*p.EBT
+}
+
+// PageID identifies a page within the simulated disk. Pages are allocated
+// from a single flat address space; files map their logical page numbers to
+// PageIDs through an allocation tree (see file.go).
+type PageID uint32
+
+// InvalidPageID is the zero PageID; page 0 is reserved for the disk header.
+const InvalidPageID PageID = 0
+
+// DiskStats aggregates the physical accesses performed against a DiskSim.
+type DiskStats struct {
+	RandomReads      int64   // block reads preceded by a repositioning
+	SequentialReads  int64   // block reads physically adjacent to the previous access
+	RandomWrites     int64   // block writes preceded by a repositioning
+	SequentialWrites int64   // block writes physically adjacent to the previous access
+	TimeMs           float64 // accumulated simulated time in milliseconds
+}
+
+// Reads returns the total number of block reads.
+func (s DiskStats) Reads() int64 { return s.RandomReads + s.SequentialReads }
+
+// Writes returns the total number of block writes.
+func (s DiskStats) Writes() int64 { return s.RandomWrites + s.SequentialWrites }
+
+// Accesses returns the total number of block accesses.
+func (s DiskStats) Accesses() int64 { return s.Reads() + s.Writes() }
+
+func (s DiskStats) String() string {
+	return fmt.Sprintf("reads=%d (rnd %d, seq %d) writes=%d (rnd %d, seq %d) time=%.3fms",
+		s.Reads(), s.RandomReads, s.SequentialReads,
+		s.Writes(), s.RandomWrites, s.SequentialWrites, s.TimeMs)
+}
+
+// DiskSim is an in-memory simulated disk. Every page access is accounted
+// against the physical parameters, so higher layers can compare measured
+// costs with the analytic formulas of Sections 5 and 6.
+//
+// DiskSim is safe for concurrent use.
+type DiskSim struct {
+	mu     sync.Mutex
+	params DiskParams
+	pages  map[PageID][]byte
+	next   PageID
+	free   []PageID
+	last   PageID // last physically accessed page, for adjacency detection
+	stats  DiskStats
+	// esmLayout models ESM's file organization (a B+ tree of pages):
+	// logically consecutive pages are not physically adjacent, so every
+	// access is charged as random — the paper's "the sequential access
+	// cost of a file is equal to its random access cost".
+	esmLayout bool
+}
+
+// NewDiskSim creates an empty simulated disk with the given parameters.
+func NewDiskSim(params DiskParams) *DiskSim {
+	if params.BlockSize <= 0 {
+		params = DefaultDiskParams()
+	}
+	return &DiskSim{
+		params: params,
+		pages:  make(map[PageID][]byte),
+		next:   1, // page 0 reserved
+	}
+}
+
+// Params returns the physical parameters of the disk.
+func (d *DiskSim) Params() DiskParams { return d.params }
+
+// PageSize returns the block size in bytes.
+func (d *DiskSim) PageSize() int { return d.params.BlockSize }
+
+// AllocPage reserves a fresh zeroed page and returns its ID. Freed pages are
+// recycled first, which — as on a real allocator — gradually destroys
+// physical adjacency for "sequential" files.
+func (d *DiskSim) AllocPage() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var id PageID
+	if n := len(d.free); n > 0 {
+		id = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		id = d.next
+		d.next++
+	}
+	d.pages[id] = make([]byte, d.params.BlockSize)
+	return id
+}
+
+// FreePage returns a page to the allocator. Accessing a freed page is an
+// error until it is re-allocated.
+func (d *DiskSim) FreePage(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.pages[id]; !ok {
+		return fmt.Errorf("storage: free of unallocated page %d", id)
+	}
+	delete(d.pages, id)
+	d.free = append(d.free, id)
+	return nil
+}
+
+// NumPages returns the number of currently allocated pages.
+func (d *DiskSim) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+// ReadPage copies the content of the page into buf, which must be exactly
+// one block long, and charges the physical cost of the access.
+func (d *DiskSim) ReadPage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	src, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	if len(buf) != d.params.BlockSize {
+		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), d.params.BlockSize)
+	}
+	copy(buf, src)
+	if d.adjacent(id) {
+		d.stats.SequentialReads++
+		d.stats.TimeMs += d.params.EBT
+	} else {
+		d.stats.RandomReads++
+		d.stats.TimeMs += d.params.RandomAccessTime()
+	}
+	d.last = id
+	return nil
+}
+
+// WritePage stores buf (exactly one block) as the new content of the page
+// and charges the physical cost of the access.
+func (d *DiskSim) WritePage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dst, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	if len(buf) != d.params.BlockSize {
+		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), d.params.BlockSize)
+	}
+	copy(dst, buf)
+	if d.adjacent(id) {
+		d.stats.SequentialWrites++
+		d.stats.TimeMs += d.params.EBT
+	} else {
+		d.stats.RandomWrites++
+		d.stats.TimeMs += d.params.RandomAccessTime()
+	}
+	d.last = id
+	return nil
+}
+
+// adjacent reports whether accessing id continues a physically sequential
+// run. Caller holds d.mu.
+func (d *DiskSim) adjacent(id PageID) bool {
+	if d.esmLayout {
+		return false
+	}
+	return d.last != 0 && id == d.last+1
+}
+
+// SetESMLayout toggles ESM file-layout accounting: when on, every page
+// access costs a full random access regardless of adjacency.
+func (d *DiskSim) SetESMLayout(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.esmLayout = on
+}
+
+// Stats returns a snapshot of the accumulated access statistics.
+func (d *DiskSim) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the access counters (the page contents are untouched).
+func (d *DiskSim) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = DiskStats{}
+	d.last = 0
+}

@@ -1,0 +1,18 @@
+package storage
+
+import "errors"
+
+// Sentinel errors of the storage layer.
+var (
+	// ErrPageFull indicates a record does not fit into the target page.
+	ErrPageFull = errors.New("storage: page full")
+	// ErrRecordGone indicates the slot addressed is a tombstone (deleted).
+	ErrRecordGone = errors.New("storage: record deleted")
+	// ErrNoSuchFile indicates an unknown file id.
+	ErrNoSuchFile = errors.New("storage: no such file")
+	// ErrRecordTooLarge indicates a record exceeds what a page can hold and
+	// the caller did not permit overflow chaining.
+	ErrRecordTooLarge = errors.New("storage: record too large")
+	// ErrBufferBusy indicates every buffer frame is pinned.
+	ErrBufferBusy = errors.New("storage: all buffer frames pinned")
+)

@@ -1,0 +1,38 @@
+package storage
+
+import "fmt"
+
+// OID is a physical object identifier: file, page and slot packed into a
+// 64-bit word. MOOD objects carry their OID for the lifetime of the object;
+// references between objects are stored as OIDs and chased by the Deref
+// algebra operator and the traversal joins.
+//
+// Layout (most significant first): 16-bit file, 32-bit page, 16-bit slot.
+type OID uint64
+
+// NilOID is the null reference.
+const NilOID OID = 0
+
+// MakeOID packs the coordinates of a record into an OID.
+func MakeOID(file FileID, page PageID, slot SlotID) OID {
+	return OID(uint64(file)<<48 | uint64(page)<<16 | uint64(slot))
+}
+
+// File returns the file component.
+func (o OID) File() FileID { return FileID(o >> 48) }
+
+// Page returns the page component.
+func (o OID) Page() PageID { return PageID(o >> 16) }
+
+// Slot returns the slot component.
+func (o OID) Slot() SlotID { return SlotID(o) }
+
+// IsNil reports whether the OID is the null reference.
+func (o OID) IsNil() bool { return o == NilOID }
+
+func (o OID) String() string {
+	if o.IsNil() {
+		return "oid(nil)"
+	}
+	return fmt.Sprintf("oid(%d.%d.%d)", o.File(), o.Page(), o.Slot())
+}

@@ -1,0 +1,544 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestStore(t testing.TB, frames int) (*ObjectStore, *BufferPool, *DiskSim) {
+	t.Helper()
+	disk := NewDiskSim(DefaultDiskParams())
+	bp := NewBufferPool(disk, frames)
+	fm, err := NewFileManager(bp)
+	if err != nil {
+		t.Fatalf("NewFileManager: %v", err)
+	}
+	return NewObjectStore(bp, fm), bp, disk
+}
+
+func TestDiskParamsCosts(t *testing.T) {
+	p := DefaultDiskParams()
+	if got, want := p.RandomAccessTime(), p.S+p.R+p.BTT; got != want {
+		t.Errorf("RandomAccessTime = %v, want %v", got, want)
+	}
+	if got, want := p.SequentialAccessTime(10), p.S+p.R+10*p.EBT; got != want {
+		t.Errorf("SequentialAccessTime(10) = %v, want %v", got, want)
+	}
+	if got := p.SequentialAccessTime(0); got != 0 {
+		t.Errorf("SequentialAccessTime(0) = %v, want 0", got)
+	}
+}
+
+func TestDiskSimAllocReadWrite(t *testing.T) {
+	d := NewDiskSim(DefaultDiskParams())
+	a := d.AllocPage()
+	b := d.AllocPage()
+	if a == b {
+		t.Fatalf("AllocPage returned duplicate id %d", a)
+	}
+	buf := make([]byte, d.PageSize())
+	buf[0] = 0xAB
+	if err := d.WritePage(a, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, d.PageSize())
+	if err := d.ReadPage(a, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if got[0] != 0xAB {
+		t.Errorf("read back %x, want ab", got[0])
+	}
+	if err := d.ReadPage(999, got); err == nil {
+		t.Error("ReadPage of unallocated page succeeded")
+	}
+	if err := d.FreePage(b); err != nil {
+		t.Fatalf("FreePage: %v", err)
+	}
+	if err := d.FreePage(b); err == nil {
+		t.Error("double FreePage succeeded")
+	}
+	// Freed pages are recycled.
+	c := d.AllocPage()
+	if c != b {
+		t.Errorf("AllocPage after free = %d, want recycled %d", c, b)
+	}
+}
+
+func TestDiskSimSequentialAccounting(t *testing.T) {
+	d := NewDiskSim(DefaultDiskParams())
+	ids := make([]PageID, 5)
+	for i := range ids {
+		ids[i] = d.AllocPage()
+	}
+	buf := make([]byte, d.PageSize())
+	d.ResetStats()
+	for _, id := range ids {
+		if err := d.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.RandomReads != 1 || st.SequentialReads != 4 {
+		t.Errorf("stats = %+v, want 1 random + 4 sequential reads", st)
+	}
+	wantTime := d.Params().RandomAccessTime() + 4*d.Params().EBT
+	if st.TimeMs != wantTime {
+		t.Errorf("TimeMs = %v, want %v", st.TimeMs, wantTime)
+	}
+	// Reverse order is all random.
+	d.ResetStats()
+	for i := len(ids) - 1; i >= 0; i-- {
+		if err := d.ReadPage(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = d.Stats()
+	if st.RandomReads != 5 || st.SequentialReads != 0 {
+		t.Errorf("reverse stats = %+v, want 5 random reads", st)
+	}
+}
+
+func TestSlottedPageInsertGetDelete(t *testing.T) {
+	buf := make([]byte, 4096)
+	p := NewPage(1, buf)
+	p.InitHeap(PageKindHeap)
+	s1, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Get(s1); string(got) != "hello" {
+		t.Errorf("Get(s1) = %q", got)
+	}
+	if got, _ := p.Get(s2); string(got) != "world!" {
+		t.Errorf("Get(s2) = %q", got)
+	}
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s1); err != ErrRecordGone {
+		t.Errorf("Get after delete = %v, want ErrRecordGone", err)
+	}
+	// Slot reuse.
+	s3, err := p.Insert([]byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Errorf("tombstone slot not reused: got %d want %d", s3, s1)
+	}
+	if p.LiveRecords() != 2 {
+		t.Errorf("LiveRecords = %d, want 2", p.LiveRecords())
+	}
+}
+
+func TestSlottedPageUpdateGrowShrink(t *testing.T) {
+	buf := make([]byte, 256)
+	p := NewPage(1, buf)
+	p.InitHeap(PageKindHeap)
+	s, err := p.Insert(bytes.Repeat([]byte{1}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink in place.
+	if err := p.Update(s, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Get(s); !bytes.Equal(got, []byte{9, 9}) {
+		t.Errorf("after shrink: %v", got)
+	}
+	// Grow, forcing relocation + compaction.
+	big := bytes.Repeat([]byte{7}, 180)
+	if err := p.Update(s, big); err != nil {
+		t.Fatalf("grow update: %v", err)
+	}
+	if got, _ := p.Get(s); !bytes.Equal(got, big) {
+		t.Error("after grow: content mismatch")
+	}
+	// Too big for the page entirely.
+	if err := p.Update(s, bytes.Repeat([]byte{7}, 300)); err != ErrPageFull {
+		t.Errorf("oversize update = %v, want ErrPageFull", err)
+	}
+}
+
+func TestSlottedPageFillAndCompact(t *testing.T) {
+	buf := make([]byte, 512)
+	p := NewPage(1, buf)
+	p.InitHeap(PageKindHeap)
+	var slots []SlotID
+	rec := bytes.Repeat([]byte{3}, 20)
+	for {
+		s, err := p.Insert(rec)
+		if err == ErrPageFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 10 {
+		t.Fatalf("only %d records fit in 512B page", len(slots))
+	}
+	// Delete every other record, then inserts must succeed via compaction.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refilled := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			break
+		}
+		refilled++
+	}
+	if refilled < len(slots)/2 {
+		t.Errorf("refilled only %d records after deleting %d", refilled, (len(slots)+1)/2)
+	}
+	// Survivors intact.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Get(slots[i])
+		if err != nil || !bytes.Equal(got, rec) {
+			t.Errorf("survivor slot %d damaged: %v %v", slots[i], got, err)
+		}
+	}
+}
+
+func TestBufferPoolHitMissEvict(t *testing.T) {
+	disk := NewDiskSim(DefaultDiskParams())
+	bp := NewBufferPool(disk, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		pg, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.InitHeap(PageKindHeap)
+		pg.Bytes()[100] = byte(i + 1)
+		ids = append(ids, pg.ID)
+		if err := bp.Unpin(pg.ID, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pool holds 2 frames; reading all three forces eviction and re-read.
+	for i, id := range ids {
+		pg, err := bp.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.Bytes()[100] != byte(i+1) {
+			t.Errorf("page %d content %d, want %d", id, pg.Bytes()[100], i+1)
+		}
+		if err := bp.Unpin(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, flushes := bp.Stats()
+	if misses == 0 || flushes == 0 {
+		t.Errorf("expected evictions: hits=%d misses=%d flushes=%d", hits, misses, flushes)
+	}
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	disk := NewDiskSim(DefaultDiskParams())
+	bp := NewBufferPool(disk, 2)
+	p1, _ := bp.NewPage()
+	p2, _ := bp.NewPage()
+	if _, err := bp.NewPage(); err != ErrBufferBusy {
+		t.Errorf("NewPage with all pinned = %v, want ErrBufferBusy", err)
+	}
+	bp.Unpin(p1.ID, true)
+	bp.Unpin(p2.ID, true)
+	if _, err := bp.NewPage(); err != nil {
+		t.Errorf("NewPage after unpin: %v", err)
+	}
+}
+
+func TestFileManagerCreateOpenDrop(t *testing.T) {
+	st, bp, _ := newTestStore(t, 16)
+	fm := st.Files()
+	f, err := fm.CreateFile("extent.Vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.CreateFile("extent.Vehicle"); err == nil {
+		t.Error("duplicate CreateFile succeeded")
+	}
+	got, err := fm.OpenFile("extent.Vehicle")
+	if err != nil || got.ID != f.ID {
+		t.Fatalf("OpenFile: %v %v", got, err)
+	}
+	if _, err := fm.OpenFile("missing"); err == nil {
+		t.Error("OpenFile of missing file succeeded")
+	}
+	// Insert data so the file has pages, then drop and verify pages freed.
+	for i := 0; i < 100; i++ {
+		if _, err := st.Insert(f, bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := bp.Disk().NumPages()
+	if err := fm.DropFile("extent.Vehicle"); err != nil {
+		t.Fatal(err)
+	}
+	after := bp.Disk().NumPages()
+	if after >= before {
+		t.Errorf("DropFile freed no pages: before=%d after=%d", before, after)
+	}
+	if _, err := fm.OpenFile("extent.Vehicle"); err == nil {
+		t.Error("OpenFile after drop succeeded")
+	}
+}
+
+func TestFileManagerReopen(t *testing.T) {
+	st, bp, _ := newTestStore(t, 16)
+	fm := st.Files()
+	f, err := fm.CreateFile("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := st.Insert(f, []byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open over the same disk, as after a clean shutdown.
+	bp2 := NewBufferPool(bp.Disk(), 16)
+	fm2, err := OpenFileManager(bp2, fm.DirPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fm2.OpenFile("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumRecords() != 1 || f2.NumPages() != 1 {
+		t.Errorf("reopened file: %d records %d pages, want 1/1", f2.NumRecords(), f2.NumPages())
+	}
+	st2 := NewObjectStore(bp2, fm2)
+	data, err := st2.Get(oid)
+	if err != nil || string(data) != "durable" {
+		t.Errorf("Get after reopen: %q %v", data, err)
+	}
+}
+
+func TestObjectStoreCRUD(t *testing.T) {
+	st, _, _ := newTestStore(t, 16)
+	f, _ := st.Files().CreateFile("crud")
+	oid, err := st.Insert(f, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := st.Get(oid); string(d) != "v1" {
+		t.Errorf("Get = %q", d)
+	}
+	if err := st.Update(oid, []byte("version-two")); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := st.Get(oid); string(d) != "version-two" {
+		t.Errorf("Get after update = %q", d)
+	}
+	if err := st.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(oid); err != ErrRecordGone {
+		t.Errorf("Get after delete = %v", err)
+	}
+	if f.NumRecords() != 0 {
+		t.Errorf("NumRecords = %d after delete", f.NumRecords())
+	}
+}
+
+func TestObjectStoreLargeRecords(t *testing.T) {
+	st, _, disk := newTestStore(t, 16)
+	f, _ := st.Files().CreateFile("blobs")
+	// Spans multiple overflow pages.
+	big := make([]byte, 3*disk.PageSize()+123)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	oid, err := st.Insert(f, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large record roundtrip mismatch")
+	}
+	// Update large -> small frees the overflow chain.
+	pagesBefore := disk.NumPages()
+	if err := st.Update(oid, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if disk.NumPages() >= pagesBefore {
+		t.Errorf("overflow pages not freed: %d -> %d", pagesBefore, disk.NumPages())
+	}
+	if got, _ := st.Get(oid); string(got) != "tiny" {
+		t.Errorf("after shrink: %q", got)
+	}
+	// Update small -> large allocates a new chain.
+	if err := st.Update(oid, big); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.Get(oid); !bytes.Equal(got, big) {
+		t.Error("after regrow: mismatch")
+	}
+	// Delete frees the chain.
+	pagesBefore = disk.NumPages()
+	if err := st.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if disk.NumPages() >= pagesBefore {
+		t.Error("delete did not free overflow pages")
+	}
+}
+
+func TestObjectStoreScan(t *testing.T) {
+	st, _, _ := newTestStore(t, 8)
+	f, _ := st.Files().CreateFile("scan")
+	want := map[OID]string{}
+	for i := 0; i < 500; i++ {
+		data := fmt.Sprintf("record-%04d", i)
+		oid, err := st.Insert(f, []byte(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[oid] = data
+	}
+	got := map[OID]string{}
+	if err := st.Scan(f, func(oid OID, data []byte) bool {
+		got[oid] = string(data)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d records, want %d", len(got), len(want))
+	}
+	for oid, w := range want {
+		if got[oid] != w {
+			t.Errorf("oid %v: got %q want %q", oid, got[oid], w)
+		}
+	}
+	// Early stop.
+	n := 0
+	st.Scan(f, func(OID, []byte) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Errorf("early stop scanned %d, want 10", n)
+	}
+}
+
+func TestOIDPacking(t *testing.T) {
+	cases := []struct {
+		file FileID
+		page PageID
+		slot SlotID
+	}{
+		{0, 0, 0}, {1, 1, 1}, {65535, 4294967295, 65535}, {42, 123456, 789},
+	}
+	for _, c := range cases {
+		oid := MakeOID(c.file, c.page, c.slot)
+		if oid.File() != c.file || oid.Page() != c.page || oid.Slot() != c.slot {
+			t.Errorf("roundtrip %v: got (%d,%d,%d)", c, oid.File(), oid.Page(), oid.Slot())
+		}
+	}
+	if !NilOID.IsNil() {
+		t.Error("NilOID.IsNil() = false")
+	}
+	if MakeOID(1, 1, 0).IsNil() {
+		t.Error("non-nil OID reported nil")
+	}
+}
+
+func TestOIDPackingProperty(t *testing.T) {
+	f := func(file uint16, page uint32, slot uint16) bool {
+		oid := MakeOID(FileID(file), PageID(page), SlotID(slot))
+		return oid.File() == FileID(file) && oid.Page() == PageID(page) && oid.Slot() == SlotID(slot)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectStoreRandomizedWorkload(t *testing.T) {
+	st, _, _ := newTestStore(t, 32)
+	f, _ := st.Files().CreateFile("fuzz")
+	rng := rand.New(rand.NewSource(1))
+	live := map[OID][]byte{}
+	var oids []OID
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(oids) == 0: // insert
+			n := rng.Intn(300)
+			data := make([]byte, n)
+			rng.Read(data)
+			oid, err := st.Insert(f, data)
+			if err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			live[oid] = data
+			oids = append(oids, oid)
+		case op < 7: // update
+			oid := oids[rng.Intn(len(oids))]
+			if _, ok := live[oid]; !ok {
+				continue
+			}
+			n := rng.Intn(6000) // sometimes forces overflow
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := st.Update(oid, data); err != nil {
+				t.Fatalf("step %d update: %v", step, err)
+			}
+			live[oid] = data
+		case op < 8: // delete
+			oid := oids[rng.Intn(len(oids))]
+			if _, ok := live[oid]; !ok {
+				continue
+			}
+			if err := st.Delete(oid); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			delete(live, oid)
+		default: // read
+			oid := oids[rng.Intn(len(oids))]
+			want, ok := live[oid]
+			got, err := st.Get(oid)
+			if ok {
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("step %d get: mismatch err=%v", step, err)
+				}
+			} else if err == nil {
+				t.Fatalf("step %d get of deleted oid succeeded", step)
+			}
+		}
+	}
+	// Final full verification via scan.
+	seen := 0
+	if err := st.Scan(f, func(oid OID, data []byte) bool {
+		want, ok := live[oid]
+		if !ok {
+			t.Errorf("scan found deleted oid %v", oid)
+		} else if !bytes.Equal(data, want) {
+			t.Errorf("scan content mismatch at %v", oid)
+		}
+		seen++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(live) {
+		t.Errorf("scan saw %d live records, want %d", seen, len(live))
+	}
+}

@@ -1,0 +1,424 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Record tags: the first byte of every stored record says how the remaining
+// bytes are to be interpreted.
+const (
+	recPlain    byte = 0 // payload follows inline
+	recOverflow byte = 1 // u32 total length + u32 first overflow page follow
+)
+
+const overflowHeadSize = 1 + 4 + 4
+
+// ObjectStore provides OID-addressed record storage over files: the
+// storage-management service ESM supplies to MOOD. Records larger than a
+// page spill into overflow page chains transparently, so MOOD objects (and
+// MoodView's multimedia objects) are not limited by the block size.
+type ObjectStore struct {
+	bp *BufferPool
+	fm *FileManager
+	mu sync.Mutex
+}
+
+// NewObjectStore creates a store over the given pool and file manager.
+func NewObjectStore(bp *BufferPool, fm *FileManager) *ObjectStore {
+	return &ObjectStore{bp: bp, fm: fm}
+}
+
+// Files exposes the underlying file manager.
+func (s *ObjectStore) Files() *FileManager { return s.fm }
+
+// Pool exposes the underlying buffer pool.
+func (s *ObjectStore) Pool() *BufferPool { return s.bp }
+
+// Insert stores data as a new record of the file and returns its OID.
+func (s *ObjectStore) Insert(f *File, data []byte) (OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	maxInline := MaxRecordSize(s.bp.Disk().PageSize()) - 1
+	var rec []byte
+	if len(data) <= maxInline {
+		rec = make([]byte, 1+len(data))
+		rec[0] = recPlain
+		copy(rec[1:], data)
+	} else {
+		first, err := s.writeOverflow(data)
+		if err != nil {
+			return NilOID, err
+		}
+		rec = make([]byte, overflowHeadSize)
+		rec[0] = recOverflow
+		binary.LittleEndian.PutUint32(rec[1:], uint32(len(data)))
+		binary.LittleEndian.PutUint32(rec[5:], uint32(first))
+	}
+
+	// Try the last data page first, then grow the file.
+	if f.lastPage != 0 {
+		pg, err := s.bp.Fetch(f.lastPage)
+		if err != nil {
+			return NilOID, err
+		}
+		slot, ierr := pg.Insert(rec)
+		if uerr := s.bp.Unpin(f.lastPage, ierr == nil); uerr != nil {
+			return NilOID, uerr
+		}
+		if ierr == nil {
+			f.numRecs++
+			if err := s.fm.syncDir(f); err != nil {
+				return NilOID, err
+			}
+			return MakeOID(f.ID, f.lastPage, slot), nil
+		}
+		if ierr != ErrPageFull {
+			return NilOID, ierr
+		}
+	}
+	pg, err := s.appendPage(f)
+	if err != nil {
+		return NilOID, err
+	}
+	slot, ierr := pg.Insert(rec)
+	if uerr := s.bp.Unpin(pg.ID, ierr == nil); uerr != nil {
+		return NilOID, uerr
+	}
+	if ierr != nil {
+		return NilOID, ierr
+	}
+	f.numRecs++
+	if err := s.fm.syncDir(f); err != nil {
+		return NilOID, err
+	}
+	return MakeOID(f.ID, pg.ID, slot), nil
+}
+
+// Get returns a copy of the record addressed by oid.
+func (s *ObjectStore) Get(oid OID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(oid)
+}
+
+func (s *ObjectStore) getLocked(oid OID) ([]byte, error) {
+	pg, err := s.bp.Fetch(oid.Page())
+	if err != nil {
+		return nil, err
+	}
+	rec, gerr := pg.Get(oid.Slot())
+	if gerr != nil {
+		s.bp.Unpin(oid.Page(), false)
+		return nil, gerr
+	}
+	switch rec[0] {
+	case recPlain:
+		out := make([]byte, len(rec)-1)
+		copy(out, rec[1:])
+		if err := s.bp.Unpin(oid.Page(), false); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case recOverflow:
+		total := binary.LittleEndian.Uint32(rec[1:])
+		first := PageID(binary.LittleEndian.Uint32(rec[5:]))
+		if err := s.bp.Unpin(oid.Page(), false); err != nil {
+			return nil, err
+		}
+		return s.readOverflow(first, int(total))
+	default:
+		s.bp.Unpin(oid.Page(), false)
+		return nil, fmt.Errorf("storage: corrupt record tag %d at %s", rec[0], oid)
+	}
+}
+
+// Update replaces the record addressed by oid with data; the OID is stable.
+func (s *ObjectStore) Update(oid OID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, err := s.bp.Fetch(oid.Page())
+	if err != nil {
+		return err
+	}
+	old, gerr := pg.Get(oid.Slot())
+	if gerr != nil {
+		s.bp.Unpin(oid.Page(), false)
+		return gerr
+	}
+	var oldOverflow PageID
+	if old[0] == recOverflow {
+		oldOverflow = PageID(binary.LittleEndian.Uint32(old[5:]))
+	}
+
+	maxInline := MaxRecordSize(s.bp.Disk().PageSize()) - 1
+	var rec []byte
+	var newOverflow PageID
+	if len(data) <= maxInline {
+		rec = make([]byte, 1+len(data))
+		rec[0] = recPlain
+		copy(rec[1:], data)
+	} else {
+		first, oerr := s.writeOverflow(data)
+		if oerr != nil {
+			s.bp.Unpin(oid.Page(), false)
+			return oerr
+		}
+		newOverflow = first
+		rec = make([]byte, overflowHeadSize)
+		rec[0] = recOverflow
+		binary.LittleEndian.PutUint32(rec[1:], uint32(len(data)))
+		binary.LittleEndian.PutUint32(rec[5:], uint32(first))
+	}
+
+	uerr := pg.Update(oid.Slot(), rec)
+	if uerr == ErrPageFull && rec[0] == recPlain {
+		// Spill to overflow: the 9-byte head replaces the old record.
+		first, oerr := s.writeOverflow(data)
+		if oerr == nil {
+			newOverflow = first
+			head := make([]byte, overflowHeadSize)
+			head[0] = recOverflow
+			binary.LittleEndian.PutUint32(head[1:], uint32(len(data)))
+			binary.LittleEndian.PutUint32(head[5:], uint32(first))
+			uerr = pg.Update(oid.Slot(), head)
+		} else {
+			uerr = oerr
+		}
+	}
+	if err := s.bp.Unpin(oid.Page(), uerr == nil); err != nil {
+		return err
+	}
+	if uerr != nil {
+		if newOverflow != 0 {
+			s.freeOverflow(newOverflow)
+		}
+		return uerr
+	}
+	if oldOverflow != 0 {
+		return s.freeOverflow(oldOverflow)
+	}
+	return nil
+}
+
+// Delete removes the record addressed by oid.
+func (s *ObjectStore) Delete(oid OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, err := s.bp.Fetch(oid.Page())
+	if err != nil {
+		return err
+	}
+	rec, gerr := pg.Get(oid.Slot())
+	if gerr != nil {
+		s.bp.Unpin(oid.Page(), false)
+		return gerr
+	}
+	var overflow PageID
+	if rec[0] == recOverflow {
+		overflow = PageID(binary.LittleEndian.Uint32(rec[5:]))
+	}
+	derr := pg.Delete(oid.Slot())
+	if err := s.bp.Unpin(oid.Page(), derr == nil); err != nil {
+		return err
+	}
+	if derr != nil {
+		return derr
+	}
+	if overflow != 0 {
+		if err := s.freeOverflow(overflow); err != nil {
+			return err
+		}
+	}
+	f, ferr := s.fm.FileByID(oid.File())
+	if ferr == nil && f.numRecs > 0 {
+		f.numRecs--
+		return s.fm.syncDir(f)
+	}
+	return nil
+}
+
+// Scan iterates the records of the file in page-chain order. fn receives
+// each record's OID and a copy of its payload; returning false stops the
+// scan early. The store's lock is NOT held while fn runs, so callbacks may
+// freely Get/Insert/Update other records; structural changes to the pages
+// being scanned made from inside the callback may or may not be visible to
+// the remainder of the scan.
+func (s *ObjectStore) Scan(f *File, fn func(OID, []byte) bool) error {
+	s.mu.Lock()
+	pid := f.firstPage
+	s.mu.Unlock()
+	for pid != 0 {
+		type hit struct {
+			oid  OID
+			data []byte
+		}
+		var hits []hit
+		var overflowHeads []hit
+
+		s.mu.Lock()
+		pg, err := s.bp.Fetch(pid)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		pg.Slots(func(slot SlotID, rec []byte) bool {
+			oid := MakeOID(f.ID, pid, slot)
+			switch rec[0] {
+			case recPlain:
+				cp := make([]byte, len(rec)-1)
+				copy(cp, rec[1:])
+				hits = append(hits, hit{oid, cp})
+			case recOverflow:
+				cp := make([]byte, len(rec))
+				copy(cp, rec)
+				overflowHeads = append(overflowHeads, hit{oid, cp})
+			}
+			return true
+		})
+		next := pg.NextPage()
+		if err := s.bp.Unpin(pid, false); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		// Reassemble large records before releasing the lock.
+		for _, h := range overflowHeads {
+			total := binary.LittleEndian.Uint32(h.data[1:])
+			first := PageID(binary.LittleEndian.Uint32(h.data[5:]))
+			data, err := s.readOverflow(first, int(total))
+			if err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			hits = append(hits, hit{h.oid, data})
+		}
+		s.mu.Unlock()
+
+		for _, h := range hits {
+			if !fn(h.oid, h.data) {
+				return nil
+			}
+		}
+		pid = next
+	}
+	return nil
+}
+
+// appendPage grows the file by one page, returned pinned.
+func (s *ObjectStore) appendPage(f *File) (*Page, error) {
+	pg, err := s.bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	pg.InitHeap(PageKindHeap)
+	if f.lastPage != 0 {
+		prev, err := s.bp.Fetch(f.lastPage)
+		if err != nil {
+			s.bp.Unpin(pg.ID, true)
+			return nil, err
+		}
+		prev.SetNextPage(pg.ID)
+		if err := s.bp.Unpin(f.lastPage, true); err != nil {
+			s.bp.Unpin(pg.ID, true)
+			return nil, err
+		}
+	} else {
+		f.firstPage = pg.ID
+	}
+	f.lastPage = pg.ID
+	f.numPages++
+	if err := s.fm.syncDir(f); err != nil {
+		s.bp.Unpin(pg.ID, true)
+		return nil, err
+	}
+	return pg, nil
+}
+
+// writeOverflow stores data across a fresh overflow chain and returns the
+// first page of the chain.
+func (s *ObjectStore) writeOverflow(data []byte) (PageID, error) {
+	chunk := s.bp.Disk().PageSize() - pageHeaderSize - 2
+	var first, prev PageID
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		pg, err := s.bp.NewPage()
+		if err != nil {
+			return 0, err
+		}
+		buf := pg.Bytes()
+		for i := range buf {
+			buf[i] = 0
+		}
+		pg.setU16(offPageKind, PageKindOverflow)
+		binary.LittleEndian.PutUint16(buf[pageHeaderSize:], uint16(end-off))
+		copy(buf[pageHeaderSize+2:], data[off:end])
+		if first == 0 {
+			first = pg.ID
+		}
+		if prev != 0 {
+			pp, err := s.bp.Fetch(prev)
+			if err != nil {
+				s.bp.Unpin(pg.ID, true)
+				return 0, err
+			}
+			pp.SetNextPage(pg.ID)
+			if err := s.bp.Unpin(prev, true); err != nil {
+				s.bp.Unpin(pg.ID, true)
+				return 0, err
+			}
+		}
+		prev = pg.ID
+		if err := s.bp.Unpin(pg.ID, true); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// readOverflow reassembles a record of the given total length from the chain
+// starting at first.
+func (s *ObjectStore) readOverflow(first PageID, total int) ([]byte, error) {
+	out := make([]byte, 0, total)
+	for pid := first; pid != 0; {
+		pg, err := s.bp.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		buf := pg.Bytes()
+		n := int(binary.LittleEndian.Uint16(buf[pageHeaderSize:]))
+		out = append(out, buf[pageHeaderSize+2:pageHeaderSize+2+n]...)
+		next := pg.NextPage()
+		if err := s.bp.Unpin(pid, false); err != nil {
+			return nil, err
+		}
+		pid = next
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("storage: overflow chain yielded %d bytes, want %d", len(out), total)
+	}
+	return out, nil
+}
+
+// freeOverflow releases every page of an overflow chain.
+func (s *ObjectStore) freeOverflow(first PageID) error {
+	for pid := first; pid != 0; {
+		pg, err := s.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		next := pg.NextPage()
+		if err := s.bp.Unpin(pid, false); err != nil {
+			return err
+		}
+		s.bp.Drop(pid)
+		if err := s.bp.Disk().FreePage(pid); err != nil {
+			return err
+		}
+		pid = next
+	}
+	return nil
+}

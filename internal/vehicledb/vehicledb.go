@@ -1,0 +1,277 @@
+// Package vehicledb builds the paper's running example database: the
+// Vehicle / VehicleDriveTrain / VehicleEngine / Company / Employee schema of
+// Section 3.1, populated synthetically with the reference structure of
+// Tables 13–15 (fan(A,C,D)=1 chains, every drivetrain shared by two
+// vehicles, companies referenced by a tenth of their extent, cylinders
+// drawn from 16 distinct even values in [2,32]). Tests, examples, and the
+// moodbench experiment harness all build their workloads through it.
+package vehicledb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mood/internal/catalog"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// Config scales the generated database. The paper's Table 13 uses
+// 20000/10000/10000/200000; tests default to a laptop-friendly scale with
+// the same ratios.
+type Config struct {
+	Vehicles    int
+	DriveTrains int
+	Engines     int
+	Companies   int
+	Employees   int
+	Seed        int64
+	// Subclasses controls whether a share of vehicles is created as
+	// Automobile / JapaneseAuto instances (for IS-A queries).
+	Subclasses bool
+}
+
+// DefaultConfig returns a 1/10-scale version of Table 13's cardinalities.
+func DefaultConfig() Config {
+	return Config{
+		Vehicles:    2000,
+		DriveTrains: 1000,
+		Engines:     1000,
+		Companies:   20000,
+		Employees:   100,
+		Seed:        1,
+	}
+}
+
+// PaperConfig returns the full Table 13 cardinalities (20000 vehicles,
+// 200000 companies) — sized for benches, not unit tests.
+func PaperConfig() Config {
+	return Config{
+		Vehicles:    20000,
+		DriveTrains: 10000,
+		Engines:     10000,
+		Companies:   200000,
+		Employees:   1000,
+		Seed:        1,
+	}
+}
+
+// DB holds the created object identifiers for direct inspection.
+type DB struct {
+	Cat         *catalog.Catalog
+	Vehicles    []storage.OID
+	DriveTrains []storage.OID
+	Engines     []storage.OID
+	Companies   []storage.OID
+	Employees   []storage.OID
+}
+
+// NewEnvironment creates a fresh simulated disk, buffer pool, store and
+// catalog, returning the catalog and buffer pool.
+func NewEnvironment(bufferFrames int) (*catalog.Catalog, *storage.BufferPool, error) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, bufferFrames)
+	fm, err := storage.NewFileManager(bp)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat, err := catalog.New(storage.NewObjectStore(bp, fm))
+	if err != nil {
+		return nil, nil, err
+	}
+	return cat, bp, nil
+}
+
+// DefineSchema creates the Section 3.1 classes (with the paper's methods
+// declared on Vehicle) in the catalog.
+func DefineSchema(cat *catalog.Catalog) error {
+	type def struct {
+		name    string
+		tuple   *object.Type
+		supers  []string
+		methods []*catalog.MethodSig
+	}
+	defs := []def{
+		{"VehicleEngine", object.TupleOf(
+			object.Field{Name: "size", Type: object.TInteger},
+			object.Field{Name: "cylinders", Type: object.TInteger},
+		), nil, nil},
+		{"VehicleDriveTrain", object.TupleOf(
+			object.Field{Name: "engine", Type: object.RefTo("VehicleEngine")},
+			object.Field{Name: "transmission", Type: object.StringN(32)},
+		), nil, nil},
+		{"Employee", object.TupleOf(
+			object.Field{Name: "ssno", Type: object.TInteger},
+			object.Field{Name: "name", Type: object.StringN(32)},
+			object.Field{Name: "age", Type: object.TInteger},
+		), nil, nil},
+		{"Company", object.TupleOf(
+			object.Field{Name: "name", Type: object.StringN(32)},
+			object.Field{Name: "location", Type: object.StringN(32)},
+			object.Field{Name: "president", Type: object.RefTo("Employee")},
+		), nil, nil},
+		{"Vehicle", object.TupleOf(
+			object.Field{Name: "id", Type: object.TInteger},
+			object.Field{Name: "weight", Type: object.TInteger},
+			object.Field{Name: "drivetrain", Type: object.RefTo("VehicleDriveTrain")},
+			object.Field{Name: "manufacturer", Type: object.RefTo("Company")},
+		), nil, []*catalog.MethodSig{
+			{Name: "lbweight", ReturnType: object.TInteger},
+			{Name: "weight", ReturnType: object.TInteger},
+		}},
+		{"Automobile", object.TupleOf(), []string{"Vehicle"}, nil},
+		{"JapaneseAuto", object.TupleOf(), []string{"Automobile"}, nil},
+	}
+	for _, d := range defs {
+		if _, err := cat.DefineClass(d.name, d.tuple, d.supers, d.methods); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Transmissions mirror the paper's example predicate values.
+var Transmissions = []string{"AUTOMATIC", "MANUAL", "CVT", "DCT"}
+
+// Populate fills the schema with cfg-scaled data reproducing the reference
+// statistics of Tables 13–15:
+//
+//   - cylinders: 16 distinct even values 2..32 (dist=16, min=2, max=32);
+//   - each drivetrain references exactly one engine (fan=1, totref=|E|);
+//   - vehicles share drivetrains pairwise when |V| = 2|DT| (fan=1,
+//     totref=|DT|, totlinks=|V|);
+//   - manufacturers are drawn from the first |V| companies so that
+//     hitprb = |V|/|Companies| (0.1 at the paper's scale).
+func Populate(cat *catalog.Catalog, cfg Config) (*DB, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := &DB{Cat: cat}
+
+	for i := 0; i < cfg.Engines; i++ {
+		oid, err := cat.CreateObject("VehicleEngine", object.NewTuple(
+			[]string{"size", "cylinders"},
+			[]object.Value{
+				object.NewInt(int32(1000 + rng.Intn(4000))),
+				object.NewInt(int32(2 + 2*(i%16))), // 2,4,...,32
+			},
+		))
+		if err != nil {
+			return nil, err
+		}
+		db.Engines = append(db.Engines, oid)
+	}
+
+	for i := 0; i < cfg.DriveTrains; i++ {
+		engine := storage.NilOID
+		if cfg.Engines > 0 {
+			engine = db.Engines[i%cfg.Engines]
+		}
+		oid, err := cat.CreateObject("VehicleDriveTrain", object.NewTuple(
+			[]string{"engine", "transmission"},
+			[]object.Value{
+				object.NewRef(engine),
+				object.NewString(Transmissions[i%len(Transmissions)]),
+			},
+		))
+		if err != nil {
+			return nil, err
+		}
+		db.DriveTrains = append(db.DriveTrains, oid)
+	}
+
+	for i := 0; i < cfg.Employees; i++ {
+		oid, err := cat.CreateObject("Employee", object.NewTuple(
+			[]string{"ssno", "name", "age"},
+			[]object.Value{
+				object.NewInt(int32(10000 + i)),
+				object.NewString(fmt.Sprintf("employee-%d", i)),
+				object.NewInt(int32(25 + rng.Intn(40))),
+			},
+		))
+		if err != nil {
+			return nil, err
+		}
+		db.Employees = append(db.Employees, oid)
+	}
+
+	locations := []string{"Ankara", "Munich", "Tokyo", "Detroit", "Istanbul"}
+	for i := 0; i < cfg.Companies; i++ {
+		president := storage.NilOID
+		if cfg.Employees > 0 {
+			president = db.Employees[i%cfg.Employees]
+		}
+		name := fmt.Sprintf("company-%06d", i)
+		if i == 0 {
+			name = "BMW" // the paper's query constant
+		}
+		oid, err := cat.CreateObject("Company", object.NewTuple(
+			[]string{"name", "location", "president"},
+			[]object.Value{
+				object.NewString(name),
+				object.NewString(locations[i%len(locations)]),
+				object.NewRef(president),
+			},
+		))
+		if err != nil {
+			return nil, err
+		}
+		db.Companies = append(db.Companies, oid)
+	}
+
+	for i := 0; i < cfg.Vehicles; i++ {
+		class := "Vehicle"
+		if cfg.Subclasses {
+			// Class assignment strides by blocks of four so it stays
+			// uncorrelated with the drivetrain/transmission cycle (i mod 4).
+			switch (i / 4) % 4 {
+			case 1, 2:
+				class = "Automobile"
+			case 3:
+				class = "JapaneseAuto"
+			}
+		}
+		dt := storage.NilOID
+		if cfg.DriveTrains > 0 {
+			dt = db.DriveTrains[i%cfg.DriveTrains] // pairwise sharing
+		}
+		mf := storage.NilOID
+		if cfg.Companies > 0 {
+			// Reference only the first |V| companies: totref = min(|V|,
+			// |Companies|) and hitprb = totref/|Companies|.
+			span := cfg.Vehicles
+			if span > cfg.Companies {
+				span = cfg.Companies
+			}
+			mf = db.Companies[i%span]
+		}
+		oid, err := cat.CreateObject(class, object.NewTuple(
+			[]string{"id", "weight", "drivetrain", "manufacturer"},
+			[]object.Value{
+				object.NewInt(int32(i)),
+				object.NewInt(int32(800 + rng.Intn(2200))),
+				object.NewRef(dt),
+				object.NewRef(mf),
+			},
+		))
+		if err != nil {
+			return nil, err
+		}
+		db.Vehicles = append(db.Vehicles, oid)
+	}
+	return db, nil
+}
+
+// Build creates an environment, defines the schema, and populates it.
+func Build(cfg Config, bufferFrames int) (*DB, *storage.BufferPool, error) {
+	cat, bp, err := NewEnvironment(bufferFrames)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := DefineSchema(cat); err != nil {
+		return nil, nil, err
+	}
+	db, err := Populate(cat, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, bp, nil
+}

@@ -1,0 +1,212 @@
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mood/internal/kernel"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// ClassPresentation renders the Figure 9.2(b) class panel: type name and
+// id, superclasses, subclasses, methods and attributes — all read from the
+// persistent catalog.
+func ClassPresentation(db *kernel.DB, class string) (string, error) {
+	cl, err := db.Cat.Class(class)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Type Name    %s\n", cl.Name)
+	fmt.Fprintf(&sb, "Type Id      %d\n", cl.ID)
+	kind := "User Class"
+	if !cl.IsClass {
+		kind = "User Type"
+	}
+	fmt.Fprintf(&sb, "Class Type   %s\n", kind)
+	fmt.Fprintf(&sb, "Superclasses: %s\n", strings.Join(cl.Supers, ", "))
+	fmt.Fprintf(&sb, "Subclasses:   %s\n", strings.Join(db.Cat.Subclasses(class), ", "))
+	sb.WriteString("Methods:\n")
+	for _, m := range db.Cat.AllMethods(class) {
+		fmt.Fprintf(&sb, "  %s\n", m)
+	}
+	sb.WriteString("Attributes:\n")
+	attrs, err := db.Cat.AllAttributes(class)
+	if err != nil {
+		return "", err
+	}
+	for _, f := range attrs {
+		fmt.Fprintf(&sb, "  %-16s %s\n", f.Name, f.Type)
+	}
+	if cl.Extent() != nil {
+		fmt.Fprintf(&sb, "Extent: %d objects on %d pages\n",
+			cl.Extent().NumRecords(), cl.Extent().NumPages())
+	}
+	return sb.String(), nil
+}
+
+// SchemaOverview renders the whole schema: the placed DAG plus one line per
+// class.
+func SchemaOverview(db *kernel.DB) string {
+	var sb strings.Builder
+	sb.WriteString("MOOD schema\n===========\n")
+	layout := PlaceDAG(db.Cat)
+	sb.WriteString(layout.Render())
+	sb.WriteString("\nclasses:\n")
+	for _, cl := range db.Cat.Classes() {
+		marker := "class"
+		if !cl.IsClass {
+			marker = "type "
+		}
+		n := 0
+		if cl.Extent() != nil {
+			n = cl.Extent().NumRecords()
+		}
+		fmt.Fprintf(&sb, "  [%2d] %s %-20s %d objects\n", cl.ID, marker, cl.Name, n)
+	}
+	return sb.String()
+}
+
+// GenerateDDL converts a class definition back into MOODSQL DDL (MoodView
+// "can convert graphically designed class hierarchy graph into C++ code";
+// the textual target here is the DDL the kernel itself accepts).
+func GenerateDDL(db *kernel.DB, class string) (string, error) {
+	cl, err := db.Cat.Class(class)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	if cl.IsClass {
+		fmt.Fprintf(&sb, "CREATE CLASS %s", cl.Name)
+	} else {
+		fmt.Fprintf(&sb, "CREATE TYPE %s", cl.Name)
+	}
+	if len(cl.Supers) > 0 {
+		fmt.Fprintf(&sb, "\nINHERITS FROM %s", strings.Join(cl.Supers, ", "))
+	}
+	if len(cl.Tuple.Fields) > 0 {
+		sb.WriteString("\nTUPLE (")
+		for i, f := range cl.Tuple.Fields {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "\n    %s %s", f.Name, f.Type)
+		}
+		sb.WriteString("\n)")
+	}
+	if len(cl.Methods) > 0 {
+		sb.WriteString("\nMETHODS:")
+		for i, m := range cl.Methods {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			params := make([]string, len(m.ParamNames))
+			for j := range m.ParamNames {
+				params[j] = m.ParamNames[j] + " " + m.ParamTypes[j].String()
+			}
+			fmt.Fprintf(&sb, "\n    %s (%s) %s", m.Name, strings.Join(params, ", "), m.ReturnType)
+		}
+	}
+	return sb.String(), nil
+}
+
+// ObjectGraph renders the Figure 9.3 generic presentation: the object's
+// attributes with referenced objects expanded recursively up to maxDepth,
+// cycles cut with a back-reference marker. "MOOD objects constitute graphs
+// connecting atoms and constructors. MoodView has a generic display
+// algorithm for displaying these object graphs and walking through the
+// referenced objects."
+func ObjectGraph(db *kernel.DB, oid storage.OID, maxDepth int) (string, error) {
+	var sb strings.Builder
+	seen := map[storage.OID]bool{}
+	var walk func(oid storage.OID, indent string, depth int) error
+	walk = func(oid storage.OID, indent string, depth int) error {
+		ov, err := db.Describe(oid)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&sb, "%s%s %s\n", indent, ov.Class, ov.OID)
+		seen[oid] = true
+		for _, a := range ov.Attrs {
+			fmt.Fprintf(&sb, "%s  %-14s %-24s = ", indent, a.Name, a.Type)
+			if a.Value.Kind == object.KindReference && !a.Value.Ref.IsNil() {
+				switch {
+				case seen[a.Value.Ref]:
+					fmt.Fprintf(&sb, "%s (back-reference)\n", a.Value.Ref)
+				case depth >= maxDepth:
+					fmt.Fprintf(&sb, "%s (...)\n", a.Value.Ref)
+				default:
+					sb.WriteString("\n")
+					if err := walk(a.Value.Ref, indent+"    ", depth+1); err != nil {
+						return err
+					}
+				}
+			} else {
+				fmt.Fprintf(&sb, "%s\n", a.Value)
+			}
+		}
+		return nil
+	}
+	if err := walk(oid, "", 0); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// QueryManager is the Section 9.3 query formulation tool: it runs MOODSQL
+// through the kernel and keeps the session's query history ("a query editor
+// with facilities for accessing previous queries in a session").
+type QueryManager struct {
+	db      *kernel.DB
+	history []string
+}
+
+// NewQueryManager creates a query manager over the database.
+func NewQueryManager(db *kernel.DB) *QueryManager {
+	return &QueryManager{db: db}
+}
+
+// Run executes a statement, recording it in the history.
+func (qm *QueryManager) Run(statement string) (*kernel.Result, error) {
+	qm.history = append(qm.history, statement)
+	return qm.db.Execute(statement)
+}
+
+// History returns the session's statements, oldest first.
+func (qm *QueryManager) History() []string {
+	return append([]string(nil), qm.history...)
+}
+
+// Recall returns the n-th most recent statement (1 = last).
+func (qm *QueryManager) Recall(n int) (string, bool) {
+	if n < 1 || n > len(qm.history) {
+		return "", false
+	}
+	return qm.history[len(qm.history)-n], true
+}
+
+// CatalogDump lists the catalog's system files content summary — the
+// Figure 2.2 view of MoodsType entries as MoodView's administration tool
+// shows it.
+func CatalogDump(db *kernel.DB) string {
+	var sb strings.Builder
+	sb.WriteString("CATALOG (MoodsType entries)\n")
+	classes := db.Cat.Classes()
+	sort.Slice(classes, func(i, j int) bool { return classes[i].ID < classes[j].ID })
+	for _, cl := range classes {
+		fmt.Fprintf(&sb, "MoodsType{id:%d name:%s class:%v}\n", cl.ID, cl.Name, cl.IsClass)
+		for _, f := range cl.Tuple.Fields {
+			fmt.Fprintf(&sb, "  MoodsAttribute{name:%s type:%s}\n", f.Name, f.Type)
+		}
+		for _, m := range cl.Methods {
+			fmt.Fprintf(&sb, "  MoodsFunction{%s}\n", m)
+		}
+	}
+	for _, ix := range db.Cat.Indexes() {
+		fmt.Fprintf(&sb, "MoodsIndex{name:%s on:%s.%s kind:%s unique:%v}\n",
+			ix.Name, ix.Class, ix.Attribute, ix.Kind, ix.Unique)
+	}
+	return sb.String()
+}

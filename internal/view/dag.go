@@ -1,0 +1,189 @@
+// Package view is the MoodView substitute (Section 9): a text-mode
+// rendering of everything the paper's X/Motif GUI showed. It implements the
+// DAG placement algorithm for the class-hierarchy browser ("MoodView uses a
+// DAG placement algorithm that minimizes crossovers"), the class
+// presentation panels of Figure 9.2, the generic object-graph presentation
+// of Figure 9.3 (walking referenced objects with the persistent type
+// catalog deciding how each object displays), and a query manager with
+// session history. All schema information flows through the MOOD catalog,
+// and database operations go through SQL statements interpreted by the
+// kernel — the same protocol the paper prescribes between MoodView and the
+// kernel.
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mood/internal/catalog"
+)
+
+// DAGNode is one placed node of the class hierarchy.
+type DAGNode struct {
+	Name  string
+	Layer int // 0 = roots
+	Slot  int // position within the layer after crossing reduction
+}
+
+// DAGLayout is the placement of the inheritance DAG.
+type DAGLayout struct {
+	Layers [][]string         // node names per layer, in slot order
+	Edges  [][2]string        // super -> sub
+	Pos    map[string]DAGNode // by name
+}
+
+// PlaceDAG computes a layered drawing of the catalog's inheritance DAG:
+// longest-path layering followed by iterated barycentric crossing
+// reduction (the classic Sugiyama recipe).
+func PlaceDAG(cat *catalog.Catalog) *DAGLayout {
+	classes := cat.Classes()
+	var names []string
+	supers := map[string][]string{}
+	for _, cl := range classes {
+		if !cl.IsClass {
+			continue
+		}
+		names = append(names, cl.Name)
+		supers[cl.Name] = cl.Supers
+	}
+	sort.Strings(names)
+
+	// Longest-path layering: a class sits one layer below its deepest
+	// superclass.
+	layerOf := map[string]int{}
+	var depth func(string) int
+	depth = func(n string) int {
+		if l, ok := layerOf[n]; ok {
+			return l
+		}
+		layerOf[n] = 0 // breaks cycles defensively; the catalog forbids them
+		best := 0
+		for _, s := range supers[n] {
+			if d := depth(s) + 1; d > best {
+				best = d
+			}
+		}
+		layerOf[n] = best
+		return best
+	}
+	maxLayer := 0
+	for _, n := range names {
+		if d := depth(n); d > maxLayer {
+			maxLayer = d
+		}
+	}
+
+	layout := &DAGLayout{Pos: map[string]DAGNode{}}
+	layout.Layers = make([][]string, maxLayer+1)
+	for _, n := range names {
+		l := layerOf[n]
+		layout.Layers[l] = append(layout.Layers[l], n)
+	}
+	for _, n := range names {
+		for _, s := range supers[n] {
+			layout.Edges = append(layout.Edges, [2]string{s, n})
+		}
+	}
+
+	// Barycentric crossing reduction: order each layer by the mean slot of
+	// its neighbours in the fixed adjacent layer, sweeping down then up.
+	slot := map[string]int{}
+	assign := func() {
+		for li, layer := range layout.Layers {
+			for si, n := range layer {
+				slot[n] = si
+				layout.Pos[n] = DAGNode{Name: n, Layer: li, Slot: si}
+			}
+		}
+	}
+	assign()
+	parentsOf := map[string][]string{}
+	childrenOf := map[string][]string{}
+	for _, e := range layout.Edges {
+		parentsOf[e[1]] = append(parentsOf[e[1]], e[0])
+		childrenOf[e[0]] = append(childrenOf[e[0]], e[1])
+	}
+	bary := func(n string, neigh []string) float64 {
+		if len(neigh) == 0 {
+			return float64(slot[n])
+		}
+		sum := 0.0
+		for _, m := range neigh {
+			sum += float64(slot[m])
+		}
+		return sum / float64(len(neigh))
+	}
+	for sweep := 0; sweep < 4; sweep++ {
+		// Downward: order layer i by parents in layer above.
+		for li := 1; li < len(layout.Layers); li++ {
+			layer := layout.Layers[li]
+			sort.SliceStable(layer, func(a, b int) bool {
+				return bary(layer[a], parentsOf[layer[a]]) < bary(layer[b], parentsOf[layer[b]])
+			})
+			for si, n := range layer {
+				slot[n] = si
+			}
+		}
+		// Upward: order layer i by children below.
+		for li := len(layout.Layers) - 2; li >= 0; li-- {
+			layer := layout.Layers[li]
+			sort.SliceStable(layer, func(a, b int) bool {
+				return bary(layer[a], childrenOf[layer[a]]) < bary(layer[b], childrenOf[layer[b]])
+			})
+			for si, n := range layer {
+				slot[n] = si
+			}
+		}
+	}
+	assign()
+	return layout
+}
+
+// Crossings counts edge crossings between adjacent layers in the current
+// placement — the quantity the placement minimizes.
+func (l *DAGLayout) Crossings() int {
+	total := 0
+	for li := 0; li+1 < len(l.Layers); li++ {
+		// Edges from layer li to li+1 as (slot, slot) pairs.
+		var pairs [][2]int
+		for _, e := range l.Edges {
+			p, c := l.Pos[e[0]], l.Pos[e[1]]
+			if p.Layer == li && c.Layer == li+1 {
+				pairs = append(pairs, [2]int{p.Slot, c.Slot})
+			}
+		}
+		for i := 0; i < len(pairs); i++ {
+			for j := i + 1; j < len(pairs); j++ {
+				a, b := pairs[i], pairs[j]
+				if (a[0]-b[0])*(a[1]-b[1]) < 0 {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Render draws the layered DAG as text, layer per line, with the IS-A
+// edges listed beneath.
+func (l *DAGLayout) Render() string {
+	var sb strings.Builder
+	for li, layer := range l.Layers {
+		fmt.Fprintf(&sb, "layer %d: %s\n", li, strings.Join(layer, "   "))
+	}
+	if len(l.Edges) > 0 {
+		sb.WriteString("edges:\n")
+		edges := append([][2]string(nil), l.Edges...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		for _, e := range edges {
+			fmt.Fprintf(&sb, "  %s --> %s\n", e[0], e[1])
+		}
+	}
+	return sb.String()
+}

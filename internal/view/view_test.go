@@ -1,0 +1,238 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"mood/internal/kernel"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+const ddl = `
+CREATE CLASS VehicleEngine TUPLE (size Integer, cylinders Integer);
+CREATE CLASS VehicleDriveTrain TUPLE (
+	engine REFERENCE (VehicleEngine), transmission String(32));
+CREATE CLASS Company TUPLE (name String(32));
+CREATE CLASS Vehicle TUPLE (
+	id Integer,
+	drivetrain REFERENCE (VehicleDriveTrain),
+	manufacturer REFERENCE (Company))
+	METHODS: lbweight () Integer;
+CREATE CLASS Automobile INHERITS FROM Vehicle;
+CREATE CLASS Truck INHERITS FROM Vehicle;
+CREATE CLASS JapaneseAuto INHERITS FROM Automobile;
+`
+
+func newDB(t testing.TB) *kernel.DB {
+	t.Helper()
+	db, err := kernel.Open(kernel.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecuteScript(ddl); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPlaceDAGLayers(t *testing.T) {
+	db := newDB(t)
+	layout := PlaceDAG(db.Cat)
+	// Roots (no supers) on layer 0; Automobile/Truck on 1; JapaneseAuto 2.
+	if layout.Pos["Vehicle"].Layer != 0 {
+		t.Errorf("Vehicle layer = %d", layout.Pos["Vehicle"].Layer)
+	}
+	if layout.Pos["Automobile"].Layer != 1 || layout.Pos["Truck"].Layer != 1 {
+		t.Errorf("subclass layers: %d %d",
+			layout.Pos["Automobile"].Layer, layout.Pos["Truck"].Layer)
+	}
+	if layout.Pos["JapaneseAuto"].Layer != 2 {
+		t.Errorf("JapaneseAuto layer = %d", layout.Pos["JapaneseAuto"].Layer)
+	}
+	// Every class placed exactly once.
+	seen := map[string]bool{}
+	for _, layer := range layout.Layers {
+		for _, n := range layer {
+			if seen[n] {
+				t.Errorf("%s placed twice", n)
+			}
+			seen[n] = true
+		}
+	}
+	if !seen["Company"] || !seen["VehicleEngine"] {
+		t.Error("root classes missing from layout")
+	}
+	out := layout.Render()
+	if !strings.Contains(out, "Vehicle --> Automobile") {
+		t.Errorf("edges missing from render:\n%s", out)
+	}
+}
+
+func TestCrossingReduction(t *testing.T) {
+	// A diamond with crossing-prone ordering: the reducer should reach a
+	// low-crossing placement.
+	db, err := kernel.Open(kernel.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := `
+		CREATE CLASS A TUPLE (x Integer);
+		CREATE CLASS B TUPLE (y Integer);
+		CREATE CLASS AB1 INHERITS FROM A;
+		CREATE CLASS AB2 INHERITS FROM B;
+		CREATE CLASS C1 INHERITS FROM AB1, AB2;
+	`
+	if _, err := db.ExecuteScript(script); err != nil {
+		t.Fatal(err)
+	}
+	layout := PlaceDAG(db.Cat)
+	if got := layout.Crossings(); got > 1 {
+		t.Errorf("crossings after reduction = %d\n%s", got, layout.Render())
+	}
+}
+
+func TestClassPresentation(t *testing.T) {
+	db := newDB(t)
+	out, err := ClassPresentation(db, "Automobile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Type Name    Automobile",
+		"Superclasses: Vehicle",
+		"Subclasses:   JapaneseAuto",
+		"lbweight",   // inherited method visible
+		"drivetrain", // inherited attribute visible
+		"REFERENCE (VehicleDriveTrain)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("presentation missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ClassPresentation(db, "Nope"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestGenerateDDLRoundtrip(t *testing.T) {
+	db := newDB(t)
+	ddlOut, err := GenerateDDL(db, "Vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated DDL must parse and rebuild an equivalent class in a
+	// fresh database.
+	db2, err := kernel.Open(kernel.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.ExecuteScript(`
+		CREATE CLASS VehicleEngine TUPLE (size Integer);
+		CREATE CLASS VehicleDriveTrain TUPLE (engine REFERENCE (VehicleEngine));
+		CREATE CLASS Company TUPLE (name String(32));
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Execute(ddlOut); err != nil {
+		t.Fatalf("generated DDL does not parse: %v\n%s", err, ddlOut)
+	}
+	cl, err := db2.Cat.Class("Vehicle")
+	if err != nil || len(cl.Tuple.Fields) != 3 || len(cl.Methods) != 1 {
+		t.Errorf("roundtripped class: %+v %v", cl, err)
+	}
+}
+
+func TestObjectGraph(t *testing.T) {
+	db := newDB(t)
+	eng, _ := db.Cat.CreateObject("VehicleEngine", object.NewTuple(
+		[]string{"size", "cylinders"},
+		[]object.Value{object.NewInt(2000), object.NewInt(8)}))
+	dt, _ := db.Cat.CreateObject("VehicleDriveTrain", object.NewTuple(
+		[]string{"engine", "transmission"},
+		[]object.Value{object.NewRef(eng), object.NewString("AUTOMATIC")}))
+	v, _ := db.Cat.CreateObject("Vehicle", object.NewTuple(
+		[]string{"id", "drivetrain"},
+		[]object.Value{object.NewInt(7), object.NewRef(dt)}))
+
+	out, err := ObjectGraph(db, v, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Vehicle", "VehicleDriveTrain", "VehicleEngine", "AUTOMATIC", "cylinders"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("graph missing %q:\n%s", want, out)
+		}
+	}
+	// Depth limiting.
+	shallow, _ := ObjectGraph(db, v, 0)
+	if strings.Contains(shallow, "VehicleEngine") {
+		t.Errorf("depth 0 expanded references:\n%s", shallow)
+	}
+	if !strings.Contains(shallow, "(...)") {
+		t.Errorf("depth marker missing:\n%s", shallow)
+	}
+}
+
+func TestObjectGraphCycle(t *testing.T) {
+	db, err := kernel.Open(kernel.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecuteScript(`CREATE CLASS Node TUPLE (next REFERENCE (Node))`); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Cat.CreateObject("Node", object.NewTuple(
+		[]string{"next"}, []object.Value{object.NewRef(storage.NilOID)}))
+	b, _ := db.Cat.CreateObject("Node", object.NewTuple(
+		[]string{"next"}, []object.Value{object.NewRef(a)}))
+	// Close the cycle a -> b.
+	av, _, _ := db.Cat.GetObject(a)
+	av.SetField("next", object.NewRef(b))
+	if err := db.Cat.UpdateObject(a, av); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ObjectGraph(db, a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "back-reference") {
+		t.Errorf("cycle not cut:\n%s", out)
+	}
+}
+
+func TestQueryManagerHistory(t *testing.T) {
+	db := newDB(t)
+	qm := NewQueryManager(db)
+	if _, err := qm.Run(`SELECT COUNT(*) AS n FROM Vehicle v`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qm.Run(`SELECT COUNT(*) AS n FROM Company c`); err != nil {
+		t.Fatal(err)
+	}
+	h := qm.History()
+	if len(h) != 2 || !strings.Contains(h[0], "Vehicle") {
+		t.Errorf("history = %v", h)
+	}
+	last, ok := qm.Recall(1)
+	if !ok || !strings.Contains(last, "Company") {
+		t.Errorf("Recall(1) = %q %v", last, ok)
+	}
+	if _, ok := qm.Recall(3); ok {
+		t.Error("Recall past history succeeded")
+	}
+}
+
+func TestSchemaOverviewAndCatalogDump(t *testing.T) {
+	db := newDB(t)
+	out := SchemaOverview(db)
+	if !strings.Contains(out, "Vehicle") || !strings.Contains(out, "layer 0") {
+		t.Errorf("overview:\n%s", out)
+	}
+	dump := CatalogDump(db)
+	for _, want := range []string{"MoodsType", "MoodsAttribute", "MoodsFunction"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("catalog dump missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"sort"
+
+	"mood/internal/storage"
+)
+
+// RecoveryStats reports what a recovery pass did.
+type RecoveryStats struct {
+	Analyzed int // durable records scanned
+	Redone   int // updates re-applied
+	Undone   int // updates rolled back
+	Losers   int // loser transactions
+}
+
+// Recover brings the disk behind bp to a transaction-consistent state from
+// the durable prefix of the log, in the classic three passes:
+//
+//  1. Analysis: find the last checkpoint, rebuild the active-transaction
+//     table, and classify winners (committed) vs losers.
+//  2. Redo: re-apply every durable update (and CLR) whose LSN is newer than
+//     the target page's LSN — repeating history.
+//  3. Undo: roll back loser transactions newest-first, writing CLRs.
+//
+// A fresh Log suitable for continued operation is the receiver itself: the
+// in-memory record list already holds the durable prefix, and recovery
+// appends its CLR/abort records to it.
+func (l *Log) Recover(bp *storage.BufferPool) (RecoveryStats, error) {
+	var st RecoveryStats
+	records := l.DurableRecords()
+	st.Analyzed = len(records)
+
+	// --- Analysis ---
+	committed := map[TxID]bool{}
+	finished := map[TxID]bool{}
+	lastLSN := map[TxID]LSN{}
+	for _, rec := range records {
+		switch rec.Kind {
+		case RecCommit:
+			committed[rec.Tx] = true
+			finished[rec.Tx] = true
+		case RecAbort:
+			finished[rec.Tx] = true
+		case RecBegin, RecUpdate, RecCLR:
+			lastLSN[rec.Tx] = rec.LSN
+		}
+	}
+	var losers []TxID
+	for tx := range lastLSN {
+		if !finished[tx] {
+			losers = append(losers, tx)
+		}
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i] < losers[j] })
+	st.Losers = len(losers)
+
+	// Truncate the volatile suffix: after a crash only the durable prefix
+	// exists. Rebuild in-memory state from it.
+	l.mu.Lock()
+	l.records = append([]Record(nil), records...)
+	l.nextLSN = l.flushed + 1
+	l.active = make(map[TxID]LSN)
+	for _, tx := range losers {
+		l.active[tx] = lastLSN[tx]
+	}
+	var maxTx TxID
+	for tx := range lastLSN {
+		if tx > maxTx {
+			maxTx = tx
+		}
+	}
+	for tx := range committed {
+		if tx > maxTx {
+			maxTx = tx
+		}
+	}
+	if l.nextTx <= maxTx {
+		l.nextTx = maxTx + 1
+	}
+	l.mu.Unlock()
+
+	// --- Redo: repeat history ---
+	for _, rec := range records {
+		if rec.Kind != RecUpdate && rec.Kind != RecCLR {
+			continue
+		}
+		pg, err := bp.Fetch(rec.Page)
+		if err != nil {
+			return st, err
+		}
+		if LSN(pg.LSN()) < rec.LSN {
+			copy(pg.Bytes()[rec.Offset:], rec.After)
+			pg.SetLSN(uint32(rec.LSN))
+			st.Redone++
+			if err := bp.Unpin(rec.Page, true); err != nil {
+				return st, err
+			}
+		} else if err := bp.Unpin(rec.Page, false); err != nil {
+			return st, err
+		}
+	}
+
+	// --- Undo losers ---
+	apply := func(page storage.PageID, offset int, image []byte, lsn LSN) error {
+		pg, err := bp.Fetch(page)
+		if err != nil {
+			return err
+		}
+		copy(pg.Bytes()[offset:], image)
+		pg.SetLSN(uint32(lsn))
+		st.Undone++
+		return bp.Unpin(page, true)
+	}
+	for i := len(losers) - 1; i >= 0; i-- {
+		if err := l.Abort(losers[i], apply); err != nil {
+			return st, err
+		}
+	}
+	l.FlushAll()
+	return st, nil
+}

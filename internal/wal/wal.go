@@ -1,0 +1,298 @@
+// Package wal provides write-ahead logging and crash recovery, the
+// "backup and recovery of data" kernel service MOOD obtains from the Exodus
+// Storage Manager. It implements a compact ARIES-style protocol: physical
+// before/after-image logging, write-ahead enforcement through the buffer
+// pool's flush hook, redo of every lost update, and undo of loser
+// transactions with compensation log records.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mood/internal/storage"
+)
+
+// LSN is a log sequence number. LSNs are dense and strictly increasing.
+type LSN uint32
+
+// TxID identifies a transaction.
+type TxID uint32
+
+// RecordKind distinguishes log record types.
+type RecordKind uint8
+
+// Log record kinds.
+const (
+	RecBegin RecordKind = iota
+	RecCommit
+	RecAbort
+	RecUpdate
+	RecCLR // compensation (redo-only) record written during undo
+	RecCheckpoint
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecUpdate:
+		return "UPDATE"
+	case RecCLR:
+		return "CLR"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	}
+	return "UNKNOWN"
+}
+
+// Record is one log entry.
+type Record struct {
+	LSN     LSN
+	Kind    RecordKind
+	Tx      TxID
+	PrevLSN LSN // previous record of the same transaction
+	Page    storage.PageID
+	Offset  uint16
+	Before  []byte // before image (empty for CLRs)
+	After   []byte // after image
+	UndoNxt LSN    // for CLRs: next record of the transaction to undo
+	// Checkpoint payload: transactions active at checkpoint time.
+	ActiveTxs []TxID
+}
+
+// ErrTxNotActive is returned for operations on unknown or finished
+// transactions.
+var ErrTxNotActive = errors.New("wal: transaction not active")
+
+// Log is an in-memory write-ahead log with an explicit durability horizon,
+// so tests can crash the system with an arbitrary suffix of the log lost.
+type Log struct {
+	mu       sync.Mutex
+	records  []Record
+	nextLSN  LSN
+	flushed  LSN // highest durable LSN
+	active   map[TxID]LSN
+	nextTx   TxID
+	flushCnt int64
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log {
+	return &Log{
+		nextLSN: 1,
+		active:  make(map[TxID]LSN),
+		nextTx:  1,
+	}
+}
+
+// Begin starts a transaction and logs its begin record.
+func (l *Log) Begin() TxID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tx := l.nextTx
+	l.nextTx++
+	lsn := l.appendLocked(Record{Kind: RecBegin, Tx: tx})
+	l.active[tx] = lsn
+	return tx
+}
+
+// Update logs a physical update of the page at the given offset and returns
+// the record's LSN, which the caller must stamp on the page before unpinning
+// it. The before and after images are copied.
+func (l *Log) Update(tx TxID, page storage.PageID, offset int, before, after []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev, ok := l.active[tx]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrTxNotActive, tx)
+	}
+	b := make([]byte, len(before))
+	copy(b, before)
+	a := make([]byte, len(after))
+	copy(a, after)
+	lsn := l.appendLocked(Record{
+		Kind: RecUpdate, Tx: tx, PrevLSN: prev,
+		Page: page, Offset: uint16(offset), Before: b, After: a,
+	})
+	l.active[tx] = lsn
+	return lsn, nil
+}
+
+// Commit logs a commit record and forces the log: after Commit returns nil,
+// the transaction survives any crash.
+func (l *Log) Commit(tx TxID) error {
+	l.mu.Lock()
+	prev, ok := l.active[tx]
+	if !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrTxNotActive, tx)
+	}
+	lsn := l.appendLocked(Record{Kind: RecCommit, Tx: tx, PrevLSN: prev})
+	delete(l.active, tx)
+	l.flushLocked(lsn)
+	l.mu.Unlock()
+	return nil
+}
+
+// Abort rolls the transaction back by applying before images in reverse
+// order through the supplied page writer, logging a CLR for every undone
+// update, then logs the abort record.
+func (l *Log) Abort(tx TxID, apply func(page storage.PageID, offset int, image []byte, lsn LSN) error) error {
+	l.mu.Lock()
+	cur, ok := l.active[tx]
+	if !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrTxNotActive, tx)
+	}
+	chain := l.txChainLocked(cur)
+	l.mu.Unlock()
+
+	for i := len(chain) - 1; i >= 0; i-- {
+		rec := chain[i]
+		if rec.Kind != RecUpdate {
+			continue
+		}
+		l.mu.Lock()
+		prev := l.active[tx]
+		clr := l.appendLocked(Record{
+			Kind: RecCLR, Tx: tx, PrevLSN: prev,
+			Page: rec.Page, Offset: rec.Offset, After: rec.Before,
+			UndoNxt: rec.PrevLSN,
+		})
+		l.active[tx] = clr
+		l.mu.Unlock()
+		if apply != nil {
+			if err := apply(rec.Page, int(rec.Offset), rec.Before, clr); err != nil {
+				return err
+			}
+		}
+	}
+	l.mu.Lock()
+	prev := l.active[tx]
+	lsn := l.appendLocked(Record{Kind: RecAbort, Tx: tx, PrevLSN: prev})
+	delete(l.active, tx)
+	l.flushLocked(lsn)
+	l.mu.Unlock()
+	return nil
+}
+
+// Checkpoint logs a fuzzy checkpoint carrying the active-transaction table
+// and forces the log up to it.
+func (l *Log) Checkpoint() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	txs := make([]TxID, 0, len(l.active))
+	for tx := range l.active {
+		txs = append(txs, tx)
+	}
+	lsn := l.appendLocked(Record{Kind: RecCheckpoint, ActiveTxs: txs})
+	l.flushLocked(lsn)
+	return lsn
+}
+
+// Flush makes all records up to lsn durable. The buffer pool calls this via
+// its flush hook before writing any page, enforcing the WAL rule.
+func (l *Log) Flush(lsn LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.flushLocked(lsn)
+}
+
+// FlushAll makes the entire log durable.
+func (l *Log) FlushAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.flushLocked(l.nextLSN - 1)
+}
+
+// FlushHook adapts the log for storage.BufferPool.SetFlushHook.
+func (l *Log) FlushHook() func(uint32) error {
+	return func(pageLSN uint32) error {
+		l.Flush(LSN(pageLSN))
+		return nil
+	}
+}
+
+// FlushedLSN returns the durability horizon.
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// FlushCount returns how many explicit flush operations have run (a proxy
+// for log I/O in benches).
+func (l *Log) FlushCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushCnt
+}
+
+// ActiveTransactions returns the IDs of transactions that have begun but not
+// committed or aborted.
+func (l *Log) ActiveTransactions() []TxID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TxID, 0, len(l.active))
+	for tx := range l.active {
+		out = append(out, tx)
+	}
+	return out
+}
+
+// DurableRecords returns a copy of the durable prefix of the log — what a
+// crashed system would find on disk.
+func (l *Log) DurableRecords() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, 0, len(l.records))
+	for _, r := range l.records {
+		if r.LSN <= l.flushed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Len returns the number of appended records (durable or not).
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+func (l *Log) appendLocked(rec Record) LSN {
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	l.records = append(l.records, rec)
+	return rec.LSN
+}
+
+func (l *Log) flushLocked(lsn LSN) {
+	if lsn > l.flushed {
+		l.flushed = lsn
+		l.flushCnt++
+	}
+}
+
+// txChainLocked collects the records of one transaction, oldest first,
+// following PrevLSN from the given tail.
+func (l *Log) txChainLocked(tail LSN) []Record {
+	var chain []Record
+	for lsn := tail; lsn != 0; {
+		rec := l.records[lsn-1]
+		chain = append(chain, rec)
+		lsn = rec.PrevLSN
+	}
+	// reverse to oldest-first
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}

@@ -1,0 +1,326 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mood/internal/storage"
+)
+
+func newPageWithData(t *testing.T, bp *storage.BufferPool, fill byte) storage.PageID {
+	t.Helper()
+	pg, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pg.Bytes() {
+		pg.Bytes()[i] = fill
+	}
+	pg.SetLSN(0)
+	if err := bp.Unpin(pg.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	return pg.ID
+}
+
+// loggedWrite performs a WAL-protected page update as the kernel would.
+func loggedWrite(t *testing.T, l *Log, bp *storage.BufferPool, tx TxID, page storage.PageID, off int, data []byte) {
+	t.Helper()
+	pg, err := bp.Fetch(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]byte, len(data))
+	copy(before, pg.Bytes()[off:off+len(data)])
+	lsn, err := l.Update(tx, page, off, before, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Bytes()[off:], data)
+	pg.SetLSN(uint32(lsn))
+	if err := bp.Unpin(page, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitAbortBasics(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 8)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	page := newPageWithData(t, bp, 0)
+
+	tx := l.Begin()
+	loggedWrite(t, l, bp, tx, page, 100, []byte("committed"))
+	if err := l.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(tx); err == nil {
+		t.Error("double commit succeeded")
+	}
+
+	tx2 := l.Begin()
+	loggedWrite(t, l, bp, tx2, page, 200, []byte("rolled-back"))
+	apply := func(p storage.PageID, off int, img []byte, lsn LSN) error {
+		pg, err := bp.Fetch(p)
+		if err != nil {
+			return err
+		}
+		copy(pg.Bytes()[off:], img)
+		pg.SetLSN(uint32(lsn))
+		return bp.Unpin(p, true)
+	}
+	if err := l.Abort(tx2, apply); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := bp.Fetch(page)
+	if string(pg.Bytes()[100:109]) != "committed" {
+		t.Error("committed data lost")
+	}
+	if !bytes.Equal(pg.Bytes()[200:211], make([]byte, 11)) {
+		t.Errorf("aborted data visible: %q", pg.Bytes()[200:211])
+	}
+	bp.Unpin(page, false)
+	if len(l.ActiveTransactions()) != 0 {
+		t.Errorf("active transactions remain: %v", l.ActiveTransactions())
+	}
+}
+
+func TestWALRuleEnforcedOnEviction(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 1) // single frame: every fetch evicts
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	page := newPageWithData(t, bp, 0)
+
+	tx := l.Begin()
+	loggedWrite(t, l, bp, tx, page, 50, []byte("dirty"))
+	if l.FlushedLSN() != 0 {
+		t.Fatalf("log flushed prematurely: %d", l.FlushedLSN())
+	}
+	// Touching another page evicts the dirty one, which must flush the log
+	// through the page LSN first.
+	other := newPageWithData(t, bp, 9)
+	_ = other
+	if l.FlushedLSN() < 2 {
+		t.Errorf("WAL rule violated: flushed=%d want >=2 after eviction", l.FlushedLSN())
+	}
+	l.Commit(tx)
+}
+
+// crash simulates a crash: all buffered pages are lost (a new pool is
+// created over the same disk) and the volatile suffix of the log vanishes
+// (only the durable prefix survives, which Recover enforces itself).
+func crash(disk *storage.DiskSim) *storage.BufferPool {
+	return storage.NewBufferPool(disk, 8)
+}
+
+func TestRecoveryRedoCommitted(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 8)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	page := newPageWithData(t, bp, 0)
+	bp.FlushAll()
+
+	tx := l.Begin()
+	loggedWrite(t, l, bp, tx, page, 10, []byte("must-survive"))
+	if err := l.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Crash WITHOUT flushing the dirty page: the update exists only in the
+	// durable log.
+	bp2 := crash(disk)
+	bp2.SetFlushHook(l.FlushHook())
+	st, err := l.Recover(bp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Redone == 0 {
+		t.Errorf("recovery redid nothing: %+v", st)
+	}
+	pg, _ := bp2.Fetch(page)
+	if string(pg.Bytes()[10:22]) != "must-survive" {
+		t.Errorf("committed update lost after recovery: %q", pg.Bytes()[10:22])
+	}
+	bp2.Unpin(page, false)
+}
+
+func TestRecoveryUndoLosers(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 8)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	page := newPageWithData(t, bp, 0)
+	bp.FlushAll()
+
+	tx := l.Begin()
+	loggedWrite(t, l, bp, tx, page, 30, []byte("loser-data"))
+	// Force the dirty page (and therefore, by the WAL rule, the log) to
+	// disk, then crash before commit: recovery must undo it.
+	bp.FlushAll()
+	bp2 := crash(disk)
+	bp2.SetFlushHook(l.FlushHook())
+	st, err := l.Recover(bp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Losers != 1 || st.Undone == 0 {
+		t.Errorf("recovery stats %+v, want 1 loser with undos", st)
+	}
+	pg, _ := bp2.Fetch(page)
+	if !bytes.Equal(pg.Bytes()[30:40], make([]byte, 10)) {
+		t.Errorf("loser data survived: %q", pg.Bytes()[30:40])
+	}
+	bp2.Unpin(page, false)
+	if len(l.ActiveTransactions()) != 0 {
+		t.Error("losers still active after recovery")
+	}
+}
+
+func TestRecoveryMixedWinnersAndLosers(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 8)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	pageA := newPageWithData(t, bp, 0)
+	pageB := newPageWithData(t, bp, 0)
+	bp.FlushAll()
+
+	winner := l.Begin()
+	loser := l.Begin()
+	loggedWrite(t, l, bp, winner, pageA, 0+16, []byte("WIN"))
+	loggedWrite(t, l, bp, loser, pageA, 64, []byte("LOSE"))
+	loggedWrite(t, l, bp, loser, pageB, 64, []byte("LOSE"))
+	loggedWrite(t, l, bp, winner, pageB, 0+16, []byte("WIN"))
+	if err := l.Commit(winner); err != nil {
+		t.Fatal(err)
+	}
+	l.Checkpoint()
+	// Random subset of pages on disk: flush only pageB.
+	bp.FlushPage(pageB)
+
+	bp2 := crash(disk)
+	bp2.SetFlushHook(l.FlushHook())
+	st, err := l.Recover(bp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Losers != 1 {
+		t.Errorf("losers = %d, want 1", st.Losers)
+	}
+	for _, page := range []storage.PageID{pageA, pageB} {
+		pg, _ := bp2.Fetch(page)
+		if string(pg.Bytes()[16:19]) != "WIN" {
+			t.Errorf("page %d: winner data lost: %q", page, pg.Bytes()[16:19])
+		}
+		if bytes.Contains(pg.Bytes(), []byte("LOSE")) {
+			t.Errorf("page %d: loser data survived", page)
+		}
+		bp2.Unpin(page, false)
+	}
+}
+
+func TestRecoveryIdempotent(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 8)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	page := newPageWithData(t, bp, 0)
+	bp.FlushAll()
+	tx := l.Begin()
+	loggedWrite(t, l, bp, tx, page, 10, []byte("abc"))
+	l.Commit(tx)
+
+	bp2 := crash(disk)
+	if _, err := l.Recover(bp2); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func() []byte {
+		pg, _ := bp2.Fetch(page)
+		cp := append([]byte(nil), pg.Bytes()...)
+		bp2.Unpin(page, false)
+		return cp
+	}
+	first := snapshot()
+	// Crash again immediately and recover again: state must not change.
+	bp2.FlushAll()
+	bp3 := crash(disk)
+	if _, err := l.Recover(bp3); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := bp3.Fetch(page)
+	if !bytes.Equal(pg.Bytes(), first) {
+		t.Error("second recovery changed page state")
+	}
+	bp3.Unpin(page, false)
+}
+
+func TestRecoveryRandomizedCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		disk := storage.NewDiskSim(storage.DefaultDiskParams())
+		bp := storage.NewBufferPool(disk, 4)
+		l := NewLog()
+		bp.SetFlushHook(l.FlushHook())
+		var pages []storage.PageID
+		for i := 0; i < 4; i++ {
+			pages = append(pages, newPageWithData(t, &*bp, 0))
+		}
+		bp.FlushAll()
+
+		// committed[page][offset] = expected byte for committed writes
+		expected := map[storage.PageID]map[int]byte{}
+		for _, p := range pages {
+			expected[p] = map[int]byte{}
+		}
+		nTx := 2 + rng.Intn(4)
+		for i := 0; i < nTx; i++ {
+			tx := l.Begin()
+			writes := map[storage.PageID]map[int]byte{}
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				p := pages[rng.Intn(len(pages))]
+				// Disjoint offset ranges per transaction: without locking,
+				// overlapping writes between a loser and a later winner
+				// would legitimately clobber each other at undo time.
+				off := 32 + i*600 + rng.Intn(600)
+				val := byte(1 + rng.Intn(255))
+				loggedWrite(t, l, bp, tx, p, off, []byte{val})
+				if writes[p] == nil {
+					writes[p] = map[int]byte{}
+				}
+				writes[p][off] = val
+			}
+			if rng.Intn(2) == 0 {
+				if err := l.Commit(tx); err != nil {
+					t.Fatal(err)
+				}
+				for p, m := range writes {
+					for off, v := range m {
+						expected[p][off] = v
+					}
+				}
+			} // else: leave active (loser)
+			if rng.Intn(3) == 0 {
+				bp.FlushPage(pages[rng.Intn(len(pages))])
+			}
+		}
+
+		bp2 := crash(disk)
+		bp2.SetFlushHook(l.FlushHook())
+		if _, err := l.Recover(bp2); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, p := range pages {
+			pg, _ := bp2.Fetch(p)
+			for off, v := range expected[p] {
+				if pg.Bytes()[off] != v {
+					t.Errorf("round %d page %d off %d: got %d want %d (committed write lost)",
+						round, p, off, pg.Bytes()[off], v)
+				}
+			}
+			bp2.Unpin(p, false)
+		}
+	}
+}
