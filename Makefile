@@ -1,0 +1,37 @@
+# MOOD — build and verification entry points.
+#
+#   make build           compile every package and command
+#   make test            full test suite
+#   make race            full test suite under the race detector
+#   make vet             static analysis
+#   make crashtest       the seeded crash/recovery torture harness
+#                        (CRASHTEST_ITERS=n to scale, CRASHTEST_SEED=n to
+#                        replay one failing iteration)
+#   make bench-baseline  regenerate BENCH_baseline.json (simulated I/O of a
+#                        representative operation set; deterministic)
+#   make ci              everything a pre-merge check runs
+
+GO ?= go
+CRASHTEST_ITERS ?= 120
+
+.PHONY: build test race vet crashtest bench-baseline ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+crashtest:
+	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic' ./internal/crashtest
+
+bench-baseline:
+	$(GO) run ./cmd/moodbench -bench-json BENCH_baseline.json
+
+ci: build vet test race crashtest

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -61,10 +62,32 @@ func artifacts() []artifact {
 	}
 }
 
+// writeBenchJSON measures the representative operation set of
+// experiments.MeasureBaseline (bulk flush, cold extent scans, the Section 6
+// join strategies) and writes the result as JSON. All numbers are simulated
+// disk metrics from seeded data, so the file is byte-stable across machines
+// and reruns — suitable for checking in and diffing against.
+func writeBenchJSON(path string, scale float64) error {
+	env, err := experiments.BuildEnv(experiments.Scale(scale))
+	if err != nil {
+		return fmt.Errorf("building environment: %w", err)
+	}
+	base, err := experiments.MeasureBaseline(env)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.1, "database scale relative to the paper's Table 13 (1.0 = 20000 vehicles, 200000 companies)")
 	only := flag.String("only", "", "run a single artifact (see -list)")
 	list := flag.Bool("list", false, "list artifact names and exit")
+	benchJSON := flag.String("bench-json", "", "write a JSON baseline of per-artifact simulated I/O to this file and exit")
 	flag.Parse()
 
 	arts := artifacts()
@@ -72,6 +95,14 @@ func main() {
 		for _, a := range arts {
 			fmt.Printf("%-16s %s\n", a.name, a.desc)
 		}
+		return
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (scale %g)\n", *benchJSON, *scale)
 		return
 	}
 

@@ -10,6 +10,7 @@ import (
 	"mood/internal/object"
 	"mood/internal/sql"
 	"mood/internal/storage"
+	"mood/internal/testutil"
 )
 
 // TestRandomQueriesDifferential generates random single-variable queries
@@ -20,7 +21,7 @@ import (
 // and the executor — against an oracle that uses none of it.
 func TestRandomQueriesDifferential(t *testing.T) {
 	f := defaultFixture(t)
-	rng := rand.New(rand.NewSource(20240705))
+	rng := rand.New(rand.NewSource(testutil.Seed(t, 20240705)))
 
 	// Predicate building blocks over Vehicle v.
 	leaves := []func() expr.Expr{

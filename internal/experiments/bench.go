@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mood/internal/algebra"
+	"mood/internal/cost"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// BenchEntry is one measured operation in a moodbench baseline. All numbers
+// come from the deterministic DiskSim — seeded data, counted block
+// accesses, simulated milliseconds — never from wall-clock time, so a
+// baseline is byte-stable across machines and reruns.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Reads       int64   `json:"reads"`
+	Writes      int64   `json:"writes"`
+	SimulatedMs float64 `json:"simulated_ms"`
+}
+
+// BenchBaseline is the artifact written by `moodbench -bench-json`.
+type BenchBaseline struct {
+	Scale     float64      `json:"scale"`
+	Vehicles  int          `json:"vehicles"`
+	Companies int          `json:"companies"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// MeasureBaseline runs a fixed set of representative storage and query
+// operations cold (tiny buffer pool, ESM layout accounting) and records
+// their simulated I/O. The set covers the regimes the paper's cost model
+// distinguishes: bulk write-out, full extent scans of a small and a large
+// class, and the three scan-free join strategies of Section 6.
+func MeasureBaseline(env *Env) (*BenchBaseline, error) {
+	base := &BenchBaseline{
+		Scale:     float64(env.Scale),
+		Vehicles:  env.Cfg.Vehicles,
+		Companies: env.Cfg.Companies,
+	}
+	disk := env.Pool.Disk()
+
+	// 1. Bulk write-out of the freshly generated database.
+	disk.ResetStats()
+	if err := env.Pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	s := disk.Stats()
+	base.Entries = append(base.Entries, BenchEntry{
+		Name: "flush-database", Reads: s.Reads(), Writes: s.Writes(), SimulatedMs: s.TimeMs,
+	})
+
+	// 2. Cold full-extent scans (the sequential-access regime of Table 8).
+	for _, class := range []string{"Vehicle", "Company"} {
+		cat, d, err := coldCatalog(env, 1)
+		if err != nil {
+			return nil, err
+		}
+		d.ResetStats()
+		rows := 0
+		if err := cat.ScanExtent(class, func(storage.OID, object.Value) bool {
+			rows++
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		s := d.Stats()
+		base.Entries = append(base.Entries, BenchEntry{
+			Name: "scan-" + class, Rows: rows,
+			Reads: s.Reads(), Writes: s.Writes(), SimulatedMs: s.TimeMs,
+		})
+		d.SetESMLayout(false)
+	}
+
+	// 3. The Section 6 join strategies at k_c = |V|/10.
+	kc := len(env.DB.Vehicles) / 10
+	if kc < 1 {
+		kc = 1
+	}
+	for _, m := range []cost.JoinMethod{cost.ForwardTraversal, cost.BackwardTraversal, cost.HashPartition} {
+		cat, d, err := coldCatalog(env, 1)
+		if err != nil {
+			return nil, err
+		}
+		a := algebra.New(cat)
+		left := a.BindSet("v", "Vehicle", env.DB.Vehicles[:kc])
+		if err := a.Materialize(left); err != nil {
+			return nil, err
+		}
+		right, err := a.BindDirect("VehicleDriveTrain", "d")
+		if err != nil {
+			return nil, err
+		}
+		d.ResetStats()
+		out, err := a.Join(left, right, algebra.JoinSpec{
+			Method: m, LeftVar: "v", Attribute: "drivetrain", RightVar: "d",
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := d.Stats()
+		base.Entries = append(base.Entries, BenchEntry{
+			Name: fmt.Sprintf("join-%v", m), Rows: out.Len(),
+			Reads: s.Reads(), Writes: s.Writes(), SimulatedMs: s.TimeMs,
+		})
+		d.SetESMLayout(false)
+	}
+	return base, nil
+}

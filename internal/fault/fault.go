@@ -1,0 +1,204 @@
+// Package fault provides deterministic, seedable fault injection for the
+// storage/WAL substrate. The paper delegates "backup and recovery of data"
+// to the Exodus Storage Manager; our substitute claims ARIES-style recovery,
+// and this package supplies the machinery to prove it: failure points that
+// fire at the Nth occurrence of an operation, chosen from a seed, so every
+// crash/recovery scenario the torture harness explores is replayable.
+//
+// A fault point is identified by an Op (page write, page read, log append,
+// log flush). The I/O layers call Injector.Check at each such point; the
+// injector counts occurrences and, when an armed rule matches, returns a
+// Decision telling the layer how to fail:
+//
+//   - Transient: return ErrTransient once; a retry of the same operation
+//     succeeds (the rule is consumed). Models a recoverable I/O error.
+//   - Torn: persist only a prefix of the block, then behave as a crash.
+//     Models a power failure mid-sector-train. The on-disk checksum no
+//     longer matches, which recovery must detect and repair.
+//   - Crash: fail the operation and every subsequent one. Models the
+//     process dying at exactly this point; the caller's stack unwinds with
+//     ErrCrash and the test harness then "reboots" (new buffer pool,
+//     durable log prefix only) and runs recovery.
+//
+// After a Torn or Crash decision the injector latches into the crashed
+// state: every later Check returns Crash regardless of op, so no I/O can
+// sneak past the point of death.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Op names a fault point in the storage/WAL stack.
+type Op string
+
+// The fault points the substrate exposes.
+const (
+	OpPageRead  Op = "page.read"  // DiskSim.ReadPage
+	OpPageWrite Op = "page.write" // DiskSim.WritePage (buffer-pool flush path)
+	OpLogAppend Op = "log.append" // wal.Log.Update record append
+	OpLogFlush  Op = "log.flush"  // wal.Log durability point (commit force, WAL-rule flush)
+)
+
+// Kind is the way an armed fault point fails.
+type Kind uint8
+
+// Fault kinds.
+const (
+	None      Kind = iota
+	Transient      // one-shot recoverable I/O error
+	Torn           // partial page write, then crash
+	Crash          // hard crash: this and all later operations fail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Torn:
+		return "torn"
+	case Crash:
+		return "crash"
+	}
+	return "unknown"
+}
+
+// Sentinel errors injected at fault points. Layers wrap them with context;
+// callers test with errors.Is.
+var (
+	// ErrCrash is returned by every operation at and after the crash point.
+	ErrCrash = errors.New("fault: simulated crash")
+	// ErrTransient is returned once by a transiently failing operation.
+	ErrTransient = errors.New("fault: transient I/O error")
+)
+
+// Decision tells an I/O layer how to fail the current operation.
+type Decision struct {
+	Kind Kind
+	// TornFrac, for Torn decisions, is the fraction (0,1) of the block that
+	// reaches the disk before the crash.
+	TornFrac float64
+}
+
+// Trip records one fired fault, for diagnostics and coverage accounting.
+type Trip struct {
+	Op   Op
+	N    int64 // the occurrence count at which the fault fired
+	Kind Kind
+}
+
+func (t Trip) String() string { return fmt.Sprintf("%s#%d:%s", t.Op, t.N, t.Kind) }
+
+// rule is one armed fault: fire kind at the nth occurrence of op.
+type rule struct {
+	op    Op
+	n     int64
+	kind  Kind
+	fired bool
+}
+
+// Injector is a deterministic fault plan. It is safe for concurrent use;
+// the occurrence counters make its behaviour a pure function of the seed
+// and the sequence of Check calls.
+type Injector struct {
+	mu      sync.Mutex
+	seed    int64
+	rng     *rand.Rand
+	counts  map[Op]int64
+	rules   []*rule
+	crashed bool
+	trips   []Trip
+}
+
+// New creates an injector with no armed faults. The seed only influences
+// derived quantities (such as the torn-write fraction); the firing points
+// themselves are armed explicitly with FailAt so a failing scenario can be
+// reconstructed exactly.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:   seed,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[Op]int64),
+	}
+}
+
+// Seed returns the seed the injector was built with.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// FailAt arms kind at the nth (1-based, counted from the injector's
+// creation) occurrence of op. Multiple rules may be armed, on the same or
+// different ops; each fires at most once.
+func (in *Injector) FailAt(op Op, n int64, kind Kind) {
+	if n < 1 || kind == None {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &rule{op: op, n: n, kind: kind})
+}
+
+// Check is called by an I/O layer at a fault point. It advances the op's
+// occurrence counter and returns the decision for this operation. A nil
+// injector never fires.
+func (in *Injector) Check(op Op) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	if in.crashed {
+		return Decision{Kind: Crash}
+	}
+	for _, r := range in.rules {
+		if r.fired || r.op != op || in.counts[op] != r.n {
+			continue
+		}
+		r.fired = true
+		in.trips = append(in.trips, Trip{Op: op, N: r.n, Kind: r.kind})
+		switch r.kind {
+		case Torn:
+			in.crashed = true
+			// Persist between 1/8 and 7/8 of the block: always partial,
+			// never empty, never complete.
+			return Decision{Kind: Torn, TornFrac: 0.125 + 0.75*in.rng.Float64()}
+		case Crash:
+			in.crashed = true
+			return Decision{Kind: Crash}
+		case Transient:
+			return Decision{Kind: Transient}
+		}
+	}
+	return Decision{}
+}
+
+// Crashed reports whether a Torn or Crash fault has fired.
+func (in *Injector) Crashed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Count returns how many times the op's fault point has been passed.
+func (in *Injector) Count(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// Trips returns the faults that have fired, in firing order.
+func (in *Injector) Trips() []Trip {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Trip, len(in.trips))
+	copy(out, in.trips)
+	return out
+}

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestFailAtFiresOnNthOccurrence(t *testing.T) {
+	in := New(1)
+	in.FailAt(OpPageWrite, 3, Transient)
+	for i := 1; i <= 5; i++ {
+		d := in.Check(OpPageWrite)
+		if i == 3 && d.Kind != Transient {
+			t.Fatalf("occurrence %d: kind = %v, want Transient", i, d.Kind)
+		}
+		if i != 3 && d.Kind != None {
+			t.Fatalf("occurrence %d: kind = %v, want None", i, d.Kind)
+		}
+	}
+	if in.Count(OpPageWrite) != 5 {
+		t.Errorf("count = %d, want 5", in.Count(OpPageWrite))
+	}
+	if in.Crashed() {
+		t.Error("transient fault latched the crashed state")
+	}
+	trips := in.Trips()
+	if len(trips) != 1 || trips[0].N != 3 || trips[0].Kind != Transient {
+		t.Errorf("trips = %v", trips)
+	}
+}
+
+func TestOpsAreCountedIndependently(t *testing.T) {
+	in := New(1)
+	in.FailAt(OpLogFlush, 2, Transient)
+	// Page writes do not advance the log-flush counter.
+	for i := 0; i < 10; i++ {
+		if d := in.Check(OpPageWrite); d.Kind != None {
+			t.Fatalf("page write %d fired: %v", i, d.Kind)
+		}
+	}
+	if d := in.Check(OpLogFlush); d.Kind != None {
+		t.Fatalf("first log flush fired: %v", d.Kind)
+	}
+	if d := in.Check(OpLogFlush); d.Kind != Transient {
+		t.Fatalf("second log flush: %v, want Transient", d.Kind)
+	}
+}
+
+func TestCrashLatchesEverything(t *testing.T) {
+	in := New(1)
+	in.FailAt(OpPageWrite, 1, Crash)
+	if d := in.Check(OpPageWrite); d.Kind != Crash {
+		t.Fatalf("armed crash did not fire: %v", d.Kind)
+	}
+	if !in.Crashed() {
+		t.Fatal("crashed state not latched")
+	}
+	// Every op now fails, including ones with no armed rule.
+	for _, op := range []Op{OpPageRead, OpPageWrite, OpLogAppend, OpLogFlush} {
+		if d := in.Check(op); d.Kind != Crash {
+			t.Errorf("post-crash %s: %v, want Crash", op, d.Kind)
+		}
+	}
+}
+
+func TestTornWriteIsPartialAndDeterministic(t *testing.T) {
+	frac := func(seed int64) float64 {
+		in := New(seed)
+		in.FailAt(OpPageWrite, 1, Torn)
+		d := in.Check(OpPageWrite)
+		if d.Kind != Torn {
+			t.Fatalf("torn did not fire: %v", d.Kind)
+		}
+		if d.TornFrac <= 0 || d.TornFrac >= 1 {
+			t.Fatalf("TornFrac = %v, want in (0,1)", d.TornFrac)
+		}
+		if !in.Crashed() {
+			t.Fatal("torn write did not latch the crash")
+		}
+		return d.TornFrac
+	}
+	if frac(7) != frac(7) {
+		t.Error("same seed produced different torn fractions")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if d := in.Check(OpPageWrite); d.Kind != None {
+		t.Errorf("nil injector fired: %v", d.Kind)
+	}
+	if in.Crashed() {
+		t.Error("nil injector crashed")
+	}
+}

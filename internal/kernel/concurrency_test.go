@@ -1,0 +1,224 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mood/internal/lock"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// TestConcurrentDeadlockVictimRetries drives two transactions into a
+// guaranteed waits-for cycle — each X-locks its own Employee, then (only
+// after both hold their first lock) asks for the other's — and checks that
+// the lock manager kills exactly one of them, that the victim's retry
+// succeeds, and that both updates are durable in the end. Run under -race
+// this also validates the kernel's locking against the memory model.
+func TestConcurrentDeadlockVictimRetries(t *testing.T) {
+	db := openAndDefine(t)
+	setup := db.Begin()
+	var oids [2]storage.OID
+	for i := range oids {
+		oid, err := setup.Create("Employee", employee("worker", int32(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Barrier: both workers must hold their first X lock before either asks
+	// for its second, so the cycle is certain, not scheduler-dependent.
+	var firstLockHeld sync.WaitGroup
+	firstLockHeld.Add(2)
+	var victims, commits atomic.Int32
+
+	// setAge goes straight to Update (an X lock on first touch) rather than
+	// Get-then-Update: an S→X upgrade race between the two workers would be
+	// a livelock (the victim's retried S grant keeps starving the
+	// survivor's upgrade), which is a different phenomenon than the
+	// waits-for cycle this test pins down.
+	setAge := func(tx *Tx, oid storage.OID, age int32) error {
+		v := employee("worker", 1)
+		v.SetField("age", object.NewInt(age))
+		return tx.Update(oid, v)
+	}
+
+	worker := func(id int) error {
+		first, second := oids[id], oids[1-id]
+		for attempt := 0; attempt < 10; attempt++ {
+			tx := db.Begin()
+			err := setAge(tx, first, int32(100+id))
+			if err == nil {
+				if attempt == 0 {
+					firstLockHeld.Done()
+					firstLockHeld.Wait()
+				}
+				err = setAge(tx, second, int32(200+id))
+			}
+			if err == nil {
+				if err = tx.Commit(); err != nil {
+					return err
+				}
+				commits.Add(1)
+				return nil
+			}
+			if !errors.Is(err, lock.ErrDeadlock) {
+				tx.Abort()
+				return err
+			}
+			victims.Add(1)
+			if aerr := tx.Abort(); aerr != nil {
+				return aerr
+			}
+			// Retry: the survivor still holds both locks, so the re-acquire
+			// simply blocks until it commits — no second cycle is possible.
+		}
+		return errors.New("worker never committed")
+	}
+
+	errs := make(chan error, 2)
+	for id := 0; id < 2; id++ {
+		go func(id int) { errs <- worker(id) }(id)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := victims.Load(); got != 1 {
+		t.Errorf("deadlock victims = %d, want exactly 1", got)
+	}
+	if got := commits.Load(); got != 2 {
+		t.Errorf("commits = %d, want 2", got)
+	}
+	_, _, deadlocks := db.Locks.Stats()
+	if deadlocks < 1 {
+		t.Errorf("lock manager counted %d deadlocks, want >= 1", deadlocks)
+	}
+	// The victim's retry blocks behind the survivor and so commits last,
+	// overwriting both objects: the final state must be exactly one worker's
+	// pair of writes (first=100+id, second=200+id), never a mix.
+	var ages [2]int64
+	for i, oid := range oids {
+		v, _, err := db.Cat.GetObject(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		age, _ := v.Field("age")
+		ages[i] = age.Int
+	}
+	if !(ages == [2]int64{100, 200} || ages == [2]int64{201, 101}) {
+		t.Errorf("final ages %v are not one worker's consistent pair", ages)
+	}
+	if got := db.Log.ActiveTransactions(); len(got) != 0 {
+		t.Errorf("transactions still active after test: %v", got)
+	}
+}
+
+// TestConcurrentMixedWorkload runs several goroutines that create, read,
+// update, and commit or abort against a shared set of objects, retrying on
+// deadlock. It asserts progress (every worker finishes) and consistency
+// (no transaction left active, object count matches the committed creates).
+func TestConcurrentMixedWorkload(t *testing.T) {
+	db := openAndDefine(t)
+	setup := db.Begin()
+	var shared [4]storage.OID
+	for i := range shared {
+		oid, err := setup.Create("Employee", employee("shared", int32(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared[i] = oid
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	const opsPerWorker = 8
+	var created atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for op := 0; op < opsPerWorker; op++ {
+				// Touch two shared objects in a consistent global order half
+				// the time, reversed order the other half — deadlocks are
+				// possible and must be survivable.
+				a, b := (w+op)%len(shared), (w+op+1)%len(shared)
+				if op%2 == 1 {
+					a, b = b, a
+				}
+				for attempt := 0; ; attempt++ {
+					tx := db.Begin()
+					err := func() error {
+						// Direct Update → X on first touch (no S→X upgrade,
+						// which can livelock between retrying peers).
+						v := employee("shared", int32(a+1))
+						v.SetField("age", object.NewInt(int32(30+op)))
+						if err := tx.Update(shared[a], v); err != nil {
+							return err
+						}
+						if _, _, err := tx.Get(shared[b]); err != nil {
+							return err
+						}
+						if op%3 == 0 {
+							if _, err := tx.Create("Employee", employee("new", int32(100+w*10+op))); err != nil {
+								return err
+							}
+						}
+						return nil
+					}()
+					if err == nil && op%4 == 3 {
+						if err := tx.Abort(); err != nil {
+							t.Error(err)
+						}
+						break
+					}
+					if err == nil {
+						if err := tx.Commit(); err != nil {
+							t.Error(err)
+						}
+						if op%3 == 0 {
+							created.Add(1)
+						}
+						break
+					}
+					tx.Abort()
+					if !errors.Is(err, lock.ErrDeadlock) {
+						t.Errorf("worker %d op %d: %v", w, op, err)
+						break
+					}
+					if attempt > 50 {
+						t.Errorf("worker %d op %d: still deadlocking after %d retries", w, op, attempt)
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := db.Log.ActiveTransactions(); len(got) != 0 {
+		t.Errorf("transactions still active: %v", got)
+	}
+	n := 0
+	if err := db.Cat.ScanExtent("Employee", func(storage.OID, object.Value) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := len(shared) + int(created.Load())
+	if n != want {
+		t.Errorf("employees = %d, want %d (%d shared + %d committed creates)", n, want, len(shared), created.Load())
+	}
+}

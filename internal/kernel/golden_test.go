@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestMOODSQLGolden runs a CREATE/INSERT/SELECT script through the whole
+// stack — MOODSQL parser, optimizer, executor — and compares the rendered
+// results against a checked-in golden file. Regenerate after an intentional
+// output change with:
+//
+//	go test ./internal/kernel -run TestMOODSQLGolden -update
+func TestMOODSQLGolden(t *testing.T) {
+	script, err := os.ReadFile(filepath.Join("testdata", "basic.moodsql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	for _, stmt := range splitScript(string(script)) {
+		fmt.Fprintf(&out, "moodsql> %s\n", stmt)
+		res, err := db.Execute(stmt)
+		if err != nil {
+			fmt.Fprintf(&out, "error: %v\n\n", err)
+			continue
+		}
+		out.WriteString(renderResult(res))
+		out.WriteString("\n")
+	}
+
+	goldenPath := filepath.Join("testdata", "basic.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got := out.String(); got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, want)
+	}
+}
+
+// splitScript breaks a .moodsql file into statements: "--" comment lines are
+// dropped, statements are separated by semicolons, blanks are skipped, and
+// each statement's whitespace is collapsed so it renders on one line.
+func splitScript(script string) []string {
+	var kept []string
+	for _, line := range strings.Split(script, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "--") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	var stmts []string
+	for _, raw := range strings.Split(strings.Join(kept, "\n"), ";") {
+		stmt := strings.Join(strings.Fields(raw), " ")
+		if stmt != "" {
+			stmts = append(stmts, stmt)
+		}
+	}
+	return stmts
+}
+
+// renderResult prints a Result as a fixed-format table: a header of column
+// names, a separator, and each row's values in the paper's <...>/{...}
+// notation via object.Value.String.
+func renderResult(res *Result) string {
+	if res == nil || len(res.Columns) == 0 {
+		return "(no result)\n"
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Columns, " | "))
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", len(strings.Join(res.Columns, " | "))))
+	b.WriteString("\n")
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		b.WriteString(strings.Join(cells, " | "))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(res.Rows))
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDeadlockStormMakesProgress pits goroutines against each other with
+// deliberately inconsistent lock orders, so waits-for cycles form
+// continually. The detector must break every cycle (victims retry from
+// scratch) and the storm must finish: no lost wakeup, no undetected
+// deadlock, no timeout. Deadlock *counts* are scheduler-dependent, so the
+// assertions are about progress and bookkeeping, not exact tallies.
+func TestDeadlockStormMakesProgress(t *testing.T) {
+	// The 5s timeout is a backstop only: any ErrTimeout is a detector bug
+	// (a cycle it failed to see) and fails the test below.
+	m := NewManager(5 * time.Second)
+	resources := []Resource{"r0", "r1", "r2"}
+	var completed, victims atomic.Int64
+	var wg sync.WaitGroup
+	const workers = 8
+	const rounds = 25
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(tx TxID) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Half the workers walk the resources forward, half
+				// backward: two-resource holds in opposite orders.
+				first := resources[(int(tx)+i)%len(resources)]
+				second := resources[(int(tx)+i+1)%len(resources)]
+				if tx%2 == 0 {
+					first, second = second, first
+				}
+			retry:
+				for attempt := 0; ; attempt++ {
+					if attempt > 200 {
+						t.Errorf("tx %d round %d: no progress after %d deadlock retries", tx, i, attempt)
+						return
+					}
+					if err := m.Acquire(tx, first, ModeX); err != nil {
+						if errors.Is(err, ErrDeadlock) {
+							victims.Add(1)
+							m.ReleaseAll(tx)
+							continue retry
+						}
+						t.Errorf("tx %d: %v", tx, err)
+						return
+					}
+					if err := m.Acquire(tx, second, ModeX); err != nil {
+						if errors.Is(err, ErrDeadlock) {
+							victims.Add(1)
+							m.ReleaseAll(tx)
+							continue retry
+						}
+						t.Errorf("tx %d: %v", tx, err)
+						return
+					}
+					completed.Add(1)
+					m.ReleaseAll(tx)
+					break
+				}
+			}
+		}(TxID(1 + g))
+	}
+	wg.Wait()
+
+	if got := completed.Load(); got != workers*rounds {
+		t.Errorf("completed %d two-lock critical sections, want %d", got, workers*rounds)
+	}
+	_, _, deadlocks := m.Stats()
+	if v := victims.Load(); v != deadlocks {
+		t.Errorf("victims saw ErrDeadlock %d times but manager counted %d", v, deadlocks)
+	}
+	// All locks were released: the manager's tables must be empty.
+	for _, res := range resources {
+		for g := 0; g < workers; g++ {
+			if mode := m.HeldMode(TxID(1+g), res); mode != ModeNone {
+				t.Errorf("tx %d still holds %s on %s after the storm", 1+g, mode, res)
+			}
+		}
+	}
+}

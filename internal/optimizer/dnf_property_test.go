@@ -6,6 +6,7 @@ import (
 
 	"mood/internal/expr"
 	"mood/internal/object"
+	"mood/internal/testutil"
 )
 
 // randBoolExpr builds a random Boolean expression over integer variables
@@ -63,7 +64,7 @@ func evalDNF(terms []AndTerm, env *expr.Env) (bool, error) {
 // TestSimplifyPreservesSemantics checks that Simplify never changes the
 // truth value of a predicate, over random expressions and assignments.
 func TestSimplifyPreservesSemantics(t *testing.T) {
-	rng := rand.New(rand.NewSource(77))
+	rng := rand.New(rand.NewSource(testutil.Seed(t, 77)))
 	for trial := 0; trial < 3000; trial++ {
 		e := randBoolExpr(rng, 4)
 		s := Simplify(e)
@@ -90,7 +91,7 @@ func TestSimplifyPreservesSemantics(t *testing.T) {
 // 7's "the UNION operation is performed after evaluating the predicates
 // for the AND-terms".
 func TestToDNFPreservesSemantics(t *testing.T) {
-	rng := rand.New(rand.NewSource(101))
+	rng := rand.New(rand.NewSource(testutil.Seed(t, 101)))
 	for trial := 0; trial < 3000; trial++ {
 		e := randBoolExpr(rng, 4)
 		terms := ToDNF(e)

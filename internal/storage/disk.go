@@ -16,7 +16,11 @@ package storage
 
 import (
 	"fmt"
+	"hash/crc32"
+	"sort"
 	"sync"
+
+	"mood/internal/fault"
 )
 
 // DiskParams holds the physical disk parameters of the paper's Table 10.
@@ -106,6 +110,19 @@ type DiskSim struct {
 	// access is charged as random — the paper's "the sequential access
 	// cost of a file is equal to its random access cost".
 	esmLayout bool
+
+	// fi, when set, is consulted on every page read/write so crash-recovery
+	// tests can fail the Nth access, tear a write, or kill the disk.
+	fi *fault.Injector
+	// sums holds the CRC of each page's last complete write; a torn write
+	// records the CRC of the write it failed to complete, so the mismatch
+	// is detectable exactly as a page-checksum mismatch would be.
+	sums map[PageID]uint32
+	// good, when doublewrite is on, holds each page's last
+	// checksum-consistent image; RepairPage restores it, modelling a
+	// doublewrite buffer / mirrored write.
+	good        map[PageID][]byte
+	doublewrite bool
 }
 
 // NewDiskSim creates an empty simulated disk with the given parameters.
@@ -116,8 +133,28 @@ func NewDiskSim(params DiskParams) *DiskSim {
 	return &DiskSim{
 		params: params,
 		pages:  make(map[PageID][]byte),
+		sums:   make(map[PageID]uint32),
+		good:   make(map[PageID][]byte),
 		next:   1, // page 0 reserved
 	}
+}
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector.
+// While attached, every ReadPage/WritePage consults it and may fail with
+// fault.ErrTransient or fault.ErrCrash, or persist only part of a write.
+func (d *DiskSim) SetFaultInjector(fi *fault.Injector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fi = fi
+}
+
+// SetDoublewrite enables retention of each page's last checksum-consistent
+// image so torn pages can be repaired with RepairPage (the discipline real
+// systems implement with a doublewrite buffer or full-page logging).
+func (d *DiskSim) SetDoublewrite(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.doublewrite = on
 }
 
 // Params returns the physical parameters of the disk.
@@ -140,7 +177,12 @@ func (d *DiskSim) AllocPage() PageID {
 		id = d.next
 		d.next++
 	}
-	d.pages[id] = make([]byte, d.params.BlockSize)
+	buf := make([]byte, d.params.BlockSize)
+	d.pages[id] = buf
+	d.sums[id] = crc32.ChecksumIEEE(buf)
+	if d.doublewrite {
+		d.good[id] = make([]byte, d.params.BlockSize)
+	}
 	return id
 }
 
@@ -153,6 +195,8 @@ func (d *DiskSim) FreePage(id PageID) error {
 		return fmt.Errorf("storage: free of unallocated page %d", id)
 	}
 	delete(d.pages, id)
+	delete(d.sums, id)
+	delete(d.good, id)
 	d.free = append(d.free, id)
 	return nil
 }
@@ -175,6 +219,12 @@ func (d *DiskSim) ReadPage(id PageID, buf []byte) error {
 	}
 	if len(buf) != d.params.BlockSize {
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), d.params.BlockSize)
+	}
+	switch d.fi.Check(fault.OpPageRead).Kind {
+	case fault.Transient:
+		return fmt.Errorf("storage: read page %d: %w", id, fault.ErrTransient)
+	case fault.Torn, fault.Crash:
+		return fmt.Errorf("storage: read page %d: %w", id, fault.ErrCrash)
 	}
 	copy(buf, src)
 	if d.adjacent(id) {
@@ -200,7 +250,39 @@ func (d *DiskSim) WritePage(id PageID, buf []byte) error {
 	if len(buf) != d.params.BlockSize {
 		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), d.params.BlockSize)
 	}
+	switch dec := d.fi.Check(fault.OpPageWrite); dec.Kind {
+	case fault.Transient:
+		// Nothing reaches the platter; a retry will succeed.
+		return fmt.Errorf("storage: write page %d: %w", id, fault.ErrTransient)
+	case fault.Crash:
+		// Power lost before the write started.
+		return fmt.Errorf("storage: write page %d: %w", id, fault.ErrCrash)
+	case fault.Torn:
+		// Power lost mid-write: a prefix of the new image lands on top of
+		// the old bytes, while the recorded checksum is that of the full
+		// intended write — the page is detectably corrupt.
+		n := int(dec.TornFrac * float64(d.params.BlockSize))
+		if n < 1 {
+			n = 1
+		}
+		if n >= d.params.BlockSize {
+			n = d.params.BlockSize - 1
+		}
+		copy(dst[:n], buf[:n])
+		d.sums[id] = crc32.ChecksumIEEE(buf)
+		return fmt.Errorf("storage: torn write of page %d (%d/%d bytes): %w",
+			id, n, d.params.BlockSize, fault.ErrCrash)
+	}
 	copy(dst, buf)
+	d.sums[id] = crc32.ChecksumIEEE(buf)
+	if d.doublewrite {
+		g := d.good[id]
+		if g == nil {
+			g = make([]byte, d.params.BlockSize)
+			d.good[id] = g
+		}
+		copy(g, buf)
+	}
 	if d.adjacent(id) {
 		d.stats.SequentialWrites++
 		d.stats.TimeMs += d.params.EBT
@@ -227,6 +309,62 @@ func (d *DiskSim) SetESMLayout(on bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.esmLayout = on
+}
+
+// VerifyPage checks the page's content against the checksum of its last
+// complete write. A torn write leaves a mismatch, which this reports as an
+// error naming the page.
+func (d *DiskSim) VerifyPage(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.verifyLocked(id)
+}
+
+func (d *DiskSim) verifyLocked(id PageID) error {
+	buf, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: verify of unallocated page %d", id)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != d.sums[id] {
+		return fmt.Errorf("storage: page %d checksum mismatch (torn write): got %08x want %08x",
+			id, got, d.sums[id])
+	}
+	return nil
+}
+
+// CorruptPages scans every allocated page and returns the IDs whose content
+// fails checksum verification, sorted ascending. A crash-recovery pass runs
+// this first to find torn pages.
+func (d *DiskSim) CorruptPages() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []PageID
+	for id := range d.pages {
+		if d.verifyLocked(id) != nil {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RepairPage restores the page's last checksum-consistent image from the
+// doublewrite area (SetDoublewrite must have been on when the page was last
+// written completely). Recovery then rolls the page forward from the log.
+func (d *DiskSim) RepairPage(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	buf, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: repair of unallocated page %d", id)
+	}
+	g, ok := d.good[id]
+	if !ok {
+		return fmt.Errorf("storage: no doublewrite image for page %d", id)
+	}
+	copy(buf, g)
+	d.sums[id] = crc32.ChecksumIEEE(buf)
+	return nil
 }
 
 // Stats returns a snapshot of the accumulated access statistics.

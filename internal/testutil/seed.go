@@ -1,0 +1,31 @@
+// Package testutil holds helpers shared by the repository's tests.
+package testutil
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// SeedEnv is the environment variable consulted by Seed.
+const SeedEnv = "MOOD_TEST_SEED"
+
+// Seed returns the random seed a property-style test should use: the value
+// of MOOD_TEST_SEED if set, else the given default. The chosen seed is
+// logged (visible under -v and, crucially, in every failure report), so any
+// failing run can be replayed exactly:
+//
+//	MOOD_TEST_SEED=<seed> go test -run <TestName> ./<pkg> -v
+func Seed(t testing.TB, def int64) int64 {
+	t.Helper()
+	if s := os.Getenv(SeedEnv); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("testutil: %s=%q is not an integer: %v", SeedEnv, s, err)
+		}
+		t.Logf("seed %d (from %s)", v, SeedEnv)
+		return v
+	}
+	t.Logf("seed %d (replay with %s=%d)", def, SeedEnv, def)
+	return def
+}

@@ -1,0 +1,17 @@
+package testutil
+
+import "testing"
+
+func TestSeedDefault(t *testing.T) {
+	t.Setenv(SeedEnv, "")
+	if got := Seed(t, 42); got != 42 {
+		t.Errorf("Seed = %d, want the default 42", got)
+	}
+}
+
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv(SeedEnv, "987654321")
+	if got := Seed(t, 42); got != 987654321 {
+		t.Errorf("Seed = %d, want the env override 987654321", got)
+	}
+}

@@ -1,0 +1,271 @@
+package vehicledb
+
+import (
+	"testing"
+
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// smallConfig keeps unit-test runtime negligible while preserving the
+// generator's structural ratios (|V| = 2|DT|, |DT| = |E|, companies >=
+// vehicles so the hit-probability span is exercised).
+func smallConfig() Config {
+	return Config{
+		Vehicles:    80,
+		DriveTrains: 40,
+		Engines:     40,
+		Companies:   200,
+		Employees:   10,
+		Seed:        7,
+	}
+}
+
+func TestBuildCardinalitiesMatchConfig(t *testing.T) {
+	cfg := smallConfig()
+	db, _, err := Build(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{
+		"Vehicles":    len(db.Vehicles),
+		"DriveTrains": len(db.DriveTrains),
+		"Engines":     len(db.Engines),
+		"Companies":   len(db.Companies),
+		"Employees":   len(db.Employees),
+	}
+	want := map[string]int{
+		"Vehicles":    cfg.Vehicles,
+		"DriveTrains": cfg.DriveTrains,
+		"Engines":     cfg.Engines,
+		"Companies":   cfg.Companies,
+		"Employees":   cfg.Employees,
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %d, want %d", k, got[k], w)
+		}
+	}
+	for _, class := range []string{"Vehicle", "VehicleDriveTrain", "VehicleEngine", "Company", "Employee"} {
+		if _, err := db.Cat.Class(class); err != nil {
+			t.Errorf("class %s not defined: %v", class, err)
+		}
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	cat, _, err := NewEnvironment(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DefineSchema(cat); err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string][2]string{
+		"VehicleDriveTrain": {"engine", "VehicleEngine"},
+		"Company":           {"president", "Employee"},
+		"Vehicle":           {"drivetrain", "VehicleDriveTrain"},
+	}
+	for class, ra := range refs {
+		ty, err := cat.AttributeType(class, ra[0])
+		if err != nil {
+			t.Fatalf("%s.%s: %v", class, ra[0], err)
+		}
+		if ty.Kind != object.KindReference || ty.Target != ra[1] {
+			t.Errorf("%s.%s = %+v, want REFERENCE(%s)", class, ra[0], ty, ra[1])
+		}
+	}
+	// The IS-A chain of Section 3.1, including inherited attributes.
+	if !cat.IsA("JapaneseAuto", "Vehicle") || !cat.IsA("Automobile", "Vehicle") {
+		t.Error("Automobile/JapaneseAuto IS-A chain not built")
+	}
+	ty, err := cat.AttributeType("JapaneseAuto", "manufacturer")
+	if err != nil || ty.Kind != object.KindReference || ty.Target != "Company" {
+		t.Errorf("inherited JapaneseAuto.manufacturer = %+v, %v", ty, err)
+	}
+}
+
+// TestPopulateReferenceStatistics verifies the Table 13–15 structure the
+// generator promises: cylinder domain, fan-1 engine chains, pairwise
+// drivetrain sharing, and manufacturers confined to the first |V| companies.
+func TestPopulateReferenceStatistics(t *testing.T) {
+	cfg := smallConfig()
+	db, _, err := Build(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cylinders: 16 distinct even values in [2,32].
+	cyl := map[int64]bool{}
+	for _, oid := range db.Engines {
+		v, _, err := db.Cat.GetObject(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := v.Field("cylinders")
+		if c.Int < 2 || c.Int > 32 || c.Int%2 != 0 {
+			t.Fatalf("cylinders = %d, want even in [2,32]", c.Int)
+		}
+		cyl[c.Int] = true
+	}
+	if len(cyl) != 16 {
+		t.Errorf("distinct cylinder values = %d, want 16", len(cyl))
+	}
+
+	// Every drivetrain references the engine at its own index (fan = 1).
+	engineSet := map[storage.OID]bool{}
+	for _, e := range db.Engines {
+		engineSet[e] = true
+	}
+	for i, oid := range db.DriveTrains {
+		v, _, err := db.Cat.GetObject(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, _ := v.Field("engine")
+		if !engineSet[eng.Ref] {
+			t.Fatalf("drivetrain %d references unknown engine %v", i, eng.Ref)
+		}
+		if eng.Ref != db.Engines[i%cfg.Engines] {
+			t.Fatalf("drivetrain %d engine = %v, want the i mod |E| chain", i, eng.Ref)
+		}
+		tr, _ := v.Field("transmission")
+		if tr.Str != Transmissions[i%len(Transmissions)] {
+			t.Fatalf("drivetrain %d transmission = %q", i, tr.Str)
+		}
+	}
+
+	// With |V| = 2|DT| every drivetrain is shared by exactly two vehicles,
+	// and manufacturers stay within the first min(|V|, |Companies|)
+	// companies (the hit-probability span). Company index 0 is "BMW".
+	firstSpan := map[storage.OID]bool{}
+	span := cfg.Vehicles
+	if span > cfg.Companies {
+		span = cfg.Companies
+	}
+	for _, c := range db.Companies[:span] {
+		firstSpan[c] = true
+	}
+	dtUse := map[storage.OID]int{}
+	for _, oid := range db.Vehicles {
+		v, _, err := db.Cat.GetObject(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, _ := v.Field("drivetrain")
+		dtUse[dt.Ref]++
+		mf, _ := v.Field("manufacturer")
+		if !firstSpan[mf.Ref] {
+			t.Fatalf("vehicle references company outside the first %d", span)
+		}
+		w, _ := v.Field("weight")
+		if w.Int < 800 || w.Int >= 3000 {
+			t.Fatalf("weight = %d, want in [800,3000)", w.Int)
+		}
+	}
+	for dt, n := range dtUse {
+		if n != cfg.Vehicles/cfg.DriveTrains {
+			t.Errorf("drivetrain %v shared by %d vehicles, want %d", dt, n, cfg.Vehicles/cfg.DriveTrains)
+		}
+	}
+	bmw, _, err := db.Cat.GetObject(db.Companies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := bmw.Field("name"); name.Str != "BMW" {
+		t.Errorf("company 0 = %q, want BMW (the paper's query constant)", name.Str)
+	}
+}
+
+func TestSubclassesSplitTheExtent(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Subclasses = true
+	db, _, err := Build(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := map[string]int{}
+	for _, oid := range db.Vehicles {
+		_, class, err := db.Cat.GetObject(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byClass[class]++
+	}
+	for _, class := range []string{"Vehicle", "Automobile", "JapaneseAuto"} {
+		if byClass[class] == 0 {
+			t.Errorf("Subclasses=true produced no %s instances (got %v)", class, byClass)
+		}
+	}
+	total := 0
+	for _, n := range byClass {
+		total += n
+	}
+	if total != cfg.Vehicles {
+		t.Errorf("subclass split sums to %d, want %d", total, cfg.Vehicles)
+	}
+}
+
+// TestRoundTripThroughEncoder pulls objects back out of the catalog and
+// re-encodes them: Marshal → Unmarshal must reproduce a value Equal to the
+// stored one for every class in the schema, references included.
+func TestRoundTripThroughEncoder(t *testing.T) {
+	db, _, err := Build(smallConfig(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[string][]storage.OID{
+		"VehicleEngine":     db.Engines,
+		"VehicleDriveTrain": db.DriveTrains,
+		"Employee":          db.Employees,
+		"Company":           db.Companies,
+		"Vehicle":           db.Vehicles,
+	}
+	for class, oids := range groups {
+		for _, oid := range oids {
+			v, gotClass, err := db.Cat.GetObject(oid)
+			if err != nil {
+				t.Fatalf("%s %v: %v", class, oid, err)
+			}
+			if class == "Vehicle" {
+				// Subclasses=false: every vehicle is a plain Vehicle.
+				if gotClass != "Vehicle" {
+					t.Fatalf("vehicle %v stored under class %q", oid, gotClass)
+				}
+			}
+			back, err := object.Unmarshal(object.Marshal(v))
+			if err != nil {
+				t.Fatalf("%s %v: round trip: %v", class, oid, err)
+			}
+			if !object.Equal(v, back) {
+				t.Fatalf("%s %v: round trip changed the value:\n  %v\n  %v", class, oid, v, back)
+			}
+		}
+	}
+}
+
+// TestPopulateIsDeterministic: the same seed must generate byte-identical
+// object graphs (moodbench baselines depend on this).
+func TestPopulateIsDeterministic(t *testing.T) {
+	build := func() []object.Value {
+		db, _, err := Build(smallConfig(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []object.Value
+		for _, oid := range db.Vehicles {
+			v, _, err := db.Cat.GetObject(oid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if !object.Equal(a[i], b[i]) {
+			t.Fatalf("vehicle %d differs across identically-seeded builds:\n  %v\n  %v", i, a[i], b[i])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mood/internal/fault"
 	"mood/internal/storage"
 )
 
@@ -80,6 +81,9 @@ type Log struct {
 	active   map[TxID]LSN
 	nextTx   TxID
 	flushCnt int64
+	// fi, when set, is consulted before record appends and log forces so
+	// crash-recovery tests can lose the log's volatile suffix at any point.
+	fi *fault.Injector
 }
 
 // NewLog creates an empty log.
@@ -102,6 +106,28 @@ func (l *Log) Begin() TxID {
 	return tx
 }
 
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector.
+// Faults fire before any state changes, so a transiently failed Update or
+// Commit can simply be retried, and a crashed one leaves the transaction
+// active (a loser for recovery to undo).
+func (l *Log) SetFaultInjector(fi *fault.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fi = fi
+}
+
+// checkFaultLocked consults the injector at the named fault point. Caller
+// holds l.mu.
+func (l *Log) checkFaultLocked(op fault.Op) error {
+	switch l.fi.Check(op).Kind {
+	case fault.Transient:
+		return fmt.Errorf("wal: %s: %w", op, fault.ErrTransient)
+	case fault.Torn, fault.Crash:
+		return fmt.Errorf("wal: %s: %w", op, fault.ErrCrash)
+	}
+	return nil
+}
+
 // Update logs a physical update of the page at the given offset and returns
 // the record's LSN, which the caller must stamp on the page before unpinning
 // it. The before and after images are copied.
@@ -111,6 +137,9 @@ func (l *Log) Update(tx TxID, page storage.PageID, offset int, before, after []b
 	prev, ok := l.active[tx]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrTxNotActive, tx)
+	}
+	if err := l.checkFaultLocked(fault.OpLogAppend); err != nil {
+		return 0, err
 	}
 	b := make([]byte, len(before))
 	copy(b, before)
@@ -133,6 +162,13 @@ func (l *Log) Commit(tx TxID) error {
 		l.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrTxNotActive, tx)
 	}
+	// The commit force is the durability point: a fault here leaves the
+	// transaction active and undurable — a loser if the system dies now, a
+	// clean retry if the fault was transient.
+	if err := l.checkFaultLocked(fault.OpLogFlush); err != nil {
+		l.mu.Unlock()
+		return err
+	}
 	lsn := l.appendLocked(Record{Kind: RecCommit, Tx: tx, PrevLSN: prev})
 	delete(l.active, tx)
 	l.flushLocked(lsn)
@@ -149,6 +185,12 @@ func (l *Log) Abort(tx TxID, apply func(page storage.PageID, offset int, image [
 	if !ok {
 		l.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrTxNotActive, tx)
+	}
+	// A fault before the first CLR leaves the transaction fully active:
+	// crash recovery will perform the identical undo from the log.
+	if err := l.checkFaultLocked(fault.OpLogAppend); err != nil {
+		l.mu.Unlock()
+		return err
 	}
 	chain := l.txChainLocked(cur)
 	l.mu.Unlock()
@@ -211,10 +253,18 @@ func (l *Log) FlushAll() {
 	l.flushLocked(l.nextLSN - 1)
 }
 
-// FlushHook adapts the log for storage.BufferPool.SetFlushHook.
+// FlushHook adapts the log for storage.BufferPool.SetFlushHook. This is the
+// write-ahead enforcement point: it runs before any dirty page goes to disk,
+// so a fault injected here models a crash after the page was chosen for
+// eviction but before its log records became durable.
 func (l *Log) FlushHook() func(uint32) error {
 	return func(pageLSN uint32) error {
-		l.Flush(LSN(pageLSN))
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if err := l.checkFaultLocked(fault.OpLogFlush); err != nil {
+			return err
+		}
+		l.flushLocked(LSN(pageLSN))
 		return nil
 	}
 }
