@@ -9,12 +9,16 @@
 #                        replay one failing iteration)
 #   make bench-baseline  regenerate BENCH_baseline.json (simulated I/O of a
 #                        representative operation set; deterministic)
+#   make bench-exec      executor microbenchmarks (streaming pipeline,
+#                        per-row env hoist) with allocation stats
+#   make exec-race       the executor/algebra/kernel suites under the race
+#                        detector (the streaming pipeline's hot path)
 #   make ci              everything a pre-merge check runs
 
 GO ?= go
 CRASHTEST_ITERS ?= 120
 
-.PHONY: build test race vet crashtest bench-baseline ci
+.PHONY: build test race vet crashtest bench-baseline bench-exec exec-race ci
 
 build:
 	$(GO) build ./...
@@ -34,4 +38,11 @@ crashtest:
 bench-baseline:
 	$(GO) run ./cmd/moodbench -bench-json BENCH_baseline.json
 
-ci: build vet test race crashtest
+bench-exec:
+	$(GO) test -bench 'BenchmarkSelect' -benchmem -run '^$$' ./internal/algebra
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/exec
+
+exec-race:
+	$(GO) test -race ./internal/exec ./internal/algebra ./internal/kernel
+
+ci: build vet test race exec-race crashtest

@@ -65,12 +65,29 @@ func main() {
 			if err != nil {
 				fmt.Println("error:", err)
 			} else if res != nil {
-				fmt.Print(res.String())
-				fmt.Printf("(%d rows)\n", len(res.Rows))
+				if msg, ok := multilineMessage(res); ok {
+					fmt.Println(msg)
+				} else {
+					fmt.Print(res.String())
+					fmt.Printf("(%d rows)\n", len(res.Rows))
+				}
 			}
 		}
 		prompt()
 	}
+}
+
+// multilineMessage detects a single-cell message whose string spans lines
+// (EXPLAIN / EXPLAIN ANALYZE plan trees); those read better raw than as a
+// quoted table cell.
+func multilineMessage(res *kernel.Result) (string, bool) {
+	if len(res.Rows) == 1 && len(res.Rows[0]) == 1 {
+		v := res.Rows[0][0]
+		if v.Kind == object.KindString && strings.Contains(v.Str, "\n") {
+			return v.Str, true
+		}
+	}
+	return "", false
 }
 
 // shellCommand handles backslash commands; returns false to quit.

@@ -89,10 +89,10 @@ func (a *Algebra) Join(left, right *Collection, spec JoinSpec) (*Collection, err
 	}
 
 	if spec.Extra != nil {
-		env := a.env()
+		re := a.NewRowEvaluator()
 		kept := rows[:0]
 		for _, r := range rows {
-			ok, err := a.evalRow(r, spec.Extra, env)
+			ok, err := re.EvalBool(r, spec.Extra)
 			if err != nil {
 				return nil, err
 			}

@@ -1,12 +1,9 @@
 package algebra
 
 import (
-	"fmt"
-
 	"mood/internal/catalog"
 	"mood/internal/expr"
 	"mood/internal/object"
-	"mood/internal/storage"
 )
 
 // Select selects the rows of arg satisfying predicate P, with the return
@@ -22,10 +19,10 @@ func (a *Algebra) Select(arg *Collection, p expr.Expr, asSet bool) (*Collection,
 		outKind = SetKind
 	}
 	out := &Collection{Kind: outKind, Name: arg.Name, Class: arg.Class}
-	env := a.env()
+	re := a.NewRowEvaluator()
 	for i := range arg.Rows {
 		row := arg.Rows[i]
-		ok, err := a.evalRow(row, p, env)
+		ok, err := re.EvalBool(row, p)
 		if err != nil {
 			return nil, err
 		}
@@ -34,33 +31,6 @@ func (a *Algebra) Select(arg *Collection, p expr.Expr, asSet bool) (*Collection,
 		}
 	}
 	return out, nil
-}
-
-// env builds the expression environment backed by this algebra's catalog.
-func (a *Algebra) env() *expr.Env {
-	return &expr.Env{
-		Resolve: a.Cat.Resolver(),
-		Invoke:  a.Invoke,
-	}
-}
-
-// evalRow evaluates a predicate with the row's bindings in scope,
-// materializing bound values lazily.
-func (a *Algebra) evalRow(row Row, p expr.Expr, base *expr.Env) (bool, error) {
-	env := &expr.Env{
-		Vars:    make(map[string]object.Value, len(row.Vars)),
-		OIDs:    make(map[string]storage.OID, len(row.Vars)),
-		Resolve: base.Resolve,
-		Invoke:  base.Invoke,
-	}
-	for name, b := range row.Vars {
-		if err := a.materialize(&b); err != nil {
-			return false, err
-		}
-		env.Vars[name] = b.Val
-		env.OIDs[name] = b.OID
-	}
-	return expr.EvalBool(p, env)
 }
 
 // SimplePredicate is the triplet <P1, θ, oprnd> of Section 4.1 restricted
@@ -81,44 +51,22 @@ type SimplePredicate struct {
 // paper. ErrNoIndex is returned when no index of that kind exists on the
 // attribute.
 func (a *Algebra) IndSel(class, bindName string, indexKind catalog.IndexKind, p SimplePredicate) (*Collection, error) {
-	ix := a.Cat.IndexOn(class, p.Attribute)
-	if ix == nil || ix.Kind != indexKind {
-		return nil, fmt.Errorf("%w: %s on %s.%s", ErrNoIndex, indexKind, class, p.Attribute)
-	}
-	var oids []storage.OID
-	var err error
-	switch {
-	case p.Between:
-		oids, err = ix.RangeLookup(p.Constant, p.Constant2)
-	case p.Op == expr.OpEq:
-		oids, err = ix.Lookup(p.Constant)
-	case p.Op == expr.OpGe || p.Op == expr.OpGt:
-		oids, err = ix.RangeLookup(p.Constant, object.Null)
-	case p.Op == expr.OpLe || p.Op == expr.OpLt:
-		oids, err = ix.RangeLookup(object.Null, p.Constant)
-	default:
-		return nil, fmt.Errorf("algebra: IndSel cannot use an index for %s", p.Op)
-	}
+	oids, err := a.IndSelCandidates(class, indexKind, p)
 	if err != nil {
 		return nil, err
 	}
 	// Strict bounds and key truncation require re-checking the base
 	// predicate against the stored objects.
 	out := &Collection{Kind: SetKind, Name: bindName, Class: class}
-	seen := map[storage.OID]bool{}
 	pred := a.predicateExpr(bindName, p)
-	env := a.env()
+	re := a.NewRowEvaluator()
 	for _, oid := range oids {
-		if seen[oid] {
-			continue
-		}
-		seen[oid] = true
 		v, _, err := a.Cat.GetObject(oid)
 		if err != nil {
 			return nil, err
 		}
 		row := Row{Vars: map[string]Bound{bindName: {OID: oid, Val: v}}}
-		ok, err := a.evalRow(row, pred, env)
+		ok, err := re.EvalBool(row, pred)
 		if err != nil {
 			return nil, err
 		}

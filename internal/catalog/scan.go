@@ -1,0 +1,144 @@
+package catalog
+
+import (
+	"fmt"
+
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// ExtentCursor is a pull-based scan over a class extent (optionally the
+// whole IS-A closure, honoring the FROM clause's minus operator). Unlike
+// ScanExtent/ScanClosure, which push every object through a callback, the
+// cursor reads extent pages one at a time as the consumer asks for rows — a
+// consumer that stops early stops paying for page reads, which is what makes
+// the streaming executor's early termination observable on the simulated
+// disk.
+type ExtentCursor struct {
+	cat     *Catalog
+	classes []string // extents still to visit, in closure order
+	ci      int
+	file    *storage.File
+	pid     storage.PageID
+	buf     []scanned
+	bi      int
+	opened  bool
+	done    bool
+}
+
+type scanned struct {
+	oid storage.OID
+	val object.Value
+}
+
+// OpenExtentScan opens a cursor over the direct extent of class (closure
+// false) or over its IS-A closure minus the excluded subtrees (closure
+// true), mirroring ScanExtent and ScanClosure respectively.
+func (c *Catalog) OpenExtentScan(class string, minus []string, closure bool) (*ExtentCursor, error) {
+	var classes []string
+	if closure {
+		all, err := c.Closure(class)
+		if err != nil {
+			return nil, err
+		}
+		excluded := map[string]bool{}
+		for _, m := range minus {
+			sub, err := c.Closure(m)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range sub {
+				excluded[s] = true
+			}
+		}
+		for _, name := range all {
+			if !excluded[name] {
+				classes = append(classes, name)
+			}
+		}
+	} else {
+		classes = []string{class}
+	}
+	// Validate every extent up front so Next never reports a schema error
+	// halfway through a drained pipeline.
+	for _, name := range classes {
+		cl, err := c.Class(name)
+		if err != nil {
+			return nil, err
+		}
+		if cl.extent == nil {
+			return nil, fmt.Errorf("catalog: %s has no extent", name)
+		}
+	}
+	return &ExtentCursor{cat: c, classes: classes}, nil
+}
+
+// Next returns the next object of the scan; ok is false when the scan is
+// exhausted.
+func (it *ExtentCursor) Next() (storage.OID, object.Value, bool, error) {
+	for {
+		if it.done {
+			return storage.NilOID, object.Null, false, nil
+		}
+		if it.bi < len(it.buf) {
+			h := it.buf[it.bi]
+			it.bi++
+			return h.oid, h.val, true, nil
+		}
+		if err := it.fill(); err != nil {
+			it.done = true
+			return storage.NilOID, object.Null, false, err
+		}
+	}
+}
+
+// fill buffers the next non-empty page's objects, advancing through the
+// class list; it sets done when every extent is exhausted.
+func (it *ExtentCursor) fill() error {
+	it.buf, it.bi = nil, 0
+	for {
+		if it.file == nil {
+			// Advance to the next class's extent.
+			if it.opened {
+				it.ci++
+			}
+			if it.ci >= len(it.classes) {
+				it.done = true
+				return nil
+			}
+			cl, err := it.cat.Class(it.classes[it.ci])
+			if err != nil {
+				return err
+			}
+			it.file = cl.extent
+			it.pid = it.cat.store.FirstScanPage(cl.extent)
+			it.opened = true
+		}
+		if it.pid == 0 { // extent exhausted
+			it.file = nil
+			continue
+		}
+		recs, next, err := it.cat.store.ScanPage(it.file, it.pid)
+		if err != nil {
+			return err
+		}
+		it.pid = next
+		for _, r := range recs {
+			_, v, err := decodeObject(r.Data)
+			if err != nil {
+				return err
+			}
+			it.buf = append(it.buf, scanned{oid: r.OID, val: v})
+		}
+		if len(it.buf) > 0 {
+			return nil
+		}
+	}
+}
+
+// Close releases the cursor. Closing early is how a pipeline abandons the
+// remaining pages without reading them.
+func (it *ExtentCursor) Close() {
+	it.done = true
+	it.buf, it.file = nil, nil
+}

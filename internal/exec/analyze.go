@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mood/internal/algebra"
+	"mood/internal/optimizer"
+)
+
+// EXPLAIN ANALYZE instrumentation: every operator is wrapped with a stats
+// shim that accumulates, per Open/Next/Close call, the simulated page reads
+// and wall time spent inside it — children included, since their calls nest
+// within the parent's. The per-operator ("self") figures fall out at report
+// time as a node's cumulative total minus its direct children's. The
+// wrappers exist only on the analyzed pipeline; plain Execute pays no
+// per-row instrumentation cost.
+
+// opStats accumulates one operator's cumulative counters.
+type opStats struct {
+	rowsOut int64
+	pages   int64
+	elapsed time.Duration
+}
+
+// analyzeCtx supplies the page-counter source to every stats wrapper of one
+// analyzed execution.
+type analyzeCtx struct {
+	pages func() int64
+}
+
+// statsOp wraps an operator, charging pages and wall time spent inside its
+// calls (nested child calls included) to st.
+type statsOp struct {
+	inner optimizer.Operator
+	pages func() int64
+	st    *opStats
+}
+
+func (s *statsOp) Open() error {
+	start, p0 := time.Now(), s.pages()
+	err := s.inner.Open()
+	s.st.pages += s.pages() - p0
+	s.st.elapsed += time.Since(start)
+	return err
+}
+
+func (s *statsOp) Next() (algebra.Row, bool, error) {
+	start, p0 := time.Now(), s.pages()
+	row, ok, err := s.inner.Next()
+	s.st.pages += s.pages() - p0
+	s.st.elapsed += time.Since(start)
+	if ok {
+		s.st.rowsOut++
+	}
+	return row, ok, err
+}
+
+func (s *statsOp) Close() error {
+	start, p0 := time.Now(), s.pages()
+	err := s.inner.Close()
+	s.st.pages += s.pages() - p0
+	s.st.elapsed += time.Since(start)
+	return err
+}
+
+// OpReport is one node of the EXPLAIN ANALYZE tree.
+type OpReport struct {
+	Plan    optimizer.Plan
+	RowsIn  int64 // sum of the direct children's rows out
+	RowsOut int64
+	// SelfPages/SelfTime exclude the children's cumulative shares;
+	// CumPages/CumTime include them.
+	SelfPages int64
+	CumPages  int64
+	SelfTime  time.Duration
+	CumTime   time.Duration
+	Kids      []*OpReport
+}
+
+// Analysis is the instrumented execution report of one EXPLAIN ANALYZE.
+type Analysis struct {
+	Root *OpReport
+	// TotalPages is the root's cumulative simulated page reads; it matches
+	// the DiskSim read-counter delta across the execution.
+	TotalPages int64
+	TotalTime  time.Duration
+}
+
+// ExecuteAnalyzed runs a plan through the streaming pipeline with
+// per-operator instrumentation, returning both the result collection and
+// the analysis tree. Page attribution requires the Executor's Pages hook;
+// without it page counts report as zero.
+func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Analysis, error) {
+	an := &analyzeCtx{pages: e.Pages}
+	if an.pages == nil {
+		an.pages = func() int64 { return 0 }
+	}
+	root, err := e.compileNode(p, an)
+	if err != nil {
+		return nil, nil, err
+	}
+	coll, err := drainOp(root.op, root.hdr)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := buildReport(root)
+	return coll, &Analysis{Root: rep, TotalPages: rep.CumPages, TotalTime: rep.CumTime}, nil
+}
+
+func buildReport(c *compiled) *OpReport {
+	r := &OpReport{
+		Plan:     c.plan,
+		RowsOut:  c.stats.rowsOut,
+		CumPages: c.stats.pages,
+		CumTime:  c.stats.elapsed,
+	}
+	var kidPages int64
+	var kidTime time.Duration
+	for _, k := range c.kids {
+		kr := buildReport(k)
+		r.Kids = append(r.Kids, kr)
+		r.RowsIn += kr.RowsOut
+		kidPages += kr.CumPages
+		kidTime += kr.CumTime
+	}
+	r.SelfPages = r.CumPages - kidPages
+	if r.SelfPages < 0 {
+		r.SelfPages = 0
+	}
+	r.SelfTime = r.CumTime - kidTime
+	if r.SelfTime < 0 {
+		r.SelfTime = 0
+	}
+	return r
+}
+
+// Render formats the analysis as the plan tree annotated with per-operator
+// rows, simulated page reads, and wall time.
+func (a *Analysis) Render() string {
+	var sb strings.Builder
+	renderReport(&sb, a.Root, "")
+	fmt.Fprintf(&sb, "total: pages=%d time=%s\n", a.TotalPages, fmtDur(a.TotalTime))
+	return sb.String()
+}
+
+func renderReport(sb *strings.Builder, r *OpReport, indent string) {
+	if len(r.Kids) == 0 {
+		fmt.Fprintf(sb, "%s%s  (rows=%d pages=%d time=%s)\n",
+			indent, optimizer.Describe(r.Plan), r.RowsOut, r.SelfPages, fmtDur(r.SelfTime))
+	} else {
+		fmt.Fprintf(sb, "%s%s  (rows in=%d out=%d pages=%d time=%s)\n",
+			indent, optimizer.Describe(r.Plan), r.RowsIn, r.RowsOut, r.SelfPages, fmtDur(r.SelfTime))
+	}
+	for _, k := range r.Kids {
+		renderReport(sb, k, indent+"  ")
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

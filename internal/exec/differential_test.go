@@ -85,6 +85,13 @@ func TestRandomQueriesDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: execute %s: %v", trial, pred, err)
 		}
+		// The retained eager executor must agree with the streaming
+		// pipeline row for row on the same plan.
+		eager, err := f.ex.ExecuteMaterialized(plan)
+		if err != nil {
+			t.Fatalf("trial %d: materialized execute %s: %v", trial, pred, err)
+		}
+		assertCollectionsEqual(t, fmt.Sprintf("trial %d: %s", trial, pred), coll, eager)
 
 		// Oracle: evaluate the raw predicate against every vehicle.
 		var want []int64

@@ -29,6 +29,11 @@ type Executor struct {
 	Alg *algebra.Algebra
 	// BJIs resolves binary-join-index names referenced by plans.
 	BJIs map[string]*joinindex.BinaryJoinIndex
+	// Pages reports the cumulative simulated page-read counter of the
+	// underlying store. The kernel wires it to the DiskSim so EXPLAIN
+	// ANALYZE can attribute reads per operator; nil leaves page counts at
+	// zero.
+	Pages func() int64
 }
 
 // New creates an executor.
@@ -36,8 +41,12 @@ func New(alg *algebra.Algebra) *Executor {
 	return &Executor{Alg: alg, BJIs: map[string]*joinindex.BinaryJoinIndex{}}
 }
 
-// Execute runs a plan to a collection.
-func (e *Executor) Execute(p optimizer.Plan) (*algebra.Collection, error) {
+// ExecuteMaterialized runs a plan bottom-up, fully materializing every
+// operator's output collection before its parent runs — the paper's original
+// Figure 7.1/7.2 evaluation strategy. It is retained as the reference
+// implementation the streaming pipeline (stream.go) is differential-tested
+// against.
+func (e *Executor) ExecuteMaterialized(p optimizer.Plan) (*algebra.Collection, error) {
 	switch n := p.(type) {
 	case *optimizer.BindPlan:
 		if n.Every || len(n.Minus) > 0 {
@@ -49,12 +58,12 @@ func (e *Executor) Execute(p optimizer.Plan) (*algebra.Collection, error) {
 		return e.Alg.IndSel(n.Class, n.Var, n.Index.Kind, n.Pred)
 
 	case *optimizer.IntersectPlan:
-		cur, err := e.Execute(n.Inputs[0])
+		cur, err := e.ExecuteMaterialized(n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
 		for _, in := range n.Inputs[1:] {
-			next, err := e.Execute(in)
+			next, err := e.ExecuteMaterialized(in)
 			if err != nil {
 				return nil, err
 			}
@@ -65,18 +74,18 @@ func (e *Executor) Execute(p optimizer.Plan) (*algebra.Collection, error) {
 		return cur, nil
 
 	case *optimizer.SelectPlan:
-		in, err := e.Execute(n.Input)
+		in, err := e.ExecuteMaterialized(n.Input)
 		if err != nil {
 			return nil, err
 		}
 		return e.Alg.Select(in, n.Pred, false)
 
 	case *optimizer.JoinPlan:
-		left, err := e.Execute(n.Left)
+		left, err := e.ExecuteMaterialized(n.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.Execute(n.Right)
+		right, err := e.ExecuteMaterialized(n.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -90,11 +99,11 @@ func (e *Executor) Execute(p optimizer.Plan) (*algebra.Collection, error) {
 		return e.Alg.Join(left, right, spec)
 
 	case *optimizer.CrossPlan:
-		left, err := e.Execute(n.Left)
+		left, err := e.ExecuteMaterialized(n.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.Execute(n.Right)
+		right, err := e.ExecuteMaterialized(n.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +116,7 @@ func (e *Executor) Execute(p optimizer.Plan) (*algebra.Collection, error) {
 		var out *algebra.Collection
 		seen := map[string]bool{}
 		for _, in := range n.Inputs {
-			c, err := e.Execute(in)
+			c, err := e.ExecuteMaterialized(in)
 			if err != nil {
 				return nil, err
 			}
@@ -129,28 +138,28 @@ func (e *Executor) Execute(p optimizer.Plan) (*algebra.Collection, error) {
 		return out, nil
 
 	case *optimizer.ProjectPlan:
-		in, err := e.Execute(n.Input)
+		in, err := e.ExecuteMaterialized(n.Input)
 		if err != nil {
 			return nil, err
 		}
 		return e.project(in, n.Items)
 
 	case *optimizer.GroupPlan:
-		in, err := e.Execute(n.Input)
+		in, err := e.ExecuteMaterialized(n.Input)
 		if err != nil {
 			return nil, err
 		}
 		return e.group(in, n.By, n.Having, n.Projs)
 
 	case *optimizer.SortPlan:
-		in, err := e.Execute(n.Input)
+		in, err := e.ExecuteMaterialized(n.Input)
 		if err != nil {
 			return nil, err
 		}
 		return e.sortRows(in, n.Keys)
 
 	case *optimizer.DupElimPlan:
-		in, err := e.Execute(n.Input)
+		in, err := e.ExecuteMaterialized(n.Input)
 		if err != nil {
 			return nil, err
 		}

@@ -16,14 +16,15 @@ import (
 )
 
 type fixture struct {
-	db  *vehicledb.DB
-	opt *optimizer.Optimizer
-	ex  *Executor
+	db   *vehicledb.DB
+	pool *storage.BufferPool
+	opt  *optimizer.Optimizer
+	ex   *Executor
 }
 
 func setup(t testing.TB, cfg vehicledb.Config) *fixture {
 	t.Helper()
-	db, _, err := vehicledb.Build(cfg, 2048)
+	db, pool, err := vehicledb.Build(cfg, 2048)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,9 +33,10 @@ func setup(t testing.TB, cfg vehicledb.Config) *fixture {
 		t.Fatal(err)
 	}
 	return &fixture{
-		db:  db,
-		opt: optimizer.New(db.Cat, st),
-		ex:  New(algebra.New(db.Cat)),
+		db:   db,
+		pool: pool,
+		opt:  optimizer.New(db.Cat, st),
+		ex:   New(algebra.New(db.Cat)),
 	}
 }
 

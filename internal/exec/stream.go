@@ -1,0 +1,957 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"mood/internal/algebra"
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/expr"
+	"mood/internal/joinindex"
+	"mood/internal/object"
+	"mood/internal/optimizer"
+	"mood/internal/sql"
+	"mood/internal/storage"
+)
+
+// This file is the streaming (pull-based, Volcano-style) execution path.
+// Compile lowers each Plan node into an optimizer.Operator; rows flow
+// upward one at a time through Next, so non-blocking operators never copy or
+// buffer intermediate collections and a consumer that stops early stops the
+// leaves from reading further pages. Blocking operators — sort, group,
+// dup-elim, and the build sides of the join strategies — drain their inputs
+// inside Open and are the pipeline breakers documented in DESIGN.md.
+//
+// The streaming path produces exactly the rows (values and order) of
+// ExecuteMaterialized; the differential tests in stream_test.go and the
+// kernel golden suite hold the two paths equal.
+
+// Execute runs a plan through the streaming pipeline and materializes the
+// result, preserving the seed executor's *algebra.Collection API.
+func (e *Executor) Execute(p optimizer.Plan) (*algebra.Collection, error) {
+	root, err := e.compileNode(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return drainOp(root.op, root.hdr)
+}
+
+// Compile lowers a plan into a physical-operator pipeline without running
+// it. The caller owns the lifecycle: Open, Next until exhausted, Close.
+func (e *Executor) Compile(p optimizer.Plan) (optimizer.PhysicalOperator, error) {
+	root, err := e.compileNode(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &rootOp{op: root.op, hdr: root.hdr}, nil
+}
+
+type rootOp struct {
+	op  optimizer.Operator
+	hdr optimizer.Header
+}
+
+func (r *rootOp) Open() error                      { return r.op.Open() }
+func (r *rootOp) Next() (algebra.Row, bool, error) { return r.op.Next() }
+func (r *rootOp) Close() error                     { return r.op.Close() }
+func (r *rootOp) Header() optimizer.Header         { return r.hdr }
+
+// drainOp materializes an operator's stream under the compile-time header.
+func drainOp(op optimizer.Operator, hdr optimizer.Header) (*algebra.Collection, error) {
+	out := &algebra.Collection{Kind: hdr.Kind, Name: hdr.Name, Class: hdr.Class}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compiled pairs a plan node with its operator, compile-time header, and
+// compiled children (the analysis tree EXPLAIN ANALYZE walks). op is the
+// operator to drive (possibly a stats wrapper); raw is always the bare
+// operator underneath.
+type compiled struct {
+	plan  optimizer.Plan
+	op    optimizer.Operator
+	raw   optimizer.Operator
+	hdr   optimizer.Header
+	stats *opStats // non-nil when compiled for EXPLAIN ANALYZE
+	kids  []*compiled
+}
+
+// compileNode lowers one plan node. When an is non-nil every operator is
+// wrapped with per-operator instrumentation.
+func (e *Executor) compileNode(p optimizer.Plan, an *analyzeCtx) (*compiled, error) {
+	c := &compiled{plan: p}
+	child := func(in optimizer.Plan) (*compiled, error) {
+		k, err := e.compileNode(in, an)
+		if err != nil {
+			return nil, err
+		}
+		c.kids = append(c.kids, k)
+		return k, nil
+	}
+
+	switch n := p.(type) {
+	case *optimizer.BindPlan:
+		c.hdr = optimizer.Header{Kind: algebra.ExtentKind, Name: n.Var, Class: n.Class}
+		c.op = &bindOp{
+			alg: e.Alg, class: n.Class, varName: n.Var,
+			minus: n.Minus, closure: n.Every || len(n.Minus) > 0,
+		}
+
+	case *optimizer.IndSelPlan:
+		c.hdr = optimizer.Header{Kind: algebra.SetKind, Name: n.Var, Class: n.Class}
+		c.op = &indSelOp{
+			alg: e.Alg, class: n.Class, varName: n.Var,
+			indexKind: n.Index.Kind, pred: n.Pred,
+		}
+
+	case *optimizer.IntersectPlan:
+		// Every input is an IndSelPlan by construction (the optimizer only
+		// intersects index selections). The children stream candidate OIDs
+		// without fetching objects; the intersect fetches each surviving OID
+		// once and re-checks every input's predicate against it. An empty
+		// intersection therefore costs only the index probes.
+		kids := make([]optimizer.Operator, 0, len(n.Inputs))
+		rechecks := make([]expr.Expr, 0, len(n.Inputs))
+		for _, in := range n.Inputs {
+			isp, ok := in.(*optimizer.IndSelPlan)
+			if !ok {
+				return nil, fmt.Errorf("exec: INTERSECT input is %T, want INDSEL", in)
+			}
+			k, err := child(in)
+			if err != nil {
+				return nil, err
+			}
+			k.raw.(withCandidatesOnly).candidatesOnly()
+			kids = append(kids, k.op)
+			rechecks = append(rechecks, e.Alg.RecheckExpr(isp.Var, isp.Pred))
+		}
+		first := n.Inputs[0].(*optimizer.IndSelPlan)
+		c.hdr = optimizer.Header{Kind: algebra.SetKind, Name: first.Var, Class: first.Class}
+		c.op = &intersectOp{alg: e.Alg, kids: kids, varName: first.Var, rechecks: rechecks}
+
+	case *optimizer.SelectPlan:
+		in, err := child(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		c.hdr = in.hdr
+		c.op = &selectOp{in: in.op, pred: n.Pred, re: e.Alg.NewRowEvaluator()}
+
+	case *optimizer.JoinPlan:
+		left, err := child(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := child(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		c.hdr = optimizer.Header{
+			Kind:  algebra.JoinKind(left.hdr.Kind, right.hdr.Kind),
+			Name:  n.RightVar,
+			Class: right.hdr.Class,
+		}
+		var bji *joinindex.BinaryJoinIndex
+		if n.Index != "" {
+			bji = e.BJIs[n.Index]
+		}
+		j := joinBase{
+			alg: e.Alg, left: left, right: right,
+			leftVar: n.LeftVar, attr: n.Attribute, rightVar: n.RightVar,
+		}
+		switch n.Method {
+		case cost.ForwardTraversal:
+			c.op = &forwardJoinOp{joinBase: j}
+		case cost.BackwardTraversal:
+			c.op = &backwardJoinOp{joinBase: j}
+		case cost.BinaryJoinIndex:
+			c.op = &bjiJoinOp{joinBase: j, index: bji}
+		case cost.HashPartition:
+			c.op = &hashJoinOp{joinBase: j}
+		default:
+			return nil, fmt.Errorf("algebra: unknown join method %v", n.Method)
+		}
+
+	case *optimizer.CrossPlan:
+		left, err := child(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := child(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		c.hdr = optimizer.Header{Kind: algebra.ExtentKind, Name: right.hdr.Name, Class: right.hdr.Class}
+		c.op = &crossOp{left: left, right: right}
+
+	case *optimizer.UnionPlan:
+		kids := make([]*compiled, 0, len(n.Inputs))
+		for _, in := range n.Inputs {
+			k, err := child(in)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, k)
+		}
+		if len(kids) == 0 {
+			return nil, fmt.Errorf("exec: UNION with no inputs")
+		}
+		c.hdr = kids[0].hdr
+		c.op = &unionOp{kids: kids, vars: n.Vars}
+
+	case *optimizer.ProjectPlan:
+		in, err := child(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		c.hdr = optimizer.Header{Kind: algebra.ExtentKind, Name: in.hdr.Name, Class: in.hdr.Class}
+		c.op = &projectOp{in: in.op, items: n.Items, re: e.Alg.NewRowEvaluator()}
+
+	case *optimizer.GroupPlan:
+		in, err := child(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		c.hdr = optimizer.Header{Kind: algebra.ExtentKind, Name: in.hdr.Name, Class: in.hdr.Class}
+		c.op = &breakerOp{in: in, run: func(coll *algebra.Collection) (*algebra.Collection, error) {
+			return e.group(coll, n.By, n.Having, n.Projs)
+		}}
+
+	case *optimizer.SortPlan:
+		in, err := child(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		c.hdr = in.hdr
+		c.op = &breakerOp{in: in, run: func(coll *algebra.Collection) (*algebra.Collection, error) {
+			return e.sortRows(coll, n.Keys)
+		}}
+
+	case *optimizer.DupElimPlan:
+		in, err := child(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		c.hdr = in.hdr
+		c.op = &breakerOp{in: in, run: func(coll *algebra.Collection) (*algebra.Collection, error) {
+			return dedupByResult(coll), nil
+		}}
+
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", p)
+	}
+
+	c.raw = c.op
+	if an != nil {
+		c.stats = &opStats{}
+		c.op = &statsOp{inner: c.op, pages: an.pages, st: c.stats}
+	}
+	return c, nil
+}
+
+// --- leaf operators -------------------------------------------------------
+
+// bindOp streams a class extent (closure or direct) through the catalog's
+// page-at-a-time cursor: BIND(Class, var).
+type bindOp struct {
+	alg     *algebra.Algebra
+	class   string
+	varName string
+	minus   []string
+	closure bool
+	cur     *catalog.ExtentCursor
+}
+
+func (o *bindOp) Open() error {
+	cur, err := o.alg.Cat.OpenExtentScan(o.class, o.minus, o.closure)
+	if err != nil {
+		return err
+	}
+	o.cur = cur
+	return nil
+}
+
+func (o *bindOp) Next() (algebra.Row, bool, error) {
+	oid, v, ok, err := o.cur.Next()
+	if err != nil || !ok {
+		return algebra.Row{}, false, err
+	}
+	return algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: v}}}, true, nil
+}
+
+func (o *bindOp) Close() error {
+	if o.cur != nil {
+		o.cur.Close()
+	}
+	return nil
+}
+
+// withCandidatesOnly is implemented by operators that can restrict
+// themselves to the index probe (no object fetches); the streaming
+// intersect switches its INDSEL children into this mode.
+type withCandidatesOnly interface{ candidatesOnly() }
+
+// indSelOp is INDSEL(Class, var, index, P): the index probe happens at
+// Open, object fetches and the predicate re-check stream per Next. In
+// candidates-only mode Next emits the probed OIDs without fetching.
+type indSelOp struct {
+	alg       *algebra.Algebra
+	class     string
+	varName   string
+	indexKind catalog.IndexKind
+	pred      algebra.SimplePredicate
+	probeOnly bool
+
+	oids    []storage.OID
+	i       int
+	recheck expr.Expr
+	re      *algebra.RowEvaluator
+}
+
+func (o *indSelOp) candidatesOnly() { o.probeOnly = true }
+
+func (o *indSelOp) Open() error {
+	oids, err := o.alg.IndSelCandidates(o.class, o.indexKind, o.pred)
+	if err != nil {
+		return err
+	}
+	o.oids = oids
+	if !o.probeOnly {
+		o.recheck = o.alg.RecheckExpr(o.varName, o.pred)
+		o.re = o.alg.NewRowEvaluator()
+	}
+	return nil
+}
+
+func (o *indSelOp) Next() (algebra.Row, bool, error) {
+	for o.i < len(o.oids) {
+		oid := o.oids[o.i]
+		o.i++
+		if o.probeOnly {
+			return algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid}}}, true, nil
+		}
+		v, _, err := o.alg.Cat.GetObject(oid)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		row := algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: v}}}
+		ok, err := o.re.EvalBool(row, o.recheck)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		if ok {
+			// Match IndSel: emitted rows carry the identifier only.
+			return algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid}}}, true, nil
+		}
+	}
+	return algebra.Row{}, false, nil
+}
+
+func (o *indSelOp) Close() error { return nil }
+
+// intersectOp intersects its children's candidate OID streams at Open (index
+// probes only), then fetches each surviving object once per Next and
+// re-checks every input's predicate. The materializing path fetches every
+// candidate of every input; here an OID eliminated by the intersection is
+// never fetched, and an empty intersection short-circuits to zero fetches.
+type intersectOp struct {
+	alg      *algebra.Algebra
+	kids     []optimizer.Operator
+	varName  string
+	rechecks []expr.Expr
+
+	oids []storage.OID
+	i    int
+	re   *algebra.RowEvaluator
+}
+
+func (o *intersectOp) Open() error {
+	var first []storage.OID
+	var rest []map[storage.OID]bool
+	for ki, kid := range o.kids {
+		if err := kid.Open(); err != nil {
+			return err
+		}
+		var set map[storage.OID]bool
+		if ki > 0 {
+			set = map[storage.OID]bool{}
+		}
+		for {
+			row, ok, err := kid.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			oid := row.Vars[o.varName].OID
+			if ki == 0 {
+				first = append(first, oid)
+			} else {
+				set[oid] = true
+			}
+		}
+		if err := kid.Close(); err != nil {
+			return err
+		}
+		if ki > 0 {
+			rest = append(rest, set)
+		}
+	}
+	// Surviving candidates keep the first input's probe order, matching the
+	// materializing Intersection (which preserves its x argument's order).
+	for _, oid := range first {
+		inAll := true
+		for _, set := range rest {
+			if !set[oid] {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			o.oids = append(o.oids, oid)
+		}
+	}
+	o.re = o.alg.NewRowEvaluator()
+	return nil
+}
+
+func (o *intersectOp) Next() (algebra.Row, bool, error) {
+	for o.i < len(o.oids) {
+		oid := o.oids[o.i]
+		o.i++
+		v, _, err := o.alg.Cat.GetObject(oid)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		row := algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: v}}}
+		env, err := o.re.Env(row)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		pass := true
+		for _, p := range o.rechecks {
+			ok, err := expr.EvalBool(p, env)
+			if err != nil {
+				return algebra.Row{}, false, err
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid}}}, true, nil
+		}
+	}
+	return algebra.Row{}, false, nil
+}
+
+func (o *intersectOp) Close() error {
+	for _, kid := range o.kids {
+		kid.Close()
+	}
+	return nil
+}
+
+// --- streaming filters ----------------------------------------------------
+
+// selectOp is SELECT(input, P): a pure streaming filter.
+type selectOp struct {
+	in   optimizer.Operator
+	pred expr.Expr
+	re   *algebra.RowEvaluator
+}
+
+func (o *selectOp) Open() error { return o.in.Open() }
+
+func (o *selectOp) Next() (algebra.Row, bool, error) {
+	for {
+		row, ok, err := o.in.Next()
+		if err != nil || !ok {
+			return algebra.Row{}, false, err
+		}
+		keep, err := o.re.EvalBool(row, o.pred)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+
+func (o *selectOp) Close() error { return o.in.Close() }
+
+// projectOp evaluates the projection list per row, attaching the tuple
+// under ResultVar.
+type projectOp struct {
+	in    optimizer.Operator
+	items []sql.ProjItem
+	re    *algebra.RowEvaluator
+	names []string
+}
+
+func (o *projectOp) Open() error {
+	o.names = make([]string, len(o.items))
+	for i, it := range o.items {
+		o.names[i] = outName(it, i)
+	}
+	return o.in.Open()
+}
+
+func (o *projectOp) Next() (algebra.Row, bool, error) {
+	row, ok, err := o.in.Next()
+	if err != nil || !ok {
+		return algebra.Row{}, false, err
+	}
+	env, err := o.re.Env(row)
+	if err != nil {
+		return algebra.Row{}, false, err
+	}
+	fields := make([]object.Value, len(o.items))
+	for i, it := range o.items {
+		v, err := it.Expr.Eval(env)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		fields[i] = v
+	}
+	nr := algebra.Row{Vars: map[string]algebra.Bound{}}
+	for k, v := range row.Vars {
+		nr.Vars[k] = v
+	}
+	nr.Vars[ResultVar] = algebra.Bound{Val: object.NewTuple(o.names, fields)}
+	return nr, true, nil
+}
+
+func (o *projectOp) Close() error { return o.in.Close() }
+
+// --- pipeline breakers ----------------------------------------------------
+
+// breakerOp drains its input at Open and applies a whole-collection
+// transform (sort, group, dup-elim) — the explicit pipeline breakers.
+type breakerOp struct {
+	in  *compiled
+	run func(*algebra.Collection) (*algebra.Collection, error)
+	out []algebra.Row
+	i   int
+}
+
+func (o *breakerOp) Open() error {
+	coll, err := drainOp(o.in.op, o.in.hdr)
+	if err != nil {
+		return err
+	}
+	res, err := o.run(coll)
+	if err != nil {
+		return err
+	}
+	o.out = res.Rows
+	return nil
+}
+
+func (o *breakerOp) Next() (algebra.Row, bool, error) {
+	if o.i >= len(o.out) {
+		return algebra.Row{}, false, nil
+	}
+	row := o.out[o.i]
+	o.i++
+	return row, true, nil
+}
+
+func (o *breakerOp) Close() error { return o.in.op.Close() }
+
+// --- joins ----------------------------------------------------------------
+
+// joinBase carries the fields shared by the four join strategies. pending
+// buffers the merged rows one driving-side row produced (a single left row
+// can match several right rows).
+type joinBase struct {
+	alg         *algebra.Algebra
+	left, right *compiled
+	leftVar     string
+	attr        string
+	rightVar    string
+
+	pending []algebra.Row
+	pi      int
+}
+
+func (j *joinBase) take() (algebra.Row, bool) {
+	if j.pi < len(j.pending) {
+		row := j.pending[j.pi]
+		j.pi++
+		return row, true
+	}
+	return algebra.Row{}, false
+}
+
+func (j *joinBase) refill() {
+	j.pending = j.pending[:0]
+	j.pi = 0
+}
+
+func (j *joinBase) Close() error {
+	err := j.left.op.Close()
+	if err2 := j.right.op.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// forwardJoinOp streams the left side and chases each reference (the
+// paper's forward traversal); the right side is the build side, drained at
+// Open into an OID-keyed hash.
+type forwardJoinOp struct {
+	joinBase
+	rightBy map[storage.OID][]algebra.Row
+}
+
+func (o *forwardJoinOp) Open() error {
+	rc, err := drainOp(o.right.op, o.right.hdr)
+	if err != nil {
+		return err
+	}
+	o.rightBy = algebra.RowsByOID(rc, o.rightVar)
+	return o.left.op.Open()
+}
+
+func (o *forwardJoinOp) Next() (algebra.Row, bool, error) {
+	for {
+		if row, ok := o.take(); ok {
+			return row, true, nil
+		}
+		lrow, ok, err := o.left.op.Next()
+		if err != nil || !ok {
+			return algebra.Row{}, false, err
+		}
+		lb := lrow.Vars[o.leftVar]
+		if err := o.alg.MaterializeBound(&lb); err != nil {
+			return algebra.Row{}, false, err
+		}
+		lrow.Vars[o.leftVar] = lb
+		o.refill()
+		for _, ref := range algebra.RefsOf(lb.Val, o.attr) {
+			// Chase the pointer: the physical dereference happens even if
+			// the right side later rejects the object, as in real forward
+			// traversal.
+			val, _, err := o.alg.Cat.GetObject(ref)
+			if err != nil {
+				return algebra.Row{}, false, err
+			}
+			for _, rrow := range o.rightBy[ref] {
+				merged := lrow.Merged(rrow)
+				rb := merged.Vars[o.rightVar]
+				rb.Val = val
+				merged.Vars[o.rightVar] = rb
+				o.pending = append(o.pending, merged)
+			}
+		}
+	}
+}
+
+// backwardJoinOp scans the left class's extent closure sequentially,
+// restricting to the left collection and matching references against the
+// right collection. Both inputs are build sides; the extent scan is the
+// streaming side, so an early-closing consumer stops the scan mid-extent.
+type backwardJoinOp struct {
+	joinBase
+	leftBy  map[storage.OID][]algebra.Row
+	rightBy map[storage.OID][]algebra.Row
+	cur     *catalog.ExtentCursor
+}
+
+func (o *backwardJoinOp) Open() error {
+	if o.left.hdr.Class == "" {
+		return fmt.Errorf("algebra: backward traversal needs the left class")
+	}
+	lc, err := drainOp(o.left.op, o.left.hdr)
+	if err != nil {
+		return err
+	}
+	rc, err := drainOp(o.right.op, o.right.hdr)
+	if err != nil {
+		return err
+	}
+	o.leftBy = algebra.RowsByOID(lc, o.leftVar)
+	o.rightBy = algebra.RowsByOID(rc, o.rightVar)
+	o.cur, err = o.alg.Cat.OpenExtentScan(o.left.hdr.Class, nil, true)
+	return err
+}
+
+func (o *backwardJoinOp) Next() (algebra.Row, bool, error) {
+	for {
+		if row, ok := o.take(); ok {
+			return row, true, nil
+		}
+		oid, v, ok, err := o.cur.Next()
+		if err != nil || !ok {
+			return algebra.Row{}, false, err
+		}
+		lrows, inLeft := o.leftBy[oid]
+		if !inLeft {
+			continue
+		}
+		o.refill()
+		for _, ref := range algebra.RefsOf(v, o.attr) {
+			rrows, hit := o.rightBy[ref]
+			if !hit {
+				continue
+			}
+			for _, lrow := range lrows {
+				lb := lrow.Vars[o.leftVar]
+				lb.Val = v
+				lrow.Vars[o.leftVar] = lb
+				for _, rrow := range rrows {
+					o.pending = append(o.pending, lrow.Merged(rrow))
+				}
+			}
+		}
+	}
+}
+
+func (o *backwardJoinOp) Close() error {
+	if o.cur != nil {
+		o.cur.Close()
+	}
+	return o.joinBase.Close()
+}
+
+// bjiJoinOp streams the right side, probing the binary join index backward
+// from each right object; the left side is the build side.
+type bjiJoinOp struct {
+	joinBase
+	index  *joinindex.BinaryJoinIndex
+	leftBy map[storage.OID][]algebra.Row
+}
+
+func (o *bjiJoinOp) Open() error {
+	if o.index == nil {
+		return fmt.Errorf("%w: binary join index for %s.%s",
+			algebra.ErrNoIndex, o.left.hdr.Class, o.attr)
+	}
+	lc, err := drainOp(o.left.op, o.left.hdr)
+	if err != nil {
+		return err
+	}
+	o.leftBy = algebra.RowsByOID(lc, o.leftVar)
+	return o.right.op.Open()
+}
+
+func (o *bjiJoinOp) Next() (algebra.Row, bool, error) {
+	for {
+		if row, ok := o.take(); ok {
+			return row, true, nil
+		}
+		rrow, ok, err := o.right.op.Next()
+		if err != nil || !ok {
+			return algebra.Row{}, false, err
+		}
+		rb := rrow.Vars[o.rightVar]
+		sources, err := o.index.Backward(rb.OID)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		o.refill()
+		for _, src := range sources {
+			for _, lrow := range o.leftBy[src] {
+				o.pending = append(o.pending, lrow.Merged(rrow))
+			}
+		}
+	}
+}
+
+// hashJoinOp partitions the left rows on the pointer field at Open (the
+// build side), then streams the distinct referenced OIDs in sorted order,
+// dereferencing each at most once and only when the right side holds it.
+type hashJoinOp struct {
+	joinBase
+	partitions map[storage.OID][]algebra.Row
+	rightBy    map[storage.OID][]algebra.Row
+	refs       []storage.OID
+	ri         int
+}
+
+func (o *hashJoinOp) Open() error {
+	lc, err := drainOp(o.left.op, o.left.hdr)
+	if err != nil {
+		return err
+	}
+	rc, err := drainOp(o.right.op, o.right.hdr)
+	if err != nil {
+		return err
+	}
+	o.rightBy = algebra.RowsByOID(rc, o.rightVar)
+	o.partitions = make(map[storage.OID][]algebra.Row)
+	for i := range lc.Rows {
+		lrow := lc.Rows[i]
+		lb := lrow.Vars[o.leftVar]
+		if err := o.alg.MaterializeBound(&lb); err != nil {
+			return err
+		}
+		lrow.Vars[o.leftVar] = lb
+		for _, ref := range algebra.RefsOf(lb.Val, o.attr) {
+			o.partitions[ref] = append(o.partitions[ref], lrow)
+		}
+	}
+	o.refs = make([]storage.OID, 0, len(o.partitions))
+	for ref := range o.partitions {
+		o.refs = append(o.refs, ref)
+	}
+	sort.Slice(o.refs, func(i, j int) bool { return o.refs[i] < o.refs[j] })
+	return nil
+}
+
+func (o *hashJoinOp) Next() (algebra.Row, bool, error) {
+	for {
+		if row, ok := o.take(); ok {
+			return row, true, nil
+		}
+		if o.ri >= len(o.refs) {
+			return algebra.Row{}, false, nil
+		}
+		ref := o.refs[o.ri]
+		o.ri++
+		rrows, hit := o.rightBy[ref]
+		if !hit {
+			continue
+		}
+		val, _, err := o.alg.Cat.GetObject(ref)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		o.refill()
+		for _, lrow := range o.partitions[ref] {
+			for _, rrow := range rrows {
+				merged := lrow.Merged(rrow)
+				rb := merged.Vars[o.rightVar]
+				rb.Val = val
+				merged.Vars[o.rightVar] = rb
+				o.pending = append(o.pending, merged)
+			}
+		}
+	}
+}
+
+// --- products and unions --------------------------------------------------
+
+// crossOp is the unconstrained product: the right side is drained at Open
+// (inner side), the left streams as the outer side.
+type crossOp struct {
+	left, right *compiled
+	rightRows   []algebra.Row
+	lrow        algebra.Row
+	haveL       bool
+	ri          int
+}
+
+func (o *crossOp) Open() error {
+	rc, err := drainOp(o.right.op, o.right.hdr)
+	if err != nil {
+		return err
+	}
+	o.rightRows = rc.Rows
+	return o.left.op.Open()
+}
+
+func (o *crossOp) Next() (algebra.Row, bool, error) {
+	for {
+		if o.haveL && o.ri < len(o.rightRows) {
+			row := o.lrow.Merged(o.rightRows[o.ri])
+			o.ri++
+			return row, true, nil
+		}
+		lrow, ok, err := o.left.op.Next()
+		if err != nil || !ok {
+			return algebra.Row{}, false, err
+		}
+		o.lrow, o.haveL, o.ri = lrow, true, 0
+	}
+}
+
+func (o *crossOp) Close() error {
+	err := o.left.op.Close()
+	if err2 := o.right.op.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// unionOp concatenates its children's streams lazily (a child is opened
+// only when the previous one is exhausted), deduplicating on the query's
+// FROM-clause variables exactly as the materializing UNION does.
+type unionOp struct {
+	kids   []*compiled
+	vars   []string
+	ki     int
+	opened bool
+	seen   map[string]bool
+}
+
+func (o *unionOp) Open() error {
+	o.seen = map[string]bool{}
+	o.opened = true
+	return o.kids[0].op.Open()
+}
+
+func (o *unionOp) Next() (algebra.Row, bool, error) {
+	for {
+		if o.ki >= len(o.kids) {
+			return algebra.Row{}, false, nil
+		}
+		row, ok, err := o.kids[o.ki].op.Next()
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		if !ok {
+			if err := o.kids[o.ki].op.Close(); err != nil {
+				return algebra.Row{}, false, err
+			}
+			o.ki++
+			if o.ki < len(o.kids) {
+				if err := o.kids[o.ki].op.Open(); err != nil {
+					return algebra.Row{}, false, err
+				}
+			}
+			continue
+		}
+		key := ""
+		for _, v := range o.vars {
+			key += fmt.Sprintf("%s=%d;", v, row.Vars[v].OID)
+		}
+		if o.seen[key] {
+			continue
+		}
+		o.seen[key] = true
+		return row, true, nil
+	}
+}
+
+func (o *unionOp) Close() error {
+	var err error
+	for i := o.ki; i < len(o.kids) && o.opened; i++ {
+		if e2 := o.kids[i].op.Close(); err == nil {
+			err = e2
+		}
+	}
+	return err
+}

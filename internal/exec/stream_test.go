@@ -1,0 +1,312 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"mood/internal/algebra"
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/expr"
+	"mood/internal/object"
+	"mood/internal/optimizer"
+	"mood/internal/sql"
+	"mood/internal/stats"
+	"mood/internal/vehicledb"
+)
+
+// planFor parses and optimizes a query without executing it.
+func (f *fixture) planFor(t testing.TB, query string) optimizer.Plan {
+	t.Helper()
+	st, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := f.opt.Optimize(st.(*sql.Select))
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return plan
+}
+
+// assertCollectionsEqual compares two result collections exactly: header,
+// row count and order, and every row's bound variables (by OID). Values are
+// compared through the extracted Result rendering, which is what clients of
+// the kernel observe.
+func assertCollectionsEqual(t *testing.T, label string, stream, eager *algebra.Collection) {
+	t.Helper()
+	if stream.Kind != eager.Kind || stream.Name != eager.Name || stream.Class != eager.Class {
+		t.Fatalf("%s: header mismatch: streaming (%v,%q,%q) vs materialized (%v,%q,%q)",
+			label, stream.Kind, stream.Name, stream.Class, eager.Kind, eager.Name, eager.Class)
+	}
+	if len(stream.Rows) != len(eager.Rows) {
+		t.Fatalf("%s: row count %d vs %d", label, len(stream.Rows), len(eager.Rows))
+	}
+	for i := range stream.Rows {
+		sv, ev := stream.Rows[i].Vars, eager.Rows[i].Vars
+		if len(sv) != len(ev) {
+			t.Fatalf("%s: row %d has %d vars streaming, %d materialized", label, i, len(sv), len(ev))
+		}
+		for name, sb := range sv {
+			eb, ok := ev[name]
+			if !ok {
+				t.Fatalf("%s: row %d: var %q only in streaming result", label, i, name)
+			}
+			if sb.OID != eb.OID {
+				t.Fatalf("%s: row %d var %q: OID %v vs %v", label, i, name, sb.OID, eb.OID)
+			}
+		}
+	}
+	sres, eres := renderedResult(stream), renderedResult(eager)
+	if sres != eres {
+		t.Fatalf("%s: extracted results differ:\n--- streaming ---\n%s--- materialized ---\n%s", label, sres, eres)
+	}
+}
+
+func renderedResult(coll *algebra.Collection) string {
+	res := Extract(coll)
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Columns, " | "))
+	sb.WriteString("\n")
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		sb.WriteString(strings.Join(cells, " | "))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// differentialQueries covers every plan-node shape the compiler handles:
+// bind scans, index selections, intersections, unions, path joins of all
+// strategies, cross products, EVERY/minus closures, projection, global and
+// grouped aggregation, DISTINCT and ORDER BY.
+var differentialQueries = []string{
+	`SELECT v FROM Vehicle v WHERE v.id = 42`,
+	`SELECT v FROM Vehicle v`,
+	`SELECT v.id, v.weight FROM Vehicle v WHERE v.weight BETWEEN 1000 AND 2000 ORDER BY v.weight DESC, v.id ASC`,
+	`SELECT DISTINCT v.drivetrain.transmission FROM Vehicle v`,
+	`SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2`,
+	`SELECT v FROM Vehicle v WHERE v.manufacturer.name = 'BMW' AND v.drivetrain.engine.cylinders = 2`,
+	`SELECT v FROM Vehicle v WHERE v.weight > 3000 OR v.drivetrain.transmission = 'MANUAL'`,
+	`SELECT v FROM Vehicle v WHERE NOT (v.weight BETWEEN 1000 AND 3000)`,
+	`SELECT c FROM EVERY Automobile - JapaneseAuto c WHERE c.weight > 2500`,
+	`SELECT c FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v
+		WHERE c.drivetrain.transmission = 'AUTOMATIC' AND c.drivetrain.engine = v AND v.cylinders > 4`,
+	`SELECT e.name, c.name AS company FROM Employee e, Company c WHERE e.age > 20 AND c.name = 'BMW'`,
+	`SELECT AVG(v.weight) AS aw, MIN(v.id) AS mi, COUNT(*) AS n FROM Vehicle v`,
+	`SELECT v.drivetrain.transmission AS trans, COUNT(*) AS n, MAX(v.weight) AS mx
+		FROM Vehicle v GROUP BY v.drivetrain.transmission HAVING n > 10 ORDER BY trans`,
+	`SELECT v.id FROM Vehicle v, Company c WHERE v.manufacturer = c AND c.name = 'BMW' ORDER BY v.id`,
+}
+
+// TestStreamingMatchesMaterialized runs the full query battery through both
+// the streaming pipeline (Execute) and the retained eager executor
+// (ExecuteMaterialized), demanding identical collections.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	f := setup(t, vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 20, Seed: 5, Subclasses: true,
+	})
+	for _, q := range differentialQueries {
+		plan := f.planFor(t, q)
+		stream, err := f.ex.Execute(plan)
+		if err != nil {
+			t.Fatalf("streaming execute %s: %v\nplan:\n%s", q, err, optimizer.Render(plan))
+		}
+		eager, err := f.ex.ExecuteMaterialized(plan)
+		if err != nil {
+			t.Fatalf("materialized execute %s: %v", q, err)
+		}
+		assertCollectionsEqual(t, q, stream, eager)
+	}
+}
+
+// indexedFixture builds the vehicle database with B-tree indexes on
+// Vehicle.weight and Vehicle.id so the optimizer produces IndSel and
+// Intersect plans.
+func indexedFixture(t testing.TB) *fixture {
+	t.Helper()
+	f := setup(t, vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 20, Seed: 5,
+	})
+	if _, err := f.db.Cat.CreateIndex("vehicle_weight", "Vehicle", "weight", catalog.BTreeIndex, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.db.Cat.CreateIndex("vehicle_id", "Vehicle", "id", catalog.BTreeIndex, true); err != nil {
+		t.Fatal(err)
+	}
+	// Recollect statistics so the optimizer sees the new indexes.
+	st, err := stats.Collect(f.db.Cat, cost.DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.opt = optimizer.New(f.db.Cat, st)
+	return f
+}
+
+// TestStreamingMatchesMaterializedIndexed repeats the differential check on
+// queries whose plans use index selections and intersections.
+func TestStreamingMatchesMaterializedIndexed(t *testing.T) {
+	f := indexedFixture(t)
+	queries := []string{
+		`SELECT v FROM Vehicle v WHERE v.id = 42`,
+		`SELECT v FROM Vehicle v WHERE v.weight BETWEEN 1200 AND 1600`,
+		`SELECT v FROM Vehicle v WHERE v.weight BETWEEN 1200 AND 1600 AND v.id < 200`,
+		`SELECT v FROM Vehicle v WHERE v.weight >= 3000 AND v.id >= 100 AND v.drivetrain.transmission = 'CVT'`,
+		`SELECT v FROM Vehicle v WHERE v.weight = 1500 OR v.id = 10`,
+	}
+	for _, q := range queries {
+		plan := f.planFor(t, q)
+		stream, err := f.ex.Execute(plan)
+		if err != nil {
+			t.Fatalf("streaming execute %s: %v\nplan:\n%s", q, err, optimizer.Render(plan))
+		}
+		eager, err := f.ex.ExecuteMaterialized(plan)
+		if err != nil {
+			t.Fatalf("materialized execute %s: %v", q, err)
+		}
+		assertCollectionsEqual(t, q, stream, eager)
+	}
+}
+
+// TestAnalyzeTotalsMatchDiskDelta checks the EXPLAIN ANALYZE acceptance
+// criterion at the executor level: the analysis' TotalPages equals the
+// DiskSim read-counter delta measured across the same execution, and the
+// root operator's rows-out equals the result cardinality.
+func TestAnalyzeTotalsMatchDiskDelta(t *testing.T) {
+	f := setup(t, vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 20, Seed: 5,
+	})
+	disk := f.pool.Disk()
+	f.ex.Pages = func() int64 { return disk.Stats().Reads() }
+	for _, q := range []string{
+		`SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2`,
+		`SELECT v FROM Vehicle v WHERE v.manufacturer.name = 'BMW' AND v.drivetrain.engine.cylinders = 2`,
+	} {
+		plan := f.planFor(t, q)
+		if err := f.pool.EvictAll(); err != nil {
+			t.Fatal(err)
+		}
+		scope := disk.Scope()
+		coll, an, err := f.ex.ExecuteAnalyzed(plan)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		delta := scope.Delta()
+		if an.TotalPages != delta.Reads() {
+			t.Errorf("%s: analysis reports %d pages, DiskSim delta is %d", q, an.TotalPages, delta.Reads())
+		}
+		if an.TotalPages == 0 {
+			t.Errorf("%s: expected nonzero page reads on a cold buffer pool", q)
+		}
+		if an.Root.RowsOut != int64(len(coll.Rows)) {
+			t.Errorf("%s: root rows out %d, collection has %d", q, an.Root.RowsOut, len(coll.Rows))
+		}
+		rendered := an.Render()
+		if !strings.Contains(rendered, "rows") || !strings.Contains(rendered, "pages=") {
+			t.Errorf("%s: render lacks per-operator annotations:\n%s", q, rendered)
+		}
+	}
+}
+
+// TestEmptyIntersectShortCircuit demonstrates the streaming win the issue
+// calls for: when an intersection of index selections is empty, the
+// pipeline discovers that from the indexes alone and never fetches a
+// candidate object, while the eager executor materializes the first
+// selection's objects before intersecting. Fewer simulated pages are read.
+func TestEmptyIntersectShortCircuit(t *testing.T) {
+	f := setup(t, vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 20, Seed: 5,
+	})
+	if _, err := f.db.Cat.CreateIndex("vehicle_weight", "Vehicle", "weight", catalog.BTreeIndex, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.db.Cat.CreateIndex("vehicle_id", "Vehicle", "id", catalog.BTreeIndex, true); err != nil {
+		t.Fatal(err)
+	}
+	// id < 400 matches every vehicle; weight = -1 matches none. The
+	// intersection is empty, so a lazy pipeline need not fetch any of the
+	// 400 candidate objects the first input yields.
+	plan := &optimizer.IntersectPlan{Inputs: []optimizer.Plan{
+		&optimizer.IndSelPlan{
+			Class: "Vehicle", Var: "v", Index: f.db.Cat.IndexOn("Vehicle", "id"),
+			Pred: algebra.SimplePredicate{Attribute: "id", Op: expr.OpLt, Constant: object.NewInt(400)},
+		},
+		&optimizer.IndSelPlan{
+			Class: "Vehicle", Var: "v", Index: f.db.Cat.IndexOn("Vehicle", "weight"),
+			Pred: algebra.SimplePredicate{Attribute: "weight", Op: expr.OpEq, Constant: object.NewInt(-1)},
+		},
+	}}
+	disk := f.pool.Disk()
+
+	measure := func(run func() (*algebra.Collection, error)) int64 {
+		t.Helper()
+		if err := f.pool.EvictAll(); err != nil {
+			t.Fatal(err)
+		}
+		scope := disk.Scope()
+		coll, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(coll.Rows) != 0 {
+			t.Fatalf("intersection should be empty, got %d rows", len(coll.Rows))
+		}
+		return scope.Delta().Reads()
+	}
+
+	eagerPages := measure(func() (*algebra.Collection, error) { return f.ex.ExecuteMaterialized(plan) })
+	streamPages := measure(func() (*algebra.Collection, error) { return f.ex.Execute(plan) })
+	if streamPages >= eagerPages {
+		t.Errorf("streaming read %d pages, materialized %d; expected the lazy pipeline to read fewer",
+			streamPages, eagerPages)
+	}
+	t.Logf("empty intersect: streaming %d pages vs materialized %d", streamPages, eagerPages)
+}
+
+// benchPlan optimizes the Example 8.2 path query once for the executor
+// benchmarks.
+func benchPlan(b *testing.B) (*fixture, optimizer.Plan) {
+	b.Helper()
+	f := setup(b, vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 20, Seed: 5,
+	})
+	st, err := sql.Parse(`SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, _, err := f.opt.Optimize(st.(*sql.Select))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, plan
+}
+
+func BenchmarkExecuteStreaming(b *testing.B) {
+	f, plan := benchPlan(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ex.Execute(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteMaterialized(b *testing.B) {
+	f, plan := benchPlan(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ex.ExecuteMaterialized(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+
+	"mood/internal/experiments"
+	"mood/internal/kernel"
+	"mood/internal/optimizer"
+)
+
+// The EXPLAIN tests live in an external test package so they can use
+// experiments.BuildKernelEnv (which imports kernel) for the paper's example
+// schema and data.
+
+func buildEnv(t *testing.T) *kernel.DB {
+	t.Helper()
+	db, _, err := experiments.BuildKernelEnv(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestExplainRendersPlan checks plain EXPLAIN: the statement returns the
+// optimizer's rendered access plan without executing the query, and clears
+// any previous analysis.
+func TestExplainRendersPlan(t *testing.T) {
+	db := buildEnv(t)
+
+	res, err := db.Execute(`EXPLAIN SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		t.Fatalf("EXPLAIN result shape: %d rows", len(res.Rows))
+	}
+	got := res.Rows[0][0].Str
+	if want := optimizer.Render(db.LastPlan); got != want {
+		t.Errorf("EXPLAIN output differs from Render(LastPlan):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if db.LastAnalyze != nil {
+		t.Error("plain EXPLAIN should leave LastAnalyze nil")
+	}
+	if strings.Contains(got, "pages=") {
+		t.Errorf("plain EXPLAIN must not carry runtime annotations:\n%s", got)
+	}
+}
+
+// TestExplainAnalyzePageTotalsMatchDisk is the kernel-level acceptance
+// check: EXPLAIN ANALYZE on the paper's Example 8.1/8.2 path queries
+// reports per-operator rows and page reads, and the reported page total
+// equals the DiskSim read-counter delta across the statement.
+func TestExplainAnalyzePageTotalsMatchDisk(t *testing.T) {
+	db := buildEnv(t)
+
+	for _, tc := range []struct {
+		name, query string
+	}{
+		{"example82", `SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2`},
+		{"example81", `SELECT v FROM Vehicle v WHERE v.manufacturer.name = 'BMW' AND v.drivetrain.engine.cylinders = 2`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Row-count oracle: the plain SELECT.
+			base, err := db.Execute(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if err := db.Pool.EvictAll(); err != nil {
+				t.Fatal(err)
+			}
+			scope := db.Disk.Scope()
+			res, err := db.Execute(`EXPLAIN ANALYZE ` + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delta := scope.Delta()
+
+			an := db.LastAnalyze
+			if an == nil {
+				t.Fatal("EXPLAIN ANALYZE did not populate LastAnalyze")
+			}
+			if an.TotalPages != delta.Reads() {
+				t.Errorf("analysis reports %d pages, DiskSim delta is %d", an.TotalPages, delta.Reads())
+			}
+			if an.TotalPages == 0 {
+				t.Error("expected nonzero page reads on a cold buffer pool")
+			}
+			if an.Root.RowsOut != int64(len(base.Rows)) {
+				t.Errorf("root rows out = %d, plain SELECT returned %d rows", an.Root.RowsOut, len(base.Rows))
+			}
+
+			out := res.Rows[0][0].Str
+			for _, marker := range []string{"rows", "pages=", "time=", "total: pages="} {
+				if !strings.Contains(out, marker) {
+					t.Errorf("EXPLAIN ANALYZE output lacks %q:\n%s", marker, out)
+				}
+			}
+			// Every operator line in the plan render must appear annotated.
+			planLines := strings.Count(optimizer.Render(db.LastPlan), "\n")
+			annotated := 0
+			for _, line := range strings.Split(out, "\n") {
+				if strings.Contains(line, "pages=") && !strings.HasPrefix(line, "total:") {
+					annotated++
+				}
+			}
+			if annotated == 0 || annotated > planLines+1 {
+				t.Errorf("per-operator annotation count %d implausible for plan:\n%s", annotated, out)
+			}
+		})
+	}
+}

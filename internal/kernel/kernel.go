@@ -48,6 +48,9 @@ type DB struct {
 	// moodsql shell's EXPLAIN support and for the experiment harness.
 	LastPlan    optimizer.Plan
 	LastExplain *optimizer.Explain
+	// LastAnalyze holds the most recent EXPLAIN ANALYZE's per-operator
+	// instrumentation (rows, simulated page reads, wall time).
+	LastAnalyze *exec.Analysis
 }
 
 // Options configures Open.
@@ -90,6 +93,9 @@ func Open(opts Options) (*DB, error) {
 	}
 	// Late-bound method dispatch for predicates and projections.
 	alg.Invoke = db.invoke
+	// EXPLAIN ANALYZE attributes simulated page reads per operator; the
+	// executor has no direct disk access, so give it the read counter.
+	db.Exec.Pages = func() int64 { return disk.Stats().Reads() }
 	return db, nil
 }
 
@@ -213,6 +219,8 @@ func (db *DB) ExecuteStmt(st sql.Statement) (*Result, error) {
 		return db.execNewObject(n)
 	case *sql.Select:
 		return db.execSelect(n)
+	case *sql.Explain:
+		return db.execExplain(n)
 	case *sql.Update:
 		return db.execUpdate(n)
 	case *sql.Delete:
@@ -307,7 +315,8 @@ func (db *DB) execNewObject(n *sql.NewObject) (*Result, error) {
 	return res, nil
 }
 
-func (db *DB) execSelect(n *sql.Select) (*Result, error) {
+// optimize plans a SELECT and records it in LastPlan/LastExplain.
+func (db *DB) optimize(n *sql.Select) (optimizer.Plan, error) {
 	st, err := db.Stats()
 	if err != nil {
 		return nil, err
@@ -321,11 +330,41 @@ func (db *DB) execSelect(n *sql.Select) (*Result, error) {
 		return nil, err
 	}
 	db.LastPlan, db.LastExplain = plan, explain
+	return plan, nil
+}
+
+func (db *DB) execSelect(n *sql.Select) (*Result, error) {
+	plan, err := db.optimize(n)
+	if err != nil {
+		return nil, err
+	}
 	coll, err := db.Exec.Execute(plan)
 	if err != nil {
 		return nil, err
 	}
 	return exec.Extract(coll), nil
+}
+
+// execExplain implements EXPLAIN [ANALYZE] <select>. Plain EXPLAIN renders
+// the optimized access plan without running it; ANALYZE runs the query
+// through the streaming pipeline and renders the plan tree annotated with
+// per-operator rows in/out, simulated page reads, and wall time. The raw
+// instrumentation is kept in LastAnalyze for programmatic access.
+func (db *DB) execExplain(n *sql.Explain) (*Result, error) {
+	plan, err := db.optimize(n.Query)
+	if err != nil {
+		return nil, err
+	}
+	if !n.Analyze {
+		db.LastAnalyze = nil
+		return message("%s", optimizer.Render(plan)), nil
+	}
+	_, an, err := db.Exec.ExecuteAnalyzed(plan)
+	if err != nil {
+		return nil, err
+	}
+	db.LastAnalyze = an
+	return message("%s", an.Render()), nil
 }
 
 // matchTargets evaluates a FROM item + WHERE against the store, returning

@@ -1,0 +1,148 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"mood/internal/algebra"
+	"mood/internal/sql"
+)
+
+// Operator is the physical-operator contract of the streaming executor: a
+// pull-based (Volcano-style) iterator compiled from a Plan node. The
+// optimizer owns the contract so that any package can build execution
+// engines against plans without importing the executor.
+//
+// Lifecycle:
+//
+//   - Open acquires resources and, for pipeline breakers (sort, dup-elim,
+//     hash-join build sides), drains the blocking inputs. Open must be called
+//     exactly once, before the first Next.
+//   - Next returns the next row and ok=true, or ok=false once the stream is
+//     exhausted. After exhaustion or an error, further Next calls must keep
+//     returning ok=false; rows stream by reference, so callers must not
+//     mutate a returned Row's Vars map.
+//   - Close releases resources, recursively closing inputs. Close is
+//     idempotent and must be safe after a failed Open or mid-stream — a
+//     consumer that stops early (LIMIT-style, named-object lookup, empty
+//     intersect) closes a half-drained pipeline and the remaining extent
+//     pages are simply never read.
+//
+// Errors propagate up the Next chain unwrapped; the root consumer sees the
+// leaf's error verbatim and is responsible for closing the tree.
+type Operator interface {
+	Open() error
+	Next() (algebra.Row, bool, error)
+	Close() error
+}
+
+// Header describes the collection shape an operator's row stream would have
+// if materialized: the MOOD-algebra kind, distinguished variable, and class
+// of the seed executor's Collection headers. It is computed at compile time
+// from the plan alone so the streaming and materializing paths agree on
+// result shape before any row is produced.
+type Header struct {
+	Kind  algebra.Kind
+	Name  string
+	Class string
+}
+
+// PhysicalOperator is an Operator that also reports its materialized shape.
+type PhysicalOperator interface {
+	Operator
+	Header() Header
+}
+
+// Children returns a plan node's direct inputs in execution order, so
+// external walkers (EXPLAIN ANALYZE's annotated renderer) need no knowledge
+// of the node structs.
+func Children(p Plan) []Plan {
+	switch n := p.(type) {
+	case *SelectPlan:
+		return []Plan{n.Input}
+	case *IntersectPlan:
+		return n.Inputs
+	case *JoinPlan:
+		return []Plan{n.Left, n.Right}
+	case *CrossPlan:
+		return []Plan{n.Left, n.Right}
+	case *UnionPlan:
+		return n.Inputs
+	case *ProjectPlan:
+		return []Plan{n.Input}
+	case *GroupPlan:
+		return []Plan{n.Input}
+	case *SortPlan:
+		return []Plan{n.Input}
+	case *DupElimPlan:
+		return []Plan{n.Input}
+	}
+	return nil
+}
+
+// Describe renders a plan node as a single line (no children), the per-node
+// label of EXPLAIN ANALYZE's annotated tree.
+func Describe(p Plan) string {
+	switch n := p.(type) {
+	case *BindPlan:
+		name := n.Class
+		for _, m := range n.Minus {
+			name += " - " + m
+		}
+		return fmt.Sprintf("BIND(%s, %s)", name, n.Var)
+	case *IndSelPlan:
+		return fmt.Sprintf("INDSEL(%s, %s, %s[%s], %s)", n.Class, n.Var,
+			n.Index.Name, n.Index.Kind, renderSimple(n.Var, n.Pred))
+	case *IntersectPlan:
+		return "INTERSECT"
+	case *SelectPlan:
+		return fmt.Sprintf("SELECT(%s)", n.Pred)
+	case *JoinPlan:
+		return fmt.Sprintf("JOIN(%s, %s.%s = %s.self)", n.Method, n.LeftVar, n.Attribute, n.RightVar)
+	case *CrossPlan:
+		return "CROSS"
+	case *UnionPlan:
+		return "UNION"
+	case *ProjectPlan:
+		parts := make([]string, len(n.Items))
+		for i, it := range n.Items {
+			s := ""
+			if it.Agg != sql.AggNone {
+				inner := "*"
+				if !it.Star && it.Expr != nil {
+					inner = it.Expr.String()
+				}
+				s = fmt.Sprintf("%s(%s)", it.Agg, inner)
+			} else if it.Expr != nil {
+				s = it.Expr.String()
+			}
+			if it.As != "" {
+				s += " AS " + it.As
+			}
+			parts[i] = s
+		}
+		return fmt.Sprintf("PROJECT([%s])", strings.Join(parts, ", "))
+	case *GroupPlan:
+		keys := make([]string, len(n.By))
+		for i, b := range n.By {
+			keys[i] = b.String()
+		}
+		s := fmt.Sprintf("GROUP(BY [%s]", strings.Join(keys, ", "))
+		if n.Having != nil {
+			s += fmt.Sprintf(" HAVING %s", n.Having)
+		}
+		return s + ")"
+	case *SortPlan:
+		keys := make([]string, len(n.Keys))
+		for i, k := range n.Keys {
+			keys[i] = k.Ref.String()
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		return fmt.Sprintf("SORT([%s])", strings.Join(keys, ", "))
+	case *DupElimPlan:
+		return "DUPELIM"
+	}
+	return fmt.Sprintf("%T", p)
+}

@@ -151,6 +151,16 @@ type Select struct {
 
 func (*Select) stmt() {}
 
+// Explain is EXPLAIN [ANALYZE] <select>: render the access plan, and with
+// ANALYZE also run it through the streaming pipeline collecting per-operator
+// rows, simulated page reads, and wall time.
+type Explain struct {
+	Analyze bool
+	Query   *Select
+}
+
+func (*Explain) stmt() {}
+
 // SetClause is one assignment of an UPDATE.
 type SetClause struct {
 	Attr  string

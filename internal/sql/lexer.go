@@ -54,6 +54,7 @@ var keywords = map[string]bool{
 	"BTREE": true, "HASH": true, "COUNT": true, "SUM": true, "AVG": true,
 	"MIN": true, "MAX": true, "TRUE": true, "FALSE": true, "NULL": true,
 	"LIST": true, "REFERENCE": true, "AS": true, "IS": true, "DISTINCT": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // Lex tokenizes a MOODSQL statement. Keywords are case-insensitive; string

@@ -94,6 +94,8 @@ func (p *parser) statement() (Statement, error) {
 	switch {
 	case p.at(TokKeyword, "SELECT"):
 		return p.selectStmt()
+	case p.at(TokKeyword, "EXPLAIN"):
+		return p.explainStmt()
 	case p.at(TokKeyword, "CREATE"):
 		return p.createStmt()
 	case p.at(TokKeyword, "DROP"):
@@ -467,6 +469,20 @@ func (p *parser) deleteStmt() (Statement, error) {
 }
 
 // --- SELECT --------------------------------------------------------------
+
+// explainStmt parses EXPLAIN [ANALYZE] <select>.
+func (p *parser) explainStmt() (Statement, error) {
+	p.next() // EXPLAIN
+	analyze := p.accept(TokKeyword, "ANALYZE")
+	if !p.at(TokKeyword, "SELECT") {
+		return nil, p.errf("expected SELECT after EXPLAIN, got %s", p.peek())
+	}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Analyze: analyze, Query: stmt.(*Select)}, nil
+}
 
 func (p *parser) selectStmt() (Statement, error) {
 	p.next() // SELECT

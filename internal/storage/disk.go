@@ -367,6 +367,32 @@ func (d *DiskSim) RepairPage(id PageID) error {
 	return nil
 }
 
+// StatsScope measures the disk activity of one region of code: the counter
+// snapshot taken when the scope opened, subtracted from the live counters on
+// Delta. The executor opens one scope per physical operator so EXPLAIN
+// ANALYZE can attribute simulated page reads operator by operator.
+type StatsScope struct {
+	d     *DiskSim
+	start DiskStats
+}
+
+// Scope opens a stats scope at the current counter values.
+func (d *DiskSim) Scope() *StatsScope {
+	return &StatsScope{d: d, start: d.Stats()}
+}
+
+// Delta returns the disk activity since the scope opened.
+func (s *StatsScope) Delta() DiskStats {
+	cur := s.d.Stats()
+	return DiskStats{
+		RandomReads:      cur.RandomReads - s.start.RandomReads,
+		SequentialReads:  cur.SequentialReads - s.start.SequentialReads,
+		RandomWrites:     cur.RandomWrites - s.start.RandomWrites,
+		SequentialWrites: cur.SequentialWrites - s.start.SequentialWrites,
+		TimeMs:           cur.TimeMs - s.start.TimeMs,
+	}
+}
+
 // Stats returns a snapshot of the accumulated access statistics.
 func (d *DiskSim) Stats() DiskStats {
 	d.mu.Lock()

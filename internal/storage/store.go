@@ -239,6 +239,66 @@ func (s *ObjectStore) Delete(oid OID) error {
 	return nil
 }
 
+// ScanRecord is one record surfaced by a page-at-a-time scan: the record's
+// OID and a copy of its payload.
+type ScanRecord struct {
+	OID  OID
+	Data []byte
+}
+
+// FirstScanPage returns the page a scan of the file starts at (0 for an
+// empty file).
+func (s *ObjectStore) FirstScanPage(f *File) PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f.firstPage
+}
+
+// ScanPage reads the records of one page of the file and the ID of the next
+// page in the chain (0 at the end). It is the pull-based primitive both the
+// callback Scan and the streaming extent cursors are built on: a caller that
+// stops asking for pages stops paying for page reads.
+func (s *ObjectStore) ScanPage(f *File, pid PageID) ([]ScanRecord, PageID, error) {
+	var hits []ScanRecord
+	var overflowHeads []ScanRecord
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, err := s.bp.Fetch(pid)
+	if err != nil {
+		return nil, 0, err
+	}
+	pg.Slots(func(slot SlotID, rec []byte) bool {
+		oid := MakeOID(f.ID, pid, slot)
+		switch rec[0] {
+		case recPlain:
+			cp := make([]byte, len(rec)-1)
+			copy(cp, rec[1:])
+			hits = append(hits, ScanRecord{oid, cp})
+		case recOverflow:
+			cp := make([]byte, len(rec))
+			copy(cp, rec)
+			overflowHeads = append(overflowHeads, ScanRecord{oid, cp})
+		}
+		return true
+	})
+	next := pg.NextPage()
+	if err := s.bp.Unpin(pid, false); err != nil {
+		return nil, 0, err
+	}
+	// Reassemble large records before releasing the lock.
+	for _, h := range overflowHeads {
+		total := binary.LittleEndian.Uint32(h.Data[1:])
+		first := PageID(binary.LittleEndian.Uint32(h.Data[5:]))
+		data, err := s.readOverflow(first, int(total))
+		if err != nil {
+			return nil, 0, err
+		}
+		hits = append(hits, ScanRecord{h.OID, data})
+	}
+	return hits, next, nil
+}
+
 // Scan iterates the records of the file in page-chain order. fn receives
 // each record's OID and a copy of its payload; returning false stops the
 // scan early. The store's lock is NOT held while fn runs, so callbacks may
@@ -246,57 +306,14 @@ func (s *ObjectStore) Delete(oid OID) error {
 // being scanned made from inside the callback may or may not be visible to
 // the remainder of the scan.
 func (s *ObjectStore) Scan(f *File, fn func(OID, []byte) bool) error {
-	s.mu.Lock()
-	pid := f.firstPage
-	s.mu.Unlock()
+	pid := s.FirstScanPage(f)
 	for pid != 0 {
-		type hit struct {
-			oid  OID
-			data []byte
-		}
-		var hits []hit
-		var overflowHeads []hit
-
-		s.mu.Lock()
-		pg, err := s.bp.Fetch(pid)
+		hits, next, err := s.ScanPage(f, pid)
 		if err != nil {
-			s.mu.Unlock()
 			return err
 		}
-		pg.Slots(func(slot SlotID, rec []byte) bool {
-			oid := MakeOID(f.ID, pid, slot)
-			switch rec[0] {
-			case recPlain:
-				cp := make([]byte, len(rec)-1)
-				copy(cp, rec[1:])
-				hits = append(hits, hit{oid, cp})
-			case recOverflow:
-				cp := make([]byte, len(rec))
-				copy(cp, rec)
-				overflowHeads = append(overflowHeads, hit{oid, cp})
-			}
-			return true
-		})
-		next := pg.NextPage()
-		if err := s.bp.Unpin(pid, false); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-		// Reassemble large records before releasing the lock.
-		for _, h := range overflowHeads {
-			total := binary.LittleEndian.Uint32(h.data[1:])
-			first := PageID(binary.LittleEndian.Uint32(h.data[5:]))
-			data, err := s.readOverflow(first, int(total))
-			if err != nil {
-				s.mu.Unlock()
-				return err
-			}
-			hits = append(hits, hit{h.oid, data})
-		}
-		s.mu.Unlock()
-
 		for _, h := range hits {
-			if !fn(h.oid, h.data) {
+			if !fn(h.OID, h.Data) {
 				return nil
 			}
 		}
