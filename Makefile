@@ -9,16 +9,22 @@
 #                        replay one failing iteration)
 #   make bench-baseline  regenerate BENCH_baseline.json (simulated I/O of a
 #                        representative operation set; deterministic)
+#   make bench-parallel  regenerate BENCH_parallel.json (morsel-exchange
+#                        scaling at workers=1/2/4/8; reads/sim-time columns
+#                        deterministic, wall-clock columns machine-local)
 #   make bench-exec      executor microbenchmarks (streaming pipeline,
 #                        per-row env hoist) with allocation stats
 #   make exec-race       the executor/algebra/kernel suites under the race
 #                        detector (the streaming pipeline's hot path)
+#   make parallel-race   every parallel-execution test under the race
+#                        detector (exchange operators, sharded pool, bench)
 #   make ci              everything a pre-merge check runs
 
 GO ?= go
 CRASHTEST_ITERS ?= 120
 
-.PHONY: build test race vet crashtest bench-baseline bench-exec exec-race ci
+.PHONY: build test race vet crashtest bench-baseline bench-parallel \
+	bench-exec exec-race parallel-race ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +44,9 @@ crashtest:
 bench-baseline:
 	$(GO) run ./cmd/moodbench -bench-json BENCH_baseline.json
 
+bench-parallel:
+	$(GO) run ./cmd/moodbench -parallel-json BENCH_parallel.json
+
 bench-exec:
 	$(GO) test -bench 'BenchmarkSelect' -benchmem -run '^$$' ./internal/algebra
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/exec
@@ -45,4 +54,7 @@ bench-exec:
 exec-race:
 	$(GO) test -race ./internal/exec ./internal/algebra ./internal/kernel
 
-ci: build vet test race exec-race crashtest
+parallel-race:
+	$(GO) test -race -run Parallel ./internal/...
+
+ci: build vet test race exec-race parallel-race crashtest

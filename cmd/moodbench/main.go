@@ -7,7 +7,8 @@
 //
 // Artifacts: table1, table2, tables3to7, table8, table9, table10,
 // tables11and12, tables13to15, table16, table17, example81, example82,
-// figure71, figure72, joinsweep, pathorder, selectivity, indexrule.
+// figure71, figure72, joinsweep, pathorder, selectivity, indexrule,
+// parallel.
 package main
 
 import (
@@ -59,6 +60,7 @@ func artifacts() []artifact {
 		{"pathorder", "Algorithm 8.1 ordering benefit", experiments.PathOrderingSweep},
 		{"selectivity", "estimated vs actual path selectivity", experiments.SelectivityAccuracy},
 		{"indexrule", "8.1 index-selection rule sweep", experiments.IndexSelectionSweep},
+		{"parallel", "morsel-driven exchange scaling, workers=1/2/4/8", experiments.ParallelScaling},
 	}
 }
 
@@ -83,11 +85,33 @@ func writeBenchJSON(path string, scale float64) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// writeParallelJSON runs the worker-count sweep of experiments.MeasureParallel
+// and writes the result as JSON. Rows, page reads and simulated time are
+// deterministic across machines and worker counts; the wall-clock columns
+// (wall_ms, rows_per_wall_sec, speedup) are real measurements and vary run
+// to run — the file is a scaling snapshot, not a byte-stable artifact.
+func writeParallelJSON(path string, scale float64) error {
+	env, err := experiments.BuildEnv(experiments.Scale(scale))
+	if err != nil {
+		return fmt.Errorf("building environment: %w", err)
+	}
+	res, err := experiments.MeasureParallel(env, 0)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.1, "database scale relative to the paper's Table 13 (1.0 = 20000 vehicles, 200000 companies)")
 	only := flag.String("only", "", "run a single artifact (see -list)")
 	list := flag.Bool("list", false, "list artifact names and exit")
 	benchJSON := flag.String("bench-json", "", "write a JSON baseline of per-artifact simulated I/O to this file and exit")
+	parallelJSON := flag.String("parallel-json", "", "write the workers=1/2/4/8 parallel scaling sweep to this file and exit")
 	flag.Parse()
 
 	arts := artifacts()
@@ -103,6 +127,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (scale %g)\n", *benchJSON, *scale)
+		return
+	}
+	if *parallelJSON != "" {
+		if err := writeParallelJSON(*parallelJSON, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "parallel-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (scale %g)\n", *parallelJSON, *scale)
 		return
 	}
 

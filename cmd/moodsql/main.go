@@ -1,5 +1,6 @@
 // Command moodsql is an interactive MOODSQL shell over a fresh MOOD
-// database. Statements end with ';'. Shell commands:
+// database. Statements end with ';'. Run with -parallelism N to plan
+// queries with intra-query parallelism (EXCHANGE nodes). Shell commands:
 //
 //	\schema            show the class hierarchy and extents
 //	\class <name>      show one class (Figure 9.2 presentation)
@@ -12,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -26,7 +28,11 @@ import (
 )
 
 func main() {
-	db, err := kernel.Open(kernel.DefaultOptions())
+	parallelism := flag.Int("parallelism", 0, "degree of intra-query parallelism (0 or 1 = serial plans)")
+	flag.Parse()
+	opts := kernel.DefaultOptions()
+	opts.Parallelism = *parallelism
+	db, err := kernel.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

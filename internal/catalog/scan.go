@@ -24,6 +24,7 @@ type ExtentCursor struct {
 	bi      int
 	opened  bool
 	done    bool
+	closed  bool
 }
 
 type scanned struct {
@@ -31,10 +32,14 @@ type scanned struct {
 	val object.Value
 }
 
-// OpenExtentScan opens a cursor over the direct extent of class (closure
-// false) or over its IS-A closure minus the excluded subtrees (closure
-// true), mirroring ScanExtent and ScanClosure respectively.
-func (c *Catalog) OpenExtentScan(class string, minus []string, closure bool) (*ExtentCursor, error) {
+// ErrCursorClosed is returned by Next on a cursor whose Close has run.
+var ErrCursorClosed = fmt.Errorf("catalog: extent cursor is closed")
+
+// extentClasses resolves the class list a scan of class covers: just the
+// class itself, or its IS-A closure minus the excluded subtrees. Every
+// extent is validated up front so iteration never reports a schema error
+// halfway through a drained pipeline.
+func (c *Catalog) extentClasses(class string, minus []string, closure bool) ([]string, error) {
 	var classes []string
 	if closure {
 		all, err := c.Closure(class)
@@ -59,8 +64,6 @@ func (c *Catalog) OpenExtentScan(class string, minus []string, closure bool) (*E
 	} else {
 		classes = []string{class}
 	}
-	// Validate every extent up front so Next never reports a schema error
-	// halfway through a drained pipeline.
 	for _, name := range classes {
 		cl, err := c.Class(name)
 		if err != nil {
@@ -70,13 +73,108 @@ func (c *Catalog) OpenExtentScan(class string, minus []string, closure bool) (*E
 			return nil, fmt.Errorf("catalog: %s has no extent", name)
 		}
 	}
+	return classes, nil
+}
+
+// OpenExtentScan opens a cursor over the direct extent of class (closure
+// false) or over its IS-A closure minus the excluded subtrees (closure
+// true), mirroring ScanExtent and ScanClosure respectively.
+func (c *Catalog) OpenExtentScan(class string, minus []string, closure bool) (*ExtentCursor, error) {
+	classes, err := c.extentClasses(class, minus, closure)
+	if err != nil {
+		return nil, err
+	}
 	return &ExtentCursor{cat: c, classes: classes}, nil
 }
 
+// ScannedObject is one decoded object surfaced by a morsel read: the
+// object's OID and its decoded value.
+type ScannedObject struct {
+	OID storage.OID
+	Val object.Value
+}
+
+// ExtentMorsel is one unit of parallel scan work: a run of consecutive
+// chain-order pages of one class extent. Morsels of a scan are numbered in
+// the exact order a serial ExtentCursor would visit their pages, so a
+// dispatcher that merges worker output by Seq reproduces the serial row
+// order byte for byte.
+type ExtentMorsel struct {
+	Class string
+	Seq   int
+	Pages []storage.PageID
+	file  *storage.File
+}
+
+// ExtentMorsels splits the extent scan of class (with the same minus/closure
+// semantics as OpenExtentScan) into page-range morsels of at most pagesPer
+// pages each. Page order comes from the store's chain-order page list, so
+// concurrent workers can read disjoint pages directly instead of chasing
+// NextPage links serially.
+func (c *Catalog) ExtentMorsels(class string, minus []string, closure bool, pagesPer int) ([]ExtentMorsel, error) {
+	if pagesPer < 1 {
+		pagesPer = 1
+	}
+	classes, err := c.extentClasses(class, minus, closure)
+	if err != nil {
+		return nil, err
+	}
+	var morsels []ExtentMorsel
+	for _, name := range classes {
+		cl, err := c.Class(name)
+		if err != nil {
+			return nil, err
+		}
+		pages, err := c.store.PageList(cl.extent)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off < len(pages); off += pagesPer {
+			end := off + pagesPer
+			if end > len(pages) {
+				end = len(pages)
+			}
+			morsels = append(morsels, ExtentMorsel{
+				Class: name,
+				Seq:   len(morsels),
+				Pages: pages[off:end],
+				file:  cl.extent,
+			})
+		}
+	}
+	return morsels, nil
+}
+
+// ReadMorsel reads and decodes the objects of one morsel. It is safe to
+// call from concurrent worker goroutines: page reads go through the store's
+// shared lock and the sharded buffer pool.
+func (c *Catalog) ReadMorsel(m *ExtentMorsel) ([]ScannedObject, error) {
+	var out []ScannedObject
+	for _, pid := range m.Pages {
+		recs, _, err := c.store.ScanPage(m.file, pid)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			_, v, err := decodeObject(r.Data)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScannedObject{OID: r.OID, Val: v})
+		}
+	}
+	return out, nil
+}
+
 // Next returns the next object of the scan; ok is false when the scan is
-// exhausted.
+// exhausted. Calling Next on a closed cursor is an error (exhaustion and
+// abandonment are different states, and the morsel dispatcher relies on the
+// distinction to catch use-after-close bugs).
 func (it *ExtentCursor) Next() (storage.OID, object.Value, bool, error) {
 	for {
+		if it.closed {
+			return storage.NilOID, object.Null, false, ErrCursorClosed
+		}
 		if it.done {
 			return storage.NilOID, object.Null, false, nil
 		}
@@ -137,8 +235,8 @@ func (it *ExtentCursor) fill() error {
 }
 
 // Close releases the cursor. Closing early is how a pipeline abandons the
-// remaining pages without reading them.
+// remaining pages without reading them. Close is idempotent.
 func (it *ExtentCursor) Close() {
-	it.done = true
+	it.done, it.closed = true, true
 	it.buf, it.file = nil, nil
 }

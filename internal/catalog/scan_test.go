@@ -1,0 +1,171 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mood/internal/storage"
+)
+
+// fillClosure populates Vehicle and its subclasses with enough objects to
+// span several extent pages each, returning the per-class counts.
+func fillClosure(t *testing.T, c *Catalog) map[string]int {
+	t.Helper()
+	counts := map[string]int{"Vehicle": 150, "Automobile": 90, "JapaneseAuto": 60}
+	id := int32(0)
+	for _, class := range []string{"Vehicle", "Automobile", "JapaneseAuto"} {
+		for i := 0; i < counts[class]; i++ {
+			id++
+			if _, err := c.CreateObject(class, vehicleValue(id, 1000+id, storage.NilOID, storage.NilOID)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return counts
+}
+
+// TestExtentCursorCloseSemantics: double Close is idempotent and Next after
+// Close reports ErrCursorClosed rather than quietly claiming exhaustion.
+func TestExtentCursorCloseSemantics(t *testing.T) {
+	c := newCatalog(t)
+	defineVehicleSchema(t, c)
+	fillClosure(t, c)
+
+	cur, err := c.OpenExtentScan("Vehicle", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := cur.Next(); err != nil || !ok {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	cur.Close()
+	cur.Close() // must be idempotent
+	if _, _, ok, err := cur.Next(); ok || !errors.Is(err, ErrCursorClosed) {
+		t.Errorf("Next after Close: ok=%v err=%v, want ErrCursorClosed", ok, err)
+	}
+
+	// An exhausted-but-unclosed cursor still reports plain exhaustion.
+	cur2, err := c.OpenExtentScan("JapaneseAuto", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, _, ok, err := cur2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if _, _, ok, err := cur2.Next(); ok || err != nil {
+		t.Errorf("Next after exhaustion: ok=%v err=%v, want clean false", ok, err)
+	}
+}
+
+// TestExtentCursorHalfDrainedReleasesPages: abandoning a cursor mid-extent
+// leaves no page pinned and stops paying for page reads.
+func TestExtentCursorHalfDrainedReleasesPages(t *testing.T) {
+	c := newCatalog(t)
+	defineVehicleSchema(t, c)
+	fillClosure(t, c)
+	pool := c.Store().Pool()
+
+	cur, err := c.OpenExtentScan("Vehicle", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, ok, err := cur.Next(); err != nil || !ok {
+			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	cur.Close()
+	if n := pool.PinnedPages(); n != 0 {
+		t.Errorf("half-drained cursor left %d pages pinned", n)
+	}
+	reads := pool.Disk().Stats().Reads()
+	if _, _, _, err := cur.Next(); !errors.Is(err, ErrCursorClosed) {
+		t.Errorf("Next on abandoned cursor: %v", err)
+	}
+	if got := pool.Disk().Stats().Reads(); got != reads {
+		t.Errorf("abandoned cursor still read %d pages", got-reads)
+	}
+}
+
+// TestParallelExtentMorselsCoverSerialScan: the page-range morsels of a
+// closure scan, read concurrently and concatenated in Seq order, surface
+// exactly the objects of a serial cursor in exactly its order.
+func TestParallelExtentMorselsCoverSerialScan(t *testing.T) {
+	c := newCatalog(t)
+	defineVehicleSchema(t, c)
+	fillClosure(t, c)
+
+	for _, tc := range []struct {
+		name    string
+		minus   []string
+		closure bool
+	}{
+		{"closure", nil, true},
+		{"direct", nil, false},
+		{"minus", []string{"JapaneseAuto"}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cur, err := c.OpenExtentScan("Vehicle", tc.minus, tc.closure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []storage.OID
+			for {
+				oid, _, ok, err := cur.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				want = append(want, oid)
+			}
+			cur.Close()
+
+			morsels, err := c.ExtentMorsels("Vehicle", tc.minus, tc.closure, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results := make([][]ScannedObject, len(morsels))
+			var wg sync.WaitGroup
+			errs := make(chan error, len(morsels))
+			for i := range morsels {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					objs, err := c.ReadMorsel(&morsels[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					results[morsels[i].Seq] = objs
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			var got []storage.OID
+			for _, objs := range results {
+				for _, o := range objs {
+					got = append(got, o.OID)
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("morsel order diverged from serial scan:\nserial %d oids\nmorsel %d oids", len(want), len(got))
+			}
+			if n := c.Store().Pool().PinnedPages(); n != 0 {
+				t.Errorf("morsel readers left %d pages pinned", n)
+			}
+		})
+	}
+}

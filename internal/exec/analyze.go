@@ -76,7 +76,11 @@ type OpReport struct {
 	CumPages  int64
 	SelfTime  time.Duration
 	CumTime   time.Duration
-	Kids      []*OpReport
+	// Workers holds per-worker rows/pages for parallel (exchange) operators;
+	// nil for serial nodes. Pages counts the fetches a worker issued, buffer
+	// hits included, so the sum can exceed the node's simulated read delta.
+	Workers []WorkerStat
+	Kids    []*OpReport
 }
 
 // Analysis is the instrumented execution report of one EXPLAIN ANALYZE.
@@ -116,6 +120,9 @@ func buildReport(c *compiled) *OpReport {
 		CumPages: c.stats.pages,
 		CumTime:  c.stats.elapsed,
 	}
+	if ws, ok := c.raw.(workerStatser); ok {
+		r.Workers = ws.WorkerStats()
+	}
 	var kidPages int64
 	var kidTime time.Duration
 	for _, k := range c.kids {
@@ -152,6 +159,9 @@ func renderReport(sb *strings.Builder, r *OpReport, indent string) {
 	} else {
 		fmt.Fprintf(sb, "%s%s  (rows in=%d out=%d pages=%d time=%s)\n",
 			indent, optimizer.Describe(r.Plan), r.RowsIn, r.RowsOut, r.SelfPages, fmtDur(r.SelfTime))
+	}
+	for i, w := range r.Workers {
+		fmt.Fprintf(sb, "%s  [worker %d] rows=%d pages=%d\n", indent, i, w.Rows, w.Pages)
 	}
 	for _, k := range r.Kids {
 		renderReport(sb, k, indent+"  ")

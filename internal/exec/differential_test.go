@@ -8,6 +8,7 @@ import (
 
 	"mood/internal/expr"
 	"mood/internal/object"
+	"mood/internal/optimizer"
 	"mood/internal/sql"
 	"mood/internal/storage"
 	"mood/internal/testutil"
@@ -92,6 +93,16 @@ func TestRandomQueriesDifferential(t *testing.T) {
 			t.Fatalf("trial %d: materialized execute %s: %v", trial, pred, err)
 		}
 		assertCollectionsEqual(t, fmt.Sprintf("trial %d: %s", trial, pred), coll, eager)
+
+		// The morsel-driven parallel rewrite of the same plan must produce
+		// the identical stream — values and order (run under -race, this is
+		// also the executor's main concurrency check).
+		pplan := optimizer.Parallelize(plan, 4, -1, f.opt.Stats)
+		pcoll, err := f.ex.Execute(pplan)
+		if err != nil {
+			t.Fatalf("trial %d: parallel execute %s: %v", trial, pred, err)
+		}
+		assertCollectionsEqual(t, fmt.Sprintf("trial %d (parallel): %s", trial, pred), pcoll, eager)
 
 		// Oracle: evaluate the raw predicate against every vehicle.
 		var want []int64

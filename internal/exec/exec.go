@@ -164,6 +164,11 @@ func (e *Executor) ExecuteMaterialized(p optimizer.Plan) (*algebra.Collection, e
 			return nil, err
 		}
 		return dedupByResult(in), nil
+
+	case *optimizer.ExchangePlan:
+		// Exchange only changes scheduling, never results; the materializing
+		// reference path runs its input serially.
+		return e.ExecuteMaterialized(n.Input)
 	}
 	return nil, fmt.Errorf("exec: unknown plan node %T", p)
 }

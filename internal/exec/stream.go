@@ -255,6 +255,17 @@ func (e *Executor) compileNode(p optimizer.Plan, an *analyzeCtx) (*compiled, err
 			return dedupByResult(coll), nil
 		}}
 
+	case *optimizer.ExchangePlan:
+		cc, err := e.compileExchange(c, n, an)
+		if err != nil {
+			return nil, err
+		}
+		if cc != c {
+			// Non-exchangeable input shape: the fallback compiled the input
+			// serially and already carries its own instrumentation.
+			return cc, nil
+		}
+
 	default:
 		return nil, fmt.Errorf("exec: unknown plan node %T", p)
 	}

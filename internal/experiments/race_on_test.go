@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. Its
+// instrumentation multiplies the CPU share of the measured phases, which
+// distorts wall-clock scaling assertions (the sleep-overlap effect is
+// unchanged, but fixed CPU costs dominate it).
+const raceEnabled = true

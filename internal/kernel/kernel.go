@@ -44,6 +44,9 @@ type DB struct {
 	stats *cost.Stats
 	bjis  map[string]*joinindex.BinaryJoinIndex
 
+	parallelism      int
+	parallelMinPages float64
+
 	// LastPlan and LastExplain describe the most recent SELECT, for the
 	// moodsql shell's EXPLAIN support and for the experiment harness.
 	LastPlan    optimizer.Plan
@@ -57,6 +60,15 @@ type DB struct {
 type Options struct {
 	DiskParams   storage.DiskParams
 	BufferFrames int
+	// Parallelism is the intra-query degree of parallelism: when > 1 the
+	// optimizer wraps exchangeable operators (extent scans, index
+	// selections, hash-join probes) in Exchange nodes executed by that many
+	// worker goroutines. Zero or one keeps every plan serial.
+	Parallelism int
+	// ParallelMinPages gates parallelization on estimated page footprint
+	// (zero means the optimizer's default threshold; negative disables the
+	// threshold).
+	ParallelMinPages float64
 }
 
 // DefaultOptions returns a laptop-friendly configuration.
@@ -90,6 +102,9 @@ func Open(opts Options) (*DB, error) {
 		Cat: cat, Funcs: funcs, Alg: alg,
 		Exec: exec.New(alg),
 		bjis: map[string]*joinindex.BinaryJoinIndex{},
+
+		parallelism:      opts.Parallelism,
+		parallelMinPages: opts.ParallelMinPages,
 	}
 	// Late-bound method dispatch for predicates and projections.
 	alg.Invoke = db.invoke
@@ -322,6 +337,8 @@ func (db *DB) optimize(n *sql.Select) (optimizer.Plan, error) {
 		return nil, err
 	}
 	opt := optimizer.New(db.Cat, st)
+	opt.Parallelism = db.parallelism
+	opt.ParallelMinPages = db.parallelMinPages
 	for name, ix := range db.bjis {
 		opt.RegisterBJI(ix.Class, ix.Attribute, name, ix.CostStats())
 	}

@@ -18,6 +18,16 @@ import (
 type Optimizer struct {
 	Cat   *catalog.Catalog
 	Stats *cost.Stats
+	// Parallelism is the degree-of-parallelism knob: when > 1, Optimize
+	// wraps exchangeable operators in ExchangePlan nodes for that many
+	// workers. Zero (the default) keeps every plan serial, so existing
+	// single-threaded plans are byte-identical to the unparallelized ones.
+	Parallelism int
+	// ParallelMinPages gates parallelization on the cost model: only
+	// operators whose estimated page footprint reaches this many pages are
+	// exchanged. Zero means DefaultParallelMinPages; negative means no
+	// threshold.
+	ParallelMinPages float64
 	// bjis registers available binary join indices by "Class.Attr" so the
 	// join-method choice can consider bjc = INDCOST(k).
 	bjis map[string]bjiEntry
@@ -128,6 +138,13 @@ func (o *Optimizer) Optimize(q *sql.Select) (Plan, *Explain, error) {
 	}
 	if len(q.OrderBy) > 0 {
 		plan = &SortPlan{Input: plan, Keys: q.OrderBy, card: plan.Card()}
+	}
+	if o.Parallelism > 1 {
+		mp := o.ParallelMinPages
+		if mp == 0 {
+			mp = DefaultParallelMinPages
+		}
+		plan = Parallelize(plan, o.Parallelism, mp, o.Stats)
 	}
 	return plan, ex, nil
 }
@@ -639,6 +656,8 @@ func collectVars(p Plan, into map[string]bool) {
 			collectVars(in, into)
 		}
 	case *DupElimPlan:
+		collectVars(n.Input, into)
+	case *ExchangePlan:
 		collectVars(n.Input, into)
 	}
 }

@@ -76,6 +76,8 @@ func Children(p Plan) []Plan {
 		return []Plan{n.Input}
 	case *DupElimPlan:
 		return []Plan{n.Input}
+	case *ExchangePlan:
+		return []Plan{n.Input}
 	}
 	return nil
 }
@@ -143,6 +145,8 @@ func Describe(p Plan) string {
 		return fmt.Sprintf("SORT([%s])", strings.Join(keys, ", "))
 	case *DupElimPlan:
 		return "DUPELIM"
+	case *ExchangePlan:
+		return fmt.Sprintf("EXCHANGE(workers=%d)", n.Workers)
 	}
 	return fmt.Sprintf("%T", p)
 }

@@ -17,8 +17,11 @@ package storage
 import (
 	"fmt"
 	"hash/crc32"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mood/internal/fault"
 )
@@ -60,6 +63,12 @@ func (p DiskParams) SequentialAccessTime(b int) float64 {
 	return p.S + p.R + float64(b)*p.EBT
 }
 
+// microseconds converts a cost in milliseconds to the integer microsecond
+// unit DiskSim accounts in. Integer accumulation is exact and commutative,
+// so totals are free of floating-point drift and independent of the order
+// concurrent workers interleave their accesses.
+func microseconds(ms float64) int64 { return int64(math.Round(ms * 1000)) }
+
 // PageID identifies a page within the simulated disk. Pages are allocated
 // from a single flat address space; files map their logical page numbers to
 // PageIDs through an allocation tree (see file.go).
@@ -69,12 +78,16 @@ type PageID uint32
 const InvalidPageID PageID = 0
 
 // DiskStats aggregates the physical accesses performed against a DiskSim.
+// Time is accounted internally in integer microseconds (TimeUs); TimeMs is
+// derived from it at snapshot time, so rendered milliseconds carry no
+// accumulated floating-point error.
 type DiskStats struct {
 	RandomReads      int64   // block reads preceded by a repositioning
 	SequentialReads  int64   // block reads physically adjacent to the previous access
 	RandomWrites     int64   // block writes preceded by a repositioning
 	SequentialWrites int64   // block writes physically adjacent to the previous access
-	TimeMs           float64 // accumulated simulated time in milliseconds
+	TimeUs           int64   // accumulated simulated time in microseconds
+	TimeMs           float64 // TimeUs expressed in milliseconds
 }
 
 // Reads returns the total number of block reads.
@@ -96,20 +109,44 @@ func (s DiskStats) String() string {
 // against the physical parameters, so higher layers can compare measured
 // costs with the analytic formulas of Sections 5 and 6.
 //
-// DiskSim is safe for concurrent use.
+// DiskSim is safe for concurrent use: page contents are guarded by an
+// RWMutex (parallel readers proceed concurrently), and the access counters
+// are atomics, so the simulated-time total is an order-independent integer
+// sum — deterministic no matter how worker goroutines interleave. The
+// sequential-vs-random classification of an access consults the last
+// accessed page ID without synchronizing the pair of operations; under ESM
+// layout accounting (every access random) — the mode all concurrent benches
+// run in — the classification does not depend on it at all.
 type DiskSim struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex // guards pages, sums, good, free, next, fi, doublewrite
 	params DiskParams
 	pages  map[PageID][]byte
 	next   PageID
 	free   []PageID
-	last   PageID // last physically accessed page, for adjacency detection
-	stats  DiskStats
+
+	last atomic.Uint32 // last physically accessed page, for adjacency detection
+
+	randomReads      atomic.Int64
+	sequentialReads  atomic.Int64
+	randomWrites     atomic.Int64
+	sequentialWrites atomic.Int64
+	timeUs           atomic.Int64
+
+	randUs int64 // cost of one random access, µs
+	ebtUs  int64 // cost of one adjacent block transfer, µs
+
 	// esmLayout models ESM's file organization (a B+ tree of pages):
 	// logically consecutive pages are not physically adjacent, so every
 	// access is charged as random — the paper's "the sequential access
 	// cost of a file is equal to its random access cost".
-	esmLayout bool
+	esmLayout atomic.Bool
+
+	// latencyNsPerSimMs, when nonzero, makes every access sleep that many
+	// wall nanoseconds per simulated millisecond charged, after all locks
+	// are released. It turns the simulated cost model into real waiting so
+	// parallel workers can overlap I/O latency — the effect the morsel
+	// benches measure — without changing any counter or simulated total.
+	latencyNsPerSimMs atomic.Int64
 
 	// fi, when set, is consulted on every page read/write so crash-recovery
 	// tests can fail the Nth access, tear a write, or kill the disk.
@@ -136,6 +173,8 @@ func NewDiskSim(params DiskParams) *DiskSim {
 		sums:   make(map[PageID]uint32),
 		good:   make(map[PageID][]byte),
 		next:   1, // page 0 reserved
+		randUs: microseconds(params.RandomAccessTime()),
+		ebtUs:  microseconds(params.EBT),
 	}
 }
 
@@ -155,6 +194,15 @@ func (d *DiskSim) SetDoublewrite(on bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.doublewrite = on
+}
+
+// SetLatency makes every subsequent page access block the calling goroutine
+// for perSimMs of wall time per simulated millisecond charged (zero turns
+// emulation off, the default). The sleep happens after every lock is
+// released, so concurrent workers overlap their waits exactly as they would
+// overlap real disk I/O. Counters and simulated totals are unaffected.
+func (d *DiskSim) SetLatency(perSimMs time.Duration) {
+	d.latencyNsPerSimMs.Store(int64(perSimMs))
 }
 
 // Params returns the physical parameters of the disk.
@@ -203,44 +251,82 @@ func (d *DiskSim) FreePage(id PageID) error {
 
 // NumPages returns the number of currently allocated pages.
 func (d *DiskSim) NumPages() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.pages)
+}
+
+// charge accounts one access of kind (read/write, adjacent or not) and
+// returns the microseconds charged; the caller sleeps them out after
+// releasing its locks if latency emulation is on.
+func (d *DiskSim) charge(id PageID, write bool) int64 {
+	var us int64
+	if d.adjacent(id) {
+		if write {
+			d.sequentialWrites.Add(1)
+		} else {
+			d.sequentialReads.Add(1)
+		}
+		us = d.ebtUs
+	} else {
+		if write {
+			d.randomWrites.Add(1)
+		} else {
+			d.randomReads.Add(1)
+		}
+		us = d.randUs
+	}
+	d.timeUs.Add(us)
+	d.last.Store(uint32(id))
+	return us
+}
+
+// emulate blocks for the wall-clock equivalent of us simulated microseconds
+// when latency emulation is on. Never called with locks held.
+func (d *DiskSim) emulate(us int64) {
+	if ns := d.latencyNsPerSimMs.Load(); ns > 0 {
+		time.Sleep(time.Duration(us * ns / 1000))
+	}
 }
 
 // ReadPage copies the content of the page into buf, which must be exactly
 // one block long, and charges the physical cost of the access.
 func (d *DiskSim) ReadPage(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
 	src, ok := d.pages[id]
 	if !ok {
+		d.mu.RUnlock()
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
 	if len(buf) != d.params.BlockSize {
+		d.mu.RUnlock()
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), d.params.BlockSize)
 	}
 	switch d.fi.Check(fault.OpPageRead).Kind {
 	case fault.Transient:
+		d.mu.RUnlock()
 		return fmt.Errorf("storage: read page %d: %w", id, fault.ErrTransient)
 	case fault.Torn, fault.Crash:
+		d.mu.RUnlock()
 		return fmt.Errorf("storage: read page %d: %w", id, fault.ErrCrash)
 	}
 	copy(buf, src)
-	if d.adjacent(id) {
-		d.stats.SequentialReads++
-		d.stats.TimeMs += d.params.EBT
-	} else {
-		d.stats.RandomReads++
-		d.stats.TimeMs += d.params.RandomAccessTime()
-	}
-	d.last = id
+	d.mu.RUnlock()
+	d.emulate(d.charge(id, false))
 	return nil
 }
 
 // WritePage stores buf (exactly one block) as the new content of the page
 // and charges the physical cost of the access.
 func (d *DiskSim) WritePage(id PageID, buf []byte) error {
+	if err := d.writePageLocked(id, buf); err != nil {
+		return err
+	}
+	d.emulate(d.charge(id, true))
+	return nil
+}
+
+func (d *DiskSim) writePageLocked(id PageID, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	dst, ok := d.pages[id]
@@ -283,40 +369,31 @@ func (d *DiskSim) WritePage(id PageID, buf []byte) error {
 		}
 		copy(g, buf)
 	}
-	if d.adjacent(id) {
-		d.stats.SequentialWrites++
-		d.stats.TimeMs += d.params.EBT
-	} else {
-		d.stats.RandomWrites++
-		d.stats.TimeMs += d.params.RandomAccessTime()
-	}
-	d.last = id
 	return nil
 }
 
 // adjacent reports whether accessing id continues a physically sequential
-// run. Caller holds d.mu.
+// run.
 func (d *DiskSim) adjacent(id PageID) bool {
-	if d.esmLayout {
+	if d.esmLayout.Load() {
 		return false
 	}
-	return d.last != 0 && id == d.last+1
+	l := d.last.Load()
+	return l != 0 && uint32(id) == l+1
 }
 
 // SetESMLayout toggles ESM file-layout accounting: when on, every page
 // access costs a full random access regardless of adjacency.
 func (d *DiskSim) SetESMLayout(on bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.esmLayout = on
+	d.esmLayout.Store(on)
 }
 
 // VerifyPage checks the page's content against the checksum of its last
 // complete write. A torn write leaves a mismatch, which this reports as an
 // error naming the page.
 func (d *DiskSim) VerifyPage(id PageID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.verifyLocked(id)
 }
 
@@ -336,8 +413,8 @@ func (d *DiskSim) verifyLocked(id PageID) error {
 // fails checksum verification, sorted ascending. A crash-recovery pass runs
 // this first to find torn pages.
 func (d *DiskSim) CorruptPages() []PageID {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var out []PageID
 	for id := range d.pages {
 		if d.verifyLocked(id) != nil {
@@ -384,26 +461,36 @@ func (d *DiskSim) Scope() *StatsScope {
 // Delta returns the disk activity since the scope opened.
 func (s *StatsScope) Delta() DiskStats {
 	cur := s.d.Stats()
-	return DiskStats{
+	out := DiskStats{
 		RandomReads:      cur.RandomReads - s.start.RandomReads,
 		SequentialReads:  cur.SequentialReads - s.start.SequentialReads,
 		RandomWrites:     cur.RandomWrites - s.start.RandomWrites,
 		SequentialWrites: cur.SequentialWrites - s.start.SequentialWrites,
-		TimeMs:           cur.TimeMs - s.start.TimeMs,
+		TimeUs:           cur.TimeUs - s.start.TimeUs,
 	}
+	out.TimeMs = float64(out.TimeUs) / 1000
+	return out
 }
 
 // Stats returns a snapshot of the accumulated access statistics.
 func (d *DiskSim) Stats() DiskStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	s := DiskStats{
+		RandomReads:      d.randomReads.Load(),
+		SequentialReads:  d.sequentialReads.Load(),
+		RandomWrites:     d.randomWrites.Load(),
+		SequentialWrites: d.sequentialWrites.Load(),
+		TimeUs:           d.timeUs.Load(),
+	}
+	s.TimeMs = float64(s.TimeUs) / 1000
+	return s
 }
 
 // ResetStats zeroes the access counters (the page contents are untouched).
 func (d *DiskSim) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = DiskStats{}
-	d.last = 0
+	d.randomReads.Store(0)
+	d.sequentialReads.Store(0)
+	d.randomWrites.Store(0)
+	d.sequentialWrites.Store(0)
+	d.timeUs.Store(0)
+	d.last.Store(0)
 }

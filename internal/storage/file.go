@@ -23,6 +23,11 @@ type File struct {
 	numPages  uint32
 	numRecs   uint32
 	dirSlot   SlotID // slot of this file's directory record
+	// pages caches the chain order of the file's data pages; it is valid
+	// exactly when len(pages) == numPages (a file re-opened from its
+	// directory record starts with a cold cache). Guarded by the owning
+	// ObjectStore's lock; see ObjectStore.PageList.
+	pages []PageID
 }
 
 // NumPages returns the number of data pages in the file — the paper's

@@ -1,0 +1,282 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelBufferPoolSmoke hammers the sharded pool from N goroutines
+// fetching/unpinning overlapping page sets while another goroutine flips the
+// flush hook and samples HitRate/Stats mid-run. Run under -race this is the
+// concurrency smoke test the parallel executor relies on.
+func TestParallelBufferPoolSmoke(t *testing.T) {
+	disk := NewDiskSim(DefaultDiskParams())
+	bp := NewBufferPool(disk, 256)
+
+	const npages = 512
+	ids := make([]PageID, npages)
+	buf := make([]byte, disk.PageSize())
+	for i := range ids {
+		ids[i] = disk.AllocPage()
+		buf[0] = byte(i)
+		if err := disk.WritePage(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var hooked atomic.Int64
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 800; i++ {
+				k := rng.Intn(npages)
+				pg, err := bp.Fetch(ids[k])
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: fetch %d: %v", w, ids[k], err)
+					return
+				}
+				if got := pg.Bytes()[0]; got != byte(k) {
+					errs <- fmt.Errorf("worker %d: page %d holds %d, want %d", w, ids[k], got, byte(k))
+					return
+				}
+				// Occasionally dirty a page so evictions exercise the hook.
+				dirty := i%97 == 0
+				if err := bp.Unpin(ids[k], dirty); err != nil {
+					errs <- fmt.Errorf("worker %d: unpin: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Mid-run hook swaps and stats reads must be safe.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			bp.SetFlushHook(func(uint32) error { hooked.Add(1); return nil })
+			_ = bp.HitRate()
+			_, _, _ = bp.Stats()
+			bp.SetFlushHook(nil)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if n := bp.PinnedPages(); n != 0 {
+		t.Errorf("after smoke run, %d pages still pinned", n)
+	}
+	hits, misses, _ := bp.Stats()
+	if hits+misses != workers*800 {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, workers*800)
+	}
+	if hr := bp.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("HitRate = %v out of range", hr)
+	}
+}
+
+// TestParallelFetchSameMissingPage checks the per-frame loading latch: many
+// goroutines fetching the same absent page must trigger exactly one disk
+// read, and every caller must see the fully loaded content.
+func TestParallelFetchSameMissingPage(t *testing.T) {
+	disk := NewDiskSim(DefaultDiskParams())
+	bp := NewBufferPool(disk, 64)
+	id := disk.AllocPage()
+	buf := make([]byte, disk.PageSize())
+	copy(buf, []byte("latched"))
+	if err := disk.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	before := disk.Stats().Reads()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			pg, err := bp.Fetch(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.HasPrefix(pg.Bytes(), []byte("latched")) {
+				errs <- fmt.Errorf("worker %d observed a partially loaded page", w)
+				return
+			}
+			errs <- bp.Unpin(id, false)
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := disk.Stats().Reads() - before; got != 1 {
+		t.Errorf("concurrent fetch of one page cost %d disk reads, want 1", got)
+	}
+	if n := bp.PinnedPages(); n != 0 {
+		t.Errorf("%d pages still pinned", n)
+	}
+}
+
+// TestParallelStoreReaders runs concurrent Get and Scan callers over one
+// file, including an overflow record, against the RWMutex-protected store.
+func TestParallelStoreReaders(t *testing.T) {
+	s, _, _ := newTestStore(t, 128)
+	f, err := s.Files().CreateFile("conc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[OID][]byte)
+	var oids []OID
+	for i := 0; i < 200; i++ {
+		data := []byte(fmt.Sprintf("record-%04d", i))
+		if i == 117 { // spill one record into an overflow chain
+			data = bytes.Repeat([]byte{byte(i)}, 6000)
+		}
+		oid, err := s.Insert(f, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[oid] = data
+		oids = append(oids, oid)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				seen := 0
+				err := s.Scan(f, func(oid OID, data []byte) bool {
+					if !bytes.Equal(data, want[oid]) {
+						errs <- fmt.Errorf("scan worker %d: %s mismatched", w, oid)
+						return false
+					}
+					seen++
+					return true
+				})
+				if err != nil {
+					errs <- err
+				} else if seen != len(want) {
+					errs <- fmt.Errorf("scan worker %d saw %d records, want %d", w, seen, len(want))
+				}
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				oid := oids[rng.Intn(len(oids))]
+				data, err := s.Get(oid)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(data, want[oid]) {
+					errs <- fmt.Errorf("get worker %d: %s mismatched", w, oid)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelPageListMatchesChain checks PageList against the NextPage
+// chain, through growth (warm cache) and a directory re-open (cold cache).
+func TestParallelPageListMatchesChain(t *testing.T) {
+	s, bp, _ := newTestStore(t, 64)
+	f, err := s.Files().CreateFile("plist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 300)
+	for i := 0; i < 120; i++ { // enough to span several pages
+		if _, err := s.Insert(f, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	chain := func(f *File) []PageID {
+		var out []PageID
+		for pid := s.FirstScanPage(f); pid != 0; {
+			_, next, err := s.ScanPage(f, pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, pid)
+			pid = next
+		}
+		return out
+	}
+
+	got, err := s.PageList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := chain(f); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("warm PageList = %v, chain = %v", got, want)
+	}
+	if len(got) != f.NumPages() {
+		t.Fatalf("PageList has %d pages, file reports %d", len(got), f.NumPages())
+	}
+
+	// A manager re-opened from the directory starts with a cold cache; the
+	// list must be rebuilt from the chain and then stay correct as the file
+	// grows further.
+	fm2, err := OpenFileManager(bp, s.Files().DirPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewObjectStore(bp, fm2)
+	f2, err := fm2.OpenFile("plist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s2.PageList(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(cold) != fmt.Sprint(got) {
+		t.Fatalf("cold PageList = %v, want %v", cold, got)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := s2.Insert(f2, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown, err := s2.PageList(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cold) + (f2.NumPages() - len(cold)); len(grown) != want || len(grown) <= len(cold) {
+		t.Fatalf("grown PageList has %d pages, file reports %d", len(grown), f2.NumPages())
+	}
+	if fmt.Sprint(grown[:len(cold)]) != fmt.Sprint(cold) {
+		t.Fatalf("growth changed the existing prefix:\n%v\n%v", grown[:len(cold)], cold)
+	}
+}

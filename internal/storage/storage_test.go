@@ -84,9 +84,14 @@ func TestDiskSimSequentialAccounting(t *testing.T) {
 	if st.RandomReads != 1 || st.SequentialReads != 4 {
 		t.Errorf("stats = %+v, want 1 random + 4 sequential reads", st)
 	}
-	wantTime := d.Params().RandomAccessTime() + 4*d.Params().EBT
-	if st.TimeMs != wantTime {
-		t.Errorf("TimeMs = %v, want %v", st.TimeMs, wantTime)
+	// Time is accumulated in integer microseconds and only rendered as
+	// milliseconds, so the expected figure is exact — no float drift.
+	wantUs := microseconds(d.Params().RandomAccessTime()) + 4*microseconds(d.Params().EBT)
+	if st.TimeUs != wantUs {
+		t.Errorf("TimeUs = %d, want %d", st.TimeUs, wantUs)
+	}
+	if want := float64(wantUs) / 1000; st.TimeMs != want {
+		t.Errorf("TimeMs = %v, want %v", st.TimeMs, want)
 	}
 	// Reverse order is all random.
 	d.ResetStats()

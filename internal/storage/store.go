@@ -19,10 +19,13 @@ const overflowHeadSize = 1 + 4 + 4
 // storage-management service ESM supplies to MOOD. Records larger than a
 // page spill into overflow page chains transparently, so MOOD objects (and
 // MoodView's multimedia objects) are not limited by the block size.
+//
+// Readers (Get, ScanPage, PageList) take a shared lock, so parallel morsel
+// workers scan and fetch concurrently; mutations take the exclusive lock.
 type ObjectStore struct {
 	bp *BufferPool
 	fm *FileManager
-	mu sync.Mutex
+	mu sync.RWMutex
 }
 
 // NewObjectStore creates a store over the given pool and file manager.
@@ -96,10 +99,11 @@ func (s *ObjectStore) Insert(f *File, data []byte) (OID, error) {
 	return MakeOID(f.ID, pg.ID, slot), nil
 }
 
-// Get returns a copy of the record addressed by oid.
+// Get returns a copy of the record addressed by oid. Safe for concurrent
+// callers: it holds the store's read lock, so only mutations are excluded.
 func (s *ObjectStore) Get(oid OID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.getLocked(oid)
 }
 
@@ -249,9 +253,46 @@ type ScanRecord struct {
 // FirstScanPage returns the page a scan of the file starts at (0 for an
 // empty file).
 func (s *ObjectStore) FirstScanPage(f *File) PageID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return f.firstPage
+}
+
+// PageList returns the IDs of the file's data pages in chain order. The
+// list is served from an in-memory cache maintained as the file grows; if
+// the file was re-opened from disk (cache cold) the chain is walked once —
+// at normal page-read cost — and cached. The parallel executor partitions
+// this list into page-range morsels so independent workers can read
+// disjoint pages concurrently instead of chasing NextPage links serially.
+func (s *ObjectStore) PageList(f *File) ([]PageID, error) {
+	s.mu.RLock()
+	if len(f.pages) == int(f.numPages) {
+		out := append([]PageID(nil), f.pages...)
+		s.mu.RUnlock()
+		return out, nil
+	}
+	s.mu.RUnlock()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return f.firstPage
+	if len(f.pages) == int(f.numPages) {
+		return append([]PageID(nil), f.pages...), nil
+	}
+	pages := make([]PageID, 0, f.numPages)
+	for pid := f.firstPage; pid != 0; {
+		pg, err := s.bp.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		next := pg.NextPage()
+		if err := s.bp.Unpin(pid, false); err != nil {
+			return nil, err
+		}
+		pages = append(pages, pid)
+		pid = next
+	}
+	f.pages = pages
+	return append([]PageID(nil), pages...), nil
 }
 
 // ScanPage reads the records of one page of the file and the ID of the next
@@ -262,8 +303,8 @@ func (s *ObjectStore) ScanPage(f *File, pid PageID) ([]ScanRecord, PageID, error
 	var hits []ScanRecord
 	var overflowHeads []ScanRecord
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	pg, err := s.bp.Fetch(pid)
 	if err != nil {
 		return nil, 0, err
@@ -344,6 +385,12 @@ func (s *ObjectStore) appendPage(f *File) (*Page, error) {
 		f.firstPage = pg.ID
 	}
 	f.lastPage = pg.ID
+	// Keep the page-list cache current while it is complete; a cache that
+	// went cold (file re-opened from disk) stays cold until PageList walks
+	// the chain once.
+	if len(f.pages) == int(f.numPages) {
+		f.pages = append(f.pages, pg.ID)
+	}
 	f.numPages++
 	if err := s.fm.syncDir(f); err != nil {
 		s.bp.Unpin(pg.ID, true)
