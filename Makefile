@@ -14,17 +14,23 @@
 #                        deterministic, wall-clock columns machine-local)
 #   make bench-exec      executor microbenchmarks (streaming pipeline,
 #                        per-row env hoist) with allocation stats
+#   make bench-cache     regenerate BENCH_cache.json (object-cache sweep at
+#                        cache=0/64KiB/1MiB; reads/hit-rate/decode columns
+#                        deterministic, wall-clock columns machine-local)
 #   make exec-race       the executor/algebra/kernel suites under the race
 #                        detector (the streaming pipeline's hot path)
 #   make parallel-race   every parallel-execution test under the race
 #                        detector (exchange operators, sharded pool, bench)
+#   make cache-race      the object-cache stack under the race detector
+#                        (2Q cache, batch fetch, prefetcher, the kernel's
+#                        writer/reader invalidation torture)
 #   make ci              everything a pre-merge check runs
 
 GO ?= go
 CRASHTEST_ITERS ?= 120
 
 .PHONY: build test race vet crashtest bench-baseline bench-parallel \
-	bench-exec exec-race parallel-race ci
+	bench-exec bench-cache exec-race parallel-race cache-race ci
 
 build:
 	$(GO) build ./...
@@ -57,4 +63,13 @@ exec-race:
 parallel-race:
 	$(GO) test -race -run Parallel ./internal/...
 
-ci: build vet test race exec-race parallel-race crashtest
+bench-cache:
+	$(GO) run ./cmd/moodbench -cache-json BENCH_cache.json
+	$(GO) test -bench 'BenchmarkPathTraversal' -benchmem -run '^$$' ./internal/experiments
+
+cache-race:
+	$(GO) test -race ./internal/objcache
+	$(GO) test -race -run 'Cache|FetchBatch|Prefetcher|Invalidator' \
+		./internal/storage ./internal/catalog ./internal/kernel
+
+ci: build vet test race exec-race parallel-race cache-race crashtest

@@ -8,7 +8,7 @@
 // Artifacts: table1, table2, tables3to7, table8, table9, table10,
 // tables11and12, tables13to15, table16, table17, example81, example82,
 // figure71, figure72, joinsweep, pathorder, selectivity, indexrule,
-// parallel.
+// parallel, cache.
 package main
 
 import (
@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -61,6 +63,7 @@ func artifacts() []artifact {
 		{"selectivity", "estimated vs actual path selectivity", experiments.SelectivityAccuracy},
 		{"indexrule", "8.1 index-selection rule sweep", experiments.IndexSelectionSweep},
 		{"parallel", "morsel-driven exchange scaling, workers=1/2/4/8", experiments.ParallelScaling},
+		{"cache", "object-cache sweep, cache=0/64KiB/1MiB", experiments.CacheSweep},
 	}
 }
 
@@ -106,13 +109,43 @@ func writeParallelJSON(path string, scale float64) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// writeCacheJSON runs the object-cache sweep of experiments.MeasureCache and
+// writes the result as JSON. Rows, page reads, simulated time, hit rates and
+// decode counts are deterministic; the wall-clock and allocation columns are
+// real measurements and vary run to run.
+func writeCacheJSON(path string, scale float64) error {
+	env, err := experiments.BuildEnv(experiments.Scale(scale))
+	if err != nil {
+		return fmt.Errorf("building environment: %w", err)
+	}
+	res, err := experiments.MeasureCache(env, 0)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.1, "database scale relative to the paper's Table 13 (1.0 = 20000 vehicles, 200000 companies)")
 	only := flag.String("only", "", "run a single artifact (see -list)")
 	list := flag.Bool("list", false, "list artifact names and exit")
 	benchJSON := flag.String("bench-json", "", "write a JSON baseline of per-artifact simulated I/O to this file and exit")
 	parallelJSON := flag.String("parallel-json", "", "write the workers=1/2/4/8 parallel scaling sweep to this file and exit")
+	cacheJSON := flag.String("cache-json", "", "write the object-cache sweep (cache=0/64KiB/1MiB) to this file and exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
 
 	arts := artifacts()
 	if *list {
@@ -135,6 +168,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (scale %g)\n", *parallelJSON, *scale)
+		return
+	}
+	if *cacheJSON != "" {
+		if err := writeCacheJSON(*cacheJSON, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "cache-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (scale %g)\n", *cacheJSON, *scale)
 		return
 	}
 

@@ -1,6 +1,8 @@
 // Command moodsql is an interactive MOODSQL shell over a fresh MOOD
 // database. Statements end with ';'. Run with -parallelism N to plan
-// queries with intra-query parallelism (EXCHANGE nodes). Shell commands:
+// queries with intra-query parallelism (EXCHANGE nodes), -objcache BYTES
+// to enable the decoded-object cache, and -prefetch N to enable
+// buffer-pool readahead. Shell commands:
 //
 //	\schema            show the class hierarchy and extents
 //	\class <name>      show one class (Figure 9.2 presentation)
@@ -29,9 +31,13 @@ import (
 
 func main() {
 	parallelism := flag.Int("parallelism", 0, "degree of intra-query parallelism (0 or 1 = serial plans)")
+	objcacheBytes := flag.Int64("objcache", 0, "decoded-object cache budget in bytes (0 = disabled); try 1048576")
+	prefetch := flag.Int("prefetch", 0, "buffer-pool readahead workers (0 = disabled)")
 	flag.Parse()
 	opts := kernel.DefaultOptions()
 	opts.Parallelism = *parallelism
+	opts.ObjectCacheBytes = *objcacheBytes
+	opts.PrefetchWorkers = *prefetch
 	db, err := kernel.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

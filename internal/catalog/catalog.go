@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"mood/internal/objcache"
 	"mood/internal/object"
 	"mood/internal/storage"
 )
@@ -88,6 +89,10 @@ type Catalog struct {
 	sysOIDs map[string]storage.OID // class name -> catalog record OID
 	idxFile *storage.File          // persisted index records
 	idxOIDs map[string]storage.OID // index name -> record OID
+
+	// ocache, when set, is the decoded-object cache consulted by
+	// GetObject/GetObjects. Installed once at open time, read-only after.
+	ocache *objcache.Cache
 }
 
 // New creates a catalog over the store, bootstrapping its system files

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"mood/internal/objcache"
 	"mood/internal/object"
 	"mood/internal/storage"
 )
@@ -64,9 +65,32 @@ func (c *Catalog) fullTuple(class string) (*object.Type, error) {
 	return &object.Type{Kind: object.KindTuple, Fields: attrs, Name: class}, nil
 }
 
+// SetObjectCache attaches a decoded-object cache consulted by GetObject and
+// GetObjects. Install once at open time, before the catalog is shared
+// across goroutines. The store's invalidation hook (kernel.Open wires it)
+// keeps the cache coherent with Update/Delete.
+func (c *Catalog) SetObjectCache(oc *objcache.Cache) { c.ocache = oc }
+
+// ObjectCache returns the attached decoded-object cache, nil when disabled.
+func (c *Catalog) ObjectCache() *objcache.Cache { return c.ocache }
+
 // GetObject dereferences an OID — the algebra's Deref(oid) — returning the
 // stored value and the name of its class (TypeId/typeName composition).
+// With an object cache attached a hit skips the page fetch and the decode;
+// the returned value then shares the cache's backing slices and must be
+// treated as immutable (Clone before mutating).
 func (c *Catalog) GetObject(oid storage.OID) (object.Value, string, error) {
+	if c.ocache != nil {
+		if v, name, ok := c.ocache.Get(oid); ok {
+			return v, name, nil
+		}
+	}
+	var token uint64
+	if c.ocache != nil {
+		// The epoch token must predate the store read: an Update that slips
+		// between the read and the Put bumps it and the Put is dropped.
+		token = c.ocache.BeginFetch(oid)
+	}
 	data, err := c.store.Get(oid)
 	if err != nil {
 		return object.Null, "", err
@@ -79,7 +103,60 @@ func (c *Catalog) GetObject(oid storage.OID) (object.Value, string, error) {
 	if err != nil {
 		return object.Null, "", err
 	}
+	if c.ocache != nil {
+		c.ocache.Put(token, oid, v, name, len(data))
+	}
 	return v, name, nil
+}
+
+// GetObjects dereferences a batch of OIDs: cache hits are filled directly,
+// the misses go through the store's page-ordered FetchBatch (each distinct
+// page fetched once, readahead overlapping the loads), and every decoded
+// miss is installed in the cache. Results are parallel to the input; the
+// same immutability contract as GetObject applies.
+func (c *Catalog) GetObjects(oids []storage.OID) ([]object.Value, []string, error) {
+	vals := make([]object.Value, len(oids))
+	names := make([]string, len(oids))
+	var missIdx []int
+	for i, oid := range oids {
+		if c.ocache != nil {
+			if v, name, ok := c.ocache.Get(oid); ok {
+				vals[i], names[i] = v, name
+				continue
+			}
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return vals, names, nil
+	}
+	missOIDs := make([]storage.OID, len(missIdx))
+	tokens := make([]uint64, len(missIdx))
+	for j, i := range missIdx {
+		missOIDs[j] = oids[i]
+		if c.ocache != nil {
+			tokens[j] = c.ocache.BeginFetch(oids[i])
+		}
+	}
+	datas, err := c.store.FetchBatch(missOIDs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, i := range missIdx {
+		id, v, err := decodeObject(datas[j])
+		if err != nil {
+			return nil, nil, err
+		}
+		name, err := c.TypeName(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[i], names[i] = v, name
+		if c.ocache != nil {
+			c.ocache.Put(tokens[j], oids[i], v, name, len(datas[j]))
+		}
+	}
+	return vals, names, nil
 }
 
 // Resolver returns an object.Resolver over this catalog for deep equality.

@@ -150,6 +150,11 @@ func (c *Catalog) ExtentMorsels(class string, minus []string, closure bool, page
 // shared lock and the sharded buffer pool.
 func (c *Catalog) ReadMorsel(m *ExtentMorsel) ([]ScannedObject, error) {
 	var out []ScannedObject
+	// Readahead: request the whole morsel's page set up front, so loading
+	// page i+1 overlaps decoding page i (no-op without a prefetcher).
+	if len(m.Pages) > 1 {
+		c.store.Prefetch(m.Pages[1:]...)
+	}
 	for _, pid := range m.Pages {
 		recs, _, err := c.store.ScanPage(m.file, pid)
 		if err != nil {
@@ -221,6 +226,11 @@ func (it *ExtentCursor) fill() error {
 			return err
 		}
 		it.pid = next
+		if next != 0 {
+			// Readahead: load the chain's next page while this one decodes
+			// (no-op without a prefetcher).
+			it.cat.store.Prefetch(next)
+		}
 		for _, r := range recs {
 			_, v, err := decodeObject(r.Data)
 			if err != nil {

@@ -168,6 +168,16 @@ type Stats struct {
 	// what makes HASH_PARTITION the winning strategy against base extents
 	// in the paper's Examples 8.1 and 8.2.
 	ESMFiles bool
+	// CacheHitRate is the observed object-cache hit rate in [0,1]; random
+	// dereference costs scale by the miss fraction, since a cache hit skips
+	// the page fetch entirely. Zero (the default, and the value when the
+	// cache is off) reproduces the paper's formulas unchanged.
+	CacheHitRate float64
+	// BatchFetch marks the executor's page-ordered batch dereference: k
+	// random fetches into a target class collapse onto its distinct pages
+	// (the Cardenas estimate) instead of costing RNDCOST(k). False keeps
+	// the original one-seek-per-reference model.
+	BatchFetch bool
 }
 
 // NewStats creates an empty statistics base over the disk parameters with
@@ -189,6 +199,21 @@ func (s *Stats) ScanCost(b float64) float64 {
 		return s.Disk.RNDCOST(b)
 	}
 	return s.Disk.SEQCOST(b)
+}
+
+// missFactor is the fraction of dereferences that actually reach the disk.
+func (s *Stats) missFactor() float64 { return 1 - clamp01(s.CacheHitRate) }
+
+// refFetchCost prices dereferencing k references through link ls: the miss
+// fraction of RNDCOST(k), or — under the executor's batched fetch — of the
+// random cost of the target's distinct pages those k references land on.
+func (s *Stats) refFetchCost(ls LinkStats, k float64) float64 {
+	if s.BatchFetch {
+		if ds, err := s.Class(ls.Target); err == nil && ds.NbPages > 0 {
+			return s.missFactor() * s.Disk.RNDCOST(NbPg(ds.NbPages, k))
+		}
+	}
+	return s.missFactor() * s.Disk.RNDCOST(k)
 }
 
 func key(class, attr string) string { return class + "." + attr }
@@ -498,7 +523,7 @@ func (s *Stats) ForwardCost(in JoinInput) (float64, error) {
 	if !in.CAccessed {
 		srcCost = s.Disk.RNDCOST(NbPg(cs.NbPages, in.Kc))
 	}
-	return srcCost + s.Disk.RNDCOST(in.Kc*ls.Fan), nil
+	return srcCost + s.refFetchCost(ls, in.Kc*ls.Fan), nil
 }
 
 // BackwardCost is Section 6.2:
@@ -557,7 +582,7 @@ func (s *Stats) HashPartitionCost(in JoinInput) (float64, error) {
 	if cs.Card > 0 {
 		frac = in.Kc / float64(cs.Card)
 	}
-	return 3*frac*s.Disk.SEQCOST(float64(cs.NbPages)) + s.Disk.RNDCOST(nbpg), nil
+	return 3*frac*s.Disk.SEQCOST(float64(cs.NbPages)) + s.missFactor()*s.Disk.RNDCOST(nbpg), nil
 }
 
 // BestJoin evaluates all applicable strategies and returns the cheapest
@@ -613,7 +638,7 @@ func (s *Stats) PathTraversalCost(p Path, k float64) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		total += s.Disk.RNDCOST(cur * ls.Fan)
+		total += s.refFetchCost(ls, cur*ls.Fan)
 		if cur, err = s.FRef(p, i+1, k); err != nil {
 			return 0, err
 		}

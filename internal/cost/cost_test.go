@@ -436,3 +436,88 @@ func TestPathTraversalCostOrdering(t *testing.T) {
 		t.Errorf("F(P2)=%v !< F(P1)=%v", f2, f1)
 	}
 }
+
+// The cache/batch knobs default to off, so a fresh Stats must reproduce the
+// paper's formulas exactly; turning them on can only discount the random
+// dereference terms, monotonically in the hit rate.
+func TestCacheDiscountDefaultsOff(t *testing.T) {
+	base := paperStats()
+	knobbed := paperStats()
+	knobbed.CacheHitRate = 0
+	knobbed.BatchFetch = false
+	in := JoinInput{Class: "Vehicle", Attribute: "drivetrain", Kc: 1250, Kd: 10000}
+	for name, f := range map[string]func(*Stats) (float64, error){
+		"forward": func(s *Stats) (float64, error) { return s.ForwardCost(in) },
+		"hash":    func(s *Stats) (float64, error) { return s.HashPartitionCost(in) },
+		"path":    func(s *Stats) (float64, error) { return s.PathTraversalCost(pathP1(), 1250) },
+	} {
+		a, err := f(base)
+		if err != nil {
+			t.Fatalf("%s base: %v", name, err)
+		}
+		b, err := f(knobbed)
+		if err != nil {
+			t.Fatalf("%s knobbed: %v", name, err)
+		}
+		if a != b {
+			t.Fatalf("%s: zero-valued knobs changed the cost: %v != %v", name, a, b)
+		}
+	}
+}
+
+func TestCacheDiscountMonotone(t *testing.T) {
+	in := JoinInput{Class: "Vehicle", Attribute: "drivetrain", Kc: 1250, Kd: 10000}
+	prevF, prevH, prevP := math.Inf(1), math.Inf(1), math.Inf(1)
+	for _, hit := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		s := paperStats()
+		s.CacheHitRate = hit
+		f, err := s.ForwardCost(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.HashPartitionCost(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := s.PathTraversalCost(pathP1(), 1250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f > prevF || h > prevH || p > prevP {
+			t.Fatalf("hit=%v: cost not monotone non-increasing (f=%v h=%v p=%v)", hit, f, h, p)
+		}
+		prevF, prevH, prevP = f, h, p
+	}
+	// A full cache leaves only the source-page and partition-pass terms.
+	s := paperStats()
+	s.CacheHitRate = 1
+	f, _ := s.ForwardCost(in)
+	src := s.Disk.RNDCOST(NbPg(2000, 1250))
+	if f != src {
+		t.Fatalf("hit=1 forward cost %v, want source term only %v", f, src)
+	}
+}
+
+func TestBatchFetchCollapsesToDistinctPages(t *testing.T) {
+	in := JoinInput{Class: "Vehicle", Attribute: "drivetrain", Kc: 5000, Kd: 10000, CAccessed: true}
+	serial := paperStats()
+	batched := paperStats()
+	batched.BatchFetch = true
+	a, err := serial.ForwardCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batched.ForwardCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 refs into VehicleDriveTrain's 750 pages: batching must charge at
+	// most the distinct-page cost, strictly below one seek per reference.
+	want := serial.Disk.RNDCOST(NbPg(750, 5000))
+	if b != want {
+		t.Fatalf("batched forward cost %v, want %v", b, want)
+	}
+	if b >= a {
+		t.Fatalf("batched cost %v not below serial %v", b, a)
+	}
+}

@@ -16,41 +16,69 @@ import (
 // time as a node's cumulative total minus its direct children's. The
 // wrappers exist only on the analyzed pipeline; plain Execute pays no
 // per-row instrumentation cost.
+//
+// With the object cache and prefetcher on, the same delta scheme attributes
+// cache hits/misses and readahead page loads per operator. Cache hits do
+// not touch the disk, so the pages figures still equal the simulated read
+// delta; readahead loads that land between operator calls are settled by
+// ExecuteAnalyzed's quiesce step, which charges them to the root.
 
 // opStats accumulates one operator's cumulative counters.
 type opStats struct {
-	rowsOut int64
-	pages   int64
-	elapsed time.Duration
+	rowsOut    int64
+	pages      int64
+	hits       int64
+	misses     int64
+	prefetched int64
+	elapsed    time.Duration
 }
 
-// analyzeCtx supplies the page-counter source to every stats wrapper of one
-// analyzed execution.
+// analyzeCtx supplies the counter sources to every stats wrapper of one
+// analyzed execution. The cache/prefetch funcs are never nil (zero stubs
+// stand in when the feature is off); the On flags gate rendering.
 type analyzeCtx struct {
-	pages func() int64
+	pages      func() int64
+	hits       func() int64
+	misses     func() int64
+	prefetched func() int64
+	cacheOn    bool
+	prefetchOn bool
 }
 
-// statsOp wraps an operator, charging pages and wall time spent inside its
-// calls (nested child calls included) to st.
+func (an *analyzeCtx) snapshot() (p, h, m, f int64) {
+	return an.pages(), an.hits(), an.misses(), an.prefetched()
+}
+
+// statsOp wraps an operator, charging pages, cache activity, and wall time
+// spent inside its calls (nested child calls included) to st.
 type statsOp struct {
 	inner optimizer.Operator
-	pages func() int64
+	an    *analyzeCtx
 	st    *opStats
 }
 
-func (s *statsOp) Open() error {
-	start, p0 := time.Now(), s.pages()
-	err := s.inner.Open()
-	s.st.pages += s.pages() - p0
+func (s *statsOp) settle(start time.Time, p0, h0, m0, f0 int64) {
+	p1, h1, m1, f1 := s.an.snapshot()
+	s.st.pages += p1 - p0
+	s.st.hits += h1 - h0
+	s.st.misses += m1 - m0
+	s.st.prefetched += f1 - f0
 	s.st.elapsed += time.Since(start)
+}
+
+func (s *statsOp) Open() error {
+	start := time.Now()
+	p0, h0, m0, f0 := s.an.snapshot()
+	err := s.inner.Open()
+	s.settle(start, p0, h0, m0, f0)
 	return err
 }
 
 func (s *statsOp) Next() (algebra.Row, bool, error) {
-	start, p0 := time.Now(), s.pages()
+	start := time.Now()
+	p0, h0, m0, f0 := s.an.snapshot()
 	row, ok, err := s.inner.Next()
-	s.st.pages += s.pages() - p0
-	s.st.elapsed += time.Since(start)
+	s.settle(start, p0, h0, m0, f0)
 	if ok {
 		s.st.rowsOut++
 	}
@@ -58,10 +86,10 @@ func (s *statsOp) Next() (algebra.Row, bool, error) {
 }
 
 func (s *statsOp) Close() error {
-	start, p0 := time.Now(), s.pages()
+	start := time.Now()
+	p0, h0, m0, f0 := s.an.snapshot()
 	err := s.inner.Close()
-	s.st.pages += s.pages() - p0
-	s.st.elapsed += time.Since(start)
+	s.settle(start, p0, h0, m0, f0)
 	return err
 }
 
@@ -70,12 +98,21 @@ type OpReport struct {
 	Plan    optimizer.Plan
 	RowsIn  int64 // sum of the direct children's rows out
 	RowsOut int64
-	// SelfPages/SelfTime exclude the children's cumulative shares;
-	// CumPages/CumTime include them.
+	// Self figures exclude the children's cumulative shares; Cum figures
+	// include them.
 	SelfPages int64
 	CumPages  int64
-	SelfTime  time.Duration
-	CumTime   time.Duration
+	// Object-cache hits/misses and readahead loads observed inside this
+	// operator's calls. A hit skips the page fetch entirely, so hits never
+	// contribute to the pages figures.
+	SelfHits       int64
+	CumHits        int64
+	SelfMisses     int64
+	CumMisses      int64
+	SelfPrefetched int64
+	CumPrefetched  int64
+	SelfTime       time.Duration
+	CumTime        time.Duration
 	// Workers holds per-worker rows/pages for parallel (exchange) operators;
 	// nil for serial nodes. Pages counts the fetches a worker issued, buffer
 	// hits included, so the sum can exceed the node's simulated read delta.
@@ -87,9 +124,18 @@ type OpReport struct {
 type Analysis struct {
 	Root *OpReport
 	// TotalPages is the root's cumulative simulated page reads; it matches
-	// the DiskSim read-counter delta across the execution.
+	// the DiskSim read-counter delta across the execution (readahead
+	// included — ExecuteAnalyzed quiesces the prefetcher before the final
+	// snapshot).
 	TotalPages int64
 	TotalTime  time.Duration
+	// Cache totals across the execution; rendered only when the
+	// corresponding feature flags are set.
+	CacheHits       int64
+	CacheMisses     int64
+	Prefetched      int64
+	CacheEnabled    bool
+	PrefetchEnabled bool
 }
 
 // ExecuteAnalyzed runs a plan through the streaming pipeline with
@@ -97,45 +143,84 @@ type Analysis struct {
 // the analysis tree. Page attribution requires the Executor's Pages hook;
 // without it page counts report as zero.
 func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Analysis, error) {
-	an := &analyzeCtx{pages: e.Pages}
+	zero := func() int64 { return 0 }
+	an := &analyzeCtx{
+		pages: e.Pages, hits: e.CacheHits, misses: e.CacheMisses, prefetched: e.Prefetched,
+		cacheOn: e.CacheHits != nil, prefetchOn: e.Prefetched != nil,
+	}
 	if an.pages == nil {
-		an.pages = func() int64 { return 0 }
+		an.pages = zero
+	}
+	if an.hits == nil {
+		an.hits = zero
+	}
+	if an.misses == nil {
+		an.misses = zero
+	}
+	if an.prefetched == nil {
+		an.prefetched = zero
 	}
 	root, err := e.compileNode(p, an)
 	if err != nil {
 		return nil, nil, err
 	}
+	p0 := an.pages()
 	coll, err := drainOp(root.op, root.hdr)
 	if err != nil {
 		return nil, nil, err
 	}
+	if e.Quiesce != nil {
+		// Readahead loads can land between operator calls, outside every
+		// stats window. Wait for the in-flight ones, then charge the
+		// shortfall to the root so TotalPages == disk read delta holds.
+		e.Quiesce()
+	}
+	if delta := an.pages() - p0; delta > root.stats.pages {
+		root.stats.pages = delta
+	}
 	rep := buildReport(root)
-	return coll, &Analysis{Root: rep, TotalPages: rep.CumPages, TotalTime: rep.CumTime}, nil
+	return coll, &Analysis{
+		Root: rep, TotalPages: rep.CumPages, TotalTime: rep.CumTime,
+		CacheHits: rep.CumHits, CacheMisses: rep.CumMisses, Prefetched: rep.CumPrefetched,
+		CacheEnabled: an.cacheOn, PrefetchEnabled: an.prefetchOn,
+	}, nil
 }
 
 func buildReport(c *compiled) *OpReport {
 	r := &OpReport{
-		Plan:     c.plan,
-		RowsOut:  c.stats.rowsOut,
-		CumPages: c.stats.pages,
-		CumTime:  c.stats.elapsed,
+		Plan:          c.plan,
+		RowsOut:       c.stats.rowsOut,
+		CumPages:      c.stats.pages,
+		CumHits:       c.stats.hits,
+		CumMisses:     c.stats.misses,
+		CumPrefetched: c.stats.prefetched,
+		CumTime:       c.stats.elapsed,
 	}
 	if ws, ok := c.raw.(workerStatser); ok {
 		r.Workers = ws.WorkerStats()
 	}
-	var kidPages int64
+	var kidPages, kidHits, kidMisses, kidPrefetched int64
 	var kidTime time.Duration
 	for _, k := range c.kids {
 		kr := buildReport(k)
 		r.Kids = append(r.Kids, kr)
 		r.RowsIn += kr.RowsOut
 		kidPages += kr.CumPages
+		kidHits += kr.CumHits
+		kidMisses += kr.CumMisses
+		kidPrefetched += kr.CumPrefetched
 		kidTime += kr.CumTime
 	}
-	r.SelfPages = r.CumPages - kidPages
-	if r.SelfPages < 0 {
-		r.SelfPages = 0
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		return v
 	}
+	r.SelfPages = clamp(r.CumPages - kidPages)
+	r.SelfHits = clamp(r.CumHits - kidHits)
+	r.SelfMisses = clamp(r.CumMisses - kidMisses)
+	r.SelfPrefetched = clamp(r.CumPrefetched - kidPrefetched)
 	r.SelfTime = r.CumTime - kidTime
 	if r.SelfTime < 0 {
 		r.SelfTime = 0
@@ -144,27 +229,42 @@ func buildReport(c *compiled) *OpReport {
 }
 
 // Render formats the analysis as the plan tree annotated with per-operator
-// rows, simulated page reads, and wall time.
+// rows, simulated page reads, cache activity (when the cache is on), and
+// wall time.
 func (a *Analysis) Render() string {
 	var sb strings.Builder
-	renderReport(&sb, a.Root, "")
-	fmt.Fprintf(&sb, "total: pages=%d time=%s\n", a.TotalPages, fmtDur(a.TotalTime))
+	renderReport(&sb, a.Root, "", a.CacheEnabled, a.PrefetchEnabled)
+	sb.WriteString("total: pages=" + fmt.Sprint(a.TotalPages))
+	if a.CacheEnabled {
+		fmt.Fprintf(&sb, " cache=%d/%d", a.CacheHits, a.CacheMisses)
+	}
+	if a.PrefetchEnabled {
+		fmt.Fprintf(&sb, " prefetched=%d", a.Prefetched)
+	}
+	fmt.Fprintf(&sb, " time=%s\n", fmtDur(a.TotalTime))
 	return sb.String()
 }
 
-func renderReport(sb *strings.Builder, r *OpReport, indent string) {
+func renderReport(sb *strings.Builder, r *OpReport, indent string, cacheOn, prefetchOn bool) {
+	extra := ""
+	if cacheOn {
+		extra += fmt.Sprintf(" cache=%d/%d", r.SelfHits, r.SelfMisses)
+	}
+	if prefetchOn {
+		extra += fmt.Sprintf(" prefetched=%d", r.SelfPrefetched)
+	}
 	if len(r.Kids) == 0 {
-		fmt.Fprintf(sb, "%s%s  (rows=%d pages=%d time=%s)\n",
-			indent, optimizer.Describe(r.Plan), r.RowsOut, r.SelfPages, fmtDur(r.SelfTime))
+		fmt.Fprintf(sb, "%s%s  (rows=%d pages=%d%s time=%s)\n",
+			indent, optimizer.Describe(r.Plan), r.RowsOut, r.SelfPages, extra, fmtDur(r.SelfTime))
 	} else {
-		fmt.Fprintf(sb, "%s%s  (rows in=%d out=%d pages=%d time=%s)\n",
-			indent, optimizer.Describe(r.Plan), r.RowsIn, r.RowsOut, r.SelfPages, fmtDur(r.SelfTime))
+		fmt.Fprintf(sb, "%s%s  (rows in=%d out=%d pages=%d%s time=%s)\n",
+			indent, optimizer.Describe(r.Plan), r.RowsIn, r.RowsOut, r.SelfPages, extra, fmtDur(r.SelfTime))
 	}
 	for i, w := range r.Workers {
 		fmt.Fprintf(sb, "%s  [worker %d] rows=%d pages=%d\n", indent, i, w.Rows, w.Pages)
 	}
 	for _, k := range r.Kids {
-		renderReport(sb, k, indent+"  ")
+		renderReport(sb, k, indent+"  ", cacheOn, prefetchOn)
 	}
 }
 

@@ -34,6 +34,17 @@ type Executor struct {
 	// ANALYZE can attribute reads per operator; nil leaves page counts at
 	// zero.
 	Pages func() int64
+	// CacheHits/CacheMisses report the object cache's cumulative counters
+	// and Prefetched the pages loaded by the readahead workers. The kernel
+	// wires them when the features are on; nil makes EXPLAIN ANALYZE omit
+	// the corresponding annotations.
+	CacheHits   func() int64
+	CacheMisses func() int64
+	Prefetched  func() int64
+	// Quiesce blocks until in-flight readahead loads land. ExecuteAnalyzed
+	// calls it before the final page snapshot so TotalPages still equals
+	// the simulated-disk read delta with async prefetch running.
+	Quiesce func()
 }
 
 // New creates an executor.

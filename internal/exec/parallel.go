@@ -326,14 +326,17 @@ func (o *exchangeIndSelOp) Open() error {
 	return o.core.start(len(chunks), func(ws *WorkerStat) func(int) ([]algebra.Row, error) {
 		re := o.alg.NewRowEvaluator()
 		return func(t int) ([]algebra.Row, error) {
+			// One page-ordered batch fetch per chunk: the chunk's OIDs
+			// arrive sorted and page-aligned, so the whole chunk resolves
+			// with one pin per page instead of one random Get per OID.
+			vals, _, err := o.alg.Cat.GetObjects(chunks[t])
+			if err != nil {
+				return nil, err
+			}
+			ws.Pages += int64(len(chunks[t]))
 			var rows []algebra.Row
-			for _, oid := range chunks[t] {
-				v, _, err := o.alg.Cat.GetObject(oid)
-				if err != nil {
-					return nil, err
-				}
-				ws.Pages++
-				row := algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: v}}}
+			for i, oid := range chunks[t] {
+				row := algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: vals[i]}}}
 				ok, err := re.EvalBool(row, recheck)
 				if err != nil {
 					return nil, err
@@ -397,19 +400,25 @@ func (o *exchangeHashJoinOp) Open() error {
 	chunks := chunkOIDs(refs, exchangeOIDChunk)
 	return o.core.start(len(chunks), func(ws *WorkerStat) func(int) ([]algebra.Row, error) {
 		return func(t int) ([]algebra.Row, error) {
-			var rows []algebra.Row
+			// Only refs the right side holds are dereferenced (as in the
+			// serial probe); the chunk's survivors resolve through one
+			// page-ordered batch fetch.
+			hits := make([]storage.OID, 0, len(chunks[t]))
 			for _, ref := range chunks[t] {
-				rrows, hit := rightBy[ref]
-				if !hit {
-					continue
+				if _, hit := rightBy[ref]; hit {
+					hits = append(hits, ref)
 				}
-				val, _, err := o.alg.Cat.GetObject(ref)
-				if err != nil {
-					return nil, err
-				}
-				ws.Pages++
+			}
+			vals, _, err := o.alg.Cat.GetObjects(hits)
+			if err != nil {
+				return nil, err
+			}
+			ws.Pages += int64(len(hits))
+			var rows []algebra.Row
+			for i, ref := range hits {
+				val := vals[i]
 				for _, lrow := range partitions[ref] {
-					for _, rrow := range rrows {
+					for _, rrow := range rightBy[ref] {
 						merged := lrow.Merged(rrow)
 						rb := merged.Vars[o.rightVar]
 						rb.Val = val

@@ -273,7 +273,7 @@ func (e *Executor) compileNode(p optimizer.Plan, an *analyzeCtx) (*compiled, err
 	c.raw = c.op
 	if an != nil {
 		c.stats = &opStats{}
-		c.op = &statsOp{inner: c.op, pages: an.pages, st: c.stats}
+		c.op = &statsOp{inner: c.op, an: an, st: c.stats}
 	}
 	return c, nil
 }
@@ -629,12 +629,22 @@ func (j *joinBase) Close() error {
 	return err
 }
 
+// joinBatchRows is how many driving-side rows (or probe OIDs) the batched
+// join strategies gather before resolving references through the catalog's
+// GetObjects: large enough that the page-ordered batch fetch amortizes page
+// pins and overlaps readahead, small enough that an early-closing consumer
+// still stops the driving side promptly.
+const joinBatchRows = 64
+
 // forwardJoinOp streams the left side and chases each reference (the
 // paper's forward traversal); the right side is the build side, drained at
-// Open into an OID-keyed hash.
+// Open into an OID-keyed hash. The left side is consumed in small batches:
+// each batch's distinct references resolve through one page-ordered
+// GetObjects call instead of a random dereference per occurrence.
 type forwardJoinOp struct {
 	joinBase
 	rightBy map[storage.OID][]algebra.Row
+	eof     bool
 }
 
 func (o *forwardJoinOp) Open() error {
@@ -651,30 +661,59 @@ func (o *forwardJoinOp) Next() (algebra.Row, bool, error) {
 		if row, ok := o.take(); ok {
 			return row, true, nil
 		}
-		lrow, ok, err := o.left.op.Next()
-		if err != nil || !ok {
-			return algebra.Row{}, false, err
+		if o.eof {
+			return algebra.Row{}, false, nil
 		}
-		lb := lrow.Vars[o.leftVar]
-		if err := o.alg.MaterializeBound(&lb); err != nil {
-			return algebra.Row{}, false, err
-		}
-		lrow.Vars[o.leftVar] = lb
-		o.refill()
-		for _, ref := range algebra.RefsOf(lb.Val, o.attr) {
-			// Chase the pointer: the physical dereference happens even if
-			// the right side later rejects the object, as in real forward
-			// traversal.
-			val, _, err := o.alg.Cat.GetObject(ref)
+		batch := make([]algebra.Row, 0, joinBatchRows)
+		batchRefs := make([][]storage.OID, 0, joinBatchRows)
+		for len(batch) < joinBatchRows {
+			lrow, ok, err := o.left.op.Next()
 			if err != nil {
 				return algebra.Row{}, false, err
 			}
-			for _, rrow := range o.rightBy[ref] {
-				merged := lrow.Merged(rrow)
-				rb := merged.Vars[o.rightVar]
-				rb.Val = val
-				merged.Vars[o.rightVar] = rb
-				o.pending = append(o.pending, merged)
+			if !ok {
+				o.eof = true
+				break
+			}
+			lb := lrow.Vars[o.leftVar]
+			if err := o.alg.MaterializeBound(&lb); err != nil {
+				return algebra.Row{}, false, err
+			}
+			lrow.Vars[o.leftVar] = lb
+			batch = append(batch, lrow)
+			batchRefs = append(batchRefs, algebra.RefsOf(lb.Val, o.attr))
+		}
+		// Chase the pointers: every distinct reference of the batch is
+		// dereferenced even if the right side later rejects the object, as
+		// in real forward traversal — but each only once per batch.
+		var refs []storage.OID
+		at := map[storage.OID]int{}
+		for _, rs := range batchRefs {
+			for _, ref := range rs {
+				if _, ok := at[ref]; !ok {
+					at[ref] = len(refs)
+					refs = append(refs, ref)
+				}
+			}
+		}
+		o.refill()
+		if len(refs) == 0 {
+			continue
+		}
+		vals, _, err := o.alg.Cat.GetObjects(refs)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		for i, lrow := range batch {
+			for _, ref := range batchRefs[i] {
+				val := vals[at[ref]]
+				for _, rrow := range o.rightBy[ref] {
+					merged := lrow.Merged(rrow)
+					rb := merged.Vars[o.rightVar]
+					rb.Val = val
+					merged.Vars[o.rightVar] = rb
+					o.pending = append(o.pending, merged)
+				}
 			}
 		}
 	}
@@ -794,11 +833,14 @@ func (o *bjiJoinOp) Next() (algebra.Row, bool, error) {
 // hashJoinOp partitions the left rows on the pointer field at Open (the
 // build side), then streams the distinct referenced OIDs in sorted order,
 // dereferencing each at most once and only when the right side holds it.
+// The surviving (right-side-hit) refs resolve lazily in sorted chunks
+// through GetObjects, so the probe's page accesses batch per chunk while an
+// early-closing consumer still skips the tail chunks entirely.
 type hashJoinOp struct {
 	joinBase
 	partitions map[storage.OID][]algebra.Row
 	rightBy    map[storage.OID][]algebra.Row
-	refs       []storage.OID
+	refs       []storage.OID // sorted, filtered to right-side hits
 	ri         int
 }
 
@@ -826,7 +868,9 @@ func (o *hashJoinOp) Open() error {
 	}
 	o.refs = make([]storage.OID, 0, len(o.partitions))
 	for ref := range o.partitions {
-		o.refs = append(o.refs, ref)
+		if _, hit := o.rightBy[ref]; hit {
+			o.refs = append(o.refs, ref)
+		}
 	}
 	sort.Slice(o.refs, func(i, j int) bool { return o.refs[i] < o.refs[j] })
 	return nil
@@ -840,24 +884,27 @@ func (o *hashJoinOp) Next() (algebra.Row, bool, error) {
 		if o.ri >= len(o.refs) {
 			return algebra.Row{}, false, nil
 		}
-		ref := o.refs[o.ri]
-		o.ri++
-		rrows, hit := o.rightBy[ref]
-		if !hit {
-			continue
+		end := o.ri + joinBatchRows
+		if end > len(o.refs) {
+			end = len(o.refs)
 		}
-		val, _, err := o.alg.Cat.GetObject(ref)
+		chunk := o.refs[o.ri:end]
+		o.ri = end
+		vals, _, err := o.alg.Cat.GetObjects(chunk)
 		if err != nil {
 			return algebra.Row{}, false, err
 		}
 		o.refill()
-		for _, lrow := range o.partitions[ref] {
-			for _, rrow := range rrows {
-				merged := lrow.Merged(rrow)
-				rb := merged.Vars[o.rightVar]
-				rb.Val = val
-				merged.Vars[o.rightVar] = rb
-				o.pending = append(o.pending, merged)
+		for i, ref := range chunk {
+			val := vals[i]
+			for _, lrow := range o.partitions[ref] {
+				for _, rrow := range o.rightBy[ref] {
+					merged := lrow.Merged(rrow)
+					rb := merged.Vars[o.rightVar]
+					rb.Val = val
+					merged.Vars[o.rightVar] = rb
+					o.pending = append(o.pending, merged)
+				}
 			}
 		}
 	}

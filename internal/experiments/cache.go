@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"mood/internal/catalog"
+	"mood/internal/objcache"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// CacheBudgets is the object-cache sweep measured by MeasureCache: off, a
+// budget small enough to thrash on the working set, and one that holds it.
+var CacheBudgets = []int64{0, 64 << 10, 1 << 20}
+
+// cacheSample is how many vehicles each pass dereferences. Large enough
+// that the traversed pages overflow the deliberately small page pool (so
+// the uncached configuration pays repeated reads, as a real hot path over
+// a big database would), small enough that the 1 MiB budget holds every
+// decoded object the traversal touches.
+const cacheSample = 400
+
+// cachePasses is the number of measured warm passes per configuration.
+const cachePasses = 4
+
+// cacheFrames sizes the page pool under the cache sweep. It must be below
+// the pages the sample's dereferences touch — including the three small
+// extents of the path traversal at the default 0.1 scale — otherwise the
+// buffer pool alone absorbs the repeats and the sweep measures nothing.
+const cacheFrames = 16
+
+// CacheEntry is one measured configuration of the object-cache sweep.
+// Rows, Reads, SimulatedMs, HitRate and UnmarshalsPerRow are deterministic;
+// the wall-clock and allocation columns are machine-local measurements.
+type CacheEntry struct {
+	Name             string  `json:"name"`
+	CacheBytes       int64   `json:"cache_bytes"`
+	Rows             int     `json:"rows"`
+	Reads            int64   `json:"reads"`
+	SimulatedMs      float64 `json:"simulated_ms"`
+	WallMs           float64 `json:"wall_ms"`
+	RowsPerWallSec   float64 `json:"rows_per_wall_sec"`
+	Speedup          float64 `json:"speedup_vs_cache_off"`
+	HitRate          float64 `json:"hit_rate"`
+	AllocsPerRow     float64 `json:"allocs_per_row"`
+	UnmarshalsPerRow float64 `json:"unmarshals_per_row"`
+}
+
+// BenchCache is the JSON artifact written by moodbench -cache-json.
+type BenchCache struct {
+	Scale             float64      `json:"scale"`
+	Vehicles          int          `json:"vehicles"`
+	Companies         int          `json:"companies"`
+	Sample            int          `json:"sample"`
+	Passes            int          `json:"passes"`
+	LatencyUsPerSimMs float64      `json:"latency_us_per_sim_ms"`
+	Entries           []CacheEntry `json:"entries"`
+}
+
+// cachePass runs one full pass of a workload over the sampled vehicles and
+// returns the rows it produced plus an order-sensitive fingerprint of their
+// values. MeasureCache compares the fingerprint across cache budgets — the
+// cache must change timings, never results.
+type cachePass func(cat *catalog.Catalog, sample []storage.OID) (int, uint64, error)
+
+// refField extracts the reference OIDs of one attribute from a batch of
+// decoded tuples, keeping positions aligned with the input.
+func refField(vals []object.Value, attr string) ([]storage.OID, error) {
+	refs := make([]storage.OID, len(vals))
+	for i, v := range vals {
+		f, ok := v.Field(attr)
+		if !ok || f.Kind != object.KindReference {
+			return nil, fmt.Errorf("cache sweep: row %d has no %s reference", i, attr)
+		}
+		refs[i] = f.Ref
+	}
+	return refs, nil
+}
+
+func fpMix(fp, v uint64) uint64 { return fp*1099511628211 + v }
+
+// pathTraversalPass resolves v.drivetrain.engine.cylinders for every
+// sampled vehicle through the batched dereference path — the repeated
+// path-traversal workload of the paper's Section 6 forward traversal.
+func pathTraversalPass(cat *catalog.Catalog, sample []storage.OID) (int, uint64, error) {
+	vehicles, _, err := cat.GetObjects(sample)
+	if err != nil {
+		return 0, 0, err
+	}
+	dtRefs, err := refField(vehicles, "drivetrain")
+	if err != nil {
+		return 0, 0, err
+	}
+	drivetrains, _, err := cat.GetObjects(dtRefs)
+	if err != nil {
+		return 0, 0, err
+	}
+	engRefs, err := refField(drivetrains, "engine")
+	if err != nil {
+		return 0, 0, err
+	}
+	engines, _, err := cat.GetObjects(engRefs)
+	if err != nil {
+		return 0, 0, err
+	}
+	var fp uint64 = 14695981039346656037
+	for _, e := range engines {
+		cyl, ok := e.Field("cylinders")
+		if !ok {
+			return 0, 0, fmt.Errorf("cache sweep: engine without cylinders")
+		}
+		fp = fpMix(fp, uint64(cyl.Int))
+	}
+	return len(engines), fp, nil
+}
+
+// hashJoinProbePass resolves v.manufacturer.name for every sampled vehicle:
+// the probe side of the pointer-based hash join, whose random fetches into
+// the Company extent are exactly what the batched path collapses.
+func hashJoinProbePass(cat *catalog.Catalog, sample []storage.OID) (int, uint64, error) {
+	vehicles, _, err := cat.GetObjects(sample)
+	if err != nil {
+		return 0, 0, err
+	}
+	refs, err := refField(vehicles, "manufacturer")
+	if err != nil {
+		return 0, 0, err
+	}
+	companies, _, err := cat.GetObjects(refs)
+	if err != nil {
+		return 0, 0, err
+	}
+	var fp uint64 = 14695981039346656037
+	for _, c := range companies {
+		name, ok := c.Field("name")
+		if !ok {
+			return 0, 0, fmt.Errorf("cache sweep: company without name")
+		}
+		for i := 0; i < len(name.Str); i++ {
+			fp = fpMix(fp, uint64(name.Str[i]))
+		}
+	}
+	return len(companies), fp, nil
+}
+
+// MeasureCache measures both workloads at every cache budget. Per
+// configuration: a cold catalog over a deliberately small page pool, one
+// unmeasured warm-up pass (cold reads; fills the page pool and the object
+// cache), then cachePasses measured passes with simulated page costs
+// replayed as wall latency. Pass latency <= 0 for DefaultParallelLatency.
+//
+// The function itself enforces the result contract: every pass of every
+// configuration must produce the same row count and fingerprint as the
+// cache-off run of the same workload, so a cache bug surfaces as a
+// measurement error rather than a silently wrong artifact.
+func MeasureCache(env *Env, latency time.Duration) (*BenchCache, error) {
+	if latency <= 0 {
+		latency = DefaultParallelLatency
+	}
+	out := &BenchCache{
+		Scale:             float64(env.Scale),
+		Vehicles:          env.Cfg.Vehicles,
+		Companies:         env.Cfg.Companies,
+		Sample:            cacheSample,
+		Passes:            cachePasses,
+		LatencyUsPerSimMs: float64(latency) / float64(time.Microsecond),
+	}
+
+	// The Section 6 formulas model randomly selected source objects; a
+	// deterministic shuffle removes the generator's sequential layout.
+	sample := append([]storage.OID(nil), env.DB.Vehicles...)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(sample), func(i, j int) { sample[i], sample[j] = sample[j], sample[i] })
+	if len(sample) > cacheSample {
+		sample = sample[:cacheSample]
+	}
+
+	workloads := []struct {
+		name string
+		pass cachePass
+	}{
+		{"path-traversal", pathTraversalPass},
+		{"hash-join-probe", hashJoinProbePass},
+	}
+	for _, wl := range workloads {
+		var base float64  // rows/sec at cache off
+		var baseFP uint64 // fingerprint at cache off
+		var baseRows int
+		for i, budget := range CacheBudgets {
+			e, fp, err := measureCacheEntry(env, wl.name, budget, latency, sample, wl.pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s cache=%d: %w", wl.name, budget, err)
+			}
+			if i == 0 {
+				base, baseFP, baseRows = e.RowsPerWallSec, fp, e.Rows
+			} else if fp != baseFP || e.Rows != baseRows {
+				return nil, fmt.Errorf("%s cache=%d: results diverge from cache-off run (rows %d vs %d)",
+					wl.name, budget, e.Rows, baseRows)
+			}
+			if base > 0 {
+				e.Speedup = round3(e.RowsPerWallSec / base)
+			}
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out, nil
+}
+
+// measureCacheEntry runs one workload at one cache budget over a cold
+// isolated catalog and returns the entry plus the workload fingerprint.
+func measureCacheEntry(env *Env, name string, budget int64, latency time.Duration, sample []storage.OID, pass cachePass) (CacheEntry, uint64, error) {
+	var e CacheEntry
+	cat, d, err := coldCatalog(env, cacheFrames)
+	if err != nil {
+		return e, 0, err
+	}
+	defer d.SetESMLayout(false)
+	defer d.SetLatency(0)
+
+	var oc *objcache.Cache
+	if budget > 0 {
+		oc = objcache.New(budget)
+		cat.SetObjectCache(oc)
+		cat.Store().SetInvalidator(oc)
+	}
+
+	// Warm-up: first touches for every page and every cache slot.
+	warmRows, fp, err := pass(cat, sample)
+	if err != nil {
+		return e, 0, err
+	}
+
+	d.ResetStats()
+	var hits0, miss0 int64
+	if oc != nil {
+		hits0, miss0 = oc.Hits(), oc.Misses()
+	}
+	um0 := object.Unmarshals()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
+
+	d.SetLatency(latency)
+	rows := 0
+	start := time.Now()
+	for p := 0; p < cachePasses; p++ {
+		r, f, err := pass(cat, sample)
+		if err != nil {
+			return e, 0, err
+		}
+		if r != warmRows || f != fp {
+			return e, 0, fmt.Errorf("pass %d diverged from warm-up (%d rows)", p, r)
+		}
+		rows += r
+	}
+	wall := time.Since(start)
+	d.SetLatency(0)
+
+	runtime.ReadMemStats(&ms)
+	um := object.Unmarshals() - um0
+	s := d.Stats()
+	e = CacheEntry{
+		Name:        name,
+		CacheBytes:  budget,
+		Rows:        rows,
+		Reads:       s.Reads(),
+		SimulatedMs: s.TimeMs,
+		WallMs:      round3(float64(wall) / float64(time.Millisecond)),
+	}
+	if wall > 0 {
+		e.RowsPerWallSec = round3(float64(rows) / wall.Seconds())
+	}
+	if oc != nil {
+		h, m := oc.Hits()-hits0, oc.Misses()-miss0
+		if h+m > 0 {
+			e.HitRate = round3(float64(h) / float64(h+m))
+		}
+	}
+	if rows > 0 {
+		e.AllocsPerRow = round3(float64(ms.Mallocs-mallocs0) / float64(rows))
+		e.UnmarshalsPerRow = round3(float64(um) / float64(rows))
+	}
+	return e, fp, nil
+}
+
+// CacheSweep prints the MeasureCache sweep as a table.
+func CacheSweep(w io.Writer, env *Env) error {
+	section(w, "Object-cache sweep. Batched dereference at cache=0/64KiB/1MiB")
+	res, err := MeasureCache(env, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "latency replay: %.0f us wall per simulated ms; %d vehicles sampled, %d warm passes\n\n",
+		res.LatencyUsPerSimMs, res.Sample, res.Passes)
+	fmt.Fprintf(w, "%-16s %10s %6s %7s %10s %9s %13s %8s %8s %7s %7s\n",
+		"benchmark", "cache", "rows", "reads", "sim ms", "wall ms", "rows/wall-s", "speedup", "hitrate", "alloc/r", "dec/r")
+	for _, e := range res.Entries {
+		fmt.Fprintf(w, "%-16s %10d %6d %7d %10.2f %9.2f %13.0f %7.2fx %8.3f %7.1f %7.2f\n",
+			e.Name, e.CacheBytes, e.Rows, e.Reads, e.SimulatedMs, e.WallMs,
+			e.RowsPerWallSec, e.Speedup, e.HitRate, e.AllocsPerRow, e.UnmarshalsPerRow)
+	}
+	return nil
+}

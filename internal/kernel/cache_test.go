@@ -1,0 +1,434 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mood/internal/exec"
+	"mood/internal/expr"
+	"mood/internal/object"
+	"mood/internal/sql"
+	"mood/internal/storage"
+	"mood/internal/testutil"
+	"mood/internal/vehicledb"
+)
+
+// cacheOptions opens the kernel with the decoded-object cache and buffer-
+// pool readahead on — the configuration the cache tests exercise against a
+// default (cache-off) kernel.
+func cacheOptions() Options {
+	opts := DefaultOptions()
+	opts.ObjectCacheBytes = 1 << 20
+	opts.PrefetchWorkers = 2
+	return opts
+}
+
+// renderSortedResult renders a Result with its row lines sorted: the cached
+// kernel's cost knobs may legitimately pick a different plan (and thus a
+// different row order on ORDER-BY-free queries), so the cached/uncached
+// differentials compare row multisets, not orderings.
+func renderSortedResult(res *Result) string {
+	lines := strings.Split(strings.TrimRight(renderResult(res), "\n"), "\n")
+	if len(lines) > 2 {
+		sort.Strings(lines[2:]) // keep header + separator in place
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// populateVehicles loads the standard vehicle fixture and refreshes stats.
+func populateVehicles(t *testing.T, db *DB, seed int64) {
+	t.Helper()
+	if err := vehicledb.DefineSchema(db.Cat); err != nil {
+		t.Fatal(err)
+	}
+	cfg := vehicledb.Config{
+		Vehicles: 400, DriveTrains: 200, Engines: 200,
+		Companies: 400, Employees: 20, Seed: seed,
+	}
+	if _, err := vehicledb.Populate(db.Cat, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RefreshStats(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheGoldenSuiteDifferential replays the full MOODSQL golden script
+// against two kernels — one default, one with the object cache and
+// readahead on — and demands byte-identical rendered results for every
+// SELECT. DDL/DML advance both databases identically, so each query pair
+// sees the same state; the cached kernel's Update/Delete invalidation runs
+// on the live script's mutations.
+func TestCacheGoldenSuiteDifferential(t *testing.T) {
+	script, err := os.ReadFile(filepath.Join("testdata", "basic.moodsql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Open(cacheOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+
+	selects := 0
+	for _, stmt := range splitScript(string(script)) {
+		parsed, err := sql.Parse(stmt)
+		if err != nil {
+			continue
+		}
+		sel, isSelect := parsed.(*sql.Select)
+		if !isSelect {
+			plain.ExecuteStmt(parsed)
+			cached.ExecuteStmt(parsed)
+			continue
+		}
+		pplan, err := plain.optimize(sel)
+		if err != nil {
+			continue
+		}
+		cplan, err := cached.optimize(sel)
+		if err != nil {
+			t.Fatalf("%s: cached optimize failed where plain succeeded: %v", stmt, err)
+		}
+		pres, err := plain.Exec.Execute(pplan)
+		if err != nil {
+			t.Fatalf("%s: plain execute: %v", stmt, err)
+		}
+		cres, err := cached.Exec.Execute(cplan)
+		if err != nil {
+			t.Fatalf("%s: cached execute: %v", stmt, err)
+		}
+		got, want := renderSortedResult(exec.Extract(cres)), renderSortedResult(exec.Extract(pres))
+		if got != want {
+			t.Errorf("%s: cached result diverged:\n--- cached ---\n%s--- plain ---\n%s", stmt, got, want)
+		}
+		selects++
+	}
+	if selects == 0 {
+		t.Fatal("golden script produced no successfully planned SELECTs")
+	}
+	if cached.ObjectCache().Hits() == 0 {
+		t.Error("golden replay produced no cache hits; the cached path was never exercised")
+	}
+}
+
+// TestCacheRandomQueriesDifferential runs randomized single-variable
+// predicates (path expressions included, so the batched join strategies
+// fire) against a cached and an uncached kernel over identically populated
+// databases, demanding row-identical results.
+func TestCacheRandomQueriesDifferential(t *testing.T) {
+	plain, err := Open(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Open(cacheOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	populateVehicles(t, plain, 11)
+	populateVehicles(t, cached, 11)
+
+	rng := rand.New(rand.NewSource(testutil.Seed(t, 20260806)))
+	leaves := []func() expr.Expr{
+		func() expr.Expr {
+			ops := []expr.CmpOp{expr.OpEq, expr.OpNe, expr.OpGt, expr.OpLt, expr.OpGe, expr.OpLe}
+			return &expr.Cmp{Op: ops[rng.Intn(len(ops))],
+				L: expr.Path("v", "weight"),
+				R: &expr.Const{Val: object.NewInt(int32(800 + rng.Intn(2200)))}}
+		},
+		func() expr.Expr {
+			return &expr.Cmp{Op: expr.OpEq,
+				L: expr.Path("v", "drivetrain", "transmission"),
+				R: &expr.Const{Val: object.NewString([]string{"AUTOMATIC", "MANUAL", "CVT", "DCT"}[rng.Intn(4)])}}
+		},
+		func() expr.Expr {
+			ops := []expr.CmpOp{expr.OpEq, expr.OpGt, expr.OpLe}
+			return &expr.Cmp{Op: ops[rng.Intn(len(ops))],
+				L: expr.Path("v", "drivetrain", "engine", "cylinders"),
+				R: &expr.Const{Val: object.NewInt(int32(2 + 2*rng.Intn(16)))}}
+		},
+	}
+	var build func(depth int) expr.Expr
+	build = func(depth int) expr.Expr {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return leaves[rng.Intn(len(leaves))]()
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return &expr.Not{E: build(depth - 1)}
+		case 1, 2:
+			return &expr.Logic{Op: expr.OpAnd, L: build(depth - 1), R: build(depth - 1)}
+		default:
+			return &expr.Logic{Op: expr.OpOr, L: build(depth - 1), R: build(depth - 1)}
+		}
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		q := &sql.Select{
+			Projs: []sql.ProjItem{{Expr: &expr.Var{Name: "v"}}},
+			From:  []sql.FromItem{{Class: "Vehicle", Var: "v"}},
+			Where: build(3),
+		}
+		pplan, err := plain.optimize(q)
+		if err != nil {
+			t.Fatalf("trial %d: plain optimize: %v", trial, err)
+		}
+		cplan, err := cached.optimize(q)
+		if err != nil {
+			t.Fatalf("trial %d: cached optimize: %v", trial, err)
+		}
+		pres, err := plain.Exec.Execute(pplan)
+		if err != nil {
+			t.Fatalf("trial %d: plain execute: %v", trial, err)
+		}
+		cres, err := cached.Exec.Execute(cplan)
+		if err != nil {
+			t.Fatalf("trial %d: cached execute: %v", trial, err)
+		}
+		got, want := renderSortedResult(exec.Extract(cres)), renderSortedResult(exec.Extract(pres))
+		if got != want {
+			t.Fatalf("trial %d: cached result diverged (where=%v):\n--- cached ---\n%s--- plain ---\n%s",
+				trial, q.Where, got, want)
+		}
+	}
+	if cached.ObjectCache().Hits() == 0 {
+		t.Error("randomized suite produced no cache hits")
+	}
+}
+
+// TestExplainAnalyzeCacheCounters checks the EXPLAIN ANALYZE contract with
+// the cache and prefetcher on: the reported page total still equals the
+// DiskSim read delta (cache hits are not reads; readahead loads are), and
+// the rendered tree carries the cache and prefetched annotations.
+func TestExplainAnalyzeCacheCounters(t *testing.T) {
+	db, err := Open(cacheOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	populateVehicles(t, db, 7)
+
+	const query = `SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2`
+	// Warm pass: populates the object cache.
+	if _, err := db.Execute(query); err != nil {
+		t.Fatal(err)
+	}
+
+	scope := db.Disk.Scope()
+	res, err := db.Execute(`EXPLAIN ANALYZE ` + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := db.LastAnalyze
+	if an == nil {
+		t.Fatal("EXPLAIN ANALYZE did not populate LastAnalyze")
+	}
+	if !an.CacheEnabled || !an.PrefetchEnabled {
+		t.Fatalf("analysis flags: cache=%v prefetch=%v, want both true", an.CacheEnabled, an.PrefetchEnabled)
+	}
+	if an.TotalPages != scope.Delta().Reads() {
+		t.Errorf("analysis reports %d pages, DiskSim delta is %d", an.TotalPages, scope.Delta().Reads())
+	}
+	if an.CacheHits == 0 {
+		t.Error("warm EXPLAIN ANALYZE observed no cache hits")
+	}
+	out := res.Rows[0][0].Str
+	if !strings.Contains(out, "cache=") || !strings.Contains(out, "prefetched=") {
+		t.Errorf("EXPLAIN ANALYZE output lacks cache annotations:\n%s", out)
+	}
+
+	// Cold pool, cold cache: the invariant must hold when readahead does
+	// real loads between operator calls.
+	db.ObjectCache().Reset()
+	if err := db.Pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	scope = db.Disk.Scope()
+	if _, err := db.Execute(`EXPLAIN ANALYZE ` + query); err != nil {
+		t.Fatal(err)
+	}
+	an = db.LastAnalyze
+	if an.TotalPages != scope.Delta().Reads() {
+		t.Errorf("cold analysis reports %d pages, DiskSim delta is %d", an.TotalPages, scope.Delta().Reads())
+	}
+	if an.TotalPages == 0 {
+		t.Error("expected nonzero page reads on a cold buffer pool")
+	}
+}
+
+// TestCacheWarmRunReadsFewerPages is the perf acceptance smoke check: a
+// repeated path-traversal query against a warm object cache must issue
+// strictly fewer simulated disk reads than its first (cold) run.
+func TestCacheWarmRunReadsFewerPages(t *testing.T) {
+	db, err := Open(cacheOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	populateVehicles(t, db, 3)
+
+	// A projection-path dereference: Company's extent is never scanned, so
+	// its pages are fetched at random per row — the access pattern the
+	// object cache absorbs. (Join queries against small extents save
+	// nothing here: their builds scan the whole target extent, leaving the
+	// dereferenced pages pool-resident anyway.)
+	const query = `SELECT v.manufacturer.name FROM Vehicle v WHERE v.weight < 900`
+	if err := db.Pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	cold := db.Disk.Scope()
+	if _, err := db.Execute(query); err != nil {
+		t.Fatal(err)
+	}
+	coldReads := cold.Delta().Reads()
+
+	// Evict the buffer pool but keep the object cache: the warm run's
+	// savings must come from cached decoded objects, not pool residency.
+	if err := db.Pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	warm := db.Disk.Scope()
+	if _, err := db.Execute(query); err != nil {
+		t.Fatal(err)
+	}
+	warmReads := warm.Delta().Reads()
+	if warmReads >= coldReads {
+		t.Errorf("warm run read %d pages, cold read %d; want strictly fewer", warmReads, coldReads)
+	}
+}
+
+// TestCacheInvalidationTorture hammers the cache's epoch protocol: writer
+// transactions update and delete objects while reader goroutines stream
+// single and batched dereferences and extent scans through the cache. Run
+// under -race. The closing coherence check demands that, after the storm,
+// the cached view of every surviving object is byte-identical to a fresh
+// decode from storage.
+func TestCacheInvalidationTorture(t *testing.T) {
+	opts := cacheOptions()
+	// A tight budget forces evictions during the storm, exercising the
+	// probation/protected shuffle concurrently with invalidation.
+	opts.ObjectCacheBytes = 64 << 10
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.ExecuteScript(vehicleDDL); err != nil {
+		t.Fatal(err)
+	}
+
+	const stable = 120
+	const disposable = 60
+	setup := db.Begin()
+	var stableOIDs [stable]storage.OID
+	for i := range stableOIDs {
+		oid, err := setup.Create("Employee", employee(fmt.Sprintf("emp-%03d", i), int32(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stableOIDs[i] = oid
+	}
+	var doomed [disposable]storage.OID
+	for i := range doomed {
+		oid, err := setup.Create("Employee", employee("doomed", int32(1000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		doomed[i] = oid
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+	// Writers: update the stable set (contended), delete the doomed set.
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for op := 0; op < 60; op++ {
+				tx := db.Begin()
+				i := rng.Intn(stable)
+				v := employee(fmt.Sprintf("emp-%03d", i), int32(i))
+				v.SetField("age", object.NewInt(int32(30+op)))
+				if err := tx.Update(stableOIDs[i], v); err != nil {
+					tx.Abort()
+					continue // deadlock victim: retry-free is fine here
+				}
+				if op%4 == 0 {
+					d := doomed[(w*20+op)%disposable]
+					tx.Delete(d) // already-deleted is fine
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: single Gets, batched Gets, and extent scans racing the storm.
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for !stop.Load() {
+				switch rng.Intn(3) {
+				case 0:
+					oid := stableOIDs[rng.Intn(stable)]
+					if _, _, err := db.Cat.GetObject(oid); err != nil {
+						t.Errorf("reader %d: GetObject(%s): %v", r, oid, err)
+						return
+					}
+				case 1:
+					batch := make([]storage.OID, 0, 16)
+					for len(batch) < 16 {
+						batch = append(batch, stableOIDs[rng.Intn(stable)])
+					}
+					if _, _, err := db.Cat.GetObjects(batch); err != nil {
+						t.Errorf("reader %d: GetObjects: %v", r, err)
+						return
+					}
+				default:
+					db.Cat.ScanExtent("Employee", func(storage.OID, object.Value) bool { return true })
+				}
+			}
+		}(r)
+	}
+
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+
+	// Coherence: the (possibly cached) view of every stable object must be
+	// byte-identical to a fresh decode from storage.
+	for i, oid := range stableOIDs {
+		cached, _, err := db.Cat.GetObject(oid)
+		if err != nil {
+			t.Fatalf("GetObject(%s): %v", oid, err)
+		}
+		db.ObjectCache().Invalidate(oid)
+		fresh, _, err := db.Cat.GetObject(oid)
+		if err != nil {
+			t.Fatalf("fresh GetObject(%s): %v", oid, err)
+		}
+		if string(object.Marshal(cached)) != string(object.Marshal(fresh)) {
+			t.Errorf("object %d (%s): cached view diverged from storage:\ncached: %s\nfresh:  %s",
+				i, oid, cached, fresh)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"mood/internal/funcmgr"
 	"mood/internal/joinindex"
 	"mood/internal/lock"
+	"mood/internal/objcache"
 	"mood/internal/object"
 	"mood/internal/optimizer"
 	"mood/internal/sql"
@@ -43,6 +44,9 @@ type DB struct {
 
 	stats *cost.Stats
 	bjis  map[string]*joinindex.BinaryJoinIndex
+
+	ocache     *objcache.Cache     // nil when the object cache is off
+	prefetcher *storage.Prefetcher // nil when readahead is off
 
 	parallelism      int
 	parallelMinPages float64
@@ -69,6 +73,14 @@ type Options struct {
 	// (zero means the optimizer's default threshold; negative disables the
 	// threshold).
 	ParallelMinPages float64
+	// ObjectCacheBytes is the decoded-object cache budget; zero disables the
+	// cache. Cached values skip both the page fetch and the decode on re-
+	// dereference and are invalidated by Update/Delete and WAL recovery.
+	ObjectCacheBytes int64
+	// PrefetchWorkers sizes the buffer-pool readahead pool; zero disables
+	// readahead. Scans and batched dereferences then overlap upcoming page
+	// loads with decode work.
+	PrefetchWorkers int
 }
 
 // DefaultOptions returns a laptop-friendly configuration.
@@ -111,8 +123,46 @@ func Open(opts Options) (*DB, error) {
 	// EXPLAIN ANALYZE attributes simulated page reads per operator; the
 	// executor has no direct disk access, so give it the read counter.
 	db.Exec.Pages = func() int64 { return disk.Stats().Reads() }
+	if opts.ObjectCacheBytes > 0 {
+		db.ocache = objcache.New(opts.ObjectCacheBytes)
+		cat.SetObjectCache(db.ocache)
+		// Writers bump the cache epoch while still holding the store's
+		// exclusive lock, so in-flight fetches of the old bytes never land.
+		store.SetInvalidator(db.ocache)
+		db.Exec.CacheHits = db.ocache.Hits
+		db.Exec.CacheMisses = db.ocache.Misses
+	}
+	if opts.PrefetchWorkers > 0 {
+		db.prefetcher = storage.NewPrefetcher(pool, opts.PrefetchWorkers)
+		store.SetPrefetcher(db.prefetcher)
+		db.Exec.Prefetched = db.prefetcher.Loaded
+		db.Exec.Quiesce = db.prefetcher.Quiesce
+	}
 	return db, nil
 }
+
+// Close releases background resources (the readahead workers). The database
+// object itself is in-memory and needs no further teardown; Close is safe
+// to call on a database opened without readahead.
+func (db *DB) Close() {
+	if db.prefetcher != nil {
+		db.prefetcher.Close()
+	}
+}
+
+// Recover replays the WAL against the buffer pool (ARIES-style redo/undo)
+// and drops every cached decoded object: recovery rewrites pages underneath
+// the cache, so its contents are no longer trustworthy.
+func (db *DB) Recover() (wal.RecoveryStats, error) {
+	st, err := db.Log.Recover(db.Pool)
+	if db.ocache != nil {
+		db.ocache.Reset()
+	}
+	return st, err
+}
+
+// ObjectCache returns the decoded-object cache, nil when disabled.
+func (db *DB) ObjectCache() *objcache.Cache { return db.ocache }
 
 // invoke dispatches a method call from the expression interpreter through
 // the Function Manager with late binding: the receiver's run-time class
@@ -156,6 +206,13 @@ func (db *DB) RefreshStats() error {
 	})
 	if err != nil {
 		return err
+	}
+	if db.ocache != nil {
+		// Feed the observed hit rate and the batched-dereference model into
+		// the cost formulas; with the cache off the zero-valued knobs keep
+		// the paper's formulas byte-exact.
+		st.CacheHitRate = db.ocache.HitRate()
+		st.BatchFetch = true
 	}
 	db.stats = st
 	return nil
@@ -423,6 +480,9 @@ func (db *DB) execUpdate(n *sql.Update) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// GetObject may return the cache's copy, whose backing storage is
+		// shared with every other reader; mutate a private clone.
+		v = v.Clone()
 		env := &expr.Env{
 			Vars:    map[string]object.Value{n.From.Var: v},
 			OIDs:    map[string]storage.OID{n.From.Var: oid},

@@ -1,0 +1,180 @@
+package objcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+func oidN(n int) storage.OID {
+	return storage.MakeOID(1, storage.PageID(1+n/16), storage.SlotID(n%16))
+}
+
+func put(t *testing.T, c *Cache, oid storage.OID, s string, size int) {
+	t.Helper()
+	tok := c.BeginFetch(oid)
+	if !c.Put(tok, oid, object.NewString(s), "C", size) {
+		t.Fatalf("Put(%s) rejected", oid)
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	oid := oidN(1)
+	if _, _, ok := c.Get(oid); ok {
+		t.Fatal("hit on empty cache")
+	}
+	put(t, c, oid, "hello", 32)
+	v, class, ok := c.Get(oid)
+	if !ok || v.Str != "hello" || class != "C" {
+		t.Fatalf("Get = (%v, %q, %v), want (hello, C, true)", v, class, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", hr)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	oid := oidN(1)
+	tok := c.BeginFetch(oid)
+	// A writer invalidates between the reader's store read and its Put.
+	c.Invalidate(oid)
+	if c.Put(tok, oid, object.NewString("stale"), "C", 16) {
+		t.Fatal("Put with stale token succeeded")
+	}
+	if _, _, ok := c.Get(oid); ok {
+		t.Fatal("stale value was cached")
+	}
+	// A fresh token after the invalidation works.
+	put(t, c, oid, "fresh", 16)
+	if v, _, ok := c.Get(oid); !ok || v.Str != "fresh" {
+		t.Fatalf("Get after refetch = (%v, %v)", v, ok)
+	}
+}
+
+func TestInvalidateRemoves(t *testing.T) {
+	c := New(1 << 20)
+	oid := oidN(1)
+	put(t, c, oid, "v1", 16)
+	c.Invalidate(oid)
+	if _, _, ok := c.Get(oid); ok {
+		t.Fatal("invalidated entry still served")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 100; i++ {
+		put(t, c, oidN(i), fmt.Sprint(i), 16)
+	}
+	tok := c.BeginFetch(oidN(0))
+	c.Reset()
+	if st := c.Snapshot(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after Reset: entries=%d bytes=%d", st.Entries, st.Bytes)
+	}
+	if c.Put(tok, oidN(0), object.NewString("stale"), "C", 16) {
+		t.Fatal("pre-Reset token accepted after Reset")
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	// Tiny budget: each entry charges 16+overhead bytes; per-shard budget is
+	// total/numShards, so 64KiB total holds plenty but 4KiB holds only a few
+	// per shard.
+	c := New(4 << 10)
+	for i := 0; i < 1000; i++ {
+		tok := c.BeginFetch(oidN(i))
+		c.Put(tok, oidN(i), object.NewString("x"), "C", 16)
+	}
+	st := c.Snapshot()
+	if st.Bytes > st.Budget {
+		t.Fatalf("bytes=%d over budget=%d", st.Bytes, st.Budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+	perShard := st.Budget / numShards
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if sh.bytes > perShard {
+			t.Errorf("shard %d: bytes=%d over per-shard budget %d", i, sh.bytes, perShard)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func TestOversizeEntryRejected(t *testing.T) {
+	c := New(1 << 10) // 64 bytes per shard: any realistic entry exceeds it
+	tok := c.BeginFetch(oidN(1))
+	if c.Put(tok, oidN(1), object.NewString("big"), "C", 4096) {
+		t.Fatal("oversize entry was cached")
+	}
+	if st := c.Snapshot(); st.Rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestScanResistance(t *testing.T) {
+	// Re-referenced (protected) entries must survive a one-touch scan that
+	// is large enough to churn the probation queue.
+	c := New(32 << 10)
+	hot := make([]storage.OID, 8)
+	for i := range hot {
+		hot[i] = oidN(i)
+		put(t, c, hot[i], "hot", 64)
+	}
+	for _, oid := range hot { // promote to protected
+		if _, _, ok := c.Get(oid); !ok {
+			t.Fatalf("warming get of %s missed", oid)
+		}
+	}
+	for i := 100; i < 2000; i++ { // cold scan
+		tok := c.BeginFetch(oidN(i))
+		c.Put(tok, oidN(i), object.NewString("cold"), "C", 64)
+	}
+	survived := 0
+	for _, oid := range hot {
+		if _, _, ok := c.Get(oid); ok {
+			survived++
+		}
+	}
+	if survived < len(hot)/2 {
+		t.Fatalf("only %d/%d hot entries survived the scan", survived, len(hot))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64 << 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				oid := oidN(i % 64)
+				switch (i + w) % 3 {
+				case 0:
+					tok := c.BeginFetch(oid)
+					c.Put(tok, oid, object.NewString("v"), "C", 32)
+				case 1:
+					c.Get(oid)
+				default:
+					c.Invalidate(oid)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Bytes < 0 || st.Bytes > st.Budget {
+		t.Fatalf("bytes accounting off: %+v", st)
+	}
+}

@@ -1,0 +1,14 @@
+package object
+
+import "sync/atomic"
+
+// unmarshals counts Unmarshal calls process-wide. The object cache's whole
+// point is removing decode work from hot dereference paths, so benchmarks
+// and tests pin "Unmarshal calls per traversed row" with this counter
+// rather than inferring it from allocation counts.
+var unmarshals atomic.Int64
+
+// Unmarshals returns the cumulative number of Unmarshal calls. Benchmarks
+// snapshot it before and after a measured loop; the delta divided by rows
+// is the decode cost the object cache is expected to eliminate on hits.
+func Unmarshals() int64 { return unmarshals.Load() }

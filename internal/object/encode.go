@@ -70,6 +70,7 @@ func Marshal(v Value) []byte { return Encode(nil, v) }
 // Unmarshal decodes one value from data, which must contain exactly one
 // encoded value.
 func Unmarshal(data []byte) (Value, error) {
+	unmarshals.Add(1)
 	v, rest, err := Decode(data)
 	if err != nil {
 		return Null, err

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// CacheInvalidator is the hook the object store drives to keep a decoded-
+// object cache (internal/objcache) coherent: Invalidate fires under the
+// store's exclusive lock on every Update/Delete, Reset on wholesale page
+// rewrites (WAL recovery). The store depends only on this interface so the
+// storage layer stays free of the cache's types.
+type CacheInvalidator interface {
+	Invalidate(OID)
+	Reset()
+}
+
+// SetInvalidator installs the cache invalidation hook. Must be called
+// before the store is shared across goroutines (kernel.Open does).
+func (s *ObjectStore) SetInvalidator(inv CacheInvalidator) { s.inv = inv }
+
+// SetPrefetcher attaches a page prefetcher consulted by FetchBatch and the
+// extent scans. Must be called before the store is shared across
+// goroutines; nil detaches.
+func (s *ObjectStore) SetPrefetcher(pf *Prefetcher) { s.pf = pf }
+
+// Prefetch requests asynchronous pre-loading of pages into the buffer pool.
+// A no-op without an attached prefetcher, so scan paths call it
+// unconditionally.
+func (s *ObjectStore) Prefetch(ids ...PageID) {
+	if s.pf != nil {
+		s.pf.Request(ids...)
+	}
+}
+
+func (s *ObjectStore) invalidate(oid OID) {
+	if s.inv != nil {
+		s.inv.Invalidate(oid)
+	}
+}
+
+// FetchBatch resolves many OIDs in one pass: the requests are sorted by
+// (page, slot) — OIDs order that way numerically — and each distinct page is
+// fetched exactly once, instead of once per record as a per-OID Get loop
+// does. With a prefetcher attached the distinct page set is requested up
+// front, so later page loads overlap the slot copies of earlier ones.
+// Results are returned parallel to the input order; duplicates are allowed.
+//
+// This is the collection-at-a-time reference resolution the traversal joins
+// use: the Section 6.1 worst case charges RNDCOST per referenced object,
+// while the batch path pays one random access per distinct target page —
+// the NbPg(nbpages, k) figure the cost model's batch mode predicts.
+func (s *ObjectStore) FetchBatch(oids []OID) ([][]byte, error) {
+	out := make([][]byte, len(oids))
+	if len(oids) == 0 {
+		return out, nil
+	}
+	idx := make([]int, len(oids))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return oids[idx[a]] < oids[idx[b]] })
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	if s.pf != nil {
+		var pages []PageID
+		for k, i := range idx {
+			if p := oids[i].Page(); k == 0 || p != oids[idx[k-1]].Page() {
+				pages = append(pages, p)
+			}
+		}
+		s.pf.Request(pages...)
+	}
+
+	// Overflow heads are collected during the page pass and the chains
+	// reassembled afterwards, so the primary pages are each pinned once.
+	type ovf struct {
+		i     int
+		first PageID
+		total int
+	}
+	var ovfs []ovf
+	for k := 0; k < len(idx); {
+		pid := oids[idx[k]].Page()
+		pg, err := s.bp.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		for ; k < len(idx) && oids[idx[k]].Page() == pid; k++ {
+			i := idx[k]
+			rec, gerr := pg.Get(oids[i].Slot())
+			if gerr != nil {
+				s.bp.Unpin(pid, false)
+				return nil, gerr
+			}
+			switch rec[0] {
+			case recPlain:
+				cp := make([]byte, len(rec)-1)
+				copy(cp, rec[1:])
+				out[i] = cp
+			case recOverflow:
+				ovfs = append(ovfs, ovf{
+					i:     i,
+					total: int(binary.LittleEndian.Uint32(rec[1:])),
+					first: PageID(binary.LittleEndian.Uint32(rec[5:])),
+				})
+			default:
+				s.bp.Unpin(pid, false)
+				return nil, fmt.Errorf("storage: corrupt record tag %d at %s", rec[0], oids[i])
+			}
+		}
+		if err := s.bp.Unpin(pid, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range ovfs {
+		data, err := s.readOverflow(o.first, o.total)
+		if err != nil {
+			return nil, err
+		}
+		out[o.i] = data
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"mood/internal/fault"
+)
+
+func TestFetchBatchMatchesGet(t *testing.T) {
+	store, _, _ := newTestStore(t, 64)
+	f, err := store.Files().CreateFile("batch")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	var oids []OID
+	var want [][]byte
+	for i := 0; i < 200; i++ {
+		data := []byte(fmt.Sprintf("record-%04d", i))
+		oid, err := store.Insert(f, data)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		oids = append(oids, oid)
+		want = append(want, data)
+	}
+	// A record big enough to spill into an overflow chain.
+	big := bytes.Repeat([]byte("B"), 3*store.Pool().Disk().PageSize())
+	bigOID, err := store.Insert(f, big)
+	if err != nil {
+		t.Fatalf("Insert big: %v", err)
+	}
+	oids = append(oids, bigOID)
+	want = append(want, big)
+
+	// Reverse order plus duplicates: results must stay parallel to input.
+	req := make([]OID, 0, len(oids)+3)
+	exp := make([][]byte, 0, len(want)+3)
+	for i := len(oids) - 1; i >= 0; i-- {
+		req = append(req, oids[i])
+		exp = append(exp, want[i])
+	}
+	req = append(req, oids[7], bigOID, oids[7])
+	exp = append(exp, want[7], big, want[7])
+
+	got, err := store.FetchBatch(req)
+	if err != nil {
+		t.Fatalf("FetchBatch: %v", err)
+	}
+	if len(got) != len(req) {
+		t.Fatalf("FetchBatch returned %d results for %d oids", len(got), len(req))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], exp[i]) {
+			t.Fatalf("result %d: got %d bytes, want %d", i, len(got[i]), len(exp[i]))
+		}
+	}
+}
+
+func TestFetchBatchReadsEachPageOnce(t *testing.T) {
+	store, bp, disk := newTestStore(t, 64)
+	f, err := store.Files().CreateFile("pages")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	var oids []OID
+	for i := 0; i < 300; i++ {
+		oid, err := store.Insert(f, []byte(fmt.Sprintf("r%05d", i)))
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := bp.EvictAll(); err != nil {
+		t.Fatalf("EvictAll: %v", err)
+	}
+	distinct := map[PageID]bool{}
+	for _, oid := range oids {
+		distinct[oid.Page()] = true
+	}
+	scope := disk.Scope()
+	if _, err := store.FetchBatch(oids); err != nil {
+		t.Fatalf("FetchBatch: %v", err)
+	}
+	if got, want := scope.Delta().Reads(), int64(len(distinct)); got != want {
+		t.Fatalf("cold FetchBatch read %d pages, want %d distinct", got, want)
+	}
+}
+
+func TestInvalidatorHook(t *testing.T) {
+	store, _, _ := newTestStore(t, 16)
+	f, err := store.Files().CreateFile("inv")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	rec := &recordingInvalidator{}
+	store.SetInvalidator(rec)
+	oid, err := store.Insert(f, []byte("v1"))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := store.Update(oid, []byte("v2")); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := store.Delete(oid); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if len(rec.oids) != 2 || rec.oids[0] != oid || rec.oids[1] != oid {
+		t.Fatalf("invalidations = %v, want [%s %s]", rec.oids, oid, oid)
+	}
+}
+
+type recordingInvalidator struct{ oids []OID }
+
+func (r *recordingInvalidator) Invalidate(oid OID) { r.oids = append(r.oids, oid) }
+func (r *recordingInvalidator) Reset()             {}
+
+// tearOverflowPage flushes the store cold, then tears the first overflow
+// page of the record at oid by writing a modified image through an armed
+// torn-write fault. Returns the torn page.
+func tearOverflowPage(t *testing.T, store *ObjectStore, bp *BufferPool, disk *DiskSim, oid OID) PageID {
+	t.Helper()
+	pg, err := bp.Fetch(oid.Page())
+	if err != nil {
+		t.Fatalf("Fetch head page: %v", err)
+	}
+	rec, err := pg.Get(oid.Slot())
+	if err != nil {
+		t.Fatalf("Get head record: %v", err)
+	}
+	if rec[0] != recOverflow {
+		t.Fatalf("record at %s is not an overflow head", oid)
+	}
+	first := PageID(binary.LittleEndian.Uint32(rec[5:]))
+	if err := bp.Unpin(oid.Page(), false); err != nil {
+		t.Fatalf("Unpin: %v", err)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := bp.EvictAll(); err != nil {
+		t.Fatalf("EvictAll: %v", err)
+	}
+
+	buf := make([]byte, disk.PageSize())
+	if err := disk.ReadPage(first, buf); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	for i := pageHeaderSize + 2; i < len(buf); i++ {
+		buf[i] ^= 0xFF
+	}
+	fi := fault.New(1)
+	fi.FailAt(fault.OpPageWrite, 1, fault.Torn)
+	disk.SetFaultInjector(fi)
+	if err := disk.WritePage(first, buf); err == nil {
+		t.Fatal("torn WritePage reported success")
+	}
+	disk.SetFaultInjector(nil)
+	if got := disk.CorruptPages(); len(got) != 1 || got[0] != first {
+		t.Fatalf("CorruptPages = %v, want [%d]", got, first)
+	}
+	return first
+}
+
+func TestTornOverflowPageSurfacesThroughGet(t *testing.T) {
+	store, bp, disk := newTestStore(t, 8)
+	f, err := store.Files().CreateFile("torn")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	big := bytes.Repeat([]byte("T"), 2*disk.PageSize())
+	oid, err := store.Insert(f, big)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	tearOverflowPage(t, store, bp, disk, oid)
+
+	// Without doublewrite the checksum mismatch must surface at the first
+	// live fetch of the chain — not only during crash-recovery replay.
+	if _, err := store.Get(oid); err == nil {
+		t.Fatal("Get through a torn overflow page succeeded")
+	}
+}
+
+func TestTornOverflowPageRepairedWithDoublewrite(t *testing.T) {
+	store, bp, disk := newTestStore(t, 8)
+	disk.SetDoublewrite(true)
+	f, err := store.Files().CreateFile("torn-dw")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	big := bytes.Repeat([]byte("D"), 2*disk.PageSize())
+	oid, err := store.Insert(f, big)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	first := tearOverflowPage(t, store, bp, disk, oid)
+
+	got, err := store.Get(oid)
+	if err != nil {
+		t.Fatalf("Get with doublewrite repair: %v", err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("repaired read returned wrong bytes")
+	}
+	if got := disk.CorruptPages(); len(got) != 0 {
+		t.Fatalf("page %d still corrupt after repair-on-read: %v", first, got)
+	}
+}
+
+func TestPrefetcherLoadsAndQuiesces(t *testing.T) {
+	store, bp, disk := newTestStore(t, 64)
+	f, err := store.Files().CreateFile("pf")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	var oids []OID
+	for i := 0; i < 300; i++ {
+		oid, err := store.Insert(f, []byte(fmt.Sprintf("p%05d", i)))
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := bp.EvictAll(); err != nil {
+		t.Fatalf("EvictAll: %v", err)
+	}
+	pf := NewPrefetcher(bp, 4)
+	defer pf.Close()
+	store.SetPrefetcher(pf)
+
+	distinct := map[PageID]bool{}
+	var pages []PageID
+	for _, oid := range oids {
+		if !distinct[oid.Page()] {
+			distinct[oid.Page()] = true
+			pages = append(pages, oid.Page())
+		}
+	}
+	scope := disk.Scope()
+	store.Prefetch(pages...)
+	pf.Quiesce()
+	if got, want := pf.Loaded(), int64(len(pages)); got != want {
+		t.Fatalf("prefetcher loaded %d pages, want %d", got, want)
+	}
+	for _, pid := range pages {
+		if !bp.Resident(pid) {
+			t.Fatalf("page %d not resident after prefetch", pid)
+		}
+	}
+	// The subsequent batch fetch must hit the pool: the page set was read
+	// exactly once in total, by the prefetcher.
+	if _, err := store.FetchBatch(oids); err != nil {
+		t.Fatalf("FetchBatch: %v", err)
+	}
+	if got, want := scope.Delta().Reads(), int64(len(pages)); got != want {
+		t.Fatalf("prefetch+batch read %d pages, want %d (no double reads)", got, want)
+	}
+	// Re-requesting resident pages is a no-op.
+	store.Prefetch(pages...)
+	pf.Quiesce()
+	if got := pf.Loaded(); got != int64(len(pages)) {
+		t.Fatalf("resident re-request loaded pages: %d", got)
+	}
+}

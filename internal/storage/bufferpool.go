@@ -22,10 +22,10 @@ import (
 // per-frame loading latch makes two concurrent fetches of the same absent
 // page read it once.
 type BufferPool struct {
-	disk     *DiskSim
-	shards   []poolShard
+	disk      *DiskSim
+	shards    []poolShard
 	shardMask uint32
-	nframes  int
+	nframes   int
 }
 
 type poolShard struct {
@@ -165,6 +165,17 @@ func (bp *BufferPool) PinnedPages() int {
 	return n
 }
 
+// Resident reports whether the page currently occupies a frame (loading
+// counts as resident — the read is already in flight). The prefetcher uses
+// it to skip pages readahead cannot help.
+func (bp *BufferPool) Resident(id PageID) bool {
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.table[id]
+	sh.mu.Unlock()
+	return ok
+}
+
 // NewPage allocates a fresh disk page, pins it, and returns it formatted as
 // raw zeroes (callers format it). The page is marked dirty.
 func (bp *BufferPool) NewPage() (*Page, error) {
@@ -225,7 +236,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		// Read outside the lock so hits on other pages of this shard (and
 		// concurrent loads) proceed; the frame is pinned so it cannot be
 		// stolen meanwhile, and the latch keeps same-page fetchers out.
-		rerr := bp.disk.ReadPage(id, buf)
+		rerr := bp.readVerified(id, buf)
 		sh.mu.Lock()
 		f.loading = nil
 		if rerr != nil {
@@ -240,6 +251,31 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		}
 		return NewPage(id, buf), nil
 	}
+}
+
+// readVerified reads the page and checks it against the checksum of its
+// last complete write, so a torn page surfaces at the first live fetch
+// instead of only during crash-recovery replay. With doublewrite retention
+// on, a mismatch is repaired from the last good image and re-read; without
+// it the checksum error propagates to the caller.
+func (bp *BufferPool) readVerified(id PageID, buf []byte) error {
+	if err := bp.disk.ReadPage(id, buf); err != nil {
+		return err
+	}
+	verr := bp.disk.VerifyPage(id)
+	if verr == nil {
+		return nil
+	}
+	if !bp.disk.DoublewriteEnabled() {
+		return verr
+	}
+	if err := bp.disk.RepairPage(id); err != nil {
+		return verr
+	}
+	if err := bp.disk.ReadPage(id, buf); err != nil {
+		return err
+	}
+	return bp.disk.VerifyPage(id)
 }
 
 // MarkDirty records that the pinned page has been modified.

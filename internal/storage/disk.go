@@ -196,6 +196,14 @@ func (d *DiskSim) SetDoublewrite(on bool) {
 	d.doublewrite = on
 }
 
+// DoublewriteEnabled reports whether torn pages can be repaired from the
+// retained good images (the read path's verify fallback consults it).
+func (d *DiskSim) DoublewriteEnabled() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.doublewrite
+}
+
 // SetLatency makes every subsequent page access block the calling goroutine
 // for perSimMs of wall time per simulated millisecond charged (zero turns
 // emulation off, the default). The sleep happens after every lock is

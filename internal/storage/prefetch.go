@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// prefetchQueue bounds the number of outstanding prefetch requests; requests
+// beyond it are dropped (readahead is best-effort, never backpressure).
+const prefetchQueue = 256
+
+// Prefetcher pre-loads pages into the buffer pool from a bounded pool of
+// worker goroutines, overlapping simulated disk latency with the caller's
+// decode work. The buffer pool's per-frame loading latch makes the overlap
+// safe and single-read: when the real Fetch arrives while a prefetch load is
+// in flight, it waits on the latch instead of issuing a second disk read, so
+// prefetching never inflates the read counters — it only moves the waiting
+// onto goroutines that have nothing better to do.
+//
+// Requests for already-resident pages are skipped, and the queue drops
+// requests rather than block, so readahead degrades to a no-op under
+// pressure instead of slowing the foreground down.
+type Prefetcher struct {
+	bp       *BufferPool
+	ch       chan PageID
+	wg       sync.WaitGroup // workers
+	inflight sync.WaitGroup // accepted requests not yet completed
+	loaded   atomic.Int64
+	closed   atomic.Bool
+}
+
+// NewPrefetcher starts workers goroutines (min 1) over the pool. The caller
+// owns the lifecycle and must Close it to stop the workers.
+func NewPrefetcher(bp *BufferPool, workers int) *Prefetcher {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Prefetcher{bp: bp, ch: make(chan PageID, prefetchQueue)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for id := range p.ch {
+				if !p.bp.Resident(id) {
+					if _, err := p.bp.Fetch(id); err == nil {
+						p.bp.Unpin(id, false)
+						p.loaded.Add(1)
+					}
+				}
+				p.inflight.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Request enqueues pages for background loading. Never blocks: resident
+// pages are skipped and requests beyond the queue bound are dropped. Safe
+// for concurrent callers.
+func (p *Prefetcher) Request(ids ...PageID) {
+	if p.closed.Load() {
+		return
+	}
+	for _, id := range ids {
+		if id == 0 || p.bp.Resident(id) {
+			continue
+		}
+		p.inflight.Add(1)
+		select {
+		case p.ch <- id:
+		default:
+			p.inflight.Done()
+		}
+	}
+}
+
+// Loaded returns how many pages the prefetcher actually read into the pool
+// (skipped-resident and dropped requests excluded).
+func (p *Prefetcher) Loaded() int64 { return p.loaded.Load() }
+
+// Quiesce blocks until every accepted request has completed. EXPLAIN
+// ANALYZE calls it before taking its final counter snapshot so in-flight
+// readahead cannot leak page reads past the measurement window.
+func (p *Prefetcher) Quiesce() { p.inflight.Wait() }
+
+// Close stops the workers after draining accepted requests. Request must
+// not be called concurrently with or after Close.
+func (p *Prefetcher) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.ch)
+	p.wg.Wait()
+}

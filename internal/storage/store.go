@@ -26,6 +26,11 @@ type ObjectStore struct {
 	bp *BufferPool
 	fm *FileManager
 	mu sync.RWMutex
+	// inv and pf are installed once at open time (SetInvalidator /
+	// SetPrefetcher), before the store is shared across goroutines; after
+	// that they are only read.
+	inv CacheInvalidator
+	pf  *Prefetcher
 }
 
 // NewObjectStore creates a store over the given pool and file manager.
@@ -142,6 +147,11 @@ func (s *ObjectStore) getLocked(oid OID) ([]byte, error) {
 func (s *ObjectStore) Update(oid OID, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Invalidate before releasing the exclusive lock (deferred calls run
+	// LIFO): readers are excluded for the whole mutation, so any cached
+	// value for this OID is dropped before they can look again, and the
+	// epoch bump kills in-flight fetches that read the old bytes.
+	defer s.invalidate(oid)
 	pg, err := s.bp.Fetch(oid.Page())
 	if err != nil {
 		return err
@@ -210,6 +220,7 @@ func (s *ObjectStore) Update(oid OID, data []byte) error {
 func (s *ObjectStore) Delete(oid OID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.invalidate(oid)
 	pg, err := s.bp.Fetch(oid.Page())
 	if err != nil {
 		return err
