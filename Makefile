@@ -17,6 +17,11 @@
 #   make bench-cache     regenerate BENCH_cache.json (object-cache sweep at
 #                        cache=0/64KiB/1MiB; reads/hit-rate/decode columns
 #                        deterministic, wall-clock columns machine-local)
+#   make bench-vector    regenerate BENCH_vector.json (vectorized batches +
+#                        compiled predicates vs the row-at-a-time pipeline;
+#                        rows/reads/decode columns deterministic, wall-clock
+#                        and speedup columns machine-local) plus the
+#                        row-vs-vector scan microbenchmarks
 #   make exec-race       the executor/algebra/kernel suites under the race
 #                        detector (the streaming pipeline's hot path)
 #   make parallel-race   every parallel-execution test under the race
@@ -24,13 +29,21 @@
 #   make cache-race      the object-cache stack under the race detector
 #                        (2Q cache, batch fetch, prefetcher, the kernel's
 #                        writer/reader invalidation torture)
+#   make vector-race     the vectorized-execution wall under the race
+#                        detector (batch-boundary edges, the three-way
+#                        differential, expr compile-vs-interpret equality)
+#   make fuzz-expr       bounded 30s fuzz of expr.Compile against the
+#                        interpreter (corpus seeds under
+#                        internal/expr/testdata/fuzz)
 #   make ci              everything a pre-merge check runs
 
 GO ?= go
 CRASHTEST_ITERS ?= 120
+FUZZ_EXPR_TIME ?= 30s
 
 .PHONY: build test race vet crashtest bench-baseline bench-parallel \
-	bench-exec bench-cache exec-race parallel-race cache-race ci
+	bench-exec bench-cache bench-vector exec-race parallel-race \
+	cache-race vector-race fuzz-expr ci
 
 build:
 	$(GO) build ./...
@@ -72,4 +85,15 @@ cache-race:
 	$(GO) test -race -run 'Cache|FetchBatch|Prefetcher|Invalidator' \
 		./internal/storage ./internal/catalog ./internal/kernel
 
-ci: build vet test race exec-race parallel-race cache-race crashtest
+bench-vector:
+	$(GO) run ./cmd/moodbench -vector-json BENCH_vector.json
+	$(GO) test -bench 'BenchmarkScanSelect' -benchmem -run '^$$' ./internal/experiments
+
+vector-race:
+	$(GO) test -race -run 'Batch|Differential|Vector|Compile' \
+		./internal/exec ./internal/expr ./internal/experiments ./internal/kernel
+
+fuzz-expr:
+	$(GO) test -fuzz FuzzCompile -fuzztime $(FUZZ_EXPR_TIME) -run '^FuzzCompile$$' ./internal/expr
+
+ci: build vet test race exec-race parallel-race cache-race vector-race fuzz-expr bench-vector crashtest

@@ -8,7 +8,7 @@
 // Artifacts: table1, table2, tables3to7, table8, table9, table10,
 // tables11and12, tables13to15, table16, table17, example81, example82,
 // figure71, figure72, joinsweep, pathorder, selectivity, indexrule,
-// parallel, cache.
+// parallel, cache, vector.
 package main
 
 import (
@@ -64,7 +64,29 @@ func artifacts() []artifact {
 		{"indexrule", "8.1 index-selection rule sweep", experiments.IndexSelectionSweep},
 		{"parallel", "morsel-driven exchange scaling, workers=1/2/4/8", experiments.ParallelScaling},
 		{"cache", "object-cache sweep, cache=0/64KiB/1MiB", experiments.CacheSweep},
+		{"vector", "vectorized execution vs row-at-a-time, compiled predicates", experiments.VectorSweep},
 	}
+}
+
+// writeVectorJSON runs the vectorized-execution sweep of
+// experiments.MeasureVector and writes the result as JSON. Rows, page reads,
+// simulated time, decode counts and the compiled flags are deterministic;
+// the wall-clock and allocation columns are real measurements and vary run
+// to run.
+func writeVectorJSON(path string, scale float64) error {
+	env, err := experiments.BuildEnv(experiments.Scale(scale))
+	if err != nil {
+		return fmt.Errorf("building environment: %w", err)
+	}
+	res, err := experiments.MeasureVector(env)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeBenchJSON measures the representative operation set of
@@ -136,6 +158,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write a JSON baseline of per-artifact simulated I/O to this file and exit")
 	parallelJSON := flag.String("parallel-json", "", "write the workers=1/2/4/8 parallel scaling sweep to this file and exit")
 	cacheJSON := flag.String("cache-json", "", "write the object-cache sweep (cache=0/64KiB/1MiB) to this file and exit")
+	vectorJSON := flag.String("vector-json", "", "write the vectorized-execution sweep (row/vector/vector-parallel) to this file and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
 
@@ -176,6 +199,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (scale %g)\n", *cacheJSON, *scale)
+		return
+	}
+	if *vectorJSON != "" {
+		if err := writeVectorJSON(*vectorJSON, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "vector-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (scale %g)\n", *vectorJSON, *scale)
 		return
 	}
 

@@ -426,7 +426,8 @@ func TestSortHeapMerge(t *testing.T) {
 	}
 	prev := int64(-1 << 62)
 	for i := range sorted.Rows {
-		w, _ := sorted.Rows[i].Vars["v"].Val.Field("weight")
+		sv := sorted.Rows[i].Vars["v"].Val
+		w, _ := sv.Field("weight")
 		if w.Int < prev {
 			t.Fatal("ascending sort violated")
 		}
@@ -481,7 +482,8 @@ func TestSortLargeTriggersMerge(t *testing.T) {
 	}
 	prev := int64(1 << 62)
 	for i := range sorted.Rows {
-		w, _ := sorted.Rows[i].Vars["v"].Val.Field("weight")
+		sv := sorted.Rows[i].Vars["v"].Val
+		w, _ := sv.Field("weight")
 		if w.Int > prev {
 			t.Fatalf("merge phase broke descending order at row %d", i)
 		}
@@ -646,7 +648,7 @@ func TestAsExtent(t *testing.T) {
 		t.Fatalf("asExtent = %v %v", ext, err)
 	}
 	for i := range ext.Rows {
-		if ext.Rows[i].Vars["v"].Val.IsNull() {
+		if ev := ext.Rows[i].Vars["v"].Val; ev.IsNull() {
 			t.Error("asExtent did not dereference")
 		}
 	}
@@ -678,7 +680,8 @@ func TestUnnestPaperExample(t *testing.T) {
 	}
 	// Every output tuple's b is a single reference now.
 	for i := range out.Rows {
-		b, _ := out.Rows[i].Vars["e"].Val.Field("b")
+		ev := out.Rows[i].Vars["e"].Val
+		b, _ := ev.Field("b")
 		if b.Kind != object.KindReference {
 			t.Errorf("unnested b = %s", b.Kind)
 		}
@@ -692,7 +695,8 @@ func TestUnnestPaperExample(t *testing.T) {
 		t.Fatalf("Nest = %d groups, want 2", nested.Len())
 	}
 	for i := range nested.Rows {
-		b, _ := nested.Rows[i].Vars["e"].Val.Field("b")
+		ev := nested.Rows[i].Vars["e"].Val
+		b, _ := ev.Field("b")
 		if b.Kind != object.KindSet {
 			t.Errorf("nested b = %s", b.Kind)
 		}

@@ -65,6 +65,16 @@ func (re *RowEvaluator) EvalBool(row Row, p expr.Expr) (bool, error) {
 	return expr.EvalBool(p, re.env)
 }
 
+// EvalPred evaluates a compiled predicate closure (expr.CompileBool) with
+// the row's bindings in scope — the vectorized executor's counterpart of
+// EvalBool for predicates that did not lower to self mode.
+func (re *RowEvaluator) EvalPred(row Row, fn expr.BoolFn) (bool, error) {
+	if err := re.bind(row); err != nil {
+		return false, err
+	}
+	return fn(re.env)
+}
+
 // Eval evaluates an expression with the row's bindings in scope.
 func (re *RowEvaluator) Eval(row Row, e expr.Expr) (object.Value, error) {
 	if err := re.bind(row); err != nil {

@@ -25,11 +25,83 @@ type ExtentCursor struct {
 	opened  bool
 	done    bool
 	closed  bool
+	filter  func(oid storage.OID, v *object.Value) (bool, error)
+	scratch pageScanScratch
 }
 
 type scanned struct {
 	oid storage.OID
 	val object.Value
+}
+
+// pageScanScratch holds the reusable per-page buffers of a batched extent
+// scan. The zero value is ready to use; the slices grow to one page's
+// record count and are reused for every subsequent page.
+type pageScanScratch struct {
+	recs []storage.ScanRecord // zero-copy record batch (aliases the frame)
+	oids []storage.OID
+	vals []*object.Value // cache-hit pointers; nil marks a decode
+	dec  []object.Value  // decoded cache misses, in record order
+}
+
+// scanPageBatched reads one extent page and emits its surviving objects:
+// inside the store lock it probes the object cache for the whole page in
+// one batched lookup (one shard lock per page, not per object) and decodes
+// only the misses; the filter and emit callbacks then run OUTSIDE the store
+// lock on cache- or scratch-owned values, so a filter that resolves
+// references may safely re-enter the store. Cache hits save only the
+// decode, never the page read — read patterns are identical with and
+// without the cache — and the promotion-free batch probe keeps one scan
+// pass from churning the replacement lists. The object pointers handed to
+// filter and emit are read-only and valid only until the next call with the
+// same scratch. Returns the next page in the chain (0 at the end).
+func (c *Catalog) scanPageBatched(f *storage.File, pid storage.PageID, readahead bool, sc *pageScanScratch,
+	filter func(oid storage.OID, v *object.Value) (bool, error),
+	emit func(oid storage.OID, v *object.Value)) (storage.PageID, error) {
+	sc.oids, sc.vals, sc.dec = sc.oids[:0], sc.vals[:0], sc.dec[:0]
+	next, recs, err := c.store.ScanPageRecs(f, pid, readahead, sc.recs, func(batch []storage.ScanRecord) error {
+		n0 := len(sc.oids)
+		for i := range batch {
+			sc.oids = append(sc.oids, batch[i].OID)
+			sc.vals = append(sc.vals, nil)
+		}
+		if c.ocache != nil {
+			c.ocache.GetScanBatch(sc.oids[n0:], sc.vals[n0:])
+		}
+		for i := range batch {
+			if sc.vals[n0+i] != nil {
+				continue
+			}
+			_, v, err := decodeObject(batch[i].Data)
+			if err != nil {
+				return err
+			}
+			sc.dec = append(sc.dec, v)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sc.recs = recs
+	di := 0
+	for i, v := range sc.vals {
+		if v == nil {
+			v = &sc.dec[di]
+			di++
+		}
+		if filter != nil {
+			keep, err := filter(sc.oids[i], v)
+			if err != nil {
+				return 0, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		emit(sc.oids[i], v)
+	}
+	return next, nil
 }
 
 // ErrCursorClosed is returned by Next on a cursor whose Close has run.
@@ -149,23 +221,33 @@ func (c *Catalog) ExtentMorsels(class string, minus []string, closure bool, page
 // call from concurrent worker goroutines: page reads go through the store's
 // shared lock and the sharded buffer pool.
 func (c *Catalog) ReadMorsel(m *ExtentMorsel) ([]ScannedObject, error) {
+	return c.ReadMorselFiltered(m, nil)
+}
+
+// ReadMorselFiltered is ReadMorsel with a predicate pushed into the
+// page-decode loop, mirroring ExtentCursor.SetFilter: the filter sees each
+// object in place (v is read-only and may alias the object cache or the
+// decode buffer) and rejected objects are never copied into the result.
+// A nil filter keeps everything. Page reads are identical either way.
+func (c *Catalog) ReadMorselFiltered(m *ExtentMorsel, filter func(oid storage.OID, v *object.Value) (bool, error)) ([]ScannedObject, error) {
 	var out []ScannedObject
 	// Readahead: request the whole morsel's page set up front, so loading
 	// page i+1 overlaps decoding page i (no-op without a prefetcher).
 	if len(m.Pages) > 1 {
 		c.store.Prefetch(m.Pages[1:]...)
 	}
+	var sc pageScanScratch
 	for _, pid := range m.Pages {
-		recs, _, err := c.store.ScanPage(m.file, pid)
+		// Batched zero-copy page scan, as in ExtentCursor.fill; readahead is
+		// off because the whole morsel was requested above. Cache inserts are
+		// skipped on purpose: they would need a BeginFetch token predating
+		// the page read.
+		_, err := c.scanPageBatched(m.file, pid, false, &sc, filter,
+			func(oid storage.OID, v *object.Value) {
+				out = append(out, ScannedObject{OID: oid, Val: *v})
+			})
 		if err != nil {
 			return nil, err
-		}
-		for _, r := range recs {
-			_, v, err := decodeObject(r.Data)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, ScannedObject{OID: r.OID, Val: v})
 		}
 	}
 	return out, nil
@@ -195,10 +277,47 @@ func (it *ExtentCursor) Next() (storage.OID, object.Value, bool, error) {
 	}
 }
 
+// SetFilter pushes a predicate into the page-decode loop: it is evaluated
+// against each scanned object in place (v aliases the decode buffer and is
+// read-only), and rejected objects are never buffered or surfaced by
+// Next/NextRef. Page reads are unchanged — the filter only decides what
+// survives the page, which is how the fused scan-selection avoids a copy
+// per rejected object. An error from the filter aborts the scan.
+func (it *ExtentCursor) SetFilter(f func(oid storage.OID, v *object.Value) (bool, error)) {
+	it.filter = f
+}
+
+// NextRef is Next without the 120-byte value copy: the returned pointer
+// aliases the cursor's internal page buffer and is valid only until the
+// next Next/NextRef call (a refill reuses the buffer's backing array). The
+// vectorized scan operators use it to evaluate predicates in place,
+// copying the value out only for rows that survive.
+func (it *ExtentCursor) NextRef() (storage.OID, *object.Value, bool, error) {
+	for {
+		if it.closed {
+			return storage.NilOID, nil, false, ErrCursorClosed
+		}
+		if it.done {
+			return storage.NilOID, nil, false, nil
+		}
+		if it.bi < len(it.buf) {
+			h := &it.buf[it.bi]
+			it.bi++
+			return h.oid, &h.val, true, nil
+		}
+		if err := it.fill(); err != nil {
+			it.done = true
+			return storage.NilOID, nil, false, err
+		}
+	}
+}
+
 // fill buffers the next non-empty page's objects, advancing through the
-// class list; it sets done when every extent is exhausted.
+// class list; it sets done when every extent is exhausted. The buffer's
+// backing array is reused across fills — Next hands out value copies, so
+// nothing observes the overwrite.
 func (it *ExtentCursor) fill() error {
-	it.buf, it.bi = nil, 0
+	it.buf, it.bi = it.buf[:0], 0
 	for {
 		if it.file == nil {
 			// Advance to the next class's extent.
@@ -221,23 +340,19 @@ func (it *ExtentCursor) fill() error {
 			it.file = nil
 			continue
 		}
-		recs, next, err := it.cat.store.ScanPage(it.file, it.pid)
+		// Batched zero-copy page scan: one cache probe and one decode batch
+		// per page, the filter running outside the store lock, and the next
+		// page's load requested before decoding starts (a no-op without a
+		// prefetcher). A rejected object is never copied — only survivors
+		// land in the buffer.
+		next, err := it.cat.scanPageBatched(it.file, it.pid, true, &it.scratch, it.filter,
+			func(oid storage.OID, v *object.Value) {
+				it.buf = append(it.buf, scanned{oid: oid, val: *v})
+			})
 		if err != nil {
 			return err
 		}
 		it.pid = next
-		if next != 0 {
-			// Readahead: load the chain's next page while this one decodes
-			// (no-op without a prefetcher).
-			it.cat.store.Prefetch(next)
-		}
-		for _, r := range recs {
-			_, v, err := decodeObject(r.Data)
-			if err != nil {
-				return err
-			}
-			it.buf = append(it.buf, scanned{oid: r.OID, val: v})
-		}
 		if len(it.buf) > 0 {
 			return nil
 		}

@@ -26,6 +26,7 @@ import (
 // opStats accumulates one operator's cumulative counters.
 type opStats struct {
 	rowsOut    int64
+	batches    int64
 	pages      int64
 	hits       int64
 	misses     int64
@@ -85,6 +86,22 @@ func (s *statsOp) Next() (algebra.Row, bool, error) {
 	return row, ok, err
 }
 
+// NextBatch keeps the batch flow alive through the instrumentation layer:
+// without it, the adapter in nextBatch would silently demote every analyzed
+// pipeline to row-at-a-time, and EXPLAIN ANALYZE would measure a different
+// execution than the one plain Execute runs.
+func (s *statsOp) NextBatch(b *RowBatch) (int, error) {
+	start := time.Now()
+	p0, h0, m0, f0 := s.an.snapshot()
+	n, err := nextBatch(s.inner, b)
+	s.settle(start, p0, h0, m0, f0)
+	s.st.rowsOut += int64(n)
+	if n > 0 {
+		s.st.batches++
+	}
+	return n, err
+}
+
 func (s *statsOp) Close() error {
 	start := time.Now()
 	p0, h0, m0, f0 := s.an.snapshot()
@@ -98,6 +115,14 @@ type OpReport struct {
 	Plan    optimizer.Plan
 	RowsIn  int64 // sum of the direct children's rows out
 	RowsOut int64
+	// Batches counts the non-empty NextBatch calls observed at this
+	// operator; zero when the node was driven row-at-a-time.
+	Batches int64
+	// CompiledSet marks operators that participate in predicate/projection
+	// compilation; Compiled then reports whether the expression fully
+	// lowered to a fused closure (false = interpreter fallback).
+	CompiledSet bool
+	Compiled    bool
 	// Self figures exclude the children's cumulative shares; Cum figures
 	// include them.
 	SelfPages int64
@@ -165,7 +190,12 @@ func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Anal
 		return nil, nil, err
 	}
 	p0 := an.pages()
-	coll, err := drainOp(root.op, root.hdr)
+	var coll *algebra.Collection
+	if e.RowMode {
+		coll, err = drainRows(root.op, root.hdr)
+	} else {
+		coll, err = drainOp(root.op, root.hdr)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -186,10 +216,19 @@ func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Anal
 	}, nil
 }
 
+// predicateCompiled is implemented by operators that take part in
+// predicate/projection compilation; active says the operator looked the
+// expression up in the query registry, full says the lookup produced a
+// fused closure rather than the interpreter fallback.
+type predicateCompiled interface {
+	compiledPredicate() (active, full bool)
+}
+
 func buildReport(c *compiled) *OpReport {
 	r := &OpReport{
 		Plan:          c.plan,
 		RowsOut:       c.stats.rowsOut,
+		Batches:       c.stats.batches,
 		CumPages:      c.stats.pages,
 		CumHits:       c.stats.hits,
 		CumMisses:     c.stats.misses,
@@ -198,6 +237,12 @@ func buildReport(c *compiled) *OpReport {
 	}
 	if ws, ok := c.raw.(workerStatser); ok {
 		r.Workers = ws.WorkerStats()
+	}
+	if pc, ok := c.raw.(predicateCompiled); ok {
+		if active, full := pc.compiledPredicate(); active {
+			r.CompiledSet = true
+			r.Compiled = full
+		}
 	}
 	var kidPages, kidHits, kidMisses, kidPrefetched int64
 	var kidTime time.Duration
@@ -252,6 +297,13 @@ func renderReport(sb *strings.Builder, r *OpReport, indent string, cacheOn, pref
 	}
 	if prefetchOn {
 		extra += fmt.Sprintf(" prefetched=%d", r.SelfPrefetched)
+	}
+	if r.Batches > 0 {
+		extra += fmt.Sprintf(" batches=%d rows/batch=%.1f",
+			r.Batches, float64(r.RowsOut)/float64(r.Batches))
+	}
+	if r.CompiledSet {
+		extra += fmt.Sprintf(" compiled=%t", r.Compiled)
 	}
 	if len(r.Kids) == 0 {
 		fmt.Fprintf(sb, "%s%s  (rows=%d pages=%d%s time=%s)\n",

@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"mood/internal/algebra"
+	"mood/internal/optimizer"
+)
+
+// Batch-at-a-time execution: the vectorized refinement of the Volcano
+// contract in optimizer.Operator. Operators that implement BatchOperator
+// produce up to BatchCapacity rows per call into a caller-owned RowBatch,
+// amortizing the per-row interface dispatch and (for the fused/compiled
+// operators in stream.go) the predicate tree walk across the batch.
+// Operators that don't are driven through the nextBatch adapter, so row-only
+// and batch-native operators compose freely in one pipeline and the
+// migration stays incremental. Both shapes of every operator produce the
+// exact same row stream; the differential tests hold row mode, batch mode,
+// and the materializing executor equal.
+
+// BatchCapacity is the row-vector size: large enough to amortize dispatch,
+// small enough that a batch of row headers stays cache- and stack-friendly.
+const BatchCapacity = 1024
+
+// RowBatch is a reusable row vector. Rows[0:n] are valid after a NextBatch
+// call that returned n; the producer overwrites them on the next call, so
+// consumers that retain rows must copy the slice headers out first (the row
+// Vars maps themselves are shared by reference, as in row-at-a-time mode).
+type RowBatch struct {
+	Rows [BatchCapacity]algebra.Row
+}
+
+// BatchOperator is an Operator that can also produce rows in batches.
+//
+//   - NextBatch fills b from the front and returns the count; n == 0 with a
+//     nil error means the stream is exhausted (NextBatch never returns 0
+//     mid-stream — a filtering operator keeps pulling until it has at least
+//     one surviving row or its input ends).
+//   - On error the batch's contents are undefined and n is 0, matching the
+//     row contract's "discard on error".
+//   - Next and NextBatch may be mixed on one operator: both draw from the
+//     same underlying stream position.
+type BatchOperator interface {
+	optimizer.Operator
+	NextBatch(b *RowBatch) (int, error)
+}
+
+// nextBatch pulls up to BatchCapacity rows from op: natively when op
+// implements BatchOperator, otherwise through the batch↔row adapter loop.
+func nextBatch(op optimizer.Operator, b *RowBatch) (int, error) {
+	if bo, ok := op.(BatchOperator); ok {
+		return bo.NextBatch(b)
+	}
+	n := 0
+	for n < BatchCapacity {
+		row, ok, err := op.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		b.Rows[n] = row
+		n++
+	}
+	return n, nil
+}
+
+// batchRows is the other direction of the adapter: row-at-a-time iteration
+// over a batch-producing refill function, for consumers that need single
+// rows from a batch-native source.
+type batchRows struct {
+	buf *RowBatch
+	n   int
+	i   int
+}
+
+func (br *batchRows) next(refill func(*RowBatch) (int, error)) (algebra.Row, bool, error) {
+	for br.i >= br.n {
+		if br.buf == nil {
+			br.buf = &RowBatch{}
+		}
+		n, err := refill(br.buf)
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		if n == 0 {
+			return algebra.Row{}, false, nil
+		}
+		br.n, br.i = n, 0
+	}
+	row := br.buf.Rows[br.i]
+	br.i++
+	return row, true, nil
+}

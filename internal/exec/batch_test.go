@@ -1,0 +1,381 @@
+package exec
+
+import (
+	"testing"
+
+	"mood/internal/algebra"
+	"mood/internal/expr"
+	"mood/internal/object"
+	"mood/internal/optimizer"
+	"mood/internal/vehicledb"
+)
+
+// Batch-boundary edge tests: empty extents, extents landing exactly on and
+// either side of BatchCapacity, early Close mid-batch, and the batch<->row
+// adapter in both directions. These pin the NextBatch contract (n==0 with
+// nil error only at end of stream, partial batches only at the end) at the
+// sizes where off-by-one bugs live.
+
+// batchFixture builds a database whose Company extent has exactly n rows
+// (the other extents stay minimal) and returns the fixture.
+func batchFixture(t testing.TB, n int) *fixture {
+	t.Helper()
+	return setup(t, vehicledb.Config{
+		Vehicles: 16, DriveTrains: 16, Engines: 16,
+		Companies: n, Employees: 0, Seed: 5,
+	})
+}
+
+// drainBatches drives op through NextBatch until end of stream, returning
+// every batch size in order (the terminating 0 excluded).
+func drainBatches(t *testing.T, op BatchOperator) []int {
+	t.Helper()
+	var sizes []int
+	b := &RowBatch{}
+	for {
+		n, err := op.NextBatch(b)
+		if err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+		if n == 0 {
+			// End of stream must be sticky.
+			if n2, err := op.NextBatch(b); err != nil || n2 != 0 {
+				t.Fatalf("NextBatch after exhaustion = (%d, %v), want (0, nil)", n2, err)
+			}
+			return sizes
+		}
+		sizes = append(sizes, n)
+	}
+}
+
+func compileBatch(t *testing.T, ex *Executor, p optimizer.Plan) BatchOperator {
+	t.Helper()
+	op, err := ex.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, ok := op.(BatchOperator)
+	if !ok {
+		t.Fatalf("compiled root %T does not implement BatchOperator", op)
+	}
+	if err := bo.Open(); err != nil {
+		t.Fatal(err)
+	}
+	return bo
+}
+
+// TestBatchEmptyExtent: a scan of an empty extent ends immediately — one
+// NextBatch call returning (0, nil) — through the bare scan and through the
+// fused scan-selection alike.
+func TestBatchEmptyExtent(t *testing.T) {
+	f := batchFixture(t, 16)
+	bind := &optimizer.BindPlan{Class: "Employee", Var: "e"}
+	plans := []optimizer.Plan{
+		bind,
+		&optimizer.SelectPlan{Input: bind, Pred: &expr.Cmp{
+			Op: expr.OpEq,
+			L:  expr.Path("e", "name"),
+			R:  &expr.Const{Val: object.NewString("x")},
+		}},
+	}
+	for _, p := range plans {
+		op := compileBatch(t, f.ex, p)
+		if sizes := drainBatches(t, op); len(sizes) != 0 {
+			t.Errorf("%s: empty extent produced batches %v", optimizer.Describe(p), sizes)
+		}
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBatchCapacityBoundaries: extents of BatchCapacity-1, BatchCapacity,
+// and BatchCapacity+1 rows produce full batches with the remainder — and
+// only the remainder — in the final batch.
+func TestBatchCapacityBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{BatchCapacity - 1, []int{BatchCapacity - 1}},
+		{BatchCapacity, []int{BatchCapacity}},
+		{BatchCapacity + 1, []int{BatchCapacity, 1}},
+		{2*BatchCapacity + 7, []int{BatchCapacity, BatchCapacity, 7}},
+	}
+	for _, tc := range cases {
+		f := batchFixture(t, tc.n)
+		op := compileBatch(t, f.ex, &optimizer.BindPlan{Class: "Company", Var: "c"})
+		sizes := drainBatches(t, op)
+		if len(sizes) != len(tc.want) {
+			t.Fatalf("n=%d: batches %v, want %v", tc.n, sizes, tc.want)
+		}
+		for i := range sizes {
+			if sizes[i] != tc.want[i] {
+				t.Fatalf("n=%d: batches %v, want %v", tc.n, sizes, tc.want)
+			}
+		}
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBatchFilteredNeverZeroMidStream: a fused scan-selection keeps pulling
+// past filtered-out runs — every batch but the last is full, none is empty,
+// and the surviving rows are exactly the predicate's.
+func TestBatchFilteredNeverZeroMidStream(t *testing.T) {
+	const n = 3*BatchCapacity + 100
+	f := batchFixture(t, n)
+	// location cycles through five cities, so ='Tokyo' keeps every fifth
+	// row and survivors straddle many input batches.
+	op := compileBatch(t, f.ex, &optimizer.SelectPlan{
+		Input: &optimizer.BindPlan{Class: "Company", Var: "c"},
+		Pred: &expr.Cmp{
+			Op: expr.OpEq,
+			L:  expr.Path("c", "location"),
+			R:  &expr.Const{Val: object.NewString("Tokyo")},
+		},
+	})
+	sizes := drainBatches(t, op)
+	total := 0
+	for i, s := range sizes {
+		total += s
+		if s == 0 {
+			t.Fatalf("batch %d is empty mid-stream: %v", i, sizes)
+		}
+		if i < len(sizes)-1 && s != BatchCapacity {
+			t.Fatalf("batch %d is short (%d) before end of stream: %v", i, s, sizes)
+		}
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%5 == 2 { // generator cycle: Ankara, Munich, Tokyo, Detroit, Istanbul
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("filtered rows = %d, want %d", total, want)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchEarlyCloseReadCounts: abandoning a scan after one batch reads
+// exactly the pages that 1024 row-at-a-time Next calls read — batching must
+// not drag extra extent pages in before Close.
+func TestBatchEarlyCloseReadCounts(t *testing.T) {
+	const n = 3 * BatchCapacity
+	readsAfter := func(drive func(op BatchOperator)) int64 {
+		f := batchFixture(t, n)
+		op := compileBatch(t, f.ex, &optimizer.BindPlan{Class: "Company", Var: "c"})
+		d := f.pool.Disk()
+		d.ResetStats()
+		drive(op)
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().Reads()
+	}
+	batchReads := readsAfter(func(op BatchOperator) {
+		b := &RowBatch{}
+		got, err := op.NextBatch(b)
+		if err != nil || got != BatchCapacity {
+			t.Fatalf("NextBatch = (%d, %v), want (%d, nil)", got, err, BatchCapacity)
+		}
+	})
+	rowReads := readsAfter(func(op BatchOperator) {
+		for i := 0; i < BatchCapacity; i++ {
+			if _, ok, err := op.Next(); err != nil || !ok {
+				t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+	})
+	if batchReads != rowReads {
+		t.Fatalf("early close after one batch read %d pages, row-at-a-time read %d", batchReads, rowReads)
+	}
+}
+
+// rowOnly hides an operator's native NextBatch, forcing the row->batch
+// adapter path in nextBatch.
+type rowOnly struct {
+	inner optimizer.Operator
+}
+
+func (r *rowOnly) Open() error                      { return r.inner.Open() }
+func (r *rowOnly) Next() (algebra.Row, bool, error) { return r.inner.Next() }
+func (r *rowOnly) Close() error                     { return r.inner.Close() }
+
+// TestBatchRowAdapterRoundTrip: driving a batch-native operator through the
+// row->batch adapter, and a batch stream through the batch->row adapter,
+// reproduces the native row stream exactly; and Next/NextBatch mix on one
+// operator without losing position.
+func TestBatchRowAdapterRoundTrip(t *testing.T) {
+	const n = BatchCapacity + 200
+	oids := func(rows []algebra.Row) []int64 {
+		out := make([]int64, len(rows))
+		for i, r := range rows {
+			out[i] = int64(r.Vars["c"].OID)
+		}
+		return out
+	}
+	f := batchFixture(t, n)
+	plan := &optimizer.BindPlan{Class: "Company", Var: "c"}
+
+	native, err := f.ex.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(native.Rows) != n {
+		t.Fatalf("native rows = %d, want %d", len(native.Rows), n)
+	}
+	wantOIDs := oids(native.Rows)
+
+	// Row->batch: the adapter loop over a row-only wrapper.
+	inner, err := f.ex.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := &rowOnly{inner: inner}
+	if err := wrapped.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var viaAdapter []algebra.Row
+	b := &RowBatch{}
+	for {
+		got, err := nextBatch(wrapped, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == 0 {
+			break
+		}
+		viaAdapter = append(viaAdapter, b.Rows[:got]...)
+	}
+	if err := wrapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gotOIDs := oids(viaAdapter)
+	if len(gotOIDs) != len(wantOIDs) {
+		t.Fatalf("adapter rows = %d, want %d", len(gotOIDs), len(wantOIDs))
+	}
+	for i := range gotOIDs {
+		if gotOIDs[i] != wantOIDs[i] {
+			t.Fatalf("adapter row %d: OID %d, want %d", i, gotOIDs[i], wantOIDs[i])
+		}
+	}
+
+	// Batch->row: batchRows iteration over a batch-native refill.
+	src := compileBatch(t, f.ex, plan)
+	br := &batchRows{}
+	var viaRows []int64
+	for {
+		row, ok, err := br.next(src.NextBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		viaRows = append(viaRows, int64(row.Vars["c"].OID))
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(viaRows) != len(wantOIDs) {
+		t.Fatalf("batchRows rows = %d, want %d", len(viaRows), len(wantOIDs))
+	}
+	for i := range viaRows {
+		if viaRows[i] != wantOIDs[i] {
+			t.Fatalf("batchRows row %d: OID %d, want %d", i, viaRows[i], wantOIDs[i])
+		}
+	}
+
+	// Mixed driving: rows consumed through Next advance the same stream
+	// position NextBatch continues from.
+	mixed := compileBatch(t, f.ex, plan)
+	var mixedOIDs []int64
+	for i := 0; i < 3; i++ {
+		row, ok, err := mixed.Next()
+		if err != nil || !ok {
+			t.Fatalf("mixed Next %d: ok=%v err=%v", i, ok, err)
+		}
+		mixedOIDs = append(mixedOIDs, int64(row.Vars["c"].OID))
+	}
+	for {
+		got, err := mixed.NextBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == 0 {
+			break
+		}
+		for _, r := range b.Rows[:got] {
+			mixedOIDs = append(mixedOIDs, int64(r.Vars["c"].OID))
+		}
+	}
+	if err := mixed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mixedOIDs) != len(wantOIDs) {
+		t.Fatalf("mixed rows = %d, want %d", len(mixedOIDs), len(wantOIDs))
+	}
+	for i := range mixedOIDs {
+		if mixedOIDs[i] != wantOIDs[i] {
+			t.Fatalf("mixed row %d: OID %d, want %d", i, mixedOIDs[i], wantOIDs[i])
+		}
+	}
+}
+
+// TestParallelPartialBatchMerge is the regression test for the exchange
+// merge: worker tasks produce runs whose sizes do not divide BatchCapacity,
+// and the merge must keep filling a batch across task boundaries — a short
+// batch is legal only at end of stream — while preserving the serial row
+// order exactly.
+func TestParallelPartialBatchMerge(t *testing.T) {
+	const n = 2*BatchCapacity + 452
+	f := batchFixture(t, n)
+	serial, err := f.ex.Execute(&optimizer.BindPlan{Class: "Company", Var: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 3, 5} {
+		op := compileBatch(t, f.ex, &optimizer.ExchangePlan{
+			Input:   &optimizer.BindPlan{Class: "Company", Var: "c"},
+			Workers: workers,
+		})
+		var got []int64
+		var sizes []int
+		b := &RowBatch{}
+		for {
+			k, err := op.NextBatch(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == 0 {
+				break
+			}
+			sizes = append(sizes, k)
+			for _, r := range b.Rows[:k] {
+				got = append(got, int64(r.Vars["c"].OID))
+			}
+		}
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range sizes {
+			if i < len(sizes)-1 && s != BatchCapacity {
+				t.Fatalf("workers=%d: batch %d short (%d) before end of stream: %v", workers, i, s, sizes)
+			}
+		}
+		if len(got) != len(serial.Rows) {
+			t.Fatalf("workers=%d: %d rows, serial %d", workers, len(got), len(serial.Rows))
+		}
+		for i, r := range serial.Rows {
+			if got[i] != int64(r.Vars["c"].OID) {
+				t.Fatalf("workers=%d: row %d OID %d, serial %d", workers, i, got[i], int64(r.Vars["c"].OID))
+			}
+		}
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"testing"
 
+	"mood/internal/algebra"
 	"mood/internal/expr"
+	"mood/internal/objcache"
 	"mood/internal/object"
 	"mood/internal/optimizer"
 	"mood/internal/sql"
@@ -20,9 +22,20 @@ import (
 // extent. This exercises the full stack — parser-equivalent ASTs, DNF,
 // dictionary classification, §8.1/8.1/8.2 ordering, all join strategies,
 // and the executor — against an oracle that uses none of it.
+//
+// Four execution legs run per trial: the vectorized streaming pipeline
+// (compiled predicates), the row-at-a-time interpreter (RowMode), the
+// materializing reference executor, and the morsel-parallel rewrite.
+// Halfway through, a decoded-object cache is switched on underneath all of
+// them, so the second half of the trials covers the cached read path too.
 func TestRandomQueriesDifferential(t *testing.T) {
 	f := defaultFixture(t)
 	rng := rand.New(rand.NewSource(testutil.Seed(t, 20240705)))
+
+	// The row-at-a-time leg: same algebra, compilation disabled, rows pulled
+	// one by one through the adapter-free interpreter path.
+	rowEx := New(algebra.New(f.db.Cat))
+	rowEx.RowMode = true
 
 	// Predicate building blocks over Vehicle v.
 	leaves := []func() expr.Expr{
@@ -72,6 +85,13 @@ func TestRandomQueriesDifferential(t *testing.T) {
 
 	resolver := f.db.Cat.Resolver()
 	for trial := 0; trial < 60; trial++ {
+		if trial == 30 {
+			// Second half: identical trials over the decoded-object cache.
+			// The cache may change decode counts, never rows.
+			oc := objcache.New(8 << 20)
+			f.db.Cat.SetObjectCache(oc)
+			f.db.Cat.Store().SetInvalidator(oc)
+		}
 		pred := build(3)
 		q := &sql.Select{
 			Projs: []sql.ProjItem{{Expr: &expr.Var{Name: "v"}}},
@@ -93,6 +113,15 @@ func TestRandomQueriesDifferential(t *testing.T) {
 			t.Fatalf("trial %d: materialized execute %s: %v", trial, pred, err)
 		}
 		assertCollectionsEqual(t, fmt.Sprintf("trial %d: %s", trial, pred), coll, eager)
+
+		// The row-at-a-time interpreter must produce the identical stream:
+		// this is the uncompiled, unbatched baseline the vectorized path is
+		// differentially pinned against.
+		rowColl, err := rowEx.Execute(plan)
+		if err != nil {
+			t.Fatalf("trial %d: row-mode execute %s: %v", trial, pred, err)
+		}
+		assertCollectionsEqual(t, fmt.Sprintf("trial %d (row mode): %s", trial, pred), rowColl, eager)
 
 		// The morsel-driven parallel rewrite of the same plan must produce
 		// the identical stream — values and order (run under -race, this is

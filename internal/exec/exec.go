@@ -13,6 +13,7 @@ import (
 
 	"mood/internal/algebra"
 	"mood/internal/expr"
+	"mood/internal/funcmgr"
 	"mood/internal/joinindex"
 	"mood/internal/object"
 	"mood/internal/optimizer"
@@ -45,11 +46,34 @@ type Executor struct {
 	// calls it before the final page snapshot so TotalPages still equals
 	// the simulated-disk read delta with async prefetch running.
 	Quiesce func()
+	// Funcs resolves compiled predicate/projection closures by expression
+	// signature — the Function Manager's query-fragment registry. The kernel
+	// shares its funcmgr.Manager registry here; a standalone executor gets a
+	// private one from New.
+	Funcs *funcmgr.QueryRegistry
+	// RowMode disables batch-at-a-time execution and predicate compilation:
+	// every operator is driven strictly through Next with interpreted
+	// expressions — the pre-vectorization pipeline, retained as a
+	// differential baseline (and selectable for benches).
+	RowMode bool
 }
 
 // New creates an executor.
 func New(alg *algebra.Algebra) *Executor {
-	return &Executor{Alg: alg, BJIs: map[string]*joinindex.BinaryJoinIndex{}}
+	return &Executor{
+		Alg:   alg,
+		BJIs:  map[string]*joinindex.BinaryJoinIndex{},
+		Funcs: funcmgr.NewQueryRegistry(),
+	}
+}
+
+// queryFuncs returns the fragment registry, creating one on first use for
+// executors constructed without New.
+func (e *Executor) queryFuncs() *funcmgr.QueryRegistry {
+	if e.Funcs == nil {
+		e.Funcs = funcmgr.NewQueryRegistry()
+	}
+	return e.Funcs
 }
 
 // ExecuteMaterialized runs a plan bottom-up, fully materializing every

@@ -10,6 +10,8 @@ import (
 	"mood/internal/catalog"
 	"mood/internal/cost"
 	"mood/internal/expr"
+	"mood/internal/funcmgr"
+	"mood/internal/object"
 	"mood/internal/optimizer"
 	"mood/internal/storage"
 )
@@ -206,6 +208,47 @@ func (c *exchangeCore) nextRow() (algebra.Row, bool, error) {
 	}
 }
 
+// nextBatch is the merge's batch form. Task outputs rarely align with
+// BatchCapacity (a morsel yields pages×rows-per-page rows), so the fill
+// continues across task boundaries: the current task's remainder, then as
+// many whole/partial successor tasks as fit. Only stream end yields a short
+// batch, which keeps the merged batch stream — not just the row stream —
+// identical to a serial operator's and is what the partial-final-batch
+// regression test pins.
+func (c *exchangeCore) nextBatch(b *RowBatch) (int, error) {
+	if !c.launched && c.started {
+		c.launch()
+	}
+	n := 0
+	for n < BatchCapacity {
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.ci < len(c.cur) {
+			take := copy(b.Rows[n:], c.cur[c.ci:])
+			n += take
+			c.ci += take
+			continue
+		}
+		if c.seq >= c.ntasks {
+			break
+		}
+		if rows, ok := c.buf[c.seq]; ok {
+			delete(c.buf, c.seq)
+			c.cur, c.ci = rows, 0
+			c.seq++
+			continue
+		}
+		res := <-c.results
+		if res.err != nil {
+			c.err = res.err
+			return 0, c.err
+		}
+		c.buf[res.seq] = res.rows
+	}
+	return n, nil
+}
+
 // closeCore stops the pool: workers quit at their next claim, and the wait
 // guarantees no goroutine touches the catalog after Close returns.
 func (c *exchangeCore) closeCore() {
@@ -263,7 +306,9 @@ type exchangeScanOp struct {
 	varName string
 	minus   []string
 	closure bool
-	pred    expr.Expr // nil for a bare BIND
+	pred    expr.Expr                // nil for a bare BIND
+	funcs   *funcmgr.QueryRegistry   // nil in row mode: interpret
+	predFn  expr.PredFn              // self-mode compiled predicate, shared read-only by workers
 }
 
 func (o *exchangeScanOp) Open() error {
@@ -271,19 +316,33 @@ func (o *exchangeScanOp) Open() error {
 	if err != nil {
 		return err
 	}
+	if o.pred != nil && o.funcs != nil {
+		o.predFn, _ = o.funcs.Predicate(o.varName, o.pred)
+	}
+	resolve := o.alg.Cat.Resolver()
 	return o.core.start(len(morsels), func(ws *WorkerStat) func(int) ([]algebra.Row, error) {
 		re := o.alg.NewRowEvaluator()
 		return func(t int) ([]algebra.Row, error) {
 			m := &morsels[t]
-			objs, err := o.alg.Cat.ReadMorsel(m)
+			// Fused + compiled: push the predicate into the morsel's
+			// page-decode loop, as in the serial scanSelectOp — rejected
+			// objects are never copied out of the page/cache.
+			var filter func(oid storage.OID, v *object.Value) (bool, error)
+			if o.predFn != nil {
+				filter = func(oid storage.OID, v *object.Value) (bool, error) {
+					return o.predFn(v, oid, resolve)
+				}
+			}
+			objs, err := o.alg.Cat.ReadMorselFiltered(m, filter)
 			if err != nil {
 				return nil, err
 			}
 			ws.Pages += int64(len(m.Pages))
 			rows := make([]algebra.Row, 0, len(objs))
-			for _, so := range objs {
+			for i := range objs {
+				so := &objs[i]
 				row := algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: so.OID, Val: so.Val}}}
-				if o.pred != nil {
+				if o.pred != nil && o.predFn == nil {
 					keep, err := re.EvalBool(row, o.pred)
 					if err != nil {
 						return nil, err
@@ -300,9 +359,14 @@ func (o *exchangeScanOp) Open() error {
 	})
 }
 
-func (o *exchangeScanOp) Next() (algebra.Row, bool, error) { return o.core.nextRow() }
-func (o *exchangeScanOp) Close() error                     { o.core.closeCore(); return nil }
-func (o *exchangeScanOp) WorkerStats() []WorkerStat        { return o.core.workerStats() }
+func (o *exchangeScanOp) Next() (algebra.Row, bool, error)   { return o.core.nextRow() }
+func (o *exchangeScanOp) NextBatch(b *RowBatch) (int, error) { return o.core.nextBatch(b) }
+func (o *exchangeScanOp) Close() error                       { o.core.closeCore(); return nil }
+func (o *exchangeScanOp) WorkerStats() []WorkerStat          { return o.core.workerStats() }
+
+func (o *exchangeScanOp) compiledPredicate() (active, full bool) {
+	return o.pred != nil && o.funcs != nil, o.predFn != nil
+}
 
 // exchangeIndSelOp is the parallel index selection: the index probe runs
 // serially at Open (it is a handful of index-page touches), then workers
@@ -352,9 +416,10 @@ func (o *exchangeIndSelOp) Open() error {
 	})
 }
 
-func (o *exchangeIndSelOp) Next() (algebra.Row, bool, error) { return o.core.nextRow() }
-func (o *exchangeIndSelOp) Close() error                     { o.core.closeCore(); return nil }
-func (o *exchangeIndSelOp) WorkerStats() []WorkerStat        { return o.core.workerStats() }
+func (o *exchangeIndSelOp) Next() (algebra.Row, bool, error)   { return o.core.nextRow() }
+func (o *exchangeIndSelOp) NextBatch(b *RowBatch) (int, error) { return o.core.nextBatch(b) }
+func (o *exchangeIndSelOp) Close() error                       { o.core.closeCore(); return nil }
+func (o *exchangeIndSelOp) WorkerStats() []WorkerStat          { return o.core.workerStats() }
 
 // exchangeHashJoinOp parallelizes the hash-partition join's probe phase.
 // The build runs once, serially, exactly as in hashJoinOp.Open: both inputs
@@ -433,7 +498,8 @@ func (o *exchangeHashJoinOp) Open() error {
 	})
 }
 
-func (o *exchangeHashJoinOp) Next() (algebra.Row, bool, error) { return o.core.nextRow() }
+func (o *exchangeHashJoinOp) Next() (algebra.Row, bool, error)   { return o.core.nextRow() }
+func (o *exchangeHashJoinOp) NextBatch(b *RowBatch) (int, error) { return o.core.nextBatch(b) }
 
 func (o *exchangeHashJoinOp) Close() error {
 	o.core.closeCore()
@@ -470,12 +536,16 @@ func (e *Executor) compileExchange(c *compiled, n *optimizer.ExchangePlan, an *a
 			return e.compileNode(n.Input, an)
 		}
 		c.hdr = optimizer.Header{Kind: algebra.ExtentKind, Name: bp.Var, Class: bp.Class}
-		c.op = &exchangeScanOp{
+		xs := &exchangeScanOp{
 			core: exchangeCore{workers: workers, eager: eager},
 			alg:  e.Alg, class: bp.Class, varName: bp.Var,
 			minus: bp.Minus, closure: bp.Every || len(bp.Minus) > 0,
 			pred: in.Pred,
 		}
+		if !e.RowMode {
+			xs.funcs = e.queryFuncs()
+		}
+		c.op = xs
 		return c, nil
 
 	case *optimizer.IndSelPlan:

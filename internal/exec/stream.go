@@ -8,6 +8,7 @@ import (
 	"mood/internal/catalog"
 	"mood/internal/cost"
 	"mood/internal/expr"
+	"mood/internal/funcmgr"
 	"mood/internal/joinindex"
 	"mood/internal/object"
 	"mood/internal/optimizer"
@@ -28,11 +29,16 @@ import (
 // kernel golden suite hold the two paths equal.
 
 // Execute runs a plan through the streaming pipeline and materializes the
-// result, preserving the seed executor's *algebra.Collection API.
+// result, preserving the seed executor's *algebra.Collection API. The
+// pipeline is driven batch-at-a-time (see batch.go) unless RowMode pins the
+// executor to the row-at-a-time baseline.
 func (e *Executor) Execute(p optimizer.Plan) (*algebra.Collection, error) {
 	root, err := e.compileNode(p, nil)
 	if err != nil {
 		return nil, err
+	}
+	if e.RowMode {
+		return drainRows(root.op, root.hdr)
 	}
 	return drainOp(root.op, root.hdr)
 }
@@ -54,11 +60,41 @@ type rootOp struct {
 
 func (r *rootOp) Open() error                      { return r.op.Open() }
 func (r *rootOp) Next() (algebra.Row, bool, error) { return r.op.Next() }
-func (r *rootOp) Close() error                     { return r.op.Close() }
-func (r *rootOp) Header() optimizer.Header         { return r.hdr }
+func (r *rootOp) NextBatch(b *RowBatch) (int, error) {
+	return nextBatch(r.op, b)
+}
+func (r *rootOp) Close() error             { return r.op.Close() }
+func (r *rootOp) Header() optimizer.Header { return r.hdr }
 
-// drainOp materializes an operator's stream under the compile-time header.
+// drainOp materializes an operator's stream under the compile-time header,
+// driving the pipeline batch-at-a-time (batch-native operators produce
+// vectors; row-only ones go through the adapter).
 func drainOp(op optimizer.Operator, hdr optimizer.Header) (*algebra.Collection, error) {
+	out := &algebra.Collection{Kind: hdr.Kind, Name: hdr.Name, Class: hdr.Class}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	b := &RowBatch{}
+	for {
+		n, err := nextBatch(op, b)
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		out.Rows = append(out.Rows, b.Rows[:n]...)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// drainRows is drainOp's row-at-a-time twin, used in RowMode.
+func drainRows(op optimizer.Operator, hdr optimizer.Header) (*algebra.Collection, error) {
 	out := &algebra.Collection{Kind: hdr.Kind, Name: hdr.Name, Class: hdr.Class}
 	if err := op.Open(); err != nil {
 		op.Close()
@@ -117,10 +153,14 @@ func (e *Executor) compileNode(p optimizer.Plan, an *analyzeCtx) (*compiled, err
 
 	case *optimizer.IndSelPlan:
 		c.hdr = optimizer.Header{Kind: algebra.SetKind, Name: n.Var, Class: n.Class}
-		c.op = &indSelOp{
+		iop := &indSelOp{
 			alg: e.Alg, class: n.Class, varName: n.Var,
 			indexKind: n.Index.Kind, pred: n.Pred,
 		}
+		if !e.RowMode {
+			iop.funcs = e.queryFuncs()
+		}
+		c.op = iop
 
 	case *optimizer.IntersectPlan:
 		// Every input is an IndSelPlan by construction (the optimizer only
@@ -148,12 +188,32 @@ func (e *Executor) compileNode(p optimizer.Plan, an *analyzeCtx) (*compiled, err
 		c.op = &intersectOp{alg: e.Alg, kids: kids, varName: first.Var, rechecks: rechecks}
 
 	case *optimizer.SelectPlan:
+		if bp, ok := n.Input.(*optimizer.BindPlan); ok && !e.RowMode {
+			// Fused scan-selection (the serial analogue of the exchange
+			// path's fused morsel scan): the predicate runs against each
+			// object straight off the extent cursor, through the self-mode
+			// compiled form when it lowers. The BIND child disappears from
+			// the operator tree; EXPLAIN ANALYZE annotates the fused node.
+			c.hdr = optimizer.Header{Kind: algebra.ExtentKind, Name: bp.Var, Class: bp.Class}
+			op := &scanSelectOp{
+				alg: e.Alg, class: bp.Class, varName: bp.Var,
+				minus: bp.Minus, closure: bp.Every || len(bp.Minus) > 0,
+				pred: n.Pred, re: e.Alg.NewRowEvaluator(),
+			}
+			op.predFn, op.compiled = e.queryFuncs().Predicate(bp.Var, n.Pred)
+			c.op = op
+			break
+		}
 		in, err := child(n.Input)
 		if err != nil {
 			return nil, err
 		}
 		c.hdr = in.hdr
-		c.op = &selectOp{in: in.op, pred: n.Pred, re: e.Alg.NewRowEvaluator()}
+		sel := &selectOp{in: in.op, pred: n.Pred, re: e.Alg.NewRowEvaluator()}
+		if !e.RowMode {
+			sel.fn, sel.full = e.queryFuncs().BoolFn(n.Pred)
+		}
+		c.op = sel
 
 	case *optimizer.JoinPlan:
 		left, err := child(n.Left)
@@ -223,7 +283,21 @@ func (e *Executor) compileNode(p optimizer.Plan, an *analyzeCtx) (*compiled, err
 			return nil, err
 		}
 		c.hdr = optimizer.Header{Kind: algebra.ExtentKind, Name: in.hdr.Name, Class: in.hdr.Class}
-		c.op = &projectOp{in: in.op, items: n.Items, re: e.Alg.NewRowEvaluator()}
+		pop := &projectOp{in: in.op, items: n.Items, re: e.Alg.NewRowEvaluator()}
+		if !e.RowMode {
+			pop.fns = make([]expr.Fn, len(n.Items))
+			pop.full = true
+			for i, it := range n.Items {
+				if it.Expr == nil { // star/aggregate items never reach Next
+					pop.full = false
+					continue
+				}
+				var ok bool
+				pop.fns[i], ok = e.queryFuncs().Fn(it.Expr)
+				pop.full = pop.full && ok
+			}
+		}
+		c.op = pop
 
 	case *optimizer.GroupPlan:
 		in, err := child(n.Input)
@@ -308,11 +382,135 @@ func (o *bindOp) Next() (algebra.Row, bool, error) {
 	return algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: v}}}, true, nil
 }
 
+// NextBatch pulls straight from the extent cursor; the cursor reads pages
+// on demand, so a partially consumed batch never over-reads.
+func (o *bindOp) NextBatch(b *RowBatch) (int, error) {
+	n := 0
+	for n < BatchCapacity {
+		oid, v, ok, err := o.cur.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		b.Rows[n] = algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: v}}}
+		n++
+	}
+	return n, nil
+}
+
 func (o *bindOp) Close() error {
 	if o.cur != nil {
 		o.cur.Close()
 	}
 	return nil
+}
+
+// scanSelectOp fuses SELECT(BIND(...), P) into one operator: each object
+// comes off the extent cursor and is filtered before a row is ever built,
+// so non-matching objects cost neither a Vars map allocation nor an
+// environment bind. When the predicate lowers to self mode (compiled
+// through the Function Manager's query registry) the per-object check is a
+// direct closure call; otherwise the row is built and the interpreter path
+// of selectOp runs unchanged.
+type scanSelectOp struct {
+	alg      *algebra.Algebra
+	class    string
+	varName  string
+	minus    []string
+	closure  bool
+	pred     expr.Expr
+	predFn   expr.PredFn // self-mode compiled; nil → fallback through re
+	compiled bool
+	pushed   bool // predicate filtering happens inside the cursor
+	re       *algebra.RowEvaluator
+	resolve  object.Resolver
+	cur      *catalog.ExtentCursor
+}
+
+func (o *scanSelectOp) Open() error {
+	cur, err := o.alg.Cat.OpenExtentScan(o.class, o.minus, o.closure)
+	if err != nil {
+		return err
+	}
+	o.cur = cur
+	o.resolve = o.alg.Cat.Resolver()
+	if o.predFn != nil {
+		// Push the compiled predicate into the cursor's page-decode loop:
+		// rejected objects are filtered in place and never buffered, so the
+		// fused operator pays nothing per non-matching object beyond the
+		// predicate call itself. Page reads are unchanged.
+		cur.SetFilter(func(oid storage.OID, v *object.Value) (bool, error) {
+			return o.predFn(v, oid, o.resolve)
+		})
+		o.pushed = true
+	}
+	return nil
+}
+
+// keep evaluates the predicate against one scanned object in place; v is
+// read-only and only valid for the duration of the call (it aliases the
+// cursor's buffer).
+func (o *scanSelectOp) keep(oid storage.OID, v *object.Value) (bool, error) {
+	if o.predFn != nil {
+		return o.predFn(v, oid, o.resolve)
+	}
+	row := algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: *v}}}
+	return o.re.EvalBool(row, o.pred)
+}
+
+func (o *scanSelectOp) Next() (algebra.Row, bool, error) {
+	for {
+		oid, v, ok, err := o.cur.NextRef()
+		if err != nil || !ok {
+			return algebra.Row{}, false, err
+		}
+		keep := o.pushed // cursor-filtered objects already passed
+		if !keep {
+			if keep, err = o.keep(oid, v); err != nil {
+				return algebra.Row{}, false, err
+			}
+		}
+		if keep {
+			return algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: *v}}}, true, nil
+		}
+	}
+}
+
+func (o *scanSelectOp) NextBatch(b *RowBatch) (int, error) {
+	n := 0
+	for n < BatchCapacity {
+		oid, v, ok, err := o.cur.NextRef()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		keep := o.pushed // cursor-filtered objects already passed
+		if !keep {
+			if keep, err = o.keep(oid, v); err != nil {
+				return 0, err
+			}
+		}
+		if keep {
+			b.Rows[n] = algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: *v}}}
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (o *scanSelectOp) Close() error {
+	if o.cur != nil {
+		o.cur.Close()
+	}
+	return nil
+}
+
+func (o *scanSelectOp) compiledPredicate() (active, full bool) {
+	return true, o.predFn != nil && o.compiled
 }
 
 // withCandidatesOnly is implemented by operators that can restrict
@@ -330,10 +528,13 @@ type indSelOp struct {
 	indexKind catalog.IndexKind
 	pred      algebra.SimplePredicate
 	probeOnly bool
+	funcs     *funcmgr.QueryRegistry // nil in row mode: interpret the recheck
 
 	oids    []storage.OID
 	i       int
 	recheck expr.Expr
+	predFn  expr.PredFn
+	resolve object.Resolver
 	re      *algebra.RowEvaluator
 }
 
@@ -348,11 +549,18 @@ func (o *indSelOp) Open() error {
 	if !o.probeOnly {
 		o.recheck = o.alg.RecheckExpr(o.varName, o.pred)
 		o.re = o.alg.NewRowEvaluator()
+		if o.funcs != nil {
+			o.predFn, _ = o.funcs.Predicate(o.varName, o.recheck)
+			o.resolve = o.alg.Cat.Resolver()
+		}
 	}
 	return nil
 }
 
-func (o *indSelOp) Next() (algebra.Row, bool, error) {
+// step emits the next surviving candidate. Object fetches stay one GetObject
+// per candidate in both row and batch mode, so the index path's page access
+// pattern (and the DiskSim counts tests pin) is identical across modes.
+func (o *indSelOp) step() (algebra.Row, bool, error) {
 	for o.i < len(o.oids) {
 		oid := o.oids[o.i]
 		o.i++
@@ -363,8 +571,13 @@ func (o *indSelOp) Next() (algebra.Row, bool, error) {
 		if err != nil {
 			return algebra.Row{}, false, err
 		}
-		row := algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: v}}}
-		ok, err := o.re.EvalBool(row, o.recheck)
+		var ok bool
+		if o.predFn != nil {
+			ok, err = o.predFn(&v, oid, o.resolve)
+		} else {
+			row := algebra.Row{Vars: map[string]algebra.Bound{o.varName: {OID: oid, Val: v}}}
+			ok, err = o.re.EvalBool(row, o.recheck)
+		}
 		if err != nil {
 			return algebra.Row{}, false, err
 		}
@@ -376,7 +589,29 @@ func (o *indSelOp) Next() (algebra.Row, bool, error) {
 	return algebra.Row{}, false, nil
 }
 
+func (o *indSelOp) Next() (algebra.Row, bool, error) { return o.step() }
+
+func (o *indSelOp) NextBatch(b *RowBatch) (int, error) {
+	n := 0
+	for n < BatchCapacity {
+		row, ok, err := o.step()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		b.Rows[n] = row
+		n++
+	}
+	return n, nil
+}
+
 func (o *indSelOp) Close() error { return nil }
+
+func (o *indSelOp) compiledPredicate() (active, full bool) {
+	return !o.probeOnly && o.funcs != nil, o.predFn != nil
+}
 
 // intersectOp intersects its children's candidate OID streams at Open (index
 // probes only), then fetches each surviving object once per Next and
@@ -485,14 +720,27 @@ func (o *intersectOp) Close() error {
 
 // --- streaming filters ----------------------------------------------------
 
-// selectOp is SELECT(input, P): a pure streaming filter.
+// selectOp is SELECT(input, P): a pure streaming filter. Outside row mode
+// the predicate runs as a compiled closure against the evaluator's bound
+// environment — identical semantics, no tree walk when it fully lowered.
 type selectOp struct {
 	in   optimizer.Operator
 	pred expr.Expr
 	re   *algebra.RowEvaluator
+	fn   expr.BoolFn // nil in row mode: interpret
+	full bool
+
+	scratch *RowBatch // child-side buffer for NextBatch's filter pass
 }
 
 func (o *selectOp) Open() error { return o.in.Open() }
+
+func (o *selectOp) keep(row algebra.Row) (bool, error) {
+	if o.fn == nil {
+		return o.re.EvalBool(row, o.pred)
+	}
+	return o.re.EvalPred(row, o.fn)
+}
 
 func (o *selectOp) Next() (algebra.Row, bool, error) {
 	for {
@@ -500,7 +748,7 @@ func (o *selectOp) Next() (algebra.Row, bool, error) {
 		if err != nil || !ok {
 			return algebra.Row{}, false, err
 		}
-		keep, err := o.re.EvalBool(row, o.pred)
+		keep, err := o.keep(row)
 		if err != nil {
 			return algebra.Row{}, false, err
 		}
@@ -510,15 +758,50 @@ func (o *selectOp) Next() (algebra.Row, bool, error) {
 	}
 }
 
+// NextBatch filters child batches into b, pulling more input until at least
+// one row survives or the input ends (a 0 return means exhaustion).
+func (o *selectOp) NextBatch(b *RowBatch) (int, error) {
+	if o.scratch == nil {
+		o.scratch = &RowBatch{}
+	}
+	for {
+		n, err := nextBatch(o.in, o.scratch)
+		if err != nil || n == 0 {
+			return 0, err
+		}
+		w := 0
+		for i := 0; i < n; i++ {
+			keep, err := o.keep(o.scratch.Rows[i])
+			if err != nil {
+				return 0, err
+			}
+			if keep {
+				b.Rows[w] = o.scratch.Rows[i]
+				w++
+			}
+		}
+		if w > 0 {
+			return w, nil
+		}
+	}
+}
+
 func (o *selectOp) Close() error { return o.in.Close() }
 
+func (o *selectOp) compiledPredicate() (active, full bool) {
+	return o.fn != nil, o.fn != nil && o.full
+}
+
 // projectOp evaluates the projection list per row, attaching the tuple
-// under ResultVar.
+// under ResultVar. Outside row mode the item expressions run as compiled
+// closures.
 type projectOp struct {
 	in    optimizer.Operator
 	items []sql.ProjItem
 	re    *algebra.RowEvaluator
 	names []string
+	fns   []expr.Fn // nil in row mode; per-item compiled forms
+	full  bool
 }
 
 func (o *projectOp) Open() error {
@@ -529,20 +812,22 @@ func (o *projectOp) Open() error {
 	return o.in.Open()
 }
 
-func (o *projectOp) Next() (algebra.Row, bool, error) {
-	row, ok, err := o.in.Next()
-	if err != nil || !ok {
-		return algebra.Row{}, false, err
-	}
+// apply projects one row into its output row.
+func (o *projectOp) apply(row algebra.Row) (algebra.Row, error) {
 	env, err := o.re.Env(row)
 	if err != nil {
-		return algebra.Row{}, false, err
+		return algebra.Row{}, err
 	}
 	fields := make([]object.Value, len(o.items))
 	for i, it := range o.items {
-		v, err := it.Expr.Eval(env)
+		var v object.Value
+		if o.fns != nil && o.fns[i] != nil {
+			v, err = o.fns[i](env)
+		} else {
+			v, err = it.Expr.Eval(env)
+		}
 		if err != nil {
-			return algebra.Row{}, false, err
+			return algebra.Row{}, err
 		}
 		fields[i] = v
 	}
@@ -551,10 +836,43 @@ func (o *projectOp) Next() (algebra.Row, bool, error) {
 		nr.Vars[k] = v
 	}
 	nr.Vars[ResultVar] = algebra.Bound{Val: object.NewTuple(o.names, fields)}
+	return nr, nil
+}
+
+func (o *projectOp) Next() (algebra.Row, bool, error) {
+	row, ok, err := o.in.Next()
+	if err != nil || !ok {
+		return algebra.Row{}, false, err
+	}
+	nr, err := o.apply(row)
+	if err != nil {
+		return algebra.Row{}, false, err
+	}
 	return nr, true, nil
 }
 
+// NextBatch transforms the child's batch in place — projection is 1:1, so
+// the child's count is the output count.
+func (o *projectOp) NextBatch(b *RowBatch) (int, error) {
+	n, err := nextBatch(o.in, b)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		nr, err := o.apply(b.Rows[i])
+		if err != nil {
+			return 0, err
+		}
+		b.Rows[i] = nr
+	}
+	return n, nil
+}
+
 func (o *projectOp) Close() error { return o.in.Close() }
+
+func (o *projectOp) compiledPredicate() (active, full bool) {
+	return o.fns != nil, o.fns != nil && o.full
+}
 
 // --- pipeline breakers ----------------------------------------------------
 
@@ -587,6 +905,14 @@ func (o *breakerOp) Next() (algebra.Row, bool, error) {
 	row := o.out[o.i]
 	o.i++
 	return row, true, nil
+}
+
+// NextBatch copies a run of the materialized result — breakers consume
+// batches at Open (via drainOp) and re-emit them here.
+func (o *breakerOp) NextBatch(b *RowBatch) (int, error) {
+	n := copy(b.Rows[:], o.out[o.i:])
+	o.i += n
+	return n, nil
 }
 
 func (o *breakerOp) Close() error { return o.in.op.Close() }
@@ -876,38 +1202,73 @@ func (o *hashJoinOp) Open() error {
 	return nil
 }
 
+// produce dereferences the next sorted ref chunk into pending; more is
+// false when every chunk has been probed.
+func (o *hashJoinOp) produce() (more bool, err error) {
+	if o.ri >= len(o.refs) {
+		return false, nil
+	}
+	end := o.ri + joinBatchRows
+	if end > len(o.refs) {
+		end = len(o.refs)
+	}
+	chunk := o.refs[o.ri:end]
+	o.ri = end
+	vals, _, err := o.alg.Cat.GetObjects(chunk)
+	if err != nil {
+		return false, err
+	}
+	o.refill()
+	for i, ref := range chunk {
+		val := vals[i]
+		for _, lrow := range o.partitions[ref] {
+			for _, rrow := range o.rightBy[ref] {
+				merged := lrow.Merged(rrow)
+				rb := merged.Vars[o.rightVar]
+				rb.Val = val
+				merged.Vars[o.rightVar] = rb
+				o.pending = append(o.pending, merged)
+			}
+		}
+	}
+	return true, nil
+}
+
 func (o *hashJoinOp) Next() (algebra.Row, bool, error) {
 	for {
 		if row, ok := o.take(); ok {
 			return row, true, nil
 		}
-		if o.ri >= len(o.refs) {
-			return algebra.Row{}, false, nil
-		}
-		end := o.ri + joinBatchRows
-		if end > len(o.refs) {
-			end = len(o.refs)
-		}
-		chunk := o.refs[o.ri:end]
-		o.ri = end
-		vals, _, err := o.alg.Cat.GetObjects(chunk)
+		more, err := o.produce()
 		if err != nil {
 			return algebra.Row{}, false, err
 		}
-		o.refill()
-		for i, ref := range chunk {
-			val := vals[i]
-			for _, lrow := range o.partitions[ref] {
-				for _, rrow := range o.rightBy[ref] {
-					merged := lrow.Merged(rrow)
-					rb := merged.Vars[o.rightVar]
-					rb.Val = val
-					merged.Vars[o.rightVar] = rb
-					o.pending = append(o.pending, merged)
-				}
-			}
+		if !more {
+			return algebra.Row{}, false, nil
 		}
 	}
+}
+
+// NextBatch drains pending probe output into b, producing further chunks
+// until the batch fills or the probe ends — the chunked page-ordered fetch
+// pattern (and so the read counts) is exactly Next's.
+func (o *hashJoinOp) NextBatch(b *RowBatch) (int, error) {
+	n := 0
+	for n < BatchCapacity {
+		if row, ok := o.take(); ok {
+			b.Rows[n] = row
+			n++
+			continue
+		}
+		more, err := o.produce()
+		if err != nil {
+			return 0, err
+		}
+		if !more {
+			break
+		}
+	}
+	return n, nil
 }
 
 // --- products and unions --------------------------------------------------

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMeasureVectorContract checks the vectorized-execution sweep's
+// deterministic half on every machine and its wall-clock half outside
+// -race: every mode of a predicate must produce the row count, result
+// fingerprint and per-pass read total of the row mode (MeasureVector
+// enforces the fingerprint itself and errors on divergence), both
+// predicates must fully lower to compiled closures, the warm object cache
+// must hold decodes at zero, and (without race instrumentation) the
+// vectorized scans must clear throughput floors over row-at-a-time: 3x on
+// the moderately selective location scan and 4x on the needle name scan —
+// the committed artifact shows ~4.5x and ~8-9x respectively; the floors
+// leave slack for loaded machines.
+func TestMeasureVectorContract(t *testing.T) {
+	// The artifact scale: large enough that the Company extent spans a few
+	// hundred pages, so the cold first measured pass pins a nonzero,
+	// mode-comparable read total.
+	env, err := BuildEnv(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureVector(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(VectorModes); len(res.Entries) != want {
+		t.Fatalf("expected %d entries, got %d", want, len(res.Entries))
+	}
+
+	byName := map[string][]VectorEntry{}
+	for _, e := range res.Entries {
+		byName[e.Name] = append(byName[e.Name], e)
+	}
+	for name, entries := range byName {
+		if len(entries) != len(VectorModes) {
+			t.Fatalf("%s: expected %d modes, got %d", name, len(VectorModes), len(entries))
+		}
+		row := entries[0]
+		if row.Mode != "row" || row.Compiled {
+			t.Fatalf("%s: first entry must be the uncompiled row mode: %+v", name, row)
+		}
+		if row.Rows == 0 || row.Reads == 0 {
+			t.Fatalf("%s: row mode produced rows=%d reads=%d; the sweep measured nothing", name, row.Rows, row.Reads)
+		}
+		for _, e := range entries[1:] {
+			if e.Rows != row.Rows {
+				t.Errorf("%s mode=%s: %d rows, want %d (row mode)", name, e.Mode, e.Rows, row.Rows)
+			}
+			if e.Reads != row.Reads {
+				t.Errorf("%s mode=%s: %d reads, want %d (row mode) — vectorization changed the read pattern",
+					name, e.Mode, e.Reads, row.Reads)
+			}
+			if !e.Compiled {
+				t.Errorf("%s mode=%s: predicate did not lower to a compiled closure", name, e.Mode)
+			}
+		}
+		for _, e := range entries {
+			if e.DecodesPerRow != 0 {
+				t.Errorf("%s mode=%s: %.2f decodes per row, want 0 (warm object cache)", name, e.Mode, e.DecodesPerRow)
+			}
+		}
+	}
+
+	if !raceEnabled {
+		loc := byName["scan-select-location"]
+		if len(loc) == 0 {
+			t.Fatal("missing scan-select-location entries")
+		}
+		vec := loc[1]
+		if vec.Mode != "vector" {
+			t.Fatalf("expected vector mode second, got %s", vec.Mode)
+		}
+		if vec.Speedup < 3 {
+			t.Errorf("scan-select-location vector speedup %.2fx, want >= 3x (wall %vms vs row %vms)",
+				vec.Speedup, vec.WallMs, loc[0].WallMs)
+		}
+		if vec.AllocsPerRow >= loc[0].AllocsPerRow {
+			t.Errorf("scan-select-location vector allocates %.1f/row, want below row mode's %.1f/row",
+				vec.AllocsPerRow, loc[0].AllocsPerRow)
+		}
+		name := byName["scan-select-name"]
+		if len(name) == 0 {
+			t.Fatal("missing scan-select-name entries")
+		}
+		if nv := name[1]; nv.Speedup < 4 {
+			t.Errorf("scan-select-name vector speedup %.2fx, want >= 4x (wall %vms vs row %vms)",
+				nv.Speedup, nv.WallMs, name[0].WallMs)
+		}
+	}
+
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("artifact not JSON-serializable: %v", err)
+	}
+}
+
+// benchScanSelect measures the warm selective Company scan, reporting
+// allocations and decode counts per scanned object. `make bench-vector`
+// prints both executors; the vector run must hold decodes at zero and
+// allocations well below the row run — these are the pins behind the
+// BENCH_vector.json throughput claim.
+func benchScanSelect(b *testing.B, mode string) {
+	env, err := BuildEnv(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := vectorPreds()[0] // location = 'Tokyo'
+	e, _, err := measureVectorEntry(env, p, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _, err = measureVectorEntry(env, p, mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(e.AllocsPerRow, "allocs/row")
+	b.ReportMetric(e.DecodesPerRow, "decodes/row")
+	b.ReportMetric(e.RowsPerWallSec, "rows/wall-s")
+}
+
+func BenchmarkScanSelectRow(b *testing.B)    { benchScanSelect(b, "row") }
+func BenchmarkScanSelectVector(b *testing.B) { benchScanSelect(b, "vector") }

@@ -107,29 +107,60 @@ func (f *Field) Eval(env *Env) (object.Value, error) {
 	if err != nil {
 		return object.Null, err
 	}
-	if base.IsNull() {
-		return object.Null, nil
+	var resolve object.Resolver
+	if env != nil {
+		resolve = env.Resolve
+	}
+	return projectField(&base, f.Name, resolve, f)
+}
+
+// projectField is the attribute-projection core shared by the interpreter
+// and the compiled closures: reference chasing, null propagation, and the
+// exact error values are defined once here so both paths agree by
+// construction. base is taken by pointer and never written through — Value
+// is a 120-byte struct, and this core runs once per object on the
+// vectorized scan's hot path. node is the Field being evaluated, used only
+// for error text.
+// nullValue backs the null results of projectFieldRef, so returning "no
+// such attribute" needs no allocation. Read-only, like every Value handed
+// across the expression APIs.
+var nullValue = object.Null
+
+// projectFieldRef is projectField without the 120-byte result copy: the
+// returned pointer aliases base's field array (or the shared null), is
+// read-only, and is valid only while base is. Resolution of a reference
+// base allocates, exactly like projectField.
+func projectFieldRef(base *object.Value, name string, resolve object.Resolver, node *Field) (*object.Value, error) {
+	if base.Kind == object.KindNull {
+		return &nullValue, nil
 	}
 	if base.Kind == object.KindReference {
 		if base.Ref.IsNil() {
-			return object.Null, nil
+			return &nullValue, nil
 		}
-		if env == nil || env.Resolve == nil {
-			return object.Null, fmt.Errorf("%w: no resolver for %s", ErrNullDeref, f)
+		if resolve == nil {
+			return &nullValue, fmt.Errorf("%w: no resolver for %s", ErrNullDeref, node)
 		}
-		base, err = env.Resolve(base.Ref)
+		resolved, err := resolve(base.Ref)
 		if err != nil {
-			return object.Null, err
+			return &nullValue, err
 		}
+		base = &resolved
 	}
 	if base.Kind != object.KindTuple {
-		return object.Null, fmt.Errorf("%w: %s on %s value", ErrNoSuchAttr, f.Name, base.Kind)
+		return &nullValue, fmt.Errorf("%w: %s on %s value", ErrNoSuchAttr, name, base.Kind)
 	}
-	out, ok := base.Field(f.Name)
-	if !ok {
-		return object.Null, nil // missing attribute reads as null
+	for i, n := range base.Names {
+		if n == name {
+			return &base.Fields[i], nil
+		}
 	}
-	return out, nil
+	return &nullValue, nil // missing attribute reads as null
+}
+
+func projectField(base *object.Value, name string, resolve object.Resolver, node *Field) (object.Value, error) {
+	v, err := projectFieldRef(base, name, resolve, node)
+	return *v, err
 }
 
 func (f *Field) String() string { return f.Base.String() + "." + f.Name }
@@ -213,16 +244,23 @@ func (a *Arith) Eval(env *Env) (object.Value, error) {
 	if err != nil {
 		return object.Null, err
 	}
+	return applyArith(a.Op, &l, &r)
+}
+
+// applyArith is the run-time-typed arithmetic core shared by the interpreter
+// and the compiled closures. Operands are taken by pointer (and never
+// written through) to keep 120-byte Value copies off the per-object path.
+func applyArith(op ArithOp, l, r *object.Value) (object.Value, error) {
 	if l.IsNull() || r.IsNull() {
 		return object.Null, nil
 	}
-	if a.Op == OpAdd && l.Kind == object.KindString && r.Kind == object.KindString {
+	if op == OpAdd && l.Kind == object.KindString && r.Kind == object.KindString {
 		return object.NewString(l.Str + r.Str), nil
 	}
 	li, lInt := l.AsInt()
 	ri, rInt := r.AsInt()
 	if lInt && rInt && l.Kind != object.KindFloat && r.Kind != object.KindFloat {
-		out, err := intArith(a.Op, li, ri)
+		out, err := intArith(op, li, ri)
 		if err != nil {
 			return object.Null, err
 		}
@@ -234,9 +272,9 @@ func (a *Arith) Eval(env *Env) (object.Value, error) {
 	lf, lok := l.AsFloat()
 	rf, rok := r.AsFloat()
 	if !lok || !rok {
-		return object.Null, fmt.Errorf("%w: %s %s %s", ErrType, l.Kind, a.Op, r.Kind)
+		return object.Null, fmt.Errorf("%w: %s %s %s", ErrType, l.Kind, op, r.Kind)
 	}
-	switch a.Op {
+	switch op {
 	case OpAdd:
 		return object.NewFloat(lf + rf), nil
 	case OpSub:
@@ -251,7 +289,7 @@ func (a *Arith) Eval(env *Env) (object.Value, error) {
 	case OpMod:
 		return object.Null, fmt.Errorf("%w: %% needs integer operands", ErrType)
 	}
-	return object.Null, fmt.Errorf("expr: unknown operator %v", a.Op)
+	return object.Null, fmt.Errorf("expr: unknown operator %v", op)
 }
 
 func intArith(op ArithOp, l, r int64) (int64, error) {
@@ -284,8 +322,17 @@ type Neg struct{ E Expr }
 // Eval negates a numeric value.
 func (n *Neg) Eval(env *Env) (object.Value, error) {
 	v, err := n.E.Eval(env)
-	if err != nil || v.IsNull() {
+	if err != nil {
 		return object.Null, err
+	}
+	return applyNeg(&v)
+}
+
+// applyNeg is the unary-minus core shared by the interpreter and the
+// compiled closures.
+func applyNeg(v *object.Value) (object.Value, error) {
+	if v.IsNull() {
+		return object.Null, nil
 	}
 	switch v.Kind {
 	case object.KindInteger:
@@ -353,46 +400,88 @@ func (c *Cmp) Eval(env *Env) (object.Value, error) {
 	if err != nil {
 		return object.Null, err
 	}
+	return applyCmp(c.Op, &l, &r)
+}
+
+// applyCmp is the comparison core shared by the interpreter and the
+// compiled closures: null handling, reference identity, and the structural
+// fallback live here once. Operands are taken by pointer (and never written
+// through) to keep 120-byte Value copies off the per-object path.
+func applyCmp(op CmpOp, l, r *object.Value) (object.Value, error) {
 	if l.IsNull() || r.IsNull() {
 		return object.NewBool(false), nil
 	}
+	// String-to-string is the common scan-predicate shape; compare in place
+	// (same ordering as object.Compare) without copying the operands.
+	if l.Kind == object.KindString && r.Kind == object.KindString {
+		return cmpResult(op, strings.Compare(l.Str, r.Str))
+	}
 	// References compare by identity.
 	if l.Kind == object.KindReference || r.Kind == object.KindReference {
-		switch c.Op {
+		switch op {
 		case OpEq:
-			return object.NewBool(object.Equal(l, r)), nil
+			return object.NewBool(object.Equal(*l, *r)), nil
 		case OpNe:
-			return object.NewBool(!object.Equal(l, r)), nil
+			return object.NewBool(!object.Equal(*l, *r)), nil
 		default:
 			return object.Null, fmt.Errorf("%w: references only support = and <>", ErrType)
 		}
 	}
-	cmp, ok := object.Compare(l, r)
+	cmp, ok := object.Compare(*l, *r)
 	if !ok {
 		// Fall back to structural equality for collections/tuples.
-		if c.Op == OpEq {
-			return object.NewBool(object.Equal(l, r)), nil
+		if op == OpEq {
+			return object.NewBool(object.Equal(*l, *r)), nil
 		}
-		if c.Op == OpNe {
-			return object.NewBool(!object.Equal(l, r)), nil
+		if op == OpNe {
+			return object.NewBool(!object.Equal(*l, *r)), nil
 		}
 		return object.Null, fmt.Errorf("%w: cannot order %s and %s", ErrType, l.Kind, r.Kind)
 	}
-	switch c.Op {
+	return cmpResult(op, cmp)
+}
+
+// cmpHolds reports whether an ordering satisfies the operator.
+func cmpHolds(op CmpOp, cmp int) (bool, error) {
+	switch op {
 	case OpEq:
-		return object.NewBool(cmp == 0), nil
+		return cmp == 0, nil
 	case OpNe:
-		return object.NewBool(cmp != 0), nil
+		return cmp != 0, nil
 	case OpGe:
-		return object.NewBool(cmp >= 0), nil
+		return cmp >= 0, nil
 	case OpLe:
-		return object.NewBool(cmp <= 0), nil
+		return cmp <= 0, nil
 	case OpGt:
-		return object.NewBool(cmp > 0), nil
+		return cmp > 0, nil
 	case OpLt:
-		return object.NewBool(cmp < 0), nil
+		return cmp < 0, nil
 	}
-	return object.Null, fmt.Errorf("expr: unknown comparison %v", c.Op)
+	return false, fmt.Errorf("expr: unknown comparison %v", op)
+}
+
+// cmpResult maps an ordering to the boolean the operator selects.
+func cmpResult(op CmpOp, cmp int) (object.Value, error) {
+	b, err := cmpHolds(op, cmp)
+	if err != nil {
+		return object.Null, err
+	}
+	return object.NewBool(b), nil
+}
+
+// applyCmpBool is applyCmp for callers that only need the truth value: the
+// hot string-to-string shape short-circuits to a bool without constructing
+// a 120-byte result Value; everything else delegates to applyCmp and
+// coerces exactly as Value.Bool does.
+func applyCmpBool(op CmpOp, l, r *object.Value) (bool, error) {
+	if l.Kind == object.KindString && r.Kind == object.KindString {
+		return cmpHolds(op, strings.Compare(l.Str, r.Str))
+	}
+	v, err := applyCmp(op, l, r)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
 }
 
 func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
@@ -403,11 +492,18 @@ type Between struct {
 	E, Lo, Hi Expr
 }
 
+// desugar is the Cmp/Logic composition BETWEEN evaluates as; the compiler
+// lowers the same composition so both paths evaluate E twice with identical
+// short-circuiting.
+func (b *Between) desugar() Expr {
+	return &Logic{Op: OpAnd,
+		L: &Cmp{Op: OpGe, L: b.E, R: b.Lo},
+		R: &Cmp{Op: OpLe, L: b.E, R: b.Hi}}
+}
+
 // Eval checks lo <= e <= hi.
 func (b *Between) Eval(env *Env) (object.Value, error) {
-	low := &Cmp{Op: OpGe, L: b.E, R: b.Lo}
-	high := &Cmp{Op: OpLe, L: b.E, R: b.Hi}
-	return (&Logic{Op: OpAnd, L: low, R: high}).Eval(env)
+	return b.desugar().Eval(env)
 }
 
 func (b *Between) String() string { return fmt.Sprintf("%s BETWEEN %s AND %s", b.E, b.Lo, b.Hi) }

@@ -23,6 +23,10 @@ func eval(t *testing.T, e Expr, env *Env) object.Value {
 	return v
 }
 
+// truth coerces an evaluation result to bool (Bool takes a pointer
+// receiver, so chained call results need a home first).
+func truth(v object.Value) bool { return v.Bool() }
+
 func TestOperandDataTypeExample(t *testing.T) {
 	// The paper's Section 2 example:
 	//   OperandDataType x(INT16), y(INT32), z(DOUBLE);
@@ -153,8 +157,8 @@ func TestCmpNegate(t *testing.T) {
 	}
 	// Semantics: x op y  XOR  x !op y for comparable values.
 	for _, op := range ops {
-		a := eval(t, &Cmp{Op: op, L: i(3), R: i(7)}, nil).Bool()
-		b := eval(t, &Cmp{Op: op.Negate(), L: i(3), R: i(7)}, nil).Bool()
+		a := truth(eval(t, &Cmp{Op: op, L: i(3), R: i(7)}, nil))
+		b := truth(eval(t, &Cmp{Op: op.Negate(), L: i(3), R: i(7)}, nil))
 		if a == b {
 			t.Errorf("%s and its negation agree", op)
 		}
@@ -183,11 +187,11 @@ func TestLogicShortCircuit(t *testing.T) {
 
 func TestBetween(t *testing.T) {
 	b := &Between{E: i(5), Lo: i(1), Hi: i(10)}
-	if !eval(t, b, nil).Bool() {
+	if !truth(eval(t, b, nil)) {
 		t.Error("5 BETWEEN 1 AND 10 = false")
 	}
 	b = &Between{E: i(0), Lo: i(1), Hi: i(10)}
-	if eval(t, b, nil).Bool() {
+	if truth(eval(t, b, nil)) {
 		t.Error("0 BETWEEN 1 AND 10 = true")
 	}
 }
@@ -205,17 +209,17 @@ func TestPathTraversalDereferences(t *testing.T) {
 		Resolve: func(oid storage.OID) (object.Value, error) { return store[oid], nil },
 	}
 	e := &Cmp{Op: OpEq, L: Path("v", "drivetrain", "transmission"), R: s("AUTOMATIC")}
-	if !eval(t, e, env).Bool() {
+	if !truth(eval(t, e, env)) {
 		t.Error("path predicate false")
 	}
 	// Null reference mid-path yields null, predicate false, no error.
 	env.Vars["v"] = object.NewTuple([]string{"drivetrain"}, []object.Value{object.NewRef(storage.NilOID)})
-	if eval(t, e, env).Bool() {
+	if truth(eval(t, e, env)) {
 		t.Error("null path compared true")
 	}
 	// Missing attribute reads as null.
 	env.Vars["v"] = object.NewTuple([]string{"other"}, []object.Value{object.NewInt(1)})
-	if eval(t, e, env).Bool() {
+	if truth(eval(t, e, env)) {
 		t.Error("missing attribute compared true")
 	}
 }
@@ -234,7 +238,7 @@ func TestCallDispatch(t *testing.T) {
 		},
 	}
 	e := &Cmp{Op: OpGt, L: &Call{Base: &Var{Name: "v"}, Method: "lbweight"}, R: i(2000)}
-	if !eval(t, e, env).Bool() {
+	if !truth(eval(t, e, env)) {
 		t.Error("method predicate false")
 	}
 	// No dispatcher -> error.

@@ -74,6 +74,8 @@ type Manager struct {
 	mu    sync.RWMutex
 	funcs map[string]*compiled // by signature
 
+	queries *QueryRegistry // compiled query fragments (predicates/projections)
+
 	compilations int64 // Register/Update calls — the "compile once" cost
 	loads        int64 // shared-object loads (first invocation)
 	invocations  int64
@@ -82,8 +84,17 @@ type Manager struct {
 // New creates a Function Manager over the catalog. locks may be nil, in
 // which case shared-object locking is skipped (single-session use).
 func New(cat *catalog.Catalog, locks *lock.Manager) *Manager {
-	return &Manager{cat: cat, locks: locks, funcs: make(map[string]*compiled)}
+	return &Manager{
+		cat: cat, locks: locks,
+		funcs:   make(map[string]*compiled),
+		queries: NewQueryRegistry(),
+	}
 }
+
+// Queries exposes the compiled-query-fragment registry; the kernel wires it
+// into the executor so vectorized operators resolve predicates through the
+// Function Manager.
+func (m *Manager) Queries() *QueryRegistry { return m.queries }
 
 // lockSharedObject takes the class's shared-object lock in the given mode
 // for the duration of fn. Transaction identity is per-operation here; the

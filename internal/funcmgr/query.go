@@ -1,0 +1,100 @@
+package funcmgr
+
+import (
+	"sync"
+
+	"mood/internal/expr"
+)
+
+// QueryRegistry extends the Function Manager to query fragments: predicates
+// and projection expressions compiled by expr.Compile are registered under
+// their expression signature (the rendered expression text, the analogue of
+// the paper's class-plus-parameter-list signature) and resolved at execution
+// time. The lifecycle mirrors the member-function registry — compile once,
+// late-bind by signature, count a "load" on first resolution — so EXPLAIN
+// and the experiment harness can report compilation reuse the same way
+// Manager.Stats reports it for methods.
+//
+// The registry is safe for concurrent resolution (parallel exchange workers
+// compile/resolve through the same instance); the returned closures
+// themselves are read-only over their captured expression nodes and shared
+// freely across goroutines.
+type QueryRegistry struct {
+	mu  sync.Mutex
+	fns map[string]*queryFn
+
+	compilations int64 // distinct fragments lowered
+	resolutions  int64 // signature lookups served
+	fallbacks    int64 // fragments that did not fully lower
+}
+
+type queryFn struct {
+	boolFn expr.BoolFn
+	fn     expr.Fn
+	pred   expr.PredFn // non-nil when the self-mode specialization lowered
+	full   bool        // every node lowered (no interpreter subtrees)
+	loaded bool        // "loaded" on first resolution, as for shared objects
+}
+
+// NewQueryRegistry creates an empty registry.
+func NewQueryRegistry() *QueryRegistry {
+	return &QueryRegistry{fns: make(map[string]*queryFn)}
+}
+
+// resolve returns the compiled entry for the signature, lowering and
+// registering it on first use.
+func (r *QueryRegistry) resolve(key, varName string, e expr.Expr) *queryFn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.fns[key]
+	if !ok {
+		q = &queryFn{}
+		q.boolFn, q.full = expr.CompileBool(e)
+		q.fn, _ = expr.Compile(e)
+		if varName != "" {
+			q.pred, _ = expr.CompilePredicate(e, varName)
+		}
+		r.fns[key] = q
+		r.compilations++
+		if !q.full {
+			r.fallbacks++
+		}
+	}
+	r.resolutions++
+	if !q.loaded {
+		q.loaded = true
+	}
+	return q
+}
+
+// Predicate resolves the self-mode compiled form of a single-variable
+// predicate over varName. ok is false when the predicate does not lower to
+// self mode (multi-variable, method call, or unknown node); callers fall
+// back to BoolFn or the interpreter.
+func (r *QueryRegistry) Predicate(varName string, e expr.Expr) (expr.PredFn, bool) {
+	q := r.resolve("pred:"+varName+"\x00"+expr.Signature(e), varName, e)
+	return q.pred, q.pred != nil
+}
+
+// BoolFn resolves the environment-mode compiled predicate. The closure is
+// always valid; full reports whether every node lowered (false means some
+// subtree interprets).
+func (r *QueryRegistry) BoolFn(e expr.Expr) (fn expr.BoolFn, full bool) {
+	q := r.resolve("bool:\x00"+expr.Signature(e), "", e)
+	return q.boolFn, q.full
+}
+
+// Fn resolves the environment-mode compiled expression (projections).
+func (r *QueryRegistry) Fn(e expr.Expr) (fn expr.Fn, full bool) {
+	q := r.resolve("expr:\x00"+expr.Signature(e), "", e)
+	return q.fn, q.full
+}
+
+// QueryStats returns (compilations, resolutions, fallbacks): distinct
+// fragments lowered, signature lookups served, and fragments that kept an
+// interpreted subtree.
+func (r *QueryRegistry) QueryStats() (compilations, resolutions, fallbacks int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.compilations, r.resolutions, r.fallbacks
+}

@@ -97,6 +97,13 @@ func TestExplainAnalyzePageTotalsMatchDisk(t *testing.T) {
 					t.Errorf("EXPLAIN ANALYZE output lacks %q:\n%s", marker, out)
 				}
 			}
+			// The vectorized pipeline annotates batch counts and the
+			// predicate-compilation outcome on the operators that carry them.
+			for _, marker := range []string{"batches=", "rows/batch=", "compiled="} {
+				if !strings.Contains(out, marker) {
+					t.Errorf("EXPLAIN ANALYZE output lacks %q:\n%s", marker, out)
+				}
+			}
 			// Every operator line in the plan render must appear annotated.
 			planLines := strings.Count(optimizer.Render(db.LastPlan), "\n")
 			annotated := 0

@@ -120,6 +120,10 @@ func Open(opts Options) (*DB, error) {
 	}
 	// Late-bound method dispatch for predicates and projections.
 	alg.Invoke = db.invoke
+	// Share the Function Manager's query registry so compiled predicate
+	// closures are resolved through the same late-binding manager as
+	// methods, and survive across statements of one session.
+	db.Exec.Funcs = funcs.Queries()
 	// EXPLAIN ANALYZE attributes simulated page reads per operator; the
 	// executor has no direct disk access, so give it the read counter.
 	db.Exec.Pages = func() int64 { return disk.Stats().Reads() }

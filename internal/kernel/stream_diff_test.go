@@ -11,11 +11,12 @@ import (
 )
 
 // TestGoldenSuiteStreamingDifferential replays the full MOODSQL golden
-// script and, for every SELECT, runs the optimized plan through both the
-// streaming pipeline and the retained materializing executor, demanding
-// identical rendered results and a stable LastPlan rendering. DDL and DML
-// statements execute normally so each query sees the same database state
-// the golden run does.
+// script and, for every SELECT, runs the optimized plan through the
+// vectorized streaming pipeline, the row-at-a-time interpreter (RowMode,
+// compilation off), the retained materializing executor, and the
+// morsel-parallel rewrite, demanding identical rendered results and a
+// stable LastPlan rendering. DDL and DML statements execute normally so
+// each query sees the same database state the golden run does.
 func TestGoldenSuiteStreamingDifferential(t *testing.T) {
 	script, err := os.ReadFile(filepath.Join("testdata", "basic.moodsql"))
 	if err != nil {
@@ -25,6 +26,10 @@ func TestGoldenSuiteStreamingDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A shallow executor copy sharing the algebra and function registry but
+	// pulling rows one at a time with compiled predicates disabled.
+	rowExec := *db.Exec
+	rowExec.RowMode = true
 
 	selects := 0
 	for _, stmt := range splitScript(string(script)) {
@@ -57,6 +62,24 @@ func TestGoldenSuiteStreamingDifferential(t *testing.T) {
 		got, want := renderResult(exec.Extract(stream)), renderResult(exec.Extract(eager))
 		if got != want {
 			t.Errorf("%s: paths disagree:\n--- streaming ---\n%s--- materialized ---\n%s", stmt, got, want)
+		}
+		rows, err := rowExec.Execute(plan)
+		if err != nil {
+			t.Fatalf("%s: row-mode execute: %v", stmt, err)
+		}
+		if got := renderResult(exec.Extract(rows)); got != want {
+			t.Errorf("%s: row mode disagrees:\n--- row mode ---\n%s--- materialized ---\n%s", stmt, got, want)
+		}
+		st, err := db.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := db.Exec.Execute(optimizer.Parallelize(plan, 4, -1, st))
+		if err != nil {
+			t.Fatalf("%s: parallel execute: %v", stmt, err)
+		}
+		if got := renderResult(exec.Extract(par)); got != want {
+			t.Errorf("%s: parallel rewrite disagrees:\n--- parallel ---\n%s--- materialized ---\n%s", stmt, got, want)
 		}
 		if after := optimizer.Render(db.LastPlan); after != renderBefore {
 			t.Errorf("%s: LastPlan rendering changed across execution:\n--- before ---\n%s--- after ---\n%s",

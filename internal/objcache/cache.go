@@ -48,7 +48,7 @@ type entry struct {
 }
 
 type shard struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	epoch     uint64
 	budget    int64
 	bytes     int64
@@ -97,11 +97,15 @@ func New(budgetBytes int64) *Cache {
 	return c
 }
 
-func (c *Cache) shard(oid storage.OID) *shard {
-	// Multiplicative hash over the whole OID so consecutive slots of one
-	// page spread across shards.
+// shardIndex spreads consecutive slots of one page across shards with a
+// multiplicative hash over the whole OID.
+func shardIndex(oid storage.OID) uint64 {
 	h := uint64(oid) * 0x9e3779b97f4a7c15
-	return &c.shards[(h>>32)&(numShards-1)]
+	return (h >> 32) & (numShards - 1)
+}
+
+func (c *Cache) shard(oid storage.OID) *shard {
+	return &c.shards[shardIndex(oid)]
 }
 
 // Get returns the cached decoded value and class name for oid. The returned
@@ -129,6 +133,67 @@ func (c *Cache) Get(oid storage.OID) (object.Value, string, bool) {
 	sh.mu.Unlock()
 	c.hits.Add(1)
 	return v, class, true
+}
+
+// GetScan is the scan-resistant Get: a read-locked lookup that skips
+// replacement promotion and returns a pointer to the cached value instead
+// of a 120-byte copy. Extent scans touch every entry once per pass, so
+// promoting on their behalf would only churn the probation/protected lists
+// without improving future hit rates (2Q exists precisely to keep scans
+// from washing out the hot set) — and skipping the promotion lets scan hits
+// share the shard read lock instead of serializing on it. The returned
+// pointer aliases the cache entry: entries are immutable after insert (an
+// invalidation unlinks, never rewrites), so the pointer stays valid and
+// read-only even if the entry is evicted after the lock is dropped. Callers
+// must not write through it and must copy before mutating.
+func (c *Cache) GetScan(oid storage.OID) (*object.Value, string, bool) {
+	sh := c.shard(oid)
+	sh.mu.RLock()
+	el, ok := sh.table[oid]
+	if !ok {
+		sh.mu.RUnlock()
+		c.misses.Add(1)
+		return nil, "", false
+	}
+	e := el.Value.(*entry)
+	sh.mu.RUnlock()
+	c.hits.Add(1)
+	return &e.val, e.class, true
+}
+
+// GetScanBatch is GetScan over a page's worth of OIDs at once: vals[i] is
+// set to the cached value pointer for oids[i], or nil on a miss. Every
+// touched shard is read-locked at most once for the whole batch — one lock
+// pair per shard per page instead of one per object — and the hit/miss
+// counters are bumped once in bulk, so a sequential scan's per-object cache
+// cost collapses to a map lookup. No user code runs under the locks. The
+// returned pointers carry GetScan's aliasing contract. Reports the number
+// of hits. vals must be at least as long as oids.
+func (c *Cache) GetScanBatch(oids []storage.OID, vals []*object.Value) int {
+	var locked [numShards]bool
+	hits := 0
+	for i, oid := range oids {
+		idx := shardIndex(oid)
+		sh := &c.shards[idx]
+		if !locked[idx] {
+			sh.mu.RLock()
+			locked[idx] = true
+		}
+		if el, ok := sh.table[oid]; ok {
+			vals[i] = &el.Value.(*entry).val
+			hits++
+		} else {
+			vals[i] = nil
+		}
+	}
+	for i := range locked {
+		if locked[i] {
+			c.shards[i].mu.RUnlock()
+		}
+	}
+	c.hits.Add(int64(hits))
+	c.misses.Add(int64(len(oids) - hits))
+	return hits
 }
 
 // BeginFetch captures the shard epoch for oid. Callers take the token

@@ -13,7 +13,7 @@ func TestConstructorsAndAccessors(t *testing.T) {
 	if NewInt(42).Int != 42 || NewInt(42).Kind != KindInteger {
 		t.Error("NewInt broken")
 	}
-	if !NewBool(true).Bool() || NewBool(false).Bool() {
+	if bt, bf := NewBool(true), NewBool(false); !bt.Bool() || bf.Bool() {
 		t.Error("NewBool broken")
 	}
 	tp := NewTuple([]string{"a", "b"}, []Value{NewInt(1), NewString("x")})

@@ -143,14 +143,19 @@ func NewTuple(names []string, fields []Value) Value {
 	}
 }
 
+// The read-only accessors below take pointer receivers on purpose: Value is
+// a 120-byte struct, and these run per object on the executor's hot paths —
+// a value receiver would copy the whole struct per call. They never write
+// through the receiver.
+
 // IsNull reports whether the value is null.
-func (v Value) IsNull() bool { return v.Kind == KindNull }
+func (v *Value) IsNull() bool { return v.Kind == KindNull }
 
 // Bool returns the Boolean's truth value.
-func (v Value) Bool() bool { return v.Kind == KindBoolean && v.Int != 0 }
+func (v *Value) Bool() bool { return v.Kind == KindBoolean && v.Int != 0 }
 
 // Field returns the named tuple field and whether it exists.
-func (v Value) Field(name string) (Value, bool) {
+func (v *Value) Field(name string) (Value, bool) {
 	if v.Kind != KindTuple {
 		return Null, false
 	}
@@ -187,7 +192,7 @@ func (v *Value) SetAdd(e Value) bool {
 }
 
 // SetContains reports whether the Set holds a shallow-equal element.
-func (v Value) SetContains(e Value) bool {
+func (v *Value) SetContains(e Value) bool {
 	for _, x := range v.Elems {
 		if Equal(x, e) {
 			return true
@@ -201,7 +206,7 @@ func (v *Value) Append(e Value) { v.Elems = append(v.Elems, e) }
 
 // Len returns the element count of a Set or List, the field count of a
 // Tuple, or the byte length of a String.
-func (v Value) Len() int {
+func (v *Value) Len() int {
 	switch v.Kind {
 	case KindSet, KindList:
 		return len(v.Elems)
@@ -233,7 +238,7 @@ func (v Value) Clone() Value {
 }
 
 // AsFloat converts a numeric value to float64; ok is false otherwise.
-func (v Value) AsFloat() (f float64, ok bool) {
+func (v *Value) AsFloat() (f float64, ok bool) {
 	switch v.Kind {
 	case KindInteger, KindLongInteger, KindChar, KindBoolean:
 		return float64(v.Int), true
@@ -244,7 +249,7 @@ func (v Value) AsFloat() (f float64, ok bool) {
 }
 
 // AsInt converts an integral value to int64; ok is false otherwise.
-func (v Value) AsInt() (i int64, ok bool) {
+func (v *Value) AsInt() (i int64, ok bool) {
 	switch v.Kind {
 	case KindInteger, KindLongInteger, KindChar, KindBoolean:
 		return v.Int, true

@@ -30,6 +30,12 @@ import (
 //
 // Errors propagate up the Next chain unwrapped; the root consumer sees the
 // leaf's error verbatim and is responsible for closing the tree.
+//
+// The executor refines this contract batch-at-a-time: operators that also
+// implement exec.BatchOperator produce row vectors through NextBatch, and an
+// adapter bridges the two shapes in either direction. The refinement lives in
+// exec (not here) because batches are an execution concern — plans and
+// external engines only ever depend on the row contract above.
 type Operator interface {
 	Open() error
 	Next() (algebra.Row, bool, error)

@@ -351,6 +351,73 @@ func (s *ObjectStore) ScanPage(f *File, pid PageID) ([]ScanRecord, PageID, error
 	return hits, next, nil
 }
 
+// ScanPageRecs is ScanPage without the per-record copy, batched: fn
+// receives a whole page's plain records at once, their Data slices aliasing
+// the pinned page frame, so a consumer pays no allocation per record AND
+// can amortize per-page work (a batched object-cache probe, one shard lock
+// per page instead of one per record) across the batch. fn must consume the
+// bytes before returning and must not call back into the store — it runs
+// under the store's read lock. fn is called at most twice: once with the
+// plain records in slot order (page pinned), then once with the reassembled
+// overflow records (heap copies by construction), preserving ScanPage's
+// record order. scratch is the caller's reusable backing array for the
+// plain-record batch; the possibly-grown slice is returned for the next
+// call. With readahead true the chain's next page is requested from the
+// prefetcher before the records are delivered, so loading page i+1 overlaps
+// fn's work on page i.
+func (s *ObjectStore) ScanPageRecs(f *File, pid PageID, readahead bool, scratch []ScanRecord, fn func(recs []ScanRecord) error) (PageID, []ScanRecord, error) {
+	scratch = scratch[:0]
+	var overflowHeads []ScanRecord
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pg, err := s.bp.Fetch(pid)
+	if err != nil {
+		return 0, scratch, err
+	}
+	next := pg.NextPage()
+	if readahead && next != 0 {
+		s.Prefetch(next)
+	}
+	pg.Slots(func(slot SlotID, rec []byte) bool {
+		oid := MakeOID(f.ID, pid, slot)
+		switch rec[0] {
+		case recPlain:
+			scratch = append(scratch, ScanRecord{oid, rec[1:]})
+		case recOverflow:
+			cp := make([]byte, len(rec))
+			copy(cp, rec)
+			overflowHeads = append(overflowHeads, ScanRecord{oid, cp})
+		}
+		return true
+	})
+	var fnErr error
+	if len(scratch) > 0 {
+		fnErr = fn(scratch)
+	}
+	if err := s.bp.Unpin(pid, false); err != nil {
+		return 0, scratch, err
+	}
+	if fnErr != nil {
+		return 0, scratch, fnErr
+	}
+	if len(overflowHeads) > 0 {
+		for i, h := range overflowHeads {
+			total := binary.LittleEndian.Uint32(h.Data[1:])
+			first := PageID(binary.LittleEndian.Uint32(h.Data[5:]))
+			data, err := s.readOverflow(first, int(total))
+			if err != nil {
+				return 0, scratch, err
+			}
+			overflowHeads[i] = ScanRecord{h.OID, data}
+		}
+		if err := fn(overflowHeads); err != nil {
+			return 0, scratch, err
+		}
+	}
+	return next, scratch, nil
+}
+
 // Scan iterates the records of the file in page-chain order. fn receives
 // each record's OID and a copy of its payload; returning false stops the
 // scan early. The store's lock is NOT held while fn runs, so callbacks may
