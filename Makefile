@@ -4,9 +4,10 @@
 #   make test            full test suite
 #   make race            full test suite under the race detector
 #   make vet             static analysis
-#   make crashtest       the seeded crash/recovery torture harness
-#                        (CRASHTEST_ITERS=n to scale, CRASHTEST_SEED=n to
-#                        replay one failing iteration)
+#   make crashtest       the seeded crash/recovery torture harness,
+#                        single-store and sharded (CRASHTEST_ITERS=n to
+#                        scale, CRASHTEST_SEED=n to replay one failing
+#                        iteration)
 #   make bench-baseline  regenerate BENCH_baseline.json (simulated I/O of a
 #                        representative operation set; deterministic)
 #   make bench-parallel  regenerate BENCH_parallel.json (morsel-exchange
@@ -22,6 +23,11 @@
 #                        rows/reads/decode columns deterministic, wall-clock
 #                        and speedup columns machine-local) plus the
 #                        row-vs-vector scan microbenchmarks
+#   make bench-shard     regenerate BENCH_shard.json (sharded-store sweep at
+#                        shards=1/2/4: scan + hash-join reads must match
+#                        across shard counts, insert+update commit
+#                        throughput must scale; rows/reads deterministic,
+#                        wall-clock and speedup columns machine-local)
 #   make exec-race       the executor/algebra/kernel suites under the race
 #                        detector (the streaming pipeline's hot path)
 #   make parallel-race   every parallel-execution test under the race
@@ -32,6 +38,9 @@
 #   make vector-race     the vectorized-execution wall under the race
 #                        detector (batch-boundary edges, the three-way
 #                        differential, expr compile-vs-interpret equality)
+#   make shard-race      the sharded-store wall under the race detector
+#                        (differential wall at shards=1/2/4, commit
+#                        throughput, sharded storage + crash torture)
 #   make fuzz-expr       bounded 30s fuzz of expr.Compile against the
 #                        interpreter (corpus seeds under
 #                        internal/expr/testdata/fuzz)
@@ -42,8 +51,8 @@ CRASHTEST_ITERS ?= 120
 FUZZ_EXPR_TIME ?= 30s
 
 .PHONY: build test race vet crashtest bench-baseline bench-parallel \
-	bench-exec bench-cache bench-vector exec-race parallel-race \
-	cache-race vector-race fuzz-expr ci
+	bench-exec bench-cache bench-vector bench-shard exec-race \
+	parallel-race cache-race vector-race shard-race fuzz-expr ci
 
 build:
 	$(GO) build ./...
@@ -58,7 +67,7 @@ vet:
 	$(GO) vet ./...
 
 crashtest:
-	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic' ./internal/crashtest
+	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic|TestShardedTorture|TestRunShardedIsDeterministic' ./internal/crashtest
 
 bench-baseline:
 	$(GO) run ./cmd/moodbench -bench-json BENCH_baseline.json
@@ -93,7 +102,13 @@ vector-race:
 	$(GO) test -race -run 'Batch|Differential|Vector|Compile' \
 		./internal/exec ./internal/expr ./internal/experiments ./internal/kernel
 
+bench-shard:
+	$(GO) run ./cmd/moodbench -shard-json BENCH_shard.json
+
+shard-race:
+	$(GO) test -race -run 'Sharded' ./internal/storage ./internal/kernel ./internal/crashtest
+
 fuzz-expr:
 	$(GO) test -fuzz FuzzCompile -fuzztime $(FUZZ_EXPR_TIME) -run '^FuzzCompile$$' ./internal/expr
 
-ci: build vet test race exec-race parallel-race cache-race vector-race fuzz-expr bench-vector crashtest
+ci: build vet test race exec-race parallel-race cache-race vector-race shard-race fuzz-expr bench-vector bench-shard crashtest

@@ -8,7 +8,7 @@
 // Artifacts: table1, table2, tables3to7, table8, table9, table10,
 // tables11and12, tables13to15, table16, table17, example81, example82,
 // figure71, figure72, joinsweep, pathorder, selectivity, indexrule,
-// parallel, cache, vector.
+// parallel, cache, vector, shard.
 package main
 
 import (
@@ -65,7 +65,26 @@ func artifacts() []artifact {
 		{"parallel", "morsel-driven exchange scaling, workers=1/2/4/8", experiments.ParallelScaling},
 		{"cache", "object-cache sweep, cache=0/64KiB/1MiB", experiments.CacheSweep},
 		{"vector", "vectorized execution vs row-at-a-time, compiled predicates", experiments.VectorSweep},
+		{"shard", "sharded-store scaling, shards=1/2/4", experiments.ShardScaling},
 	}
+}
+
+// writeShardJSON runs the sharded-store sweep of experiments.MeasureShard
+// and writes the result as JSON. Rows, page reads and record densities are
+// deterministic — the sweep itself fails if the read totals differ across
+// shard counts; the wall-clock columns (wall_ms, rows_per_wall_sec,
+// commits_per_sec, the speedups) are real measurements and vary run to run.
+// The sweep builds its own fixed-size-record extents, so -scale is ignored.
+func writeShardJSON(path string) error {
+	res, err := experiments.MeasureShard(0, 0)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeVectorJSON runs the vectorized-execution sweep of
@@ -159,6 +178,7 @@ func main() {
 	parallelJSON := flag.String("parallel-json", "", "write the workers=1/2/4/8 parallel scaling sweep to this file and exit")
 	cacheJSON := flag.String("cache-json", "", "write the object-cache sweep (cache=0/64KiB/1MiB) to this file and exit")
 	vectorJSON := flag.String("vector-json", "", "write the vectorized-execution sweep (row/vector/vector-parallel) to this file and exit")
+	shardJSON := flag.String("shard-json", "", "write the sharded-store sweep (shards=1/2/4, queries + commit throughput) to this file and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
 
@@ -207,6 +227,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (scale %g)\n", *vectorJSON, *scale)
+		return
+	}
+	if *shardJSON != "" {
+		if err := writeShardJSON(*shardJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "shard-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *shardJSON)
 		return
 	}
 

@@ -1,8 +1,10 @@
 // Command moodsql is an interactive MOODSQL shell over a fresh MOOD
 // database. Statements end with ';'. Run with -parallelism N to plan
 // queries with intra-query parallelism (EXCHANGE nodes), -objcache BYTES
-// to enable the decoded-object cache, and -prefetch N to enable
-// buffer-pool readahead. Shell commands:
+// to enable the decoded-object cache, -prefetch N to enable buffer-pool
+// readahead, and -shards N to partition class extents across N
+// independent object stores (each with its own disk, pool and WAL).
+// Shell commands:
 //
 //	\schema            show the class hierarchy and extents
 //	\class <name>      show one class (Figure 9.2 presentation)
@@ -33,11 +35,13 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "degree of intra-query parallelism (0 or 1 = serial plans)")
 	objcacheBytes := flag.Int64("objcache", 0, "decoded-object cache budget in bytes (0 = disabled); try 1048576")
 	prefetch := flag.Int("prefetch", 0, "buffer-pool readahead workers (0 = disabled)")
+	shards := flag.Int("shards", 0, "partition class extents across N independent object stores (0 or 1 = single store)")
 	flag.Parse()
 	opts := kernel.DefaultOptions()
 	opts.Parallelism = *parallelism
 	opts.ObjectCacheBytes = *objcacheBytes
 	opts.PrefetchWorkers = *prefetch
+	opts.ShardCount = *shards
 	db, err := kernel.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -68,16 +68,16 @@ type Class struct {
 	Supers  []string
 	Methods []*MethodSig
 
-	extent *storage.File
+	extent *storage.Extent
 }
 
-// Extent returns the class's default extent file (nil for pure types).
-func (c *Class) Extent() *storage.File { return c.extent }
+// Extent returns the class's default extent (nil for pure types).
+func (c *Class) Extent() *storage.Extent { return c.extent }
 
 // Catalog is the schema and object manager.
 type Catalog struct {
 	mu    sync.RWMutex
-	store *storage.ObjectStore
+	store storage.Store
 
 	classes map[string]*Class
 	byID    map[int]*Class
@@ -85,9 +85,9 @@ type Catalog struct {
 
 	indexes map[string]*Index // by index name
 
-	sysFile *storage.File          // persisted catalog records
+	sysFile *storage.Extent        // persisted catalog records
 	sysOIDs map[string]storage.OID // class name -> catalog record OID
-	idxFile *storage.File          // persisted index records
+	idxFile *storage.Extent        // persisted index records
 	idxOIDs map[string]storage.OID // index name -> record OID
 
 	// ocache, when set, is the decoded-object cache consulted by
@@ -95,9 +95,10 @@ type Catalog struct {
 	ocache *objcache.Cache
 }
 
-// New creates a catalog over the store, bootstrapping its system files
-// (SYS.MoodsType, SYS.MoodsIndex).
-func New(store *storage.ObjectStore) (*Catalog, error) {
+// New creates a catalog over the store, bootstrapping its system extents
+// (SYS.MoodsType, SYS.MoodsIndex). The store may be a single ObjectStore or
+// a ShardedStore — the catalog only speaks the Store interface.
+func New(store storage.Store) (*Catalog, error) {
 	c := &Catalog{
 		store:   store,
 		classes: make(map[string]*Class),
@@ -108,17 +109,17 @@ func New(store *storage.ObjectStore) (*Catalog, error) {
 		idxOIDs: make(map[string]storage.OID),
 	}
 	var err error
-	if c.sysFile, err = store.Files().CreateFile("SYS.MoodsType"); err != nil {
+	if c.sysFile, err = store.CreateExtent("SYS.MoodsType"); err != nil {
 		return nil, err
 	}
-	if c.idxFile, err = store.Files().CreateFile("SYS.MoodsIndex"); err != nil {
+	if c.idxFile, err = store.CreateExtent("SYS.MoodsIndex"); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
 // Store returns the underlying object store.
-func (c *Catalog) Store() *storage.ObjectStore { return c.store }
+func (c *Catalog) Store() storage.Store { return c.store }
 
 // DefineClass creates a class with the given tuple type, superclasses and
 // methods, and allocates its default extent.
@@ -166,7 +167,7 @@ func (c *Catalog) define(name string, tuple *object.Type, supers []string, metho
 	}
 	c.nextID++
 	if isClass {
-		ext, err := c.store.Files().CreateFile("extent." + name)
+		ext, err := c.store.CreateExtent("extent." + name)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +207,7 @@ func (c *Catalog) DropClass(name string) error {
 		}
 	}
 	if cl.extent != nil {
-		if err := c.store.Files().DropFile(cl.extent.Name); err != nil {
+		if err := c.store.DropExtent(cl.extent.Name); err != nil {
 			return err
 		}
 	}

@@ -46,7 +46,7 @@ func (c *Catalog) CreateObject(class string, v object.Value) (storage.OID, error
 	if err := full.Check(v); err != nil {
 		return storage.NilOID, err
 	}
-	oid, err := c.store.Insert(cl.extent, encodeObject(cl.ID, v))
+	oid, err := c.store.InsertExtent(cl.extent, encodeObject(cl.ID, v))
 	if err != nil {
 		return storage.NilOID, err
 	}
@@ -217,7 +217,7 @@ func (c *Catalog) ScanExtent(class string, fn func(storage.OID, object.Value) bo
 		return fmt.Errorf("catalog: %s has no extent", class)
 	}
 	var derr error
-	err = c.store.Scan(cl.extent, func(oid storage.OID, data []byte) bool {
+	err = c.store.ScanExtent(cl.extent, func(oid storage.OID, data []byte) bool {
 		_, v, err := decodeObject(data)
 		if err != nil {
 			derr = err
@@ -290,4 +290,19 @@ func (c *Catalog) ExtentPages(class string) (int, error) {
 		return 0, nil
 	}
 	return cl.extent.NumPages(), nil
+}
+
+// ExtentShardPages returns the class's per-shard data-page counts, indexed
+// by shard id (a one-element slice on a single store). The statistics
+// collector feeds these to the cost model so partitioned scans and
+// reference fetches are priced per shard.
+func (c *Catalog) ExtentShardPages(class string) ([]int, error) {
+	cl, err := c.Class(class)
+	if err != nil {
+		return nil, err
+	}
+	if cl.extent == nil {
+		return nil, nil
+	}
+	return cl.extent.PartPages(), nil
 }

@@ -143,7 +143,7 @@ func (c *Catalog) persistClass(cl *Class) error {
 	if oid, ok := c.sysOIDs[cl.Name]; ok {
 		return c.store.Update(oid, data)
 	}
-	oid, err := c.store.Insert(c.sysFile, data)
+	oid, err := c.store.InsertExtent(c.sysFile, data)
 	if err != nil {
 		return err
 	}
@@ -170,7 +170,7 @@ func (c *Catalog) persistIndex(ix *Index) error {
 	if oid, ok := c.idxOIDs[ix.Name]; ok {
 		return c.store.Update(oid, data)
 	}
-	oid, err := c.store.Insert(c.idxFile, data)
+	oid, err := c.store.InsertExtent(c.idxFile, data)
 	if err != nil {
 		return err
 	}
@@ -181,8 +181,10 @@ func (c *Catalog) persistIndex(ix *Index) error {
 // Open reloads a catalog previously created over the same store. Class
 // definitions and index metadata are read back from the system files;
 // indexes are rebuilt from the extents (index pages are not WAL-protected,
-// so a rebuild is the recovery story for them).
-func Open(store *storage.ObjectStore) (*Catalog, error) {
+// so a rebuild is the recovery story for them). A sharded catalog must be
+// re-opened with a store of the same shard count — the shard field of every
+// persisted OID routes to the disk that holds the record.
+func Open(store storage.Store) (*Catalog, error) {
 	return open(store, true)
 }
 
@@ -190,11 +192,11 @@ func Open(store *storage.ObjectStore) (*Catalog, error) {
 // read-only view suitable for measurement harnesses that re-open the disk
 // behind a deliberately tiny buffer pool (index rebuilds need several
 // pinned pages at once). Index metadata records are left untouched on disk.
-func OpenLite(store *storage.ObjectStore) (*Catalog, error) {
+func OpenLite(store storage.Store) (*Catalog, error) {
 	return open(store, false)
 }
 
-func open(store *storage.ObjectStore, rebuildIndexes bool) (*Catalog, error) {
+func open(store storage.Store, rebuildIndexes bool) (*Catalog, error) {
 	c := &Catalog{
 		store:   store,
 		classes: make(map[string]*Class),
@@ -205,14 +207,14 @@ func open(store *storage.ObjectStore, rebuildIndexes bool) (*Catalog, error) {
 		idxOIDs: make(map[string]storage.OID),
 	}
 	var err error
-	if c.sysFile, err = store.Files().OpenFile("SYS.MoodsType"); err != nil {
+	if c.sysFile, err = store.OpenExtent("SYS.MoodsType"); err != nil {
 		return nil, err
 	}
-	if c.idxFile, err = store.Files().OpenFile("SYS.MoodsIndex"); err != nil {
+	if c.idxFile, err = store.OpenExtent("SYS.MoodsIndex"); err != nil {
 		return nil, err
 	}
 	var derr error
-	err = store.Scan(c.sysFile, func(oid storage.OID, data []byte) bool {
+	err = store.ScanExtent(c.sysFile, func(oid storage.OID, data []byte) bool {
 		v, err := object.Unmarshal(data)
 		if err != nil {
 			derr = err
@@ -224,7 +226,7 @@ func open(store *storage.ObjectStore, rebuildIndexes bool) (*Catalog, error) {
 			return false
 		}
 		if cl.IsClass {
-			ext, err := store.Files().OpenFile("extent." + cl.Name)
+			ext, err := store.OpenExtent("extent." + cl.Name)
 			if err != nil {
 				derr = fmt.Errorf("catalog: class %s lost its extent: %w", cl.Name, err)
 				return false
@@ -255,7 +257,7 @@ func open(store *storage.ObjectStore, rebuildIndexes bool) (*Catalog, error) {
 		val object.Value
 	}
 	var metas []idxMeta
-	err = store.Scan(c.idxFile, func(oid storage.OID, data []byte) bool {
+	err = store.ScanExtent(c.idxFile, func(oid storage.OID, data []byte) bool {
 		v, err := object.Unmarshal(data)
 		if err != nil {
 			derr = err

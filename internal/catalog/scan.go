@@ -7,6 +7,14 @@ import (
 	"mood/internal/storage"
 )
 
+// MorselPages is the canonical page-run length of extent scans: morsels
+// carry at most this many consecutive chain-order pages of one shard's
+// part, and the serial ExtentCursor visits parts in the same
+// MorselPages-page round-robin rotation. Using one constant in both places
+// is what makes the serial row order equal to the Seq-merged parallel row
+// order at any fixed shard count.
+const MorselPages = 4
+
 // ExtentCursor is a pull-based scan over a class extent (optionally the
 // whole IS-A closure, honoring the FROM clause's minus operator). Unlike
 // ScanExtent/ScanClosure, which push every object through a callback, the
@@ -14,19 +22,31 @@ import (
 // consumer that stops early stops paying for page reads, which is what makes
 // the streaming executor's early termination observable on the simulated
 // disk.
+//
+// On a sharded store the cursor rotates across the extent's parts in
+// MorselPages-page runs (part 0 pages 0..3, part 1 pages 0..3, …, part 0
+// pages 4..7, …), chasing each part's page chain lazily; on a single store
+// this degenerates to plain chain order.
 type ExtentCursor struct {
 	cat     *Catalog
 	classes []string // extents still to visit, in closure order
 	ci      int
-	file    *storage.File
-	pid     storage.PageID
-	buf     []scanned
-	bi      int
 	opened  bool
 	done    bool
 	closed  bool
 	filter  func(oid storage.OID, v *object.Value) (bool, error)
 	scratch pageScanScratch
+
+	// Per-class rotation state: the extent being scanned, each part's next
+	// chain page (0 = exhausted), the part currently being read and the
+	// pages left in its run.
+	ext       *storage.Extent
+	partPids  []storage.PageID
+	live      int // parts not yet exhausted
+	part      int
+	runLeft   int
+	buf       []scanned
+	bi        int
 }
 
 type scanned struct {
@@ -44,22 +64,22 @@ type pageScanScratch struct {
 	dec  []object.Value  // decoded cache misses, in record order
 }
 
-// scanPageBatched reads one extent page and emits its surviving objects:
-// inside the store lock it probes the object cache for the whole page in
-// one batched lookup (one shard lock per page, not per object) and decodes
-// only the misses; the filter and emit callbacks then run OUTSIDE the store
-// lock on cache- or scratch-owned values, so a filter that resolves
-// references may safely re-enter the store. Cache hits save only the
-// decode, never the page read — read patterns are identical with and
-// without the cache — and the promotion-free batch probe keeps one scan
+// scanPageBatched reads one page of one part of the extent and emits its
+// surviving objects: inside the store lock it probes the object cache for
+// the whole page in one batched lookup (one shard lock per page, not per
+// object) and decodes only the misses; the filter and emit callbacks then
+// run OUTSIDE the store lock on cache- or scratch-owned values, so a filter
+// that resolves references may safely re-enter the store. Cache hits save
+// only the decode, never the page read — read patterns are identical with
+// and without the cache — and the promotion-free batch probe keeps one scan
 // pass from churning the replacement lists. The object pointers handed to
 // filter and emit are read-only and valid only until the next call with the
-// same scratch. Returns the next page in the chain (0 at the end).
-func (c *Catalog) scanPageBatched(f *storage.File, pid storage.PageID, readahead bool, sc *pageScanScratch,
+// same scratch. Returns the next page in the part's chain (0 at the end).
+func (c *Catalog) scanPageBatched(e *storage.Extent, part int, pid storage.PageID, readahead bool, sc *pageScanScratch,
 	filter func(oid storage.OID, v *object.Value) (bool, error),
 	emit func(oid storage.OID, v *object.Value)) (storage.PageID, error) {
 	sc.oids, sc.vals, sc.dec = sc.oids[:0], sc.vals[:0], sc.dec[:0]
-	next, recs, err := c.store.ScanPageRecs(f, pid, readahead, sc.recs, func(batch []storage.ScanRecord) error {
+	next, recs, err := c.store.ScanPartRecs(e, part, pid, readahead, sc.recs, func(batch []storage.ScanRecord) error {
 		n0 := len(sc.oids)
 		for i := range batch {
 			sc.oids = append(sc.oids, batch[i].OID)
@@ -167,22 +187,26 @@ type ScannedObject struct {
 }
 
 // ExtentMorsel is one unit of parallel scan work: a run of consecutive
-// chain-order pages of one class extent. Morsels of a scan are numbered in
-// the exact order a serial ExtentCursor would visit their pages, so a
-// dispatcher that merges worker output by Seq reproduces the serial row
-// order byte for byte.
+// chain-order pages of one part (one shard) of a class extent. Morsels of a
+// scan are numbered in the exact order a serial ExtentCursor would visit
+// their pages, so a dispatcher that merges worker output by Seq reproduces
+// the serial row order byte for byte.
 type ExtentMorsel struct {
 	Class string
 	Seq   int
+	// Part is the shard whose page chain the morsel's pages belong to.
+	Part  int
 	Pages []storage.PageID
-	file  *storage.File
+	ext   *storage.Extent
 }
 
 // ExtentMorsels splits the extent scan of class (with the same minus/closure
 // semantics as OpenExtentScan) into page-range morsels of at most pagesPer
-// pages each. Page order comes from the store's chain-order page list, so
-// concurrent workers can read disjoint pages directly instead of chasing
-// NextPage links serially.
+// pages each. Page order within a part comes from the shard's chain-order
+// page list; morsels rotate round-robin across the extent's parts (run 0 of
+// every part, then run 1, …), so exchange workers get cross-shard
+// parallelism for free and the Seq order matches the serial cursor's
+// rotation when pagesPer == MorselPages.
 func (c *Catalog) ExtentMorsels(class string, minus []string, closure bool, pagesPer int) ([]ExtentMorsel, error) {
 	if pagesPer < 1 {
 		pagesPer = 1
@@ -197,29 +221,46 @@ func (c *Catalog) ExtentMorsels(class string, minus []string, closure bool, page
 		if err != nil {
 			return nil, err
 		}
-		pages, err := c.store.PageList(cl.extent)
-		if err != nil {
-			return nil, err
-		}
-		for off := 0; off < len(pages); off += pagesPer {
-			end := off + pagesPer
-			if end > len(pages) {
-				end = len(pages)
+		parts := cl.extent.Parts()
+		perPart := make([][]storage.PageID, parts)
+		for p := 0; p < parts; p++ {
+			pages, err := c.store.PartPageList(cl.extent, p)
+			if err != nil {
+				return nil, err
 			}
-			morsels = append(morsels, ExtentMorsel{
-				Class: name,
-				Seq:   len(morsels),
-				Pages: pages[off:end],
-				file:  cl.extent,
-			})
+			perPart[p] = pages
+		}
+		for run := 0; ; run++ {
+			emitted := false
+			for p := 0; p < parts; p++ {
+				off := run * pagesPer
+				if off >= len(perPart[p]) {
+					continue
+				}
+				end := off + pagesPer
+				if end > len(perPart[p]) {
+					end = len(perPart[p])
+				}
+				morsels = append(morsels, ExtentMorsel{
+					Class: name,
+					Seq:   len(morsels),
+					Part:  p,
+					Pages: perPart[p][off:end],
+					ext:   cl.extent,
+				})
+				emitted = true
+			}
+			if !emitted {
+				break
+			}
 		}
 	}
 	return morsels, nil
 }
 
 // ReadMorsel reads and decodes the objects of one morsel. It is safe to
-// call from concurrent worker goroutines: page reads go through the store's
-// shared lock and the sharded buffer pool.
+// call from concurrent worker goroutines: page reads go through the owning
+// shard's store lock and buffer pool.
 func (c *Catalog) ReadMorsel(m *ExtentMorsel) ([]ScannedObject, error) {
 	return c.ReadMorselFiltered(m, nil)
 }
@@ -234,7 +275,7 @@ func (c *Catalog) ReadMorselFiltered(m *ExtentMorsel, filter func(oid storage.OI
 	// Readahead: request the whole morsel's page set up front, so loading
 	// page i+1 overlaps decoding page i (no-op without a prefetcher).
 	if len(m.Pages) > 1 {
-		c.store.Prefetch(m.Pages[1:]...)
+		c.store.PrefetchPart(m.Part, m.Pages[1:]...)
 	}
 	var sc pageScanScratch
 	for _, pid := range m.Pages {
@@ -242,7 +283,7 @@ func (c *Catalog) ReadMorselFiltered(m *ExtentMorsel, filter func(oid storage.OI
 		// off because the whole morsel was requested above. Cache inserts are
 		// skipped on purpose: they would need a BeginFetch token predating
 		// the page read.
-		_, err := c.scanPageBatched(m.file, pid, false, &sc, filter,
+		_, err := c.scanPageBatched(m.ext, m.Part, pid, false, &sc, filter,
 			func(oid storage.OID, v *object.Value) {
 				out = append(out, ScannedObject{OID: oid, Val: *v})
 			})
@@ -312,14 +353,39 @@ func (it *ExtentCursor) NextRef() (storage.OID, *object.Value, bool, error) {
 	}
 }
 
+// nextPage advances the rotation to the next page to read, returning false
+// when the current class's extent is exhausted. Parts are visited cyclically
+// in MorselPages-page runs, skipping exhausted parts — the exact (part, run)
+// sequence ExtentMorsels emits.
+func (it *ExtentCursor) nextPage() (part int, pid storage.PageID, ok bool) {
+	if it.live == 0 {
+		return 0, 0, false
+	}
+	if it.runLeft > 0 && it.partPids[it.part] != 0 {
+		it.runLeft--
+		return it.part, it.partPids[it.part], true
+	}
+	// Run finished (or the part ran dry): rotate to the next live part.
+	start := it.part
+	for i := 1; i <= len(it.partPids); i++ {
+		p := (start + i) % len(it.partPids)
+		if it.partPids[p] != 0 {
+			it.part = p
+			it.runLeft = MorselPages - 1
+			return p, it.partPids[p], true
+		}
+	}
+	return 0, 0, false
+}
+
 // fill buffers the next non-empty page's objects, advancing through the
-// class list; it sets done when every extent is exhausted. The buffer's
-// backing array is reused across fills — Next hands out value copies, so
-// nothing observes the overwrite.
+// class list and each extent's part rotation; it sets done when every
+// extent is exhausted. The buffer's backing array is reused across fills —
+// Next hands out value copies, so nothing observes the overwrite.
 func (it *ExtentCursor) fill() error {
 	it.buf, it.bi = it.buf[:0], 0
 	for {
-		if it.file == nil {
+		if it.ext == nil {
 			// Advance to the next class's extent.
 			if it.opened {
 				it.ci++
@@ -332,12 +398,26 @@ func (it *ExtentCursor) fill() error {
 			if err != nil {
 				return err
 			}
-			it.file = cl.extent
-			it.pid = it.cat.store.FirstScanPage(cl.extent)
+			it.ext = cl.extent
+			parts := cl.extent.Parts()
+			it.partPids = make([]storage.PageID, parts)
+			it.live = 0
+			for p := 0; p < parts; p++ {
+				pid := it.cat.store.PartFirstPage(cl.extent, p)
+				it.partPids[p] = pid
+				if pid != 0 {
+					it.live++
+				}
+			}
+			// Start the rotation so nextPage's first advance lands on the
+			// first live part in part order.
+			it.part = parts - 1
+			it.runLeft = 0
 			it.opened = true
 		}
-		if it.pid == 0 { // extent exhausted
-			it.file = nil
+		part, pid, ok := it.nextPage()
+		if !ok { // extent exhausted
+			it.ext = nil
 			continue
 		}
 		// Batched zero-copy page scan: one cache probe and one decode batch
@@ -345,14 +425,17 @@ func (it *ExtentCursor) fill() error {
 		// page's load requested before decoding starts (a no-op without a
 		// prefetcher). A rejected object is never copied — only survivors
 		// land in the buffer.
-		next, err := it.cat.scanPageBatched(it.file, it.pid, true, &it.scratch, it.filter,
+		next, err := it.cat.scanPageBatched(it.ext, part, pid, true, &it.scratch, it.filter,
 			func(oid storage.OID, v *object.Value) {
 				it.buf = append(it.buf, scanned{oid: oid, val: *v})
 			})
 		if err != nil {
 			return err
 		}
-		it.pid = next
+		it.partPids[part] = next
+		if next == 0 {
+			it.live--
+		}
 		if len(it.buf) > 0 {
 			return nil
 		}
@@ -363,5 +446,5 @@ func (it *ExtentCursor) fill() error {
 // remaining pages without reading them. Close is idempotent.
 func (it *ExtentCursor) Close() {
 	it.done, it.closed = true, true
-	it.buf, it.file = nil, nil
+	it.buf, it.ext, it.partPids = nil, nil, nil
 }

@@ -109,6 +109,11 @@ type ClassStats struct {
 	Card    int // |C|
 	NbPages int // nbpages(C)
 	Size    int // size(C), bytes per instance
+	// ShardPages holds nbpages per extent part on a sharded store (nil or
+	// single-entry on a single store, where NbPages alone applies). NbPages
+	// is always the sum, so formulas that only need the total keep working
+	// unchanged; ExtentScanCost and ShardNbPg consult the split.
+	ShardPages []int
 }
 
 // LinkStats holds the per-reference-attribute parameters of Table 8 for an
@@ -201,6 +206,37 @@ func (s *Stats) ScanCost(b float64) float64 {
 	return s.Disk.SEQCOST(b)
 }
 
+// ExtentScanCost is the cost of scanning a class's full extent. On a single
+// store it is exactly ScanCost(nbpages(C)); on a sharded store each part is
+// its own ESM file, so the scan pays per-part: Σ_i ScanCost(p_i).
+func (s *Stats) ExtentScanCost(cs ClassStats) float64 {
+	if len(cs.ShardPages) <= 1 {
+		return s.ScanCost(float64(cs.NbPages))
+	}
+	total := 0.0
+	for _, p := range cs.ShardPages {
+		total += s.ScanCost(float64(p))
+	}
+	return total
+}
+
+// ShardNbPg is the Cardenas estimate over a possibly sharded extent: k
+// objects spread across the parts in proportion to their pages, each part
+// contributing nbpg(p_i, k_i) distinct pages. On a single store it reduces
+// byte-exactly to NbPg(nbpages(C), k).
+func (s *Stats) ShardNbPg(cs ClassStats, k float64) float64 {
+	if len(cs.ShardPages) <= 1 {
+		return NbPg(cs.NbPages, k)
+	}
+	total := 0.0
+	for _, p := range cs.ShardPages {
+		if cs.NbPages > 0 {
+			total += NbPg(p, k*float64(p)/float64(cs.NbPages))
+		}
+	}
+	return total
+}
+
 // missFactor is the fraction of dereferences that actually reach the disk.
 func (s *Stats) missFactor() float64 { return 1 - clamp01(s.CacheHitRate) }
 
@@ -210,7 +246,7 @@ func (s *Stats) missFactor() float64 { return 1 - clamp01(s.CacheHitRate) }
 func (s *Stats) refFetchCost(ls LinkStats, k float64) float64 {
 	if s.BatchFetch {
 		if ds, err := s.Class(ls.Target); err == nil && ds.NbPages > 0 {
-			return s.missFactor() * s.Disk.RNDCOST(NbPg(ds.NbPages, k))
+			return s.missFactor() * s.Disk.RNDCOST(s.ShardNbPg(ds, k))
 		}
 	}
 	return s.missFactor() * s.Disk.RNDCOST(k)
@@ -521,7 +557,7 @@ func (s *Stats) ForwardCost(in JoinInput) (float64, error) {
 	}
 	srcCost := 0.0
 	if !in.CAccessed {
-		srcCost = s.Disk.RNDCOST(NbPg(cs.NbPages, in.Kc))
+		srcCost = s.Disk.RNDCOST(s.ShardNbPg(cs, in.Kc))
 	}
 	return srcCost + s.refFetchCost(ls, in.Kc*ls.Fan), nil
 }
@@ -543,9 +579,9 @@ func (s *Stats) BackwardCost(in JoinInput) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	total := s.ScanCost(float64(cs.NbPages)) + in.Kc*ls.Fan*in.Kd*CPUCost
+	total := s.ExtentScanCost(cs) + in.Kc*ls.Fan*in.Kd*CPUCost
 	if !in.DAccessed {
-		total += s.ScanCost(float64(ds.NbPages))
+		total += s.ExtentScanCost(ds)
 	}
 	return total, nil
 }
@@ -577,7 +613,7 @@ func (s *Stats) HashPartitionCost(in JoinInput) (float64, error) {
 		return 0, err
 	}
 	alpha := C(float64(cs.Card)*ls.Fan, ls.TotRef, in.Kc*ls.Fan)
-	nbpg := NbPg(ds.NbPages, alpha)
+	nbpg := s.ShardNbPg(ds, alpha)
 	frac := 1.0
 	if cs.Card > 0 {
 		frac = in.Kc / float64(cs.Card)
@@ -631,7 +667,7 @@ func (s *Stats) PathTraversalCost(p Path, k float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	total := s.Disk.RNDCOST(NbPg(first.NbPages, k))
+	total := s.Disk.RNDCOST(s.ShardNbPg(first, k))
 	cur := k
 	for i, h := range p.Hops {
 		ls, err := s.Link(h.Class, h.Attribute)

@@ -1,0 +1,294 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mood/internal/fault"
+	"mood/internal/storage"
+	"mood/internal/wal"
+)
+
+// Sharded torture mode: N independent disk/pool/log stacks — the substrate a
+// kernel.DB with ShardCount N runs on — with the armed fault injected into
+// ONE seed-chosen victim shard while the others keep committing. The crash
+// takes the whole machine down (every shard loses its buffered pages and
+// volatile log suffix); reboot repairs and recovers every shard
+// independently and then checks the invariants per shard:
+//
+//   - committed writes survive on every shard, victim included;
+//   - loser writes leave no trace on any shard;
+//   - a fault on the victim never loses or corrupts another shard's
+//     transactions (cross-shard isolation — there is nothing shared to
+//     break, and this test keeps it that way);
+//   - every page of every shard passes checksum verification after
+//     recovery flushes, and no log carries an active transaction.
+
+// ShardedResult reports one sharded iteration.
+type ShardedResult struct {
+	Result
+	Shards int
+	Victim int // the shard the fault was armed on
+	// VictimStopped reports whether the victim's workload actually died
+	// mid-flight (other shards must have kept going regardless).
+	VictimStopped bool
+}
+
+// shardStack is one shard's full storage stack inside the torture harness.
+type shardStack struct {
+	disk  *storage.DiskSim
+	bp    *storage.BufferPool
+	log   *wal.Log
+	pages []storage.PageID
+}
+
+// RunSharded executes one deterministic sharded crash/recovery iteration:
+// cfg.Shards independent stacks, the cfg.Point fault armed on a seed-chosen
+// victim shard only. nshards == 1 degenerates to Run's topology (the victim
+// is shard 0).
+func RunSharded(cfg Config, nshards int) (ShardedResult, error) {
+	cfg = cfg.withDefaults()
+	if nshards <= 0 {
+		nshards = 1
+	}
+	res := ShardedResult{Result: Result{Seed: cfg.Seed, Point: cfg.Point}, Shards: nshards}
+	fail := func(format string, args ...interface{}) (ShardedResult, error) {
+		return res, fmt.Errorf("crashtest seed %d point %s shards %d: %s",
+			cfg.Seed, cfg.Point, nshards, fmt.Sprintf(format, args...))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shards := make([]*shardStack, nshards)
+	for i := range shards {
+		sh := &shardStack{
+			disk: storage.NewDiskSim(storage.DefaultDiskParams()),
+			log:  wal.NewLog(),
+		}
+		sh.disk.SetDoublewrite(true)
+		sh.bp = storage.NewBufferPool(sh.disk, cfg.Frames)
+		sh.bp.SetFlushHook(sh.log.FlushHook())
+		for p := 0; p < cfg.Pages; p++ {
+			pg, err := sh.bp.NewPage()
+			if err != nil {
+				return fail("shard %d setup: %v", i, err)
+			}
+			sh.pages = append(sh.pages, pg.ID)
+			if err := sh.bp.Unpin(pg.ID, true); err != nil {
+				return fail("shard %d setup unpin: %v", i, err)
+			}
+		}
+		if err := sh.bp.FlushAll(); err != nil {
+			return fail("shard %d setup flush: %v", i, err)
+		}
+		shards[i] = sh
+	}
+
+	// Arm the scenario on the victim shard only.
+	victim := rng.Intn(nshards)
+	res.Victim = victim
+	fi := fault.New(cfg.Seed)
+	switch cfg.Point {
+	case PointLogFlushCrash:
+		fi.FailAt(fault.OpLogFlush, int64(1+rng.Intn(4)), fault.Crash)
+	case PointPageWriteCrash:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(6)), fault.Crash)
+	case PointTornWrite:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(6)), fault.Torn)
+	case PointTransientWrite:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(3)), fault.Transient)
+	case PointLogAppendCrash:
+		fi.FailAt(fault.OpLogAppend, int64(1+rng.Intn(2*cfg.Txns)), fault.Crash)
+	case PointPostCommit:
+		// No fault: power-fail after the workload with dirty pages unflushed.
+	default:
+		return fail("unknown crash point")
+	}
+	shards[victim].disk.SetFaultInjector(fi)
+	shards[victim].log.SetFaultInjector(fi)
+
+	pageSize := shards[0].disk.PageSize()
+	regionBase := 32
+	regionLen := (pageSize - regionBase) / cfg.Txns
+	if regionLen < 2 {
+		return fail("too many transactions (%d) for the page size", cfg.Txns)
+	}
+
+	committed := make([]map[storage.PageID]map[int]byte, nshards)
+	losers := make([]map[storage.PageID]map[int]byte, nshards)
+	for i := range committed {
+		committed[i] = map[storage.PageID]map[int]byte{}
+		losers[i] = map[storage.PageID]map[int]byte{}
+	}
+	record := func(m map[storage.PageID]map[int]byte, w map[storage.PageID]map[int]byte) {
+		for p, offs := range w {
+			if m[p] == nil {
+				m[p] = map[int]byte{}
+			}
+			for off, v := range offs {
+				m[p][off] = v
+			}
+		}
+	}
+
+	// The victim dying stops the victim's workload; the other shards run
+	// their full transaction schedule regardless — that independence is the
+	// point of per-shard logs. Each shard runs exactly cfg.Txns transactions
+	// (round-robin interleaved), and transaction t of a shard writes only in
+	// region t of that shard's pages, keeping winner/loser bytes disjoint
+	// per shard exactly as Run does.
+	died := ""
+	for region := 0; region < cfg.Txns; region++ {
+		for shardID := 0; shardID < nshards; shardID++ {
+			sh := shards[shardID]
+			if shardID == victim && died != "" {
+				continue // the victim's half of the machine is dead
+			}
+
+			var txErr error
+			tx := sh.log.Begin()
+			res.Started++
+			writes := map[storage.PageID]map[int]byte{}
+			nWrites := 1 + rng.Intn(cfg.MaxWritesPerTx)
+			for w := 0; w < nWrites; w++ {
+				p := sh.pages[rng.Intn(len(sh.pages))]
+				off := regionBase + region*regionLen + rng.Intn(regionLen)
+				val := byte(1 + rng.Intn(255))
+				txErr = func() error {
+					for attempt := 0; ; attempt++ {
+						err := loggedWrite(sh.log, sh.bp, tx, p, off, val)
+						if err == nil {
+							return nil
+						}
+						if isTransient(err) && attempt < maxRetries {
+							res.Retries++
+							continue
+						}
+						return err
+					}
+				}()
+				if txErr != nil {
+					break
+				}
+				if writes[p] == nil {
+					writes[p] = map[int]byte{}
+				}
+				writes[p][off] = val
+			}
+			if txErr != nil {
+				record(losers[shardID], writes)
+				if shardID == victim {
+					died = fmt.Sprintf("shard %d: %v", shardID, txErr)
+					continue
+				}
+				return fail("non-victim shard %d died: %v", shardID, txErr)
+			}
+			switch rng.Intn(5) {
+			case 0:
+				record(losers[shardID], writes)
+				if err := sh.log.Abort(tx, undoApplier(sh.bp)); err != nil {
+					if shardID == victim {
+						died = fmt.Sprintf("shard %d abort: %v", shardID, err)
+						continue
+					}
+					return fail("non-victim shard %d abort: %v", shardID, err)
+				}
+			case 1:
+				record(losers[shardID], writes) // left active: a loser
+			default:
+				if err := sh.log.Commit(tx); err != nil {
+					record(losers[shardID], writes)
+					if shardID == victim {
+						died = fmt.Sprintf("shard %d commit: %v", shardID, err)
+						continue
+					}
+					return fail("non-victim shard %d commit: %v", shardID, err)
+				}
+				res.Committed++
+				record(committed[shardID], writes)
+			}
+			if rng.Intn(2) == 0 {
+				// Flush pressure; on the victim this can trip the injector.
+				if err := sh.bp.FlushPage(sh.pages[rng.Intn(len(sh.pages))]); err != nil {
+					if shardID == victim {
+						if !isTransient(err) && died == "" {
+							died = fmt.Sprintf("shard %d flush: %v", shardID, err)
+						}
+						continue
+					}
+					return fail("non-victim shard %d flush: %v", shardID, err)
+				}
+			}
+		}
+	}
+	res.Fired = len(fi.Trips()) > 0
+	res.CrashedAt = died
+	res.VictimStopped = died != ""
+
+	// ---- Reboot: the whole machine power-fails; every shard recovers
+	// independently from its own durable log prefix. ----
+	for i, sh := range shards {
+		sh.disk.SetFaultInjector(nil)
+		sh.log.SetFaultInjector(nil)
+		for _, id := range sh.disk.CorruptPages() {
+			if err := sh.disk.RepairPage(id); err != nil {
+				return fail("shard %d repair page %d: %v", i, id, err)
+			}
+			res.TornFixed++
+		}
+		bp2 := storage.NewBufferPool(sh.disk, cfg.Frames+8)
+		bp2.SetFlushHook(sh.log.FlushHook())
+		st, err := sh.log.Recover(bp2)
+		if err != nil {
+			return fail("shard %d recovery: %v", i, err)
+		}
+		res.Recovery.Analyzed += st.Analyzed
+		res.Recovery.Redone += st.Redone
+		res.Recovery.Undone += st.Undone
+		res.Recovery.Losers += st.Losers
+
+		// Per-shard invariants.
+		for _, p := range sh.pages {
+			pg, err := bp2.Fetch(p)
+			if err != nil {
+				return fail("shard %d fetch page %d after recovery: %v", i, p, err)
+			}
+			buf := pg.Bytes()
+			for off, want := range committed[i][p] {
+				if buf[off] != want {
+					bp2.Unpin(p, false)
+					return fail("durability violated on shard %d: committed write page %d off %d = %d, want %d",
+						i, p, off, buf[off], want)
+				}
+			}
+			for off := range losers[i][p] {
+				if _, winner := committed[i][p][off]; winner {
+					continue
+				}
+				if buf[off] != 0 {
+					bp2.Unpin(p, false)
+					return fail("atomicity violated on shard %d: loser write survived at page %d off %d = %d",
+						i, p, off, buf[off])
+				}
+			}
+			if err := bp2.Unpin(p, false); err != nil {
+				return fail("shard %d unpin: %v", i, err)
+			}
+		}
+		if active := sh.log.ActiveTransactions(); len(active) != 0 {
+			return fail("shard %d: transactions still active after recovery: %v", i, active)
+		}
+		if err := bp2.FlushAll(); err != nil {
+			return fail("shard %d post-recovery flush: %v", i, err)
+		}
+		if bad := sh.disk.CorruptPages(); len(bad) != 0 {
+			return fail("shard %d: checksum mismatches after recovery: pages %v", i, bad)
+		}
+	}
+	return res, nil
+}
+
+// isTransient reports whether err is the injector's retryable fault.
+func isTransient(err error) bool {
+	return errors.Is(err, fault.ErrTransient)
+}

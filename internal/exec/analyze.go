@@ -161,6 +161,11 @@ type Analysis struct {
 	Prefetched      int64
 	CacheEnabled    bool
 	PrefetchEnabled bool
+	// ShardPages holds each shard's simulated read delta across the
+	// execution (nil on a single-store database). Both it and TotalPages
+	// are measured over the same post-quiesce window, so the invariant
+	// TotalPages == Σ ShardPages holds exactly.
+	ShardPages []int64
 }
 
 // ExecuteAnalyzed runs a plan through the streaming pipeline with
@@ -190,6 +195,10 @@ func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Anal
 		return nil, nil, err
 	}
 	p0 := an.pages()
+	var s0 []int64
+	if e.ShardPages != nil {
+		s0 = e.ShardPages()
+	}
 	var coll *algebra.Collection
 	if e.RowMode {
 		coll, err = drainRows(root.op, root.hdr)
@@ -208,11 +217,20 @@ func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Anal
 	if delta := an.pages() - p0; delta > root.stats.pages {
 		root.stats.pages = delta
 	}
+	var shardPages []int64
+	if len(s0) > 1 {
+		s1 := e.ShardPages()
+		shardPages = make([]int64, len(s1))
+		for i := range s1 {
+			shardPages[i] = s1[i] - s0[i]
+		}
+	}
 	rep := buildReport(root)
 	return coll, &Analysis{
 		Root: rep, TotalPages: rep.CumPages, TotalTime: rep.CumTime,
 		CacheHits: rep.CumHits, CacheMisses: rep.CumMisses, Prefetched: rep.CumPrefetched,
 		CacheEnabled: an.cacheOn, PrefetchEnabled: an.prefetchOn,
+		ShardPages: shardPages,
 	}, nil
 }
 
@@ -280,6 +298,16 @@ func (a *Analysis) Render() string {
 	var sb strings.Builder
 	renderReport(&sb, a.Root, "", a.CacheEnabled, a.PrefetchEnabled)
 	sb.WriteString("total: pages=" + fmt.Sprint(a.TotalPages))
+	if len(a.ShardPages) > 1 {
+		sb.WriteString(" shards=[")
+		for i, p := range a.ShardPages {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d", p)
+		}
+		sb.WriteByte(']')
+	}
 	if a.CacheEnabled {
 		fmt.Fprintf(&sb, " cache=%d/%d", a.CacheHits, a.CacheMisses)
 	}

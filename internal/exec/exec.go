@@ -31,10 +31,16 @@ type Executor struct {
 	// BJIs resolves binary-join-index names referenced by plans.
 	BJIs map[string]*joinindex.BinaryJoinIndex
 	// Pages reports the cumulative simulated page-read counter of the
-	// underlying store. The kernel wires it to the DiskSim so EXPLAIN
-	// ANALYZE can attribute reads per operator; nil leaves page counts at
+	// underlying store — on a sharded store, the SUM of every shard's
+	// DiskSim reads, so the total==disk-delta invariant holds whichever
+	// shard served a page. The kernel wires it; nil leaves page counts at
 	// zero.
 	Pages func() int64
+	// ShardPages reports the per-shard cumulative read counters (one entry
+	// on a single store). EXPLAIN ANALYZE snapshots it around the run to
+	// annotate the total with each shard's contribution; nil (or a single
+	// entry) omits the annotation.
+	ShardPages func() []int64
 	// CacheHits/CacheMisses report the object cache's cumulative counters
 	// and Prefetched the pages loaded by the readahead workers. The kernel
 	// wires them when the features are on; nil makes EXPLAIN ANALYZE omit

@@ -36,7 +36,10 @@ import (
 // consecutive chain-order pages one scan task covers. Small enough that a
 // short extent still splits across workers, large enough that the per-task
 // scheduling overhead stays well under the simulated cost of its pages.
-const exchangeMorselPages = 4
+// It equals the serial cursor's shard-rotation run length on purpose: the
+// Seq-merged parallel row order then matches the serial order at any shard
+// count, which the differential wall asserts.
+const exchangeMorselPages = catalog.MorselPages
 
 // exchangeOIDChunk is the task size for parallel index selections and
 // hash-join probes: how many candidate OIDs one task dereferences.

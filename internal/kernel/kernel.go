@@ -13,6 +13,8 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mood/internal/algebra"
 	"mood/internal/catalog"
@@ -31,8 +33,25 @@ import (
 	"mood/internal/wal"
 )
 
+// Shard bundles one shard's independent storage stack: its own simulated
+// disk, buffer pool, write-ahead log, file directory and object store. A
+// single-store database has exactly one; a sharded database has
+// Options.ShardCount of them, sharing nothing below the catalog.
+type Shard struct {
+	Disk  *storage.DiskSim
+	Pool  *storage.BufferPool
+	Log   *wal.Log
+	FM    *storage.FileManager
+	Store *storage.ObjectStore
+
+	prefetcher *storage.Prefetcher // nil when readahead is off
+}
+
 // DB is one open MOOD database.
 type DB struct {
+	// Disk, Pool and Log alias shard 0's stack — the full picture for a
+	// single-store database, and the home of index pages and the system
+	// directory for a sharded one. Per-shard stacks live in Shards.
 	Disk  *storage.DiskSim
 	Pool  *storage.BufferPool
 	Log   *wal.Log
@@ -42,11 +61,21 @@ type DB struct {
 	Alg   *algebra.Algebra
 	Exec  *exec.Executor
 
-	stats *cost.Stats
-	bjis  map[string]*joinindex.BinaryJoinIndex
+	// Store is the storage interface the catalog runs over: the single
+	// ObjectStore, or the ShardedStore routing across Shards.
+	Store storage.Store
+	// Shards holds every shard's independent stack (length 1 unsharded).
+	Shards []*Shard
 
-	ocache     *objcache.Cache     // nil when the object cache is off
-	prefetcher *storage.Prefetcher // nil when readahead is off
+	stats   *cost.Stats
+	statsMu sync.Mutex // guards stats: concurrent committers invalidate it
+	bjis    map[string]*joinindex.BinaryJoinIndex
+
+	ocache *objcache.Cache // nil when the object cache is off
+
+	// txSeq mints lock-manager transaction ids in sharded mode, where no
+	// single WAL owns the id space.
+	txSeq atomic.Uint64
 
 	parallelism      int
 	parallelMinPages float64
@@ -79,8 +108,15 @@ type Options struct {
 	ObjectCacheBytes int64
 	// PrefetchWorkers sizes the buffer-pool readahead pool; zero disables
 	// readahead. Scans and batched dereferences then overlap upcoming page
-	// loads with decode work.
+	// loads with decode work. On a sharded database each shard gets its own
+	// readahead pool of this size.
 	PrefetchWorkers int
+	// ShardCount partitions class extents across that many independent
+	// object stores, each with its own disk, buffer pool, file directory
+	// and WAL (storage.MaxShards at most). Inserts rotate round-robin;
+	// reads route by the shard id carried in every OID. Zero or one keeps
+	// the single monolithic store. BufferFrames is the PER-SHARD pool size.
+	ShardCount int
 }
 
 // DefaultOptions returns a laptop-friendly configuration.
@@ -93,15 +129,37 @@ func Open(opts Options) (*DB, error) {
 	if opts.BufferFrames <= 0 {
 		opts.BufferFrames = 4096
 	}
-	disk := storage.NewDiskSim(opts.DiskParams)
-	pool := storage.NewBufferPool(disk, opts.BufferFrames)
-	log := wal.NewLog()
-	pool.SetFlushHook(log.FlushHook())
-	fm, err := storage.NewFileManager(pool)
-	if err != nil {
-		return nil, err
+	nshards := opts.ShardCount
+	if nshards <= 0 {
+		nshards = 1
 	}
-	store := storage.NewObjectStore(pool, fm)
+	if nshards > storage.MaxShards {
+		return nil, fmt.Errorf("kernel: ShardCount %d exceeds the OID shard field's maximum %d", nshards, storage.MaxShards)
+	}
+	// Build one complete stack per shard: nothing below the catalog is
+	// shared, so writers on different shards contend on no lock and no
+	// fsync stream.
+	shards := make([]*Shard, nshards)
+	stores := make([]*storage.ObjectStore, nshards)
+	for i := 0; i < nshards; i++ {
+		disk := storage.NewDiskSim(opts.DiskParams)
+		pool := storage.NewBufferPool(disk, opts.BufferFrames)
+		log := wal.NewLog()
+		pool.SetFlushHook(log.FlushHook())
+		fm, err := storage.NewFileManager(pool)
+		if err != nil {
+			return nil, err
+		}
+		st := storage.NewShardObjectStore(pool, fm, i)
+		shards[i] = &Shard{Disk: disk, Pool: pool, Log: log, FM: fm, Store: st}
+		stores[i] = st
+	}
+	var store storage.Store
+	if nshards == 1 {
+		store = stores[0]
+	} else {
+		store = storage.NewShardedStore(stores)
+	}
 	cat, err := catalog.New(store)
 	if err != nil {
 		return nil, err
@@ -110,10 +168,13 @@ func Open(opts Options) (*DB, error) {
 	funcs := funcmgr.New(cat, locks)
 	alg := algebra.New(cat)
 	db := &DB{
-		Disk: disk, Pool: pool, Log: log, Locks: locks,
-		Cat: cat, Funcs: funcs, Alg: alg,
-		Exec: exec.New(alg),
-		bjis: map[string]*joinindex.BinaryJoinIndex{},
+		Disk: shards[0].Disk, Pool: shards[0].Pool, Log: shards[0].Log,
+		Locks: locks,
+		Cat:   cat, Funcs: funcs, Alg: alg,
+		Exec:   exec.New(alg),
+		Store:  store,
+		Shards: shards,
+		bjis:   map[string]*joinindex.BinaryJoinIndex{},
 
 		parallelism:      opts.Parallelism,
 		parallelMinPages: opts.ParallelMinPages,
@@ -125,22 +186,39 @@ func Open(opts Options) (*DB, error) {
 	// methods, and survive across statements of one session.
 	db.Exec.Funcs = funcs.Queries()
 	// EXPLAIN ANALYZE attributes simulated page reads per operator; the
-	// executor has no direct disk access, so give it the read counter.
-	db.Exec.Pages = func() int64 { return disk.Stats().Reads() }
+	// executor has no direct disk access, so give it the read counters.
+	// Totals sum every shard's DiskSim delta; the per-shard vector feeds
+	// the "shard pages" annotation.
+	db.Exec.Pages = store.ReadCount
+	db.Exec.ShardPages = store.ShardReads
 	if opts.ObjectCacheBytes > 0 {
 		db.ocache = objcache.New(opts.ObjectCacheBytes)
 		cat.SetObjectCache(db.ocache)
-		// Writers bump the cache epoch while still holding the store's
-		// exclusive lock, so in-flight fetches of the old bytes never land.
+		// Writers bump the cache epoch while still holding the owning
+		// store's exclusive lock, so in-flight fetches of the old bytes
+		// never land. OIDs carry their shard tag, so one cache serves all
+		// shards without aliasing.
 		store.SetInvalidator(db.ocache)
 		db.Exec.CacheHits = db.ocache.Hits
 		db.Exec.CacheMisses = db.ocache.Misses
 	}
 	if opts.PrefetchWorkers > 0 {
-		db.prefetcher = storage.NewPrefetcher(pool, opts.PrefetchWorkers)
-		store.SetPrefetcher(db.prefetcher)
-		db.Exec.Prefetched = db.prefetcher.Loaded
-		db.Exec.Quiesce = db.prefetcher.Quiesce
+		for _, sh := range db.Shards {
+			sh.prefetcher = storage.NewPrefetcher(sh.Pool, opts.PrefetchWorkers)
+			sh.Store.SetPrefetcher(sh.prefetcher)
+		}
+		db.Exec.Prefetched = func() int64 {
+			var n int64
+			for _, sh := range db.Shards {
+				n += sh.prefetcher.Loaded()
+			}
+			return n
+		}
+		db.Exec.Quiesce = func() {
+			for _, sh := range db.Shards {
+				sh.prefetcher.Quiesce()
+			}
+		}
 	}
 	return db, nil
 }
@@ -149,20 +227,37 @@ func Open(opts Options) (*DB, error) {
 // object itself is in-memory and needs no further teardown; Close is safe
 // to call on a database opened without readahead.
 func (db *DB) Close() {
-	if db.prefetcher != nil {
-		db.prefetcher.Close()
+	for _, sh := range db.Shards {
+		if sh.prefetcher != nil {
+			sh.prefetcher.Close()
+		}
 	}
 }
 
-// Recover replays the WAL against the buffer pool (ARIES-style redo/undo)
-// and drops every cached decoded object: recovery rewrites pages underneath
-// the cache, so its contents are no longer trustworthy.
+// Recover replays every shard's WAL against its own buffer pool
+// (ARIES-style redo/undo, one independent pass per shard — the logs share
+// no LSN space and touch disjoint disks) and drops every cached decoded
+// object: recovery rewrites pages underneath the cache, so its contents are
+// no longer trustworthy. The returned stats aggregate all shards.
 func (db *DB) Recover() (wal.RecoveryStats, error) {
-	st, err := db.Log.Recover(db.Pool)
+	var total wal.RecoveryStats
+	for _, sh := range db.Shards {
+		st, err := sh.Log.Recover(sh.Pool)
+		total.Analyzed += st.Analyzed
+		total.Redone += st.Redone
+		total.Undone += st.Undone
+		total.Losers += st.Losers
+		if err != nil {
+			if db.ocache != nil {
+				db.ocache.Reset()
+			}
+			return total, err
+		}
+	}
 	if db.ocache != nil {
 		db.ocache.Reset()
 	}
-	return st, err
+	return total, nil
 }
 
 // ObjectCache returns the decoded-object cache, nil when disabled.
@@ -201,6 +296,11 @@ func (db *DB) RegisterMethod(class, name string, body funcmgr.Body) error {
 // RefreshStats re-collects the Table 8 statistics base; the optimizer uses
 // it for every subsequent query.
 func (db *DB) RefreshStats() error {
+	_, err := db.refreshStats()
+	return err
+}
+
+func (db *DB) refreshStats() (*cost.Stats, error) {
 	st, err := stats.Collect(db.Cat, cost.Disk{
 		B:   db.Disk.Params().BlockSize,
 		BTT: db.Disk.Params().BTT,
@@ -209,7 +309,7 @@ func (db *DB) RefreshStats() error {
 		S:   db.Disk.Params().S,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if db.ocache != nil {
 		// Feed the observed hit rate and the batched-dereference model into
@@ -218,18 +318,30 @@ func (db *DB) RefreshStats() error {
 		st.CacheHitRate = db.ocache.HitRate()
 		st.BatchFetch = true
 	}
+	db.statsMu.Lock()
 	db.stats = st
-	return nil
+	db.statsMu.Unlock()
+	return st, nil
+}
+
+// invalidateStats drops the cached statistics base. Mutating statements and
+// concurrent transaction commits all call it; the mutex keeps the write
+// race-free.
+func (db *DB) invalidateStats() {
+	db.statsMu.Lock()
+	db.stats = nil
+	db.statsMu.Unlock()
 }
 
 // Stats returns the current statistics base, collecting it if necessary.
 func (db *DB) Stats() (*cost.Stats, error) {
-	if db.stats == nil {
-		if err := db.RefreshStats(); err != nil {
-			return nil, err
-		}
+	db.statsMu.Lock()
+	cached := db.stats
+	db.statsMu.Unlock()
+	if cached != nil {
+		return cached, nil
 	}
-	return db.stats, nil
+	return db.refreshStats()
 }
 
 // BuildBJI materializes a binary join index on class.attribute and
@@ -284,7 +396,7 @@ func (db *DB) ExecuteStmt(st sql.Statement) (*Result, error) {
 		if err := db.Cat.DropClass(n.Name); err != nil {
 			return nil, err
 		}
-		db.stats = nil
+		db.invalidateStats()
 		return message("class %s dropped", n.Name), nil
 	case *sql.DropIndex:
 		if err := db.Cat.DropIndex(n.Name); err != nil {
@@ -336,7 +448,7 @@ func (db *DB) execCreateClass(n *sql.CreateClass) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.stats = nil
+	db.invalidateStats()
 	kind := "class"
 	if n.IsType {
 		kind = "type"
@@ -385,7 +497,7 @@ func (db *DB) execNewObject(n *sql.NewObject) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.stats = nil
+	db.invalidateStats()
 	res := message("created %s", oid)
 	res.OIDs = []storage.OID{oid}
 	return res, nil
@@ -512,7 +624,7 @@ func (db *DB) execUpdate(n *sql.Update) (*Result, error) {
 			return nil, err
 		}
 	}
-	db.stats = nil
+	db.invalidateStats()
 	return message("%d object(s) updated", len(targets)), nil
 }
 
@@ -526,6 +638,6 @@ func (db *DB) execDelete(n *sql.Delete) (*Result, error) {
 			return nil, err
 		}
 	}
-	db.stats = nil
+	db.invalidateStats()
 	return message("%d object(s) deleted", len(targets)), nil
 }

@@ -16,6 +16,16 @@ import (
 // begin/commit/abort record stream in the WAL, and logical undo of every
 // object mutation on abort. Page-level physical redo/undo (crash recovery)
 // is exercised separately in internal/wal.
+//
+// On a sharded database every shard has its own WAL. A transaction begins
+// on a shard's log lazily, at its first mutation routed there, and commits
+// by forcing each touched log in turn — a transaction whose writes stay on
+// one shard (the common case under OID routing) costs exactly one log
+// force, which is why N shards sustain N times the commit throughput of one
+// serialized fsync stream. Cross-shard transactions force their logs in
+// shard order; there is no two-phase commit between shards, so a crash
+// between forces can durably commit a prefix of the shards (the per-shard
+// recovery contract in DESIGN.md spells this out).
 
 // ErrTxDone is returned when a finished transaction is reused.
 var ErrTxDone = errors.New("kernel: transaction already committed or aborted")
@@ -30,18 +40,38 @@ type undoOp struct {
 
 // Tx is one kernel transaction.
 type Tx struct {
-	db   *DB
-	id   wal.TxID
-	undo []undoOp
-	done bool
+	db     *DB
+	id     wal.TxID // single-store WAL id (0 in sharded mode)
+	lockID lock.TxID
+	// ids maps shard -> that shard's WAL transaction id, populated lazily
+	// at the first mutation routed to the shard; began records the shards
+	// in begin order so commit forces deterministically. Both are nil on a
+	// single-store database.
+	ids   map[int]wal.TxID
+	began []int
+	undo  []undoOp
+	done  bool
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction. On a single-store database the WAL id doubles
+// as the lock-manager id, exactly as before sharding; on a sharded database
+// no WAL owns the id space, so lock ids come from a kernel-wide counter and
+// per-shard WAL transactions begin lazily at the first touch.
 func (db *DB) Begin() *Tx {
-	return &Tx{db: db, id: db.Log.Begin()}
+	if len(db.Shards) == 1 {
+		id := db.Log.Begin()
+		return &Tx{db: db, id: id, lockID: lock.TxID(id)}
+	}
+	return &Tx{
+		db:     db,
+		lockID: lock.TxID(db.txSeq.Add(1)),
+		ids:    make(map[int]wal.TxID),
+	}
 }
 
-// ID returns the WAL transaction identifier (shared with the lock manager).
+// ID returns the WAL transaction identifier (shared with the lock manager
+// on a single-store database; zero on a sharded one, where each touched
+// shard has its own WAL id).
 func (tx *Tx) ID() wal.TxID { return tx.id }
 
 func (tx *Tx) check() error {
@@ -53,22 +83,35 @@ func (tx *Tx) check() error {
 
 // lockObject takes IX on the class extent and X on the object.
 func (tx *Tx) lockObject(class string, oid storage.OID, mode lock.Mode) error {
-	ltx := lock.TxID(tx.id)
 	intention := lock.ModeIX
 	if mode == lock.ModeS {
 		intention = lock.ModeIS
 	}
-	if err := tx.db.Locks.Acquire(ltx, lock.FileResource("extent."+class), intention); err != nil {
+	if err := tx.db.Locks.Acquire(tx.lockID, lock.FileResource("extent."+class), intention); err != nil {
 		return err
 	}
-	return tx.db.Locks.Acquire(ltx, lock.ObjectResource(oid), mode)
+	return tx.db.Locks.Acquire(tx.lockID, lock.ObjectResource(oid), mode)
 }
 
 // logMutation appends a marker update record so the transaction's activity
 // is visible in the durable log (logical operations carry no page images;
-// physical page logging lives below the store).
+// physical page logging lives below the store). The record goes to the WAL
+// of the shard that owns the mutated object, beginning the transaction
+// there on first touch.
 func (tx *Tx) logMutation(oid storage.OID) error {
-	_, err := tx.db.Log.Update(tx.id, oid.Page(), 0, nil, nil)
+	if tx.ids == nil {
+		_, err := tx.db.Log.Update(tx.id, oid.Page(), 0, nil, nil)
+		return err
+	}
+	sh := oid.Shard()
+	log := tx.db.Shards[sh].Log
+	id, ok := tx.ids[sh]
+	if !ok {
+		id = log.Begin()
+		tx.ids[sh] = id
+		tx.began = append(tx.began, sh)
+	}
+	_, err := log.Update(id, oid.Page(), 0, nil, nil)
 	return err
 }
 
@@ -77,15 +120,14 @@ func (tx *Tx) Create(class string, v object.Value) (storage.OID, error) {
 	if err := tx.check(); err != nil {
 		return storage.NilOID, err
 	}
-	ltx := lock.TxID(tx.id)
-	if err := tx.db.Locks.Acquire(ltx, lock.FileResource("extent."+class), lock.ModeIX); err != nil {
+	if err := tx.db.Locks.Acquire(tx.lockID, lock.FileResource("extent."+class), lock.ModeIX); err != nil {
 		return storage.NilOID, err
 	}
 	oid, err := tx.db.Cat.CreateObject(class, v)
 	if err != nil {
 		return storage.NilOID, err
 	}
-	if err := tx.db.Locks.Acquire(ltx, lock.ObjectResource(oid), lock.ModeX); err != nil {
+	if err := tx.db.Locks.Acquire(tx.lockID, lock.ObjectResource(oid), lock.ModeX); err != nil {
 		return storage.NilOID, err
 	}
 	if err := tx.logMutation(oid); err != nil {
@@ -154,26 +196,36 @@ func (tx *Tx) Delete(oid storage.OID) error {
 	return nil
 }
 
-// Commit makes the transaction's effects durable (the WAL commit record is
-// forced) and releases its locks.
+// Commit makes the transaction's effects durable (the commit record of
+// every touched shard's WAL is forced, in begin order) and releases its
+// locks. A read-only transaction on a sharded database touches no log and
+// forces nothing.
 func (tx *Tx) Commit() error {
 	if err := tx.check(); err != nil {
 		return err
 	}
 	tx.done = true
-	defer tx.db.Locks.ReleaseAll(lock.TxID(tx.id))
-	tx.db.stats = nil
-	return tx.db.Log.Commit(tx.id)
+	defer tx.db.Locks.ReleaseAll(tx.lockID)
+	tx.db.invalidateStats()
+	if tx.ids == nil {
+		return tx.db.Log.Commit(tx.id)
+	}
+	for _, sh := range tx.began {
+		if err := tx.db.Shards[sh].Log.Commit(tx.ids[sh]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Abort rolls back every mutation (logical undo, newest first), logs the
-// abort, and releases the locks.
+// abort on every touched shard, and releases the locks.
 func (tx *Tx) Abort() error {
 	if err := tx.check(); err != nil {
 		return err
 	}
 	tx.done = true
-	defer tx.db.Locks.ReleaseAll(lock.TxID(tx.id))
+	defer tx.db.Locks.ReleaseAll(tx.lockID)
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		op := tx.undo[i]
 		var err error
@@ -191,6 +243,14 @@ func (tx *Tx) Abort() error {
 			return fmt.Errorf("kernel: undo failed (op %c on %s): %w", op.kind, op.oid, err)
 		}
 	}
-	tx.db.stats = nil
-	return tx.db.Log.Abort(tx.id, nil)
+	tx.db.invalidateStats()
+	if tx.ids == nil {
+		return tx.db.Log.Abort(tx.id, nil)
+	}
+	for _, sh := range tx.began {
+		if err := tx.db.Shards[sh].Log.Abort(tx.ids[sh], nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }

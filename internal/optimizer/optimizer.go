@@ -240,7 +240,9 @@ func (o *Optimizer) planTerm(q *sql.Select, cls *classifier, term AndTerm) (Plan
 func (o *Optimizer) basePlan(fi sql.FromItem, imms []ImmSelInfo, others []OtherSelInfo) (Plan, error) {
 	card := 1.0
 	var nbpages float64
+	var classStats cost.ClassStats
 	if cs, err := o.Stats.Class(fi.Class); err == nil {
+		classStats = cs
 		card = float64(cs.Card)
 		nbpages = float64(cs.NbPages)
 	}
@@ -263,7 +265,12 @@ func (o *Optimizer) basePlan(fi sql.FromItem, imms []ImmSelInfo, others []OtherS
 	k := 0
 	sum := 0.0
 	prod := 1.0
-	scan := o.Stats.ScanCost(nbpages)
+	// The full-scan alternative pays the sharded extent's per-part cost;
+	// on a single store this is exactly ScanCost(nbpages(C)).
+	scan := o.Stats.ExtentScanCost(classStats)
+	if classStats.Name == "" {
+		scan = o.Stats.ScanCost(nbpages)
+	}
 	for i := 0; i < len(indexed); i++ {
 		sum += indexed[i].IndexedCost
 		prod *= indexed[i].Selectivity

@@ -58,7 +58,14 @@ func Collect(cat *catalog.Catalog, disk cost.Disk) (*cost.Stats, error) {
 		if card > 0 {
 			size = bytes / card
 		}
-		s.SetClass(cost.ClassStats{Name: cl.Name, Card: card, NbPages: pages, Size: size})
+		cs := cost.ClassStats{Name: cl.Name, Card: card, NbPages: pages, Size: size}
+		// On a sharded store each extent part is a separate file; the
+		// per-part split feeds the cost model's per-shard scan and Cardenas
+		// estimates.
+		if sp, err := cat.ExtentShardPages(cl.Name); err == nil && len(sp) > 1 {
+			cs.ShardPages = sp
+		}
+		s.SetClass(cs)
 
 		// Prepare aggregators for the attributes this class declares.
 		for _, f := range cl.Tuple.Fields {

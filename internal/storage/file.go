@@ -115,6 +115,10 @@ func (fm *FileManager) CreateFile(name string) (*File, error) {
 	if _, dup := fm.byName[name]; dup {
 		return nil, fmt.Errorf("storage: file %q already exists", name)
 	}
+	// The OID file field is 12 bits; a wider id would alias the shard tag.
+	if fm.nextID > maxFileID {
+		return nil, fmt.Errorf("storage: file id space exhausted (max %d)", maxFileID)
+	}
 	f := &File{ID: fm.nextID, Name: name}
 	fm.nextID++
 	pg, err := fm.bp.Fetch(fm.dirPage)

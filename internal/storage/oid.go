@@ -2,24 +2,48 @@ package storage
 
 import "fmt"
 
-// OID is a physical object identifier: file, page and slot packed into a
-// 64-bit word. MOOD objects carry their OID for the lifetime of the object;
-// references between objects are stored as OIDs and chased by the Deref
-// algebra operator and the traversal joins.
+// OID is a physical object identifier: shard, file, page and slot packed
+// into a 64-bit word. MOOD objects carry their OID for the lifetime of the
+// object; references between objects are stored as OIDs and chased by the
+// Deref algebra operator and the traversal joins.
 //
-// Layout (most significant first): 16-bit file, 32-bit page, 16-bit slot.
+// Layout (most significant first): 4-bit shard, 12-bit file, 32-bit page,
+// 16-bit slot. The shard field makes routing in a ShardedStore a pure
+// function of the OID: every read goes straight to the store that minted the
+// identifier, with no directory lookup. A single-store deployment always
+// mints shard 0, so the layout is backward compatible with the original
+// 16-bit file field for any file id below 4096.
 type OID uint64
 
 // NilOID is the null reference.
 const NilOID OID = 0
 
-// MakeOID packs the coordinates of a record into an OID.
+// MaxShards is the number of independent stores the OID shard field can
+// address.
+const MaxShards = 16
+
+// maxFileID is the largest file id the 12-bit file field can hold.
+const maxFileID FileID = 1<<12 - 1
+
+const (
+	oidShardShift = 60
+	oidFileMask   = OID(maxFileID) << 48
+)
+
+// MakeOID packs the coordinates of a record into an OID (shard 0).
 func MakeOID(file FileID, page PageID, slot SlotID) OID {
 	return OID(uint64(file)<<48 | uint64(page)<<16 | uint64(slot))
 }
 
+// ShardTag returns the bit pattern a store ORs into every OID it mints to
+// claim the identifier for the given shard.
+func ShardTag(shard int) OID { return OID(shard) << oidShardShift }
+
+// Shard returns the shard component.
+func (o OID) Shard() int { return int(o >> oidShardShift) }
+
 // File returns the file component.
-func (o OID) File() FileID { return FileID(o >> 48) }
+func (o OID) File() FileID { return FileID((o & oidFileMask) >> 48) }
 
 // Page returns the page component.
 func (o OID) Page() PageID { return PageID(o >> 16) }
@@ -33,6 +57,9 @@ func (o OID) IsNil() bool { return o == NilOID }
 func (o OID) String() string {
 	if o.IsNil() {
 		return "oid(nil)"
+	}
+	if s := o.Shard(); s != 0 {
+		return fmt.Sprintf("oid(s%d.%d.%d.%d)", s, o.File(), o.Page(), o.Slot())
 	}
 	return fmt.Sprintf("oid(%d.%d.%d)", o.File(), o.Page(), o.Slot())
 }

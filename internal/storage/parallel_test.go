@@ -14,8 +14,7 @@ import (
 // flush hook and samples HitRate/Stats mid-run. Run under -race this is the
 // concurrency smoke test the parallel executor relies on.
 func TestParallelBufferPoolSmoke(t *testing.T) {
-	disk := NewDiskSim(DefaultDiskParams())
-	bp := NewBufferPool(disk, 256)
+	bp, disk := newTestPool(t, 256)
 
 	const npages = 512
 	ids := make([]PageID, npages)
@@ -90,8 +89,7 @@ func TestParallelBufferPoolSmoke(t *testing.T) {
 // goroutines fetching the same absent page must trigger exactly one disk
 // read, and every caller must see the fully loaded content.
 func TestParallelFetchSameMissingPage(t *testing.T) {
-	disk := NewDiskSim(DefaultDiskParams())
-	bp := NewBufferPool(disk, 64)
+	bp, disk := newTestPool(t, 64)
 	id := disk.AllocPage()
 	buf := make([]byte, disk.PageSize())
 	copy(buf, []byte("latched"))

@@ -1,0 +1,214 @@
+package storage
+
+import "fmt"
+
+// ShardedStore partitions class extents across N independent ObjectStores.
+// Each shard is a complete storage stack — its own simulated disk, buffer
+// pool, file manager and (wired by the kernel) write-ahead log — so shards
+// share no locks and no fsync stream: writers on different shards commit
+// concurrently, which is where the multi-shard commit throughput comes from.
+//
+// Routing is a pure function of the OID: shard i mints OIDs tagged with i in
+// the identifier's shard field, and every read (Get, Update, Delete,
+// FetchBatch) goes straight back to shards[oid.Shard()]. Inserts rotate
+// round-robin over the parts of the target extent, keeping part cardinality
+// balanced to within one record.
+//
+// Extents created through the sharded store have one part per shard, all
+// with the same directory name. System tables (the catalog's SYS.* extents)
+// shard the same way as class extents; index pages live on shard 0 (Pool).
+type ShardedStore struct {
+	shards []*ObjectStore
+}
+
+// NewShardedStore builds a sharded store over per-shard ObjectStores. Every
+// inner store must have been constructed with NewShardObjectStore and its
+// own position as the shard id — minted OIDs must route back to the shard
+// that owns the record.
+func NewShardedStore(shards []*ObjectStore) *ShardedStore {
+	if len(shards) == 0 || len(shards) > MaxShards {
+		panic(fmt.Sprintf("storage: shard count %d out of range [1,%d]", len(shards), MaxShards))
+	}
+	for i, s := range shards {
+		if s.shard != i {
+			panic(fmt.Sprintf("storage: store at position %d is tagged for shard %d", i, s.shard))
+		}
+	}
+	return &ShardedStore{shards: shards}
+}
+
+// Shard returns the shard-i ObjectStore (the kernel wires per-shard
+// prefetchers through this).
+func (s *ShardedStore) Shard(i int) *ObjectStore { return s.shards[i] }
+
+// Shards returns the number of independent stores.
+func (s *ShardedStore) Shards() int { return len(s.shards) }
+
+// Pool returns shard 0's buffer pool: the home of index structures and the
+// catalog's system directory root.
+func (s *ShardedStore) Pool() *BufferPool { return s.shards[0].Pool() }
+
+// Files returns shard 0's file manager.
+func (s *ShardedStore) Files() *FileManager { return s.shards[0].Files() }
+
+// CreateExtent creates one same-named heap file per shard.
+func (s *ShardedStore) CreateExtent(name string) (*Extent, error) {
+	parts := make([]*File, len(s.shards))
+	for i, st := range s.shards {
+		f, err := st.Files().CreateFile(name)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = f
+	}
+	return &Extent{Name: name, parts: parts}, nil
+}
+
+// OpenExtent opens the named extent from every shard's directory.
+func (s *ShardedStore) OpenExtent(name string) (*Extent, error) {
+	parts := make([]*File, len(s.shards))
+	for i, st := range s.shards {
+		f, err := st.Files().OpenFile(name)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = f
+	}
+	return &Extent{Name: name, parts: parts}, nil
+}
+
+// DropExtent removes the extent's file in every shard.
+func (s *ShardedStore) DropExtent(name string) error {
+	for _, st := range s.shards {
+		if err := st.Files().DropFile(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertExtent routes the insert to the extent's next round-robin part.
+func (s *ShardedStore) InsertExtent(e *Extent, data []byte) (OID, error) {
+	part := e.nextPart()
+	return s.shards[part].Insert(e.parts[part], data)
+}
+
+// Get routes the read to the shard that minted the OID.
+func (s *ShardedStore) Get(oid OID) ([]byte, error) {
+	return s.shards[oid.Shard()].Get(oid)
+}
+
+// Update routes the write to the shard that owns the record.
+func (s *ShardedStore) Update(oid OID, data []byte) error {
+	return s.shards[oid.Shard()].Update(oid, data)
+}
+
+// Delete routes the delete to the shard that owns the record.
+func (s *ShardedStore) Delete(oid OID) error {
+	return s.shards[oid.Shard()].Delete(oid)
+}
+
+// FetchBatch partitions the batch by shard, delegates each sub-batch to its
+// owning store (which sorts, prefetches and pins per distinct page), and
+// scatters the results back into input order.
+func (s *ShardedStore) FetchBatch(oids []OID) ([][]byte, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].FetchBatch(oids)
+	}
+	byShard := make([][]OID, len(s.shards))
+	idx := make([][]int, len(s.shards))
+	for i, oid := range oids {
+		sh := oid.Shard()
+		byShard[sh] = append(byShard[sh], oid)
+		idx[sh] = append(idx[sh], i)
+	}
+	out := make([][]byte, len(oids))
+	for sh, sub := range byShard {
+		if len(sub) == 0 {
+			continue
+		}
+		got, err := s.shards[sh].FetchBatch(sub)
+		if err != nil {
+			return nil, err
+		}
+		for j, data := range got {
+			out[idx[sh][j]] = data
+		}
+	}
+	return out, nil
+}
+
+// ScanExtent iterates the extent part by part (shard order), each part in
+// page-chain order. The order is deterministic but differs from insert
+// order when records rotated across shards.
+func (s *ShardedStore) ScanExtent(e *Extent, fn func(OID, []byte) bool) error {
+	stop := false
+	for part, st := range s.shards {
+		if err := st.Scan(e.parts[part], func(oid OID, data []byte) bool {
+			if !fn(oid, data) {
+				stop = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// PartFirstPage returns the first data page of one shard's part.
+func (s *ShardedStore) PartFirstPage(e *Extent, part int) PageID {
+	return s.shards[part].FirstScanPage(e.parts[part])
+}
+
+// PartPageList returns one shard's part pages in chain order.
+func (s *ShardedStore) PartPageList(e *Extent, part int) ([]PageID, error) {
+	return s.shards[part].PageList(e.parts[part])
+}
+
+// ScanPartRecs reads one page of one shard's part, batch-delivering its
+// records.
+func (s *ShardedStore) ScanPartRecs(e *Extent, part int, pid PageID, readahead bool, scratch []ScanRecord, fn func(recs []ScanRecord) error) (PageID, []ScanRecord, error) {
+	return s.shards[part].ScanPageRecs(e.parts[part], pid, readahead, scratch, fn)
+}
+
+// PrefetchPart requests background loads of one shard's pages.
+func (s *ShardedStore) PrefetchPart(part int, ids ...PageID) {
+	s.shards[part].Prefetch(ids...)
+}
+
+// SetInvalidator installs the cache-invalidation hook on every shard. OIDs
+// carry their shard tag, so one shared cache keyed by OID never aliases
+// records of different shards.
+func (s *ShardedStore) SetInvalidator(inv CacheInvalidator) {
+	for _, st := range s.shards {
+		st.SetInvalidator(inv)
+	}
+}
+
+// ReadCount sums the simulated page reads across every shard's disk.
+func (s *ShardedStore) ReadCount() int64 {
+	var n int64
+	for _, st := range s.shards {
+		n += st.ReadCount()
+	}
+	return n
+}
+
+// ShardReads returns the per-shard cumulative read counters.
+func (s *ShardedStore) ShardReads() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, st := range s.shards {
+		out[i] = st.ReadCount()
+	}
+	return out
+}
+
+var (
+	_ Store = (*ObjectStore)(nil)
+	_ Store = (*ShardedStore)(nil)
+)

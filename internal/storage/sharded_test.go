@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestShardedStoreRouting inserts through a sharded store and checks the
+// routing invariants: OIDs carry the minting shard's tag, every read routes
+// back to the owning shard, and round-robin placement keeps the parts
+// balanced to within one record.
+func TestShardedStoreRouting(t *testing.T) {
+	for _, nshards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", nshards), func(t *testing.T) {
+			s, _, _ := newTestShardedStore(t, nshards, 64)
+			e, err := s.CreateExtent("extent.T")
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 41
+			oids := make([]OID, n)
+			for i := 0; i < n; i++ {
+				oid, err := s.InsertExtent(e, []byte(fmt.Sprintf("rec-%03d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sh := oid.Shard(); sh < 0 || sh >= nshards {
+					t.Fatalf("record %d minted on shard %d, want [0,%d)", i, sh, nshards)
+				}
+				oids[i] = oid
+			}
+			// Round-robin placement: part cardinalities within one record.
+			counts := make([]int, nshards)
+			for _, oid := range oids {
+				counts[oid.Shard()]++
+			}
+			min, max := n, 0
+			for _, c := range counts {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("part cardinalities %v differ by more than one", counts)
+			}
+			if e.NumRecords() != n {
+				t.Fatalf("NumRecords = %d, want %d", e.NumRecords(), n)
+			}
+			if got := len(e.PartPages()); got != nshards {
+				t.Fatalf("PartPages has %d entries, want %d", got, nshards)
+			}
+			// Point reads route home.
+			for i, oid := range oids {
+				got, err := s.Get(oid)
+				if err != nil {
+					t.Fatalf("Get(%s): %v", oid, err)
+				}
+				if want := fmt.Sprintf("rec-%03d", i); string(got) != want {
+					t.Fatalf("Get(%s) = %q, want %q", oid, got, want)
+				}
+			}
+			// Update and delete through the interface.
+			if err := s.Update(oids[7], []byte("updated")); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := s.Get(oids[7]); string(got) != "updated" {
+				t.Fatalf("after update: %q", got)
+			}
+			if err := s.Delete(oids[7]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(oids[7]); err == nil {
+				t.Fatal("Get after Delete succeeded")
+			}
+		})
+	}
+}
+
+// TestShardedFetchBatchOrder checks that FetchBatch returns one slot per
+// input OID in input order even when the batch interleaves shards.
+func TestShardedFetchBatchOrder(t *testing.T) {
+	s, _, _ := newTestShardedStore(t, 4, 64)
+	e, err := s.CreateExtent("extent.T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	oids := make([]OID, n)
+	for i := range oids {
+		if oids[i], err = s.InsertExtent(e, []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reverse order interleaves the shards maximally.
+	req := make([]OID, n)
+	for i := range req {
+		req[i] = oids[n-1-i]
+	}
+	got, err := s.FetchBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("FetchBatch returned %d results, want %d", len(got), n)
+	}
+	for i, data := range got {
+		if want := fmt.Sprintf("v%02d", n-1-i); !bytes.Equal(data, []byte(want)) {
+			t.Fatalf("slot %d = %q, want %q", i, data, want)
+		}
+	}
+}
+
+// TestShardedScanSeesAll checks that ScanExtent visits every record exactly
+// once across parts and honours early stop.
+func TestShardedScanSeesAll(t *testing.T) {
+	s, _, _ := newTestShardedStore(t, 3, 64)
+	e, err := s.CreateExtent("extent.T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	want := map[string]bool{}
+	for i := 0; i < n; i++ {
+		v := fmt.Sprintf("row-%02d", i)
+		if _, err := s.InsertExtent(e, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[v] = true
+	}
+	seen := map[string]bool{}
+	if err := s.ScanExtent(e, func(oid OID, data []byte) bool {
+		if seen[string(data)] {
+			t.Fatalf("record %q delivered twice", data)
+		}
+		seen[string(data)] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("scan saw %d records, want %d", len(seen), n)
+	}
+	// Early stop: exactly k deliveries.
+	calls := 0
+	if err := s.ScanExtent(e, func(OID, []byte) bool {
+		calls++
+		return calls < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 {
+		t.Fatalf("early-stopped scan delivered %d records, want 10", calls)
+	}
+}
+
+// TestShardedReadCounters checks that ReadCount is the exact sum of the
+// per-shard counters and that reads land on the owning shard's disk.
+func TestShardedReadCounters(t *testing.T) {
+	s, _, disks := newTestShardedStore(t, 2, 8)
+	e, err := s.CreateExtent("extent.T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oids []OID
+	for i := 0; i < 40; i++ {
+		oid, err := s.InsertExtent(e, bytes.Repeat([]byte{byte(i)}, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	for _, oid := range oids {
+		if _, err := s.Get(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := s.ShardReads()
+	if len(per) != 2 {
+		t.Fatalf("ShardReads has %d entries, want 2", len(per))
+	}
+	var sum int64
+	for i, n := range per {
+		if n != disks[i].Stats().Reads() {
+			t.Fatalf("shard %d: ShardReads=%d, disk reports %d", i, n, disks[i].Stats().Reads())
+		}
+		sum += n
+	}
+	if got := s.ReadCount(); got != sum {
+		t.Fatalf("ReadCount = %d, per-shard sum = %d", got, sum)
+	}
+}
+
+// TestShardedExtentReopen checks that an extent reopened through fresh file
+// managers (a reboot) still resolves every part and every record.
+func TestShardedExtentReopen(t *testing.T) {
+	s, pools, _ := newTestShardedStore(t, 2, 64)
+	e, err := s.CreateExtent("extent.T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oids []OID
+	for i := 0; i < 10; i++ {
+		oid, err := s.InsertExtent(e, []byte(fmt.Sprintf("keep-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	// Reboot: new file managers over the same pools/disks, same shard tags.
+	stores := make([]*ObjectStore, 2)
+	for i := range stores {
+		fm, err := OpenFileManager(pools[i], s.Shard(i).Files().DirPage())
+		if err != nil {
+			t.Fatalf("shard %d: OpenFileManager: %v", i, err)
+		}
+		stores[i] = NewShardObjectStore(pools[i], fm, i)
+	}
+	s2 := NewShardedStore(stores)
+	e2, err := s2.OpenExtent("extent.T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Parts() != 2 || e2.NumRecords() != 10 {
+		t.Fatalf("reopened extent: parts=%d records=%d", e2.Parts(), e2.NumRecords())
+	}
+	for i, oid := range oids {
+		got, err := s2.Get(oid)
+		if err != nil {
+			t.Fatalf("reopened Get(%s): %v", oid, err)
+		}
+		if want := fmt.Sprintf("keep-%d", i); string(got) != want {
+			t.Fatalf("reopened Get(%s) = %q, want %q", oid, got, want)
+		}
+	}
+}

@@ -8,15 +8,44 @@ import (
 	"testing/quick"
 )
 
-func newTestStore(t testing.TB, frames int) (*ObjectStore, *BufferPool, *DiskSim) {
+// The test-store factory family: every storage test builds its
+// disk/pool/store stack through these helpers so the construction recipe
+// lives in one place.
+
+// newTestPool builds a simulated disk and a buffer pool over it.
+func newTestPool(t testing.TB, frames int) (*BufferPool, *DiskSim) {
 	t.Helper()
 	disk := NewDiskSim(DefaultDiskParams())
-	bp := NewBufferPool(disk, frames)
+	return NewBufferPool(disk, frames), disk
+}
+
+// newTestStore builds a complete single-store stack.
+func newTestStore(t testing.TB, frames int) (*ObjectStore, *BufferPool, *DiskSim) {
+	t.Helper()
+	bp, disk := newTestPool(t, frames)
 	fm, err := NewFileManager(bp)
 	if err != nil {
 		t.Fatalf("NewFileManager: %v", err)
 	}
 	return NewObjectStore(bp, fm), bp, disk
+}
+
+// newTestShardedStore builds nshards independent stacks (each with its own
+// disk and pool, frames apiece) behind a ShardedStore.
+func newTestShardedStore(t testing.TB, nshards, frames int) (*ShardedStore, []*BufferPool, []*DiskSim) {
+	t.Helper()
+	stores := make([]*ObjectStore, nshards)
+	pools := make([]*BufferPool, nshards)
+	disks := make([]*DiskSim, nshards)
+	for i := range stores {
+		pools[i], disks[i] = newTestPool(t, frames)
+		fm, err := NewFileManager(pools[i])
+		if err != nil {
+			t.Fatalf("shard %d: NewFileManager: %v", i, err)
+		}
+		stores[i] = NewShardObjectStore(pools[i], fm, i)
+	}
+	return NewShardedStore(stores), pools, disks
 }
 
 func TestDiskParamsCosts(t *testing.T) {
@@ -451,7 +480,7 @@ func TestOIDPacking(t *testing.T) {
 		page PageID
 		slot SlotID
 	}{
-		{0, 0, 0}, {1, 1, 1}, {65535, 4294967295, 65535}, {42, 123456, 789},
+		{0, 0, 0}, {1, 1, 1}, {4095, 4294967295, 65535}, {42, 123456, 789},
 	}
 	for _, c := range cases {
 		oid := MakeOID(c.file, c.page, c.slot)
@@ -468,9 +497,14 @@ func TestOIDPacking(t *testing.T) {
 }
 
 func TestOIDPackingProperty(t *testing.T) {
-	f := func(file uint16, page uint32, slot uint16) bool {
-		oid := MakeOID(FileID(file), PageID(page), SlotID(slot))
-		return oid.File() == FileID(file) && oid.Page() == PageID(page) && oid.Slot() == SlotID(slot)
+	// The file field is 12 bits (the top 4 bits of the old 16-bit field now
+	// carry the shard id); page and slot are unchanged.
+	f := func(file uint16, page uint32, slot uint16, shard uint8) bool {
+		fid := FileID(file) & maxFileID
+		sh := int(shard) % MaxShards
+		oid := MakeOID(fid, PageID(page), SlotID(slot)) | ShardTag(sh)
+		return oid.File() == fid && oid.Page() == PageID(page) &&
+			oid.Slot() == SlotID(slot) && oid.Shard() == sh
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

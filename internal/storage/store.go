@@ -31,11 +31,26 @@ type ObjectStore struct {
 	// that they are only read.
 	inv CacheInvalidator
 	pf  *Prefetcher
+	// shard/tag identify this store inside a ShardedStore: tag is ORed into
+	// every OID the store mints, so routing a read back to the minting shard
+	// is a pure function of the identifier. A standalone store is shard 0
+	// with a zero tag — OIDs are bit-identical to the unsharded layout.
+	shard int
+	tag   OID
 }
 
 // NewObjectStore creates a store over the given pool and file manager.
 func NewObjectStore(bp *BufferPool, fm *FileManager) *ObjectStore {
 	return &ObjectStore{bp: bp, fm: fm}
+}
+
+// NewShardObjectStore creates a store that mints OIDs tagged for the given
+// shard id — the per-shard building block of a ShardedStore.
+func NewShardObjectStore(bp *BufferPool, fm *FileManager, shard int) *ObjectStore {
+	if shard < 0 || shard >= MaxShards {
+		panic(fmt.Sprintf("storage: shard %d out of range [0,%d)", shard, MaxShards))
+	}
+	return &ObjectStore{bp: bp, fm: fm, shard: shard, tag: ShardTag(shard)}
 }
 
 // Files exposes the underlying file manager.
@@ -80,7 +95,7 @@ func (s *ObjectStore) Insert(f *File, data []byte) (OID, error) {
 			if err := s.fm.syncDir(f); err != nil {
 				return NilOID, err
 			}
-			return MakeOID(f.ID, f.lastPage, slot), nil
+			return MakeOID(f.ID, f.lastPage, slot) | s.tag, nil
 		}
 		if ierr != ErrPageFull {
 			return NilOID, ierr
@@ -101,7 +116,7 @@ func (s *ObjectStore) Insert(f *File, data []byte) (OID, error) {
 	if err := s.fm.syncDir(f); err != nil {
 		return NilOID, err
 	}
-	return MakeOID(f.ID, pg.ID, slot), nil
+	return MakeOID(f.ID, pg.ID, slot) | s.tag, nil
 }
 
 // Get returns a copy of the record addressed by oid. Safe for concurrent
@@ -321,7 +336,7 @@ func (s *ObjectStore) ScanPage(f *File, pid PageID) ([]ScanRecord, PageID, error
 		return nil, 0, err
 	}
 	pg.Slots(func(slot SlotID, rec []byte) bool {
-		oid := MakeOID(f.ID, pid, slot)
+		oid := MakeOID(f.ID, pid, slot) | s.tag
 		switch rec[0] {
 		case recPlain:
 			cp := make([]byte, len(rec)-1)
@@ -380,7 +395,7 @@ func (s *ObjectStore) ScanPageRecs(f *File, pid PageID, readahead bool, scratch 
 		s.Prefetch(next)
 	}
 	pg.Slots(func(slot SlotID, rec []byte) bool {
-		oid := MakeOID(f.ID, pid, slot)
+		oid := MakeOID(f.ID, pid, slot) | s.tag
 		switch rec[0] {
 		case recPlain:
 			scratch = append(scratch, ScanRecord{oid, rec[1:]})
@@ -543,6 +558,79 @@ func (s *ObjectStore) readOverflow(first PageID, total int) ([]byte, error) {
 		return nil, fmt.Errorf("storage: overflow chain yielded %d bytes, want %d", len(out), total)
 	}
 	return out, nil
+}
+
+// --- Store interface -------------------------------------------------------
+//
+// An ObjectStore is the one-shard Store: every extent has exactly one part,
+// backed by a heap file in this store's file manager. The File-granular
+// methods above remain the low-level API (indexes and tests use them); the
+// extent methods below are what the catalog programs against.
+
+// Shards reports one shard.
+func (s *ObjectStore) Shards() int { return 1 }
+
+// CreateExtent creates the named extent as a single heap file.
+func (s *ObjectStore) CreateExtent(name string) (*Extent, error) {
+	f, err := s.fm.CreateFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Extent{Name: name, parts: []*File{f}}, nil
+}
+
+// OpenExtent opens an existing extent by directory name.
+func (s *ObjectStore) OpenExtent(name string) (*Extent, error) {
+	f, err := s.fm.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Extent{Name: name, parts: []*File{f}}, nil
+}
+
+// DropExtent removes the extent's file and data pages.
+func (s *ObjectStore) DropExtent(name string) error {
+	return s.fm.DropFile(name)
+}
+
+// InsertExtent stores data as a new record of the extent.
+func (s *ObjectStore) InsertExtent(e *Extent, data []byte) (OID, error) {
+	return s.Insert(e.parts[0], data)
+}
+
+// ScanExtent iterates the extent's records in page-chain order.
+func (s *ObjectStore) ScanExtent(e *Extent, fn func(OID, []byte) bool) error {
+	return s.Scan(e.parts[0], fn)
+}
+
+// PartFirstPage returns the first data page of the extent's only part.
+func (s *ObjectStore) PartFirstPage(e *Extent, part int) PageID {
+	return s.FirstScanPage(e.parts[part])
+}
+
+// PartPageList returns the extent's data pages in chain order.
+func (s *ObjectStore) PartPageList(e *Extent, part int) ([]PageID, error) {
+	return s.PageList(e.parts[part])
+}
+
+// ScanPartRecs reads one page of the extent, batch-delivering its records.
+func (s *ObjectStore) ScanPartRecs(e *Extent, part int, pid PageID, readahead bool, scratch []ScanRecord, fn func(recs []ScanRecord) error) (PageID, []ScanRecord, error) {
+	return s.ScanPageRecs(e.parts[part], pid, readahead, scratch, fn)
+}
+
+// PrefetchPart requests background loads of the extent's pages.
+func (s *ObjectStore) PrefetchPart(part int, ids ...PageID) {
+	s.Prefetch(ids...)
+}
+
+// ReadCount returns the cumulative simulated page reads of this store's disk.
+func (s *ObjectStore) ReadCount() int64 {
+	return s.bp.Disk().Stats().Reads()
+}
+
+// ShardReads returns the per-shard read counters (one entry).
+func (s *ObjectStore) ShardReads() []int64 {
+	return []int64{s.ReadCount()}
 }
 
 // freeOverflow releases every page of an overflow chain.

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"mood/internal/fault"
 	"mood/internal/storage"
@@ -81,6 +82,13 @@ type Log struct {
 	active   map[TxID]LSN
 	nextTx   TxID
 	flushCnt int64
+	// syncDelay, when nonzero, models the latency of the fsync behind each
+	// log force: every flush that advances the durability horizon sleeps
+	// this long INSIDE the log mutex, the way a real group-commit stream
+	// serializes on the device. It is what makes per-shard logs measurable:
+	// N independent logs sustain N forces in parallel, one log serializes
+	// them.
+	syncDelay time.Duration
 	// fi, when set, is consulted before record appends and log forces so
 	// crash-recovery tests can lose the log's volatile suffix at any point.
 	fi *fault.Injector
@@ -328,7 +336,19 @@ func (l *Log) flushLocked(lsn LSN) {
 	if lsn > l.flushed {
 		l.flushed = lsn
 		l.flushCnt++
+		if l.syncDelay > 0 {
+			time.Sleep(l.syncDelay)
+		}
 	}
+}
+
+// SetSyncDelay sets the simulated per-force fsync latency (0 disables it).
+// Install before the log is shared; the commit benchmarks use it to expose
+// the single-log serialization a sharded store removes.
+func (l *Log) SetSyncDelay(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncDelay = d
 }
 
 // txChainLocked collects the records of one transaction, oldest first,
