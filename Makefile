@@ -4,10 +4,10 @@
 #   make test            full test suite
 #   make race            full test suite under the race detector
 #   make vet             static analysis
-#   make crashtest       the seeded crash/recovery torture harness,
-#                        single-store and sharded (CRASHTEST_ITERS=n to
-#                        scale, CRASHTEST_SEED=n to replay one failing
-#                        iteration)
+#   make crashtest       the seeded crash/recovery torture harness:
+#                        single-store, sharded, and mid-migration cluster
+#                        modes (CRASHTEST_ITERS=n to scale, CRASHTEST_SEED=n
+#                        to replay one failing iteration)
 #   make bench-baseline  regenerate BENCH_baseline.json (simulated I/O of a
 #                        representative operation set; deterministic)
 #   make bench-parallel  regenerate BENCH_parallel.json (morsel-exchange
@@ -41,6 +41,16 @@
 #   make shard-race      the sharded-store wall under the race detector
 #                        (differential wall at shards=1/2/4, commit
 #                        throughput, sharded storage + crash torture)
+#   make bench-cluster   regenerate BENCH_cluster.json (clustering protocol:
+#                        scattered cold traversal -> trace -> online
+#                        reorganization -> clustered cold traversal;
+#                        rows/reads/moved deterministic and the read
+#                        reduction must clear 2x, wall-clock machine-local)
+#                        plus the warm-traversal tracer-overhead benchmarks
+#   make cluster-race    the clustering stack under the race detector
+#                        (tracer stripes, migration + compaction, the
+#                        reorganize-vs-reader/writer torture, the
+#                        mid-migration crashtest mode)
 #   make fuzz-expr       bounded 30s fuzz of expr.Compile against the
 #                        interpreter (corpus seeds under
 #                        internal/expr/testdata/fuzz)
@@ -51,8 +61,9 @@ CRASHTEST_ITERS ?= 120
 FUZZ_EXPR_TIME ?= 30s
 
 .PHONY: build test race vet crashtest bench-baseline bench-parallel \
-	bench-exec bench-cache bench-vector bench-shard exec-race \
-	parallel-race cache-race vector-race shard-race fuzz-expr ci
+	bench-exec bench-cache bench-vector bench-shard bench-cluster \
+	exec-race parallel-race cache-race vector-race shard-race \
+	cluster-race fuzz-expr ci
 
 build:
 	$(GO) build ./...
@@ -67,7 +78,7 @@ vet:
 	$(GO) vet ./...
 
 crashtest:
-	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic|TestShardedTorture|TestRunShardedIsDeterministic' ./internal/crashtest
+	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic|TestShardedTorture|TestRunShardedIsDeterministic|TestRunClusterIsDeterministic' ./internal/crashtest
 
 bench-baseline:
 	$(GO) run ./cmd/moodbench -bench-json BENCH_baseline.json
@@ -108,7 +119,16 @@ bench-shard:
 shard-race:
 	$(GO) test -race -run 'Sharded' ./internal/storage ./internal/kernel ./internal/crashtest
 
+bench-cluster:
+	$(GO) run ./cmd/moodbench -cluster-json BENCH_cluster.json
+	$(GO) test -bench 'BenchmarkWarmTraversalCluster' -benchmem -run '^$$' ./internal/kernel
+
+cluster-race:
+	$(GO) test -race ./internal/cluster
+	$(GO) test -race -run 'Cluster|Migrate|Reorganize|Forward' \
+		./internal/storage ./internal/kernel ./internal/crashtest ./internal/experiments
+
 fuzz-expr:
 	$(GO) test -fuzz FuzzCompile -fuzztime $(FUZZ_EXPR_TIME) -run '^FuzzCompile$$' ./internal/expr
 
-ci: build vet test race exec-race parallel-race cache-race vector-race shard-race fuzz-expr bench-vector bench-shard crashtest
+ci: build vet test race exec-race parallel-race cache-race vector-race shard-race cluster-race fuzz-expr bench-vector bench-shard bench-cluster crashtest

@@ -8,7 +8,7 @@
 // Artifacts: table1, table2, tables3to7, table8, table9, table10,
 // tables11and12, tables13to15, table16, table17, example81, example82,
 // figure71, figure72, joinsweep, pathorder, selectivity, indexrule,
-// parallel, cache, vector, shard.
+// parallel, cache, vector, shard, cluster.
 package main
 
 import (
@@ -66,6 +66,7 @@ func artifacts() []artifact {
 		{"cache", "object-cache sweep, cache=0/64KiB/1MiB", experiments.CacheSweep},
 		{"vector", "vectorized execution vs row-at-a-time, compiled predicates", experiments.VectorSweep},
 		{"shard", "sharded-store scaling, shards=1/2/4", experiments.ShardScaling},
+		{"cluster", "reference clustering, scattered vs reorganized cold traversal", experiments.ClusterSweep},
 	}
 }
 
@@ -170,6 +171,24 @@ func writeCacheJSON(path string, scale float64) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// writeClusterJSON runs the clustering protocol of experiments.MeasureCluster
+// (scattered cold traversal -> traced passes -> online reorganization ->
+// clustered cold traversal) and writes the result as JSON. Rows, reads,
+// simulated time, moved/compacted counts and the read reduction are
+// deterministic; wall_ms varies run to run. The protocol builds its own
+// deliberately scattered extents, so -scale is ignored.
+func writeClusterJSON(path string) error {
+	res, err := experiments.MeasureCluster(0)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.1, "database scale relative to the paper's Table 13 (1.0 = 20000 vehicles, 200000 companies)")
 	only := flag.String("only", "", "run a single artifact (see -list)")
@@ -179,6 +198,7 @@ func main() {
 	cacheJSON := flag.String("cache-json", "", "write the object-cache sweep (cache=0/64KiB/1MiB) to this file and exit")
 	vectorJSON := flag.String("vector-json", "", "write the vectorized-execution sweep (row/vector/vector-parallel) to this file and exit")
 	shardJSON := flag.String("shard-json", "", "write the sharded-store sweep (shards=1/2/4, queries + commit throughput) to this file and exit")
+	clusterJSON := flag.String("cluster-json", "", "write the clustering protocol (scattered vs reorganized cold traversal) to this file and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
 
@@ -235,6 +255,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *shardJSON)
+		return
+	}
+	if *clusterJSON != "" {
+		if err := writeClusterJSON(*clusterJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *clusterJSON)
 		return
 	}
 

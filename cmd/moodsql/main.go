@@ -2,8 +2,11 @@
 // database. Statements end with ';'. Run with -parallelism N to plan
 // queries with intra-query parallelism (EXCHANGE nodes), -objcache BYTES
 // to enable the decoded-object cache, -prefetch N to enable buffer-pool
-// readahead, and -shards N to partition class extents across N
-// independent object stores (each with its own disk, pool and WAL).
+// readahead, -shards N to partition class extents across N independent
+// object stores (each with its own disk, pool and WAL), and -cluster N to
+// enable the clustering tracer at sampling rate N (1 = record every
+// traversal; EXPLAIN ANALYZE then shows clustered= locality counters and
+// \reorganize applies the learned placements online).
 // Shell commands:
 //
 //	\schema            show the class hierarchy and extents
@@ -11,6 +14,7 @@
 //	\plan              show the last SELECT's access plan
 //	\demo              load the paper's vehicle schema with sample data
 //	\stats             show simulated-disk statistics
+//	\reorganize        cluster traced traversals physically (-cluster N)
 //	\history           list this session's statements
 //	\quit              exit
 package main
@@ -36,12 +40,14 @@ func main() {
 	objcacheBytes := flag.Int64("objcache", 0, "decoded-object cache budget in bytes (0 = disabled); try 1048576")
 	prefetch := flag.Int("prefetch", 0, "buffer-pool readahead workers (0 = disabled)")
 	shards := flag.Int("shards", 0, "partition class extents across N independent object stores (0 or 1 = single store)")
+	clusterEvery := flag.Int("cluster", 0, "clustering tracer sampling rate: record every N-th traversal (0 = off, 1 = all); enables \\reorganize")
 	flag.Parse()
 	opts := kernel.DefaultOptions()
 	opts.Parallelism = *parallelism
 	opts.ObjectCacheBytes = *objcacheBytes
 	opts.PrefetchWorkers = *prefetch
 	opts.ShardCount = *shards
+	opts.ClusterSampleEvery = *clusterEvery
 	db, err := kernel.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -135,6 +141,22 @@ func shellCommand(db *kernel.DB, qm *view.QueryManager, cmd string) bool {
 		fmt.Println(optimizer.Render(db.LastPlan))
 	case `\stats`:
 		fmt.Println(db.Disk.Stats().String())
+	case `\reorganize`:
+		if db.Tracer() == nil {
+			fmt.Println("clustering is off (run moodsql -cluster 1)")
+			break
+		}
+		rs, err := db.Reorganize()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if rs.Moved == 0 {
+			fmt.Println("nothing to reorganize: no traversals traced yet")
+			break
+		}
+		fmt.Printf("reorganized %d extent parts: %d records clustered, %d vacated pages compacted\n",
+			rs.Placements, rs.Moved, rs.PagesFreed)
 	case `\history`:
 		for i, h := range qm.History() {
 			fmt.Printf("%3d: %s\n", i+1, strings.TrimSpace(h))

@@ -93,7 +93,17 @@ type Catalog struct {
 	// ocache, when set, is the decoded-object cache consulted by
 	// GetObject/GetObjects. Installed once at open time, read-only after.
 	ocache *objcache.Cache
+
+	// accObs, when set, receives the request-ordered OID batch of every
+	// GetObjects call — the clustering tracer's reference-traversal feed.
+	// Installed once at open time, read-only after.
+	accObs AccessObserver
 }
+
+// AccessObserver receives the request-ordered OID batches readers
+// dereference together. Implementations must be safe for concurrent calls
+// and must not call back into the catalog.
+type AccessObserver func(oids []storage.OID)
 
 // New creates a catalog over the store, bootstrapping its system extents
 // (SYS.MoodsType, SYS.MoodsIndex). The store may be a single ObjectStore or

@@ -74,6 +74,11 @@ func (c *Catalog) SetObjectCache(oc *objcache.Cache) { c.ocache = oc }
 // ObjectCache returns the attached decoded-object cache, nil when disabled.
 func (c *Catalog) ObjectCache() *objcache.Cache { return c.ocache }
 
+// SetAccessObserver attaches the reference-traversal observation hook fired
+// by GetObjects with its request-ordered input batch. Install once at open
+// time, before the catalog is shared; nil detaches.
+func (c *Catalog) SetAccessObserver(obs AccessObserver) { c.accObs = obs }
+
 // GetObject dereferences an OID — the algebra's Deref(oid) — returning the
 // stored value and the name of its class (TypeId/typeName composition).
 // With an object cache attached a hit skips the page fetch and the decode;
@@ -115,6 +120,12 @@ func (c *Catalog) GetObject(oid storage.OID) (object.Value, string, error) {
 // miss is installed in the cache. Results are parallel to the input; the
 // same immutability contract as GetObject applies.
 func (c *Catalog) GetObjects(oids []storage.OID) ([]object.Value, []string, error) {
+	if c.accObs != nil {
+		// Observe the REQUEST order, before cache filtering: co-access
+		// affinity is about which objects a traversal touches together, and
+		// cache hits are exactly the objects hot enough to cluster around.
+		c.accObs(oids)
+	}
 	vals := make([]object.Value, len(oids))
 	names := make([]string, len(oids))
 	var missIdx []int

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sort"
+
+	"mood/internal/storage"
+)
+
+// Placement is one part's clustering decision: relocate Order's records onto
+// fresh pages of (Shard, File), in exactly that order. Consecutive entries
+// land on the same or adjacent pages, so a traversal that follows the
+// learned reference pattern reads sequentially instead of scattering.
+type Placement struct {
+	File  storage.FileID
+	Shard int
+	Order []storage.OID
+}
+
+// node pairs an OID with its heat for seed ordering.
+type node struct {
+	oid  storage.OID
+	heat uint32
+}
+
+// neighbor is one weighted adjacency entry of the co-access graph.
+type neighbor struct {
+	oid storage.OID
+	w   uint32
+}
+
+// Plan computes placements by greedy reference-graph partitioning, the
+// DSTC-style heuristic: within each part, seeds are taken hottest-first, and
+// from each seed the chain repeatedly follows the strongest co-access edge
+// to a not-yet-placed neighbor. The result is deterministic for a given
+// trace (ties break on OID order). Parts with fewer than minObjects traced
+// objects are skipped — reorganizing a handful of records cannot pay for
+// itself.
+func (t *Tracer) Plan(minObjects int) []Placement {
+	if minObjects < 1 {
+		minObjects = 1
+	}
+	// Snapshot the stripes. Heat and edges for one part may live in
+	// different stripes, so merge everything first.
+	heat := map[storage.OID]uint32{}
+	adj := map[storage.OID][]neighbor{}
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		for oid, h := range s.heat {
+			heat[oid] += h
+		}
+		for e, w := range s.edge {
+			adj[e.a] = append(adj[e.a], neighbor{e.b, w})
+			adj[e.b] = append(adj[e.b], neighbor{e.a, w})
+		}
+		s.mu.Unlock()
+	}
+	if len(heat) == 0 {
+		return nil
+	}
+
+	// Group the traced objects by part. Edges never cross parts by
+	// construction (ObserveAccess drops cross-file pairs).
+	groups := map[fileKey][]node{}
+	for oid, h := range heat {
+		k := fileKey{oid.Shard(), oid.File()}
+		groups[k] = append(groups[k], node{oid, h})
+	}
+	keys := make([]fileKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Shard != keys[b].Shard {
+			return keys[a].Shard < keys[b].Shard
+		}
+		return keys[a].File < keys[b].File
+	})
+
+	var out []Placement
+	for _, k := range keys {
+		nodes := groups[k]
+		if len(nodes) < minObjects {
+			continue
+		}
+		sort.Slice(nodes, func(a, b int) bool {
+			if nodes[a].heat != nodes[b].heat {
+				return nodes[a].heat > nodes[b].heat
+			}
+			return nodes[a].oid < nodes[b].oid
+		})
+		placed := make(map[storage.OID]bool, len(nodes))
+		order := make([]storage.OID, 0, len(nodes))
+		for _, seed := range nodes {
+			if placed[seed.oid] {
+				continue
+			}
+			cur := seed.oid
+			placed[cur] = true
+			order = append(order, cur)
+			// Chain: strongest-affinity unplaced neighbor, repeatedly.
+			for {
+				var next storage.OID
+				var best uint32
+				for _, nb := range adj[cur] {
+					if placed[nb.oid] {
+						continue
+					}
+					if nb.w > best || (nb.w == best && best > 0 && nb.oid < next) {
+						next, best = nb.oid, nb.w
+					}
+				}
+				if best == 0 {
+					break
+				}
+				cur = next
+				placed[cur] = true
+				order = append(order, cur)
+			}
+		}
+		out = append(out, Placement{File: k.File, Shard: k.Shard, Order: order})
+	}
+	return out
+}

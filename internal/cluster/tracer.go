@@ -1,0 +1,236 @@
+// Package cluster implements reference-driven physical object clustering:
+// a near-zero-cost tracer that learns which objects are traversed together,
+// and a greedy planner that turns those observations into per-file placement
+// orders the kernel's online reorganizer applies with storage.MigrateRecords.
+//
+// The design follows the DSTC family of dynamic clustering schemes: object
+// "heat" (access frequency) picks the seeds, pairwise co-access affinity
+// picks the chain order, and everything is learned online from the running
+// workload rather than from a static schema annotation. The tracer is built
+// to sit on the hot read path, so every observation is gated by one atomic
+// load (disabled: zero cost, zero allocations) and then sampled — only every
+// N-th traversal pays the striped map updates.
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mood/internal/storage"
+)
+
+// nStripes must be a power of two; it bounds observer lock contention when
+// parallel workers traverse concurrently.
+const nStripes = 16
+
+// edgeKey is an undirected co-access pair, canonicalized a < b.
+type edgeKey struct {
+	a, b storage.OID
+}
+
+// stripe holds one shard of the heat/affinity maps under its own mutex.
+type stripe struct {
+	mu   sync.Mutex
+	heat map[storage.OID]uint32
+	edge map[edgeKey]uint32
+}
+
+// fileKey identifies one part (one heap file on one shard) of an extent.
+type fileKey struct {
+	Shard int
+	File  storage.FileID
+}
+
+// fileObs accumulates per-part batch-fetch observations with atomic fields,
+// so steady-state updates need only the registry's read lock.
+type fileObs struct {
+	runs, refs, pages atomic.Uint64
+}
+
+// FileStat is a snapshot of one part's cumulative batch-fetch observations:
+// how many references batched fetches resolved against the file and how many
+// distinct (post-forwarding) pages they landed on. The ratio is the measured
+// clustering quality the cost model's clustering factor is learned from.
+type FileStat struct {
+	Shard int
+	File  storage.FileID
+	// Runs counts the sampled batch runs behind the totals, so a consumer
+	// can reconstruct the average batch size refs/runs.
+	Runs  uint64
+	Refs  uint64
+	Pages uint64
+}
+
+// Tracer collects reference-traversal statistics. All methods are safe for
+// concurrent use; the observation hooks are safe to call from under the
+// object store's locks (they never call back into storage).
+type Tracer struct {
+	enabled     atomic.Bool
+	sampleEvery uint64
+	seq         atomic.Uint64
+	bseq        atomic.Uint64
+
+	// batchRefs/batchPages are exact (never sampled): they feed the
+	// clustered= counters EXPLAIN ANALYZE snapshots around a query.
+	batchRefs  atomic.Int64
+	batchPages atomic.Int64
+
+	stripes [nStripes]stripe
+
+	obsMu sync.RWMutex
+	obs   map[fileKey]*fileObs
+}
+
+// New creates a tracer recording every sampleEvery-th observation
+// (sampleEvery <= 1 records all of them). The tracer starts disabled.
+func New(sampleEvery int) *Tracer {
+	t := &Tracer{obs: map[fileKey]*fileObs{}}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	t.sampleEvery = uint64(sampleEvery)
+	for i := range t.stripes {
+		t.stripes[i].heat = map[storage.OID]uint32{}
+		t.stripes[i].edge = map[edgeKey]uint32{}
+	}
+	return t
+}
+
+// Enable switches observation on or off. Disabled hooks cost one atomic load
+// and allocate nothing.
+func (t *Tracer) Enable(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// stripeOf maps an OID to its stripe. Page bits (not slot bits) select the
+// stripe so co-resident objects tend to share one lock acquisition pattern.
+func stripeOf(oid storage.OID) int {
+	return int((uint64(oid)>>16)*0x9e3779b97f4a7c15>>59) & (nStripes - 1)
+}
+
+// ObserveAccess records one traversal: oids is the request-ordered batch a
+// reader dereferenced together (the catalog's GetObjects input). Heat is
+// credited per object and co-access affinity per consecutive same-file pair —
+// request order is traversal order, so adjacency in the request is exactly
+// the adjacency clustering wants on disk.
+func (t *Tracer) ObserveAccess(oids []storage.OID) {
+	if !t.enabled.Load() || len(oids) == 0 {
+		return
+	}
+	if t.sampleEvery > 1 && t.seq.Add(1)%t.sampleEvery != 0 {
+		return
+	}
+	for i, oid := range oids {
+		s := &t.stripes[stripeOf(oid)]
+		s.mu.Lock()
+		s.heat[oid]++
+		s.mu.Unlock()
+		if i == 0 {
+			continue
+		}
+		prev := oids[i-1]
+		if prev == oid || prev.File() != oid.File() || prev.Shard() != oid.Shard() {
+			continue
+		}
+		e := edgeKey{prev, oid}
+		if e.b < e.a {
+			e.a, e.b = e.b, e.a
+		}
+		es := &t.stripes[stripeOf(e.a)]
+		es.mu.Lock()
+		es.edge[e]++
+		es.mu.Unlock()
+	}
+}
+
+// ObserveBatch is the storage.BatchObserver hook: one observation per
+// file-run of a FetchBatch call. The global counters are exact; the per-file
+// registry (the clustering-factor feed) is sampled like ObserveAccess.
+func (t *Tracer) ObserveBatch(shard int, file storage.FileID, refs, pages int) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.batchRefs.Add(int64(refs))
+	t.batchPages.Add(int64(pages))
+	if t.sampleEvery > 1 && t.bseq.Add(1)%t.sampleEvery != 0 {
+		return
+	}
+	k := fileKey{shard, file}
+	t.obsMu.RLock()
+	o := t.obs[k]
+	t.obsMu.RUnlock()
+	if o == nil {
+		t.obsMu.Lock()
+		if o = t.obs[k]; o == nil {
+			o = &fileObs{}
+			t.obs[k] = o
+		}
+		t.obsMu.Unlock()
+	}
+	o.runs.Add(1)
+	o.refs.Add(uint64(refs))
+	o.pages.Add(uint64(pages))
+}
+
+// BatchRefs returns the cumulative references resolved through batched
+// fetches while tracing — the clustered= numerator EXPLAIN ANALYZE deltas.
+func (t *Tracer) BatchRefs() int64 { return t.batchRefs.Load() }
+
+// BatchPages returns the cumulative distinct pages those references landed
+// on (post-forwarding) — the clustered= denominator.
+func (t *Tracer) BatchPages() int64 { return t.batchPages.Load() }
+
+// FileStats snapshots the per-part batch observations, sorted by (shard,
+// file) for determinism.
+func (t *Tracer) FileStats() []FileStat {
+	t.obsMu.RLock()
+	out := make([]FileStat, 0, len(t.obs))
+	for k, o := range t.obs {
+		out = append(out, FileStat{
+			Shard: k.Shard, File: k.File,
+			Runs: o.runs.Load(), Refs: o.refs.Load(), Pages: o.pages.Load(),
+		})
+	}
+	t.obsMu.RUnlock()
+	sortStats(out)
+	return out
+}
+
+func sortStats(s []FileStat) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && (s[j].Shard < s[j-1].Shard ||
+			(s[j].Shard == s[j-1].Shard && s[j].File < s[j-1].File)); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Traced returns the number of distinct objects with recorded heat.
+func (t *Tracer) Traced() int {
+	n := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		n += len(s.heat)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Reset clears the learned heat, affinity and per-file observations — the
+// reorganizer calls it after applying a plan, so traces never grow without
+// bound and the next plan reflects post-reorganization behavior. The exact
+// batch counters are cumulative session totals and survive the reset.
+func (t *Tracer) Reset() {
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		s.heat = map[storage.OID]uint32{}
+		s.edge = map[edgeKey]uint32{}
+		s.mu.Unlock()
+	}
+	t.obsMu.Lock()
+	t.obs = map[fileKey]*fileObs{}
+	t.obsMu.Unlock()
+}

@@ -114,6 +114,14 @@ type ClassStats struct {
 	// is always the sum, so formulas that only need the total keep working
 	// unchanged; ExtentScanCost and ShardNbPg consult the split.
 	ShardPages []int
+	// ClusterFactor is the measured page co-residency of batched reference
+	// fetches into this class: observed distinct pages divided by the
+	// Cardenas prediction, learned from the clustering tracer. Values below
+	// 1 mean the class is physically clustered better than the uniform-
+	// placement assumption (after reorganization, traversed objects share
+	// pages), so batch-fetch estimates scale down by it. Zero — the default
+	// whenever tracing is off — keeps every formula byte-exact to the paper.
+	ClusterFactor float64
 }
 
 // LinkStats holds the per-reference-attribute parameters of Table 8 for an
@@ -223,15 +231,24 @@ func (s *Stats) ExtentScanCost(cs ClassStats) float64 {
 // ShardNbPg is the Cardenas estimate over a possibly sharded extent: k
 // objects spread across the parts in proportion to their pages, each part
 // contributing nbpg(p_i, k_i) distinct pages. On a single store it reduces
-// byte-exactly to NbPg(nbpages(C), k).
+// byte-exactly to NbPg(nbpages(C), k). A measured ClusterFactor scales the
+// estimate — Cardenas assumes uniform placement, which a reorganized extent
+// deliberately violates — clamped so at least one page is always charged.
 func (s *Stats) ShardNbPg(cs ClassStats, k float64) float64 {
+	var total float64
 	if len(cs.ShardPages) <= 1 {
-		return NbPg(cs.NbPages, k)
+		total = NbPg(cs.NbPages, k)
+	} else {
+		for _, p := range cs.ShardPages {
+			if cs.NbPages > 0 {
+				total += NbPg(p, k*float64(p)/float64(cs.NbPages))
+			}
+		}
 	}
-	total := 0.0
-	for _, p := range cs.ShardPages {
-		if cs.NbPages > 0 {
-			total += NbPg(p, k*float64(p)/float64(cs.NbPages))
+	if cs.ClusterFactor > 0 && total > 0 {
+		total *= cs.ClusterFactor
+		if total < 1 {
+			total = 1
 		}
 	}
 	return total

@@ -1,0 +1,271 @@
+package crashtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mood/internal/fault"
+	"mood/internal/storage"
+	"mood/internal/wal"
+)
+
+// Cluster mode: the same seeded crash scenarios, but the workload is the
+// online reorganizer's record migration instead of raw page writes. Each
+// "transaction" is one WAL-logged MigrateRecords batch — exactly what the
+// kernel's reorganizer runs — and the crash can land anywhere inside it:
+// after the destination copy but before the forward stub, between the stub
+// and the directory update, mid page-append. The invariant is stronger than
+// byte-level atomicity: whatever happens, after reboot + repair + recovery a
+// COLD store (empty forwarding map) must resolve every original OID to its
+// original payload, a full scan must surface each record exactly once, and
+// compaction of the recovered extent must not disturb any of it.
+
+// RunCluster executes one deterministic mid-migration crash/recovery
+// iteration. Every error includes cfg.Seed for replay.
+func RunCluster(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{Seed: cfg.Seed, Point: cfg.Point}
+	fail := func(format string, args ...interface{}) (Result, error) {
+		return res, fmt.Errorf("crashtest(cluster) seed %d point %s: %s",
+			cfg.Seed, cfg.Point, fmt.Sprintf(format, args...))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	disk.SetDoublewrite(true)
+	bp := storage.NewBufferPool(disk, cfg.Frames+8)
+	log := wal.NewLog()
+	bp.SetFlushHook(log.FlushHook())
+
+	fm, err := storage.NewFileManager(bp)
+	if err != nil {
+		return fail("setup: %v", err)
+	}
+	st := storage.NewObjectStore(bp, fm)
+	ext, err := st.CreateExtent("torture")
+	if err != nil {
+		return fail("setup extent: %v", err)
+	}
+
+	// Seed records sized so several share a page and migrations regularly
+	// append fresh pages. Payloads are a pure function of (seed, index).
+	nRecords := 8 * cfg.Txns
+	oids := make([]storage.OID, nRecords)
+	want := make([][]byte, nRecords)
+	for i := range oids {
+		data := make([]byte, 60+rng.Intn(120))
+		for j := range data {
+			data[j] = byte(rng.Intn(256))
+		}
+		want[i] = data
+		if oids[i], err = st.InsertExtent(ext, data); err != nil {
+			return fail("seed insert %d: %v", i, err)
+		}
+	}
+	if err := bp.FlushAll(); err != nil {
+		return fail("setup flush: %v", err)
+	}
+	log.FlushAll()
+
+	// Arm the scenario exactly as Run does.
+	fi := fault.New(cfg.Seed)
+	switch cfg.Point {
+	case PointLogFlushCrash:
+		fi.FailAt(fault.OpLogFlush, int64(1+rng.Intn(4)), fault.Crash)
+	case PointPageWriteCrash:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(6)), fault.Crash)
+	case PointTornWrite:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(6)), fault.Torn)
+	case PointTransientWrite:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(3)), fault.Transient)
+	case PointLogAppendCrash:
+		fi.FailAt(fault.OpLogAppend, int64(1+rng.Intn(8*cfg.Txns)), fault.Crash)
+	case PointPostCommit:
+		// Power-fail after the workload with dirty pages unflushed.
+	default:
+		return fail("unknown crash point")
+	}
+	disk.SetFaultInjector(fi)
+	log.SetFaultInjector(fi)
+
+	// The migration workload: each batch relocates a random slice of the
+	// extent under one WAL transaction, then usually commits. A live abort
+	// (deliberate, or after a transient fault) rolls the batch back
+	// in-process; a hard crash leaves the transaction ACTIVE so recovery
+	// must undo the half-applied migration. The last transaction is always
+	// left active after a forced flush — the classic steal/no-force loser
+	// whose on-disk stub and destination copy recovery must roll back.
+	died := ""
+	retry := func(what string, op func() error) error {
+		for attempt := 0; ; attempt++ {
+			err := op()
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, fault.ErrTransient) && attempt < maxRetries {
+				res.Retries++
+				continue
+			}
+			if died == "" {
+				died = fmt.Sprintf("%s: %v", what, err)
+			}
+			return err
+		}
+	}
+	// abortBatch rolls a live batch back and re-aligns the in-memory state
+	// with the restored disk, exactly as the kernel's reorganizer does.
+	abortBatch := func(tx wal.TxID, batch []storage.OID) bool {
+		if err := retry("abort", func() error { return log.Abort(tx, undoApplier(bp)) }); err != nil {
+			st.ForgetForward(batch...)
+			return false
+		}
+		st.ForgetForward(batch...)
+		if err := reloadPart(fm, ext); err != nil {
+			if died == "" {
+				died = fmt.Sprintf("reload after abort: %v", err)
+			}
+			return false
+		}
+		return true
+	}
+	for t := 0; t < cfg.Txns && died == ""; t++ {
+		batch := make([]storage.OID, 0, 1+rng.Intn(12))
+		for len(batch) < cap(batch) {
+			batch = append(batch, oids[rng.Intn(nRecords)])
+		}
+		tx := log.Begin()
+		res.Started++
+		logger := func(pid storage.PageID, off int, before, after []byte) (uint32, error) {
+			lsn, lerr := log.Update(tx, pid, off, before, after)
+			return uint32(lsn), lerr
+		}
+		if _, err := st.MigrateRecords(ext, 0, batch, logger, rng.Intn(2) == 0); err != nil {
+			if errors.Is(err, fault.ErrTransient) {
+				// Roll the partial batch back and carry on, as the kernel
+				// would after a transient storage error.
+				res.Retries++
+				abortBatch(tx, batch)
+				continue
+			}
+			// Hard crash mid-batch: the machine is dead. No abort runs; the
+			// transaction stays active for recovery to undo.
+			died = fmt.Sprintf("migration: %v", err)
+			break
+		}
+		if t == cfg.Txns-1 {
+			// Leave the final migration active with its pages (and therefore
+			// the log, via the WAL flush hook) forced to disk, then
+			// power-fail: recovery must undo the flushed loser.
+			_ = retry("loser flush", func() error { return bp.FlushAll() })
+			break
+		}
+		if rng.Intn(6) == 0 {
+			// Deliberate live rollback: the migration becomes a loser now.
+			abortBatch(tx, batch)
+			continue
+		}
+		if err := retry("commit", func() error { return log.Commit(tx) }); err != nil {
+			break
+		}
+		res.Committed++
+		if rng.Intn(2) == 0 {
+			_ = retry("flush pressure", func() error {
+				return bp.FlushPage(st.PartFirstPage(ext, 0))
+			})
+		}
+	}
+	res.Fired = len(fi.Trips()) > 0
+	res.CrashedAt = died
+
+	// ---- Reboot ----
+	disk.SetFaultInjector(nil)
+	log.SetFaultInjector(nil)
+	for _, id := range disk.CorruptPages() {
+		if err := disk.RepairPage(id); err != nil {
+			return fail("repair page %d: %v", id, err)
+		}
+		res.TornFixed++
+	}
+	bp2 := storage.NewBufferPool(disk, cfg.Frames+8)
+	bp2.SetFlushHook(log.FlushHook())
+	rstats, err := log.Recover(bp2)
+	if err != nil {
+		return fail("recovery: %v", err)
+	}
+	res.Recovery = rstats
+
+	// A cold store over the recovered disk: the forwarding map starts empty
+	// and must be re-learned from the on-disk stubs alone.
+	fm2, err := storage.OpenFileManager(bp2, fm.DirPage())
+	if err != nil {
+		return fail("reopen directory: %v", err)
+	}
+	st2 := storage.NewObjectStore(bp2, fm2)
+	ext2, err := st2.OpenExtent("torture")
+	if err != nil {
+		return fail("reopen extent: %v", err)
+	}
+
+	verify := func(stage string) (Result, error) {
+		for i, oid := range oids {
+			got, err := st2.Get(oid)
+			if err != nil {
+				return fail("%s: record %d (%s) unreadable: %v", stage, i, oid, err)
+			}
+			if !bytes.Equal(got, want[i]) {
+				return fail("%s: record %d (%s) corrupted (%d bytes, want %d)",
+					stage, i, oid, len(got), len(want[i]))
+			}
+		}
+		seen := map[storage.OID]int{}
+		if err := st2.ScanExtent(ext2, func(oid storage.OID, _ []byte) bool {
+			seen[oid]++
+			return true
+		}); err != nil {
+			return fail("%s: scan: %v", stage, err)
+		}
+		if len(seen) != nRecords {
+			return fail("%s: scan surfaced %d records, want %d", stage, len(seen), nRecords)
+		}
+		for oid, n := range seen {
+			if n != 1 {
+				return fail("%s: OID %s surfaced %d times", stage, oid, n)
+			}
+		}
+		return res, nil
+	}
+	if r, err := verify("post-recovery"); err != nil {
+		return r, err
+	}
+	if active := log.ActiveTransactions(); len(active) != 0 {
+		return fail("transactions still active after recovery: %v", active)
+	}
+
+	// Compaction of the recovered extent (vacated source pages freed) must
+	// preserve everything, and the final on-disk state must verify clean.
+	if _, err := st2.CompactExtent(ext2); err != nil {
+		return fail("compaction: %v", err)
+	}
+	if r, err := verify("post-compaction"); err != nil {
+		return r, err
+	}
+	if err := bp2.FlushAll(); err != nil {
+		return fail("post-recovery flush: %v", err)
+	}
+	if bad := disk.CorruptPages(); len(bad) != 0 {
+		return fail("checksum mismatches after recovery: pages %v", bad)
+	}
+	return res, nil
+}
+
+// reloadPart re-reads the extent's part-0 directory record after an abort
+// rolled the on-disk metadata back underneath the in-memory File.
+func reloadPart(fm *storage.FileManager, e *storage.Extent) error {
+	f, err := fm.FileByID(e.PartFileID(0))
+	if err != nil {
+		return err
+	}
+	return fm.ReloadFile(f)
+}

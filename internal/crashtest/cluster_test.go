@@ -1,0 +1,94 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTortureClusterMigration is the mid-migration variant of the torture
+// run: every iteration's workload is WAL-logged record migration (the online
+// reorganizer's primitive), and the crash lands inside a batch. Replay a
+// failure with CRASHTEST_SEED exactly as for TestTortureCrashRecovery.
+func TestTortureClusterMigration(t *testing.T) {
+	if seed, ok := envInt64("CRASHTEST_SEED", 0); ok {
+		for _, point := range Points {
+			res, err := RunCluster(Config{Seed: seed, Point: point})
+			if err != nil {
+				t.Errorf("%v", err)
+			}
+			t.Logf("seed %d %s: fired=%v crashed=%q committed=%d retries=%d torn=%d recovery=%+v",
+				seed, point, res.Fired, res.CrashedAt, res.Committed, res.Retries, res.TornFixed, res.Recovery)
+		}
+		return
+	}
+
+	iters, _ := envInt64("CRASHTEST_ITERS", defaultIterations)
+	if iters < int64(len(Points)) {
+		iters = int64(len(Points))
+	}
+	const baseSeed = 7000
+	fired := map[Point]int{}
+	stopped := map[Point]int{}
+	committedTotal, redone, undone, tornFixed := 0, 0, 0, 0
+	for i := int64(0); i < iters; i++ {
+		point := Points[i%int64(len(Points))]
+		seed := baseSeed + i
+		res, err := RunCluster(Config{Seed: seed, Point: point})
+		if err != nil {
+			t.Fatalf("%v\nreplay: CRASHTEST_SEED=%d go test ./internal/crashtest -run TestTortureCluster -v", err, seed)
+		}
+		if res.Fired {
+			fired[point]++
+		}
+		if res.CrashedAt != "" {
+			stopped[point]++
+		}
+		committedTotal += res.Committed
+		redone += res.Recovery.Redone
+		undone += res.Recovery.Undone
+		tornFixed += res.TornFixed
+		if point == PointTransientWrite && res.Fired {
+			if res.CrashedAt != "" {
+				t.Errorf("seed %d: transient fault killed the migration workload: %s", seed, res.CrashedAt)
+			}
+			if res.Retries == 0 {
+				t.Errorf("seed %d: transient fault fired but no migration batch was retried", seed)
+			}
+		}
+	}
+	for _, point := range Points {
+		if point == PointPostCommit {
+			continue // arms no fault by design; every iteration still recovers
+		}
+		if fired[point] == 0 {
+			t.Errorf("scenario %s never fired its fault in %d iterations", point, iters)
+		}
+	}
+	for _, point := range []Point{PointLogFlushCrash, PointPageWriteCrash, PointTornWrite, PointLogAppendCrash} {
+		if stopped[point] == 0 {
+			t.Errorf("scenario %s never interrupted a migration workload", point)
+		}
+	}
+	// Migrations must have both survived commits (redo) and lost batches
+	// (undo of the stub+copy) across the run.
+	if committedTotal == 0 || redone == 0 || undone == 0 {
+		t.Errorf("weak coverage: committed=%d redone=%d undone=%d", committedTotal, redone, undone)
+	}
+	t.Logf("%d iterations: committed=%d redone=%d undone=%d tornFixed=%d fired=%v",
+		iters, committedTotal, redone, undone, tornFixed, fired)
+}
+
+// TestRunClusterIsDeterministic mirrors TestRunIsDeterministic for the
+// migration workload: identical seeds must yield identical results.
+func TestRunClusterIsDeterministic(t *testing.T) {
+	for _, point := range Points {
+		a, errA := RunCluster(Config{Seed: 9191, Point: point})
+		b, errB := RunCluster(Config{Seed: 9191, Point: point})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", point, errA, errB)
+		}
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Errorf("%s: same seed, different results:\n%+v\n%+v", point, a, b)
+		}
+	}
+}

@@ -31,6 +31,8 @@ type opStats struct {
 	hits       int64
 	misses     int64
 	prefetched int64
+	crefs      int64
+	cpages     int64
 	elapsed    time.Duration
 }
 
@@ -42,12 +44,20 @@ type analyzeCtx struct {
 	hits       func() int64
 	misses     func() int64
 	prefetched func() int64
+	crefs      func() int64
+	cpages     func() int64
 	cacheOn    bool
 	prefetchOn bool
+	clusterOn  bool
 }
 
-func (an *analyzeCtx) snapshot() (p, h, m, f int64) {
-	return an.pages(), an.hits(), an.misses(), an.prefetched()
+// snap is one instant of every counter source.
+type snap struct {
+	p, h, m, f, cr, cp int64
+}
+
+func (an *analyzeCtx) snapshot() snap {
+	return snap{an.pages(), an.hits(), an.misses(), an.prefetched(), an.crefs(), an.cpages()}
 }
 
 // statsOp wraps an operator, charging pages, cache activity, and wall time
@@ -58,28 +68,30 @@ type statsOp struct {
 	st    *opStats
 }
 
-func (s *statsOp) settle(start time.Time, p0, h0, m0, f0 int64) {
-	p1, h1, m1, f1 := s.an.snapshot()
-	s.st.pages += p1 - p0
-	s.st.hits += h1 - h0
-	s.st.misses += m1 - m0
-	s.st.prefetched += f1 - f0
+func (s *statsOp) settle(start time.Time, s0 snap) {
+	s1 := s.an.snapshot()
+	s.st.pages += s1.p - s0.p
+	s.st.hits += s1.h - s0.h
+	s.st.misses += s1.m - s0.m
+	s.st.prefetched += s1.f - s0.f
+	s.st.crefs += s1.cr - s0.cr
+	s.st.cpages += s1.cp - s0.cp
 	s.st.elapsed += time.Since(start)
 }
 
 func (s *statsOp) Open() error {
 	start := time.Now()
-	p0, h0, m0, f0 := s.an.snapshot()
+	s0 := s.an.snapshot()
 	err := s.inner.Open()
-	s.settle(start, p0, h0, m0, f0)
+	s.settle(start, s0)
 	return err
 }
 
 func (s *statsOp) Next() (algebra.Row, bool, error) {
 	start := time.Now()
-	p0, h0, m0, f0 := s.an.snapshot()
+	s0 := s.an.snapshot()
 	row, ok, err := s.inner.Next()
-	s.settle(start, p0, h0, m0, f0)
+	s.settle(start, s0)
 	if ok {
 		s.st.rowsOut++
 	}
@@ -92,9 +104,9 @@ func (s *statsOp) Next() (algebra.Row, bool, error) {
 // execution than the one plain Execute runs.
 func (s *statsOp) NextBatch(b *RowBatch) (int, error) {
 	start := time.Now()
-	p0, h0, m0, f0 := s.an.snapshot()
+	s0 := s.an.snapshot()
 	n, err := nextBatch(s.inner, b)
-	s.settle(start, p0, h0, m0, f0)
+	s.settle(start, s0)
 	s.st.rowsOut += int64(n)
 	if n > 0 {
 		s.st.batches++
@@ -104,9 +116,9 @@ func (s *statsOp) NextBatch(b *RowBatch) (int, error) {
 
 func (s *statsOp) Close() error {
 	start := time.Now()
-	p0, h0, m0, f0 := s.an.snapshot()
+	s0 := s.an.snapshot()
 	err := s.inner.Close()
-	s.settle(start, p0, h0, m0, f0)
+	s.settle(start, s0)
 	return err
 }
 
@@ -136,8 +148,15 @@ type OpReport struct {
 	CumMisses      int64
 	SelfPrefetched int64
 	CumPrefetched  int64
-	SelfTime       time.Duration
-	CumTime        time.Duration
+	// Clustering-tracer activity inside this operator's calls: references
+	// resolved through batched fetches and the distinct (post-forwarding)
+	// pages they landed on — pages/refs is the operator's measured locality.
+	SelfClusterRefs  int64
+	CumClusterRefs   int64
+	SelfClusterPages int64
+	CumClusterPages  int64
+	SelfTime         time.Duration
+	CumTime          time.Duration
 	// Workers holds per-worker rows/pages for parallel (exchange) operators;
 	// nil for serial nodes. Pages counts the fetches a worker issued, buffer
 	// hits included, so the sum can exceed the node's simulated read delta.
@@ -161,6 +180,13 @@ type Analysis struct {
 	Prefetched      int64
 	CacheEnabled    bool
 	PrefetchEnabled bool
+	// Clustering totals (rendered as clustered=refs/pages when tracing is
+	// on): references resolved through batched fetches and distinct target
+	// pages. After a successful reorganization the pages figure drops for
+	// the same refs figure.
+	ClusterRefs    int64
+	ClusterPages   int64
+	ClusterEnabled bool
 	// ShardPages holds each shard's simulated read delta across the
 	// execution (nil on a single-store database). Both it and TotalPages
 	// are measured over the same post-quiesce window, so the invariant
@@ -176,7 +202,10 @@ func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Anal
 	zero := func() int64 { return 0 }
 	an := &analyzeCtx{
 		pages: e.Pages, hits: e.CacheHits, misses: e.CacheMisses, prefetched: e.Prefetched,
-		cacheOn: e.CacheHits != nil, prefetchOn: e.Prefetched != nil,
+		crefs: e.ClusterRefs, cpages: e.ClusterPages,
+		cacheOn:    e.CacheHits != nil,
+		prefetchOn: e.Prefetched != nil,
+		clusterOn:  e.ClusterRefs != nil && e.ClusterPages != nil,
 	}
 	if an.pages == nil {
 		an.pages = zero
@@ -189,6 +218,12 @@ func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Anal
 	}
 	if an.prefetched == nil {
 		an.prefetched = zero
+	}
+	if an.crefs == nil {
+		an.crefs = zero
+	}
+	if an.cpages == nil {
+		an.cpages = zero
 	}
 	root, err := e.compileNode(p, an)
 	if err != nil {
@@ -230,7 +265,9 @@ func (e *Executor) ExecuteAnalyzed(p optimizer.Plan) (*algebra.Collection, *Anal
 		Root: rep, TotalPages: rep.CumPages, TotalTime: rep.CumTime,
 		CacheHits: rep.CumHits, CacheMisses: rep.CumMisses, Prefetched: rep.CumPrefetched,
 		CacheEnabled: an.cacheOn, PrefetchEnabled: an.prefetchOn,
-		ShardPages: shardPages,
+		ClusterRefs: rep.CumClusterRefs, ClusterPages: rep.CumClusterPages,
+		ClusterEnabled: an.clusterOn,
+		ShardPages:     shardPages,
 	}, nil
 }
 
@@ -244,14 +281,16 @@ type predicateCompiled interface {
 
 func buildReport(c *compiled) *OpReport {
 	r := &OpReport{
-		Plan:          c.plan,
-		RowsOut:       c.stats.rowsOut,
-		Batches:       c.stats.batches,
-		CumPages:      c.stats.pages,
-		CumHits:       c.stats.hits,
-		CumMisses:     c.stats.misses,
-		CumPrefetched: c.stats.prefetched,
-		CumTime:       c.stats.elapsed,
+		Plan:            c.plan,
+		RowsOut:         c.stats.rowsOut,
+		Batches:         c.stats.batches,
+		CumPages:        c.stats.pages,
+		CumHits:         c.stats.hits,
+		CumMisses:       c.stats.misses,
+		CumPrefetched:   c.stats.prefetched,
+		CumClusterRefs:  c.stats.crefs,
+		CumClusterPages: c.stats.cpages,
+		CumTime:         c.stats.elapsed,
 	}
 	if ws, ok := c.raw.(workerStatser); ok {
 		r.Workers = ws.WorkerStats()
@@ -262,7 +301,7 @@ func buildReport(c *compiled) *OpReport {
 			r.Compiled = full
 		}
 	}
-	var kidPages, kidHits, kidMisses, kidPrefetched int64
+	var kidPages, kidHits, kidMisses, kidPrefetched, kidCRefs, kidCPages int64
 	var kidTime time.Duration
 	for _, k := range c.kids {
 		kr := buildReport(k)
@@ -272,6 +311,8 @@ func buildReport(c *compiled) *OpReport {
 		kidHits += kr.CumHits
 		kidMisses += kr.CumMisses
 		kidPrefetched += kr.CumPrefetched
+		kidCRefs += kr.CumClusterRefs
+		kidCPages += kr.CumClusterPages
 		kidTime += kr.CumTime
 	}
 	clamp := func(v int64) int64 {
@@ -284,6 +325,8 @@ func buildReport(c *compiled) *OpReport {
 	r.SelfHits = clamp(r.CumHits - kidHits)
 	r.SelfMisses = clamp(r.CumMisses - kidMisses)
 	r.SelfPrefetched = clamp(r.CumPrefetched - kidPrefetched)
+	r.SelfClusterRefs = clamp(r.CumClusterRefs - kidCRefs)
+	r.SelfClusterPages = clamp(r.CumClusterPages - kidCPages)
 	r.SelfTime = r.CumTime - kidTime
 	if r.SelfTime < 0 {
 		r.SelfTime = 0
@@ -296,7 +339,7 @@ func buildReport(c *compiled) *OpReport {
 // wall time.
 func (a *Analysis) Render() string {
 	var sb strings.Builder
-	renderReport(&sb, a.Root, "", a.CacheEnabled, a.PrefetchEnabled)
+	renderReport(&sb, a.Root, "", a.CacheEnabled, a.PrefetchEnabled, a.ClusterEnabled)
 	sb.WriteString("total: pages=" + fmt.Sprint(a.TotalPages))
 	if len(a.ShardPages) > 1 {
 		sb.WriteString(" shards=[")
@@ -314,17 +357,23 @@ func (a *Analysis) Render() string {
 	if a.PrefetchEnabled {
 		fmt.Fprintf(&sb, " prefetched=%d", a.Prefetched)
 	}
+	if a.ClusterEnabled {
+		fmt.Fprintf(&sb, " clustered=%d/%d", a.ClusterRefs, a.ClusterPages)
+	}
 	fmt.Fprintf(&sb, " time=%s\n", fmtDur(a.TotalTime))
 	return sb.String()
 }
 
-func renderReport(sb *strings.Builder, r *OpReport, indent string, cacheOn, prefetchOn bool) {
+func renderReport(sb *strings.Builder, r *OpReport, indent string, cacheOn, prefetchOn, clusterOn bool) {
 	extra := ""
 	if cacheOn {
 		extra += fmt.Sprintf(" cache=%d/%d", r.SelfHits, r.SelfMisses)
 	}
 	if prefetchOn {
 		extra += fmt.Sprintf(" prefetched=%d", r.SelfPrefetched)
+	}
+	if clusterOn && r.SelfClusterRefs > 0 {
+		extra += fmt.Sprintf(" clustered=%d/%d", r.SelfClusterRefs, r.SelfClusterPages)
 	}
 	if r.Batches > 0 {
 		extra += fmt.Sprintf(" batches=%d rows/batch=%.1f",
@@ -344,7 +393,7 @@ func renderReport(sb *strings.Builder, r *OpReport, indent string, cacheOn, pref
 		fmt.Fprintf(sb, "%s  [worker %d] rows=%d pages=%d\n", indent, i, w.Rows, w.Pages)
 	}
 	for _, k := range r.Kids {
-		renderReport(sb, k, indent+"  ", cacheOn, prefetchOn)
+		renderReport(sb, k, indent+"  ", cacheOn, prefetchOn, clusterOn)
 	}
 }
 

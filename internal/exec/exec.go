@@ -48,6 +48,14 @@ type Executor struct {
 	CacheHits   func() int64
 	CacheMisses func() int64
 	Prefetched  func() int64
+	// ClusterRefs/ClusterPages report the clustering tracer's cumulative
+	// batched-fetch counters: references resolved and distinct
+	// (post-forwarding) pages they landed on. EXPLAIN ANALYZE deltas them
+	// per operator and renders clustered=refs/pages — the measured locality
+	// the reorganizer is trying to improve. The kernel wires them when
+	// tracing is on; nil omits the annotation.
+	ClusterRefs  func() int64
+	ClusterPages func() int64
 	// Quiesce blocks until in-flight readahead loads land. ExecuteAnalyzed
 	// calls it before the final page snapshot so TotalPages still equals
 	// the simulated-disk read delta with async prefetch running.

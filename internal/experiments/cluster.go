@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mood/internal/catalog"
+	"mood/internal/kernel"
+	"mood/internal/storage"
+)
+
+// The clustering benchmark follows the OO1/OCB protocol for physical object
+// clustering: populate a database whose reference graph is DELIBERATELY at
+// odds with the insertion layout, measure a cold traversal of the hot
+// working set, let the tracer observe the traversal, reorganize, and
+// measure the same traversal cold again. The rows and their fingerprint
+// must not change; the simulated disk reads must collapse, because the hot
+// objects — scattered over nearly every page of their extents at insert
+// time — now co-reside on a handful of pages.
+
+const (
+	// clusterItems/clusterOwners size the two extents. Items reference
+	// owner i%clusterOwners, so consecutive hot items (stride apart) land
+	// on owners spread across the whole owner extent.
+	clusterItems  = 6000
+	clusterOwners = 3000
+	// clusterHotItems is the traversed working set; clusterHotStride
+	// scatters it uniformly over the item extent's pages.
+	clusterHotItems  = 240
+	clusterHotStride = 25
+	// clusterTracePasses is how many observed passes feed the tracer
+	// before reorganization (the cold measured pass also counts).
+	clusterTracePasses = 2
+	// clusterFrames sizes the page pool: big enough to build the database,
+	// irrelevant to the cold measurements (which evict it first).
+	clusterFrames = 2048
+)
+
+// ClusterEntry is one measured cold traversal of the hot working set.
+type ClusterEntry struct {
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Reads       int64   `json:"reads"`
+	SimulatedMs float64 `json:"simulated_ms"`
+	WallMs      float64 `json:"wall_ms"`
+}
+
+// BenchCluster is the JSON artifact written by moodbench -cluster-json.
+// Rows, Reads, SimulatedMs, Moved, PagesCompacted and ReadReduction are
+// deterministic (seeded data, simulated disk); WallMs varies run to run.
+type BenchCluster struct {
+	Items             int     `json:"items"`
+	Owners            int     `json:"owners"`
+	HotItems          int     `json:"hot_items"`
+	TracePasses       int     `json:"trace_passes"`
+	LatencyUsPerSimMs float64 `json:"latency_us_per_sim_ms"`
+	// Scattered is the cold traversal before reorganization, Clustered the
+	// same traversal (same rows, same fingerprint) after it.
+	Scattered ClusterEntry `json:"scattered"`
+	Clustered ClusterEntry `json:"clustered"`
+	// Moved is the records the reorganizer migrated; PagesCompacted the
+	// vacated source pages the trailing compaction freed or parked out of
+	// the scan chains.
+	Moved          int `json:"moved"`
+	PagesCompacted int `json:"pages_compacted"`
+	// ReadReduction is the acceptance number: scattered reads over
+	// clustered reads for the identical traversal.
+	ReadReduction float64 `json:"read_reduction"`
+}
+
+// clusterTraversalPass dereferences item.owner for every hot item through
+// the catalog's batched path (the tracer's observation point) and returns
+// the row count plus an order-sensitive fingerprint over both ends of every
+// edge.
+func clusterTraversalPass(cat *catalog.Catalog, sample []storage.OID) (int, uint64, error) {
+	items, _, err := cat.GetObjects(sample)
+	if err != nil {
+		return 0, 0, err
+	}
+	refs, err := refField(items, "owner")
+	if err != nil {
+		return 0, 0, err
+	}
+	owners, _, err := cat.GetObjects(refs)
+	if err != nil {
+		return 0, 0, err
+	}
+	var fp uint64 = 14695981039346656037
+	for i, it := range items {
+		k, ok := it.Field("k")
+		if !ok {
+			return 0, 0, fmt.Errorf("cluster bench: item without k")
+		}
+		fp = fpMix(fp, uint64(k.Int))
+		tag, ok := owners[i].Field("tag")
+		if !ok {
+			return 0, 0, fmt.Errorf("cluster bench: owner without tag")
+		}
+		fp = fpMix(fp, uint64(tag.Int))
+	}
+	return len(owners), fp, nil
+}
+
+// measureClusterCold evicts every page pool and runs one traversal pass
+// with latency replay, returning the entry and the fingerprint.
+func measureClusterCold(db *kernel.DB, name string, sample []storage.OID, latency time.Duration) (ClusterEntry, uint64, error) {
+	var e ClusterEntry
+	for _, sh := range db.Shards {
+		if err := sh.Pool.EvictAll(); err != nil {
+			return e, 0, err
+		}
+	}
+	if oc := db.ObjectCache(); oc != nil {
+		oc.Reset()
+	}
+	var reads0 int64
+	var sim0 float64
+	for _, sh := range db.Shards {
+		s := sh.Disk.Stats()
+		reads0 += s.Reads()
+		sim0 += s.TimeMs
+		sh.Disk.SetLatency(latency)
+	}
+	start := time.Now()
+	rows, fp, err := clusterTraversalPass(db.Cat, sample)
+	wall := time.Since(start)
+	var reads int64
+	var sim float64
+	for _, sh := range db.Shards {
+		sh.Disk.SetLatency(0)
+		s := sh.Disk.Stats()
+		reads += s.Reads()
+		sim += s.TimeMs
+	}
+	if err != nil {
+		return e, 0, err
+	}
+	e = ClusterEntry{
+		Name:        name,
+		Rows:        rows,
+		Reads:       reads - reads0,
+		SimulatedMs: round3(sim - sim0),
+		WallMs:      round3(float64(wall) / float64(time.Millisecond)),
+	}
+	return e, fp, nil
+}
+
+// MeasureCluster runs the clustering protocol: scattered cold traversal,
+// traced warm passes, online reorganization, clustered cold traversal. The
+// function enforces the acceptance contract itself — identical rows and
+// fingerprint across the two cold measurements, and at least a 2x drop in
+// simulated reads — so a clustering regression surfaces as a measurement
+// error rather than a silently degraded artifact. Pass latency <= 0 for
+// DefaultParallelLatency.
+func MeasureCluster(latency time.Duration) (*BenchCluster, error) {
+	if latency <= 0 {
+		latency = DefaultParallelLatency
+	}
+	opts := kernel.DefaultOptions()
+	opts.BufferFrames = clusterFrames
+	opts.ClusterSampleEvery = 1
+	db, err := kernel.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := defineShardBenchSchema(db.Cat); err != nil {
+		return nil, err
+	}
+
+	// Owners first, then items referencing owner i%owners: the traversed
+	// hot items (every clusterHotStride-th) reference owners spread across
+	// the whole owner extent, so the scattered cold traversal touches
+	// nearly every page of both extents.
+	ownerOIDs := make([]storage.OID, clusterOwners)
+	for i := range ownerOIDs {
+		if ownerOIDs[i], err = db.Cat.CreateObject("BenchOwner", shardOwnerTuple(i)); err != nil {
+			return nil, err
+		}
+	}
+	itemOIDs := make([]storage.OID, clusterItems)
+	for i := range itemOIDs {
+		if itemOIDs[i], err = db.Cat.CreateObject("BenchItem", shardItemTuple(i, ownerOIDs[i%clusterOwners])); err != nil {
+			return nil, err
+		}
+	}
+	sample := make([]storage.OID, clusterHotItems)
+	for j := range sample {
+		sample[j] = itemOIDs[(j*clusterHotStride)%clusterItems]
+	}
+
+	out := &BenchCluster{
+		Items:             clusterItems,
+		Owners:            clusterOwners,
+		HotItems:          clusterHotItems,
+		TracePasses:       1 + clusterTracePasses,
+		LatencyUsPerSimMs: float64(latency) / float64(time.Microsecond),
+	}
+
+	scattered, fp0, err := measureClusterCold(db, "scattered", sample, latency)
+	if err != nil {
+		return nil, fmt.Errorf("scattered traversal: %w", err)
+	}
+	out.Scattered = scattered
+
+	// Feed the tracer a few more observed passes, then reorganize online.
+	for p := 0; p < clusterTracePasses; p++ {
+		if _, _, err := clusterTraversalPass(db.Cat, sample); err != nil {
+			return nil, fmt.Errorf("trace pass %d: %w", p, err)
+		}
+	}
+	rs, err := db.Reorganize()
+	if err != nil {
+		return nil, fmt.Errorf("reorganize: %w", err)
+	}
+	if rs.Moved == 0 {
+		return nil, fmt.Errorf("reorganize moved nothing: the tracer observed no traversal")
+	}
+	out.Moved = rs.Moved
+	out.PagesCompacted = rs.PagesFreed
+
+	clustered, fp1, err := measureClusterCold(db, "clustered", sample, latency)
+	if err != nil {
+		return nil, fmt.Errorf("clustered traversal: %w", err)
+	}
+	out.Clustered = clustered
+
+	if clustered.Rows != scattered.Rows || fp1 != fp0 {
+		return nil, fmt.Errorf("reorganization changed the traversal result: %d rows (fp %x) vs %d rows (fp %x)",
+			clustered.Rows, fp1, scattered.Rows, fp0)
+	}
+	if clustered.Reads <= 0 {
+		return nil, fmt.Errorf("clustered traversal reported %d reads", clustered.Reads)
+	}
+	out.ReadReduction = round3(float64(scattered.Reads) / float64(clustered.Reads))
+	if out.ReadReduction < 2 {
+		return nil, fmt.Errorf("clustering read reduction %.2fx below the 2x acceptance floor (%d -> %d reads)",
+			out.ReadReduction, scattered.Reads, clustered.Reads)
+	}
+	return out, nil
+}
+
+// ClusterSweep prints the MeasureCluster protocol as a table.
+func ClusterSweep(w io.Writer, _ *Env) error {
+	section(w, "Reference clustering. Cold hot-set traversal, scattered vs reorganized")
+	res, err := MeasureCluster(0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "extents: %d items, %d owners; hot set %d items; %d traced passes; latency replay %.0f us/sim-ms\n\n",
+		res.Items, res.Owners, res.HotItems, res.TracePasses, res.LatencyUsPerSimMs)
+	fmt.Fprintf(w, "%-12s %6s %7s %10s %10s\n", "layout", "rows", "reads", "sim ms", "wall ms")
+	for _, e := range []ClusterEntry{res.Scattered, res.Clustered} {
+		fmt.Fprintf(w, "%-12s %6d %7d %10.2f %10.2f\n", e.Name, e.Rows, e.Reads, e.SimulatedMs, e.WallMs)
+	}
+	fmt.Fprintf(w, "\nreorganizer moved %d records, compacted %d source pages; read reduction %.2fx\n",
+		res.Moved, res.PagesCompacted, res.ReadReduction)
+	return nil
+}

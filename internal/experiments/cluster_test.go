@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestMeasureClusterContract runs the full clustering protocol and checks
+// the deterministic half of the artifact: identical rows across layouts
+// (MeasureCluster enforces the fingerprint itself), a read reduction well
+// past the 2x acceptance floor, and a reorganizer that both moved records
+// and compacted the vacated source pages out of the scan chains.
+func TestMeasureClusterContract(t *testing.T) {
+	res, err := MeasureCluster(40 * time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scattered.Rows != res.Clustered.Rows || res.Scattered.Rows != clusterHotItems {
+		t.Errorf("rows: scattered=%d clustered=%d want %d",
+			res.Scattered.Rows, res.Clustered.Rows, clusterHotItems)
+	}
+	if res.ReadReduction < 2 {
+		t.Errorf("read reduction %.2fx below the 2x floor (%d -> %d reads)",
+			res.ReadReduction, res.Scattered.Reads, res.Clustered.Reads)
+	}
+	if res.Moved == 0 {
+		t.Error("reorganizer moved no records")
+	}
+	if res.PagesCompacted == 0 {
+		t.Error("compaction parked/freed no vacated source pages")
+	}
+	// The scattered layout must actually be scattered: the hot traversal
+	// should touch more distinct pages than the hot set could ever pack
+	// into, otherwise the protocol is measuring a pre-clustered database.
+	if res.Scattered.Reads < 4*res.Clustered.Reads {
+		t.Errorf("scattered layout too dense for the protocol: %d vs %d reads",
+			res.Scattered.Reads, res.Clustered.Reads)
+	}
+
+	// The artifact must round-trip as JSON (moodbench -cluster-json).
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchCluster
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ReadReduction != res.ReadReduction || back.Scattered.Reads != res.Scattered.Reads {
+		t.Error("artifact did not survive a JSON round-trip")
+	}
+}
+
+// TestMeasureClusterDeterministicReads pins the protocol's simulated read
+// counts across runs: seeded data over a simulated disk must measure the
+// same scattered and clustered reads every time, which is what makes the
+// checked-in BENCH_cluster.json diffable.
+func TestMeasureClusterDeterministicReads(t *testing.T) {
+	a, err := MeasureCluster(time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureCluster(time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scattered.Reads != b.Scattered.Reads || a.Clustered.Reads != b.Clustered.Reads ||
+		a.Moved != b.Moved || a.PagesCompacted != b.PagesCompacted {
+		t.Errorf("protocol not deterministic: run1 scattered=%d clustered=%d moved=%d compacted=%d, run2 scattered=%d clustered=%d moved=%d compacted=%d",
+			a.Scattered.Reads, a.Clustered.Reads, a.Moved, a.PagesCompacted,
+			b.Scattered.Reads, b.Clustered.Reads, b.Moved, b.PagesCompacted)
+	}
+}

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mood/internal/algebra"
 	"mood/internal/catalog"
+	"mood/internal/cluster"
 	"mood/internal/cost"
 	"mood/internal/exec"
 	"mood/internal/expr"
@@ -73,6 +75,16 @@ type DB struct {
 
 	ocache *objcache.Cache // nil when the object cache is off
 
+	// tracer collects reference-traversal statistics for the clustering
+	// subsystem; nil when tracing is off. reorgMu serializes Reorganize
+	// (manual calls and the background loop); reorgStop/reorgWG manage the
+	// background reorganizer's lifetime.
+	tracer       *cluster.Tracer
+	clusterBatch int
+	reorgMu      sync.Mutex
+	reorgStop    chan struct{}
+	reorgWG      sync.WaitGroup
+
 	// txSeq mints lock-manager transaction ids in sharded mode, where no
 	// single WAL owns the id space.
 	txSeq atomic.Uint64
@@ -117,6 +129,19 @@ type Options struct {
 	// reads route by the shard id carried in every OID. Zero or one keeps
 	// the single monolithic store. BufferFrames is the PER-SHARD pool size.
 	ShardCount int
+	// ClusterSampleEvery enables the clustering tracer, recording every
+	// N-th traversal observation (1 records all of them; zero disables
+	// clustering entirely). The tracer hooks the catalog's batched
+	// dereference and the stores' batch fetches; EXPLAIN ANALYZE then
+	// renders clustered= counters, and DB.Reorganize (or the background
+	// loop, see ClusterInterval) applies the learned placements.
+	ClusterSampleEvery int
+	// ClusterInterval runs the online reorganizer periodically in the
+	// background; zero leaves reorganization to explicit Reorganize calls.
+	ClusterInterval time.Duration
+	// ClusterBatch bounds the records moved per reorganization transaction
+	// (zero uses the default of 64).
+	ClusterBatch int
 }
 
 // DefaultOptions returns a laptop-friendly configuration.
@@ -202,6 +227,20 @@ func Open(opts Options) (*DB, error) {
 		db.Exec.CacheHits = db.ocache.Hits
 		db.Exec.CacheMisses = db.ocache.Misses
 	}
+	if opts.ClusterSampleEvery > 0 {
+		db.tracer = cluster.New(opts.ClusterSampleEvery)
+		db.tracer.Enable(true)
+		db.clusterBatch = opts.ClusterBatch
+		// Traversal order flows in from the catalog's batched dereference;
+		// measured page co-residency from the stores' batch fetches.
+		cat.SetAccessObserver(db.tracer.ObserveAccess)
+		store.SetBatchObserver(db.tracer.ObserveBatch)
+		db.Exec.ClusterRefs = db.tracer.BatchRefs
+		db.Exec.ClusterPages = db.tracer.BatchPages
+		if opts.ClusterInterval > 0 {
+			db.startReorganizer(opts.ClusterInterval)
+		}
+	}
 	if opts.PrefetchWorkers > 0 {
 		for _, sh := range db.Shards {
 			sh.prefetcher = storage.NewPrefetcher(sh.Pool, opts.PrefetchWorkers)
@@ -223,10 +262,16 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// Close releases background resources (the readahead workers). The database
-// object itself is in-memory and needs no further teardown; Close is safe
-// to call on a database opened without readahead.
+// Close releases background resources (the readahead workers and the
+// background reorganizer). The database object itself is in-memory and
+// needs no further teardown; Close is safe to call on a database opened
+// without either feature.
 func (db *DB) Close() {
+	if db.reorgStop != nil {
+		close(db.reorgStop)
+		db.reorgWG.Wait()
+		db.reorgStop = nil
+	}
 	for _, sh := range db.Shards {
 		if sh.prefetcher != nil {
 			sh.prefetcher.Close()
@@ -317,6 +362,17 @@ func (db *DB) refreshStats() (*cost.Stats, error) {
 		// the paper's formulas byte-exact.
 		st.CacheHitRate = db.ocache.HitRate()
 		st.BatchFetch = true
+	}
+	if db.tracer != nil {
+		// Learn each class's clustering factor from the measured page
+		// co-residency of batched fetches; classes without enough observed
+		// traffic keep the factor at zero (formulas byte-exact).
+		fs := db.tracer.FileStats()
+		obs := make([]stats.ClusterObs, len(fs))
+		for i, f := range fs {
+			obs[i] = stats.ClusterObs{Shard: f.Shard, File: f.File, Runs: f.Runs, Refs: f.Refs, Pages: f.Pages}
+		}
+		stats.ApplyClusterFactors(st, db.Cat, obs)
 	}
 	db.statsMu.Lock()
 	db.stats = st

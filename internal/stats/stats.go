@@ -186,6 +186,81 @@ func Collect(cat *catalog.Catalog, disk cost.Disk) (*cost.Stats, error) {
 	return s, nil
 }
 
+// ClusterObs is one extent part's cumulative batch-fetch observation from
+// the clustering tracer: over Runs sampled batch runs, Refs references
+// resolved against the part landed on Pages distinct (post-forwarding)
+// pages. The kernel converts the tracer's snapshot into this shape so the
+// stats package stays decoupled from the tracer's types.
+type ClusterObs struct {
+	Shard int
+	File  storage.FileID
+	Runs  uint64
+	Refs  uint64
+	Pages uint64
+}
+
+// minClusterRefs is the evidence floor: below it the measured ratio is too
+// noisy to override the Cardenas assumption.
+const minClusterRefs = 32
+
+// ApplyClusterFactors learns each class's ClusterFactor — measured distinct
+// pages per batched reference fetch, relative to the Cardenas prediction —
+// from the tracer's per-part observations, and writes it into the stats
+// base. Classes without enough observed traffic keep ClusterFactor zero, so
+// their estimates stay byte-exact to the paper's formulas.
+func ApplyClusterFactors(s *cost.Stats, cat *catalog.Catalog, obs []ClusterObs) {
+	if len(obs) == 0 {
+		return
+	}
+	type partKey struct {
+		shard int
+		file  storage.FileID
+	}
+	byPart := make(map[partKey]ClusterObs, len(obs))
+	for _, o := range obs {
+		byPart[partKey{o.Shard, o.File}] = o
+	}
+	for _, cl := range cat.Classes() {
+		if !cl.IsClass || cl.Extent() == nil {
+			continue
+		}
+		cs, err := s.Class(cl.Name)
+		if err != nil {
+			continue
+		}
+		e := cl.Extent()
+		pp := e.PartPages()
+		var observed, predicted float64
+		var refs uint64
+		for part := 0; part < e.Parts() && part < len(pp); part++ {
+			o, ok := byPart[partKey{part, e.PartFileID(part)}]
+			if !ok || o.Runs == 0 || o.Refs == 0 {
+				continue
+			}
+			// The tracer only keeps totals, so the prediction uses the
+			// average batch size: Runs batches of Refs/Runs references each.
+			observed += float64(o.Pages)
+			predicted += float64(o.Runs) * cost.NbPg(pp[part], float64(o.Refs)/float64(o.Runs))
+			refs += o.Refs
+		}
+		if refs < minClusterRefs || predicted <= 0 {
+			continue
+		}
+		cf := observed / predicted
+		// Clamp: a factor above 1 means placement is WORSE than uniform
+		// (possible mid-reorganization); never let noise blow estimates up
+		// past 2x or down below 1/20th.
+		if cf > 2 {
+			cf = 2
+		}
+		if cf < 0.05 {
+			cf = 0.05
+		}
+		cs.ClusterFactor = cf
+		s.SetClass(cs)
+	}
+}
+
 // IndexStats extracts Table 9 parameters for every B+-tree index in the
 // catalog, keyed "class.attribute".
 func IndexStats(cat *catalog.Catalog) map[string]cost.BTreeStats {

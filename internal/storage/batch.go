@@ -25,6 +25,19 @@ func (s *ObjectStore) SetInvalidator(inv CacheInvalidator) { s.inv = inv }
 // goroutines; nil detaches.
 func (s *ObjectStore) SetPrefetcher(pf *Prefetcher) { s.pf = pf }
 
+// BatchObserver receives one observation per file-run of a FetchBatch call:
+// the shard, the file, how many references the run resolved, and how many
+// distinct pages (post-forwarding) they landed on. The clustering tracer
+// learns measured page co-residency — the cost model's clustering factor —
+// from this feed. Runs under the store's read lock; implementations must
+// not call back into the store.
+type BatchObserver func(shard int, file FileID, refs, pages int)
+
+// SetBatchObserver installs the clustering observation hook. Must be called
+// before the store is shared across goroutines (kernel.Open does); nil
+// detaches.
+func (s *ObjectStore) SetBatchObserver(obs BatchObserver) { s.batchObs = obs }
+
 // Prefetch requests asynchronous pre-loading of pages into the buffer pool.
 // A no-op without an attached prefetcher, so scan paths call it
 // unconditionally.
@@ -56,11 +69,18 @@ func (s *ObjectStore) FetchBatch(oids []OID) ([][]byte, error) {
 	if len(oids) == 0 {
 		return out, nil
 	}
+	// Translate migrated records through the forwarding map up front, so the
+	// batch sorts, prefetches and pins by the records' CURRENT pages — the
+	// whole point of clustering: a warm map never touches the stub pages.
+	tr := make([]OID, len(oids))
+	for i, oid := range oids {
+		tr[i] = s.forwardOf(oid)
+	}
 	idx := make([]int, len(oids))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return oids[idx[a]] < oids[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool { return tr[idx[a]] < tr[idx[b]] })
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -68,7 +88,7 @@ func (s *ObjectStore) FetchBatch(oids []OID) ([][]byte, error) {
 	if s.pf != nil {
 		var pages []PageID
 		for k, i := range idx {
-			if p := oids[i].Page(); k == 0 || p != oids[idx[k-1]].Page() {
+			if p := tr[i].Page(); k == 0 || p != tr[idx[k-1]].Page() {
 				pages = append(pages, p)
 			}
 		}
@@ -77,24 +97,53 @@ func (s *ObjectStore) FetchBatch(oids []OID) ([][]byte, error) {
 
 	// Overflow heads are collected during the page pass and the chains
 	// reassembled afterwards, so the primary pages are each pinned once.
+	// Cold-map forward stubs (first access after a reopen) are resolved in a
+	// trailing pass, after the map has learned their destinations.
 	type ovf struct {
 		i     int
 		first PageID
 		total int
 	}
 	var ovfs []ovf
+	var stubs []int
+	var obsFile FileID
+	obsRefs, obsPages := 0, 0
+	flushObs := func() {
+		if s.batchObs != nil && obsRefs > 0 {
+			s.batchObs(s.shard, obsFile, obsRefs, obsPages)
+		}
+		obsRefs, obsPages = 0, 0
+	}
 	for k := 0; k < len(idx); {
-		pid := oids[idx[k]].Page()
+		pid := tr[idx[k]].Page()
+		if s.batchObs != nil {
+			if fid := tr[idx[k]].File(); obsRefs == 0 || fid != obsFile {
+				flushObs()
+				obsFile = fid
+			}
+			obsPages++
+		}
 		pg, err := s.bp.Fetch(pid)
 		if err != nil {
 			return nil, err
 		}
-		for ; k < len(idx) && oids[idx[k]].Page() == pid; k++ {
+		for ; k < len(idx) && tr[idx[k]].Page() == pid; k++ {
 			i := idx[k]
-			rec, gerr := pg.Get(oids[i].Slot())
+			if s.batchObs != nil {
+				obsRefs++
+			}
+			rec, gerr := pg.Get(tr[i].Slot())
 			if gerr != nil {
 				s.bp.Unpin(pid, false)
 				return nil, gerr
+			}
+			if rec[0] == recForward {
+				s.learnForward(oids[i], forwardDst(rec))
+				stubs = append(stubs, i)
+				continue
+			}
+			if rec[0] == recRelocated {
+				rec = rec[relocHeadSize:]
 			}
 			switch rec[0] {
 			case recPlain:
@@ -116,12 +165,20 @@ func (s *ObjectStore) FetchBatch(oids []OID) ([][]byte, error) {
 			return nil, err
 		}
 	}
+	flushObs()
 	for _, o := range ovfs {
 		data, err := s.readOverflow(o.first, o.total)
 		if err != nil {
 			return nil, err
 		}
 		out[o.i] = data
+	}
+	for _, i := range stubs {
+		data, err := s.getLocked(oids[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = data
 	}
 	return out, nil
 }

@@ -53,6 +53,11 @@ func (e *Extent) PartPages() []int {
 	return out
 }
 
+// PartFileID returns the file id backing one part. The kernel's reorganizer
+// maps the clustering tracer's per-file observations back to class extents
+// through this.
+func (e *Extent) PartFileID(part int) FileID { return e.parts[part].ID }
+
 // nextPart returns the part the next insert is routed to.
 func (e *Extent) nextPart() int {
 	if len(e.parts) == 1 {
@@ -114,6 +119,23 @@ type Store interface {
 	// SetInvalidator installs the object-cache invalidation hook on every
 	// shard. Install once at open time, before the store is shared.
 	SetInvalidator(inv CacheInvalidator)
+	// SetBatchObserver installs the clustering observation hook on every
+	// shard. Install once at open time, before the store is shared.
+	SetBatchObserver(obs BatchObserver)
+
+	// MigrateRecords relocates the given records (all owned by the named
+	// part's shard) onto fresh pages of that part, in the order given,
+	// leaving forward stubs so every OID stays valid. logPage, when
+	// non-nil, receives a whole-page before/after image for every page the
+	// migration mutates (see PageLogger). cont continues packing the tail
+	// page (the previous batch's destination) instead of opening a fresh
+	// one. Returns the records moved.
+	MigrateRecords(e *Extent, part int, oids []OID, logPage PageLogger, cont bool) (int, error)
+	// CompactExtent removes pages without record content from the extent's
+	// scan chains: all-tombstone pages are freed, stub-only migration source
+	// pages are parked (unlinked but kept allocated — Get still resolves the
+	// stubs by direct page id). Returns the pages removed from the chains.
+	CompactExtent(e *Extent) (int, error)
 
 	// Pool returns shard 0's buffer pool. Index structures (B+-trees, hash
 	// and join indexes) and the system directory live on shard 0; sharding

@@ -203,6 +203,31 @@ func (fm *FileManager) DropFile(name string) error {
 	return nil
 }
 
+// ReloadFile re-reads the file's directory record into the same File
+// object and drops its page-chain cache. The kernel's reorganizer calls it
+// after a WAL abort restored the on-disk directory underneath the in-memory
+// metadata (an aborted migration may have appended pages whose links were
+// undone on disk only).
+func (fm *FileManager) ReloadFile(f *File) error {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	pg, err := fm.bp.Fetch(fm.dirPage)
+	if err != nil {
+		return err
+	}
+	rec, err := pg.Get(f.dirSlot)
+	if err == nil {
+		nf := decodeDirRecord(rec)
+		f.firstPage, f.lastPage = nf.firstPage, nf.lastPage
+		f.numPages, f.numRecs = nf.numPages, nf.numRecs
+		f.pages = nil
+	}
+	if uerr := fm.bp.Unpin(fm.dirPage, false); uerr != nil && err == nil {
+		err = uerr
+	}
+	return err
+}
+
 // Files returns a snapshot of all files sorted by id.
 func (fm *FileManager) Files() []*File {
 	fm.mu.Lock()

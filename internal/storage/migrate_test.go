@@ -1,0 +1,465 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// payload builds a deterministic record body for index i.
+func payload(i int) []byte {
+	return []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, 40+i%17))))
+}
+
+// fillExtent inserts n deterministic records and returns their OIDs.
+func fillExtent(t *testing.T, st Store, e *Extent, n int) []OID {
+	t.Helper()
+	oids := make([]OID, n)
+	for i := 0; i < n; i++ {
+		oid, err := st.InsertExtent(e, payload(i))
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		oids[i] = oid
+	}
+	return oids
+}
+
+// checkAll verifies every record resolves to its payload through Get, that
+// FetchBatch agrees, and that a scan surfaces each OID exactly once.
+func checkAll(t *testing.T, st Store, e *Extent, oids []OID, deleted map[OID]bool) {
+	t.Helper()
+	for i, oid := range oids {
+		if deleted[oid] {
+			if _, err := st.Get(oid); err == nil {
+				t.Fatalf("record %d (%s): deleted but Get succeeded", i, oid)
+			}
+			continue
+		}
+		got, err := st.Get(oid)
+		if err != nil {
+			t.Fatalf("record %d (%s): Get: %v", i, oid, err)
+		}
+		if !bytes.Equal(got, payload(i)) {
+			t.Fatalf("record %d (%s): Get = %q, want %q", i, oid, got, payload(i))
+		}
+	}
+	var live []OID
+	want := make(map[OID]int)
+	for i, oid := range oids {
+		if !deleted[oid] {
+			live = append(live, oid)
+			want[oid] = i
+		}
+	}
+	batch, err := st.FetchBatch(live)
+	if err != nil {
+		t.Fatalf("FetchBatch: %v", err)
+	}
+	for j, oid := range live {
+		if !bytes.Equal(batch[j], payload(want[oid])) {
+			t.Fatalf("FetchBatch[%d] (%s) = %q, want %q", j, oid, batch[j], payload(want[oid]))
+		}
+	}
+	seen := make(map[OID]int)
+	if err := st.ScanExtent(e, func(oid OID, data []byte) bool {
+		seen[oid]++
+		if i, ok := want[oid]; !ok {
+			t.Fatalf("scan surfaced unexpected OID %s", oid)
+		} else if !bytes.Equal(data, payload(i)) {
+			t.Fatalf("scan %s = %q, want %q", oid, data, payload(i))
+		}
+		return true
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	for oid, n := range seen {
+		if n != 1 {
+			t.Fatalf("scan surfaced %s %d times", oid, n)
+		}
+	}
+	if len(seen) != len(live) {
+		t.Fatalf("scan surfaced %d records, want %d", len(seen), len(live))
+	}
+}
+
+func TestMigrateRecordsPreservesOIDs(t *testing.T) {
+	st, _, _ := newTestStore(t, 32)
+	e, err := st.CreateExtent("things")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	oids := fillExtent(t, st, e, 200)
+	pagesBefore := e.NumPages()
+
+	// Migrate every third record, in reverse order (an arbitrary clustering
+	// placement), and verify nothing observable changed but the layout.
+	var move []OID
+	for i := len(oids) - 1; i >= 0; i -= 3 {
+		move = append(move, oids[i])
+	}
+	moved, err := st.MigrateRecords(e, 0, move, nil, false)
+	if err != nil {
+		t.Fatalf("MigrateRecords: %v", err)
+	}
+	if moved != len(move) {
+		t.Fatalf("moved %d records, want %d", moved, len(move))
+	}
+	if e.NumPages() <= pagesBefore {
+		t.Fatalf("migration appended no pages (pages %d -> %d)", pagesBefore, e.NumPages())
+	}
+	if e.NumRecords() != len(oids) {
+		t.Fatalf("NumRecords = %d after migration, want %d", e.NumRecords(), len(oids))
+	}
+	checkAll(t, st, e, oids, nil)
+
+	// The moved records must sit densely in migration order: consecutive
+	// destinations land on the same or the next destination page.
+	var last OID
+	for k, oid := range move {
+		dst, ok := st.Forwarded(oid)
+		if !ok {
+			t.Fatalf("no forwarding entry for migrated %s", oid)
+		}
+		if dst.File() != oid.File() || dst.Shard() != oid.Shard() {
+			t.Fatalf("migration changed file/shard: %s -> %s", oid, dst)
+		}
+		if k > 0 && dst.Page() != last.Page() && dst <= last {
+			t.Fatalf("destination order broken: %s then %s", last, dst)
+		}
+		last = dst
+	}
+}
+
+func TestMigrateForwardResolvedAcrossReopen(t *testing.T) {
+	disk := NewDiskSim(DefaultDiskParams())
+	bp := NewBufferPool(disk, 32)
+	fm, err := NewFileManager(bp)
+	if err != nil {
+		t.Fatalf("NewFileManager: %v", err)
+	}
+	st := NewObjectStore(bp, fm)
+	e, err := st.CreateExtent("things")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	oids := fillExtent(t, st, e, 120)
+	move := append([]OID(nil), oids[10:60]...)
+	if _, err := st.MigrateRecords(e, 0, move, nil, false); err != nil {
+		t.Fatalf("MigrateRecords: %v", err)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+
+	// Reopen: new pool, new file manager, new store — the in-memory
+	// forwarding map is gone; reads must resolve through the on-disk stubs
+	// and re-learn the map as they go.
+	bp2 := NewBufferPool(disk, 32)
+	fm2, err := OpenFileManager(bp2, fm.DirPage())
+	if err != nil {
+		t.Fatalf("OpenFileManager: %v", err)
+	}
+	st2 := NewObjectStore(bp2, fm2)
+	e2, err := st2.OpenExtent("things")
+	if err != nil {
+		t.Fatalf("OpenExtent: %v", err)
+	}
+	if _, ok := st2.Forwarded(move[0]); ok {
+		t.Fatalf("fresh store has a forwarding entry before any read")
+	}
+	checkAll(t, st2, e2, oids, nil)
+	if dst, ok := st2.Forwarded(move[0]); !ok {
+		t.Fatalf("stub resolution did not re-learn the forwarding entry")
+	} else if got, err := st2.Get(dst); err != nil || got == nil {
+		// The learned destination must itself resolve (relocation frame).
+		t.Fatalf("learned destination %s unreadable: %v", dst, err)
+	}
+}
+
+func TestMigrateOverflowRecordMovesHeadOnly(t *testing.T) {
+	st, _, disk := newTestStore(t, 32)
+	e, err := st.CreateExtent("blobs")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	big := bytes.Repeat([]byte("abcdefgh"), 3*disk.PageSize()/8) // 3 pages of chain
+	oidBig, err := st.InsertExtent(e, big)
+	if err != nil {
+		t.Fatalf("insert big: %v", err)
+	}
+	small, err := st.InsertExtent(e, []byte("small"))
+	if err != nil {
+		t.Fatalf("insert small: %v", err)
+	}
+	allocated := disk.NumPages()
+
+	if _, err := st.MigrateRecords(e, 0, []OID{oidBig, small}, nil, false); err != nil {
+		t.Fatalf("MigrateRecords: %v", err)
+	}
+	// Only the destination heap page is new: the overflow chain stayed put.
+	if got := disk.NumPages(); got != allocated+1 {
+		t.Fatalf("migration allocated %d pages, want 1 (overflow chain must not move)", got-allocated)
+	}
+	got, err := st.Get(oidBig)
+	if err != nil {
+		t.Fatalf("Get big after migration: %v", err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("big record corrupted by migration (%d bytes, want %d)", len(got), len(big))
+	}
+
+	// Update and delete still work through the relocation frame.
+	big2 := bytes.Repeat([]byte("ZYXWVUTS"), 2*disk.PageSize()/8)
+	if err := st.Update(oidBig, big2); err != nil {
+		t.Fatalf("Update big after migration: %v", err)
+	}
+	if got, _ := st.Get(oidBig); !bytes.Equal(got, big2) {
+		t.Fatalf("updated big record mismatch")
+	}
+	if err := st.Delete(oidBig); err != nil {
+		t.Fatalf("Delete big after migration: %v", err)
+	}
+	if _, err := st.Get(oidBig); err == nil {
+		t.Fatalf("Get after delete succeeded")
+	}
+	if got, _ := st.Get(small); !bytes.Equal(got, []byte("small")) {
+		t.Fatalf("small record lost")
+	}
+}
+
+func TestMigrateShardZeroBitCompatibility(t *testing.T) {
+	st, _, _ := newTestStore(t, 32)
+	e, err := st.CreateExtent("compat")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	oids := fillExtent(t, st, e, 50)
+	if _, err := st.MigrateRecords(e, 0, oids[:25], nil, false); err != nil {
+		t.Fatalf("MigrateRecords: %v", err)
+	}
+	for _, oid := range oids[:25] {
+		dst, ok := st.Forwarded(oid)
+		if !ok {
+			t.Fatalf("no forwarding entry for %s", oid)
+		}
+		// Shard-0 destinations must remain bit-identical to the unsharded
+		// layout: reconstructing the OID from coordinates reproduces it.
+		if dst.Shard() != 0 {
+			t.Fatalf("shard-0 migration minted shard %d destination %s", dst.Shard(), dst)
+		}
+		if rebuilt := MakeOID(dst.File(), dst.Page(), dst.Slot()); rebuilt != dst {
+			t.Fatalf("destination %s not bit-compatible: rebuilt %s", dst, rebuilt)
+		}
+	}
+}
+
+func TestShardedMigrateHonorsShardTags(t *testing.T) {
+	st, _, _ := newTestShardedStore(t, 4, 32)
+	e, err := st.CreateExtent("sharded")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	oids := fillExtent(t, st, e, 120)
+
+	// Migrate every shard's records on that shard, hottest-last order.
+	byShard := make([][]OID, st.Shards())
+	for _, oid := range oids {
+		byShard[oid.Shard()] = append(byShard[oid.Shard()], oid)
+	}
+	for part, group := range byShard {
+		if len(group) == 0 {
+			continue
+		}
+		if _, err := st.MigrateRecords(e, part, group, nil, false); err != nil {
+			t.Fatalf("shard %d: MigrateRecords: %v", part, err)
+		}
+		for _, oid := range group {
+			dst, ok := st.Shard(part).Forwarded(oid)
+			if !ok {
+				t.Fatalf("shard %d: no forwarding entry for %s", part, oid)
+			}
+			if dst.Shard() != part {
+				t.Fatalf("shard %d: destination %s lost its shard tag", part, dst)
+			}
+		}
+	}
+	checkAll(t, st, e, oids, nil)
+
+	// Routing a migration to the wrong part must fail, not corrupt.
+	if len(byShard[1]) > 0 {
+		if _, err := st.MigrateRecords(e, 0, byShard[1][:1], nil, false); err == nil {
+			t.Fatalf("migrating a shard-1 OID through part 0 succeeded")
+		}
+	}
+}
+
+func TestMigrateUpdateDeleteAndRemigrate(t *testing.T) {
+	st, _, _ := newTestStore(t, 32)
+	e, err := st.CreateExtent("mutate")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	oids := fillExtent(t, st, e, 90)
+	if _, err := st.MigrateRecords(e, 0, oids[:45], nil, false); err != nil {
+		t.Fatalf("first migration: %v", err)
+	}
+
+	// Update through the forward pointer: the new value must surface under
+	// the original OID in both Get and scans.
+	if err := st.Update(oids[0], []byte("fresh-value")); err != nil {
+		t.Fatalf("Update migrated record: %v", err)
+	}
+	if got, _ := st.Get(oids[0]); !bytes.Equal(got, []byte("fresh-value")) {
+		t.Fatalf("updated migrated record reads %q", got)
+	}
+	found := 0
+	if err := st.ScanExtent(e, func(oid OID, data []byte) bool {
+		if oid == oids[0] {
+			found++
+			if !bytes.Equal(data, []byte("fresh-value")) {
+				t.Fatalf("scan of updated migrated record = %q", data)
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if found != 1 {
+		t.Fatalf("updated migrated record surfaced %d times in scan", found)
+	}
+	if err := st.Update(oids[0], payload(0)); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	// Re-migrate the same records: chains must stay depth one (the original
+	// stub points directly at the newest home) and the intermediate copies
+	// must be gone.
+	firstDst := make(map[OID]OID)
+	for _, oid := range oids[:45] {
+		dst, _ := st.Forwarded(oid)
+		firstDst[oid] = dst
+	}
+	if _, err := st.MigrateRecords(e, 0, oids[:45], nil, false); err != nil {
+		t.Fatalf("second migration: %v", err)
+	}
+	for i, oid := range oids[:45] {
+		dst, ok := st.Forwarded(oid)
+		if !ok || dst == firstDst[oid] {
+			t.Fatalf("re-migration did not move %s (dst %s)", oid, dst)
+		}
+		// The intermediate slot is tombstoned; it may be legitimately reused
+		// by another record's copy (nothing references a destination OID),
+		// but the old payload must never surface there again.
+		if got, err := st.Get(firstDst[oid]); err == nil && bytes.Equal(got, payload(i)) {
+			t.Fatalf("intermediate copy of %s still serves its old payload at %s", oid, firstDst[oid])
+		}
+	}
+	checkAll(t, st, e, oids, nil)
+
+	// Delete a migrated record: both slots die.
+	dst0, _ := st.Forwarded(oids[0])
+	if err := st.Delete(oids[0]); err != nil {
+		t.Fatalf("Delete migrated: %v", err)
+	}
+	if _, err := st.Get(dst0); err == nil {
+		t.Fatalf("relocated copy survived delete")
+	}
+	checkAll(t, st, e, oids, map[OID]bool{oids[0]: true})
+
+	// The first migration's destination pages are now all tombstones;
+	// compaction reclaims them without disturbing anything live.
+	pages := e.NumPages()
+	freed, err := st.CompactExtent(e)
+	if err != nil {
+		t.Fatalf("CompactExtent: %v", err)
+	}
+	if freed == 0 {
+		t.Fatalf("compaction freed no pages (have %d)", pages)
+	}
+	if e.NumPages() != pages-freed {
+		t.Fatalf("NumPages = %d after freeing %d of %d", e.NumPages(), freed, pages)
+	}
+	checkAll(t, st, e, oids, map[OID]bool{oids[0]: true})
+
+	// Inserts keep working into the compacted chain.
+	noid, err := st.InsertExtent(e, payload(0))
+	if err != nil {
+		t.Fatalf("insert after compaction: %v", err)
+	}
+	if got, _ := st.Get(noid); !bytes.Equal(got, payload(0)) {
+		t.Fatalf("insert after compaction reads %q", got)
+	}
+}
+
+func TestExtentNextPartRoundRobin(t *testing.T) {
+	st, _, _ := newTestShardedStore(t, 3, 16)
+	e, err := st.CreateExtent("rr")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	// nextPart must rotate 0,1,2,0,1,2,... — placement is rotation, not
+	// hashing, so part cardinalities stay within one record of each other.
+	for i := 0; i < 9; i++ {
+		if got, want := e.nextPart(), i%3; got != want {
+			t.Fatalf("nextPart call %d = %d, want %d", i, got, want)
+		}
+	}
+
+	e2, err := st.CreateExtent("rr2")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := st.InsertExtent(e2, payload(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	min, max := 1<<30, 0
+	counts := make([]int, e2.Parts())
+	for part := range counts {
+		f, err := st.Shard(part).Files().OpenFile("rr2")
+		if err != nil {
+			t.Fatalf("open part %d: %v", part, err)
+		}
+		counts[part] = f.NumRecords()
+		if counts[part] < min {
+			min = counts[part]
+		}
+		if counts[part] > max {
+			max = counts[part]
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("round-robin imbalance: part cardinalities %v", counts)
+	}
+
+	// PartPages reports per-part page counts consistent with the files.
+	pp := e2.PartPages()
+	if len(pp) != e2.Parts() {
+		t.Fatalf("PartPages returned %d entries, want %d", len(pp), e2.Parts())
+	}
+	total := 0
+	for part, n := range pp {
+		f, _ := st.Shard(part).Files().OpenFile("rr2")
+		if n != f.NumPages() {
+			t.Fatalf("PartPages[%d] = %d, file has %d", part, n, f.NumPages())
+		}
+		total += n
+	}
+	if total != e2.NumPages() {
+		t.Fatalf("PartPages sum %d != NumPages %d", total, e2.NumPages())
+	}
+
+	// A single-part extent always routes to part 0.
+	sst, _, _ := newTestStore(t, 8)
+	se, err := sst.CreateExtent("solo")
+	if err != nil {
+		t.Fatalf("CreateExtent: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if got := se.nextPart(); got != 0 {
+			t.Fatalf("single-part nextPart = %d", got)
+		}
+	}
+}

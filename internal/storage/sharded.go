@@ -190,6 +190,38 @@ func (s *ShardedStore) SetInvalidator(inv CacheInvalidator) {
 	}
 }
 
+// SetBatchObserver installs the clustering observation hook on every shard;
+// each shard reports under its own id, so the tracer's stripes never
+// contend across shards.
+func (s *ShardedStore) SetBatchObserver(obs BatchObserver) {
+	for _, st := range s.shards {
+		st.SetBatchObserver(obs)
+	}
+}
+
+// MigrateRecords delegates the migration to the store owning the part; part
+// and shard coincide by construction, and the inner store re-validates that
+// every OID routes there.
+func (s *ShardedStore) MigrateRecords(e *Extent, part int, oids []OID, logPage PageLogger, cont bool) (int, error) {
+	if part < 0 || part >= len(s.shards) {
+		return 0, fmt.Errorf("storage: migrate: part %d out of range [0,%d)", part, len(s.shards))
+	}
+	return s.shards[part].MigrateRecords(e, part, oids, logPage, cont)
+}
+
+// CompactExtent compacts every shard's part of the extent.
+func (s *ShardedStore) CompactExtent(e *Extent) (int, error) {
+	freed := 0
+	for i, st := range s.shards {
+		n, err := st.compactFile(e.parts[i])
+		freed += n
+		if err != nil {
+			return freed, err
+		}
+	}
+	return freed, nil
+}
+
 // ReadCount sums the simulated page reads across every shard's disk.
 func (s *ShardedStore) ReadCount() int64 {
 	var n int64

@@ -37,6 +37,15 @@ type ObjectStore struct {
 	// with a zero tag — OIDs are bit-identical to the unsharded layout.
 	shard int
 	tag   OID
+	// fwd maps a migrated record's original OID to its current physical
+	// address (see migrate.go). Warm readers jump straight to the
+	// destination; after a reopen the map is re-learned lazily from the
+	// on-disk forward stubs.
+	fwd sync.Map
+	// batchObs, when set, receives one (file, refs, distinct pages)
+	// observation per file-run of a FetchBatch call — the clustering
+	// tracer's page co-residency feed. Installed once at open time.
+	batchObs BatchObserver
 }
 
 // NewObjectStore creates a store over the given pool and file manager.
@@ -128,37 +137,55 @@ func (s *ObjectStore) Get(oid OID) ([]byte, error) {
 }
 
 func (s *ObjectStore) getLocked(oid OID) ([]byte, error) {
-	pg, err := s.bp.Fetch(oid.Page())
-	if err != nil {
-		return nil, err
-	}
-	rec, gerr := pg.Get(oid.Slot())
-	if gerr != nil {
-		s.bp.Unpin(oid.Page(), false)
-		return nil, gerr
-	}
-	switch rec[0] {
-	case recPlain:
-		out := make([]byte, len(rec)-1)
-		copy(out, rec[1:])
-		if err := s.bp.Unpin(oid.Page(), false); err != nil {
+	cur := s.forwardOf(oid)
+	for hops := 0; hops < maxForwardHops; hops++ {
+		pg, err := s.bp.Fetch(cur.Page())
+		if err != nil {
 			return nil, err
 		}
-		return out, nil
-	case recOverflow:
-		total := binary.LittleEndian.Uint32(rec[1:])
-		first := PageID(binary.LittleEndian.Uint32(rec[5:]))
-		if err := s.bp.Unpin(oid.Page(), false); err != nil {
-			return nil, err
+		rec, gerr := pg.Get(cur.Slot())
+		if gerr != nil {
+			s.bp.Unpin(cur.Page(), false)
+			return nil, gerr
 		}
-		return s.readOverflow(first, int(total))
-	default:
-		s.bp.Unpin(oid.Page(), false)
-		return nil, fmt.Errorf("storage: corrupt record tag %d at %s", rec[0], oid)
+		if rec[0] == recForward {
+			dst := forwardDst(rec)
+			if err := s.bp.Unpin(cur.Page(), false); err != nil {
+				return nil, err
+			}
+			s.learnForward(oid, dst)
+			cur = dst
+			continue
+		}
+		if rec[0] == recRelocated {
+			rec = rec[relocHeadSize:]
+		}
+		switch rec[0] {
+		case recPlain:
+			out := make([]byte, len(rec)-1)
+			copy(out, rec[1:])
+			if err := s.bp.Unpin(cur.Page(), false); err != nil {
+				return nil, err
+			}
+			return out, nil
+		case recOverflow:
+			total := binary.LittleEndian.Uint32(rec[1:])
+			first := PageID(binary.LittleEndian.Uint32(rec[5:]))
+			if err := s.bp.Unpin(cur.Page(), false); err != nil {
+				return nil, err
+			}
+			return s.readOverflow(first, int(total))
+		default:
+			s.bp.Unpin(cur.Page(), false)
+			return nil, fmt.Errorf("storage: corrupt record tag %d at %s", rec[0], cur)
+		}
 	}
+	return nil, fmt.Errorf("storage: forwarding chain too deep at %s", oid)
 }
 
 // Update replaces the record addressed by oid with data; the OID is stable.
+// A migrated record is updated in place at its current physical home, with
+// the relocation frame (and therefore its scan identity) preserved.
 func (s *ObjectStore) Update(oid OID, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -167,21 +194,45 @@ func (s *ObjectStore) Update(oid OID, data []byte) error {
 	// value for this OID is dropped before they can look again, and the
 	// epoch bump kills in-flight fetches that read the old bytes.
 	defer s.invalidate(oid)
-	pg, err := s.bp.Fetch(oid.Page())
+	cur, err := s.locateLocked(oid)
 	if err != nil {
 		return err
 	}
-	old, gerr := pg.Get(oid.Slot())
+	pg, err := s.bp.Fetch(cur.Page())
+	if err != nil {
+		return err
+	}
+	old, gerr := pg.Get(cur.Slot())
 	if gerr != nil {
-		s.bp.Unpin(oid.Page(), false)
+		s.bp.Unpin(cur.Page(), false)
 		return gerr
 	}
+	framed := old[0] == recRelocated
+	oldInner := old
+	if framed {
+		oldInner = old[relocHeadSize:]
+	}
 	var oldOverflow PageID
-	if old[0] == recOverflow {
-		oldOverflow = PageID(binary.LittleEndian.Uint32(old[5:]))
+	if oldInner[0] == recOverflow {
+		oldOverflow = PageID(binary.LittleEndian.Uint32(oldInner[5:]))
+	}
+	// wrap re-frames an inner record for a relocated slot so scans keep
+	// surfacing it under its original OID.
+	wrap := func(rec []byte) []byte {
+		if !framed {
+			return rec
+		}
+		out := make([]byte, relocHeadSize+len(rec))
+		out[0] = recRelocated
+		binary.LittleEndian.PutUint64(out[1:], uint64(oid))
+		copy(out[relocHeadSize:], rec)
+		return out
 	}
 
 	maxInline := MaxRecordSize(s.bp.Disk().PageSize()) - 1
+	if framed {
+		maxInline -= relocHeadSize
+	}
 	var rec []byte
 	var newOverflow PageID
 	if len(data) <= maxInline {
@@ -191,7 +242,7 @@ func (s *ObjectStore) Update(oid OID, data []byte) error {
 	} else {
 		first, oerr := s.writeOverflow(data)
 		if oerr != nil {
-			s.bp.Unpin(oid.Page(), false)
+			s.bp.Unpin(cur.Page(), false)
 			return oerr
 		}
 		newOverflow = first
@@ -201,7 +252,7 @@ func (s *ObjectStore) Update(oid OID, data []byte) error {
 		binary.LittleEndian.PutUint32(rec[5:], uint32(first))
 	}
 
-	uerr := pg.Update(oid.Slot(), rec)
+	uerr := pg.Update(cur.Slot(), wrap(rec))
 	if uerr == ErrPageFull && rec[0] == recPlain {
 		// Spill to overflow: the 9-byte head replaces the old record.
 		first, oerr := s.writeOverflow(data)
@@ -211,12 +262,12 @@ func (s *ObjectStore) Update(oid OID, data []byte) error {
 			head[0] = recOverflow
 			binary.LittleEndian.PutUint32(head[1:], uint32(len(data)))
 			binary.LittleEndian.PutUint32(head[5:], uint32(first))
-			uerr = pg.Update(oid.Slot(), head)
+			uerr = pg.Update(cur.Slot(), wrap(head))
 		} else {
 			uerr = oerr
 		}
 	}
-	if err := s.bp.Unpin(oid.Page(), uerr == nil); err != nil {
+	if err := s.bp.Unpin(cur.Page(), uerr == nil); err != nil {
 		return err
 	}
 	if uerr != nil {
@@ -231,30 +282,56 @@ func (s *ObjectStore) Update(oid OID, data []byte) error {
 	return nil
 }
 
-// Delete removes the record addressed by oid.
+// Delete removes the record addressed by oid. Deleting a migrated record
+// removes both the relocated copy and the forward stub at the original
+// slot, so neither dangles (a later slot reuse at either position mints a
+// fresh identity, never resurrects the old one).
 func (s *ObjectStore) Delete(oid OID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.invalidate(oid)
-	pg, err := s.bp.Fetch(oid.Page())
+	cur, err := s.locateLocked(oid)
 	if err != nil {
 		return err
 	}
-	rec, gerr := pg.Get(oid.Slot())
+	pg, err := s.bp.Fetch(cur.Page())
+	if err != nil {
+		return err
+	}
+	rec, gerr := pg.Get(cur.Slot())
 	if gerr != nil {
-		s.bp.Unpin(oid.Page(), false)
+		s.bp.Unpin(cur.Page(), false)
 		return gerr
 	}
-	var overflow PageID
-	if rec[0] == recOverflow {
-		overflow = PageID(binary.LittleEndian.Uint32(rec[5:]))
+	inner := rec
+	if rec[0] == recRelocated {
+		inner = rec[relocHeadSize:]
 	}
-	derr := pg.Delete(oid.Slot())
-	if err := s.bp.Unpin(oid.Page(), derr == nil); err != nil {
+	var overflow PageID
+	if inner[0] == recOverflow {
+		overflow = PageID(binary.LittleEndian.Uint32(inner[5:]))
+	}
+	derr := pg.Delete(cur.Slot())
+	if err := s.bp.Unpin(cur.Page(), derr == nil); err != nil {
 		return err
 	}
 	if derr != nil {
 		return derr
+	}
+	if cur != oid {
+		// Tombstone the forward stub at the record's original slot too.
+		spg, err := s.bp.Fetch(oid.Page())
+		if err != nil {
+			return err
+		}
+		serr := spg.Delete(oid.Slot())
+		if err := s.bp.Unpin(oid.Page(), serr == nil); err != nil {
+			return err
+		}
+		if serr != nil {
+			return serr
+		}
+		s.fwd.Delete(oid)
 	}
 	if overflow != 0 {
 		if err := s.freeOverflow(overflow); err != nil {
@@ -338,6 +415,16 @@ func (s *ObjectStore) ScanPage(f *File, pid PageID) ([]ScanRecord, PageID, error
 	pg.Slots(func(slot SlotID, rec []byte) bool {
 		oid := MakeOID(f.ID, pid, slot) | s.tag
 		switch rec[0] {
+		case recForward:
+			// Migrated away: the record surfaces at its destination page,
+			// under its original OID, via the relocation frame there.
+			s.learnForward(oid, forwardDst(rec))
+			return true
+		case recRelocated:
+			oid = relocOrig(rec)
+			rec = rec[relocHeadSize:]
+		}
+		switch rec[0] {
 		case recPlain:
 			cp := make([]byte, len(rec)-1)
 			copy(cp, rec[1:])
@@ -396,6 +483,14 @@ func (s *ObjectStore) ScanPageRecs(f *File, pid PageID, readahead bool, scratch 
 	}
 	pg.Slots(func(slot SlotID, rec []byte) bool {
 		oid := MakeOID(f.ID, pid, slot) | s.tag
+		switch rec[0] {
+		case recForward:
+			s.learnForward(oid, forwardDst(rec))
+			return true
+		case recRelocated:
+			oid = relocOrig(rec)
+			rec = rec[relocHeadSize:]
+		}
 		switch rec[0] {
 		case recPlain:
 			scratch = append(scratch, ScanRecord{oid, rec[1:]})
