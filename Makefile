@@ -51,6 +51,15 @@
 #                        (tracer stripes, migration + compaction, the
 #                        reorganize-vs-reader/writer torture, the
 #                        mid-migration crashtest mode)
+#   make bench-commit    regenerate BENCH_commit.json (group-commit sweep:
+#                        mixed read/write sessions at 1/8/32 over a 1ms
+#                        simulated fsync, off vs on, commits/sec + p50/p99,
+#                        plus the snapshot lock-freedom and plan-cache
+#                        hit-rate phases; the sweep enforces its >=3x floor
+#                        itself) plus the warm-plan allocation benchmarks
+#   make commit-race     the commit pipeline under the race detector (group
+#                        commit, MVCC snapshots, plan cache, the
+#                        crash-during-group-commit torture, the sweep)
 #   make fuzz-expr       bounded 30s fuzz of expr.Compile against the
 #                        interpreter (corpus seeds under
 #                        internal/expr/testdata/fuzz)
@@ -62,8 +71,8 @@ FUZZ_EXPR_TIME ?= 30s
 
 .PHONY: build test race vet crashtest bench-baseline bench-parallel \
 	bench-exec bench-cache bench-vector bench-shard bench-cluster \
-	exec-race parallel-race cache-race vector-race shard-race \
-	cluster-race fuzz-expr ci
+	bench-commit exec-race parallel-race cache-race vector-race shard-race \
+	cluster-race commit-race fuzz-expr ci
 
 build:
 	$(GO) build ./...
@@ -78,7 +87,7 @@ vet:
 	$(GO) vet ./...
 
 crashtest:
-	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic|TestShardedTorture|TestRunShardedIsDeterministic|TestRunClusterIsDeterministic' ./internal/crashtest
+	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic|TestShardedTorture|TestRunShardedIsDeterministic|TestRunClusterIsDeterministic|TestGroupCommitCrashTorture|TestRunGroupFaultFree|TestRunGroupIsDeterministic' ./internal/crashtest
 
 bench-baseline:
 	$(GO) run ./cmd/moodbench -bench-json BENCH_baseline.json
@@ -128,7 +137,15 @@ cluster-race:
 	$(GO) test -race -run 'Cluster|Migrate|Reorganize|Forward' \
 		./internal/storage ./internal/kernel ./internal/crashtest ./internal/experiments
 
+bench-commit:
+	$(GO) run ./cmd/moodbench -commit-json BENCH_commit.json
+	$(GO) test -bench 'BenchmarkPreparedQueryWarm|BenchmarkExecuteCold' -benchmem -run '^$$' ./internal/kernel
+
+commit-race:
+	$(GO) test -race -run 'GroupCommit|RunGroup|Snapshot|PlanCache|Prepared|MeasureCommit' \
+		./internal/wal ./internal/kernel ./internal/crashtest ./internal/experiments
+
 fuzz-expr:
 	$(GO) test -fuzz FuzzCompile -fuzztime $(FUZZ_EXPR_TIME) -run '^FuzzCompile$$' ./internal/expr
 
-ci: build vet test race exec-race parallel-race cache-race vector-race shard-race cluster-race fuzz-expr bench-vector bench-shard bench-cluster crashtest
+ci: build vet test race exec-race parallel-race cache-race vector-race shard-race cluster-race commit-race fuzz-expr bench-vector bench-shard bench-cluster bench-commit crashtest

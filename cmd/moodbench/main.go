@@ -8,7 +8,7 @@
 // Artifacts: table1, table2, tables3to7, table8, table9, table10,
 // tables11and12, tables13to15, table16, table17, example81, example82,
 // figure71, figure72, joinsweep, pathorder, selectivity, indexrule,
-// parallel, cache, vector, shard, cluster.
+// parallel, cache, vector, shard, cluster, commit.
 package main
 
 import (
@@ -67,6 +67,7 @@ func artifacts() []artifact {
 		{"vector", "vectorized execution vs row-at-a-time, compiled predicates", experiments.VectorSweep},
 		{"shard", "sharded-store scaling, shards=1/2/4", experiments.ShardScaling},
 		{"cluster", "reference clustering, scattered vs reorganized cold traversal", experiments.ClusterSweep},
+		{"commit", "group-commit throughput, sessions=1/8/32 + snapshot/plan-cache phases", experiments.CommitThroughput},
 	}
 }
 
@@ -189,6 +190,27 @@ func writeClusterJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// writeCommitJSON runs the commit-pipeline sweep of experiments.MeasureCommit
+// (mixed read/write sessions at 1/8/32, group commit off/on over a 1ms
+// simulated fsync, plus the snapshot lock-freedom and plan-cache hit-rate
+// phases) and writes the result as JSON. Txn/read/force counts and the two
+// phase verdicts are deterministic; the wall-clock columns (wall_ms,
+// commits_per_sec, the percentiles, the speedups) are real measurements and
+// vary run to run. The sweep enforces its acceptance floors itself — it
+// errors rather than writing a file that fails them. The sweep builds its
+// own extents, so -scale is ignored.
+func writeCommitJSON(path string) error {
+	res, err := experiments.MeasureCommit(0)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.1, "database scale relative to the paper's Table 13 (1.0 = 20000 vehicles, 200000 companies)")
 	only := flag.String("only", "", "run a single artifact (see -list)")
@@ -199,6 +221,7 @@ func main() {
 	vectorJSON := flag.String("vector-json", "", "write the vectorized-execution sweep (row/vector/vector-parallel) to this file and exit")
 	shardJSON := flag.String("shard-json", "", "write the sharded-store sweep (shards=1/2/4, queries + commit throughput) to this file and exit")
 	clusterJSON := flag.String("cluster-json", "", "write the clustering protocol (scattered vs reorganized cold traversal) to this file and exit")
+	commitJSON := flag.String("commit-json", "", "write the group-commit sweep (sessions=1/8/32, off/on, p50/p99 + snapshot/plan-cache phases) to this file and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
 
@@ -263,6 +286,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *clusterJSON)
+		return
+	}
+	if *commitJSON != "" {
+		if err := writeCommitJSON(*commitJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "commit-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *commitJSON)
 		return
 	}
 

@@ -7,6 +7,9 @@
 // enable the clustering tracer at sampling rate N (1 = record every
 // traversal; EXPLAIN ANALYZE then shows clustered= locality counters and
 // \reorganize applies the learned placements online).
+// Run with -plancache to cache optimized SELECT plans per statement shape
+// (repeats skip parse+optimize; EXPLAIN ANALYZE shows plancache= counters)
+// and -groupcommit to batch concurrent WAL commit forces.
 // Shell commands:
 //
 //	\schema            show the class hierarchy and extents
@@ -15,8 +18,16 @@
 //	\demo              load the paper's vehicle schema with sample data
 //	\stats             show simulated-disk statistics
 //	\reorganize        cluster traced traversals physically (-cluster N)
+//	\begin [readonly]  start a transaction (readonly = lock-free snapshot)
+//	\commit            commit the open transaction (or close the snapshot)
+//	\abort             roll the open transaction back
 //	\history           list this session's statements
 //	\quit              exit
+//
+// Inside \begin, NEW/UPDATE/DELETE are transactional (undone by \abort,
+// durable at \commit) and DDL is rejected. Inside \begin readonly, only
+// SELECT is allowed; every query sees the database exactly as of the
+// \begin, acquires no locks, and never blocks a concurrent writer.
 package main
 
 import (
@@ -41,6 +52,8 @@ func main() {
 	prefetch := flag.Int("prefetch", 0, "buffer-pool readahead workers (0 = disabled)")
 	shards := flag.Int("shards", 0, "partition class extents across N independent object stores (0 or 1 = single store)")
 	clusterEvery := flag.Int("cluster", 0, "clustering tracer sampling rate: record every N-th traversal (0 = off, 1 = all); enables \\reorganize")
+	planCache := flag.Bool("plancache", false, "cache optimized SELECT plans per statement shape (repeats skip parse+optimize)")
+	groupCommit := flag.Bool("groupcommit", false, "batch concurrent WAL commit forces behind one leader fsync per window")
 	flag.Parse()
 	opts := kernel.DefaultOptions()
 	opts.Parallelism = *parallelism
@@ -48,12 +61,15 @@ func main() {
 	opts.PrefetchWorkers = *prefetch
 	opts.ShardCount = *shards
 	opts.ClusterSampleEvery = *clusterEvery
+	opts.PlanCache = *planCache
+	opts.GroupCommit = *groupCommit
 	db, err := kernel.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	qm := view.NewQueryManager(db)
+	sess := &session{db: db, qm: qm}
 	fmt.Println("MOOD - METU Object-Oriented DBMS (Go reproduction)")
 	fmt.Println(`type MOODSQL ending with ';', or \demo, \schema, \quit`)
 
@@ -72,7 +88,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !shellCommand(db, qm, trimmed) {
+			if !shellCommand(sess, trimmed) {
 				return
 			}
 			prompt()
@@ -83,7 +99,7 @@ func main() {
 		if strings.Contains(line, ";") {
 			stmt := pending.String()
 			pending.Reset()
-			res, err := qm.Run(stmt)
+			res, err := sess.run(stmt)
 			if err != nil {
 				fmt.Println("error:", err)
 			} else if res != nil {
@@ -112,12 +128,80 @@ func multilineMessage(res *kernel.Result) (string, bool) {
 	return "", false
 }
 
+// session is one shell session's transaction state: at most one of tx
+// (read-write, strict 2PL) or snap (read-only, lock-free snapshot) is open.
+type session struct {
+	db   *kernel.DB
+	qm   *view.QueryManager
+	tx   *kernel.Tx
+	snap *kernel.Snapshot
+}
+
+// run routes a statement through the session's open transaction, if any.
+func (s *session) run(stmt string) (*kernel.Result, error) {
+	switch {
+	case s.snap != nil:
+		return s.snap.Query(stmt)
+	case s.tx != nil:
+		return s.db.ExecuteInTx(s.tx, stmt)
+	default:
+		return s.qm.Run(stmt)
+	}
+}
+
 // shellCommand handles backslash commands; returns false to quit.
-func shellCommand(db *kernel.DB, qm *view.QueryManager, cmd string) bool {
+func shellCommand(s *session, cmd string) bool {
+	db, qm := s.db, s.qm
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case `\quit`, `\q`:
 		return false
+	case `\begin`:
+		if s.tx != nil || s.snap != nil {
+			fmt.Println("a transaction is already open; \\commit or \\abort it first")
+			break
+		}
+		if len(fields) > 1 && strings.EqualFold(fields[1], "readonly") {
+			s.snap = db.BeginSnapshot()
+			fmt.Println("snapshot transaction begun (read-only, lock-free)")
+		} else {
+			s.tx = db.Begin()
+			fmt.Println("transaction begun")
+		}
+	case `\commit`:
+		switch {
+		case s.snap != nil:
+			s.snap.Close()
+			s.snap = nil
+			fmt.Println("snapshot closed")
+		case s.tx != nil:
+			err := s.tx.Commit()
+			s.tx = nil
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println("committed")
+		default:
+			fmt.Println("no open transaction")
+		}
+	case `\abort`:
+		switch {
+		case s.snap != nil:
+			s.snap.Close()
+			s.snap = nil
+			fmt.Println("snapshot closed")
+		case s.tx != nil:
+			err := s.tx.Abort()
+			s.tx = nil
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println("aborted")
+		default:
+			fmt.Println("no open transaction")
+		}
 	case `\schema`:
 		fmt.Print(view.SchemaOverview(db))
 	case `\catalog`:

@@ -192,6 +192,11 @@ type Analysis struct {
 	// are measured over the same post-quiesce window, so the invariant
 	// TotalPages == Σ ShardPages holds exactly.
 	ShardPages []int64
+	// Plan-cache counters (lifetime totals of the session's cache, not
+	// per-query): rendered as plancache=hits/misses when the cache is on.
+	PlanCacheEnabled bool
+	PlanCacheHits    int64
+	PlanCacheMisses  int64
 }
 
 // ExecuteAnalyzed runs a plan through the streaming pipeline with
@@ -359,6 +364,9 @@ func (a *Analysis) Render() string {
 	}
 	if a.ClusterEnabled {
 		fmt.Fprintf(&sb, " clustered=%d/%d", a.ClusterRefs, a.ClusterPages)
+	}
+	if a.PlanCacheEnabled {
+		fmt.Fprintf(&sb, " plancache=%d/%d", a.PlanCacheHits, a.PlanCacheMisses)
 	}
 	fmt.Fprintf(&sb, " time=%s\n", fmtDur(a.TotalTime))
 	return sb.String()

@@ -1,0 +1,443 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"mood/internal/kernel"
+	"mood/internal/object"
+	"mood/internal/storage"
+)
+
+// CommitSessionCounts is the session sweep measured by MeasureCommit.
+var CommitSessionCounts = []int{1, 8, 32}
+
+const (
+	// commitTxnsPerSession bounds the sweep's wall time: the ungrouped
+	// 32-session point serializes all its forces through one 1ms fsync.
+	commitTxnsPerSession = 12
+	// commitGroupFloor is the acceptance threshold: group commit must buy at
+	// least this factor in commits/sec at the widest session count.
+	commitGroupFloor = 3.0
+)
+
+// CommitEntry is one measured (sessions, group-commit) configuration of the
+// mixed read/write workload. Txns and Reads are fixed by construction; the
+// wall-clock columns vary run to run.
+type CommitEntry struct {
+	Sessions      int     `json:"sessions"`
+	Group         bool    `json:"group_commit"`
+	Txns          int     `json:"txns"`
+	Reads         int     `json:"reads"`
+	Forces        int64   `json:"log_forces"`
+	WallMs        float64 `json:"wall_ms"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	P50Ms         float64 `json:"commit_p50_ms"`
+	P99Ms         float64 `json:"commit_p99_ms"`
+	// Speedup compares against the ungrouped entry at the same session
+	// count (1.0 for the ungrouped entries themselves).
+	Speedup float64 `json:"speedup_vs_ungrouped"`
+}
+
+// CommitSnapshotPhase records the lock-freedom check: snapshot readers scan
+// while a writer streams committed updates through the group-commit log.
+type CommitSnapshotPhase struct {
+	WriterCommits int   `json:"writer_commits"`
+	ReaderScans   int   `json:"reader_scans"`
+	LockWaits     int64 `json:"lock_waits"`
+	Stable        bool  `json:"fingerprint_stable"`
+}
+
+// CommitPlanCachePhase records the prepared-plan check: one statement shape
+// executed with varying constants must miss once and hit thereafter.
+type CommitPlanCachePhase struct {
+	Statements int     `json:"statements"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// BenchCommit is the JSON artifact written by moodbench -commit-json.
+type BenchCommit struct {
+	SyncDelayMs     float64              `json:"sync_delay_ms"`
+	TxnsPerSession  int                  `json:"txns_per_session"`
+	Entries         []CommitEntry        `json:"entries"`
+	GroupSpeedupN32 float64              `json:"group_speedup_sessions_32"`
+	Snapshot        CommitSnapshotPhase  `json:"snapshot"`
+	PlanCache       CommitPlanCachePhase `json:"plan_cache"`
+}
+
+func commitBenchOptions(group bool) kernel.Options {
+	opts := kernel.DefaultOptions()
+	// Single store on purpose: the sweep isolates what group commit buys on
+	// ONE fsync stream (the sharded sweep measures what N streams buy).
+	opts.ShardCount = 1
+	opts.BufferFrames = 2048
+	opts.GroupCommit = group
+	return opts
+}
+
+func percentileMs(samples []time.Duration, p int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return round3(float64(sorted[idx]) / float64(time.Millisecond))
+}
+
+// measureCommitSessions drives the mixed workload at one configuration:
+// `sessions` goroutines each run commitTxnsPerSession read-modify-write
+// transactions (create, read back, update, commit) and, between them,
+// lock-free snapshot reads of a shared hot object. Commit latency is the
+// wall time of tx.Commit — the force wait — sampled per transaction.
+func measureCommitSessions(sessions int, group bool, syncDelay time.Duration) (CommitEntry, error) {
+	db, err := kernel.Open(commitBenchOptions(group))
+	if err != nil {
+		return CommitEntry{}, err
+	}
+	defer db.Close()
+	if err := defineShardBenchSchema(db.Cat); err != nil {
+		return CommitEntry{}, err
+	}
+	setup := db.Begin()
+	hot, err := setup.Create("BenchOwner", shardOwnerTuple(0))
+	if err != nil {
+		return CommitEntry{}, err
+	}
+	if err := setup.Commit(); err != nil {
+		return CommitEntry{}, err
+	}
+	for _, sh := range db.Shards {
+		sh.Log.SetSyncDelay(syncDelay)
+	}
+	forces0 := db.Shards[0].Log.FlushCount()
+
+	latencies := make([][]time.Duration, sessions)
+	reads := make([]int, sessions)
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			latencies[s] = make([]time.Duration, 0, commitTxnsPerSession)
+			for i := 0; i < commitTxnsPerSession; i++ {
+				// The read half of the mix: a snapshot get of the hot object,
+				// lock-free against every concurrent writer.
+				snap := db.BeginSnapshot()
+				if _, _, err := snap.Get(hot); err != nil {
+					snap.Close()
+					errs <- err
+					return
+				}
+				snap.Close()
+				reads[s]++
+				// The write half: create, read back, update, commit.
+				tx := db.Begin()
+				oid, err := tx.Create("BenchOwner", shardOwnerTuple(s*commitTxnsPerSession+i+1))
+				if err != nil {
+					errs <- err
+					return
+				}
+				v, _, err := tx.Get(oid)
+				if err != nil {
+					errs <- err
+					return
+				}
+				v = v.Clone()
+				v.SetField("tag", object.NewInt(int32(shardIntBase+i)))
+				if err := tx.Update(oid, v); err != nil {
+					errs <- err
+					return
+				}
+				t0 := time.Now()
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+				latencies[s] = append(latencies[s], time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return CommitEntry{}, err
+	}
+
+	var all []time.Duration
+	totalReads := 0
+	for s := range latencies {
+		all = append(all, latencies[s]...)
+		totalReads += reads[s]
+	}
+	e := CommitEntry{
+		Sessions: sessions,
+		Group:    group,
+		Txns:     sessions * commitTxnsPerSession,
+		Reads:    totalReads,
+		Forces:   db.Shards[0].Log.FlushCount() - forces0,
+		WallMs:   round3(float64(wall) / float64(time.Millisecond)),
+		P50Ms:    percentileMs(all, 50),
+		P99Ms:    percentileMs(all, 99),
+	}
+	if wall > 0 {
+		e.CommitsPerSec = round3(float64(e.Txns) / wall.Seconds())
+	}
+	return e, nil
+}
+
+// commitSnapshotPhase streams committed updates through a group-commit
+// kernel while snapshot readers scan: every scan must fingerprint identical
+// to the snapshot-begin state and the lock manager's wait counter must stay
+// exactly flat, then a fresh snapshot must agree with a plain 2PL read.
+func commitSnapshotPhase() (CommitSnapshotPhase, error) {
+	var ph CommitSnapshotPhase
+	db, err := kernel.Open(commitBenchOptions(true))
+	if err != nil {
+		return ph, err
+	}
+	defer db.Close()
+	if err := defineShardBenchSchema(db.Cat); err != nil {
+		return ph, err
+	}
+	const n = 50
+	oids := make([]storage.OID, n)
+	setup := db.Begin()
+	for i := range oids {
+		if oids[i], err = setup.Create("BenchOwner", shardOwnerTuple(i)); err != nil {
+			return ph, err
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		return ph, err
+	}
+
+	const q = "SELECT o.name, o.tag FROM BenchOwner o"
+	snap := db.BeginSnapshot()
+	defer snap.Close()
+	baseline, err := snap.Query(q)
+	if err != nil {
+		return ph, err
+	}
+	want := commitFingerprint(baseline)
+	_, waits0, _ := db.Locks.Stats()
+
+	var wg sync.WaitGroup
+	writerErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 6; round++ {
+			tx := db.Begin()
+			for i := round; i < n; i += 5 {
+				v, _, err := tx.Get(oids[i])
+				if err != nil {
+					writerErr <- err
+					return
+				}
+				v = v.Clone()
+				v.SetField("tag", object.NewInt(int32(shardIntBase+100*round)))
+				if err := tx.Update(oids[i], v); err != nil {
+					writerErr <- err
+					return
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				writerErr <- err
+				return
+			}
+			ph.WriterCommits++
+		}
+	}()
+
+	ph.Stable = true
+	for scan := 0; scan < 20; scan++ {
+		res, err := snap.Query(q)
+		if err != nil {
+			return ph, err
+		}
+		ph.ReaderScans++
+		if commitFingerprint(res) != want {
+			ph.Stable = false
+		}
+	}
+	wg.Wait()
+	close(writerErr)
+	for err := range writerErr {
+		return ph, err
+	}
+	_, waits1, _ := db.Locks.Stats()
+	ph.LockWaits = waits1 - waits0
+
+	// Differential oracle: after the writer, a fresh snapshot and a 2PL
+	// read must agree on the final state.
+	fresh := db.BeginSnapshot()
+	defer fresh.Close()
+	freshRes, err := fresh.Query(q)
+	if err != nil {
+		return ph, err
+	}
+	res2pl, err := db.Execute(q)
+	if err != nil {
+		return ph, err
+	}
+	if commitFingerprint(freshRes) != commitFingerprint(res2pl) {
+		ph.Stable = false
+	}
+	return ph, nil
+}
+
+func commitFingerprint(res *kernel.Result) string {
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		s := ""
+		for _, v := range row {
+			s += v.String() + "|"
+		}
+		lines[i] = s
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// commitPlanCachePhase executes one statement shape with varying constants
+// through a plan-cache kernel: the shape must be optimized exactly once.
+func commitPlanCachePhase() (CommitPlanCachePhase, error) {
+	var ph CommitPlanCachePhase
+	opts := commitBenchOptions(true)
+	opts.PlanCache = true
+	db, err := kernel.Open(opts)
+	if err != nil {
+		return ph, err
+	}
+	defer db.Close()
+	if err := defineShardBenchSchema(db.Cat); err != nil {
+		return ph, err
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Cat.CreateObject("BenchOwner", shardOwnerTuple(i)); err != nil {
+			return ph, err
+		}
+	}
+	if err := db.RefreshStats(); err != nil {
+		return ph, err
+	}
+
+	const statements = 60
+	for i := 0; i < statements; i++ {
+		q := fmt.Sprintf("SELECT o.name FROM BenchOwner o WHERE o.tag = %d", shardIntBase+i%50)
+		if _, err := db.Execute(q); err != nil {
+			return ph, err
+		}
+	}
+	ph.Statements = statements
+	ph.Hits, ph.Misses = db.PlanCacheStats()
+	if total := ph.Hits + ph.Misses; total > 0 {
+		ph.HitRate = round3(float64(ph.Hits) / float64(total))
+	}
+	return ph, nil
+}
+
+// MeasureCommit runs the commit-pipeline sweep: the mixed read/write
+// workload at 1/8/32 sessions with group commit off and on over a simulated
+// per-force fsync delay, then the snapshot lock-freedom phase and the
+// plan-cache hit-rate phase. It enforces the acceptance floors in-harness:
+// group commit must deliver >= 3x commits/sec at 32 sessions, snapshot
+// readers must be fingerprint-stable with zero lock waits, and the repeated
+// statement shape must miss the plan cache exactly once. Pass syncDelay <= 0
+// for the 1ms default.
+func MeasureCommit(syncDelay time.Duration) (*BenchCommit, error) {
+	if syncDelay <= 0 {
+		syncDelay = DefaultShardSyncDelay
+	}
+	out := &BenchCommit{
+		SyncDelayMs:    float64(syncDelay) / float64(time.Millisecond),
+		TxnsPerSession: commitTxnsPerSession,
+	}
+	for _, sessions := range CommitSessionCounts {
+		var base CommitEntry
+		for _, group := range []bool{false, true} {
+			e, err := measureCommitSessions(sessions, group, syncDelay)
+			if err != nil {
+				return nil, fmt.Errorf("commit sessions=%d group=%v: %w", sessions, group, err)
+			}
+			if !group {
+				base = e
+				e.Speedup = 1.0
+			} else if base.CommitsPerSec > 0 {
+				e.Speedup = round3(e.CommitsPerSec / base.CommitsPerSec)
+			}
+			if group && sessions == 32 {
+				out.GroupSpeedupN32 = e.Speedup
+			}
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	if out.GroupSpeedupN32 < commitGroupFloor {
+		return nil, fmt.Errorf("group commit at 32 sessions bought only %.2fx commits/sec (floor %.1fx)",
+			out.GroupSpeedupN32, commitGroupFloor)
+	}
+
+	snap, err := commitSnapshotPhase()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot phase: %w", err)
+	}
+	out.Snapshot = snap
+	if !snap.Stable {
+		return nil, fmt.Errorf("snapshot phase: reader fingerprints diverged from snapshot-begin state")
+	}
+	if snap.LockWaits != 0 {
+		return nil, fmt.Errorf("snapshot phase: %d lock waits; snapshot readers must never wait", snap.LockWaits)
+	}
+
+	pc, err := commitPlanCachePhase()
+	if err != nil {
+		return nil, fmt.Errorf("plan-cache phase: %w", err)
+	}
+	out.PlanCache = pc
+	if pc.Misses != 1 || pc.Hits != int64(pc.Statements-1) {
+		return nil, fmt.Errorf("plan-cache phase: %d hits / %d misses for %d same-shape statements, want %d/1",
+			pc.Hits, pc.Misses, pc.Statements, pc.Statements-1)
+	}
+	return out, nil
+}
+
+// CommitThroughput prints the MeasureCommit sweep as tables. The env
+// parameter is unused (the sweep builds its own kernels) but kept for the
+// artifact signature.
+func CommitThroughput(w io.Writer, _ *Env) error {
+	section(w, "Group commit. Mixed read/write sessions, one fsync stream, 1ms force")
+	res, err := MeasureCommit(0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fsync delay %.1f ms; %d txns/session; every txn also performs a lock-free snapshot read\n\n",
+		res.SyncDelayMs, res.TxnsPerSession)
+	fmt.Fprintf(w, "%8s %6s %6s %7s %9s %11s %8s %8s %8s\n",
+		"sessions", "group", "txns", "forces", "wall ms", "commits/s", "p50 ms", "p99 ms", "speedup")
+	for _, e := range res.Entries {
+		fmt.Fprintf(w, "%8d %6v %6d %7d %9.1f %11.0f %8.2f %8.2f %7.2fx\n",
+			e.Sessions, e.Group, e.Txns, e.Forces, e.WallMs, e.CommitsPerSec, e.P50Ms, e.P99Ms, e.Speedup)
+	}
+	fmt.Fprintf(w, "\nsnapshot phase: %d writer commits, %d reader scans, %d lock waits, stable=%v\n",
+		res.Snapshot.WriterCommits, res.Snapshot.ReaderScans, res.Snapshot.LockWaits, res.Snapshot.Stable)
+	fmt.Fprintf(w, "plan cache:     %d statements, %d hits / %d misses (%.1f%% hit rate)\n",
+		res.PlanCache.Statements, res.PlanCache.Hits, res.PlanCache.Misses, 100*res.PlanCache.HitRate)
+	return nil
+}

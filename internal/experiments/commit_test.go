@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureCommit runs the full commit-pipeline sweep at a reduced fsync
+// delay (wall-time bound: the ungrouped 32-session point serializes every
+// force). MeasureCommit enforces its own acceptance floors — >=3x grouped
+// commits/sec at 32 sessions, fingerprint-stable lock-free snapshot reads,
+// exactly one plan-cache miss for the repeated shape — so the test mostly
+// checks shape and the fixed columns.
+func TestMeasureCommit(t *testing.T) {
+	res, err := MeasureCommit(500 * time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(CommitSessionCounts); len(res.Entries) != want {
+		t.Fatalf("got %d entries, want %d", len(res.Entries), want)
+	}
+	for _, e := range res.Entries {
+		if e.Txns != e.Sessions*res.TxnsPerSession || e.Reads != e.Txns {
+			t.Errorf("sessions=%d group=%v: txns=%d reads=%d, want %d mixed 1:1",
+				e.Sessions, e.Group, e.Txns, e.Reads, e.Sessions*res.TxnsPerSession)
+		}
+		if !e.Group && e.Forces < int64(e.Txns) {
+			t.Errorf("sessions=%d ungrouped: %d forces for %d commits — every commit must force alone",
+				e.Sessions, e.Forces, e.Txns)
+		}
+		if e.Group && e.Forces > int64(e.Txns) {
+			t.Errorf("sessions=%d grouped: %d forces for %d commits", e.Sessions, e.Forces, e.Txns)
+		}
+	}
+	// The widest grouped point must have genuinely batched: strictly fewer
+	// forces than commits.
+	last := res.Entries[len(res.Entries)-1]
+	if !last.Group || last.Sessions != 32 {
+		t.Fatalf("unexpected sweep order: last entry %+v", last)
+	}
+	if last.Forces >= int64(last.Txns) {
+		t.Errorf("32 grouped sessions never shared a force: %d forces for %d commits", last.Forces, last.Txns)
+	}
+	t.Logf("group speedup at 32 sessions: %.2fx (%d commits in %d forces)",
+		res.GroupSpeedupN32, last.Txns, last.Forces)
+}

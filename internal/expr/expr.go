@@ -67,7 +67,14 @@ type Expr interface {
 }
 
 // Const is a literal value.
-type Const struct{ Val object.Value }
+type Const struct {
+	Val object.Value
+	// Param, when nonzero, marks this literal as the (Param-1)-th parameter
+	// of a normalized statement shape: the plan cache substitutes a fresh
+	// value per execution, so constant folding must leave the node alone
+	// (folding would bake the first binding's value into the plan shape).
+	Param int
+}
 
 // Eval returns the literal.
 func (c *Const) Eval(*Env) (object.Value, error) { return c.Val, nil }

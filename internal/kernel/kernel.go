@@ -89,11 +89,21 @@ type DB struct {
 	// single WAL owns the id space.
 	txSeq atomic.Uint64
 
+	// vs is the copy-on-write version overlay backing MVCC snapshot reads.
+	vs *versionStore
+
+	// plans caches optimized plans per normalized statement shape; nil when
+	// the plan cache is off.
+	plans *planCache
+
 	parallelism      int
 	parallelMinPages float64
 
 	// LastPlan and LastExplain describe the most recent SELECT, for the
 	// moodsql shell's EXPLAIN support and for the experiment harness.
+	// lastMu guards the writes so concurrent sessions don't race; readers
+	// are expected to inspect them from a quiesced session.
+	lastMu      sync.Mutex
 	LastPlan    optimizer.Plan
 	LastExplain *optimizer.Explain
 	// LastAnalyze holds the most recent EXPLAIN ANALYZE's per-operator
@@ -142,6 +152,16 @@ type Options struct {
 	// ClusterBatch bounds the records moved per reorganization transaction
 	// (zero uses the default of 64).
 	ClusterBatch int
+	// GroupCommit batches concurrent commit forces on every shard's WAL:
+	// one leader per commit window pays the (simulated) fsync for the whole
+	// batch, so N sessions no longer serialize N forces behind one device.
+	GroupCommit bool
+	// PlanCache caches optimized SELECT plans per normalized statement
+	// shape (constants parameterized away), so the hot path of a repeated
+	// shape skips parse and optimize entirely. Cached plans keep their
+	// first binding's cost estimates and survive data mutations; DDL, index
+	// builds and RefreshStats invalidate them.
+	PlanCache bool
 }
 
 // DefaultOptions returns a laptop-friendly configuration.
@@ -170,6 +190,7 @@ func Open(opts Options) (*DB, error) {
 		disk := storage.NewDiskSim(opts.DiskParams)
 		pool := storage.NewBufferPool(disk, opts.BufferFrames)
 		log := wal.NewLog()
+		log.SetGroupCommit(opts.GroupCommit)
 		pool.SetFlushHook(log.FlushHook())
 		fm, err := storage.NewFileManager(pool)
 		if err != nil {
@@ -200,9 +221,13 @@ func Open(opts Options) (*DB, error) {
 		Store:  store,
 		Shards: shards,
 		bjis:   map[string]*joinindex.BinaryJoinIndex{},
+		vs:     newVersionStore(),
 
 		parallelism:      opts.Parallelism,
 		parallelMinPages: opts.ParallelMinPages,
+	}
+	if opts.PlanCache {
+		db.plans = newPlanCache()
 	}
 	// Late-bound method dispatch for predicates and projections.
 	alg.Invoke = db.invoke
@@ -286,6 +311,10 @@ func (db *DB) Close() {
 // no longer trustworthy. The returned stats aggregate all shards.
 func (db *DB) Recover() (wal.RecoveryStats, error) {
 	var total wal.RecoveryStats
+	// Recovery rewrites object state underneath the snapshot overlay; its
+	// retained pre-images (and any open snapshots) no longer describe
+	// anything real.
+	db.vs.Reset()
 	for _, sh := range db.Shards {
 		st, err := sh.Log.Recover(sh.Pool)
 		total.Analyzed += st.Analyzed
@@ -303,6 +332,20 @@ func (db *DB) Recover() (wal.RecoveryStats, error) {
 		db.ocache.Reset()
 	}
 	return total, nil
+}
+
+// Checkpoint flushes every shard's dirty pages and takes a truncating
+// checkpoint on its WAL, reclaiming the log records the flushes made
+// redundant. Long-running sessions call it periodically to bound log
+// memory.
+func (db *DB) Checkpoint() error {
+	for _, sh := range db.Shards {
+		if err := sh.Pool.FlushAll(); err != nil {
+			return err
+		}
+		sh.Log.CheckpointTruncate()
+	}
+	return nil
 }
 
 // ObjectCache returns the decoded-object cache, nil when disabled.
@@ -339,8 +382,10 @@ func (db *DB) RegisterMethod(class, name string, body funcmgr.Body) error {
 }
 
 // RefreshStats re-collects the Table 8 statistics base; the optimizer uses
-// it for every subsequent query.
+// it for every subsequent query. Cached plans carry old estimates, so the
+// plan cache is invalidated alongside.
 func (db *DB) RefreshStats() error {
+	db.invalidatePlans()
 	_, err := db.refreshStats()
 	return err
 }
@@ -409,6 +454,7 @@ func (db *DB) BuildBJI(name, class, attribute string) (*joinindex.BinaryJoinInde
 	}
 	db.bjis[name] = ix
 	db.Exec.BJIs[name] = ix
+	db.invalidatePlans()
 	return ix, nil
 }
 
@@ -418,6 +464,11 @@ type Result = exec.Result
 // Execute interprets one MOODSQL statement. SELECTs return a Result; DDL
 // and DML return a Result describing the outcome.
 func (db *DB) Execute(statement string) (*Result, error) {
+	if db.plans != nil {
+		if res, handled, err := db.executeCached(statement); handled {
+			return res, err
+		}
+	}
 	st, err := sql.Parse(statement)
 	if err != nil {
 		return nil, err
@@ -453,11 +504,13 @@ func (db *DB) ExecuteStmt(st sql.Statement) (*Result, error) {
 			return nil, err
 		}
 		db.invalidateStats()
+		db.invalidatePlans()
 		return message("class %s dropped", n.Name), nil
 	case *sql.DropIndex:
 		if err := db.Cat.DropIndex(n.Name); err != nil {
 			return nil, err
 		}
+		db.invalidatePlans()
 		return message("index %s dropped", n.Name), nil
 	case *sql.NewObject:
 		return db.execNewObject(n)
@@ -505,6 +558,7 @@ func (db *DB) execCreateClass(n *sql.CreateClass) (*Result, error) {
 		return nil, err
 	}
 	db.invalidateStats()
+	db.invalidatePlans()
 	kind := "class"
 	if n.IsType {
 		kind = "type"
@@ -520,19 +574,20 @@ func (db *DB) execCreateIndex(n *sql.CreateIndex) (*Result, error) {
 	if _, err := db.Cat.CreateIndex(n.Name, n.Class, n.Attr, kind, n.Unique); err != nil {
 		return nil, err
 	}
+	db.invalidatePlans()
 	return message("index %s created on %s(%s)", n.Name, n.Class, n.Attr), nil
 }
 
-// execNewObject implements "new Class <v1, v2, ...>": values are assigned
-// positionally to the class's full (inherited-first) attribute list and
-// cast to the attribute types at run time.
-func (db *DB) execNewObject(n *sql.NewObject) (*Result, error) {
+// evalNewObject builds the tuple of a "new Class <v1, v2, ...>" statement:
+// values are assigned positionally to the class's full (inherited-first)
+// attribute list and cast to the attribute types at run time.
+func (db *DB) evalNewObject(n *sql.NewObject) (object.Value, error) {
 	attrs, err := db.Cat.AllAttributes(n.Class)
 	if err != nil {
-		return nil, err
+		return object.Null, err
 	}
 	if len(n.Values) > len(attrs) {
-		return nil, fmt.Errorf("kernel: new %s given %d values for %d attributes",
+		return object.Null, fmt.Errorf("kernel: new %s given %d values for %d attributes",
 			n.Class, len(n.Values), len(attrs))
 	}
 	names := make([]string, 0, len(n.Values))
@@ -540,19 +595,32 @@ func (db *DB) execNewObject(n *sql.NewObject) (*Result, error) {
 	for i, ve := range n.Values {
 		v, err := ve.Eval(&expr.Env{Resolve: db.Cat.Resolver()})
 		if err != nil {
-			return nil, err
+			return object.Null, err
 		}
 		cast, err := expr.Cast(v, attrs[i].Type)
 		if err != nil {
-			return nil, fmt.Errorf("kernel: attribute %s: %w", attrs[i].Name, err)
+			return object.Null, fmt.Errorf("kernel: attribute %s: %w", attrs[i].Name, err)
 		}
 		names = append(names, attrs[i].Name)
 		fields = append(fields, cast)
 	}
-	oid, err := db.Cat.CreateObject(n.Class, object.NewTuple(names, fields))
+	return object.NewTuple(names, fields), nil
+}
+
+func (db *DB) execNewObject(n *sql.NewObject) (*Result, error) {
+	tuple, err := db.evalNewObject(n)
 	if err != nil {
 		return nil, err
 	}
+	oid, err := db.Cat.CreateObject(n.Class, tuple)
+	if err != nil {
+		return nil, err
+	}
+	// Autocommit create: snapshots begun before this statement must not see
+	// the object.
+	ws := newWriteSet()
+	db.vs.capture(ws, oid, n.Class, object.Null, true)
+	db.vs.commit(ws)
 	db.invalidateStats()
 	res := message("created %s", oid)
 	res.OIDs = []storage.OID{oid}
@@ -575,7 +643,9 @@ func (db *DB) optimize(n *sql.Select) (optimizer.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.lastMu.Lock()
 	db.LastPlan, db.LastExplain = plan, explain
+	db.lastMu.Unlock()
 	return plan, nil
 }
 
@@ -602,14 +672,23 @@ func (db *DB) execExplain(n *sql.Explain) (*Result, error) {
 		return nil, err
 	}
 	if !n.Analyze {
+		db.lastMu.Lock()
 		db.LastAnalyze = nil
+		db.lastMu.Unlock()
 		return message("%s", optimizer.Render(plan)), nil
 	}
 	_, an, err := db.Exec.ExecuteAnalyzed(plan)
 	if err != nil {
 		return nil, err
 	}
+	if db.plans != nil {
+		hits, misses := db.plans.Stats()
+		an.PlanCacheEnabled = true
+		an.PlanCacheHits, an.PlanCacheMisses = hits, misses
+	}
+	db.lastMu.Lock()
 	db.LastAnalyze = an
+	db.lastMu.Unlock()
 	return message("%s", an.Render()), nil
 }
 
@@ -647,14 +726,17 @@ func (db *DB) execUpdate(n *sql.Update) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ws := newWriteSet()
 	for _, oid := range targets {
-		v, class, err := db.Cat.GetObject(oid)
+		old, class, err := db.Cat.GetObject(oid)
 		if err != nil {
 			return nil, err
 		}
+		// Retain the pre-image for snapshot readers before the store changes.
+		db.vs.capture(ws, oid, class, old, false)
 		// GetObject may return the cache's copy, whose backing storage is
 		// shared with every other reader; mutate a private clone.
-		v = v.Clone()
+		v := old.Clone()
 		env := &expr.Env{
 			Vars:    map[string]object.Value{n.From.Var: v},
 			OIDs:    map[string]storage.OID{n.From.Var: oid},
@@ -680,6 +762,7 @@ func (db *DB) execUpdate(n *sql.Update) (*Result, error) {
 			return nil, err
 		}
 	}
+	db.vs.commit(ws)
 	db.invalidateStats()
 	return message("%d object(s) updated", len(targets)), nil
 }
@@ -689,11 +772,18 @@ func (db *DB) execDelete(n *sql.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ws := newWriteSet()
 	for _, oid := range targets {
+		old, class, err := db.Cat.GetObject(oid)
+		if err != nil {
+			return nil, err
+		}
+		db.vs.capture(ws, oid, class, old, false)
 		if err := db.Cat.DeleteObject(oid); err != nil {
 			return nil, err
 		}
 	}
+	db.vs.commit(ws)
 	db.invalidateStats()
 	return message("%d object(s) deleted", len(targets)), nil
 }

@@ -1,0 +1,457 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mood/internal/expr"
+	"mood/internal/object"
+	"mood/internal/sql"
+	"mood/internal/storage"
+)
+
+// MVCC snapshot reads. The kernel's concurrency story is strict 2PL, which
+// makes every reader queue behind writers. Snapshots add a second, lock-free
+// path for read-only work: a copy-on-write overlay of pre-images keyed by
+// OID. Writers capture an object's pre-image into the overlay before the
+// first store mutation of each transaction; commit stamps those pre-images
+// with a fresh epoch (when a snapshot is live to care) or drops them. A
+// snapshot fixes the epoch at begin time and resolves every read through
+// the overlay first: the value of an object "as of" epoch E is the oldest
+// retained pre-image superseded after E, or the store's current value when
+// no such pre-image exists. Snapshot readers therefore touch the lock
+// manager not at all — they can never block a writer and never wait.
+
+// version is one retained pre-image: the state an object had before the
+// write that superseded it.
+type version struct {
+	class string
+	val   object.Value
+	gone  bool   // the object did not exist in this version (pre-image of a create)
+	super uint64 // commit epoch that superseded this version; 0 = writer still in flight
+	owner *writeSet
+}
+
+// writeSet tracks the objects a writer (transaction or autocommit
+// statement) has captured pre-images for, so commit/abort can stamp or
+// discard exactly its own pending versions.
+type writeSet struct {
+	oids []storage.OID
+	seen map[storage.OID]struct{}
+}
+
+func newWriteSet() *writeSet {
+	return &writeSet{seen: make(map[storage.OID]struct{})}
+}
+
+// versionStore is the copy-on-write overlay shared by all snapshots.
+type versionStore struct {
+	mu     sync.Mutex
+	epoch  uint64
+	chains map[storage.OID][]version
+	// byClass remembers every OID that ever had a version in a class, so
+	// snapshot scans can resurrect objects the store has since deleted.
+	byClass map[string]map[storage.OID]struct{}
+	snaps   map[*Snapshot]uint64
+}
+
+func newVersionStore() *versionStore {
+	return &versionStore{
+		chains:  make(map[storage.OID][]version),
+		byClass: make(map[string]map[storage.OID]struct{}),
+		snaps:   make(map[*Snapshot]uint64),
+	}
+}
+
+// capture retains oid's pre-image for ws. It must run BEFORE the store
+// mutation: a snapshot that reads concurrently then finds either the old
+// store value or the identical pending pre-image. Only the first write per
+// object and write set captures — later writes supersede state the
+// transaction itself created.
+func (vs *versionStore) capture(ws *writeSet, oid storage.OID, class string, val object.Value, gone bool) {
+	if _, ok := ws.seen[oid]; ok {
+		return
+	}
+	ws.seen[oid] = struct{}{}
+	ws.oids = append(ws.oids, oid)
+	vs.mu.Lock()
+	vs.chains[oid] = append(vs.chains[oid], version{class: class, val: val, gone: gone, owner: ws})
+	m := vs.byClass[class]
+	if m == nil {
+		m = make(map[storage.OID]struct{})
+		vs.byClass[class] = m
+	}
+	m[oid] = struct{}{}
+	vs.mu.Unlock()
+}
+
+// commit stamps ws's pending pre-images at a fresh epoch. With no snapshot
+// live the pre-images serve no reader and are dropped immediately.
+func (vs *versionStore) commit(ws *writeSet) {
+	if ws == nil || len(ws.oids) == 0 {
+		return
+	}
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	vs.epoch++
+	keep := len(vs.snaps) > 0
+	for _, oid := range ws.oids {
+		vs.settleLocked(ws, oid, keep, vs.epoch)
+	}
+}
+
+// abort discards ws's pending pre-images: the logical undo has already
+// restored the store, so the overlay has nothing left to add — except for
+// undone deletes, whose objects were resurrected under a NEW OID. For those
+// the old OID's pre-image is stamped committed (snapshots keep resolving the
+// object they saw) and the new OID gets a "did not exist" version (snapshots
+// must not see the resurrected duplicate).
+func (vs *versionStore) abort(ws *writeSet, resurrected map[storage.OID]storage.OID) {
+	if ws == nil || len(ws.oids) == 0 {
+		return
+	}
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	keep := len(vs.snaps) > 0
+	ep := vs.epoch
+	if keep && len(resurrected) > 0 {
+		vs.epoch++
+		ep = vs.epoch
+	}
+	for _, oid := range ws.oids {
+		newOID, moved := resurrected[oid]
+		if keep && moved {
+			vs.settleLocked(ws, oid, true, ep)
+			// Hide the resurrected twin from snapshots begun before the abort.
+			chain := vs.chains[oid]
+			class := ""
+			for i := range chain {
+				if chain[i].super == ep {
+					class = chain[i].class
+				}
+			}
+			vs.chains[newOID] = append(vs.chains[newOID], version{class: class, gone: true, super: ep})
+			if m := vs.byClass[class]; m != nil {
+				m[newOID] = struct{}{}
+			}
+			continue
+		}
+		vs.settleLocked(ws, oid, false, 0)
+	}
+}
+
+// settleLocked finalizes ws's pending version of oid: stamp it at epoch ep
+// when keep is set, drop it otherwise. Caller holds vs.mu.
+func (vs *versionStore) settleLocked(ws *writeSet, oid storage.OID, keep bool, ep uint64) {
+	chain := vs.chains[oid]
+	for i := range chain {
+		if chain[i].super == 0 && chain[i].owner == ws {
+			chain[i].owner = nil
+			if keep {
+				chain[i].super = ep
+				return
+			}
+			vs.dropAtLocked(oid, i)
+			return
+		}
+	}
+}
+
+// dropAtLocked removes chain element i of oid, cleaning the class index
+// when the chain empties. Caller holds vs.mu.
+func (vs *versionStore) dropAtLocked(oid storage.OID, i int) {
+	chain := vs.chains[oid]
+	class := chain[i].class
+	chain = append(chain[:i], chain[i+1:]...)
+	if len(chain) == 0 {
+		delete(vs.chains, oid)
+		if m := vs.byClass[class]; m != nil {
+			delete(m, oid)
+			if len(m) == 0 {
+				delete(vs.byClass, class)
+			}
+		}
+	} else {
+		vs.chains[oid] = chain
+	}
+}
+
+// visibleLocked returns oid's value at asOf from the overlay: the oldest
+// retained pre-image superseded after asOf (a pending pre-image counts as
+// superseded at +inf). ok is false when the store's current value IS the
+// snapshot value. Caller holds vs.mu.
+func (vs *versionStore) visibleLocked(oid storage.OID, asOf uint64) (version, bool) {
+	for _, v := range vs.chains[oid] {
+		if v.super == 0 || v.super > asOf {
+			return v, true
+		}
+	}
+	return version{}, false
+}
+
+// gc drops every version no snapshot can still see. Caller holds vs.mu.
+func (vs *versionStore) gcLocked() {
+	if len(vs.snaps) == 0 {
+		for oid, chain := range vs.chains {
+			for i := len(chain) - 1; i >= 0; i-- {
+				if chain[i].super != 0 { // pendings belong to live writers
+					vs.dropAtLocked(oid, i)
+				}
+				chain = vs.chains[oid]
+			}
+		}
+		return
+	}
+	min := uint64(0)
+	first := true
+	for _, asOf := range vs.snaps {
+		if first || asOf < min {
+			min = asOf
+			first = false
+		}
+	}
+	for oid, chain := range vs.chains {
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].super != 0 && chain[i].super <= min {
+				vs.dropAtLocked(oid, i)
+			}
+			chain = vs.chains[oid]
+		}
+	}
+}
+
+// Reset drops the whole overlay. Recovery rewrites store state underneath
+// it, so retained pre-images (and any open snapshots) are meaningless after
+// a crash.
+func (vs *versionStore) Reset() {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	vs.chains = make(map[storage.OID][]version)
+	vs.byClass = make(map[string]map[storage.OID]struct{})
+	vs.snaps = make(map[*Snapshot]uint64)
+	vs.epoch++
+}
+
+// Snapshot is a read-only view of the database fixed at begin time. Reads
+// resolve through the version overlay and acquire no locks; Close releases
+// the retained pre-images.
+type Snapshot struct {
+	db   *DB
+	asOf uint64
+}
+
+// BeginSnapshot opens a snapshot at the current commit epoch.
+func (db *DB) BeginSnapshot() *Snapshot {
+	vs := db.vs
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	s := &Snapshot{db: db, asOf: vs.epoch}
+	vs.snaps[s] = s.asOf
+	return s
+}
+
+// Close releases the snapshot and garbage-collects versions only it needed.
+func (s *Snapshot) Close() {
+	vs := s.db.vs
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if _, ok := vs.snaps[s]; !ok {
+		return
+	}
+	delete(vs.snaps, s)
+	vs.gcLocked()
+}
+
+// Get reads one object as of the snapshot. The overlay is consulted before
+// AND after the store read: a writer captures its pre-image before mutating,
+// so whichever side of the mutation the store read lands on, the re-check
+// returns the snapshot-consistent value.
+func (s *Snapshot) Get(oid storage.OID) (object.Value, string, error) {
+	vs := s.db.vs
+	vs.mu.Lock()
+	v, ok := vs.visibleLocked(oid, s.asOf)
+	vs.mu.Unlock()
+	if ok {
+		return s.versionResult(oid, v)
+	}
+	val, class, err := s.db.Cat.GetObject(oid)
+	vs.mu.Lock()
+	v, ok = vs.visibleLocked(oid, s.asOf)
+	vs.mu.Unlock()
+	if ok {
+		return s.versionResult(oid, v)
+	}
+	return val, class, err
+}
+
+func (s *Snapshot) versionResult(oid storage.OID, v version) (object.Value, string, error) {
+	if v.gone {
+		return object.Null, "", fmt.Errorf("kernel: object %s does not exist in this snapshot", oid)
+	}
+	return v.val, v.class, nil
+}
+
+// Resolver adapts the snapshot for path expression dereference.
+func (s *Snapshot) Resolver() object.Resolver {
+	return func(oid storage.OID) (object.Value, error) {
+		v, _, err := s.Get(oid)
+		return v, err
+	}
+}
+
+// ScanExtent iterates the class extent as of the snapshot: live objects
+// resolve through the overlay (skipping ones born after the snapshot), and
+// objects deleted after the snapshot are resurrected from their retained
+// pre-images. Objects a concurrent writer is mutating resolve to their
+// pre-images — the scan never waits.
+func (s *Snapshot) ScanExtent(class string, fn func(storage.OID, object.Value) bool) error {
+	vs := s.db.vs
+	seen := make(map[storage.OID]struct{})
+	stopped := false
+	err := s.db.Cat.ScanExtent(class, func(oid storage.OID, val object.Value) bool {
+		seen[oid] = struct{}{}
+		// Overlay check AFTER the store handed us the value: a concurrent
+		// writer's capture happens before its mutation, so a stale read is
+		// always shadowed by a visible pre-image here.
+		vs.mu.Lock()
+		v, ok := vs.visibleLocked(oid, s.asOf)
+		vs.mu.Unlock()
+		if ok {
+			if v.gone {
+				return true
+			}
+			val = v.val
+		}
+		if !fn(oid, val) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	// Resurrect objects the store no longer has (deleted, or moved by an
+	// aborted delete) whose snapshot versions are still live.
+	type resur struct {
+		oid storage.OID
+		val object.Value
+	}
+	var extra []resur
+	vs.mu.Lock()
+	for oid := range vs.byClass[class] {
+		if _, ok := seen[oid]; ok {
+			continue
+		}
+		if v, ok := vs.visibleLocked(oid, s.asOf); ok && !v.gone && v.class == class {
+			extra = append(extra, resur{oid, v.val})
+		}
+	}
+	vs.mu.Unlock()
+	sort.Slice(extra, func(i, j int) bool { return extra[i].oid < extra[j].oid })
+	for _, e := range extra {
+		if !fn(e.oid, e.val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Select evaluates a simple read-only query against the snapshot: a single
+// plain FROM item, optional WHERE, and plain projections. Aggregates,
+// grouping, ordering, joins and class-closure scans fall outside the
+// snapshot evaluator and must run under 2PL.
+func (s *Snapshot) Select(n *sql.Select) (*Result, error) {
+	if len(n.From) != 1 {
+		return nil, fmt.Errorf("kernel: snapshot queries support exactly one FROM item")
+	}
+	fi := n.From[0]
+	if fi.Every || len(fi.Minus) > 0 {
+		return nil, fmt.Errorf("kernel: snapshot queries do not support class-closure (EVERY/minus) scans")
+	}
+	if len(n.GroupBy) > 0 || n.Having != nil || len(n.OrderBy) > 0 || n.Distinct {
+		return nil, fmt.Errorf("kernel: snapshot queries do not support GROUP BY/HAVING/ORDER BY/DISTINCT")
+	}
+	for _, p := range n.Projs {
+		if p.Agg != sql.AggNone || p.Star {
+			return nil, fmt.Errorf("kernel: snapshot queries do not support aggregates")
+		}
+	}
+	res := &Result{}
+	for _, p := range n.Projs {
+		name := p.As
+		if name == "" {
+			if v, ok := p.Expr.(*expr.Var); ok {
+				name = v.Name
+			} else {
+				name = p.Expr.String()
+			}
+		}
+		res.Columns = append(res.Columns, name)
+	}
+	var scanErr error
+	err := s.ScanExtent(fi.Class, func(oid storage.OID, val object.Value) bool {
+		env := &expr.Env{
+			Vars:    map[string]object.Value{fi.Var: val},
+			OIDs:    map[string]storage.OID{fi.Var: oid},
+			Resolve: s.Resolver(),
+			Invoke:  s.db.Alg.Invoke,
+		}
+		if n.Where != nil {
+			ok, err := expr.EvalBool(n.Where, env)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		row := make([]object.Value, len(n.Projs))
+		for i, p := range n.Projs {
+			v, err := p.Expr.Eval(env)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+		res.OIDs = append(res.OIDs, oid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return res, nil
+}
+
+// Query parses and evaluates one statement against the snapshot; anything
+// but a SELECT is rejected (snapshot transactions are read-only).
+func (s *Snapshot) Query(statement string) (*Result, error) {
+	st, err := sql.Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("kernel: snapshot transactions are read-only (%T rejected)", st)
+	}
+	return s.Select(sel)
+}
+
+// Versions reports the overlay size: retained versions and live snapshots
+// (for tests and the bench harness).
+func (db *DB) Versions() (versions, snapshots int) {
+	vs := db.vs
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	for _, chain := range vs.chains {
+		versions += len(chain)
+	}
+	return versions, len(vs.snaps)
+}

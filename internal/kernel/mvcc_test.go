@@ -1,0 +1,355 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"mood/internal/object"
+	"mood/internal/sql"
+	"mood/internal/storage"
+)
+
+func parseSelect(t testing.TB, q string) *sql.Select {
+	t.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*sql.Select)
+}
+
+// fingerprint renders a result as sorted rows, so row order never matters.
+func rowFingerprint(res *Result) string {
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		lines[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func snapQuery(t testing.TB, s *Snapshot, q string) *Result {
+	t.Helper()
+	res, err := s.Select(parseSelect(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSnapshotStableUnderWriterStream is the tentpole's differential check:
+// while a 2PL writer streams committed updates, a snapshot's scans stay
+// row-fingerprint-identical to the state at snapshot begin, the reader
+// acquires zero locks (the lock manager's wait counter stays flat), and a
+// snapshot begun after the writer finishes agrees with a plain 2PL read.
+// Run under -race this also proves the overlay's synchronization.
+func TestSnapshotStableUnderWriterStream(t *testing.T) {
+	db := openAndDefine(t)
+	const n = 40
+	oids := make([]storage.OID, n)
+	setup := db.Begin()
+	for i := 0; i < n; i++ {
+		oid, err := setup.Create("Employee", employee(fmt.Sprintf("emp%d", i), int32(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = "SELECT e.ssno, e.name, e.age FROM Employee e"
+	snap := db.BeginSnapshot()
+	want := rowFingerprint(snapQuery(t, snap, q))
+	_, waits0, _ := db.Locks.Stats()
+
+	// Writer: stream updates, deletes and creates in committed transactions.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 8; round++ {
+			tx := db.Begin()
+			for i := round; i < n; i += 4 {
+				v, _, err := tx.Get(oids[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v = v.Clone()
+				v.SetField("age", object.NewInt(int32(100+round)))
+				if err := tx.Update(oids[i], v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+			// A delete and a create per round, too.
+			tx = db.Begin()
+			if err := tx.Delete(oids[round]); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := tx.Create("Employee", employee(fmt.Sprintf("new%d", round), int32(1000+round))); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Reader: scan the snapshot concurrently; every scan must agree with the
+	// begin-time fingerprint.
+	for scan := 0; scan < 30; scan++ {
+		if got := rowFingerprint(snapQuery(t, snap, q)); got != want {
+			t.Fatalf("scan %d diverged from snapshot-begin state:\n got: %q\nwant: %q", scan, got, want)
+		}
+	}
+	wg.Wait()
+	// Still identical after the writer is done.
+	if got := rowFingerprint(snapQuery(t, snap, q)); got != want {
+		t.Fatal("post-writer scan diverged from snapshot-begin state")
+	}
+	// Snapshot reads never touched the lock manager; the single writer never
+	// had anyone to wait for. Waits must be exactly flat.
+	if _, waits1, _ := db.Locks.Stats(); waits1 != waits0 {
+		t.Errorf("lock waits went %d -> %d; snapshot reads must not wait", waits0, waits1)
+	}
+	snap.Close()
+
+	// Differential oracle: a fresh snapshot sees exactly what 2PL sees now.
+	fresh := db.BeginSnapshot()
+	defer fresh.Close()
+	res2pl, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rowFingerprint(snapQuery(t, fresh, q)), rowFingerprint(res2pl); got != want {
+		t.Fatalf("fresh snapshot disagrees with 2PL read:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestSnapshotIgnoresUncommittedWriter: pre-images of an in-flight
+// transaction shadow its store mutations, both before and after its commit
+// for a snapshot begun first.
+func TestSnapshotIgnoresUncommittedWriter(t *testing.T) {
+	db := openAndDefine(t)
+	setup := db.Begin()
+	oid, err := setup.Create("Employee", employee("alice", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := db.BeginSnapshot()
+	defer snap.Close()
+
+	tx := db.Begin()
+	v, _, err := tx.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = v.Clone()
+	v.SetField("age", object.NewInt(77))
+	if err := tx.Update(oid, v); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted write invisible.
+	got, _, err := snap.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age, _ := got.Field("age"); age.Int != 30 {
+		t.Errorf("snapshot saw uncommitted age %d", age.Int)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Committed write still invisible to the older snapshot...
+	got, _, err = snap.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age, _ := got.Field("age"); age.Int != 30 {
+		t.Errorf("snapshot saw later commit: age %d", age.Int)
+	}
+	// ...but visible to a newer one.
+	after := db.BeginSnapshot()
+	defer after.Close()
+	got, _, err = after.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age, _ := got.Field("age"); age.Int != 77 {
+		t.Errorf("fresh snapshot missed the commit: age %d", age.Int)
+	}
+}
+
+// TestSnapshotAcrossAbortedDelete: a transactional delete resurrects the
+// object under a new OID on abort. A snapshot begun before the delete must
+// keep seeing exactly one copy, and a 2PL read afterwards also sees one.
+func TestSnapshotAcrossAbortedDelete(t *testing.T) {
+	db := openAndDefine(t)
+	setup := db.Begin()
+	oid, err := setup.Create("Employee", employee("victim", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_ = oid
+
+	snap := db.BeginSnapshot()
+	defer snap.Close()
+	const q = "SELECT e.ssno, e.name FROM Employee e"
+	want := rowFingerprint(snapQuery(t, snap, q))
+
+	tx := db.Begin()
+	if err := tx.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowFingerprint(snapQuery(t, snap, q)); got != want {
+		t.Fatalf("during delete: %q != %q", got, want)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowFingerprint(snapQuery(t, snap, q)); got != want {
+		t.Fatalf("after abort: %q != %q (duplicate or lost resurrection?)", got, want)
+	}
+	// The store now holds the resurrected twin; 2PL sees exactly one object.
+	res, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("2PL sees %d rows after aborted delete, want 1", len(res.Rows))
+	}
+}
+
+// TestSnapshotOverlayGC: retained versions exist only while a snapshot needs
+// them, and Close reclaims them.
+func TestSnapshotOverlayGC(t *testing.T) {
+	db := openAndDefine(t)
+	setup := db.Begin()
+	oid, err := setup.Create("Employee", employee("gc", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, s := db.Versions(); v != 0 || s != 0 {
+		t.Fatalf("overlay not empty with no snapshots: versions=%d snaps=%d", v, s)
+	}
+
+	snap := db.BeginSnapshot()
+	for i := 0; i < 5; i++ {
+		tx := db.Begin()
+		v, _, err := tx.Get(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = v.Clone()
+		v.SetField("age", object.NewInt(int32(40+i)))
+		if err := tx.Update(oid, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := db.Versions(); v == 0 {
+		t.Fatal("no versions retained for the live snapshot")
+	}
+	snap.Close()
+	if v, s := db.Versions(); v != 0 || s != 0 {
+		t.Errorf("Close did not reclaim the overlay: versions=%d snaps=%d", v, s)
+	}
+}
+
+// TestRecoverResetsOverlay: recovery rewrites pages underneath the overlay,
+// so Recover must drop it wholesale.
+func TestRecoverResetsOverlay(t *testing.T) {
+	db := openAndDefine(t)
+	setup := db.Begin()
+	oid, err := setup.Create("Employee", employee("crashme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.BeginSnapshot()
+	tx := db.Begin()
+	v, _, _ := tx.Get(oid)
+	v = v.Clone()
+	v.SetField("age", object.NewInt(55))
+	if err := tx.Update(oid, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, s := db.Versions(); v == 0 || s != 1 {
+		t.Fatalf("precondition: versions=%d snaps=%d", v, s)
+	}
+	if _, err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v, s := db.Versions(); v != 0 || s != 0 {
+		t.Errorf("Recover left overlay: versions=%d snaps=%d", v, s)
+	}
+	_ = snap
+}
+
+// TestSnapshotAutocommitStatements: Execute-level mutations (no explicit
+// transaction) also version through the overlay.
+func TestSnapshotAutocommitStatements(t *testing.T) {
+	db := openAndDefine(t)
+	if _, err := db.Execute("NEW Employee <1, 'a', 30>"); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.BeginSnapshot()
+	defer snap.Close()
+	const q = "SELECT e.ssno, e.name, e.age FROM Employee e"
+	want := rowFingerprint(snapQuery(t, snap, q))
+	if _, err := db.Execute("UPDATE Employee e SET age = 99 WHERE e.ssno = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute("NEW Employee <2, 'b', 31>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute("DELETE FROM Employee e WHERE e.ssno = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowFingerprint(snapQuery(t, snap, q)); got != want {
+		t.Fatalf("snapshot drifted across autocommit statements:\n got: %q\nwant: %q", got, want)
+	}
+	fresh := db.BeginSnapshot()
+	defer fresh.Close()
+	res, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rowFingerprint(snapQuery(t, fresh, q)), rowFingerprint(res); got != want {
+		t.Fatalf("fresh snapshot disagrees with 2PL: %q vs %q", got, want)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"mood/internal/expr"
 	"mood/internal/lock"
 	"mood/internal/object"
+	"mood/internal/sql"
 	"mood/internal/storage"
 	"mood/internal/wal"
 )
@@ -23,9 +25,17 @@ import (
 // one shard (the common case under OID routing) costs exactly one log
 // force, which is why N shards sustain N times the commit throughput of one
 // serialized fsync stream. Cross-shard transactions force their logs in
-// shard order; there is no two-phase commit between shards, so a crash
+// begin order; there is no two-phase commit between shards, so a crash
 // between forces can durably commit a prefix of the shards (the per-shard
-// recovery contract in DESIGN.md spells this out).
+// recovery contract in DESIGN.md spells this out). Group commit
+// (Options.GroupCommit) does not change this contract: each per-shard force
+// still blocks until that shard's leader has made the commit record
+// durable, so the begin-order sequence of force *completions* — and with it
+// the prefix-commit guarantee — is exactly as without batching. What
+// changes is only that each force may be served by another session's
+// leader, amortizing the fsync across the commit window; a multi-shard
+// commit therefore waits on up to len(began) windows, one per touched
+// shard, in order.
 
 // ErrTxDone is returned when a finished transaction is reused.
 var ErrTxDone = errors.New("kernel: transaction already committed or aborted")
@@ -50,6 +60,7 @@ type Tx struct {
 	ids   map[int]wal.TxID
 	began []int
 	undo  []undoOp
+	ws    *writeSet // pre-images captured for snapshot readers
 	done  bool
 }
 
@@ -60,12 +71,13 @@ type Tx struct {
 func (db *DB) Begin() *Tx {
 	if len(db.Shards) == 1 {
 		id := db.Log.Begin()
-		return &Tx{db: db, id: id, lockID: lock.TxID(id)}
+		return &Tx{db: db, id: id, lockID: lock.TxID(id), ws: newWriteSet()}
 	}
 	return &Tx{
 		db:     db,
 		lockID: lock.TxID(db.txSeq.Add(1)),
 		ids:    make(map[int]wal.TxID),
+		ws:     newWriteSet(),
 	}
 }
 
@@ -127,6 +139,9 @@ func (tx *Tx) Create(class string, v object.Value) (storage.OID, error) {
 	if err != nil {
 		return storage.NilOID, err
 	}
+	// The pre-image of a create is "did not exist": snapshots begun before
+	// this transaction commits must not see the object.
+	tx.db.vs.capture(tx.ws, oid, class, object.Null, true)
 	if err := tx.db.Locks.Acquire(tx.lockID, lock.ObjectResource(oid), lock.ModeX); err != nil {
 		return storage.NilOID, err
 	}
@@ -164,6 +179,7 @@ func (tx *Tx) Update(oid storage.OID, v object.Value) error {
 	if err := tx.lockObject(class, oid, lock.ModeX); err != nil {
 		return err
 	}
+	tx.db.vs.capture(tx.ws, oid, class, old, false)
 	if err := tx.db.Cat.UpdateObject(oid, v); err != nil {
 		return err
 	}
@@ -186,6 +202,7 @@ func (tx *Tx) Delete(oid storage.OID) error {
 	if err := tx.lockObject(class, oid, lock.ModeX); err != nil {
 		return err
 	}
+	tx.db.vs.capture(tx.ws, oid, class, old, false)
 	if err := tx.db.Cat.DeleteObject(oid); err != nil {
 		return err
 	}
@@ -208,14 +225,104 @@ func (tx *Tx) Commit() error {
 	defer tx.db.Locks.ReleaseAll(tx.lockID)
 	tx.db.invalidateStats()
 	if tx.ids == nil {
-		return tx.db.Log.Commit(tx.id)
-	}
-	for _, sh := range tx.began {
-		if err := tx.db.Shards[sh].Log.Commit(tx.ids[sh]); err != nil {
+		if err := tx.db.Log.Commit(tx.id); err != nil {
 			return err
 		}
+	} else {
+		for _, sh := range tx.began {
+			if err := tx.db.Shards[sh].Log.Commit(tx.ids[sh]); err != nil {
+				return err
+			}
+		}
 	}
+	// Only now may snapshot pre-images be stamped committed: an epoch
+	// advance before the force would let a snapshot observe a commit that a
+	// crash could still revoke.
+	tx.db.vs.commit(tx.ws)
 	return nil
+}
+
+// ExecuteInTx interprets one MOODSQL statement under an open transaction:
+// NEW/UPDATE/DELETE route through the transaction's locking, logging and
+// undo machinery (nothing is durable until Commit), SELECT and EXPLAIN run
+// through the ordinary read path, and DDL is rejected — schema changes are
+// autocommit-only. The moodsql shell's \begin mode drives sessions through
+// this entry point.
+func (db *DB) ExecuteInTx(tx *Tx, statement string) (*Result, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	st, err := sql.Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	switch n := st.(type) {
+	case *sql.Select:
+		return db.execSelect(n)
+	case *sql.Explain:
+		return db.execExplain(n)
+	case *sql.NewObject:
+		tuple, err := db.evalNewObject(n)
+		if err != nil {
+			return nil, err
+		}
+		oid, err := tx.Create(n.Class, tuple)
+		if err != nil {
+			return nil, err
+		}
+		res := message("created %s", oid)
+		res.OIDs = []storage.OID{oid}
+		return res, nil
+	case *sql.Update:
+		targets, err := db.matchTargets(n.From, n.Where)
+		if err != nil {
+			return nil, err
+		}
+		for _, oid := range targets {
+			old, class, err := tx.Get(oid)
+			if err != nil {
+				return nil, err
+			}
+			v := old.Clone()
+			env := &expr.Env{
+				Vars:    map[string]object.Value{n.From.Var: v},
+				OIDs:    map[string]storage.OID{n.From.Var: oid},
+				Resolve: db.Cat.Resolver(),
+				Invoke:  db.Alg.Invoke,
+			}
+			for _, set := range n.Sets {
+				nv, err := set.Value.Eval(env)
+				if err != nil {
+					return nil, err
+				}
+				at, err := db.Cat.AttributeType(class, set.Attr)
+				if err != nil {
+					return nil, err
+				}
+				cast, err := expr.Cast(nv, at)
+				if err != nil {
+					return nil, err
+				}
+				v.SetField(set.Attr, cast)
+			}
+			if err := tx.Update(oid, v); err != nil {
+				return nil, err
+			}
+		}
+		return message("%d object(s) updated", len(targets)), nil
+	case *sql.Delete:
+		targets, err := db.matchTargets(n.From, n.Where)
+		if err != nil {
+			return nil, err
+		}
+		for _, oid := range targets {
+			if err := tx.Delete(oid); err != nil {
+				return nil, err
+			}
+		}
+		return message("%d object(s) deleted", len(targets)), nil
+	}
+	return nil, fmt.Errorf("kernel: %T not allowed inside a transaction (DDL is autocommit-only)", st)
 }
 
 // Abort rolls back every mutation (logical undo, newest first), logs the
@@ -226,6 +333,7 @@ func (tx *Tx) Abort() error {
 	}
 	tx.done = true
 	defer tx.db.Locks.ReleaseAll(tx.lockID)
+	resurrected := make(map[storage.OID]storage.OID)
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		op := tx.undo[i]
 		var err error
@@ -237,12 +345,17 @@ func (tx *Tx) Abort() error {
 		case 'd':
 			// The original OID cannot be resurrected (slots are reused);
 			// reinsert the value as a new object of the same class.
-			_, err = tx.db.Cat.CreateObject(op.class, op.old)
+			var noid storage.OID
+			noid, err = tx.db.Cat.CreateObject(op.class, op.old)
+			if err == nil {
+				resurrected[op.oid] = noid
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("kernel: undo failed (op %c on %s): %w", op.kind, op.oid, err)
 		}
 	}
+	tx.db.vs.abort(tx.ws, resurrected)
 	tx.db.invalidateStats()
 	if tx.ids == nil {
 		return tx.db.Log.Abort(tx.id, nil)

@@ -1,0 +1,121 @@
+package optimizer
+
+import (
+	"mood/internal/expr"
+	"mood/internal/object"
+	"mood/internal/sql"
+)
+
+// Bind clones a cached access plan, substituting the parameter-tagged
+// constants (expr.Const.Param / IndSelPlan.ConstParam) with fresh values.
+// params is in shape order: parameter i binds params[i-1]. The input plan is
+// never mutated — it stays in the cache and may be bound concurrently by
+// other sessions. Cardinality estimates and access-path choices are those of
+// the first optimization (a "generic plan"): re-binding changes constants
+// only, not the plan shape.
+func Bind(p Plan, params []object.Value) Plan {
+	return bindPlan(p, params)
+}
+
+func bindParam(v object.Value, idx int, params []object.Value) object.Value {
+	if idx >= 1 && idx <= len(params) {
+		return params[idx-1]
+	}
+	return v
+}
+
+func bindPlan(p Plan, params []object.Value) Plan {
+	switch n := p.(type) {
+	case *BindPlan:
+		c := *n
+		return &c
+	case *SelectPlan:
+		return &SelectPlan{Input: bindPlan(n.Input, params), Pred: bindExpr(n.Pred, params), card: n.card}
+	case *IndSelPlan:
+		c := *n
+		c.Pred.Constant = bindParam(n.Pred.Constant, n.ConstParam, params)
+		c.Pred.Constant2 = bindParam(n.Pred.Constant2, n.Const2Param, params)
+		return &c
+	case *IntersectPlan:
+		inputs := make([]Plan, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inputs[i] = bindPlan(in, params)
+		}
+		return &IntersectPlan{Inputs: inputs, card: n.card}
+	case *JoinPlan:
+		c := *n
+		c.Left = bindPlan(n.Left, params)
+		c.Right = bindPlan(n.Right, params)
+		return &c
+	case *CrossPlan:
+		return &CrossPlan{Left: bindPlan(n.Left, params), Right: bindPlan(n.Right, params), card: n.card}
+	case *ProjectPlan:
+		return &ProjectPlan{Input: bindPlan(n.Input, params), Items: bindProjs(n.Items, params), card: n.card}
+	case *GroupPlan:
+		return &GroupPlan{
+			Input: bindPlan(n.Input, params), By: n.By,
+			Having: bindExpr(n.Having, params), Projs: bindProjs(n.Projs, params),
+			card: n.card,
+		}
+	case *SortPlan:
+		return &SortPlan{Input: bindPlan(n.Input, params), Keys: n.Keys, card: n.card}
+	case *UnionPlan:
+		inputs := make([]Plan, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inputs[i] = bindPlan(in, params)
+		}
+		return &UnionPlan{Inputs: inputs, Vars: n.Vars, card: n.card}
+	case *DupElimPlan:
+		return &DupElimPlan{Input: bindPlan(n.Input, params), card: n.card}
+	case *ExchangePlan:
+		return &ExchangePlan{Input: bindPlan(n.Input, params), Workers: n.Workers, card: n.card}
+	}
+	return p
+}
+
+func bindProjs(items []sql.ProjItem, params []object.Value) []sql.ProjItem {
+	out := make([]sql.ProjItem, len(items))
+	for i, it := range items {
+		it.Expr = bindExpr(it.Expr, params)
+		out[i] = it
+	}
+	return out
+}
+
+// bindExpr clones an expression tree, replacing parameter-tagged constants.
+// Const nodes are always copied (never mutated in place): the cached tree is
+// shared across sessions.
+func bindExpr(e expr.Expr, params []object.Value) expr.Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *expr.Const:
+		if n.Param == 0 {
+			return n
+		}
+		return &expr.Const{Val: bindParam(n.Val, n.Param, params), Param: n.Param}
+	case *expr.Var:
+		return n
+	case *expr.Field:
+		return &expr.Field{Base: bindExpr(n.Base, params), Name: n.Name}
+	case *expr.Call:
+		args := make([]expr.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = bindExpr(a, params)
+		}
+		return &expr.Call{Base: bindExpr(n.Base, params), Method: n.Method, Args: args}
+	case *expr.Arith:
+		return &expr.Arith{Op: n.Op, L: bindExpr(n.L, params), R: bindExpr(n.R, params)}
+	case *expr.Cmp:
+		return &expr.Cmp{Op: n.Op, L: bindExpr(n.L, params), R: bindExpr(n.R, params)}
+	case *expr.Between:
+		return &expr.Between{E: bindExpr(n.E, params), Lo: bindExpr(n.Lo, params), Hi: bindExpr(n.Hi, params)}
+	case *expr.Logic:
+		return &expr.Logic{Op: n.Op, L: bindExpr(n.L, params), R: bindExpr(n.R, params)}
+	case *expr.Not:
+		return &expr.Not{E: bindExpr(n.E, params)}
+	case *expr.Neg:
+		return &expr.Neg{E: bindExpr(n.E, params)}
+	}
+	return e
+}

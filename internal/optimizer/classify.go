@@ -27,12 +27,17 @@ func (k SelKind) String() string {
 
 // ImmSelInfo is one row of the Table 11 dictionary.
 type ImmSelInfo struct {
-	RangeVar    string
-	Predicate   expr.Expr
-	Simple      sql.PathRef
-	Op          expr.CmpOp
-	Constant    object.Value
-	Constant2   object.Value // BETWEEN
+	RangeVar  string
+	Predicate expr.Expr
+	Simple    sql.PathRef
+	Op        expr.CmpOp
+	Constant  object.Value
+	Constant2 object.Value // BETWEEN
+	// ConstParam/Const2Param are the 1-based plan-cache parameter indices of
+	// the constants (0 when the constant is a plain literal). A cached plan
+	// re-binds them from the new statement's literal values.
+	ConstParam  int
+	Const2Param int
 	Between     bool
 	Selectivity float64
 	IndexedCost float64 // +Inf when no index exists
@@ -43,13 +48,16 @@ type ImmSelInfo struct {
 
 // PathSelInfo is one row of the Table 12 dictionary.
 type PathSelInfo struct {
-	RangeVar    string
-	Predicate   expr.Expr
-	Path        cost.Path // typed hops
-	Attrs       []string  // syntactic path A1..Am
-	Op          expr.CmpOp
-	Constant    object.Value
-	Constant2   object.Value
+	RangeVar  string
+	Predicate expr.Expr
+	Path      cost.Path // typed hops
+	Attrs     []string  // syntactic path A1..Am
+	Op        expr.CmpOp
+	Constant  object.Value
+	Constant2 object.Value
+	// Plan-cache parameter indices of the constants; see ImmSelInfo.
+	ConstParam  int
+	Const2Param int
 	Between     bool
 	Selectivity float64
 	ForwardCost float64
@@ -125,12 +133,13 @@ func varsOf(e expr.Expr, into map[string]bool) {
 	}
 }
 
-// constOf extracts a constant value (literal or folded expression).
-func constOf(e expr.Expr) (object.Value, bool) {
+// constOf extracts a constant value (literal or folded expression) plus its
+// plan-cache parameter index (0 for plain literals).
+func constOf(e expr.Expr) (object.Value, int, bool) {
 	if c, ok := e.(*expr.Const); ok {
-		return c.Val, true
+		return c.Val, c.Param, true
 	}
-	return object.Null, false
+	return object.Null, 0, false
 }
 
 // Classify sorts the AND-term's predicates into the three dictionaries and
@@ -186,14 +195,15 @@ func (c *classifier) classifyOne(p expr.Expr, out *Classified) error {
 	var lhs expr.Expr
 	var op expr.CmpOp
 	var cnst, cnst2 object.Value
+	var cnstP, cnst2P int
 	between := false
 	switch n := p.(type) {
 	case *expr.Cmp:
-		if cv, ok := constOf(n.R); ok {
-			lhs, op, cnst = n.L, n.Op, cv
-		} else if cv, ok := constOf(n.L); ok {
+		if cv, cp, ok := constOf(n.R); ok {
+			lhs, op, cnst, cnstP = n.L, n.Op, cv, cp
+		} else if cv, cp, ok := constOf(n.L); ok {
 			// c θ s.A  ≡  s.A θ' c with the operator mirrored.
-			lhs, cnst = n.R, cv
+			lhs, cnst, cnstP = n.R, cv, cp
 			switch n.Op {
 			case expr.OpGt:
 				op = expr.OpLt
@@ -208,10 +218,10 @@ func (c *classifier) classifyOne(p expr.Expr, out *Classified) error {
 			}
 		}
 	case *expr.Between:
-		lo, ok1 := constOf(n.Lo)
-		hi, ok2 := constOf(n.Hi)
+		lo, lp, ok1 := constOf(n.Lo)
+		hi, hp, ok2 := constOf(n.Hi)
 		if ok1 && ok2 {
-			lhs, cnst, cnst2, between = n.E, lo, hi, true
+			lhs, cnst, cnst2, cnstP, cnst2P, between = n.E, lo, hi, lp, hp, true
 		}
 	}
 	if lhs == nil {
@@ -224,7 +234,8 @@ func (c *classifier) classifyOne(p expr.Expr, out *Classified) error {
 		if base, isVar := call.Base.(*expr.Var); isVar && base.Name == v && len(call.Args) == 0 {
 			out.Imm[v] = append(out.Imm[v], ImmSelInfo{
 				RangeVar: v, Predicate: p,
-				Op: op, Constant: cnst, Constant2: cnst2, Between: between,
+				Op: op, Constant: cnst, Constant2: cnst2,
+				ConstParam: cnstP, Const2Param: cnst2P, Between: between,
 				Selectivity: defaultMethodSelectivity,
 				IndexedCost: inf(), AccessType: "sequential",
 			})
@@ -249,7 +260,8 @@ func (c *classifier) classifyOne(p expr.Expr, out *Classified) error {
 		if at.Kind.IsAtomic() {
 			info := ImmSelInfo{
 				RangeVar: v, Predicate: p, Simple: ref,
-				Op: op, Constant: cnst, Constant2: cnst2, Between: between,
+				Op: op, Constant: cnst, Constant2: cnst2,
+				ConstParam: cnstP, Const2Param: cnst2P, Between: between,
 			}
 			c.fillImmCosts(c.declaringClass(class, ref.Path[0]), &info)
 			out.Imm[v] = append(out.Imm[v], info)
@@ -263,7 +275,8 @@ func (c *classifier) classifyOne(p expr.Expr, out *Classified) error {
 	// Path selection.
 	info := PathSelInfo{
 		RangeVar: v, Predicate: p, Attrs: ref.Path,
-		Op: op, Constant: cnst, Constant2: cnst2, Between: between,
+		Op: op, Constant: cnst, Constant2: cnst2,
+		ConstParam: cnstP, Const2Param: cnst2P, Between: between,
 	}
 	path, err := c.typedPath(class, ref.Path)
 	if err != nil {

@@ -65,8 +65,11 @@ func Simplify(e expr.Expr) expr.Expr {
 	case *expr.Arith:
 		l := Simplify(n.L)
 		r := Simplify(n.R)
-		if lc, ok := l.(*expr.Const); ok {
-			if rc, ok := r.(*expr.Const); ok {
+		// Parameter-tagged constants (Param != 0) must never fold: the plan
+		// cache substitutes a fresh value per execution, so folding would
+		// bake the first binding into the cached plan shape.
+		if lc, ok := l.(*expr.Const); ok && lc.Param == 0 {
+			if rc, ok := r.(*expr.Const); ok && rc.Param == 0 {
 				folded := &expr.Arith{Op: n.Op, L: lc, R: rc}
 				if v, err := folded.Eval(nil); err == nil {
 					return &expr.Const{Val: v}
@@ -77,8 +80,8 @@ func Simplify(e expr.Expr) expr.Expr {
 	case *expr.Cmp:
 		l := Simplify(n.L)
 		r := Simplify(n.R)
-		if lc, ok := l.(*expr.Const); ok {
-			if rc, ok := r.(*expr.Const); ok {
+		if lc, ok := l.(*expr.Const); ok && lc.Param == 0 {
+			if rc, ok := r.(*expr.Const); ok && rc.Param == 0 {
 				folded := &expr.Cmp{Op: n.Op, L: lc, R: rc}
 				if v, err := folded.Eval(nil); err == nil {
 					return &expr.Const{Val: v}
@@ -90,7 +93,7 @@ func Simplify(e expr.Expr) expr.Expr {
 		return &expr.Between{E: Simplify(n.E), Lo: Simplify(n.Lo), Hi: Simplify(n.Hi)}
 	case *expr.Neg:
 		inner := Simplify(n.E)
-		if c, ok := inner.(*expr.Const); ok {
+		if c, ok := inner.(*expr.Const); ok && c.Param == 0 {
 			if v, err := (&expr.Neg{E: c}).Eval(nil); err == nil {
 				return &expr.Const{Val: v}
 			}
@@ -101,7 +104,7 @@ func Simplify(e expr.Expr) expr.Expr {
 }
 
 func constBool(e expr.Expr) (val, isConst bool) {
-	if c, ok := e.(*expr.Const); ok && c.Val.Kind == object.KindBoolean {
+	if c, ok := e.(*expr.Const); ok && c.Param == 0 && c.Val.Kind == object.KindBoolean {
 		return c.Val.Bool(), true
 	}
 	return false, false

@@ -292,6 +292,7 @@ func (o *Optimizer) basePlan(fi sql.FromItem, imms []ImmSelInfo, others []OtherS
 					Attribute: im.Simple.Path[0], Op: im.Op,
 					Constant: im.Constant, Constant2: im.Constant2, Between: im.Between,
 				},
+				ConstParam: im.ConstParam, Const2Param: im.Const2Param,
 				card: card * im.Selectivity,
 			})
 		}
@@ -600,9 +601,11 @@ func classCard(st *cost.Stats, class string) float64 {
 func atomicPredExpr(v string, ps PathSelInfo) expr.Expr {
 	attr := expr.Path(v, ps.Path.FinalAttr)
 	if ps.Between {
-		return &expr.Between{E: attr, Lo: &expr.Const{Val: ps.Constant}, Hi: &expr.Const{Val: ps.Constant2}}
+		return &expr.Between{E: attr,
+			Lo: &expr.Const{Val: ps.Constant, Param: ps.ConstParam},
+			Hi: &expr.Const{Val: ps.Constant2, Param: ps.Const2Param}}
 	}
-	return &expr.Cmp{Op: ps.Op, L: attr, R: &expr.Const{Val: ps.Constant}}
+	return &expr.Cmp{Op: ps.Op, L: attr, R: &expr.Const{Val: ps.Constant, Param: ps.ConstParam}}
 }
 
 func atomicSelectivity(st *cost.Stats, class string, ps PathSelInfo) float64 {

@@ -74,7 +74,12 @@ type IndSelPlan struct {
 	Var   string
 	Index *catalog.Index
 	Pred  algebra.SimplePredicate
-	card  float64
+	// ConstParam/Const2Param are the plan-cache parameter indices of
+	// Pred.Constant/Pred.Constant2 (0 = plain literal). Bind substitutes
+	// fresh values through them when a cached plan is reused.
+	ConstParam  int
+	Const2Param int
+	card        float64
 }
 
 // Card returns the estimated output cardinality.

@@ -13,10 +13,15 @@ import (
 type parser struct {
 	toks []Token
 	pos  int
+	// tagParams numbers every number/string literal as a shape parameter
+	// (see ParseShaped); nparams counts them in token order.
+	tagParams bool
+	nparams   int
 }
 
 // Parse parses one MOODSQL statement (a trailing semicolon is permitted).
 func Parse(input string) (Statement, error) {
+	ParseCount.Add(1)
 	toks, err := Lex(input)
 	if err != nil {
 		return nil, err
@@ -35,6 +40,7 @@ func Parse(input string) (Statement, error) {
 
 // ParseScript parses a semicolon-separated sequence of statements.
 func ParseScript(input string) ([]Statement, error) {
+	ParseCount.Add(1)
 	toks, err := Lex(input)
 	if err != nil {
 		return nil, err
@@ -841,24 +847,14 @@ func (p *parser) primary() (expr.Expr, error) {
 	switch {
 	case t.Kind == TokNumber:
 		p.next()
-		if strings.ContainsAny(t.Text, ".eE") {
-			f, err := strconv.ParseFloat(t.Text, 64)
-			if err != nil {
-				return nil, p.errf("bad number %q", t.Text)
-			}
-			return &expr.Const{Val: object.NewFloat(f)}, nil
-		}
-		n, err := strconv.ParseInt(t.Text, 10, 64)
+		v, err := numberValue(t.Text)
 		if err != nil {
 			return nil, p.errf("bad number %q", t.Text)
 		}
-		if n >= -1<<31 && n < 1<<31 {
-			return &expr.Const{Val: object.NewInt(int32(n))}, nil
-		}
-		return &expr.Const{Val: object.NewLong(n)}, nil
+		return &expr.Const{Val: v, Param: p.tagParam()}, nil
 	case t.Kind == TokString:
 		p.next()
-		return &expr.Const{Val: object.NewString(t.Text)}, nil
+		return &expr.Const{Val: object.NewString(t.Text), Param: p.tagParam()}, nil
 	case t.Kind == TokKeyword && t.Text == "TRUE":
 		p.next()
 		return &expr.Const{Val: object.NewBool(true)}, nil

@@ -1,0 +1,131 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"mood/internal/object"
+)
+
+// Statement-shape normalization for the plan cache. Two statements share a
+// shape when they differ only in number/string literal values: the shape
+// text replaces every such literal with '?', and ParseShaped additionally
+// tags the corresponding expr.Const nodes with 1-based parameter indices in
+// token order, so an optimized plan can be re-bound to fresh constants
+// without re-parsing or re-planning. TRUE/FALSE/NULL stay literal — they
+// shape control flow (constant folding, DNF pruning), not parameter values.
+
+// ParseCount counts Parse/ParseScript/ParseShaped invocations. The plan
+// cache's zero-parse guarantee is pinned against it in tests.
+var ParseCount atomic.Int64
+
+// tagParam numbers a literal when shape tagging is on (0 otherwise).
+func (p *parser) tagParam() int {
+	if !p.tagParams {
+		return 0
+	}
+	p.nparams++
+	return p.nparams
+}
+
+// numberValue converts a number literal exactly as the parser does.
+func numberValue(text string) (object.Value, error) {
+	if strings.ContainsAny(text, ".eE") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return object.Null, err
+		}
+		return object.NewFloat(f), nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return object.Null, err
+	}
+	if n >= -1<<31 && n < 1<<31 {
+		return object.NewInt(int32(n)), nil
+	}
+	return object.NewLong(n), nil
+}
+
+// Shape lexes the input and returns its normalized shape text plus the
+// literal values in parameter order. Statements with the same shape parse
+// to identical trees up to the tagged constants.
+func Shape(input string) (shape string, params []object.Value, err error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return "", nil, err
+	}
+	var sb strings.Builder
+	for _, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.Kind {
+		case TokNumber:
+			v, err := numberValue(t.Text)
+			if err != nil {
+				return "", nil, err
+			}
+			params = append(params, v)
+			sb.WriteByte('?')
+		case TokString:
+			params = append(params, object.NewString(t.Text))
+			sb.WriteByte('?')
+		default:
+			sb.WriteString(t.Text)
+		}
+	}
+	return sb.String(), params, nil
+}
+
+// ParseShaped parses one statement with its number/string literals tagged
+// as parameters (expr.Const.Param = 1..nparams, in token order — the same
+// order Shape reports values in). It returns the statement, its shape text
+// and the literal values of this parse.
+func ParseShaped(input string) (Statement, string, []object.Value, error) {
+	shape, params, err := Shape(input)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ParseCount.Add(1)
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	p := &parser{toks: toks, tagParams: true}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	p.accept(TokPunct, ";")
+	if !p.at(TokEOF, "") {
+		return nil, "", nil, p.errf("unexpected %s after statement", p.peek())
+	}
+	if p.nparams != len(params) {
+		// A literal token the grammar consumed outside an expression (e.g.
+		// a type arity) — the shape's '?' positions would not line up with
+		// the tagged constants, so this statement cannot be parameterized.
+		return nil, "", nil, errShapeMismatch
+	}
+	return stmt, shape, params, nil
+}
+
+// errShapeMismatch marks statements whose literals are not all expression
+// constants; callers fall back to the plain parse path.
+var errShapeMismatch = &shapeError{}
+
+type shapeError struct{}
+
+func (*shapeError) Error() string {
+	return "sql: statement literals are not parameterizable"
+}
+
+// IsShapeMismatch reports whether err is the non-parameterizable marker.
+func IsShapeMismatch(err error) bool {
+	_, ok := err.(*shapeError)
+	return ok
+}

@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"mood/internal/storage"
+)
+
+// TestGroupCommitBatchesForces pins the amortization: N sessions committing
+// concurrently through one group-commit log must share forces instead of
+// paying one each. With a real sync delay the committers pile up behind the
+// leader's sleep, so the force count lands well below the commit count.
+func TestGroupCommitBatchesForces(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 64)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	l.SetGroupCommit(true)
+	l.SetSyncDelay(2 * time.Millisecond)
+	page := newPageWithData(t, bp, 0)
+	bp.FlushAll()
+
+	const sessions = 16
+	const txPerSession = 4
+	var mu sync.Mutex // serializes loggedWrite's page pin; commits run free
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < txPerSession; i++ {
+				tx := l.Begin()
+				mu.Lock()
+				loggedWrite(t, l, bp, tx, page, 32+s*64+i*8, []byte{byte(s + 1)})
+				mu.Unlock()
+				if err := l.Commit(tx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	commits := int64(sessions * txPerSession)
+	if fc := l.FlushCount(); fc >= commits {
+		t.Errorf("group commit did not batch: %d forces for %d commits", fc, commits)
+	}
+	if n := len(l.ActiveTransactions()); n != 0 {
+		t.Errorf("%d transactions still active", n)
+	}
+
+	// Every acknowledged commit must be durable: crash and recover.
+	bp2 := storage.NewBufferPool(disk, 64)
+	bp2.SetFlushHook(l.FlushHook())
+	if _, err := l.Recover(bp2); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := bp2.Fetch(page)
+	for s := 0; s < sessions; s++ {
+		for i := 0; i < txPerSession; i++ {
+			if got := pg.Bytes()[32+s*64+i*8]; got != byte(s+1) {
+				t.Errorf("session %d tx %d: acknowledged write lost (got %d)", s, i, got)
+			}
+		}
+	}
+	bp2.Unpin(page, false)
+}
+
+// TestGroupCommitSingleSession checks the degenerate window: one committer
+// at a time still gets exactly one force per commit and full durability.
+func TestGroupCommitSingleSession(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 8)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	l.SetGroupCommit(true)
+	page := newPageWithData(t, bp, 0)
+
+	for i := 0; i < 3; i++ {
+		tx := l.Begin()
+		loggedWrite(t, l, bp, tx, page, 40+i*8, []byte{0xAA})
+		if err := l.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.FlushedLSN(); got < l.nextLSN-1 {
+			t.Errorf("commit %d not durable: flushed=%d next=%d", i, got, l.nextLSN)
+		}
+	}
+	if err := l.Commit(99); err == nil {
+		t.Error("commit of unknown tx succeeded")
+	}
+}
+
+// TestCheckpointTruncateReclaimsMemory pins the satellite: Len() must shrink
+// at a truncating checkpoint once pages are flushed, while an active
+// transaction's chain is kept for undo.
+func TestCheckpointTruncateReclaimsMemory(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 8)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	page := newPageWithData(t, bp, 0)
+	bp.FlushAll()
+
+	for i := 0; i < 50; i++ {
+		tx := l.Begin()
+		loggedWrite(t, l, bp, tx, page, 32+i*8, []byte{byte(i + 1)})
+		if err := l.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Len()
+	bp.FlushAll()
+	_, freed := l.CheckpointTruncate()
+	if freed == 0 || l.Len() >= before {
+		t.Fatalf("truncation reclaimed nothing: len %d -> %d (freed %d)", before, l.Len(), freed)
+	}
+
+	// An active transaction pins its chain: nothing below its begin record
+	// may be dropped, and abort must still find the full chain to undo.
+	loser := l.Begin()
+	loggedWrite(t, l, bp, loser, page, 800, []byte("keepme"))
+	for i := 0; i < 20; i++ {
+		tx := l.Begin()
+		loggedWrite(t, l, bp, tx, page, 1000+i*8, []byte{0xBB})
+		if err := l.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp.FlushAll()
+	// Only the stale checkpoint record below the loser's begin is
+	// reclaimable; the loser's chain and everything after it must stay.
+	_, freed = l.CheckpointTruncate()
+	if freed > 1 {
+		t.Errorf("truncated %d records below an active transaction's begin", freed)
+	}
+	apply := func(p storage.PageID, off int, img []byte, lsn LSN) error {
+		pg, err := bp.Fetch(p)
+		if err != nil {
+			return err
+		}
+		copy(pg.Bytes()[off:], img)
+		pg.SetLSN(uint32(lsn))
+		return bp.Unpin(p, true)
+	}
+	if err := l.Abort(loser, apply); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := bp.Fetch(page)
+	if !bytes.Equal(pg.Bytes()[800:806], make([]byte, 6)) {
+		t.Errorf("abort after truncation left data: %q", pg.Bytes()[800:806])
+	}
+	bp.Unpin(page, false)
+}
+
+// TestRecoveryAfterTruncation crashes after a truncating checkpoint and
+// proves recovery still produces the right state: committed data (whose
+// records were dropped, but whose pages were flushed) survives, and both a
+// pre-truncation loser (chain retained) and a post-truncation loser are
+// undone.
+func TestRecoveryAfterTruncation(t *testing.T) {
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	bp := storage.NewBufferPool(disk, 8)
+	l := NewLog()
+	bp.SetFlushHook(l.FlushHook())
+	page := newPageWithData(t, bp, 0)
+	bp.FlushAll()
+
+	winner := l.Begin()
+	loggedWrite(t, l, bp, winner, page, 100, []byte("old-winner"))
+	if err := l.Commit(winner); err != nil {
+		t.Fatal(err)
+	}
+	oldLoser := l.Begin()
+	loggedWrite(t, l, bp, oldLoser, page, 200, []byte("old-loser"))
+
+	bp.FlushAll() // redo info for the winner now on disk
+	if _, freed := l.CheckpointTruncate(); freed == 0 {
+		t.Fatal("expected the winner's records to be reclaimed")
+	}
+
+	newWinner := l.Begin()
+	loggedWrite(t, l, bp, newWinner, page, 300, []byte("new-winner"))
+	if err := l.Commit(newWinner); err != nil {
+		t.Fatal(err)
+	}
+	newLoser := l.Begin()
+	loggedWrite(t, l, bp, newLoser, page, 400, []byte("new-loser"))
+	bp.FlushAll()
+
+	// Crash: buffered pages lost, volatile log suffix lost.
+	bp2 := crash(disk)
+	bp2.SetFlushHook(l.FlushHook())
+	st, err := l.Recover(bp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Losers != 2 {
+		t.Errorf("losers = %d, want 2 (pre- and post-truncation)", st.Losers)
+	}
+	pg, _ := bp2.Fetch(page)
+	if string(pg.Bytes()[100:110]) != "old-winner" {
+		t.Errorf("pre-truncation committed data lost: %q", pg.Bytes()[100:110])
+	}
+	if string(pg.Bytes()[300:310]) != "new-winner" {
+		t.Errorf("post-truncation committed data lost: %q", pg.Bytes()[300:310])
+	}
+	if !bytes.Equal(pg.Bytes()[200:209], make([]byte, 9)) {
+		t.Errorf("pre-truncation loser survived: %q", pg.Bytes()[200:209])
+	}
+	if !bytes.Equal(pg.Bytes()[400:409], make([]byte, 9)) {
+		t.Errorf("post-truncation loser survived: %q", pg.Bytes()[400:409])
+	}
+	bp2.Unpin(page, false)
+	if n := len(l.ActiveTransactions()); n != 0 {
+		t.Errorf("%d transactions active after recovery", n)
+	}
+
+	// The log keeps working after a post-truncation recovery.
+	tx := l.Begin()
+	loggedWrite(t, l, bp2, tx, page, 500, []byte("after"))
+	if err := l.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+}

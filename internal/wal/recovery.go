@@ -59,6 +59,11 @@ func (l *Log) Recover(bp *storage.BufferPool) (RecoveryStats, error) {
 	// exists. Rebuild in-memory state from it.
 	l.mu.Lock()
 	l.records = append([]Record(nil), records...)
+	if len(records) > 0 {
+		l.base = records[0].LSN - 1
+	} else {
+		l.base = l.flushed
+	}
 	l.nextLSN = l.flushed + 1
 	l.active = make(map[TxID]LSN)
 	for _, tx := range losers {

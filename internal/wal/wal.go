@@ -75,13 +75,27 @@ var ErrTxNotActive = errors.New("wal: transaction not active")
 // Log is an in-memory write-ahead log with an explicit durability horizon,
 // so tests can crash the system with an arbitrary suffix of the log lost.
 type Log struct {
-	mu       sync.Mutex
-	records  []Record
+	mu      sync.Mutex
+	records []Record
+	// base is the LSN immediately before the first retained record:
+	// records[i].LSN == base + LSN(i) + 1. Checkpoint truncation drops a
+	// durable prefix of the chain by advancing base; every record lookup
+	// indexes relative to it.
+	base     LSN
 	nextLSN  LSN
 	flushed  LSN // highest durable LSN
 	active   map[TxID]LSN
 	nextTx   TxID
 	flushCnt int64
+	// Group commit: when group is true, committers append their commit
+	// record and then wait for a force that covers it. The first waiter that
+	// finds no force in flight becomes the leader, forces the whole log tail
+	// (one syncDelay for every commit record appended so far), and wakes the
+	// followers; late arrivals piggyback on the next force. syncing marks a
+	// force in flight; syncCond is signalled when it completes.
+	group    bool
+	syncing  bool
+	syncCond *sync.Cond
 	// syncDelay, when nonzero, models the latency of the fsync behind each
 	// log force: every flush that advances the durability horizon sleeps
 	// this long INSIDE the log mutex, the way a real group-commit stream
@@ -96,11 +110,13 @@ type Log struct {
 
 // NewLog creates an empty log.
 func NewLog() *Log {
-	return &Log{
+	l := &Log{
 		nextLSN: 1,
 		active:  make(map[TxID]LSN),
 		nextTx:  1,
 	}
+	l.syncCond = sync.NewCond(&l.mu)
+	return l
 }
 
 // Begin starts a transaction and logs its begin record.
@@ -163,12 +179,30 @@ func (l *Log) Update(tx TxID, page storage.PageID, offset int, before, after []b
 
 // Commit logs a commit record and forces the log: after Commit returns nil,
 // the transaction survives any crash.
+//
+// With group commit enabled the force is amortized: the committer appends
+// its commit record, then either piggybacks on a force already in flight or
+// becomes the leader and forces the whole log tail with a single syncDelay.
+// On error the transaction stays active and its commit record is volatile;
+// the caller must retry Commit or treat the transaction as crashed (a loser
+// for recovery) — it must not Abort, because a later successful force could
+// still make the earlier commit record durable.
 func (l *Log) Commit(tx TxID) error {
 	l.mu.Lock()
 	prev, ok := l.active[tx]
 	if !ok {
 		l.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrTxNotActive, tx)
+	}
+	if l.group {
+		lsn := l.appendLocked(Record{Kind: RecCommit, Tx: tx, PrevLSN: prev})
+		if err := l.groupForceLocked(lsn); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+		delete(l.active, tx)
+		l.mu.Unlock()
+		return nil
 	}
 	// The commit force is the durability point: a fault here leaves the
 	// transaction active and undurable — a loser if the system dies now, a
@@ -182,6 +216,48 @@ func (l *Log) Commit(tx TxID) error {
 	l.flushLocked(lsn)
 	l.mu.Unlock()
 	return nil
+}
+
+// groupForceLocked blocks until the durability horizon covers lsn. Caller
+// holds l.mu; the lock is released while the leader sleeps through the
+// simulated fsync, which is what lets a window of committers share one
+// force. A fault fires at the leader's force point, before any horizon
+// advance, so an acknowledged commit always sits behind a real force.
+func (l *Log) groupForceLocked(lsn LSN) error {
+	for l.flushed < lsn {
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		// No force in flight: become the leader for everything appended so
+		// far (our record included, plus any followers queued behind us).
+		if err := l.checkFaultLocked(fault.OpLogFlush); err != nil {
+			return err
+		}
+		target := l.nextLSN - 1
+		delay := l.syncDelay
+		l.syncing = true
+		if delay > 0 {
+			l.mu.Unlock()
+			time.Sleep(delay)
+			l.mu.Lock()
+		}
+		if target > l.flushed {
+			l.flushed = target
+		}
+		l.flushCnt++
+		l.syncing = false
+		l.syncCond.Broadcast()
+	}
+	return nil
+}
+
+// SetGroupCommit enables or disables group commit. Install before the log
+// is shared across sessions.
+func (l *Log) SetGroupCommit(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.group = on
 }
 
 // Abort rolls the transaction back by applying before images in reverse
@@ -237,6 +313,10 @@ func (l *Log) Abort(tx TxID, apply func(page storage.PageID, offset int, image [
 func (l *Log) Checkpoint() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.checkpointLocked()
+}
+
+func (l *Log) checkpointLocked() LSN {
 	txs := make([]TxID, 0, len(l.active))
 	for tx := range l.active {
 		txs = append(txs, tx)
@@ -244,6 +324,45 @@ func (l *Log) Checkpoint() LSN {
 	lsn := l.appendLocked(Record{Kind: RecCheckpoint, ActiveTxs: txs})
 	l.flushLocked(lsn)
 	return lsn
+}
+
+// CheckpointTruncate logs a checkpoint and then drops every record that
+// recovery can no longer need: everything below both the checkpoint and the
+// begin record of the oldest still-active transaction (whose chain must
+// survive for undo). The caller must have flushed all dirty pages first —
+// truncation discards the redo information for the dropped prefix, so any
+// update below the checkpoint has to be on disk already. Returns the
+// checkpoint LSN and the number of records reclaimed.
+func (l *Log) CheckpointTruncate() (LSN, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.checkpointLocked()
+	keep := lsn
+	for _, tail := range l.active {
+		if first := l.txFirstLocked(tail); first < keep {
+			keep = first
+		}
+	}
+	freed := int(keep - 1 - l.base)
+	if freed <= 0 {
+		return lsn, 0
+	}
+	// Copy the tail into a fresh slice so the dropped prefix (and its
+	// before/after images) becomes collectible.
+	l.records = append([]Record(nil), l.records[keep-1-l.base:]...)
+	l.base = keep - 1
+	return lsn, freed
+}
+
+// txFirstLocked returns the LSN of the oldest retained record of the
+// transaction chain ending at tail.
+func (l *Log) txFirstLocked(tail LSN) LSN {
+	first := tail
+	for lsn := tail; lsn > l.base; {
+		first = lsn
+		lsn = l.records[lsn-1-l.base].PrevLSN
+	}
+	return first
 }
 
 // Flush makes all records up to lsn durable. The buffer pool calls this via
@@ -352,11 +471,13 @@ func (l *Log) SetSyncDelay(d time.Duration) {
 }
 
 // txChainLocked collects the records of one transaction, oldest first,
-// following PrevLSN from the given tail.
+// following PrevLSN from the given tail. The walk stops at the truncation
+// base; CheckpointTruncate keeps every active transaction's full chain, so
+// a retained tail never chains below it.
 func (l *Log) txChainLocked(tail LSN) []Record {
 	var chain []Record
-	for lsn := tail; lsn != 0; {
-		rec := l.records[lsn-1]
+	for lsn := tail; lsn > l.base; {
+		rec := l.records[lsn-1-l.base]
 		chain = append(chain, rec)
 		lsn = rec.PrevLSN
 	}
