@@ -60,6 +60,17 @@
 #   make commit-race     the commit pipeline under the race detector (group
 #                        commit, MVCC snapshots, plan cache, the
 #                        crash-during-group-commit torture, the sweep)
+#   make bench-join      regenerate BENCH_join.json (join access paths on a
+#                        3-hop chain and a many-to-many fan: forward vs
+#                        join-index vs hash vs fusion, cold, under latency
+#                        replay; rows/fingerprints/reads deterministic,
+#                        wall-clock and speedup columns machine-local; the
+#                        sweep enforces its >=5x floor itself)
+#   make join-race       the join access-path wall under the race detector
+#                        (differential wall across all four methods at
+#                        shards=1/2/4, BJI shard routing, the concurrent
+#                        maintenance torture, the mid-maintenance
+#                        crashtest mode, the sweep)
 #   make fuzz-expr       bounded 30s fuzz of expr.Compile against the
 #                        interpreter (corpus seeds under
 #                        internal/expr/testdata/fuzz)
@@ -71,8 +82,8 @@ FUZZ_EXPR_TIME ?= 30s
 
 .PHONY: build test race vet crashtest bench-baseline bench-parallel \
 	bench-exec bench-cache bench-vector bench-shard bench-cluster \
-	bench-commit exec-race parallel-race cache-race vector-race shard-race \
-	cluster-race commit-race fuzz-expr ci
+	bench-commit bench-join exec-race parallel-race cache-race vector-race \
+	shard-race cluster-race commit-race join-race fuzz-expr ci
 
 build:
 	$(GO) build ./...
@@ -87,7 +98,7 @@ vet:
 	$(GO) vet ./...
 
 crashtest:
-	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic|TestShardedTorture|TestRunShardedIsDeterministic|TestRunClusterIsDeterministic|TestGroupCommitCrashTorture|TestRunGroupFaultFree|TestRunGroupIsDeterministic' ./internal/crashtest
+	CRASHTEST_ITERS=$(CRASHTEST_ITERS) $(GO) test -race -v -run 'TestTorture|TestTornWrite|TestRunIsDeterministic|TestShardedTorture|TestRunShardedIsDeterministic|TestRunClusterIsDeterministic|TestRunJoinIndexIsDeterministic|TestGroupCommitCrashTorture|TestRunGroupFaultFree|TestRunGroupIsDeterministic' ./internal/crashtest
 
 bench-baseline:
 	$(GO) run ./cmd/moodbench -bench-json BENCH_baseline.json
@@ -145,7 +156,16 @@ commit-race:
 	$(GO) test -race -run 'GroupCommit|RunGroup|Snapshot|PlanCache|Prepared|MeasureCommit' \
 		./internal/wal ./internal/kernel ./internal/crashtest ./internal/experiments
 
+bench-join:
+	$(GO) run ./cmd/moodbench -join-json BENCH_join.json
+
+join-race:
+	$(GO) test -race ./internal/joinindex
+	$(GO) test -race -run 'Join|Fusion|BJI' \
+		./internal/cost ./internal/optimizer ./internal/exec \
+		./internal/kernel ./internal/crashtest
+
 fuzz-expr:
 	$(GO) test -fuzz FuzzCompile -fuzztime $(FUZZ_EXPR_TIME) -run '^FuzzCompile$$' ./internal/expr
 
-ci: build vet test race exec-race parallel-race cache-race vector-race shard-race cluster-race commit-race fuzz-expr bench-vector bench-shard bench-cluster bench-commit crashtest
+ci: build vet test race exec-race parallel-race cache-race vector-race shard-race cluster-race commit-race join-race fuzz-expr bench-vector bench-shard bench-cluster bench-commit bench-join crashtest

@@ -66,6 +66,7 @@ func artifacts() []artifact {
 		{"cache", "object-cache sweep, cache=0/64KiB/1MiB", experiments.CacheSweep},
 		{"vector", "vectorized execution vs row-at-a-time, compiled predicates", experiments.VectorSweep},
 		{"shard", "sharded-store scaling, shards=1/2/4", experiments.ShardScaling},
+		{"joinpaths", "join access paths, forward vs join-index vs hash vs fusion", experiments.JoinAccessSweep},
 		{"cluster", "reference clustering, scattered vs reorganized cold traversal", experiments.ClusterSweep},
 		{"commit", "group-commit throughput, sessions=1/8/32 + snapshot/plan-cache phases", experiments.CommitThroughput},
 	}
@@ -172,6 +173,27 @@ func writeCacheJSON(path string, scale float64) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// writeJoinJSON runs the join-access-path sweep of experiments.MeasureJoin
+// (deep-path and many-to-many joins through forward traversal, the binary
+// join index, hash partition and the fusion join; latency replay on, best of
+// N) and writes the result as JSON. Rows, fingerprints and page reads are
+// deterministic — the sweep itself fails if reads vary across repetitions or
+// rows diverge across access paths; the wall-clock columns are real
+// measurements and vary run to run. It also enforces the 5x acceptance floor
+// on the 3-hop path query. The sweep builds its own extents, so -scale is
+// ignored.
+func writeJoinJSON(path string) error {
+	res, err := experiments.MeasureJoin(0)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // writeClusterJSON runs the clustering protocol of experiments.MeasureCluster
 // (scattered cold traversal -> traced passes -> online reorganization ->
 // clustered cold traversal) and writes the result as JSON. Rows, reads,
@@ -220,6 +242,7 @@ func main() {
 	cacheJSON := flag.String("cache-json", "", "write the object-cache sweep (cache=0/64KiB/1MiB) to this file and exit")
 	vectorJSON := flag.String("vector-json", "", "write the vectorized-execution sweep (row/vector/vector-parallel) to this file and exit")
 	shardJSON := flag.String("shard-json", "", "write the sharded-store sweep (shards=1/2/4, queries + commit throughput) to this file and exit")
+	joinJSON := flag.String("join-json", "", "write the join-access-path sweep (forward/join-index/hash/fusion) to this file and exit")
 	clusterJSON := flag.String("cluster-json", "", "write the clustering protocol (scattered vs reorganized cold traversal) to this file and exit")
 	commitJSON := flag.String("commit-json", "", "write the group-commit sweep (sessions=1/8/32, off/on, p50/p99 + snapshot/plan-cache phases) to this file and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
@@ -278,6 +301,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *shardJSON)
+		return
+	}
+	if *joinJSON != "" {
+		if err := writeJoinJSON(*joinJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "join-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *joinJSON)
 		return
 	}
 	if *clusterJSON != "" {

@@ -264,9 +264,10 @@ func TestJoinMethodsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var results [4]map[string]bool
+	var results [5]map[string]bool
 	methods := []cost.JoinMethod{
-		cost.ForwardTraversal, cost.BackwardTraversal, cost.BinaryJoinIndex, cost.HashPartition,
+		cost.ForwardTraversal, cost.BackwardTraversal, cost.BinaryJoinIndex,
+		cost.HashPartition, cost.FusionJoin,
 	}
 	for i, m := range methods {
 		out, err := a.Join(vehicles, autodts, JoinSpec{
@@ -296,7 +297,7 @@ func TestJoinMethodsAgree(t *testing.T) {
 	if len(results[0]) != 100 {
 		t.Errorf("forward join rows = %d, want 100", len(results[0]))
 	}
-	for i := 1; i < 4; i++ {
+	for i := 1; i < len(methods); i++ {
 		if len(results[i]) != len(results[0]) {
 			t.Errorf("%v rows = %d, forward = %d", methods[i], len(results[i]), len(results[0]))
 			continue

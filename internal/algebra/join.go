@@ -81,6 +81,8 @@ func (a *Algebra) Join(left, right *Collection, spec JoinSpec) (*Collection, err
 		rows, err = a.joinBJI(left, right, spec)
 	case cost.HashPartition:
 		rows, err = a.joinHashPartition(left, right, spec)
+	case cost.FusionJoin:
+		rows, err = a.joinFusion(left, right, spec)
 	default:
 		err = fmt.Errorf("algebra: unknown join method %v", spec.Method)
 	}
@@ -277,6 +279,54 @@ func (a *Algebra) joinHashPartition(left, right *Collection, spec JoinSpec) ([]R
 				merged := lrow.merged(rrow)
 				rb := merged.Vars[spec.RightVar]
 				rb.Val = val
+				merged.Vars[spec.RightVar] = rb
+				out = append(out, merged)
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinFusion is the collection-fused navigation join (the Odra fusion
+// algorithm): the whole left input is partitioned on the pointer field, the
+// distinct targets are dereferenced in ONE page-ordered batch (fc =
+// RNDCOST(nbpg_c) + RNDCOST(nbpg(D,α))), and the merged rows are
+// synthesized from the fetched values — the target extent itself is never
+// scanned.
+func (a *Algebra) joinFusion(left, right *Collection, spec JoinSpec) ([]Row, error) {
+	rightBy := rowsByOID(right, spec.RightVar)
+	partitions := make(map[storage.OID][]Row)
+	for i := range left.Rows {
+		lrow := left.Rows[i]
+		lb := lrow.Vars[spec.LeftVar]
+		if err := a.materialize(&lb); err != nil {
+			return nil, err
+		}
+		lrow.Vars[spec.LeftVar] = lb
+		for _, ref := range refsOf(lb.Val, spec.Attribute) {
+			partitions[ref] = append(partitions[ref], lrow)
+		}
+	}
+	refs := make([]storage.OID, 0, len(partitions))
+	for ref := range partitions {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	vals, _, err := a.Cat.GetObjects(refs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for i, ref := range refs {
+		rrows, hit := rightBy[ref]
+		if !hit {
+			continue
+		}
+		for _, lrow := range partitions[ref] {
+			for _, rrow := range rrows {
+				merged := lrow.merged(rrow)
+				rb := merged.Vars[spec.RightVar]
+				rb.Val = vals[i]
 				merged.Vars[spec.RightVar] = rb
 				out = append(out, merged)
 			}

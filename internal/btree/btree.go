@@ -52,6 +52,48 @@ type Tree struct {
 	height  int // number of levels, leaves included
 	leaves  int
 	entries int
+	logger  storage.PageLogger
+}
+
+// SetLogger attaches a WAL page logger: from then on every page the tree
+// mutates (inserts, deletes, splits, node initialization) is logged as a
+// whole-page before/after image and stamped with the returned LSN before its
+// dirty unpin, so tree maintenance participates in ARIES recovery exactly
+// like the storage layer's migrations. A failed log append restores the
+// frame to its before-image, so an unlogged mutation can never reach disk;
+// the in-memory tree should then be re-Opened from its last committed root.
+// nil detaches.
+func (t *Tree) SetLogger(l storage.PageLogger) { t.logger = l }
+
+// snap captures a page's before-image; nil when no logger is attached.
+func (t *Tree) snap(pg *storage.Page) []byte {
+	if t.logger == nil {
+		return nil
+	}
+	b := pg.Bytes()
+	img := make([]byte, len(b))
+	copy(img, b)
+	return img
+}
+
+// unpinLogged logs the page's whole-image update (before → current frame)
+// through the attached logger, stamps the LSN, and unpins dirty. With no
+// logger it is a plain dirty unpin.
+func (t *Tree) unpinLogged(pg *storage.Page, before []byte) error {
+	if t.logger == nil {
+		return t.bp.Unpin(pg.ID, true)
+	}
+	b := pg.Bytes()
+	after := make([]byte, len(b))
+	copy(after, b)
+	lsn, err := t.logger(pg.ID, 0, before, after)
+	if err != nil {
+		copy(b, before)
+		t.bp.Unpin(pg.ID, false)
+		return err
+	}
+	pg.SetLSN(lsn)
+	return t.bp.Unpin(pg.ID, true)
 }
 
 // New creates an empty B+ tree with fixed key size. unique rejects
@@ -291,12 +333,13 @@ func (t *Tree) Insert(key []byte, oid storage.OID) error {
 		if err != nil {
 			return err
 		}
+		before := t.snap(pg)
 		t.initNode(pg, false)
 		t.insertAt(pg, 0, promoted, uint64(t.root))
 		t.setRightmost(pg, newChild)
 		t.root = pg.ID
 		t.height++
-		if err := t.bp.Unpin(pg.ID, true); err != nil {
+		if err := t.unpinLogged(pg, before); err != nil {
 			return err
 		}
 	}
@@ -313,13 +356,14 @@ func (t *Tree) insertRec(pid storage.PageID, key []byte, value uint64) ([]byte, 
 		return nil, 0, err
 	}
 	if t.isLeaf(pg) {
+		before := t.snap(pg)
 		i := t.search(pg, key)
 		t.insertAt(pg, i, key, value)
 		if t.nkeys(pg) <= t.capacity() {
-			return nil, 0, t.bp.Unpin(pid, true)
+			return nil, 0, t.unpinLogged(pg, before)
 		}
 		sep, sib, serr := t.splitLeaf(pg)
-		if uerr := t.bp.Unpin(pid, true); uerr != nil && serr == nil {
+		if uerr := t.unpinLogged(pg, before); uerr != nil && serr == nil {
 			serr = uerr
 		}
 		return sep, sib, serr
@@ -341,6 +385,7 @@ func (t *Tree) insertRec(pid storage.PageID, key []byte, value uint64) ([]byte, 
 	if err != nil {
 		return nil, 0, err
 	}
+	before := t.snap(pg)
 	i := t.childIndex(pg, key)
 	if i == t.nkeys(pg) {
 		t.insertAt(pg, i, promoted, uint64(child))
@@ -350,10 +395,10 @@ func (t *Tree) insertRec(pid storage.PageID, key []byte, value uint64) ([]byte, 
 		binary.LittleEndian.PutUint64(t.entry(pg, i+1)[t.keySize:], uint64(newChild))
 	}
 	if t.nkeys(pg) <= t.capacity() {
-		return nil, 0, t.bp.Unpin(pid, true)
+		return nil, 0, t.unpinLogged(pg, before)
 	}
 	sep, sib, serr := t.splitInternal(pg)
-	if uerr := t.bp.Unpin(pid, true); uerr != nil && serr == nil {
+	if uerr := t.unpinLogged(pg, before); uerr != nil && serr == nil {
 		serr = uerr
 	}
 	return sep, sib, serr
@@ -368,6 +413,7 @@ func (t *Tree) splitLeaf(pg *storage.Page) ([]byte, storage.PageID, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	sibBefore := t.snap(sib)
 	t.initNode(sib, true)
 	es := t.entrySize()
 	copy(sib.Bytes()[entriesStart:], pg.Bytes()[entriesStart+mid*es:entriesStart+n*es])
@@ -378,7 +424,7 @@ func (t *Tree) splitLeaf(pg *storage.Page) ([]byte, storage.PageID, error) {
 	sep := make([]byte, t.keySize)
 	copy(sep, t.key(sib, 0))
 	t.leaves++
-	if err := t.bp.Unpin(sib.ID, true); err != nil {
+	if err := t.unpinLogged(sib, sibBefore); err != nil {
 		return nil, 0, err
 	}
 	return sep, sib.ID, nil
@@ -397,6 +443,7 @@ func (t *Tree) splitInternal(pg *storage.Page) ([]byte, storage.PageID, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	sibBefore := t.snap(sib)
 	t.initNode(sib, false)
 	es := t.entrySize()
 	copy(sib.Bytes()[entriesStart:], pg.Bytes()[entriesStart+(mid+1)*es:entriesStart+n*es])
@@ -404,7 +451,7 @@ func (t *Tree) splitInternal(pg *storage.Page) ([]byte, storage.PageID, error) {
 	t.setRightmost(sib, t.rightmost(pg))
 	t.setNKeys(pg, mid)
 	t.setRightmost(pg, midChild)
-	if err := t.bp.Unpin(sib.ID, true); err != nil {
+	if err := t.unpinLogged(sib, sibBefore); err != nil {
 		return nil, 0, err
 	}
 	return sep, sib.ID, nil
@@ -593,9 +640,10 @@ func (t *Tree) Delete(key []byte, oid storage.OID) error {
 				return ErrNotFound
 			}
 			if storage.OID(t.value(pg, i)) == oid {
+				before := t.snap(pg)
 				t.removeAt(pg, i)
 				t.entries--
-				return t.bp.Unpin(pid, true)
+				return t.unpinLogged(pg, before)
 			}
 		}
 		next := pg.NextPage()

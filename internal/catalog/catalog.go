@@ -98,12 +98,26 @@ type Catalog struct {
 	// GetObjects call — the clustering tracer's reference-traversal feed.
 	// Installed once at open time, read-only after.
 	accObs AccessObserver
+
+	// mutObs, when set, receives every object mutation the catalog applies
+	// — the kernel's join-index maintenance feed. Installed once at open
+	// time, read-only after.
+	mutObs MutationObserver
 }
 
 // AccessObserver receives the request-ordered OID batches readers
 // dereference together. Implementations must be safe for concurrent calls
 // and must not call back into the catalog.
 type AccessObserver func(oids []storage.OID)
+
+// MutationObserver receives every object mutation after the catalog has
+// applied it to the store: op is 'c' (create), 'u' (update) or 'd'
+// (delete); old is the zero Value on create and new the zero Value on
+// delete. Implementations must be safe for concurrent calls and must not
+// call back into the catalog's object paths. A returned error fails the
+// mutating call after the fact — the store change stands, matching the
+// partial-failure semantics of attribute-index maintenance.
+type MutationObserver func(op byte, class string, oid storage.OID, old, new object.Value) error
 
 // New creates a catalog over the store, bootstrapping its system extents
 // (SYS.MoodsType, SYS.MoodsIndex). The store may be a single ObjectStore or

@@ -53,6 +53,11 @@ func (c *Catalog) CreateObject(class string, v object.Value) (storage.OID, error
 	if err := c.indexInsert(class, v, oid); err != nil {
 		return storage.NilOID, err
 	}
+	if c.mutObs != nil {
+		if err := c.mutObs('c', class, oid, object.Value{}, v); err != nil {
+			return storage.NilOID, err
+		}
+	}
 	return oid, nil
 }
 
@@ -78,6 +83,12 @@ func (c *Catalog) ObjectCache() *objcache.Cache { return c.ocache }
 // by GetObjects with its request-ordered input batch. Install once at open
 // time, before the catalog is shared; nil detaches.
 func (c *Catalog) SetAccessObserver(obs AccessObserver) { c.accObs = obs }
+
+// SetMutationObserver attaches the object-mutation hook fired by
+// CreateObject, UpdateObject and DeleteObject after the store change is
+// applied. Install once at open time, before the catalog is shared; nil
+// detaches.
+func (c *Catalog) SetMutationObserver(obs MutationObserver) { c.mutObs = obs }
 
 // GetObject dereferences an OID — the algebra's Deref(oid) — returning the
 // stored value and the name of its class (TypeId/typeName composition).
@@ -202,7 +213,13 @@ func (c *Catalog) UpdateObject(oid storage.OID, v object.Value) error {
 	if err := c.store.Update(oid, encodeObject(cl.ID, v)); err != nil {
 		return err
 	}
-	return c.indexInsert(class, v, oid)
+	if err := c.indexInsert(class, v, oid); err != nil {
+		return err
+	}
+	if c.mutObs != nil {
+		return c.mutObs('u', class, oid, old, v)
+	}
+	return nil
 }
 
 // DeleteObject removes the object from its extent and indexes.
@@ -214,7 +231,13 @@ func (c *Catalog) DeleteObject(oid storage.OID) error {
 	if err := c.indexDelete(class, old, oid); err != nil {
 		return err
 	}
-	return c.store.Delete(oid)
+	if err := c.store.Delete(oid); err != nil {
+		return err
+	}
+	if c.mutObs != nil {
+		return c.mutObs('d', class, oid, old, object.Value{})
+	}
+	return nil
 }
 
 // ScanExtent iterates the direct extent of one class (no subclasses),

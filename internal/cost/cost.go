@@ -191,6 +191,14 @@ type Stats struct {
 	// (the Cardenas estimate) instead of costing RNDCOST(k). False keeps
 	// the original one-seek-per-reference model.
 	BatchFetch bool
+	// Fusion enables pricing the executor's collection-fused join (the Odra
+	// fusion algorithm): the whole left input's references are deduplicated
+	// globally and fetched in one page-ordered sweep, so the probe side pays
+	// the random cost of the *distinct* targets rather than one dereference
+	// per occurrence. False (the default) keeps BestJoin's choice set — and
+	// therefore every paper example — byte-exact to the four strategies of
+	// Sections 3.2 and 8.3.
+	Fusion bool
 }
 
 // NewStats creates an empty statistics base over the disk parameters with
@@ -514,7 +522,8 @@ func NbPg(nbpages int, k float64) float64 {
 // --- Section 6: cost of the implicit join C.A = D.self ------------------
 
 // JoinMethod enumerates the four implicit-join strategies of Sections 3.2
-// and 8.3.
+// and 8.3, plus the collection-fused navigation join (FusionJoin) added on
+// top of the paper's set.
 type JoinMethod uint8
 
 // Join strategies.
@@ -523,6 +532,7 @@ const (
 	BackwardTraversal
 	BinaryJoinIndex
 	HashPartition
+	FusionJoin
 )
 
 func (m JoinMethod) String() string {
@@ -535,6 +545,8 @@ func (m JoinMethod) String() string {
 		return "BINARY_JOIN_INDEX"
 	case HashPartition:
 		return "HASH_PARTITION"
+	case FusionJoin:
+		return "FUSION_JOIN"
 	}
 	return "?"
 }
@@ -555,6 +567,11 @@ type JoinInput struct {
 	CAccessed bool
 	DAccessed bool        // D's pages already resident (backward traversal)
 	BJIdx     *BTreeStats // binary join index, when one exists
+	// FusionOK marks the join as shaped for the fusion operator: the probe
+	// side must be a bare class bind (optionally under a selection), since
+	// fusion never scans the target extent — it synthesizes the probe rows
+	// from the fetched references directly.
+	FusionOK bool
 }
 
 // ForwardCost is Section 6.1:
@@ -638,9 +655,45 @@ func (s *Stats) HashPartitionCost(in JoinInput) (float64, error) {
 	return 3*frac*s.Disk.SEQCOST(float64(cs.NbPages)) + s.missFactor()*s.Disk.RNDCOST(nbpg), nil
 }
 
+// FusionCost prices the collection-fused join: the left input's references
+// are deduplicated globally (the same color estimate α the hash join uses
+// for its probe side) and fetched in one page-ordered sweep over D's
+// distinct pages, with no scan of D and no partition passes:
+//
+//	fc = RNDCOST(nbpg_c) + RNDCOST(nbpg(D, α)) + k_c*fan*CPUCOST
+//	α  = c(|C|*fan, totref, k_c*fan)
+//
+// The first term drops when C was already accessed (exactly as in the
+// forward formula); the CPU term charges the per-occurrence partition and
+// dedup work, so fusion only beats forward traversal when reference sharing
+// genuinely collapses the probe's page count.
+func (s *Stats) FusionCost(in JoinInput) (float64, error) {
+	cs, err := s.Class(in.Class)
+	if err != nil {
+		return 0, err
+	}
+	ls, err := s.Link(in.Class, in.Attribute)
+	if err != nil {
+		return 0, err
+	}
+	ds, err := s.Class(ls.Target)
+	if err != nil {
+		return 0, err
+	}
+	srcCost := 0.0
+	if !in.CAccessed {
+		srcCost = s.Disk.RNDCOST(s.ShardNbPg(cs, in.Kc))
+	}
+	alpha := C(float64(cs.Card)*ls.Fan, ls.TotRef, in.Kc*ls.Fan)
+	return srcCost + s.missFactor()*s.Disk.RNDCOST(s.ShardNbPg(ds, alpha)) + in.Kc*ls.Fan*CPUCost, nil
+}
+
 // BestJoin evaluates all applicable strategies and returns the cheapest
 // with its cost — the "minimum cost join technique among the four join
-// algorithms" used by Algorithm 8.2.
+// algorithms" used by Algorithm 8.2. When the Fusion knob is on and the
+// join is fusion-shaped, the fused navigation join competes as a fifth
+// strategy; it is priced last with a strict comparison, so ties preserve
+// the paper's choices.
 func (s *Stats) BestJoin(in JoinInput) (JoinMethod, float64, error) {
 	best := ForwardTraversal
 	bestCost, err := s.ForwardCost(in)
@@ -661,6 +714,11 @@ func (s *Stats) BestJoin(in JoinInput) (JoinMethod, float64, error) {
 	}
 	if c, err := s.HashPartitionCost(in); err == nil && c < bestCost {
 		best, bestCost = HashPartition, c
+	}
+	if s.Fusion && in.FusionOK {
+		if c, err := s.FusionCost(in); err == nil && c < bestCost {
+			best, bestCost = FusionJoin, c
+		}
 	}
 	return best, bestCost, nil
 }

@@ -521,3 +521,112 @@ func TestBatchFetchCollapsesToDistinctPages(t *testing.T) {
 		t.Fatalf("batched cost %v not below serial %v", b, a)
 	}
 }
+
+func TestFusionCostFormula(t *testing.T) {
+	s := paperStats()
+	in := JoinInput{Class: "Vehicle", Attribute: "manufacturer", Kc: 20000, Kd: 1, FusionOK: true}
+	fc, err := s.FusionCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fc = RNDCOST(nbpg_c) + RNDCOST(nbpg(D, α)) + k_c*fan*CPUCOST with
+	// α = c(|C|*fan, totref, k_c*fan) — the hash join's dedup estimate on
+	// forward traversal's access pattern.
+	alpha := C(20000, 20000, 20000)
+	want := s.Disk.RNDCOST(NbPg(2000, 20000)) + s.Disk.RNDCOST(NbPg(2500, alpha)) + 20000*CPUCost
+	if math.Abs(fc-want) > 1e-6 {
+		t.Fatalf("FusionCost = %v, want %v", fc, want)
+	}
+	// CAccessed drops the source term, exactly like ForwardCost.
+	in2 := in
+	in2.CAccessed = true
+	fc2, err := s.FusionCost(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((fc-fc2)-s.Disk.RNDCOST(NbPg(2000, 20000))) > 1e-6 {
+		t.Fatalf("CAccessed delta = %v", fc-fc2)
+	}
+}
+
+// fusionStats builds a heavily reference-shared schema: 10000 sources all
+// pointing into just 100 distinct targets, so the fused dedup collapses the
+// probe side by two orders of magnitude.
+func fusionStats() *Stats {
+	s := NewStats(DefaultDisk())
+	s.SetClass(ClassStats{Name: "Src", Card: 10000, NbPages: 500, Size: 200})
+	s.SetClass(ClassStats{Name: "Tgt", Card: 100, NbPages: 10, Size: 400})
+	s.SetLink(LinkStats{Class: "Src", Attribute: "ref", Target: "Tgt",
+		Fan: 1, TotRef: 100, TargetCard: 100, NotNull: 1})
+	return s
+}
+
+func TestBestJoinFusionGate(t *testing.T) {
+	s := fusionStats()
+	in := JoinInput{Class: "Src", Attribute: "ref", Kc: 1000, Kd: 100, CAccessed: true, FusionOK: true}
+
+	// Knob off (the default): fusion is never chosen, even when shaped for
+	// it — the choice set stays the paper's four strategies.
+	m, _, err := s.BestJoin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == FusionJoin {
+		t.Fatalf("fusion chosen with the knob off")
+	}
+
+	// Knob on, fusion-shaped, heavy sharing: 1000 occurrences dedup to 100
+	// targets on 10 pages — fusion must now win.
+	s.Fusion = true
+	m, c, err := s.BestJoin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != FusionJoin {
+		t.Fatalf("best = %v (cost %v), want FUSION_JOIN", m, c)
+	}
+
+	// Same join without the fusion shape: back to the paper's choice.
+	in2 := in
+	in2.FusionOK = false
+	m, _, err = s.BestJoin(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == FusionJoin {
+		t.Fatalf("fusion chosen without FusionOK")
+	}
+}
+
+func TestFusionNeverWinsWithoutSharing(t *testing.T) {
+	// A unique link (every source references a distinct target): the dedup
+	// estimate α equals k_c, so fusion's probe term matches batched forward
+	// traversal exactly and its CPU term makes it strictly worse. The tie
+	// rule must keep FORWARD_TRAVERSAL.
+	s := NewStats(DefaultDisk())
+	s.SetClass(ClassStats{Name: "Src", Card: 10000, NbPages: 500, Size: 200})
+	s.SetClass(ClassStats{Name: "Tgt", Card: 10000, NbPages: 500, Size: 200})
+	s.SetLink(LinkStats{Class: "Src", Attribute: "ref", Target: "Tgt",
+		Fan: 1, TotRef: 10000, TargetCard: 10000, NotNull: 1})
+	s.Fusion = true
+	s.BatchFetch = true
+	in := JoinInput{Class: "Src", Attribute: "ref", Kc: 100, Kd: 10000, CAccessed: true, FusionOK: true}
+	fwd, err := s.ForwardCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fus, err := s.FusionCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fus <= fwd {
+		t.Fatalf("fusion %v not strictly above forward %v on a unique link", fus, fwd)
+	}
+	m, _, err := s.BestJoin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != ForwardTraversal {
+		t.Fatalf("best = %v, want FORWARD_TRAVERSAL", m)
+	}
+}

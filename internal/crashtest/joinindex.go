@@ -1,0 +1,284 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mood/internal/fault"
+	"mood/internal/joinindex"
+	"mood/internal/object"
+	"mood/internal/storage"
+	"mood/internal/wal"
+)
+
+// Join-index mode: the same seeded crash scenarios, but the workload is
+// binary-join-index maintenance — exactly what the kernel's mutation
+// observer runs on every object create/update/delete. Each "transaction" is
+// one Maintain call (a reference retarget, a delete, or an insert) whose
+// btree page mutations are whole-page-image logged under one WAL
+// micro-transaction. The crash can land anywhere inside it: between the
+// forward-tree insert and the reverse-tree insert, mid page split, before
+// the commit force. The invariant: after reboot + repair + recovery,
+// re-opening the index at the last COMMITTED tree roots must yield exactly
+// the committed pair set — forward and backward probes both — with no trace
+// of the loser maintenance.
+
+// RunJoinIndex executes one deterministic mid-maintenance crash/recovery
+// iteration. Every error includes cfg.Seed for replay.
+func RunJoinIndex(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{Seed: cfg.Seed, Point: cfg.Point}
+	fail := func(format string, args ...interface{}) (Result, error) {
+		return res, fmt.Errorf("crashtest(joinindex) seed %d point %s: %s",
+			cfg.Seed, cfg.Point, fmt.Sprintf(format, args...))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	disk := storage.NewDiskSim(storage.DefaultDiskParams())
+	disk.SetDoublewrite(true)
+	bp := storage.NewBufferPool(disk, cfg.Frames+8)
+	log := wal.NewLog()
+	bp.SetFlushHook(log.FlushHook())
+
+	ix, err := joinindex.NewBJI(bp, "C", "ref", "D")
+	if err != nil {
+		return fail("setup: %v", err)
+	}
+	// The logger mirrors the kernel's: shard 0's WAL curried into the btree
+	// page-logger shape, with the transaction id swapped per micro-tx.
+	var curTx wal.TxID
+	ix.SetLogger(func(pid storage.PageID, off int, before, after []byte) (uint32, error) {
+		lsn, lerr := log.Update(curTx, pid, off, before, after)
+		return uint32(lsn), lerr
+	})
+
+	// The OID universe: sources carry distinct shard tags (bits 60-63) so
+	// the injective key encoding is exercised, targets are a small shared
+	// pool so reverse-tree entries develop real fan-in.
+	nSrc := 4 * cfg.Txns
+	srcs := make([]storage.OID, nSrc)
+	for i := range srcs {
+		srcs[i] = storage.OID(uint64(i%4)<<60 | uint64(1000+i))
+	}
+	dsts := make([]storage.OID, 1+nSrc/4)
+	for i := range dsts {
+		dsts[i] = storage.OID(uint64(2_000_000 + i))
+	}
+
+	// model is the committed pair set: src -> referenced target (nil OID =
+	// absent). Committed roots are recorded after every commit; reboot
+	// re-opens there, so loser root splits cannot strand the verifier.
+	model := map[storage.OID]storage.OID{}
+	fwdRoot, revRoot := ix.Roots()
+
+	// maintain wraps one Maintain call in a WAL micro-transaction and, on
+	// success, folds the delta into the committed model.
+	maintain := func(src, oldDst, newDst storage.OID) error {
+		oldV, newV := object.Null, object.Null
+		if !oldDst.IsNil() {
+			oldV = object.NewRef(oldDst)
+		}
+		if !newDst.IsNil() {
+			newV = object.NewRef(newDst)
+		}
+		curTx = log.Begin()
+		res.Started++
+		if err := ix.Maintain(src, oldV, newV); err != nil {
+			return err
+		}
+		if err := log.Commit(curTx); err != nil {
+			return err
+		}
+		res.Committed++
+		if newDst.IsNil() {
+			delete(model, src)
+		} else {
+			model[src] = newDst
+		}
+		fwdRoot, revRoot = ix.Roots()
+		return nil
+	}
+
+	// Seed phase, pre-fault: half the sources get a committed entry, flushed
+	// clean, so the workload mutates a tree with real depth.
+	for i := 0; i < nSrc/2; i++ {
+		if err := maintain(srcs[i], storage.NilOID, dsts[rng.Intn(len(dsts))]); err != nil {
+			return fail("seed maintain %d: %v", i, err)
+		}
+	}
+	if err := bp.FlushAll(); err != nil {
+		return fail("setup flush: %v", err)
+	}
+	log.FlushAll()
+
+	// Arm the scenario exactly as Run does.
+	fi := fault.New(cfg.Seed)
+	switch cfg.Point {
+	case PointLogFlushCrash:
+		fi.FailAt(fault.OpLogFlush, int64(1+rng.Intn(4)), fault.Crash)
+	case PointPageWriteCrash:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(6)), fault.Crash)
+	case PointTornWrite:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(6)), fault.Torn)
+	case PointTransientWrite:
+		fi.FailAt(fault.OpPageWrite, int64(1+rng.Intn(3)), fault.Transient)
+	case PointLogAppendCrash:
+		// Each Maintain logs a handful of page images (two trees, splits).
+		fi.FailAt(fault.OpLogAppend, int64(1+rng.Intn(4*cfg.Txns)), fault.Crash)
+	case PointPostCommit:
+		// Power-fail after the workload with dirty pages unflushed.
+	default:
+		return fail("unknown crash point")
+	}
+	disk.SetFaultInjector(fi)
+	log.SetFaultInjector(fi)
+
+	// The maintenance workload: retarget, delete or (re-)insert a random
+	// source's reference. A hard fault inside Maintain or Commit kills the
+	// machine mid-maintenance — no abort runs, the micro-transaction stays
+	// ACTIVE, and recovery must undo the half-applied tree mutations. The
+	// last transaction is always left active after a forced flush: the
+	// classic steal/no-force loser whose on-disk page images recovery must
+	// roll back.
+	died := ""
+	retry := func(what string, op func() error) error {
+		for attempt := 0; ; attempt++ {
+			err := op()
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, fault.ErrTransient) && attempt < maxRetries {
+				res.Retries++
+				continue
+			}
+			if died == "" {
+				died = fmt.Sprintf("%s: %v", what, err)
+			}
+			return err
+		}
+	}
+	for t := 0; t < cfg.Txns && died == ""; t++ {
+		src := srcs[rng.Intn(nSrc)]
+		oldDst := model[src]
+		var newDst storage.OID
+		if oldDst.IsNil() || rng.Intn(3) > 0 {
+			// Insert, resurrect a deleted entry, or retarget.
+			newDst = dsts[rng.Intn(len(dsts))]
+		}
+		if t == cfg.Txns-1 {
+			// Leave the final maintenance active with its pages (and the log,
+			// via the WAL flush hook) forced to disk, then power-fail.
+			oldV, newV := object.Null, object.Null
+			if !oldDst.IsNil() {
+				oldV = object.NewRef(oldDst)
+			}
+			if !newDst.IsNil() {
+				newV = object.NewRef(newDst)
+			}
+			curTx = log.Begin()
+			res.Started++
+			if err := ix.Maintain(src, oldV, newV); err != nil {
+				died = fmt.Sprintf("loser maintain: %v", err)
+				break
+			}
+			_ = retry("loser flush", func() error { return bp.FlushAll() })
+			break
+		}
+		if err := maintain(src, oldDst, newDst); err != nil {
+			// Hard crash mid-maintenance: the machine is dead. No abort runs;
+			// the micro-transaction stays active for recovery to undo.
+			// (Transient faults only arm page writes, which fire during the
+			// retried flush pressure below — never inside Maintain/Commit.)
+			died = fmt.Sprintf("maintain: %v", err)
+			break
+		}
+		if rng.Intn(2) == 0 {
+			_ = retry("flush pressure", func() error { return bp.FlushAll() })
+		}
+	}
+	res.Fired = len(fi.Trips()) > 0
+	res.CrashedAt = died
+
+	// ---- Reboot ----
+	disk.SetFaultInjector(nil)
+	log.SetFaultInjector(nil)
+	for _, id := range disk.CorruptPages() {
+		if err := disk.RepairPage(id); err != nil {
+			return fail("repair page %d: %v", id, err)
+		}
+		res.TornFixed++
+	}
+	bp2 := storage.NewBufferPool(disk, cfg.Frames+8)
+	bp2.SetFlushHook(log.FlushHook())
+	rstats, err := log.Recover(bp2)
+	if err != nil {
+		return fail("recovery: %v", err)
+	}
+	res.Recovery = rstats
+
+	// Re-attach at the last committed roots: recovery undid every loser
+	// page image, so the trees rooted there are exactly the committed index.
+	ix2, err := joinindex.OpenBJI(bp2, "C", "ref", "D", fwdRoot, revRoot)
+	if err != nil {
+		return fail("reopen index: %v", err)
+	}
+
+	// Forward probes: every committed source resolves to exactly its
+	// committed target; deleted (or never-inserted) sources resolve to
+	// nothing.
+	pairs := 0
+	for _, src := range srcs {
+		got, err := ix2.Forward(src)
+		if err != nil {
+			return fail("forward %s: %v", src, err)
+		}
+		want, ok := model[src]
+		if !ok {
+			if len(got) != 0 {
+				return fail("forward %s: loser entries survived: %v", src, got)
+			}
+			continue
+		}
+		if len(got) != 1 || got[0] != want {
+			return fail("forward %s = %v, want [%s]", src, got, want)
+		}
+		pairs++
+	}
+	if n := ix2.Len(); n != pairs {
+		return fail("index holds %d pairs, committed model has %d", n, pairs)
+	}
+	// Backward probes: each target's fan-in matches the committed model.
+	reverse := map[storage.OID][]storage.OID{}
+	for src, dst := range model {
+		reverse[dst] = append(reverse[dst], src)
+	}
+	for _, dst := range dsts {
+		got, err := ix2.Backward(dst)
+		if err != nil {
+			return fail("backward %s: %v", dst, err)
+		}
+		want := reverse[dst]
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return fail("backward %s: %d sources, want %d", dst, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fail("backward %s: got %v, want %v", dst, got, want)
+			}
+		}
+	}
+	if active := log.ActiveTransactions(); len(active) != 0 {
+		return fail("transactions still active after recovery: %v", active)
+	}
+	if err := bp2.FlushAll(); err != nil {
+		return fail("post-recovery flush: %v", err)
+	}
+	if bad := disk.CorruptPages(); len(bad) != 0 {
+		return fail("checksum mismatches after recovery: pages %v", bad)
+	}
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTortureJoinIndexMaintenance is the mid-maintenance variant of the
+// torture run: every iteration's workload is WAL-logged binary-join-index
+// maintenance (the kernel's mutation-observer primitive), and the crash
+// lands inside a micro-transaction. Replay a failure with CRASHTEST_SEED
+// exactly as for TestTortureCrashRecovery.
+func TestTortureJoinIndexMaintenance(t *testing.T) {
+	if seed, ok := envInt64("CRASHTEST_SEED", 0); ok {
+		for _, point := range Points {
+			res, err := RunJoinIndex(Config{Seed: seed, Point: point})
+			if err != nil {
+				t.Errorf("%v", err)
+			}
+			t.Logf("seed %d %s: fired=%v crashed=%q committed=%d retries=%d torn=%d recovery=%+v",
+				seed, point, res.Fired, res.CrashedAt, res.Committed, res.Retries, res.TornFixed, res.Recovery)
+		}
+		return
+	}
+
+	iters, _ := envInt64("CRASHTEST_ITERS", defaultIterations)
+	if iters < int64(len(Points)) {
+		iters = int64(len(Points))
+	}
+	const baseSeed = 11000
+	fired := map[Point]int{}
+	stopped := map[Point]int{}
+	committedTotal, redone, undone, tornFixed := 0, 0, 0, 0
+	for i := int64(0); i < iters; i++ {
+		point := Points[i%int64(len(Points))]
+		seed := baseSeed + i
+		res, err := RunJoinIndex(Config{Seed: seed, Point: point})
+		if err != nil {
+			t.Fatalf("%v\nreplay: CRASHTEST_SEED=%d go test ./internal/crashtest -run TestTortureJoinIndex -v", err, seed)
+		}
+		if res.Fired {
+			fired[point]++
+		}
+		if res.CrashedAt != "" {
+			stopped[point]++
+		}
+		committedTotal += res.Committed
+		redone += res.Recovery.Redone
+		undone += res.Recovery.Undone
+		tornFixed += res.TornFixed
+	}
+	for _, point := range Points {
+		if point == PointPostCommit {
+			continue // arms no fault by design; every iteration still recovers
+		}
+		if fired[point] == 0 {
+			t.Errorf("scenario %s never fired its fault in %d iterations", point, iters)
+		}
+	}
+	// Maintenance must have both survived commits (redo) and lost
+	// micro-transactions (undo of half-applied tree mutations) across the run.
+	if committedTotal == 0 || redone == 0 || undone == 0 {
+		t.Errorf("weak coverage: committed=%d redone=%d undone=%d", committedTotal, redone, undone)
+	}
+	t.Logf("%d iterations: committed=%d redone=%d undone=%d tornFixed=%d fired=%v stopped=%v",
+		iters, committedTotal, redone, undone, tornFixed, fired, stopped)
+}
+
+// TestRunJoinIndexIsDeterministic mirrors TestRunIsDeterministic for the
+// maintenance workload: identical seeds must yield identical results.
+func TestRunJoinIndexIsDeterministic(t *testing.T) {
+	for _, point := range Points {
+		a, errA := RunJoinIndex(Config{Seed: 5252, Point: point})
+		b, errB := RunJoinIndex(Config{Seed: 5252, Point: point})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", point, errA, errB)
+		}
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Errorf("%s: same seed, different results:\n%+v\n%+v", point, a, b)
+		}
+	}
+}

@@ -135,6 +135,9 @@ type OpReport struct {
 	// lowered to a fused closure (false = interpreter fallback).
 	CompiledSet bool
 	Compiled    bool
+	// Access names the physical access path a join operator ran
+	// (forward/backward/joinindex/hash/fusion); empty for non-joins.
+	Access string
 	// Self figures exclude the children's cumulative shares; Cum figures
 	// include them.
 	SelfPages int64
@@ -284,6 +287,12 @@ type predicateCompiled interface {
 	compiledPredicate() (active, full bool)
 }
 
+// accessPather is implemented by the join operators; the returned tag names
+// the physical access path in the EXPLAIN ANALYZE report.
+type accessPather interface {
+	accessPath() string
+}
+
 func buildReport(c *compiled) *OpReport {
 	r := &OpReport{
 		Plan:            c.plan,
@@ -305,6 +314,9 @@ func buildReport(c *compiled) *OpReport {
 			r.CompiledSet = true
 			r.Compiled = full
 		}
+	}
+	if ap, ok := c.raw.(accessPather); ok {
+		r.Access = ap.accessPath()
 	}
 	var kidPages, kidHits, kidMisses, kidPrefetched, kidCRefs, kidCPages int64
 	var kidTime time.Duration
@@ -374,6 +386,9 @@ func (a *Analysis) Render() string {
 
 func renderReport(sb *strings.Builder, r *OpReport, indent string, cacheOn, prefetchOn, clusterOn bool) {
 	extra := ""
+	if r.Access != "" {
+		extra += " access=" + r.Access
+	}
 	if cacheOn {
 		extra += fmt.Sprintf(" cache=%d/%d", r.SelfHits, r.SelfMisses)
 	}

@@ -515,6 +515,8 @@ func (o *exchangeHashJoinOp) Close() error {
 
 func (o *exchangeHashJoinOp) WorkerStats() []WorkerStat { return o.core.workerStats() }
 
+func (o *exchangeHashJoinOp) accessPath() string { return "hash" }
+
 // compileExchange lowers an ExchangePlan onto one of the parallel operators.
 // The optimizer only wraps exchangeable shapes, but compilation double-checks
 // and falls back to compiling the input serially for anything else, so an

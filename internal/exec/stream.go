@@ -220,6 +220,38 @@ func (e *Executor) compileNode(p optimizer.Plan, an *analyzeCtx) (*compiled, err
 		if err != nil {
 			return nil, err
 		}
+		if n.Method == cost.FusionJoin {
+			// Fusion absorbs its bind-shaped right side into the operator
+			// (the same disappearance as the fused scan-selection): the
+			// bind's class membership and predicate run against the
+			// batch-fetched referents, and the right extent is never
+			// scanned. The optimizer only picks fusion for these shapes.
+			bp, pred, ok := fusionRight(n.Right)
+			if !ok {
+				return nil, fmt.Errorf("exec: fusion join needs a bind-shaped right side, got %T", n.Right)
+			}
+			c.hdr = optimizer.Header{
+				Kind:  algebra.JoinKind(left.hdr.Kind, algebra.ExtentKind),
+				Name:  n.RightVar,
+				Class: bp.Class,
+			}
+			op := &fusionJoinOp{
+				joinBase: joinBase{
+					alg: e.Alg, left: left,
+					leftVar: n.LeftVar, attr: n.Attribute, rightVar: n.RightVar,
+				},
+				rightClass: bp.Class,
+				minus:      bp.Minus,
+				closure:    bp.Every || len(bp.Minus) > 0,
+				pred:       pred,
+				re:         e.Alg.NewRowEvaluator(),
+			}
+			if pred != nil && !e.RowMode {
+				op.predFn, op.compiled = e.queryFuncs().Predicate(bp.Var, pred)
+			}
+			c.op = op
+			break
+		}
 		right, err := child(n.Right)
 		if err != nil {
 			return nil, err
@@ -1133,6 +1165,22 @@ func (o *bjiJoinOp) Open() error {
 	return o.right.op.Open()
 }
 
+// probe resolves one right row against the index into pending.
+func (o *bjiJoinOp) probe(rrow algebra.Row) error {
+	rb := rrow.Vars[o.rightVar]
+	sources, err := o.index.Backward(rb.OID)
+	if err != nil {
+		return err
+	}
+	o.refill()
+	for _, src := range sources {
+		for _, lrow := range o.leftBy[src] {
+			o.pending = append(o.pending, lrow.Merged(rrow))
+		}
+	}
+	return nil
+}
+
 func (o *bjiJoinOp) Next() (algebra.Row, bool, error) {
 	for {
 		if row, ok := o.take(); ok {
@@ -1142,18 +1190,35 @@ func (o *bjiJoinOp) Next() (algebra.Row, bool, error) {
 		if err != nil || !ok {
 			return algebra.Row{}, false, err
 		}
-		rb := rrow.Vars[o.rightVar]
-		sources, err := o.index.Backward(rb.OID)
-		if err != nil {
+		if err := o.probe(rrow); err != nil {
 			return algebra.Row{}, false, err
 		}
-		o.refill()
-		for _, src := range sources {
-			for _, lrow := range o.leftBy[src] {
-				o.pending = append(o.pending, lrow.Merged(rrow))
-			}
+	}
+}
+
+// NextBatch keeps the right side streaming while filling a batch of merged
+// rows; the per-right-row index probes (and so the read counts) are exactly
+// Next's.
+func (o *bjiJoinOp) NextBatch(b *RowBatch) (int, error) {
+	n := 0
+	for n < BatchCapacity {
+		if row, ok := o.take(); ok {
+			b.Rows[n] = row
+			n++
+			continue
+		}
+		rrow, ok, err := o.right.op.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		if err := o.probe(rrow); err != nil {
+			return 0, err
 		}
 	}
+	return n, nil
 }
 
 // hashJoinOp partitions the left rows on the pointer field at Open (the
@@ -1270,6 +1335,195 @@ func (o *hashJoinOp) NextBatch(b *RowBatch) (int, error) {
 	}
 	return n, nil
 }
+
+// fusionRight recognizes the plan shapes a fusion join can absorb as its
+// right side: a bare extent bind, or a selection directly over one.
+func fusionRight(p optimizer.Plan) (*optimizer.BindPlan, expr.Expr, bool) {
+	switch n := p.(type) {
+	case *optimizer.BindPlan:
+		return n, nil, true
+	case *optimizer.SelectPlan:
+		if bp, ok := n.Input.(*optimizer.BindPlan); ok {
+			return bp, n.Pred, true
+		}
+	}
+	return nil, nil, false
+}
+
+// fusionJoinOp is the collection-fused navigation join (the Odra fusion
+// algorithm) as a streaming operator: the whole left input is drained and
+// partitioned on the pointer field at Open, and the distinct referents then
+// resolve lazily in sorted chunks through GetObjects — the right extent is
+// never scanned. The absorbed right bind contributes only a
+// class-membership filter (the IS-A closure when the bind had EVERY/minus
+// semantics, the direct class otherwise) and an optional predicate, both
+// applied to the fetched values; right rows are synthesized, never read.
+// Every distinct referent is fetched — misses (wrong class, failed
+// predicate) are discovered on the fetched value, matching the algebra's
+// joinFusion so read counts agree between batch and collection modes.
+type fusionJoinOp struct {
+	joinBase // right is nil: the bind-shaped right side is absorbed
+
+	rightClass string
+	minus      []string
+	closure    bool
+	pred       expr.Expr   // nil → the right side was a bare bind
+	predFn     expr.PredFn // self-mode compiled; nil → fallback through re
+	compiled   bool
+	re         *algebra.RowEvaluator
+	resolve    object.Resolver
+
+	allowed    map[string]bool // class names the right bind admits
+	partitions map[storage.OID][]algebra.Row
+	refs       []storage.OID // sorted, every distinct referent
+	ri         int
+}
+
+func (o *fusionJoinOp) Open() error {
+	o.resolve = o.alg.Cat.Resolver()
+	allowed := map[string]bool{o.rightClass: true}
+	if o.closure {
+		closure, err := o.alg.Cat.Closure(o.rightClass)
+		if err != nil {
+			return err
+		}
+		allowed = make(map[string]bool, len(closure))
+		for _, name := range closure {
+			allowed[name] = true
+		}
+		for _, m := range o.minus {
+			sub, err := o.alg.Cat.Closure(m)
+			if err != nil {
+				return err
+			}
+			for _, s := range sub {
+				delete(allowed, s)
+			}
+		}
+	}
+	o.allowed = allowed
+	lc, err := drainOp(o.left.op, o.left.hdr)
+	if err != nil {
+		return err
+	}
+	o.partitions = make(map[storage.OID][]algebra.Row)
+	for i := range lc.Rows {
+		lrow := lc.Rows[i]
+		lb := lrow.Vars[o.leftVar]
+		if err := o.alg.MaterializeBound(&lb); err != nil {
+			return err
+		}
+		lrow.Vars[o.leftVar] = lb
+		for _, ref := range algebra.RefsOf(lb.Val, o.attr) {
+			o.partitions[ref] = append(o.partitions[ref], lrow)
+		}
+	}
+	o.refs = make([]storage.OID, 0, len(o.partitions))
+	for ref := range o.partitions {
+		o.refs = append(o.refs, ref)
+	}
+	sort.Slice(o.refs, func(i, j int) bool { return o.refs[i] < o.refs[j] })
+	return nil
+}
+
+// keep evaluates the right-side predicate against one fetched referent.
+func (o *fusionJoinOp) keep(oid storage.OID, v *object.Value, rrow algebra.Row) (bool, error) {
+	if o.predFn != nil {
+		return o.predFn(v, oid, o.resolve)
+	}
+	return o.re.EvalBool(rrow, o.pred)
+}
+
+// produce dereferences the next sorted referent chunk into pending; more is
+// false when every chunk has been fetched.
+func (o *fusionJoinOp) produce() (more bool, err error) {
+	if o.ri >= len(o.refs) {
+		return false, nil
+	}
+	end := o.ri + joinBatchRows
+	if end > len(o.refs) {
+		end = len(o.refs)
+	}
+	chunk := o.refs[o.ri:end]
+	o.ri = end
+	vals, names, err := o.alg.Cat.GetObjects(chunk)
+	if err != nil {
+		return false, err
+	}
+	o.refill()
+	for i, ref := range chunk {
+		if !o.allowed[names[i]] {
+			continue
+		}
+		rrow := algebra.Row{Vars: map[string]algebra.Bound{o.rightVar: {OID: ref, Val: vals[i]}}}
+		if o.pred != nil {
+			keep, err := o.keep(ref, &vals[i], rrow)
+			if err != nil {
+				return false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		for _, lrow := range o.partitions[ref] {
+			o.pending = append(o.pending, lrow.Merged(rrow))
+		}
+	}
+	return true, nil
+}
+
+func (o *fusionJoinOp) Next() (algebra.Row, bool, error) {
+	for {
+		if row, ok := o.take(); ok {
+			return row, true, nil
+		}
+		more, err := o.produce()
+		if err != nil {
+			return algebra.Row{}, false, err
+		}
+		if !more {
+			return algebra.Row{}, false, nil
+		}
+	}
+}
+
+// NextBatch mirrors hashJoinOp's: pending rows drain into b, further chunks
+// fetch on demand, and the chunked page-ordered pattern keeps read counts
+// identical to Next's.
+func (o *fusionJoinOp) NextBatch(b *RowBatch) (int, error) {
+	n := 0
+	for n < BatchCapacity {
+		if row, ok := o.take(); ok {
+			b.Rows[n] = row
+			n++
+			continue
+		}
+		more, err := o.produce()
+		if err != nil {
+			return 0, err
+		}
+		if !more {
+			break
+		}
+	}
+	return n, nil
+}
+
+// Close closes only the left child; the right side was absorbed, never
+// compiled.
+func (o *fusionJoinOp) Close() error { return o.left.op.Close() }
+
+func (o *fusionJoinOp) compiledPredicate() (active, full bool) {
+	return o.pred != nil, o.compiled
+}
+
+// accessPath tags each join strategy for the EXPLAIN ANALYZE access=
+// annotation.
+func (o *forwardJoinOp) accessPath() string  { return "forward" }
+func (o *backwardJoinOp) accessPath() string { return "backward" }
+func (o *bjiJoinOp) accessPath() string      { return "joinindex" }
+func (o *hashJoinOp) accessPath() string     { return "hash" }
+func (o *fusionJoinOp) accessPath() string   { return "fusion" }
 
 // --- products and unions --------------------------------------------------
 

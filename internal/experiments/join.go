@@ -1,0 +1,428 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"time"
+
+	"mood/internal/algebra"
+	"mood/internal/catalog"
+	"mood/internal/cost"
+	"mood/internal/exec"
+	"mood/internal/joinindex"
+	"mood/internal/kernel"
+	"mood/internal/object"
+	"mood/internal/optimizer"
+	"mood/internal/storage"
+)
+
+// The join-access-path sweep: the same deep-path and many-to-many join
+// queries are executed cold through each physical strategy — forward
+// traversal, binary join index, hash partition, fusion — with the DiskSim
+// latency replay turned on, best-of-N wall clock. Rows and the row
+// fingerprint must be identical across all four strategies, simulated reads
+// identical across repetitions; the acceptance number is the 3-hop path
+// query's rows/wall-sec through the join index or the fusion join relative
+// to forward traversal, which must clear 5x.
+
+const (
+	// joinBenchReps is the best-of-N repetition count per (bench, mode).
+	joinBenchReps = 3
+	// join3SpeedupFloor is the acceptance floor on the 3-hop path query.
+	join3SpeedupFloor = 5.0
+	// joinHotDivisor: only every hot-th object of a referenced extent is
+	// actually referenced, and the referenced objects are the extent's first
+	// records — contiguous pages. Forward traversal drains whole right
+	// extents regardless; the fused navigation touches the hot pages only.
+	joinHotDivisor = 64
+	// Extent cardinalities. The chain is JoinA -> JoinB -> JoinC -> JoinD
+	// (one reference per hop); the many-to-many side is JoinFan -{set}->
+	// JoinD over a small shared pool.
+	joinChainSrc  = 1500
+	joinChainExt  = 12000
+	joinFanSrc    = 1200
+	joinFanRefs   = 6
+	joinFanPool   = 600
+	joinBenchPad  = "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"
+	joinBenchBase = 1000
+)
+
+// JoinModeEntry is one measured (benchmark, access path) configuration.
+// Rows, Fingerprint, Reads and SimulatedMs are deterministic; WallMs and the
+// derived columns are wall-clock measurements.
+type JoinModeEntry struct {
+	Name             string  `json:"name"`
+	Access           string  `json:"access"`
+	Rows             int     `json:"rows"`
+	Fingerprint      string  `json:"fingerprint"`
+	Reads            int64   `json:"reads"`
+	SimulatedMs      float64 `json:"simulated_ms"`
+	WallMs           float64 `json:"wall_ms"`
+	RowsPerWallSec   float64 `json:"rows_per_wall_sec"`
+	SpeedupVsForward float64 `json:"speedup_vs_forward"`
+}
+
+// BenchJoin is the JSON artifact written by moodbench -join-json.
+type BenchJoin struct {
+	ChainSources      int             `json:"chain_sources"`
+	ChainExtent       int             `json:"chain_extent"`
+	HotDivisor        int             `json:"hot_divisor"`
+	FanSources        int             `json:"fan_sources"`
+	FanRefs           int             `json:"fan_refs"`
+	FanPool           int             `json:"fan_pool"`
+	Reps              int             `json:"reps"`
+	LatencyUsPerSimMs float64         `json:"latency_us_per_sim_ms"`
+	Entries           []JoinModeEntry `json:"entries"`
+	// Path3SpeedupBest is the acceptance number: the better of the
+	// join-index and fusion rows/wall-sec on the 3-hop path query relative
+	// to forward traversal. MeasureJoin fails below join3SpeedupFloor.
+	Path3SpeedupBest float64 `json:"path3_speedup_best"`
+}
+
+// joinAccessModes maps the measured access paths to the join method forced
+// into every JoinPlan of the benchmark's plan.
+var joinAccessModes = []struct {
+	access string
+	method cost.JoinMethod
+}{
+	{"forward", cost.ForwardTraversal},
+	{"joinindex", cost.BinaryJoinIndex},
+	{"hash", cost.HashPartition},
+	{"fusion", cost.FusionJoin},
+}
+
+func defineJoinBenchSchema(cat *catalog.Catalog) error {
+	classes := []struct {
+		name string
+		typ  *object.Type
+	}{
+		{"JoinD", object.TupleOf(
+			object.Field{Name: "tag", Type: object.TInteger},
+			object.Field{Name: "pad", Type: object.StringN(32)},
+		)},
+		{"JoinC", object.TupleOf(
+			object.Field{Name: "d", Type: object.RefTo("JoinD")},
+			object.Field{Name: "pad", Type: object.StringN(32)},
+		)},
+		{"JoinB", object.TupleOf(
+			object.Field{Name: "c", Type: object.RefTo("JoinC")},
+			object.Field{Name: "pad", Type: object.StringN(32)},
+		)},
+		{"JoinA", object.TupleOf(
+			object.Field{Name: "k", Type: object.TInteger},
+			object.Field{Name: "b", Type: object.RefTo("JoinB")},
+		)},
+		{"JoinFan", object.TupleOf(
+			object.Field{Name: "k", Type: object.TInteger},
+			object.Field{Name: "members", Type: object.SetOf(object.RefTo("JoinD"))},
+		)},
+	}
+	for _, c := range classes {
+		if _, err := cat.DefineClass(c.name, c.typ, nil, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildJoinBenchDB loads the sweep's extents. Reference targets are the
+// first len/joinHotDivisor records of each extent — the cold pages of the
+// unreferenced tail exist to be scanned by extent-draining strategies and
+// skipped by navigating ones.
+func buildJoinBenchDB() (*kernel.DB, error) {
+	opts := kernel.DefaultOptions()
+	opts.BufferFrames = 2048
+	// The object cache would absorb repeat dereferences and make the
+	// best-of-N read totals depend on the repetition order; the sweep
+	// measures the disk access paths, so it runs cache-off.
+	opts.ObjectCacheBytes = 0
+	db, err := kernel.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := defineJoinBenchSchema(db.Cat); err != nil {
+		db.Close()
+		return nil, err
+	}
+	create := func(class string, v object.Value) (storage.OID, error) {
+		return db.Cat.CreateObject(class, v)
+	}
+	hot := joinChainExt / joinHotDivisor
+	ds := make([]storage.OID, joinChainExt)
+	for i := range ds {
+		oid, err := create("JoinD", object.NewTuple(
+			[]string{"tag", "pad"},
+			[]object.Value{object.NewInt(int32(joinBenchBase + i)), object.NewString(joinBenchPad)},
+		))
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		ds[i] = oid
+	}
+	cs := make([]storage.OID, joinChainExt)
+	for i := range cs {
+		oid, err := create("JoinC", object.NewTuple(
+			[]string{"d", "pad"},
+			[]object.Value{object.NewRef(ds[i%hot]), object.NewString(joinBenchPad)},
+		))
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		cs[i] = oid
+	}
+	bs := make([]storage.OID, joinChainExt)
+	for i := range bs {
+		oid, err := create("JoinB", object.NewTuple(
+			[]string{"c", "pad"},
+			[]object.Value{object.NewRef(cs[i%hot]), object.NewString(joinBenchPad)},
+		))
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		bs[i] = oid
+	}
+	for i := 0; i < joinChainSrc; i++ {
+		if _, err := create("JoinA", object.NewTuple(
+			[]string{"k", "b"},
+			[]object.Value{object.NewInt(int32(joinBenchBase + i)), object.NewRef(bs[i%hot])},
+		)); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	for i := 0; i < joinFanSrc; i++ {
+		members := make([]object.Value, joinFanRefs)
+		for j := range members {
+			members[j] = object.NewRef(ds[(i*joinFanRefs+j)%joinFanPool])
+		}
+		if _, err := create("JoinFan", object.NewTuple(
+			[]string{"k", "members"},
+			[]object.Value{object.NewInt(int32(joinBenchBase + i)), object.NewSet(members...)},
+		)); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// joinBenchPlan builds one benchmark's plan with every join forced to the
+// given method. Index names are attached unconditionally; only the
+// BINARY_JOIN_INDEX compile path resolves them.
+func joinBenchPlan(name string, m cost.JoinMethod) optimizer.Plan {
+	join := func(left optimizer.Plan, leftVar, attr, rightClass, rightVar, index string) optimizer.Plan {
+		return &optimizer.JoinPlan{
+			Left:      left,
+			Right:     &optimizer.BindPlan{Class: rightClass, Var: rightVar},
+			Method:    m,
+			LeftVar:   leftVar,
+			Attribute: attr,
+			RightVar:  rightVar,
+			Index:     index,
+		}
+	}
+	switch name {
+	case "path3-deep":
+		p := join(&optimizer.BindPlan{Class: "JoinA", Var: "a"}, "a", "b", "JoinB", "b", "bji_ab")
+		p = join(p, "b", "c", "JoinC", "c", "bji_bc")
+		return join(p, "c", "d", "JoinD", "d", "bji_cd")
+	case "fan-m2m":
+		return join(&optimizer.BindPlan{Class: "JoinFan", Var: "f"}, "f", "members", "JoinD", "d", "bji_fd")
+	}
+	panic("unknown join benchmark " + name)
+}
+
+// joinRowHash folds one result row into an order-independent fingerprint:
+// the hash of every variable's OID binding, summed across rows.
+func joinRowHash(row algebra.Row) uint64 {
+	vars := make([]string, 0, len(row.Vars))
+	for v := range row.Vars {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	h := fnv.New64a()
+	for _, v := range vars {
+		fmt.Fprintf(h, "%s=%d;", v, uint64(row.Vars[v].OID))
+	}
+	return h.Sum64()
+}
+
+// measureJoinMode runs one benchmark through one access path: cold pool,
+// counters reset, latency replay on, the whole Open+drain measured (the
+// strategies differ precisely in what their build phases read, so setup is
+// inside the measured region). Returns rows, fingerprint, reads, simulated
+// ms, wall time.
+func measureJoinMode(db *kernel.DB, ex *exec.Executor, bench string, m cost.JoinMethod, latency time.Duration) (int, uint64, int64, float64, time.Duration, error) {
+	op, err := ex.Compile(joinBenchPlan(bench, m))
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	if err := db.Pool.EvictAll(); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	db.Disk.ResetStats()
+	db.Disk.SetLatency(latency)
+	defer db.Disk.SetLatency(0)
+
+	rows, fp := 0, uint64(0)
+	start := time.Now()
+	if err := op.Open(); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return 0, 0, 0, 0, 0, err
+		}
+		if !ok {
+			break
+		}
+		rows++
+		fp += joinRowHash(row)
+	}
+	wall := time.Since(start)
+	if err := op.Close(); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	s := db.Disk.Stats()
+	return rows, fp, s.Reads(), s.TimeMs, wall, nil
+}
+
+// MeasureJoin runs the join-access-path sweep. Pass latency <= 0 for
+// DefaultParallelLatency. It fails — rather than producing an artifact —
+// if rows or fingerprints diverge across access paths, if reads differ
+// across repetitions, or if the 3-hop acceptance speedup is below 5x.
+func MeasureJoin(latency time.Duration) (*BenchJoin, error) {
+	if latency <= 0 {
+		latency = DefaultParallelLatency
+	}
+	db, err := buildJoinBenchDB()
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	// The maintained indices back the BINARY_JOIN_INDEX mode: one per hop
+	// of the chain, one on the set-valued fan attribute.
+	ex := exec.New(algebra.New(db.Cat))
+	ex.BJIs = map[string]*joinindex.BinaryJoinIndex{}
+	for _, b := range []struct{ name, class, attr string }{
+		{"bji_ab", "JoinA", "b"},
+		{"bji_bc", "JoinB", "c"},
+		{"bji_cd", "JoinC", "d"},
+		{"bji_fd", "JoinFan", "members"},
+	} {
+		ix, err := joinindex.BuildBJI(db.Cat, b.class, b.attr)
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", b.name, err)
+		}
+		ex.BJIs[b.name] = ix
+	}
+
+	out := &BenchJoin{
+		ChainSources:      joinChainSrc,
+		ChainExtent:       joinChainExt,
+		HotDivisor:        joinHotDivisor,
+		FanSources:        joinFanSrc,
+		FanRefs:           joinFanRefs,
+		FanPool:           joinFanPool,
+		Reps:              joinBenchReps,
+		LatencyUsPerSimMs: float64(latency) / float64(time.Microsecond),
+	}
+
+	for _, bench := range []string{"path3-deep", "fan-m2m"} {
+		var forwardRate float64
+		var baseRows int
+		var baseFP uint64
+		for mi, mode := range joinAccessModes {
+			var rows int
+			var fp uint64
+			var reads int64
+			var simMs float64
+			var best time.Duration
+			for rep := 0; rep < joinBenchReps; rep++ {
+				r, f, rd, sim, wall, err := measureJoinMode(db, ex, bench, mode.method, latency)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", bench, mode.access, err)
+				}
+				if rep == 0 {
+					rows, fp, reads, simMs, best = r, f, rd, sim, wall
+					continue
+				}
+				if r != rows || f != fp {
+					return nil, fmt.Errorf("%s %s: repetition changed the result (%d/%016x vs %d/%016x)",
+						bench, mode.access, r, f, rows, fp)
+				}
+				if rd != reads {
+					return nil, fmt.Errorf("%s %s: reads are not deterministic (%d vs %d)",
+						bench, mode.access, rd, reads)
+				}
+				if wall < best {
+					best = wall
+				}
+			}
+			if mi == 0 {
+				baseRows, baseFP = rows, fp
+			} else if rows != baseRows || fp != baseFP {
+				return nil, fmt.Errorf("%s: %s returned %d rows (fp %016x), forward returned %d (fp %016x)",
+					bench, mode.access, rows, fp, baseRows, baseFP)
+			}
+			e := JoinModeEntry{
+				Name:        bench,
+				Access:      mode.access,
+				Rows:        rows,
+				Fingerprint: fmt.Sprintf("%016x", fp),
+				Reads:       reads,
+				SimulatedMs: round3(simMs),
+				WallMs:      round3(float64(best) / float64(time.Millisecond)),
+			}
+			if best > 0 {
+				e.RowsPerWallSec = round3(float64(rows) / best.Seconds())
+			}
+			if mi == 0 {
+				forwardRate = e.RowsPerWallSec
+			} else if forwardRate > 0 {
+				e.SpeedupVsForward = round3(e.RowsPerWallSec / forwardRate)
+			}
+			if bench == "path3-deep" && (mode.access == "joinindex" || mode.access == "fusion") &&
+				e.SpeedupVsForward > out.Path3SpeedupBest {
+				out.Path3SpeedupBest = e.SpeedupVsForward
+			}
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	if out.Path3SpeedupBest < join3SpeedupFloor {
+		return nil, fmt.Errorf("3-hop path query: best join-index/fusion speedup %.2fx is below the %.0fx floor",
+			out.Path3SpeedupBest, join3SpeedupFloor)
+	}
+	return out, nil
+}
+
+// JoinAccessSweep prints the MeasureJoin sweep as a table. The env parameter
+// is unused (the sweep builds its own extents) but kept for the artifact
+// signature.
+func JoinAccessSweep(w io.Writer, _ *Env) error {
+	section(w, "Join access paths. Forward vs join-index vs hash vs fusion, cold, latency replay")
+	res, err := MeasureJoin(0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "chain: %d sources over %d-record extents (hot 1/%d); fan: %d sources x %d refs into %d; latency replay %.0f us/sim-ms; best of %d\n\n",
+		res.ChainSources, res.ChainExtent, res.HotDivisor, res.FanSources, res.FanRefs, res.FanPool,
+		res.LatencyUsPerSimMs, res.Reps)
+	fmt.Fprintf(w, "%-12s %-10s %7s %7s %10s %10s %14s %10s\n",
+		"benchmark", "access", "rows", "reads", "sim ms", "wall ms", "rows/wall-s", "speedup")
+	for _, e := range res.Entries {
+		fmt.Fprintf(w, "%-12s %-10s %7d %7d %10.2f %10.2f %14.0f %9.2fx\n",
+			e.Name, e.Access, e.Rows, e.Reads, e.SimulatedMs, e.WallMs, e.RowsPerWallSec, e.SpeedupVsForward)
+	}
+	fmt.Fprintf(w, "\n3-hop acceptance: best join-index/fusion speedup %.2fx (floor %.0fx)\n",
+		res.Path3SpeedupBest, join3SpeedupFloor)
+	return nil
+}

@@ -9,6 +9,7 @@ package joinindex
 
 import (
 	"fmt"
+	"sync"
 
 	"mood/internal/btree"
 	"mood/internal/catalog"
@@ -18,12 +19,16 @@ import (
 )
 
 // BinaryJoinIndex materializes the object pairs induced by one reference
-// attribute.
+// attribute. It is maintained: the kernel routes every object mutation of
+// the indexed class through Maintain, so the pair set tracks the extent.
+// Lookups and maintenance may run concurrently; a RWMutex serializes
+// writers against the probe paths.
 type BinaryJoinIndex struct {
 	Class     string // C
 	Attribute string // A
 	Target    string // D
 
+	mu  sync.RWMutex
 	fwd *btree.Tree // oid_C -> oid_D
 	rev *btree.Tree // oid_D -> oid_C
 	cat *catalog.Catalog
@@ -77,10 +82,67 @@ func BuildBJI(cat *catalog.Catalog, class, attribute string) (*BinaryJoinIndex, 
 	return ix, nil
 }
 
+// NewBJI creates an empty maintained binary join index over the pool — the
+// storage-level constructor the crash harness uses; BuildBJI is the
+// catalog-driven kernel path.
+func NewBJI(bp *storage.BufferPool, class, attribute, target string) (*BinaryJoinIndex, error) {
+	fwd, err := btree.New(bp, 8, false)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := btree.New(bp, 8, false)
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryJoinIndex{Class: class, Attribute: attribute, Target: target, fwd: fwd, rev: rev}, nil
+}
+
+// OpenBJI re-attaches to a binary join index whose trees survive at the
+// given roots (after a crash and WAL recovery). Statistics are recomputed by
+// the tree walk; the catalog may be nil for storage-level harnesses that
+// only exercise Insert/Remove/Forward/Backward.
+func OpenBJI(bp *storage.BufferPool, class, attribute, target string, fwdRoot, revRoot storage.PageID) (*BinaryJoinIndex, error) {
+	fwd, err := btree.Open(bp, fwdRoot, 8, false)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := btree.Open(bp, revRoot, 8, false)
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryJoinIndex{Class: class, Attribute: attribute, Target: target, fwd: fwd, rev: rev}, nil
+}
+
+// oidKey encodes an OID as an order-preserving 8-byte tree key. The encoding
+// is injective over the full 64-bit OID — the shard tag in bits 60–63
+// included — so entries from different shards of a sharded store can never
+// collide, and a probe result routes back to its owning shard's store.
 func oidKey(oid storage.OID) []byte { return btree.EncodeIntKey(int64(oid)) }
+
+// SetLogger attaches a WAL page logger to both trees, so index maintenance
+// is page-image logged and replayed/undone by recovery. nil detaches.
+func (ix *BinaryJoinIndex) SetLogger(l storage.PageLogger) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.fwd.SetLogger(l)
+	ix.rev.SetLogger(l)
+}
+
+// Roots returns the two tree roots for persistence and crash re-attach.
+func (ix *BinaryJoinIndex) Roots() (fwd, rev storage.PageID) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.fwd.Root(), ix.rev.Root()
+}
 
 // Insert adds the pairs for one source object's attribute value.
 func (ix *BinaryJoinIndex) Insert(src storage.OID, attr object.Value) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.insertLocked(src, attr)
+}
+
+func (ix *BinaryJoinIndex) insertLocked(src storage.OID, attr object.Value) error {
 	add := func(dst storage.OID) error {
 		if dst.IsNil() {
 			return nil
@@ -107,6 +169,12 @@ func (ix *BinaryJoinIndex) Insert(src storage.OID, attr object.Value) error {
 
 // Remove deletes the pairs for one source object's attribute value.
 func (ix *BinaryJoinIndex) Remove(src storage.OID, attr object.Value) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.removeLocked(src, attr)
+}
+
+func (ix *BinaryJoinIndex) removeLocked(src storage.OID, attr object.Value) error {
 	del := func(dst storage.OID) error {
 		if dst.IsNil() {
 			return nil
@@ -134,22 +202,54 @@ func (ix *BinaryJoinIndex) Remove(src storage.OID, attr object.Value) error {
 	return nil
 }
 
+// Maintain applies one object mutation to the index under a single writer
+// critical section: old and new are the source object's attribute values
+// before and after the change. A create passes a null old, a delete a null
+// new; an update whose attribute did not change is a cheap no-op for plain
+// references.
+func (ix *BinaryJoinIndex) Maintain(src storage.OID, old, new object.Value) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old.Kind == object.KindReference && new.Kind == object.KindReference && old.Ref == new.Ref {
+		return nil
+	}
+	if !old.IsNull() {
+		if err := ix.removeLocked(src, old); err != nil {
+			return err
+		}
+	}
+	if !new.IsNull() {
+		return ix.insertLocked(src, new)
+	}
+	return nil
+}
+
 // Forward returns the target OIDs referenced by src.
 func (ix *BinaryJoinIndex) Forward(src storage.OID) ([]storage.OID, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.fwd.Search(oidKey(src))
 }
 
 // Backward returns the source OIDs referencing dst.
 func (ix *BinaryJoinIndex) Backward(dst storage.OID) ([]storage.OID, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.rev.Search(oidKey(dst))
 }
 
 // Len returns the number of materialized pairs.
-func (ix *BinaryJoinIndex) Len() int { return ix.fwd.Len() }
+func (ix *BinaryJoinIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.fwd.Len()
+}
 
 // CostStats returns the forward tree's Table 9 parameters for the bjc
 // formula.
 func (ix *BinaryJoinIndex) CostStats() cost.BTreeStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	st := ix.fwd.Stats()
 	return cost.BTreeStats{Order: st.Order, Levels: st.Levels, Leaves: st.Leaves, KeySize: st.KeySize}
 }

@@ -71,7 +71,15 @@ type DB struct {
 
 	stats   *cost.Stats
 	statsMu sync.Mutex // guards stats: concurrent committers invalidate it
-	bjis    map[string]*joinindex.BinaryJoinIndex
+
+	// bjis is the registry of maintained binary join indices. bjiMu guards
+	// it (the mutation observer walks it on every object write); bjiLogMu
+	// serializes index maintenance, so bjiTx — the WAL micro-transaction the
+	// attached page loggers append under — is single-writer state.
+	bjis     map[string]*joinindex.BinaryJoinIndex
+	bjiMu    sync.RWMutex
+	bjiLogMu sync.Mutex
+	bjiTx    wal.TxID
 
 	ocache *objcache.Cache // nil when the object cache is off
 
@@ -98,6 +106,12 @@ type DB struct {
 
 	parallelism      int
 	parallelMinPages float64
+
+	// ForceJoin pins every join's physical method when non-nil (the
+	// differential wall and the moodbench sweep drive it); applicability
+	// still gates the override, so an inapplicable force keeps the
+	// cost-based choice. Set only on a quiesced session.
+	ForceJoin *cost.JoinMethod
 
 	// LastPlan and LastExplain describe the most recent SELECT, for the
 	// moodsql shell's EXPLAIN support and for the experiment harness.
@@ -229,6 +243,11 @@ func Open(opts Options) (*DB, error) {
 	if opts.PlanCache {
 		db.plans = newPlanCache()
 	}
+	// Every object create/update/delete — autocommit DML and transactional
+	// DML alike — routes through the catalog, so one observer keeps every
+	// maintained join index in step with the extents (transaction aborts
+	// re-fire it with the logical undo's reversed values).
+	cat.SetMutationObserver(db.maintainBJIs)
 	// Late-bound method dispatch for predicates and projections.
 	alg.Invoke = db.invoke
 	// Share the Function Manager's query registry so compiled predicate
@@ -401,6 +420,10 @@ func (db *DB) refreshStats() (*cost.Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The kernel's executor implements the fusion join, so BestJoin may
+	// price it as a fifth candidate; the knob defaults off in the cost
+	// package so the paper's four-way choice set stays byte-exact there.
+	st.Fusion = true
 	if db.ocache != nil {
 		// Feed the observed hit rate and the batched-dereference model into
 		// the cost formulas; with the cache off the zero-valued knobs keep
@@ -446,16 +469,89 @@ func (db *DB) Stats() (*cost.Stats, error) {
 }
 
 // BuildBJI materializes a binary join index on class.attribute and
-// registers it with the optimizer and executor.
+// registers it with the optimizer and executor. From then on the index is
+// maintained: every mutation of an object in the class's IS-A closure
+// routes through maintainBJIs, with the btree page mutations page-image
+// logged under a WAL micro-transaction.
 func (db *DB) BuildBJI(name, class, attribute string) (*joinindex.BinaryJoinIndex, error) {
 	ix, err := joinindex.BuildBJI(db.Cat, class, attribute)
 	if err != nil {
 		return nil, err
 	}
+	ix.SetLogger(db.bjiPageLogger())
+	db.bjiMu.Lock()
 	db.bjis[name] = ix
 	db.Exec.BJIs[name] = ix
+	db.bjiMu.Unlock()
 	db.invalidatePlans()
 	return ix, nil
+}
+
+// bjiPageLogger curries shard 0's WAL (index pages live in shard 0's pool)
+// into the btree page-logger shape. The transaction id is read from bjiTx,
+// which maintainBJIs sets while holding bjiLogMu — loggers only fire inside
+// that critical section.
+func (db *DB) bjiPageLogger() storage.PageLogger {
+	return func(pid storage.PageID, off int, before, after []byte) (uint32, error) {
+		lsn, err := db.Shards[0].Log.Update(db.bjiTx, pid, off, before, after)
+		return uint32(lsn), err
+	}
+}
+
+// maintainBJIs is the catalog's mutation observer: each binary join index
+// whose indexed closure contains the mutated class applies the attribute
+// delta inside one WAL micro-transaction on shard 0's log. The object cache
+// needs no extra work here — the store already epoch-invalidated the OID
+// while holding its exclusive lock. A failed maintenance aborts the
+// micro-transaction (restoring the touched index pages from their logged
+// before-images) and drops the affected indices rather than leave them out
+// of step with the extent; the mutating statement then fails after the
+// fact, like attribute-index partial failures.
+func (db *DB) maintainBJIs(op byte, class string, oid storage.OID, old, new object.Value) error {
+	db.bjiMu.RLock()
+	var targets []*joinindex.BinaryJoinIndex
+	var names []string
+	for name, ix := range db.bjis {
+		if db.Cat.IsA(class, ix.Class) {
+			targets = append(targets, ix)
+			names = append(names, name)
+		}
+	}
+	db.bjiMu.RUnlock()
+	if len(targets) == 0 {
+		return nil
+	}
+	db.bjiLogMu.Lock()
+	defer db.bjiLogMu.Unlock()
+	sh := db.Shards[0]
+	db.bjiTx = sh.Log.Begin()
+	for _, ix := range targets {
+		oldA, _ := old.Field(ix.Attribute) // zero (null) on create
+		newA, _ := new.Field(ix.Attribute) // zero (null) on delete
+		if err := ix.Maintain(oid, oldA, newA); err != nil {
+			aerr := sh.Log.Abort(db.bjiTx, func(page storage.PageID, off int, image []byte, lsn wal.LSN) error {
+				pg, ferr := sh.Pool.Fetch(page)
+				if ferr != nil {
+					return ferr
+				}
+				copy(pg.Bytes()[off:], image)
+				pg.SetLSN(uint32(lsn))
+				return sh.Pool.Unpin(page, true)
+			})
+			db.bjiMu.Lock()
+			for _, n := range names {
+				delete(db.bjis, n)
+				delete(db.Exec.BJIs, n)
+			}
+			db.bjiMu.Unlock()
+			db.invalidatePlans()
+			if aerr != nil {
+				return fmt.Errorf("kernel: join index maintenance: %v (abort: %w)", err, aerr)
+			}
+			return fmt.Errorf("kernel: join index maintenance: %w", err)
+		}
+	}
+	return sh.Log.Commit(db.bjiTx)
 }
 
 // Result re-exports the executor's result type.
@@ -499,6 +595,11 @@ func (db *DB) ExecuteStmt(st sql.Statement) (*Result, error) {
 		return db.execCreateClass(n)
 	case *sql.CreateIndex:
 		return db.execCreateIndex(n)
+	case *sql.CreateJoinIndex:
+		if _, err := db.BuildBJI(n.Name, n.Class, n.Attr); err != nil {
+			return nil, err
+		}
+		return message("join index %s created on %s(%s)", n.Name, n.Class, n.Attr), nil
 	case *sql.DropClass:
 		if err := db.Cat.DropClass(n.Name); err != nil {
 			return nil, err
@@ -636,9 +737,12 @@ func (db *DB) optimize(n *sql.Select) (optimizer.Plan, error) {
 	opt := optimizer.New(db.Cat, st)
 	opt.Parallelism = db.parallelism
 	opt.ParallelMinPages = db.parallelMinPages
+	opt.ForceJoinMethod = db.ForceJoin
+	db.bjiMu.RLock()
 	for name, ix := range db.bjis {
 		opt.RegisterBJI(ix.Class, ix.Attribute, name, ix.CostStats())
 	}
+	db.bjiMu.RUnlock()
 	plan, explain, err := opt.Optimize(n)
 	if err != nil {
 		return nil, err

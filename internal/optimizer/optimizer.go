@@ -31,6 +31,13 @@ type Optimizer struct {
 	// bjis registers available binary join indices by "Class.Attr" so the
 	// join-method choice can consider bjc = INDCOST(k).
 	bjis map[string]bjiEntry
+	// ForceJoinMethod, when non-nil, overrides the cost-based join-method
+	// choice with the given strategy wherever it is applicable (a forced
+	// BINARY_JOIN_INDEX still needs a registered index, a forced
+	// FUSION_JOIN a bind-shaped right side; inapplicable joins keep the
+	// cost-based choice). Differential test harnesses use it to drive the
+	// same query down every access path.
+	ForceJoinMethod *cost.JoinMethod
 }
 
 type bjiEntry struct {
@@ -379,12 +386,63 @@ func (o *Optimizer) pairCost(left, right *segment, attr string) (method cost.Joi
 		in.BJIdx = &e.st
 		bji = e.name
 	}
+	in.FusionOK = fusionApplicable(right.plan)
 	method, jc, err = o.Stats.BestJoin(in)
 	if err != nil {
 		return 0, 0, 0, "", err
 	}
+	if f := o.ForceJoinMethod; f != nil && forceApplicable(*f, in) {
+		if c, cerr := o.methodCost(in, *f); cerr == nil && !math.IsInf(c, 1) {
+			method, jc = *f, c
+		}
+	}
 	js = o.joinSelectivity(left, right, attr)
 	return method, jc, js, bji, nil
+}
+
+// fusionApplicable reports whether a plan is shaped for the fusion join's
+// absorbed probe side: a bare class bind, optionally under a selection. The
+// fusion operator synthesizes the right rows from the fetched references,
+// so anything that would contribute rows of its own disqualifies.
+func fusionApplicable(p Plan) bool {
+	switch n := p.(type) {
+	case *BindPlan:
+		return true
+	case *SelectPlan:
+		_, overBind := n.Input.(*BindPlan)
+		return overBind
+	}
+	return false
+}
+
+// forceApplicable reports whether the forced strategy can run at all for
+// this join input.
+func forceApplicable(m cost.JoinMethod, in cost.JoinInput) bool {
+	switch m {
+	case cost.BinaryJoinIndex:
+		return in.BJIdx != nil
+	case cost.FusionJoin:
+		return in.FusionOK
+	}
+	return true
+}
+
+// methodCost prices one specific join strategy, keeping the greedy ordering
+// rank consistent when a method is forced.
+func (o *Optimizer) methodCost(in cost.JoinInput, m cost.JoinMethod) (float64, error) {
+	switch m {
+	case cost.ForwardTraversal:
+		return o.Stats.ForwardCost(in)
+	case cost.BackwardTraversal:
+		return o.Stats.BackwardCost(in)
+	case cost.BinaryJoinIndex:
+		return o.Stats.BJICost(in, math.Min(in.Kc, in.Kd))
+	case cost.HashPartition:
+		return o.Stats.HashPartitionCost(in)
+	case cost.FusionJoin:
+		return o.Stats.FusionCost(in)
+	}
+	return math.Inf(1), nil
 }
 
 // joinSelectivity estimates the surviving fraction of the left segment's

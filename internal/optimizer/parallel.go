@@ -74,7 +74,13 @@ func parallelize(p Plan, workers int, minPages float64, st *cost.Stats) Plan {
 		// lazy path exists to avoid. Leave the whole subtree serial.
 	case *JoinPlan:
 		left := parallelize(n.Left, workers, minPages, st)
-		right := parallelize(n.Right, workers, minPages, st)
+		right := n.Right
+		if n.Method != cost.FusionJoin {
+			// A fusion join absorbs its bind-shaped right child into the
+			// operator; an exchange there would break the shape (and the
+			// right extent is never scanned anyway).
+			right = parallelize(n.Right, workers, minPages, st)
+		}
 		out := n
 		if left != n.Left || right != n.Right {
 			out = &JoinPlan{Left: left, Right: right, Method: n.Method,

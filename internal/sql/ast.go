@@ -48,6 +48,17 @@ type CreateIndex struct {
 
 func (*CreateIndex) stmt() {}
 
+// CreateJoinIndex is CREATE JOIN INDEX name ON class(attr): it materializes
+// the binary join index on the reference attribute class.attr, maintained
+// under the WAL from then on.
+type CreateJoinIndex struct {
+	Name  string
+	Class string
+	Attr  string
+}
+
+func (*CreateJoinIndex) stmt() {}
+
 // DropClass is DROP CLASS name.
 type DropClass struct{ Name string }
 

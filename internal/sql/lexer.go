@@ -54,7 +54,7 @@ var keywords = map[string]bool{
 	"BTREE": true, "HASH": true, "COUNT": true, "SUM": true, "AVG": true,
 	"MIN": true, "MAX": true, "TRUE": true, "FALSE": true, "NULL": true,
 	"LIST": true, "REFERENCE": true, "AS": true, "IS": true, "DISTINCT": true,
-	"EXPLAIN": true, "ANALYZE": true,
+	"EXPLAIN": true, "ANALYZE": true, "JOIN": true,
 }
 
 // Lex tokenizes a MOODSQL statement. Keywords are case-insensitive; string

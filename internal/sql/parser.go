@@ -132,8 +132,13 @@ func (p *parser) createStmt() (Statement, error) {
 		return p.createIndex(true)
 	case p.accept(TokKeyword, "INDEX"):
 		return p.createIndex(false)
+	case p.accept(TokKeyword, "JOIN"):
+		if _, err := p.expect(TokKeyword, "INDEX"); err != nil {
+			return nil, err
+		}
+		return p.createJoinIndex()
 	}
-	return nil, p.errf("expected CLASS, TYPE or INDEX after CREATE")
+	return nil, p.errf("expected CLASS, TYPE, INDEX or JOIN INDEX after CREATE")
 }
 
 func (p *parser) createClass(isType bool) (Statement, error) {
@@ -365,6 +370,32 @@ func (p *parser) createIndex(unique bool) (Statement, error) {
 		}
 	}
 	return out, nil
+}
+
+// createJoinIndex parses the tail of CREATE JOIN INDEX name ON class(attr).
+func (p *parser) createJoinIndex() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	class, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateJoinIndex{Name: name, Class: class, Attr: attr}, nil
 }
 
 func (p *parser) dropStmt() (Statement, error) {
